@@ -1,0 +1,73 @@
+//! Criterion benches of the DES kernel: event-queue throughput and
+//! distribution sampling — the per-event costs every experiment pays.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hpcqc_simcore::dist::Dist;
+use hpcqc_simcore::events::EventQueue;
+use hpcqc_simcore::rng::SimRng;
+use hpcqc_simcore::time::SimTime;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for &n in &[1_000u64, 10_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_function(format!("push_pop_{n}"), |b| {
+            b.iter_batched(
+                || {
+                    // Pre-generate pseudo-random timestamps.
+                    let mut rng = SimRng::seed_from(7);
+                    (0..n).map(|_| SimTime::from_nanos(rng.below(1 << 40))).collect::<Vec<_>>()
+                },
+                |times| {
+                    let mut q = EventQueue::new();
+                    for (i, t) in times.iter().enumerate() {
+                        q.schedule(*t, i);
+                    }
+                    let mut count = 0;
+                    while q.pop().is_some() {
+                        count += 1;
+                    }
+                    count
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_distributions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist_sampling");
+    let dists = [
+        ("constant", Dist::constant(1.0)),
+        ("exponential", Dist::exponential(10.0)),
+        ("lognormal", Dist::log_normal_mean_cv(100.0, 1.2)),
+        ("weibull", Dist::weibull(1.5, 10.0)),
+        ("erlang4", Dist::erlang(4, 10.0)),
+    ];
+    for (name, dist) in dists {
+        group.bench_function(name, |b| {
+            let mut rng = SimRng::seed_from(3);
+            b.iter(|| dist.sample(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rng_fork(c: &mut Criterion) {
+    c.bench_function("rng_fork_indexed", |b| {
+        let root = SimRng::seed_from(1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            root.fork_indexed("bench", i)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_secs(1)).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_event_queue, bench_distributions, bench_rng_fork
+}
+criterion_main!(benches);

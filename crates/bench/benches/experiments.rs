@@ -1,0 +1,87 @@
+//! Criterion benches of the experiment harness itself: one bench per paper
+//! artifact (quick presets), so regressions in simulator performance show
+//! up per experiment, plus a per-strategy cost comparison of the facility
+//! simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcqc_bench::experiments::{
+    e1_timescales, e2_coschedule, e3_workflow, e4_vqpu, e5_malleable, e6_crossover, e7_access,
+};
+use hpcqc_bench::workloads::{background_jobs, vqe_job};
+use hpcqc_core::scenario::Scenario;
+use hpcqc_core::sim::FacilitySim;
+use hpcqc_core::strategy::Strategy;
+use hpcqc_qpu::technology::Technology;
+use hpcqc_simcore::time::{SimDuration, SimTime};
+use hpcqc_workload::campaign::Workload;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments_quick");
+    group.sample_size(10);
+    group.bench_function("e1_timescales", |b| {
+        let cfg = e1_timescales::Config::quick();
+        b.iter(|| e1_timescales::run(&cfg));
+    });
+    group.bench_function("e2_coschedule", |b| {
+        let cfg = e2_coschedule::Config::quick();
+        b.iter(|| e2_coschedule::run(&cfg));
+    });
+    group.bench_function("e3_workflow", |b| {
+        let cfg = e3_workflow::Config::quick();
+        b.iter(|| e3_workflow::run(&cfg));
+    });
+    group.bench_function("e4_vqpu", |b| {
+        let cfg = e4_vqpu::Config::quick();
+        b.iter(|| e4_vqpu::run(&cfg));
+    });
+    group.bench_function("e5_malleable", |b| {
+        let cfg = e5_malleable::Config::quick();
+        b.iter(|| e5_malleable::run(&cfg));
+    });
+    group.bench_function("e6_crossover", |b| {
+        let cfg = e6_crossover::Config::quick();
+        b.iter(|| e6_crossover::run(&cfg));
+    });
+    group.bench_function("e7_access", |b| {
+        let cfg = e7_access::Config::quick();
+        b.iter(|| e7_access::run(&cfg));
+    });
+    group.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("facility_sim_per_strategy");
+    group.sample_size(10);
+    let mut jobs = background_jobs(30, 2, 8, 1_200.0, 8.0, 5);
+    for i in 0..4 {
+        jobs.push(vqe_job(
+            &format!("h{i}"),
+            4,
+            6,
+            120,
+            1_000,
+            SimTime::from_secs(i * 400),
+            SimDuration::from_hours(12),
+        ));
+    }
+    let workload = Workload::from_jobs(jobs);
+    for strategy in Strategy::representative_set() {
+        group.bench_function(strategy.to_string(), |b| {
+            let scenario = Scenario::builder()
+                .classical_nodes(32)
+                .device(Technology::Superconducting)
+                .strategy(strategy)
+                .seed(3)
+                .build();
+            b.iter(|| FacilitySim::run(&scenario, &workload).expect("valid scenario"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_secs(1)).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_experiments, bench_strategies
+}
+criterion_main!(benches);

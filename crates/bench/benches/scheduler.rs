@@ -1,0 +1,82 @@
+//! Criterion benches of the batch-scheduler substrate: scheduling-cycle
+//! cost under queue depth, per policy. Backfilling cost is the practical
+//! scalability limit of the workflow strategy (one queue entry per phase).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hpcqc_cluster::alloc::{AllocRequest, GroupRequest};
+use hpcqc_cluster::cluster::{Cluster, ClusterBuilder};
+use hpcqc_cluster::gres::GresKind;
+use hpcqc_sched::scheduler::{BatchScheduler, PendingJob, Policy};
+use hpcqc_simcore::rng::SimRng;
+use hpcqc_simcore::time::{SimDuration, SimTime};
+use hpcqc_workload::job::JobId;
+
+fn make_cluster() -> Cluster {
+    ClusterBuilder::new()
+        .partition("classical", 128)
+        .partition_with_gres("quantum", 0, GresKind::qpu(), 4)
+        .build(SimTime::ZERO)
+}
+
+fn queue_of(n: usize, cluster: &Cluster, policy: Policy) -> BatchScheduler {
+    let mut sched = BatchScheduler::new(policy);
+    let mut rng = SimRng::seed_from(11);
+    for i in 0..n {
+        let nodes = 1 + rng.below(32) as u32;
+        let job = PendingJob {
+            id: JobId::new(i as u64),
+            request: AllocRequest::new().group(GroupRequest::nodes("classical", nodes)),
+            walltime: SimDuration::from_secs(600 + rng.below(7_200)),
+            submit: SimTime::from_secs(i as u64),
+            user: format!("user{}", i % 8),
+            qos_boost: 0.0,
+        };
+        sched.submit(job, cluster).expect("fits machine");
+    }
+    sched
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling_cycle");
+    for policy in [Policy::Fcfs, Policy::EasyBackfill, Policy::ConservativeBackfill] {
+        for &depth in &[50usize, 200] {
+            group.bench_function(format!("{policy}_{depth}_queued"), |b| {
+                b.iter_batched(
+                    || {
+                        let cluster = make_cluster();
+                        let sched = queue_of(depth, &cluster, policy);
+                        (cluster, sched)
+                    },
+                    |(mut cluster, mut sched)| {
+                        sched.try_schedule(&mut cluster, SimTime::from_secs(10_000))
+                    },
+                    BatchSize::SmallInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    c.bench_function("cluster_allocate_release", |b| {
+        b.iter_batched(
+            make_cluster,
+            |mut cluster| {
+                let req = AllocRequest::new()
+                    .group(GroupRequest::nodes("classical", 16))
+                    .group(GroupRequest::gres("quantum", GresKind::qpu(), 1));
+                let id = cluster.allocate(&req, SimTime::ZERO).expect("fits");
+                cluster.release(id, SimTime::from_secs(1)).expect("live");
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_secs(1)).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_policies, bench_allocation
+}
+criterion_main!(benches);

@@ -1,0 +1,221 @@
+//! The reproduction harness: regenerates every figure/claim table of the
+//! paper and prints them as markdown.
+//!
+//! ```text
+//! repro [EXPERIMENTS…] [--quick] [--csv]
+//!
+//! EXPERIMENTS   e1 e2 e3 e4 e5 e6 e7, or `all` (default)
+//! --quick       small presets (seconds instead of minutes)
+//! --csv         emit CSV instead of markdown tables
+//! ```
+
+use hpcqc_bench::experiments::{
+    a1_policy, a2_walltime, a3_minnodes, e1_timescales, e2_coschedule, e3_workflow, e4_vqpu,
+    e5_malleable, e6_crossover, e7_access,
+};
+use hpcqc_metrics::report::Table;
+use std::time::Instant;
+
+struct Options {
+    experiments: Vec<String>,
+    quick: bool,
+    csv: bool,
+}
+
+fn parse_args() -> Options {
+    let mut experiments = Vec::new();
+    let mut quick = false;
+    let mut csv = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--csv" => csv = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [e1 e2 e3 e4 e5 e6 e7 | all] [--quick] [--csv]\n\n\
+                     Regenerates the paper's figures/claims as tables.\n\
+                     Ablations: a1 (scheduler policy), a2 (walltime accuracy), a3 (malleable floor)."
+                );
+                std::process::exit(0);
+            }
+            e @ ("e1" | "e2" | "e3" | "e4" | "e5" | "e6" | "e7" | "a1" | "a2" | "a3" | "all") => {
+                experiments.push(e.to_string());
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
+        experiments = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "a1", "a2", "a3"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+    }
+    Options { experiments, quick, csv }
+}
+
+fn emit(title: &str, subtitle: &str, table: &Table, csv: bool) {
+    println!("\n## {title}\n");
+    if !subtitle.is_empty() {
+        println!("{subtitle}\n");
+    }
+    if csv {
+        println!("{}", table.to_csv());
+    } else {
+        println!("{}", table.to_markdown());
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let t0 = Instant::now();
+    println!("# hpcqc paper reproduction ({} preset)", if opts.quick { "quick" } else { "full" });
+
+    for exp in &opts.experiments {
+        let started = Instant::now();
+        match exp.as_str() {
+            "e1" => {
+                let cfg = if opts.quick {
+                    e1_timescales::Config::quick()
+                } else {
+                    e1_timescales::Config::full()
+                };
+                let r = e1_timescales::run(&cfg);
+                emit(
+                    "E1 — Fig. 1: time scales of quantum jobs/shots",
+                    "Per-technology shot and full-job durations (job = register calibration + setup + 1000 shots).",
+                    &r.table,
+                    opts.csv,
+                );
+            }
+            "e2" => {
+                let cfg = if opts.quick {
+                    e2_coschedule::Config::quick()
+                } else {
+                    e2_coschedule::Config::full()
+                };
+                let r = e2_coschedule::run(&cfg);
+                emit(
+                    "E2 — Listing 1: exclusive co-scheduling waste by technology",
+                    "One hetjob (10 nodes + 1 QPU, 1 h walltime) running a 6-iteration hybrid loop.",
+                    &r.table,
+                    opts.csv,
+                );
+            }
+            "e3" => {
+                let cfg = if opts.quick {
+                    e3_workflow::Config::quick()
+                } else {
+                    e3_workflow::Config::full()
+                };
+                let r = e3_workflow::run(&cfg);
+                emit(
+                    "E3 — Fig. 2: workflow decomposition vs step duration",
+                    "Hybrid loop on a loaded 32-node facility; workflows pay one queue pass per step.",
+                    &r.table,
+                    opts.csv,
+                );
+            }
+            "e4" => {
+                let cfg =
+                    if opts.quick { e4_vqpu::Config::quick() } else { e4_vqpu::Config::full() };
+                let r = e4_vqpu::run(&cfg);
+                emit(
+                    "E4a — Fig. 3: virtual QPUs, token-count sweep",
+                    "Identical hybrid tenants sharing one superconducting QPU through n VQPUs.",
+                    &r.count_table,
+                    opts.csv,
+                );
+                emit(
+                    "E4b — Fig. 3 caveat: interleaving gains vs phase ratio",
+                    "4 tenants, vqpu(x4) vs co-scheduling, sweeping classical prep per kernel.",
+                    &r.caveat_table,
+                    opts.csv,
+                );
+            }
+            "e5" => {
+                let cfg = if opts.quick {
+                    e5_malleable::Config::quick()
+                } else {
+                    e5_malleable::Config::full()
+                };
+                let r = e5_malleable::run(&cfg);
+                emit(
+                    "E5 — Fig. 4: malleability on a neutral-atom facility",
+                    "Hybrid jobs shrink to 1 node during ≥30 min quantum phases; background load absorbs the released nodes.",
+                    &r.table,
+                    opts.csv,
+                );
+            }
+            "e6" => {
+                let cfg = if opts.quick {
+                    e6_crossover::Config::quick()
+                } else {
+                    e6_crossover::Config::full()
+                };
+                let r = e6_crossover::run(&cfg);
+                emit(
+                    "E6 — §4: strategy crossover map",
+                    "Winner per (technology × background load) cell, by combined utilization and hybrid turnaround.",
+                    &r.table,
+                    opts.csv,
+                );
+            }
+            "e7" => {
+                let cfg =
+                    if opts.quick { e7_access::Config::quick() } else { e7_access::Config::full() };
+                let r = e7_access::run(&cfg);
+                emit(
+                    "E7 — §3: access-model overhead per kernel",
+                    "Vendor-cloud (REST + vendor queue + polling) vs integrated on-prem access.",
+                    &r.table,
+                    opts.csv,
+                );
+            }
+            "a1" => {
+                let cfg =
+                    if opts.quick { a1_policy::Config::quick() } else { a1_policy::Config::full() };
+                let r = a1_policy::run(&cfg);
+                emit(
+                    "A1 — ablation: scheduler policy × strategy",
+                    "Same loaded facility under FCFS, EASY and conservative backfill.",
+                    &r.table,
+                    opts.csv,
+                );
+            }
+            "a2" => {
+                let cfg = if opts.quick {
+                    a2_walltime::Config::quick()
+                } else {
+                    a2_walltime::Config::full()
+                };
+                let r = a2_walltime::run(&cfg);
+                emit(
+                    "A2 — ablation: walltime-request accuracy under kill-and-requeue",
+                    "Requested walltime = true runtime × margin; SLURM-style enforcement with one requeue.",
+                    &r.table,
+                    opts.csv,
+                );
+            }
+            "a3" => {
+                let cfg = if opts.quick {
+                    a3_minnodes::Config::quick()
+                } else {
+                    a3_minnodes::Config::full()
+                };
+                let r = a3_minnodes::run(&cfg);
+                emit(
+                    "A3 — ablation: the malleable retention floor",
+                    "min_nodes swept on a neutral-atom facility with background load.",
+                    &r.table,
+                    opts.csv,
+                );
+            }
+            _ => unreachable!("validated in parse_args"),
+        }
+        eprintln!("[{exp} done in {:.1?}]", started.elapsed());
+    }
+    eprintln!("\ntotal: {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,151 @@
+//! **A2 — ablation: walltime-request accuracy under enforcement**.
+//!
+//! Batch folklore the simulator must reproduce: tighter walltime requests
+//! help backfilling (smaller reservations slot in more easily) — until they
+//! start killing jobs. The sweep varies the over-request margin applied to
+//! the *true* runtime under SLURM-style kill-and-requeue enforcement.
+
+use crate::workloads::background_jobs;
+use hpcqc_core::scenario::{Scenario, WalltimePolicy};
+use hpcqc_core::sim::FacilitySim;
+use hpcqc_core::strategy::Strategy;
+use hpcqc_metrics::report::{fmt_secs, Table};
+use hpcqc_qpu::technology::Technology;
+use hpcqc_simcore::time::SimDuration;
+use hpcqc_workload::campaign::Workload;
+use hpcqc_workload::job::JobSpec;
+
+/// A2 configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Classical nodes.
+    pub nodes: u32,
+    /// Jobs in the campaign.
+    pub jobs: usize,
+    /// Walltime margins to sweep (requested = true runtime × margin).
+    pub margins: Vec<f64>,
+    /// Requeues granted after a walltime kill.
+    pub max_requeues: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Fast preset.
+    pub fn quick() -> Self {
+        Config { nodes: 32, jobs: 30, margins: vec![0.9, 1.5, 4.0], max_requeues: 1, seed: 42 }
+    }
+
+    /// Full preset.
+    pub fn full() -> Self {
+        Config {
+            nodes: 32,
+            jobs: 80,
+            margins: vec![0.8, 0.95, 1.1, 1.5, 2.0, 4.0, 8.0],
+            max_requeues: 1,
+            seed: 42,
+        }
+    }
+}
+
+/// One row of the A2 sweep.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Walltime over-request factor.
+    pub margin: f64,
+    /// Jobs killed at least once and never completing.
+    pub failed: usize,
+    /// Mean queue wait of completed jobs, seconds.
+    pub mean_wait: f64,
+    /// Campaign makespan, seconds.
+    pub makespan: f64,
+}
+
+/// A2 result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// One row per margin.
+    pub rows: Vec<Row>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Runs A2.
+///
+/// # Panics
+///
+/// Panics if a simulation fails (self-consistent configuration).
+pub fn run(config: &Config) -> Result {
+    let base = background_jobs(config.jobs, 4, 16, 1_800.0, 10.0, config.seed);
+    let rows: Vec<Row> = config
+        .margins
+        .iter()
+        .map(|&margin| {
+            // Re-stamp every job's walltime from its true runtime.
+            let jobs: Vec<JobSpec> = base
+                .iter()
+                .map(|j| {
+                    let true_secs = j.total_classical().as_secs_f64();
+                    JobSpec::builder(j.name())
+                        .user(j.user())
+                        .submit(j.submit())
+                        .nodes(j.nodes())
+                        .walltime(SimDuration::from_secs_f64((true_secs * margin).max(60.0)))
+                        .phases(j.phases().to_vec())
+                        .build()
+                })
+                .collect();
+            let workload = Workload::from_jobs(jobs);
+            let scenario = Scenario::builder()
+                .classical_nodes(config.nodes)
+                .device(Technology::Superconducting)
+                .strategy(Strategy::CoSchedule)
+                .walltime_policy(WalltimePolicy::Kill { max_requeues: config.max_requeues })
+                .seed(config.seed)
+                .build();
+            let outcome = FacilitySim::run(&scenario, &workload).expect("A2 scenario is valid");
+            Row {
+                margin,
+                failed: outcome.stats.failed_count(),
+                mean_wait: outcome.stats.mean_wait_secs(),
+                makespan: outcome.makespan.as_secs_f64(),
+            }
+        })
+        .collect();
+
+    let mut table = Table::new(vec!["walltime margin", "failed jobs", "mean wait", "makespan"]);
+    for r in &rows {
+        table.row(vec![
+            format!("{:.2}×", r.margin),
+            r.failed.to_string(),
+            fmt_secs(r.mean_wait),
+            fmt_secs(r.makespan),
+        ]);
+    }
+    Result { rows, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_requesting_kills_jobs() {
+        let result = run(&Config::quick());
+        let tight = result.rows.iter().find(|r| r.margin < 1.0).unwrap();
+        let generous = result.rows.iter().find(|r| r.margin >= 1.5).unwrap();
+        assert!(
+            tight.failed > 0,
+            "margin {:.2} must kill some jobs (runtime > walltime)",
+            tight.margin
+        );
+        assert_eq!(generous.failed, 0, "generous walltimes must never kill");
+    }
+
+    #[test]
+    fn failures_monotone_nonincreasing_in_margin() {
+        let result = run(&Config::quick());
+        let fails: Vec<usize> = result.rows.iter().map(|r| r.failed).collect();
+        assert!(fails.windows(2).all(|w| w[0] >= w[1]), "failures {fails:?} not monotone");
+    }
+}

@@ -1,0 +1,169 @@
+//! **A3 — ablation: the malleable retention floor (`min_nodes`)**.
+//!
+//! Fig. 4 of the paper keeps "minimal classical resources" through the
+//! quantum phase "enabling a faster resumption". How minimal? The sweep
+//! varies `min_nodes` on a neutral-atom facility: a floor of 1 minimizes
+//! waste; larger floors buy nothing on resumption in our model (expansion
+//! is immediate when nodes are free) but burn node-hours — unless the
+//! machine is so contended that retained nodes prevent stretched phases.
+
+use crate::workloads::{background_jobs, vqe_job};
+use hpcqc_core::scenario::Scenario;
+use hpcqc_core::sim::FacilitySim;
+use hpcqc_core::strategy::Strategy;
+use hpcqc_metrics::report::{fmt_secs, Table};
+use hpcqc_qpu::technology::Technology;
+use hpcqc_simcore::time::{SimDuration, SimTime};
+use hpcqc_workload::campaign::Workload;
+
+/// A3 configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Classical nodes.
+    pub nodes: u32,
+    /// Nodes each hybrid job wants.
+    pub hybrid_nodes: u32,
+    /// Retention floors to sweep.
+    pub min_nodes: Vec<u32>,
+    /// Background jobs loading the machine.
+    pub background: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Fast preset.
+    pub fn quick() -> Self {
+        Config { nodes: 32, hybrid_nodes: 12, min_nodes: vec![1, 4, 12], background: 16, seed: 42 }
+    }
+
+    /// Full preset.
+    pub fn full() -> Self {
+        Config {
+            nodes: 32,
+            hybrid_nodes: 12,
+            min_nodes: vec![1, 2, 4, 8, 12],
+            background: 32,
+            seed: 42,
+        }
+    }
+}
+
+/// One row of the A3 sweep.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Retention floor.
+    pub min_nodes: u32,
+    /// Mean hybrid turnaround, seconds.
+    pub hybrid_turnaround: f64,
+    /// Hybrid allocated-but-idle node-hours.
+    pub hybrid_node_hours_wasted: f64,
+    /// Mean background wait, seconds.
+    pub background_wait: f64,
+}
+
+/// A3 result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// One row per floor.
+    pub rows: Vec<Row>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Runs A3.
+///
+/// # Panics
+///
+/// Panics if a simulation fails (self-consistent configuration).
+pub fn run(config: &Config) -> Result {
+    let mut jobs = background_jobs(config.background, 2, 8, 1_200.0, 8.0, config.seed);
+    for i in 0..2 {
+        jobs.push(vqe_job(
+            &format!("hyb-{i}"),
+            config.hybrid_nodes,
+            2,
+            600,
+            1_000,
+            SimTime::from_secs(600 + i * 300),
+            SimDuration::from_hours(24),
+        ));
+    }
+    let workload = Workload::from_jobs(jobs);
+
+    let rows: Vec<Row> = config
+        .min_nodes
+        .iter()
+        .map(|&floor| {
+            let scenario = Scenario::builder()
+                .classical_nodes(config.nodes)
+                .device(Technology::NeutralAtom)
+                .strategy(Strategy::Malleable { min_nodes: floor })
+                .seed(config.seed)
+                .build();
+            let outcome = FacilitySim::run(&scenario, &workload).expect("A3 scenario is valid");
+            let hybrid = outcome.stats.hybrid_only();
+            Row {
+                min_nodes: floor,
+                hybrid_turnaround: hybrid.mean_turnaround_secs(),
+                hybrid_node_hours_wasted: hybrid.total_node_hours_wasted(),
+                background_wait: outcome.stats.classical_only().mean_wait_secs(),
+            }
+        })
+        .collect();
+
+    let mut table = Table::new(vec![
+        "min_nodes",
+        "hybrid turnaround",
+        "hybrid node-h wasted",
+        "background wait",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.min_nodes.to_string(),
+            fmt_secs(r.hybrid_turnaround),
+            format!("{:.2}", r.hybrid_node_hours_wasted),
+            fmt_secs(r.background_wait),
+        ]);
+    }
+    Result { rows, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waste_grows_with_retention_floor() {
+        let result = run(&Config::quick());
+        let wastes: Vec<f64> = result.rows.iter().map(|r| r.hybrid_node_hours_wasted).collect();
+        assert!(
+            wastes.windows(2).all(|w| w[0] <= w[1] + 1e-9),
+            "waste {wastes:?} must grow with min_nodes"
+        );
+        // Full retention (min = job size) equals co-scheduling on the node
+        // side, so the first/last gap must be substantial.
+        assert!(wastes.last().unwrap() > &(wastes[0] * 2.0));
+    }
+
+    #[test]
+    fn floor_one_keeps_background_fastest() {
+        let result = run(&Config::quick());
+        let first = result.rows.first().unwrap();
+        let last = result.rows.last().unwrap();
+        assert!(
+            first.background_wait <= last.background_wait + 1.0,
+            "min=1 must not slow background vs full retention ({} vs {})",
+            first.background_wait,
+            last.background_wait
+        );
+    }
+
+    #[test]
+    fn all_floors_complete() {
+        let result = run(&Config::quick());
+        for r in &result.rows {
+            assert!(r.hybrid_turnaround > 0.0);
+        }
+    }
+}

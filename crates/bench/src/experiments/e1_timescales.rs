@@ -1,0 +1,100 @@
+//! **E1 — Fig. 1**: time scales of relevant quantum jobs/shots.
+//!
+//! Regenerates the paper's only quantitative figure: per-technology shot
+//! and job duration ranges, including the neutral-atom register-geometry
+//! calibration the paper calls out. The paper's two anchor points —
+//! superconducting tasks ≈ 10 s, neutral-atom jobs > 30 min — must hold.
+
+use hpcqc_metrics::report::{fmt_secs, Table};
+use hpcqc_qpu::technology::{fig1_rows, TimeScaleRow};
+
+/// E1 configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Shots per reference job.
+    pub shots: u32,
+    /// Monte-Carlo samples per technology.
+    pub samples: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Fast preset for tests and smoke runs.
+    pub fn quick() -> Self {
+        Config { shots: 1_000, samples: 200, seed: 42 }
+    }
+
+    /// Full preset for the published tables.
+    pub fn full() -> Self {
+        Config { shots: 1_000, samples: 5_000, seed: 42 }
+    }
+}
+
+/// E1 result: the Fig. 1 rows plus the rendered table.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// Per-technology quantile rows.
+    pub rows: Vec<TimeScaleRow>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Runs E1.
+pub fn run(config: &Config) -> Result {
+    let rows = fig1_rows(config.shots, config.samples, config.seed);
+    let mut table = Table::new(vec![
+        "technology",
+        "shot p05",
+        "shot p50",
+        "shot p95",
+        "job p05",
+        "job p50",
+        "job p95",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.technology.name().to_string(),
+            fmt_secs(r.shot_p05),
+            fmt_secs(r.shot_p50),
+            fmt_secs(r.shot_p95),
+            fmt_secs(r.job_p05),
+            fmt_secs(r.job_p50),
+            fmt_secs(r.job_p95),
+        ]);
+    }
+    Result { rows, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcqc_qpu::technology::Technology;
+
+    #[test]
+    fn anchors_match_paper() {
+        let result = run(&Config::quick());
+        let find = |t: Technology| result.rows.iter().find(|r| r.technology == t).unwrap();
+        let sc = find(Technology::Superconducting);
+        assert!(
+            (1.0..60.0).contains(&sc.job_p50),
+            "superconducting job p50 {} not ~10 s",
+            sc.job_p50
+        );
+        let na = find(Technology::NeutralAtom);
+        assert!(na.job_p50 > 1_800.0, "neutral-atom job p50 {} not > 30 min", na.job_p50);
+    }
+
+    #[test]
+    fn table_has_all_technologies() {
+        let result = run(&Config::quick());
+        assert_eq!(result.table.len(), Technology::ALL.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(&Config::quick());
+        let b = run(&Config::quick());
+        assert_eq!(a.table.rows(), b.table.rows());
+    }
+}

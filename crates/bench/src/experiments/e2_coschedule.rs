@@ -1,0 +1,192 @@
+//! **E2 — Listing 1 + §3 "Workload imbalance"**: what exclusive
+//! co-scheduling wastes, per technology.
+//!
+//! The paper's worked example: a heterogeneous job holding 10 classical
+//! nodes and 1 QPU for one hour. With a superconducting QPU (~10 s tasks)
+//! the QPU sits idle almost the whole hour; with a neutral-atom QPU
+//! (> 30 min tasks) the classical nodes idle instead. The experiment runs
+//! the *same* hybrid loop on every technology under plain co-scheduling
+//! and reports each side's efficiency inside the allocation.
+
+use crate::workloads::vqe_job;
+use hpcqc_core::scenario::Scenario;
+use hpcqc_core::sim::FacilitySim;
+use hpcqc_core::strategy::Strategy;
+use hpcqc_metrics::report::{fmt_pct, fmt_secs, Table};
+use hpcqc_qpu::technology::Technology;
+use hpcqc_simcore::time::{SimDuration, SimTime};
+use hpcqc_workload::campaign::Workload;
+
+/// E2 configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Classical nodes in the job (Listing 1: 10).
+    pub nodes: u32,
+    /// Hybrid-loop iterations.
+    pub iterations: u32,
+    /// Classical seconds per iteration (Listing 1 pacing: ~590 s to fill
+    /// the hour on a superconducting device).
+    pub classical_secs: u64,
+    /// Shots per kernel.
+    pub shots: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// The paper's Listing-1 shape.
+    pub fn quick() -> Self {
+        Config { nodes: 10, iterations: 6, classical_secs: 590, shots: 1_000, seed: 42 }
+    }
+
+    /// Same shape (the scenario is already small); kept for harness symmetry.
+    pub fn full() -> Self {
+        Config::quick()
+    }
+}
+
+/// One row of the E2 table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// QPU technology under test.
+    pub technology: Technology,
+    /// Wall-clock duration of the job.
+    pub job_secs: f64,
+    /// QPU busy fraction while exclusively allocated.
+    pub qpu_efficiency: f64,
+    /// Classical-node busy fraction while allocated.
+    pub node_efficiency: f64,
+    /// Allocated-but-idle node-hours.
+    pub node_hours_wasted: f64,
+    /// Allocated-but-idle QPU-hours.
+    pub qpu_hours_wasted: f64,
+}
+
+/// E2 result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// One row per technology.
+    pub rows: Vec<Row>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Runs E2.
+///
+/// # Panics
+///
+/// Panics if the simulation fails (configuration is self-consistent, so
+/// this indicates a bug).
+pub fn run(config: &Config) -> Result {
+    let rows: Vec<Row> = Technology::ALL
+        .iter()
+        .map(|&tech| {
+            let scenario = Scenario::builder()
+                .classical_nodes(config.nodes)
+                .device(tech)
+                .strategy(Strategy::CoSchedule)
+                .seed(config.seed)
+                .build();
+            let job = vqe_job(
+                "listing1",
+                config.nodes,
+                config.iterations,
+                config.classical_secs,
+                config.shots,
+                SimTime::ZERO,
+                SimDuration::from_hours(1),
+            );
+            let workload = Workload::from_jobs(vec![job]);
+            let outcome = FacilitySim::run(&scenario, &workload).expect("E2 scenario is valid");
+            let record = &outcome.stats.records()[0];
+            Row {
+                technology: tech,
+                job_secs: record.runtime().as_secs_f64(),
+                qpu_efficiency: if record.qpu_seconds_allocated > 0.0 {
+                    record.qpu_seconds_used / record.qpu_seconds_allocated
+                } else {
+                    0.0
+                },
+                node_efficiency: if record.node_seconds_allocated > 0.0 {
+                    record.node_seconds_used / record.node_seconds_allocated
+                } else {
+                    0.0
+                },
+                node_hours_wasted: record.node_seconds_wasted() / 3_600.0,
+                qpu_hours_wasted: record.qpu_seconds_wasted() / 3_600.0,
+            }
+        })
+        .collect();
+
+    let mut table = Table::new(vec![
+        "technology",
+        "job length",
+        "QPU busy in alloc",
+        "nodes busy in alloc",
+        "node-h wasted",
+        "QPU-h wasted",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.technology.name().to_string(),
+            fmt_secs(r.job_secs),
+            fmt_pct(r.qpu_efficiency),
+            fmt_pct(r.node_efficiency),
+            format!("{:.2}", r.node_hours_wasted),
+            format!("{:.2}", r.qpu_hours_wasted),
+        ]);
+    }
+    Result { rows, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(result: &Result, tech: Technology) -> &Row {
+        result.rows.iter().find(|r| r.technology == tech).unwrap()
+    }
+
+    #[test]
+    fn superconducting_starves_the_qpu() {
+        let result = run(&Config::quick());
+        let sc = row(&result, Technology::Superconducting);
+        // §3: "heavy under-utilisation of the QPU".
+        assert!(sc.qpu_efficiency < 0.05, "QPU efficiency {}", sc.qpu_efficiency);
+        // The classical side is nearly fully busy.
+        assert!(sc.node_efficiency > 0.9, "node efficiency {}", sc.node_efficiency);
+    }
+
+    #[test]
+    fn neutral_atom_starves_the_nodes() {
+        let result = run(&Config::quick());
+        let na = row(&result, Technology::NeutralAtom);
+        // §3: classical nodes "idle waiting for the quantum job completion".
+        assert!(na.node_efficiency < 0.5, "node efficiency {}", na.node_efficiency);
+        // And the QPU side dominates the job.
+        assert!(na.qpu_efficiency > 0.5, "QPU efficiency {}", na.qpu_efficiency);
+    }
+
+    #[test]
+    fn imbalance_direction_flips_between_technologies() {
+        let result = run(&Config::quick());
+        let sc = row(&result, Technology::Superconducting);
+        let na = row(&result, Technology::NeutralAtom);
+        assert!(sc.qpu_efficiency < na.qpu_efficiency);
+        assert!(sc.node_efficiency > na.node_efficiency);
+    }
+
+    #[test]
+    fn waste_is_substantial_somewhere_for_every_technology() {
+        // The paper's thesis: exclusive co-scheduling always wastes a side.
+        let result = run(&Config::quick());
+        for r in &result.rows {
+            let min_eff = r.qpu_efficiency.min(r.node_efficiency);
+            assert!(
+                min_eff < 0.6,
+                "{}: both sides ≥ 60% busy — co-scheduling would be fine, contradicting §3",
+                r.technology
+            );
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! **E3 — Fig. 2**: loosely-coupled workflows — held-resource waste
+//! recovered, queue-wait overhead paid.
+//!
+//! The paper: *"the queuing time that each step has to go through may
+//! introduce a significant overhead when its duration outweighs the length
+//! of the computation."* The experiment loads a facility with classical
+//! background jobs (so queue waits exist), then runs the same hybrid loop
+//! under co-scheduling and as a workflow while sweeping the classical step
+//! duration. Short steps → workflows drown in queueing; long steps → the
+//! overhead amortizes while the exclusive-hold waste of co-scheduling keeps
+//! growing.
+
+use crate::workloads::{background_jobs, vqe_job};
+use hpcqc_core::scenario::Scenario;
+use hpcqc_core::sim::FacilitySim;
+use hpcqc_core::strategy::Strategy;
+use hpcqc_metrics::report::{fmt_pct, fmt_secs, Table};
+use hpcqc_qpu::technology::Technology;
+use hpcqc_simcore::time::{SimDuration, SimTime};
+use hpcqc_workload::campaign::Workload;
+use hpcqc_workload::job::JobSpec;
+
+/// E3 configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Classical nodes in the facility.
+    pub nodes: u32,
+    /// Classical-step durations to sweep, seconds.
+    pub step_secs: Vec<u64>,
+    /// Hybrid-loop iterations.
+    pub iterations: u32,
+    /// Hybrid jobs per run (averaged).
+    pub hybrid_jobs: u32,
+    /// Background classical jobs.
+    pub background: usize,
+    /// Background arrival rate per hour.
+    pub background_per_hour: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Fast preset for tests.
+    pub fn quick() -> Self {
+        Config {
+            nodes: 32,
+            step_secs: vec![10, 300, 3_600],
+            iterations: 4,
+            hybrid_jobs: 2,
+            background: 20,
+            background_per_hour: 7.0,
+            seed: 42,
+        }
+    }
+
+    /// Full sweep.
+    pub fn full() -> Self {
+        Config {
+            nodes: 32,
+            step_secs: vec![10, 60, 300, 1_800, 3_600, 7_200],
+            iterations: 4,
+            hybrid_jobs: 3,
+            background: 60,
+            background_per_hour: 7.0,
+            seed: 42,
+        }
+    }
+}
+
+/// One row of the E3 sweep.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Classical step duration, seconds.
+    pub step_secs: u64,
+    /// Mean hybrid turnaround under co-scheduling, seconds.
+    pub coschedule_turnaround: f64,
+    /// Mean hybrid turnaround as a workflow, seconds.
+    pub workflow_turnaround: f64,
+    /// workflow / co-schedule turnaround ratio.
+    pub turnaround_ratio: f64,
+    /// Fraction of workflow turnaround spent waiting between steps.
+    pub workflow_overhead_share: f64,
+    /// QPU efficiency inside the allocation, co-scheduling.
+    pub coschedule_qpu_efficiency: f64,
+    /// QPU efficiency inside the allocation, workflow.
+    pub workflow_qpu_efficiency: f64,
+}
+
+/// E3 result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// One row per swept step duration.
+    pub rows: Vec<Row>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+fn hybrid_set(config: &Config, step_secs: u64) -> Vec<JobSpec> {
+    (0..config.hybrid_jobs)
+        .map(|i| {
+            vqe_job(
+                &format!("hyb-{i}"),
+                4,
+                config.iterations,
+                step_secs,
+                1_000,
+                // Arrive once background load has built up.
+                SimTime::from_secs(1_800 + u64::from(i) * 600),
+                SimDuration::from_hours(24),
+            )
+        })
+        .collect()
+}
+
+/// Runs E3.
+///
+/// # Panics
+///
+/// Panics if a simulation fails (would indicate a bug, not bad input).
+pub fn run(config: &Config) -> Result {
+    let rows: Vec<Row> = config
+        .step_secs
+        .iter()
+        .map(|&step| {
+            let mut jobs = background_jobs(
+                config.background,
+                4,
+                16,
+                1_800.0,
+                config.background_per_hour,
+                config.seed,
+            );
+            jobs.extend(hybrid_set(config, step));
+            let workload = Workload::from_jobs(jobs);
+
+            let run_with = |strategy: Strategy| {
+                let scenario = Scenario::builder()
+                    .classical_nodes(config.nodes)
+                    .device(Technology::Superconducting)
+                    .strategy(strategy)
+                    .seed(config.seed)
+                    .build();
+                FacilitySim::run(&scenario, &workload).expect("E3 scenario is valid")
+            };
+            let cosched = run_with(Strategy::CoSchedule);
+            let workflow = run_with(Strategy::Workflow);
+
+            let qpu_eff = |outcome: &hpcqc_core::outcome::Outcome| {
+                let hybrid = outcome.stats.hybrid_only();
+                let (used, alloc) = hybrid.records().iter().fold((0.0, 0.0), |(u, a), r| {
+                    (u + r.qpu_seconds_used, a + r.qpu_seconds_allocated)
+                });
+                if alloc > 0.0 {
+                    used / alloc
+                } else {
+                    1.0
+                }
+            };
+            let co_t = cosched.stats.hybrid_only().mean_turnaround_secs();
+            let wf_t = workflow.stats.hybrid_only().mean_turnaround_secs();
+            let wf_hybrid = workflow.stats.hybrid_only();
+            let overhead_share = if wf_t > 0.0 {
+                wf_hybrid.mean_phase_wait_secs() / wf_t
+            } else {
+                0.0
+            };
+            Row {
+                step_secs: step,
+                coschedule_turnaround: co_t,
+                workflow_turnaround: wf_t,
+                turnaround_ratio: if co_t > 0.0 { wf_t / co_t } else { f64::NAN },
+                workflow_overhead_share: overhead_share,
+                coschedule_qpu_efficiency: qpu_eff(&cosched),
+                workflow_qpu_efficiency: qpu_eff(&workflow),
+            }
+        })
+        .collect();
+
+    let mut table = Table::new(vec![
+        "classical step",
+        "co-sched turnaround",
+        "workflow turnaround",
+        "wf/co ratio",
+        "wf overhead share",
+        "co-sched QPU eff",
+        "workflow QPU eff",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            fmt_secs(r.step_secs as f64),
+            fmt_secs(r.coschedule_turnaround),
+            fmt_secs(r.workflow_turnaround),
+            format!("{:.2}×", r.turnaround_ratio),
+            fmt_pct(r.workflow_overhead_share),
+            fmt_pct(r.coschedule_qpu_efficiency),
+            fmt_pct(r.workflow_qpu_efficiency),
+        ]);
+    }
+    Result { rows, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_share_falls_as_steps_lengthen() {
+        let result = run(&Config::quick());
+        let first = result.rows.first().unwrap();
+        let last = result.rows.last().unwrap();
+        assert!(
+            first.workflow_overhead_share > last.workflow_overhead_share,
+            "overhead share must fall from {:.3} as steps lengthen (got {:.3})",
+            first.workflow_overhead_share,
+            last.workflow_overhead_share
+        );
+    }
+
+    #[test]
+    fn workflow_penalty_shrinks_with_step_length() {
+        let result = run(&Config::quick());
+        let first = result.rows.first().unwrap();
+        let last = result.rows.last().unwrap();
+        assert!(
+            first.turnaround_ratio > last.turnaround_ratio,
+            "workflow turnaround penalty must shrink: {:.2} → {:.2}",
+            first.turnaround_ratio,
+            last.turnaround_ratio
+        );
+        assert!(last.turnaround_ratio < 1.5, "long steps must amortize the queueing");
+    }
+
+    #[test]
+    fn workflow_always_recovers_qpu_waste() {
+        // Fig. 2's upside: resources held only while used.
+        for row in &run(&Config::quick()).rows {
+            assert!(
+                row.workflow_qpu_efficiency > 0.9,
+                "workflow QPU efficiency at step {} is {:.2}",
+                row.step_secs,
+                row.workflow_qpu_efficiency
+            );
+            assert!(
+                row.coschedule_qpu_efficiency < row.workflow_qpu_efficiency,
+                "co-scheduling must waste more QPU than workflows"
+            );
+        }
+    }
+}

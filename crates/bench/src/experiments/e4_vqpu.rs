@@ -1,0 +1,314 @@
+//! **E4 — Fig. 3**: virtual QPUs — temporal interleaving with bounded
+//! delays.
+//!
+//! Two sweeps:
+//!
+//! 1. **VQPU count** — K identical hybrid tenants share one physical QPU
+//!    through n VQPU tokens. More tokens ⇒ more concurrency ⇒ lower job
+//!    waits and makespan, at the price of per-kernel interleaving delay
+//!    that stays *bounded by the co-tenant count* (the paper's "minimal
+//!    delays, bounded by the number of VQPUs").
+//! 2. **The caveat** — the paper: *"if the time needed by the quantum
+//!    partition is comparable to or greater than the one required to
+//!    prepare the data for the shots, performing time interleaving should
+//!    result in marginal gains."* Sweeping the classical-prep / kernel
+//!    ratio shows the speedup over co-scheduling collapsing as quantum
+//!    work starts to dominate.
+
+use crate::workloads::tenant_jobs;
+use hpcqc_core::scenario::Scenario;
+use hpcqc_core::sim::FacilitySim;
+use hpcqc_core::strategy::Strategy;
+use hpcqc_metrics::report::{fmt_pct, fmt_secs, Table};
+use hpcqc_qpu::technology::Technology;
+use hpcqc_workload::campaign::Workload;
+
+/// E4 configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Classical nodes (enough that nodes are never the bottleneck).
+    pub nodes: u32,
+    /// Hybrid tenants sharing the QPU.
+    pub tenants: u32,
+    /// VQPU counts to sweep.
+    pub vqpus: Vec<u32>,
+    /// Iterations per tenant loop.
+    pub iterations: u32,
+    /// Classical seconds per iteration (count-sweep part).
+    pub classical_secs: u64,
+    /// Shots per kernel.
+    pub shots: u32,
+    /// Classical-prep durations for the caveat sweep, seconds.
+    pub caveat_prep_secs: Vec<u64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Fast preset.
+    pub fn quick() -> Self {
+        Config {
+            nodes: 32,
+            tenants: 6,
+            vqpus: vec![1, 2, 6],
+            iterations: 8,
+            classical_secs: 120,
+            shots: 1_000,
+            caveat_prep_secs: vec![2, 120],
+            seed: 42,
+        }
+    }
+
+    /// Full sweep.
+    pub fn full() -> Self {
+        Config {
+            nodes: 64,
+            tenants: 8,
+            vqpus: vec![1, 2, 4, 8],
+            iterations: 12,
+            classical_secs: 120,
+            shots: 1_000,
+            caveat_prep_secs: vec![2, 10, 30, 120, 600],
+            seed: 42,
+        }
+    }
+}
+
+/// One row of the VQPU-count sweep.
+#[derive(Debug, Clone)]
+pub struct CountRow {
+    /// VQPUs configured on the physical device.
+    pub vqpus: u32,
+    /// Mean job queue wait (waiting for a token), seconds.
+    pub mean_job_wait: f64,
+    /// Mean per-kernel interleaving delay, seconds.
+    pub mean_kernel_delay: f64,
+    /// Physical device utilization over the makespan.
+    pub device_utilization: f64,
+    /// Campaign makespan, seconds.
+    pub makespan: f64,
+}
+
+/// One row of the caveat sweep.
+#[derive(Debug, Clone)]
+pub struct CaveatRow {
+    /// Classical prep per iteration, seconds.
+    pub prep_secs: u64,
+    /// Mean kernel execution time, seconds (context for the ratio).
+    pub kernel_secs: f64,
+    /// Makespan under co-scheduling, seconds.
+    pub coschedule_makespan: f64,
+    /// Makespan under VQPU sharing, seconds.
+    pub vqpu_makespan: f64,
+    /// co-schedule / vqpu makespan (interleaving speedup).
+    pub speedup: f64,
+}
+
+/// E4 result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// VQPU-count sweep rows.
+    pub count_rows: Vec<CountRow>,
+    /// Caveat sweep rows.
+    pub caveat_rows: Vec<CaveatRow>,
+    /// Rendered count-sweep table.
+    pub count_table: Table,
+    /// Rendered caveat table.
+    pub caveat_table: Table,
+}
+
+/// Runs E4.
+///
+/// # Panics
+///
+/// Panics if a simulation fails (self-consistent configuration).
+pub fn run(config: &Config) -> Result {
+    // --- sweep 1: VQPU count ------------------------------------------------
+    let per_tenant_nodes = (config.nodes / config.tenants).max(1);
+    let jobs = tenant_jobs(
+        config.tenants,
+        per_tenant_nodes,
+        config.iterations,
+        config.classical_secs,
+        config.shots,
+    );
+    let workload = Workload::from_jobs(jobs);
+    let kernels_per_job = f64::from(config.iterations);
+
+    let count_rows: Vec<CountRow> = config
+        .vqpus
+        .iter()
+        .map(|&n| {
+            let scenario = Scenario::builder()
+                .classical_nodes(config.nodes)
+                .device(Technology::Superconducting)
+                .strategy(Strategy::Vqpu { vqpus: n })
+                .seed(config.seed)
+                .build();
+            let outcome = FacilitySim::run(&scenario, &workload).expect("E4 scenario is valid");
+            CountRow {
+                vqpus: n,
+                mean_job_wait: outcome.stats.mean_wait_secs(),
+                mean_kernel_delay: outcome.stats.mean_phase_wait_secs() / kernels_per_job,
+                device_utilization: outcome.mean_device_utilization(),
+                makespan: outcome.makespan.as_secs_f64(),
+            }
+        })
+        .collect();
+
+    // --- sweep 2: the interleaving caveat ------------------------------------
+    let caveat_rows: Vec<CaveatRow> = config
+        .caveat_prep_secs
+        .iter()
+        .map(|&prep| {
+            let jobs = tenant_jobs(4, per_tenant_nodes, config.iterations, prep, config.shots);
+            let workload = Workload::from_jobs(jobs);
+            let run_with = |strategy: Strategy| {
+                let scenario = Scenario::builder()
+                    .classical_nodes(config.nodes)
+                    .device(Technology::Superconducting)
+                    .strategy(strategy)
+                    .seed(config.seed)
+                    .build();
+                FacilitySim::run(&scenario, &workload).expect("E4 scenario is valid")
+            };
+            let cosched = run_with(Strategy::CoSchedule);
+            let vqpu = run_with(Strategy::Vqpu { vqpus: 4 });
+            let kernel_secs = {
+                let devices = &vqpu.devices;
+                let total: f64 = devices.iter().map(|d| d.busy_seconds).sum();
+                let tasks: u64 = devices.iter().map(|d| d.tasks).sum();
+                if tasks > 0 {
+                    total / tasks as f64
+                } else {
+                    0.0
+                }
+            };
+            let co = cosched.makespan.as_secs_f64();
+            let vq = vqpu.makespan.as_secs_f64();
+            CaveatRow {
+                prep_secs: prep,
+                kernel_secs,
+                coschedule_makespan: co,
+                vqpu_makespan: vq,
+                speedup: if vq > 0.0 { co / vq } else { f64::NAN },
+            }
+        })
+        .collect();
+
+    // --- tables ---------------------------------------------------------------
+    let mut count_table = Table::new(vec![
+        "VQPUs",
+        "mean job wait",
+        "mean kernel delay",
+        "device util",
+        "makespan",
+    ]);
+    for r in &count_rows {
+        count_table.row(vec![
+            r.vqpus.to_string(),
+            fmt_secs(r.mean_job_wait),
+            fmt_secs(r.mean_kernel_delay),
+            fmt_pct(r.device_utilization),
+            fmt_secs(r.makespan),
+        ]);
+    }
+    let mut caveat_table = Table::new(vec![
+        "classical prep",
+        "kernel time",
+        "co-sched makespan",
+        "vqpu makespan",
+        "interleaving speedup",
+    ]);
+    for r in &caveat_rows {
+        caveat_table.row(vec![
+            fmt_secs(r.prep_secs as f64),
+            fmt_secs(r.kernel_secs),
+            fmt_secs(r.coschedule_makespan),
+            fmt_secs(r.vqpu_makespan),
+            format!("{:.2}×", r.speedup),
+        ]);
+    }
+    Result { count_rows, caveat_rows, count_table, caveat_table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_vqpus_cut_job_waits_and_makespan() {
+        let result = run(&Config::quick());
+        let first = result.count_rows.first().unwrap(); // 1 VQPU
+        let last = result.count_rows.last().unwrap(); // = tenants
+        assert!(
+            last.mean_job_wait < first.mean_job_wait,
+            "job wait must fall with more VQPUs ({} vs {})",
+            first.mean_job_wait,
+            last.mean_job_wait
+        );
+        assert!(
+            last.makespan < first.makespan,
+            "makespan must fall with more VQPUs ({} vs {})",
+            first.makespan,
+            last.makespan
+        );
+    }
+
+    #[test]
+    fn kernel_delay_grows_but_stays_bounded() {
+        let result = run(&Config::quick());
+        let first = result.count_rows.first().unwrap();
+        let last = result.count_rows.last().unwrap();
+        assert!(
+            last.mean_kernel_delay >= first.mean_kernel_delay,
+            "co-tenancy must add interleaving delay"
+        );
+        // The paper's bound: delays limited by the co-tenant count. With n
+        // tenants interleaving kernels of mean t_k, a kernel waits at most
+        // (n−1)·t_k (plus jitter).
+        let kernel_mean = 2.2; // ≈ setup 2 s + 1000 × 200 µs
+        let bound = f64::from(last.vqpus - 1) * kernel_mean * 2.0;
+        assert!(
+            last.mean_kernel_delay <= bound,
+            "kernel delay {} exceeds the VQPU bound {}",
+            last.mean_kernel_delay,
+            bound
+        );
+    }
+
+    #[test]
+    fn interleaving_gains_collapse_when_quantum_dominates() {
+        let result = run(&Config::quick());
+        let short_prep = result.caveat_rows.first().unwrap(); // prep ≪ kernel
+        let long_prep = result.caveat_rows.last().unwrap(); // prep ≫ kernel
+        assert!(
+            long_prep.speedup > short_prep.speedup,
+            "speedup must grow with classical share ({:.2} vs {:.2})",
+            short_prep.speedup,
+            long_prep.speedup
+        );
+        // When the QPU saturates, interleaving's speedup is capped at
+        // (t_c + t_q)/t_q regardless of tenant count — with prep ≈ kernel
+        // that is ≈ 2×, far under the tenant-count-bound 4× of the
+        // classical-dominated regime.
+        assert!(
+            short_prep.speedup < 2.2,
+            "with quantum-dominated phases the gain must be capped near (t_c+t_q)/t_q, got {:.2}×",
+            short_prep.speedup
+        );
+        assert!(
+            long_prep.speedup > 2.5,
+            "with classical-dominated phases interleaving should approach the tenant bound, got {:.2}×",
+            long_prep.speedup
+        );
+    }
+
+    #[test]
+    fn device_utilization_rises_with_sharing() {
+        let result = run(&Config::quick());
+        let first = result.count_rows.first().unwrap();
+        let last = result.count_rows.last().unwrap();
+        assert!(last.device_utilization >= first.device_utilization * 0.99);
+    }
+}

@@ -1,0 +1,237 @@
+//! **E5 — Fig. 4**: malleability — release idle nodes during quantum
+//! phases, resume fast, stay one job.
+//!
+//! A neutral-atom facility (long quantum phases ⇒ the imbalance points at
+//! the classical side) runs hybrid jobs alongside classical background
+//! load. Under co-scheduling the hybrid jobs' nodes idle through every
+//! half-hour quantum phase; as workflows they re-queue per step; malleable
+//! jobs shrink to `min_nodes` and re-expand best-effort. The experiment
+//! compares all four strategies on waste, hybrid turnaround and the
+//! background jobs' queue waits (the beneficiaries of the released nodes).
+
+use crate::workloads::{background_jobs, vqe_job};
+use hpcqc_core::scenario::Scenario;
+use hpcqc_core::sim::FacilitySim;
+use hpcqc_core::strategy::Strategy;
+use hpcqc_metrics::report::{fmt_pct, fmt_secs, Table};
+use hpcqc_qpu::technology::Technology;
+use hpcqc_simcore::time::{SimDuration, SimTime};
+use hpcqc_workload::campaign::Workload;
+
+/// E5 configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Classical nodes.
+    pub nodes: u32,
+    /// Hybrid jobs.
+    pub hybrid_jobs: u32,
+    /// Nodes per hybrid job.
+    pub hybrid_nodes: u32,
+    /// Iterations per hybrid job.
+    pub iterations: u32,
+    /// Classical seconds per iteration.
+    pub classical_secs: u64,
+    /// Background classical jobs.
+    pub background: usize,
+    /// Background arrivals per hour.
+    pub background_per_hour: f64,
+    /// QPU technology (neutral atoms by default — the Fig. 4 regime).
+    pub technology: Technology,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Fast preset.
+    pub fn quick() -> Self {
+        Config {
+            nodes: 32,
+            hybrid_jobs: 2,
+            hybrid_nodes: 12,
+            iterations: 2,
+            classical_secs: 600,
+            background: 16,
+            background_per_hour: 6.0,
+            technology: Technology::NeutralAtom,
+            seed: 42,
+        }
+    }
+
+    /// Full preset.
+    pub fn full() -> Self {
+        Config {
+            nodes: 64,
+            hybrid_jobs: 4,
+            hybrid_nodes: 16,
+            iterations: 3,
+            classical_secs: 600,
+            background: 48,
+            background_per_hour: 10.0,
+            technology: Technology::NeutralAtom,
+            seed: 42,
+        }
+    }
+}
+
+/// One row (one strategy) of the E5 table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The strategy.
+    pub strategy: Strategy,
+    /// Mean hybrid turnaround, seconds.
+    pub hybrid_turnaround: f64,
+    /// Node-hours the hybrid jobs held allocated but idle.
+    pub hybrid_node_hours_wasted: f64,
+    /// Mean background-job queue wait, seconds.
+    pub background_wait: f64,
+    /// Facility makespan, seconds.
+    pub makespan: f64,
+    /// Classical-node productive fraction over the campaign.
+    pub node_used_fraction: f64,
+}
+
+/// E5 result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// One row per strategy.
+    pub rows: Vec<Row>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Runs E5.
+///
+/// # Panics
+///
+/// Panics if a simulation fails (self-consistent configuration).
+pub fn run(config: &Config) -> Result {
+    let mut jobs = background_jobs(
+        config.background,
+        2,
+        8,
+        1_200.0,
+        config.background_per_hour,
+        config.seed,
+    );
+    for i in 0..config.hybrid_jobs {
+        jobs.push(vqe_job(
+            &format!("hyb-{i}"),
+            config.hybrid_nodes,
+            config.iterations,
+            config.classical_secs,
+            1_000,
+            SimTime::from_secs(600 + u64::from(i) * 300),
+            SimDuration::from_hours(24),
+        ));
+    }
+    let workload = Workload::from_jobs(jobs);
+
+    let strategies = vec![
+        Strategy::CoSchedule,
+        Strategy::Workflow,
+        Strategy::Vqpu { vqpus: 4 },
+        Strategy::Malleable { min_nodes: 1 },
+    ];
+    let rows: Vec<Row> = strategies
+        .into_iter()
+        .map(|strategy| {
+            let scenario = Scenario::builder()
+                .classical_nodes(config.nodes)
+                .device(config.technology)
+                .strategy(strategy)
+                .seed(config.seed)
+                .build();
+            let outcome = FacilitySim::run(&scenario, &workload).expect("E5 scenario is valid");
+            let hybrid = outcome.stats.hybrid_only();
+            let classical = outcome.stats.classical_only();
+            Row {
+                strategy,
+                hybrid_turnaround: hybrid.mean_turnaround_secs(),
+                hybrid_node_hours_wasted: hybrid.total_node_hours_wasted(),
+                background_wait: classical.mean_wait_secs(),
+                makespan: outcome.makespan.as_secs_f64(),
+                node_used_fraction: outcome.node_waste.used_fraction,
+            }
+        })
+        .collect();
+
+    let mut table = Table::new(vec![
+        "strategy",
+        "hybrid turnaround",
+        "hybrid node-h wasted",
+        "background wait",
+        "makespan",
+        "nodes productive",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.strategy.to_string(),
+            fmt_secs(r.hybrid_turnaround),
+            format!("{:.2}", r.hybrid_node_hours_wasted),
+            fmt_secs(r.background_wait),
+            fmt_secs(r.makespan),
+            fmt_pct(r.node_used_fraction),
+        ]);
+    }
+    Result { rows, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(result: &Result, pred: impl Fn(&Strategy) -> bool) -> &Row {
+        result.rows.iter().find(|r| pred(&r.strategy)).unwrap()
+    }
+
+    #[test]
+    fn malleability_slashes_hybrid_node_waste() {
+        let result = run(&Config::quick());
+        let cosched = row(&result, |s| matches!(s, Strategy::CoSchedule));
+        let malleable = row(&result, |s| matches!(s, Strategy::Malleable { .. }));
+        assert!(
+            malleable.hybrid_node_hours_wasted < 0.5 * cosched.hybrid_node_hours_wasted,
+            "malleable waste {:.2} must be well under co-schedule's {:.2}",
+            malleable.hybrid_node_hours_wasted,
+            cosched.hybrid_node_hours_wasted
+        );
+    }
+
+    #[test]
+    fn released_nodes_help_background_jobs() {
+        let result = run(&Config::quick());
+        let cosched = row(&result, |s| matches!(s, Strategy::CoSchedule));
+        let malleable = row(&result, |s| matches!(s, Strategy::Malleable { .. }));
+        assert!(
+            malleable.background_wait <= cosched.background_wait,
+            "malleability must not worsen background waits ({} vs {})",
+            malleable.background_wait,
+            cosched.background_wait
+        );
+    }
+
+    #[test]
+    fn malleable_avoids_workflow_requeueing() {
+        // Fig. 4's pitch: "a single job rather than a sequence of tasks,
+        // avoiding repeated queuing" — so hybrid turnaround under
+        // malleability must not exceed the workflow's.
+        let result = run(&Config::quick());
+        let workflow = row(&result, |s| matches!(s, Strategy::Workflow));
+        let malleable = row(&result, |s| matches!(s, Strategy::Malleable { .. }));
+        assert!(
+            malleable.hybrid_turnaround <= workflow.hybrid_turnaround * 1.05,
+            "malleable {:.0}s vs workflow {:.0}s",
+            malleable.hybrid_turnaround,
+            workflow.hybrid_turnaround
+        );
+    }
+
+    #[test]
+    fn every_strategy_completes_the_campaign() {
+        let result = run(&Config::quick());
+        for r in &result.rows {
+            assert!(r.makespan > 0.0);
+            assert!(r.node_used_fraction > 0.0);
+        }
+    }
+}

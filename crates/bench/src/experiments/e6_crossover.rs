@@ -1,0 +1,263 @@
+//! **E6 — §4's complementarity claim**: which strategy wins where.
+//!
+//! The paper proposes three strategies *because* no single one dominates:
+//! the winner depends on the quantum technology's time scale and the
+//! facility's queue pressure. The experiment sweeps the grid
+//! (technology × background load), runs all four strategies on each cell,
+//! and reports the winner by two criteria: combined machine utilization
+//! and hybrid-job turnaround.
+
+use crate::workloads::{background_jobs, vqe_job};
+use hpcqc_core::scenario::Scenario;
+use hpcqc_core::sim::FacilitySim;
+use hpcqc_core::strategy::Strategy;
+use hpcqc_metrics::report::Table;
+use hpcqc_qpu::technology::Technology;
+use hpcqc_simcore::time::{SimDuration, SimTime};
+use hpcqc_workload::campaign::Workload;
+
+/// E6 configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Classical nodes.
+    pub nodes: u32,
+    /// Technologies forming the quantum-time-scale axis.
+    pub technologies: Vec<Technology>,
+    /// Background arrival rates per hour forming the load axis.
+    pub loads_per_hour: Vec<f64>,
+    /// Hybrid jobs per cell.
+    pub hybrid_jobs: u32,
+    /// Iterations per hybrid job.
+    pub iterations: u32,
+    /// Classical seconds per iteration.
+    pub classical_secs: u64,
+    /// Background jobs per cell.
+    pub background: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Fast preset (2×2 grid).
+    pub fn quick() -> Self {
+        Config {
+            nodes: 32,
+            technologies: vec![Technology::Superconducting, Technology::NeutralAtom],
+            loads_per_hour: vec![3.0, 9.0],
+            hybrid_jobs: 3,
+            iterations: 4,
+            classical_secs: 300,
+            background: 12,
+            seed: 42,
+        }
+    }
+
+    /// Full grid.
+    pub fn full() -> Self {
+        Config {
+            nodes: 32,
+            technologies: vec![
+                Technology::Superconducting,
+                Technology::SpinQubit,
+                Technology::TrappedIon,
+                Technology::NeutralAtom,
+            ],
+            loads_per_hour: vec![3.0, 6.0, 9.0],
+            hybrid_jobs: 4,
+            iterations: 5,
+            classical_secs: 300,
+            background: 24,
+            seed: 42,
+        }
+    }
+}
+
+/// One cell of the crossover grid.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Quantum technology of the cell.
+    pub technology: Technology,
+    /// Background load (arrivals per hour).
+    pub load_per_hour: f64,
+    /// `(strategy, combined_utilization, hybrid_turnaround_secs)` for all four.
+    pub entries: Vec<(Strategy, f64, f64)>,
+    /// Winner by combined utilization.
+    pub utilization_winner: Strategy,
+    /// Winner by hybrid turnaround (lower is better).
+    pub turnaround_winner: Strategy,
+}
+
+/// E6 result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// All grid cells.
+    pub cells: Vec<Cell>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Runs E6.
+///
+/// # Panics
+///
+/// Panics if a simulation fails (self-consistent configuration).
+pub fn run(config: &Config) -> Result {
+    let strategies = vec![
+        Strategy::CoSchedule,
+        Strategy::Workflow,
+        Strategy::Vqpu { vqpus: 4 },
+        Strategy::Malleable { min_nodes: 1 },
+    ];
+    let mut cells = Vec::new();
+    for &tech in &config.technologies {
+        for &load in &config.loads_per_hour {
+            let mut jobs = background_jobs(config.background, 2, 8, 1_500.0, load, config.seed);
+            for i in 0..config.hybrid_jobs {
+                jobs.push(vqe_job(
+                    &format!("hyb-{i}"),
+                    6,
+                    config.iterations,
+                    config.classical_secs,
+                    1_000,
+                    SimTime::from_secs(600 + u64::from(i) * 300),
+                    SimDuration::from_hours(48),
+                ));
+            }
+            let workload = Workload::from_jobs(jobs);
+            let entries: Vec<(Strategy, f64, f64)> = strategies
+                .iter()
+                .map(|&strategy| {
+                    let scenario = Scenario::builder()
+                        .classical_nodes(config.nodes)
+                        .device(tech)
+                        .strategy(strategy)
+                        .seed(config.seed)
+                        .build();
+                    let outcome =
+                        FacilitySim::run(&scenario, &workload).expect("E6 scenario is valid");
+                    (
+                        strategy,
+                        outcome.combined_utilization(),
+                        outcome.stats.hybrid_only().mean_turnaround_secs(),
+                    )
+                })
+                .collect();
+            let utilization_winner = entries
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty")
+                .0;
+            let turnaround_winner = entries
+                .iter()
+                .min_by(|a, b| a.2.total_cmp(&b.2))
+                .expect("non-empty")
+                .0;
+            cells.push(Cell {
+                technology: tech,
+                load_per_hour: load,
+                entries,
+                utilization_winner,
+                turnaround_winner,
+            });
+        }
+    }
+
+    let mut table = Table::new(vec![
+        "technology",
+        "bg load /h",
+        "util winner",
+        "turnaround winner",
+        "co-sched util",
+        "best util",
+    ]);
+    for c in &cells {
+        let cosched_util = c
+            .entries
+            .iter()
+            .find(|(s, _, _)| matches!(s, Strategy::CoSchedule))
+            .map(|(_, u, _)| *u)
+            .unwrap_or(0.0);
+        let best_util =
+            c.entries.iter().map(|(_, u, _)| *u).fold(f64::NEG_INFINITY, f64::max);
+        table.row(vec![
+            c.technology.name().to_string(),
+            format!("{:.0}", c.load_per_hour),
+            c.utilization_winner.to_string(),
+            c.turnaround_winner.to_string(),
+            format!("{:.1}%", cosched_util * 100.0),
+            format!("{:.1}%", best_util * 100.0),
+        ]);
+    }
+    Result { cells, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coschedule_never_wins_utilization() {
+        // The paper's thesis: "simple co-scheduling with exclusive QPU
+        // access is inadequate for achieving optimal resource utilization".
+        let result = run(&Config::quick());
+        for cell in &result.cells {
+            assert!(
+                !matches!(cell.utilization_winner, Strategy::CoSchedule),
+                "co-scheduling won utilization at {} load {}",
+                cell.technology,
+                cell.load_per_hour
+            );
+        }
+    }
+
+    #[test]
+    fn sharing_beats_coscheduling_for_superconducting_turnaround() {
+        let result = run(&Config::quick());
+        for cell in result
+            .cells
+            .iter()
+            .filter(|c| c.technology == Technology::Superconducting)
+        {
+            let cosched = cell
+                .entries
+                .iter()
+                .find(|(s, _, _)| matches!(s, Strategy::CoSchedule))
+                .unwrap();
+            let vqpu = cell
+                .entries
+                .iter()
+                .find(|(s, _, _)| matches!(s, Strategy::Vqpu { .. }))
+                .unwrap();
+            assert!(
+                vqpu.2 <= cosched.2 * 1.2,
+                "vqpu turnaround {:.0}s should not trail co-scheduling's {:.0}s",
+                vqpu.2,
+                cosched.2
+            );
+        }
+    }
+
+    #[test]
+    fn winners_differ_across_the_grid() {
+        // Complementarity: no strategy sweeps every cell on both criteria.
+        let result = run(&Config::quick());
+        let util_winners: std::collections::HashSet<String> =
+            result.cells.iter().map(|c| c.utilization_winner.to_string()).collect();
+        let ta_winners: std::collections::HashSet<String> =
+            result.cells.iter().map(|c| c.turnaround_winner.to_string()).collect();
+        assert!(
+            util_winners.len() + ta_winners.len() > 2,
+            "a single strategy dominated everywhere — contradicts §4 ({util_winners:?}, {ta_winners:?})"
+        );
+    }
+
+    #[test]
+    fn grid_complete() {
+        let cfg = Config::quick();
+        let result = run(&cfg);
+        assert_eq!(result.cells.len(), cfg.technologies.len() * cfg.loads_per_hour.len());
+        for cell in &result.cells {
+            assert_eq!(cell.entries.len(), 4);
+        }
+    }
+}

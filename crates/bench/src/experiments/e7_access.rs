@@ -1,0 +1,161 @@
+//! **E7 — §3 "Access and allocation model"**: what the REST/cloud access
+//! path costs per kernel.
+//!
+//! The paper: current QPUs are reached through vendor REST APIs with
+//! internal queues — a model that "does not align with operational HPC
+//! environments". The experiment quantifies the misalignment: per
+//! technology, the per-kernel overhead of cloud access (submit RTT +
+//! vendor queue + polling) against the kernel's own execution time, and
+//! the same for an integrated on-prem path.
+
+use hpcqc_metrics::report::{fmt_pct, fmt_secs, Table};
+use hpcqc_qpu::remote::AccessMode;
+use hpcqc_qpu::technology::Technology;
+use hpcqc_simcore::rng::SimRng;
+
+/// E7 configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Shots per kernel.
+    pub shots: u32,
+    /// Monte-Carlo samples.
+    pub samples: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Fast preset.
+    pub fn quick() -> Self {
+        Config { shots: 1_000, samples: 300, seed: 42 }
+    }
+
+    /// Full preset.
+    pub fn full() -> Self {
+        Config { shots: 1_000, samples: 5_000, seed: 42 }
+    }
+}
+
+/// One row of the E7 table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The technology.
+    pub technology: Technology,
+    /// Mean kernel execution time, seconds.
+    pub kernel_secs: f64,
+    /// Mean integrated-path overhead, seconds.
+    pub integrated_overhead: f64,
+    /// Mean cloud-path overhead, seconds.
+    pub cloud_overhead: f64,
+    /// Cloud overhead share of total (overhead / (overhead + kernel)).
+    pub cloud_overhead_share: f64,
+}
+
+/// E7 result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// One row per technology.
+    pub rows: Vec<Row>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Runs E7.
+pub fn run(config: &Config) -> Result {
+    let root = SimRng::seed_from(config.seed);
+    let rows: Vec<Row> = Technology::ALL
+        .iter()
+        .map(|&tech| {
+            let mut rng = root.fork(tech.name());
+            let timing = tech.timing();
+            let integrated = AccessMode::integrated();
+            let cloud = AccessMode::cloud(tech);
+            let n = config.samples;
+            let (mut k_sum, mut i_sum, mut c_sum) = (0.0, 0.0, 0.0);
+            for _ in 0..n {
+                k_sum += timing.sample_job_secs(config.shots, &mut rng);
+                i_sum += integrated.sample_overhead(&mut rng).as_secs_f64();
+                c_sum += cloud.sample_overhead(&mut rng).as_secs_f64();
+            }
+            let kernel_secs = k_sum / f64::from(n);
+            let integrated_overhead = i_sum / f64::from(n);
+            let cloud_overhead = c_sum / f64::from(n);
+            Row {
+                technology: tech,
+                kernel_secs,
+                integrated_overhead,
+                cloud_overhead,
+                cloud_overhead_share: cloud_overhead / (cloud_overhead + kernel_secs),
+            }
+        })
+        .collect();
+
+    let mut table = Table::new(vec![
+        "technology",
+        "kernel time",
+        "integrated overhead",
+        "cloud overhead",
+        "cloud overhead share",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.technology.name().to_string(),
+            fmt_secs(r.kernel_secs),
+            fmt_secs(r.integrated_overhead),
+            fmt_secs(r.cloud_overhead),
+            fmt_pct(r.cloud_overhead_share),
+        ]);
+    }
+    Result { rows, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(result: &Result, tech: Technology) -> &Row {
+        result.rows.iter().find(|r| r.technology == tech).unwrap()
+    }
+
+    #[test]
+    fn cloud_overhead_dominates_short_kernels() {
+        let result = run(&Config::quick());
+        let sc = row(&result, Technology::Superconducting);
+        assert!(
+            sc.cloud_overhead_share > 0.5,
+            "cloud overhead must dominate ~10 s superconducting kernels, share {:.2}",
+            sc.cloud_overhead_share
+        );
+    }
+
+    #[test]
+    fn cloud_overhead_negligible_for_neutral_atoms() {
+        let result = run(&Config::quick());
+        let na = row(&result, Technology::NeutralAtom);
+        assert!(
+            na.cloud_overhead_share < 0.4,
+            "half-hour neutral-atom jobs must dwarf the access path, share {:.2}",
+            na.cloud_overhead_share
+        );
+    }
+
+    #[test]
+    fn integrated_path_is_orders_cheaper() {
+        for r in &run(&Config::quick()).rows {
+            assert!(
+                r.cloud_overhead / r.integrated_overhead.max(1e-9) > 100.0,
+                "{}: cloud {} vs integrated {}",
+                r.technology,
+                r.cloud_overhead,
+                r.integrated_overhead
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(&Config::quick());
+        let b = run(&Config::quick());
+        assert_eq!(a.table.rows(), b.table.rows());
+    }
+}

@@ -1,0 +1,33 @@
+//! One module per paper artifact. Each exposes a `Config` (with `quick()`
+//! and `full()` presets), a structured result, and a `run` returning both
+//! the raw rows and a rendered [`hpcqc_metrics::report::Table`].
+//!
+//! | module | paper artifact | claim quantified |
+//! |--------|----------------|------------------|
+//! | [`e1_timescales`] | Fig. 1 | per-technology shot/job time scales |
+//! | [`e2_coschedule`] | Listing 1 + §3 | exclusive co-scheduling wastes one side |
+//! | [`e3_workflow`] | Fig. 2 | workflow queue overhead vs step duration |
+//! | [`e4_vqpu`] | Fig. 3 | VQPU multitenancy: bounded delay, higher utilization |
+//! | [`e5_malleable`] | Fig. 4 | malleability: waste ↓ without per-step queueing |
+//! | [`e6_crossover`] | §4 matrix | which strategy wins where |
+//! | [`e7_access`] | §3 access model | REST/cloud overhead vs kernel time |
+
+//!
+//! Three ablations probe the design choices DESIGN.md calls out:
+//!
+//! | module | ablation |
+//! |--------|----------|
+//! | [`a1_policy`] | FCFS vs EASY vs conservative backfill, per strategy |
+//! | [`a2_walltime`] | walltime-request accuracy under kill-and-requeue |
+//! | [`a3_minnodes`] | the malleable retention floor |
+
+pub mod a1_policy;
+pub mod a2_walltime;
+pub mod a3_minnodes;
+pub mod e1_timescales;
+pub mod e2_coschedule;
+pub mod e3_workflow;
+pub mod e4_vqpu;
+pub mod e5_malleable;
+pub mod e6_crossover;
+pub mod e7_access;

@@ -1,0 +1,223 @@
+//! Allocation requests and live allocation records.
+//!
+//! A request is a list of *groups*, one per partition touched — the shape of
+//! a SLURM heterogeneous job (`#SBATCH hetjob`). All groups of a request are
+//! granted or denied **atomically**, which is exactly the co-scheduling
+//! semantics the paper's Listing 1 relies on.
+
+use crate::gres::GresKind;
+use crate::ids::{AllocationId, NodeId};
+use hpcqc_simcore::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Resources requested within one partition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupRequest {
+    /// Target partition name.
+    pub partition: String,
+    /// Whole nodes requested (may be 0 for gres-only groups).
+    pub nodes: u32,
+    /// Gres units requested, e.g. `[("qpu", 1)]`.
+    pub gres: Vec<(GresKind, u32)>,
+}
+
+impl GroupRequest {
+    /// A nodes-only group.
+    pub fn nodes(partition: impl Into<String>, nodes: u32) -> Self {
+        GroupRequest { partition: partition.into(), nodes, gres: Vec::new() }
+    }
+
+    /// A gres-only group (e.g. `--gres=qpu:1` with no dedicated nodes).
+    pub fn gres(partition: impl Into<String>, kind: GresKind, count: u32) -> Self {
+        GroupRequest { partition: partition.into(), nodes: 0, gres: vec![(kind, count)] }
+    }
+
+    /// Adds a gres demand to this group.
+    pub fn with_gres(mut self, kind: GresKind, count: u32) -> Self {
+        self.gres.push((kind, count));
+        self
+    }
+
+    /// `true` if the group asks for nothing.
+    pub fn is_empty(&self) -> bool {
+        self.nodes == 0 && self.gres.iter().all(|(_, n)| *n == 0)
+    }
+}
+
+/// An atomic multi-partition allocation request (heterogeneous job shape).
+///
+/// # Examples
+///
+/// ```
+/// use hpcqc_cluster::alloc::{AllocRequest, GroupRequest};
+/// use hpcqc_cluster::gres::GresKind;
+///
+/// // Listing 1 of the paper: 10 classical nodes + 1 QPU.
+/// let req = AllocRequest::new()
+///     .group(GroupRequest::nodes("classical", 10))
+///     .group(GroupRequest::gres("quantum", GresKind::qpu(), 1));
+/// assert_eq!(req.groups().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AllocRequest {
+    groups: Vec<GroupRequest>,
+}
+
+impl AllocRequest {
+    /// Creates an empty request; add groups with [`AllocRequest::group`].
+    pub fn new() -> Self {
+        AllocRequest::default()
+    }
+
+    /// Appends a group.
+    pub fn group(mut self, group: GroupRequest) -> Self {
+        self.groups.push(group);
+        self
+    }
+
+    /// The request's groups.
+    pub fn groups(&self) -> &[GroupRequest] {
+        &self.groups
+    }
+
+    /// Total nodes requested across all groups.
+    pub fn total_nodes(&self) -> u32 {
+        self.groups.iter().map(|g| g.nodes).sum()
+    }
+
+    /// Total units of `kind` requested across all groups.
+    pub fn total_gres(&self, kind: &GresKind) -> u32 {
+        self.groups
+            .iter()
+            .flat_map(|g| g.gres.iter())
+            .filter(|(k, _)| k == kind)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// `true` if every group asks for nothing.
+    pub fn is_empty(&self) -> bool {
+        self.groups.iter().all(GroupRequest::is_empty)
+    }
+}
+
+/// Resources actually granted within one partition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocatedGroup {
+    /// The partition the resources came from.
+    pub partition: String,
+    /// The specific nodes granted.
+    pub nodes: Vec<NodeId>,
+    /// The specific gres units granted, per kind.
+    pub gres: Vec<(GresKind, Vec<u32>)>,
+}
+
+/// A live allocation: the concrete resources backing a running job.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allocation {
+    id: AllocationId,
+    groups: Vec<AllocatedGroup>,
+    granted_at: SimTime,
+}
+
+impl Allocation {
+    pub(crate) fn new(id: AllocationId, groups: Vec<AllocatedGroup>, granted_at: SimTime) -> Self {
+        Allocation { id, groups, granted_at }
+    }
+
+    /// The allocation's id.
+    pub fn id(&self) -> AllocationId {
+        self.id
+    }
+
+    /// When the allocation was granted.
+    pub fn granted_at(&self) -> SimTime {
+        self.granted_at
+    }
+
+    /// The granted groups.
+    pub fn groups(&self) -> &[AllocatedGroup] {
+        &self.groups
+    }
+
+    /// All node ids across groups.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.groups.iter().flat_map(|g| g.nodes.iter().copied())
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.groups.iter().map(|g| g.nodes.len()).sum()
+    }
+
+    /// All granted units of `kind`, with their partition of origin.
+    pub fn gres_units(&self, kind: &GresKind) -> Vec<(String, u32)> {
+        self.groups
+            .iter()
+            .flat_map(|g| {
+                g.gres
+                    .iter()
+                    .filter(|(k, _)| k == kind)
+                    .flat_map(|(_, units)| units.iter().map(|u| (g.partition.clone(), *u)))
+            })
+            .collect()
+    }
+
+    pub(crate) fn groups_mut(&mut self) -> &mut Vec<AllocatedGroup> {
+        &mut self.groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_totals() {
+        let req = AllocRequest::new()
+            .group(GroupRequest::nodes("classical", 10))
+            .group(GroupRequest::gres("quantum", GresKind::qpu(), 2));
+        assert_eq!(req.total_nodes(), 10);
+        assert_eq!(req.total_gres(&GresKind::qpu()), 2);
+        assert_eq!(req.total_gres(&GresKind::new("fpga")), 0);
+        assert!(!req.is_empty());
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(AllocRequest::new().is_empty());
+        let req = AllocRequest::new().group(GroupRequest::nodes("x", 0));
+        assert!(req.is_empty());
+    }
+
+    #[test]
+    fn group_builders() {
+        let g = GroupRequest::nodes("classical", 4).with_gres(GresKind::new("gpu"), 8);
+        assert_eq!(g.nodes, 4);
+        assert_eq!(g.gres, vec![(GresKind::new("gpu"), 8)]);
+    }
+
+    #[test]
+    fn allocation_accessors() {
+        let alloc = Allocation::new(
+            AllocationId::new(1),
+            vec![
+                AllocatedGroup {
+                    partition: "classical".into(),
+                    nodes: vec![NodeId::new(0), NodeId::new(1)],
+                    gres: vec![],
+                },
+                AllocatedGroup {
+                    partition: "quantum".into(),
+                    nodes: vec![],
+                    gres: vec![(GresKind::qpu(), vec![0])],
+                },
+            ],
+            SimTime::from_secs(5),
+        );
+        assert_eq!(alloc.node_count(), 2);
+        assert_eq!(alloc.gres_units(&GresKind::qpu()), vec![("quantum".to_string(), 0)]);
+        assert_eq!(alloc.node_ids().count(), 2);
+        assert_eq!(alloc.granted_at(), SimTime::from_secs(5));
+    }
+}

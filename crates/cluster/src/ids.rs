@@ -1,0 +1,85 @@
+//! Typed identifiers for cluster entities.
+//!
+//! Newtypes keep node, partition and allocation ids from being confused with
+//! each other or with bare integers (C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Wraps a raw index.
+            pub const fn new(raw: u32) -> Self {
+                $name(raw)
+            }
+
+            /// The raw index.
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                $name(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a compute node within a [`crate::Cluster`].
+    NodeId,
+    "node"
+);
+
+id_type!(
+    /// Identifies a partition (a named group of nodes with shared limits).
+    PartitionId,
+    "part"
+);
+
+id_type!(
+    /// Identifies a live resource allocation handed out by the cluster.
+    AllocationId,
+    "alloc"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_has_prefix() {
+        assert_eq!(NodeId::new(3).to_string(), "node3");
+        assert_eq!(PartitionId::new(0).to_string(), "part0");
+        assert_eq!(AllocationId::new(17).to_string(), "alloc17");
+    }
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::from(5).raw(), 5);
+    }
+
+    #[test]
+    fn ids_are_hashable_keys() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(NodeId::new(1), "a");
+        assert_eq!(m[&NodeId::new(1)], "a");
+    }
+}

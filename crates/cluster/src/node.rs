@@ -1,0 +1,132 @@
+//! Compute-node model.
+//!
+//! Allocation granularity is whole nodes — the norm for MPI batch jobs on
+//! production systems, and the granularity of the paper's Listing 1
+//! (`--nodes 10`). Core/memory shapes are carried for workload realism and
+//! node-selection constraints, not for sub-node packing.
+
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Availability state of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeState {
+    /// In service and schedulable.
+    Up,
+    /// Administratively removed from scheduling (kept for running jobs).
+    Drained,
+    /// Failed; not schedulable and running work is lost.
+    Down,
+}
+
+impl fmt::Display for NodeState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeState::Up => "up",
+            NodeState::Drained => "drained",
+            NodeState::Down => "down",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Hardware shape of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeShape {
+    /// Physical cores.
+    pub cores: u32,
+    /// Memory in GiB.
+    pub memory_gib: u32,
+    /// Attached GPUs (classical accelerators, not QPUs).
+    pub gpus: u32,
+}
+
+impl NodeShape {
+    /// A common CPU-only HPC node shape (64 cores, 256 GiB).
+    pub const fn cpu64() -> Self {
+        NodeShape { cores: 64, memory_gib: 256, gpus: 0 }
+    }
+
+    /// A GPU node shape (64 cores, 512 GiB, 4 GPUs).
+    pub const fn gpu4() -> Self {
+        NodeShape { cores: 64, memory_gib: 512, gpus: 4 }
+    }
+}
+
+impl Default for NodeShape {
+    fn default() -> Self {
+        NodeShape::cpu64()
+    }
+}
+
+/// A compute node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    id: NodeId,
+    shape: NodeShape,
+    state: NodeState,
+}
+
+impl Node {
+    /// Creates an `Up` node with the given id and shape.
+    pub fn new(id: NodeId, shape: NodeShape) -> Self {
+        Node { id, shape, state: NodeState::Up }
+    }
+
+    /// The node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's hardware shape.
+    pub fn shape(&self) -> NodeShape {
+        self.shape
+    }
+
+    /// Current availability state.
+    pub fn state(&self) -> NodeState {
+        self.state
+    }
+
+    /// `true` if new work may be placed on this node.
+    pub fn is_schedulable(&self) -> bool {
+        self.state == NodeState::Up
+    }
+
+    /// Sets the availability state (failure injection / maintenance).
+    pub fn set_state(&mut self, state: NodeState) {
+        self.state = state;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_node_is_up() {
+        let n = Node::new(NodeId::new(0), NodeShape::cpu64());
+        assert!(n.is_schedulable());
+        assert_eq!(n.state(), NodeState::Up);
+        assert_eq!(n.shape().cores, 64);
+    }
+
+    #[test]
+    fn drained_and_down_not_schedulable() {
+        let mut n = Node::new(NodeId::new(1), NodeShape::default());
+        n.set_state(NodeState::Drained);
+        assert!(!n.is_schedulable());
+        n.set_state(NodeState::Down);
+        assert!(!n.is_schedulable());
+        n.set_state(NodeState::Up);
+        assert!(n.is_schedulable());
+    }
+
+    #[test]
+    fn state_display() {
+        assert_eq!(NodeState::Up.to_string(), "up");
+        assert_eq!(NodeState::Drained.to_string(), "drained");
+        assert_eq!(NodeState::Down.to_string(), "down");
+    }
+}

@@ -1,0 +1,55 @@
+//! # hpcqc-core
+//!
+//! The paper's contribution, executable: hybrid HPC–QC integration
+//! strategies and the facility simulator that evaluates them.
+//!
+//! *Assessing the Elephant in the Room in Scheduling for Current Hybrid
+//! HPC-QC Clusters* (DSN 2025) argues that naively attaching a QPU to a
+//! batch scheduler — the Listing-1 heterogeneous job — wastes whichever
+//! resource the workload leaves idle, and proposes three complementary
+//! remedies. This crate implements all four allocation disciplines over the
+//! same machine, scheduler and workload substrates:
+//!
+//! * [`Strategy::CoSchedule`] — the baseline to beat;
+//! * [`Strategy::Workflow`] — loosely-coupled steps (paper Fig. 2);
+//! * [`Strategy::Vqpu`] — temporal interleaving on virtual QPUs (Fig. 3);
+//! * [`Strategy::Malleable`] — shrink/expand around quantum phases (Fig. 4);
+//!
+//! plus the [`advisor`] that encodes §4's "which strategy when" guidance.
+//!
+//! ## Example
+//!
+//! ```
+//! use hpcqc_core::{FacilitySim, Scenario, Strategy};
+//! use hpcqc_qpu::Technology;
+//! use hpcqc_workload::{JobClass, Pattern, Workload};
+//! use hpcqc_qpu::Kernel;
+//!
+//! let workload = Workload::builder()
+//!     .class(JobClass::new("vqe", Pattern::vqe(10, 60.0, Kernel::sampling(1_000))))
+//!     .count(20)
+//!     .generate(42);
+//! let scenario = Scenario::builder()
+//!     .classical_nodes(32)
+//!     .device(Technology::Superconducting)
+//!     .strategy(Strategy::Vqpu { vqpus: 4 })
+//!     .build();
+//! let outcome = FacilitySim::run(&scenario, &workload)?;
+//! assert_eq!(outcome.stats.len(), 20);
+//! # Ok::<(), hpcqc_core::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod advisor;
+pub mod outcome;
+pub mod scenario;
+pub mod sim;
+pub mod strategy;
+
+pub use advisor::{estimate_queue_wait, recommend, Recommendation, WorkloadProfile};
+pub use outcome::{DeviceSummary, Outcome, WasteSummary};
+pub use scenario::{FailureModel, Scenario, ScenarioBuilder, WalltimePolicy};
+pub use sim::{run_strategies, FacilitySim, SimError};
+pub use strategy::Strategy;

@@ -1,0 +1,267 @@
+//! Scenario configuration: the machine + policy + strategy under test.
+
+use crate::strategy::Strategy;
+use hpcqc_qpu::remote::AccessMode;
+use hpcqc_qpu::technology::Technology;
+use hpcqc_sched::scheduler::Policy;
+use hpcqc_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// How requested walltimes are enforced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WalltimePolicy {
+    /// Walltimes are planning hints only (backfill reservations); jobs run
+    /// to completion regardless.
+    Advisory,
+    /// SLURM semantics: a job (or workflow step) exceeding its requested
+    /// walltime is killed and requeued up to `max_requeues` times; after
+    /// that it is recorded as failed.
+    Kill {
+        /// Automatic requeues granted before the job is recorded failed.
+        max_requeues: u32,
+    },
+}
+
+impl Default for WalltimePolicy {
+    fn default() -> Self {
+        WalltimePolicy::Advisory
+    }
+}
+
+/// Random node failures (failure injection for resilience experiments).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureModel {
+    /// Cluster-wide mean time between node failures, seconds.
+    pub mtbf: hpcqc_simcore::dist::Dist,
+    /// Node repair duration, seconds.
+    pub repair: hpcqc_simcore::dist::Dist,
+    /// How many times a job hit by failures is requeued before being
+    /// recorded failed.
+    pub max_requeues: u32,
+}
+
+impl FailureModel {
+    /// Exponential failures with the given cluster-wide MTBF and a
+    /// log-normal ~30 min repair, 3 requeues — a plausible ops profile.
+    pub fn exponential(mtbf_secs: f64) -> Self {
+        FailureModel {
+            mtbf: hpcqc_simcore::dist::Dist::exponential(mtbf_secs),
+            repair: hpcqc_simcore::dist::Dist::log_normal_mean_cv(1_800.0, 0.5)
+                .clamped(300.0, 14_400.0),
+            max_requeues: 3,
+        }
+    }
+}
+
+/// Everything the facility simulator needs besides the workload.
+///
+/// # Examples
+///
+/// ```
+/// use hpcqc_core::{Scenario, Strategy};
+/// use hpcqc_qpu::Technology;
+///
+/// let scenario = Scenario::builder()
+///     .classical_nodes(64)
+///     .device(Technology::Superconducting)
+///     .strategy(Strategy::Vqpu { vqpus: 4 })
+///     .seed(42)
+///     .build();
+/// assert_eq!(scenario.classical_nodes, 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Nodes in the `classical` partition.
+    pub classical_nodes: u32,
+    /// One entry per physical QPU device in the `quantum` partition.
+    pub devices: Vec<Technology>,
+    /// Batch-scheduler policy.
+    pub policy: Policy,
+    /// Integration strategy for hybrid jobs.
+    pub strategy: Strategy,
+    /// Root RNG seed (drives device timing, overheads, workloads do their own).
+    pub seed: u64,
+    /// Workflow-manager overhead added before each step submission
+    /// (Fig. 2's inter-step handling cost; queue wait comes on top).
+    pub workflow_overhead: SimDuration,
+    /// Whether devices run periodic recalibration windows.
+    pub device_calibration: bool,
+    /// Optional access-model overhead per kernel (None = negligible
+    /// on-prem path; used by experiment E7).
+    pub access: Option<AccessMode>,
+    /// Record a Gantt trace (costs memory; examples turn it on).
+    pub record_gantt: bool,
+    /// Walltime enforcement (advisory by default).
+    pub walltime_policy: WalltimePolicy,
+    /// Optional random node failures (none by default).
+    pub node_failures: Option<FailureModel>,
+}
+
+impl Scenario {
+    /// Starts building a scenario (defaults: 16 nodes, one superconducting
+    /// QPU, EASY backfill, co-scheduling, seed 1).
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder { inner: Scenario::default() }
+    }
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            classical_nodes: 16,
+            devices: vec![Technology::Superconducting],
+            policy: Policy::EasyBackfill,
+            strategy: Strategy::CoSchedule,
+            seed: 1,
+            workflow_overhead: SimDuration::from_secs(2),
+            device_calibration: false,
+            access: None,
+            record_gantt: false,
+            walltime_policy: WalltimePolicy::Advisory,
+            node_failures: None,
+        }
+    }
+}
+
+/// Builder for [`Scenario`].
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioBuilder {
+    inner: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// Sets the classical partition size.
+    pub fn classical_nodes(mut self, nodes: u32) -> Self {
+        self.inner.classical_nodes = nodes;
+        self
+    }
+
+    /// Replaces the device list with a single device.
+    pub fn device(mut self, technology: Technology) -> Self {
+        self.inner.devices = vec![technology];
+        self
+    }
+
+    /// Replaces the whole device list.
+    pub fn devices(mut self, technologies: Vec<Technology>) -> Self {
+        self.inner.devices = technologies;
+        self
+    }
+
+    /// Sets the scheduling policy.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.inner.policy = policy;
+        self
+    }
+
+    /// Sets the integration strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.inner.strategy = strategy;
+        self
+    }
+
+    /// Sets the root seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner.seed = seed;
+        self
+    }
+
+    /// Sets the per-step workflow-manager overhead.
+    pub fn workflow_overhead(mut self, overhead: SimDuration) -> Self {
+        self.inner.workflow_overhead = overhead;
+        self
+    }
+
+    /// Enables periodic device recalibration windows.
+    pub fn device_calibration(mut self, on: bool) -> Self {
+        self.inner.device_calibration = on;
+        self
+    }
+
+    /// Adds a per-kernel access-model overhead (E7).
+    pub fn access(mut self, access: AccessMode) -> Self {
+        self.inner.access = Some(access);
+        self
+    }
+
+    /// Enables Gantt recording.
+    pub fn record_gantt(mut self, on: bool) -> Self {
+        self.inner.record_gantt = on;
+        self
+    }
+
+    /// Sets the walltime-enforcement policy.
+    pub fn walltime_policy(mut self, policy: WalltimePolicy) -> Self {
+        self.inner.walltime_policy = policy;
+        self
+    }
+
+    /// Enables random node failures.
+    pub fn node_failures(mut self, model: FailureModel) -> Self {
+        self.inner.node_failures = Some(model);
+        self
+    }
+
+    /// Finalizes the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are zero classical nodes or zero devices.
+    pub fn build(self) -> Scenario {
+        assert!(self.inner.classical_nodes > 0, "scenario needs classical nodes");
+        assert!(!self.inner.devices.is_empty(), "scenario needs at least one QPU device");
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let s = Scenario::builder().build();
+        assert_eq!(s.classical_nodes, 16);
+        assert_eq!(s.devices, vec![Technology::Superconducting]);
+        assert_eq!(s.policy, Policy::EasyBackfill);
+        assert_eq!(s.strategy, Strategy::CoSchedule);
+        assert!(!s.record_gantt);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let s = Scenario::builder()
+            .classical_nodes(128)
+            .devices(vec![Technology::NeutralAtom, Technology::TrappedIon])
+            .policy(Policy::Fcfs)
+            .strategy(Strategy::Malleable { min_nodes: 2 })
+            .seed(99)
+            .device_calibration(true)
+            .record_gantt(true)
+            .build();
+        assert_eq!(s.devices.len(), 2);
+        assert_eq!(s.seed, 99);
+        assert!(s.device_calibration);
+    }
+
+    #[test]
+    fn walltime_policy_configurable() {
+        let s = Scenario::builder()
+            .walltime_policy(WalltimePolicy::Kill { max_requeues: 2 })
+            .build();
+        assert_eq!(s.walltime_policy, WalltimePolicy::Kill { max_requeues: 2 });
+        assert_eq!(Scenario::default().walltime_policy, WalltimePolicy::Advisory);
+    }
+
+    #[test]
+    #[should_panic(expected = "classical nodes")]
+    fn zero_nodes_panics() {
+        let _ = Scenario::builder().classical_nodes(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "QPU device")]
+    fn zero_devices_panics() {
+        let _ = Scenario::builder().devices(vec![]).build();
+    }
+}

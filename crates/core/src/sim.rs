@@ -1,0 +1,1433 @@
+//! The facility simulator: a hybrid HPC–QC machine executing a workload
+//! under one of the paper's integration strategies.
+//!
+//! [`FacilitySim::run`] wires together every substrate crate: the
+//! [`Cluster`] machine model, the [`BatchScheduler`], the [`QpuDevice`]s
+//! and the metrics trackers, then drives a deterministic event loop until
+//! the workload drains. The same seeded workload can be replayed under all
+//! four strategies, which is how every experiment isolates the strategy
+//! effect.
+//!
+//! ## Per-strategy semantics (paper §4)
+//!
+//! * **Co-scheduling** (Listing 1): the job's heterogeneous allocation
+//!   (nodes + exclusive QPU gres) is held from first to last phase.
+//! * **Workflows** (Fig. 2): each phase is submitted as its own batch job
+//!   when the previous one completes (plus a workflow-manager overhead);
+//!   classical steps hold only nodes, quantum steps only the QPU gres.
+//! * **Virtual QPUs** (Fig. 3): nodes are held like co-scheduling, but the
+//!   QPU gres is a *virtual* token — kernels funnel into the shared
+//!   physical device FIFO, so the interleaving delay is bounded by the
+//!   co-tenant count.
+//! * **Malleability** (Fig. 4): the job holds only nodes; entering a
+//!   quantum phase it shrinks to `min_nodes`, and afterwards re-expands
+//!   *best-effort* — if the machine is busy it continues on fewer nodes
+//!   with the classical phase stretched by the linear-speedup factor
+//!   (the paper: "continue with fewer resources, accepting slower
+//!   performance").
+
+use crate::outcome::{DeviceSummary, Outcome, WasteSummary};
+use crate::scenario::Scenario;
+use crate::strategy::Strategy;
+use hpcqc_cluster::alloc::{AllocRequest, GroupRequest};
+use hpcqc_cluster::cluster::{Cluster, ClusterBuilder};
+use hpcqc_cluster::error::ClusterError;
+use hpcqc_cluster::gres::GresKind;
+use hpcqc_cluster::ids::AllocationId;
+use hpcqc_metrics::gantt::GanttRecorder;
+use hpcqc_metrics::jobstats::{JobRecord, JobStats};
+use hpcqc_metrics::waste::WasteTracker;
+use hpcqc_qpu::device::QpuDevice;
+use hpcqc_qpu::error::QpuError;
+use hpcqc_qpu::kernel::Kernel;
+use hpcqc_sched::scheduler::{BatchScheduler, PendingJob, SchedError};
+use hpcqc_simcore::events::EventQueue;
+use hpcqc_simcore::rng::SimRng;
+use hpcqc_simcore::time::{SimDuration, SimTime};
+use hpcqc_workload::campaign::Workload;
+use hpcqc_workload::job::{JobId, JobSpec, Phase};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Why a simulation could not run to completion.
+#[derive(Debug)]
+pub enum SimError {
+    /// The scheduler rejected a submission (e.g. job larger than machine).
+    Sched(SchedError),
+    /// A cluster operation failed (configuration inconsistency).
+    Cluster(ClusterError),
+    /// A device rejected a kernel (e.g. more qubits than the device has).
+    Qpu(QpuError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Sched(e) => write!(f, "scheduler error: {e}"),
+            SimError::Cluster(e) => write!(f, "cluster error: {e}"),
+            SimError::Qpu(e) => write!(f, "qpu error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<SchedError> for SimError {
+    fn from(e: SchedError) -> Self {
+        SimError::Sched(e)
+    }
+}
+impl From<ClusterError> for SimError {
+    fn from(e: ClusterError) -> Self {
+        SimError::Cluster(e)
+    }
+}
+impl From<QpuError> for SimError {
+    fn from(e: QpuError) -> Self {
+        SimError::Qpu(e)
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    /// A job reaches its submission time.
+    Submit(JobId),
+    /// A classical phase completes. Carries the job's epoch so events of a
+    /// killed attempt are ignored.
+    PhaseDone(JobId, u32),
+    /// A kernel starts executing on the device (device accounting; fires
+    /// even if the submitting job was killed — hardware queues don't abort).
+    KernelExecStart(JobId),
+    /// A kernel finishes executing on the device (device accounting).
+    KernelExecEnd(JobId),
+    /// The job observes kernel completion (after any access overhead).
+    KernelDone(JobId, u32),
+    /// Workflow: submit the job's next step to the batch queue.
+    StepSubmit(JobId, u32),
+    /// Walltime enforcement: kill the job's current attempt.
+    KillJob(JobId, u32),
+    /// Failure injection: a random node goes down.
+    NodeFailure,
+    /// Failure injection: a failed node returns to service.
+    NodeRepair(hpcqc_cluster::ids::NodeId),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum QueueEntry {
+    /// A whole-job submission (co-schedule / vqpu / malleable).
+    JobStart(JobId),
+    /// A single workflow step of the job.
+    Step(JobId),
+}
+
+#[derive(Debug)]
+struct JobRun {
+    spec: JobSpec,
+    phase_idx: usize,
+    alloc: Option<AllocationId>,
+    device: Option<usize>,
+    queued_at: SimTime,
+    prev_phase_end: Option<SimTime>,
+    first_start: Option<SimTime>,
+    phase_wait: SimDuration,
+    // Exact per-job integrals, maintained at every transition.
+    alloc_nodes: u32,
+    alloc_nodes_since: SimTime,
+    node_seconds_alloc: f64,
+    node_seconds_used: f64,
+    qpu_alloc_units: u32,
+    qpu_alloc_since: SimTime,
+    qpu_seconds_alloc: f64,
+    qpu_seconds_used: f64,
+    // Walltime enforcement (see WalltimePolicy::Kill).
+    epoch: u32,
+    pending_event: Option<hpcqc_simcore::events::EventKey>,
+    kill_event: Option<hpcqc_simcore::events::EventKey>,
+    current_walltime: SimDuration,
+    classical_started: Option<SimTime>,
+    classical_active_nodes: f64,
+    requeues: u32,
+    completed: bool,
+    done: bool,
+}
+
+impl JobRun {
+    fn new(spec: JobSpec) -> Self {
+        JobRun {
+            spec,
+            phase_idx: 0,
+            alloc: None,
+            device: None,
+            queued_at: SimTime::ZERO,
+            prev_phase_end: None,
+            first_start: None,
+            phase_wait: SimDuration::ZERO,
+            alloc_nodes: 0,
+            alloc_nodes_since: SimTime::ZERO,
+            node_seconds_alloc: 0.0,
+            node_seconds_used: 0.0,
+            qpu_alloc_units: 0,
+            qpu_alloc_since: SimTime::ZERO,
+            qpu_seconds_alloc: 0.0,
+            qpu_seconds_used: 0.0,
+            epoch: 0,
+            pending_event: None,
+            kill_event: None,
+            current_walltime: SimDuration::ZERO,
+            classical_started: None,
+            classical_active_nodes: 0.0,
+            requeues: 0,
+            completed: false,
+            done: false,
+        }
+    }
+
+    /// Closes the running node-allocation integral at `now` and sets a new
+    /// allocated-node count.
+    fn set_alloc_nodes(&mut self, now: SimTime, nodes: u32) {
+        self.node_seconds_alloc +=
+            f64::from(self.alloc_nodes) * now.saturating_since(self.alloc_nodes_since).as_secs_f64();
+        self.alloc_nodes = nodes;
+        self.alloc_nodes_since = now;
+    }
+
+    /// Same for exclusive QPU gres units.
+    fn set_qpu_units(&mut self, now: SimTime, units: u32) {
+        self.qpu_seconds_alloc += f64::from(self.qpu_alloc_units)
+            * now.saturating_since(self.qpu_alloc_since).as_secs_f64();
+        self.qpu_alloc_units = units;
+        self.qpu_alloc_since = now;
+    }
+}
+
+/// The facility simulator. Construct via [`FacilitySim::run`].
+#[derive(Debug)]
+pub struct FacilitySim {
+    scenario: Scenario,
+    cluster: Cluster,
+    scheduler: BatchScheduler,
+    devices: Vec<QpuDevice>,
+    events: EventQueue<Event>,
+    jobs: Vec<JobRun>,
+    queue_map: HashMap<u64, QueueEntry>,
+    next_qid: u64,
+    node_waste: WasteTracker,
+    qpu_waste: WasteTracker,
+    gantt: Option<GanttRecorder>,
+    stats: JobStats,
+    access_rng: SimRng,
+    failure_rng: SimRng,
+    alloc_owner: HashMap<AllocationId, JobId>,
+    failures_injected: u64,
+    completed: usize,
+}
+
+impl FacilitySim {
+    /// Runs `workload` under `scenario` to completion and returns the
+    /// outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if a job cannot ever fit the machine, a kernel
+    /// exceeds its device, or the configuration is inconsistent.
+    pub fn run(scenario: &Scenario, workload: &Workload) -> Result<Outcome, SimError> {
+        let mut sim = FacilitySim::new(scenario.clone(), workload);
+        sim.drive()?;
+        Ok(sim.into_outcome())
+    }
+
+    fn new(scenario: Scenario, workload: &Workload) -> Self {
+        let gres_units = scenario.strategy.gres_per_device() * scenario.devices.len() as u32;
+        let cluster = ClusterBuilder::new()
+            .partition("classical", scenario.classical_nodes)
+            .partition_with_gres("quantum", 0, GresKind::qpu(), gres_units)
+            .build(SimTime::ZERO);
+        let root = SimRng::seed_from(scenario.seed);
+        let devices: Vec<QpuDevice> = scenario
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(i, &tech)| {
+                let dev = QpuDevice::new(format!("qpu{i}"), tech, root.fork_indexed("device", i as u64));
+                if scenario.device_calibration {
+                    dev
+                } else {
+                    dev.with_calibration(None)
+                }
+            })
+            .collect();
+        let mut events = EventQueue::new();
+        let jobs: Vec<JobRun> = workload.jobs().iter().cloned().map(JobRun::new).collect();
+        for (i, job) in jobs.iter().enumerate() {
+            events.schedule(job.spec.submit(), Event::Submit(JobId::new(i as u64)));
+        }
+        let scheduler = BatchScheduler::new(scenario.policy);
+        let node_waste = WasteTracker::new(SimTime::ZERO, f64::from(scenario.classical_nodes));
+        let qpu_waste = WasteTracker::new(SimTime::ZERO, scenario.devices.len() as f64);
+        let gantt = scenario.record_gantt.then(GanttRecorder::new);
+        let mut failure_rng = root.fork("failures");
+        if let Some(model) = &scenario.node_failures {
+            let first = model.mtbf.sample_duration(&mut failure_rng);
+            events.schedule(SimTime::ZERO + first, Event::NodeFailure);
+        }
+        FacilitySim {
+            access_rng: root.fork("access"),
+            failure_rng,
+            scenario,
+            cluster,
+            scheduler,
+            devices,
+            events,
+            jobs,
+            queue_map: HashMap::new(),
+            next_qid: 0,
+            node_waste,
+            qpu_waste,
+            gantt,
+            stats: JobStats::new(),
+            alloc_owner: HashMap::new(),
+            failures_injected: 0,
+            completed: 0,
+        }
+    }
+
+    fn drive(&mut self) -> Result<(), SimError> {
+        while let Some(ev) = self.events.pop() {
+            let now = ev.time;
+            match ev.payload {
+                Event::Submit(job) => self.on_submit(job, now)?,
+                Event::PhaseDone(job, epoch) => {
+                    if self.jobs[job.raw() as usize].epoch == epoch {
+                        self.on_phase_done(job, now)?;
+                    }
+                }
+                Event::KernelExecStart(job) => {
+                    debug_assert!((job.raw() as usize) < self.jobs.len(), "unknown {job}");
+                    self.qpu_waste.add_used(now, 1.0);
+                }
+                Event::KernelExecEnd(job) => {
+                    debug_assert!((job.raw() as usize) < self.jobs.len(), "unknown {job}");
+                    self.qpu_waste.add_used(now, -1.0);
+                }
+                Event::KernelDone(job, epoch) => {
+                    if self.jobs[job.raw() as usize].epoch == epoch {
+                        self.on_kernel_done(job, now)?;
+                    }
+                }
+                Event::StepSubmit(job, epoch) => {
+                    if self.jobs[job.raw() as usize].epoch == epoch {
+                        self.submit_step(job, now)?;
+                    }
+                }
+                Event::KillJob(job, epoch) => {
+                    if self.jobs[job.raw() as usize].epoch == epoch
+                        && !self.jobs[job.raw() as usize].done
+                    {
+                        self.kill_job(job, now)?;
+                    }
+                }
+                Event::NodeFailure => self.on_node_failure(now)?,
+                Event::NodeRepair(node) => {
+                    self.cluster.restore_node(node)?;
+                }
+            }
+            self.cycle(now)?;
+            // Failure/repair events self-perpetuate; once the workload has
+            // drained there is nothing left to observe.
+            if self.completed == self.jobs.len() {
+                break;
+            }
+        }
+        debug_assert_eq!(self.completed, self.jobs.len(), "all jobs must complete");
+        debug_assert!(self.cluster.check_invariants().is_ok());
+        Ok(())
+    }
+
+    /// Fails a uniformly random up-node; the owning job (if any) is killed
+    /// and requeued within the failure budget. Schedules the repair and the
+    /// next failure.
+    fn on_node_failure(&mut self, now: SimTime) -> Result<(), SimError> {
+        let Some(model) = self.scenario.node_failures.clone() else {
+            return Ok(());
+        };
+        // Pick among currently-up nodes (failed ones cannot fail again).
+        let up: Vec<_> = self
+            .cluster
+            .nodes()
+            .iter()
+            .filter(|n| n.is_schedulable())
+            .map(|n| n.id())
+            .collect();
+        if !up.is_empty() {
+            let node = *self.failure_rng.pick(&up);
+            let owner = self.cluster.fail_node(node)?;
+            self.failures_injected += 1;
+            let repair = model.repair.sample_duration(&mut self.failure_rng);
+            self.events.schedule(now + repair, Event::NodeRepair(node));
+            if let Some(alloc) = owner {
+                if let Some(&job) = self.alloc_owner.get(&alloc) {
+                    self.abort_attempt(job, now)?;
+                    let run = &mut self.jobs[job.raw() as usize];
+                    if run.requeues < model.max_requeues {
+                        run.requeues += 1;
+                        run.phase_idx = 0;
+                        run.prev_phase_end = None;
+                        run.device = None;
+                        self.on_submit(job, now)?;
+                    } else {
+                        self.finalize(job, now, false);
+                    }
+                }
+            }
+        }
+        let next = model.mtbf.sample_duration(&mut self.failure_rng);
+        self.events.schedule(now + next, Event::NodeFailure);
+        Ok(())
+    }
+
+    /// One scheduling cycle: start whatever the policy admits.
+    fn cycle(&mut self, now: SimTime) -> Result<(), SimError> {
+        loop {
+            let started = self.scheduler.try_schedule(&mut self.cluster, now);
+            if started.is_empty() {
+                return Ok(());
+            }
+            for st in started {
+                let entry = self
+                    .queue_map
+                    .remove(&st.job.raw())
+                    .expect("started job must have a queue entry");
+                match entry {
+                    QueueEntry::JobStart(job) => self.on_job_started(job, st.alloc, now)?,
+                    QueueEntry::Step(job) => self.on_step_started(job, st.alloc, now)?,
+                }
+            }
+            // Starting jobs can release nothing, so one pass suffices; loop
+            // again anyway in case a zero-node request pattern changed state.
+        }
+    }
+
+    fn fresh_qid(&mut self, entry: QueueEntry) -> JobId {
+        let qid = JobId::new(self.next_qid);
+        self.next_qid += 1;
+        self.queue_map.insert(qid.raw(), entry);
+        qid
+    }
+
+    /// Devices with enough qubits for every kernel of the job. Jobs without
+    /// quantum phases are compatible with all devices.
+    fn eligible_devices(&self, job: JobId) -> Vec<usize> {
+        let spec = &self.jobs[job.raw() as usize].spec;
+        let need = spec.kernels().map(Kernel::qubits).max().unwrap_or(0);
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.qubits() >= need)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Binds a granted gres token to a *capable* device: round-robin over
+    /// the job's eligible device list, so heterogeneous facilities (e.g. a
+    /// 12-qubit spin-qubit device next to a 127-qubit transmon) never route
+    /// an oversized kernel to a small device.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Qpu`] when no device can run the job's kernels.
+    fn bind_device(&self, job: JobId, unit: u32) -> Result<usize, SimError> {
+        let eligible = self.eligible_devices(job);
+        if eligible.is_empty() {
+            let spec = &self.jobs[job.raw() as usize].spec;
+            let need = spec.kernels().map(Kernel::qubits).max().unwrap_or(0);
+            let best = self.devices.iter().map(QpuDevice::qubits).max().unwrap_or(0);
+            return Err(SimError::Qpu(QpuError::KernelTooLarge {
+                requested: need,
+                available: best,
+            }));
+        }
+        Ok(eligible[unit as usize % eligible.len()])
+    }
+
+    // ----- submission ----------------------------------------------------
+
+    fn on_submit(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
+        match self.scenario.strategy {
+            Strategy::Workflow => self.submit_step(job, now),
+            strategy => {
+                let (request, walltime, user) = {
+                    let spec = &self.jobs[job.raw() as usize].spec;
+                    let mut request = AllocRequest::new()
+                        .group(GroupRequest::nodes(spec.partition(), spec.nodes()));
+                    let needs_gres =
+                        spec.is_hybrid() && !matches!(strategy, Strategy::Malleable { .. });
+                    if needs_gres {
+                        request = request.group(GroupRequest::gres(
+                            spec.qpu_partition(),
+                            GresKind::qpu(),
+                            spec.qpu_count(),
+                        ));
+                    }
+                    (request, spec.walltime(), spec.user().to_string())
+                };
+                let qid = self.fresh_qid(QueueEntry::JobStart(job));
+                let pending = PendingJob {
+                    id: qid,
+                    request,
+                    walltime,
+                    submit: now,
+                    user,
+                    qos_boost: 0.0,
+                };
+                let run = &mut self.jobs[job.raw() as usize];
+                run.queued_at = now;
+                run.current_walltime = walltime;
+                self.scheduler.submit(pending, &self.cluster)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Workflow: submit the step for the job's current phase.
+    fn submit_step(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
+        let (request, walltime) = {
+            let run = &self.jobs[job.raw() as usize];
+            let spec = &run.spec;
+            match &spec.phases()[run.phase_idx] {
+                Phase::Classical(d) => (
+                    AllocRequest::new().group(GroupRequest::nodes(spec.partition(), spec.nodes())),
+                    (*d + SimDuration::from_secs(60)).max_of(SimDuration::from_secs(60)),
+                ),
+                Phase::Quantum(kernel) => {
+                    // Planning estimate: the slowest device's mean job time
+                    // with headroom; actual duration comes from the device.
+                    let est = self
+                        .devices
+                        .iter()
+                        .map(|d| d.timing().mean_job_secs(kernel.shots()))
+                        .fold(0.0_f64, f64::max);
+                    (
+                        AllocRequest::new().group(GroupRequest::gres(
+                            spec.qpu_partition(),
+                            GresKind::qpu(),
+                            1,
+                        )),
+                        SimDuration::from_secs_f64(est * 1.5 + 60.0),
+                    )
+                }
+            }
+        };
+        let qid = self.fresh_qid(QueueEntry::Step(job));
+        let run = &mut self.jobs[job.raw() as usize];
+        run.queued_at = now;
+        run.current_walltime = walltime;
+        let pending = PendingJob {
+            id: qid,
+            request,
+            walltime,
+            submit: now,
+            user: run.spec.user().to_string(),
+            qos_boost: 0.0,
+        };
+        self.scheduler.submit(pending, &self.cluster)?;
+        Ok(())
+    }
+
+    // ----- start handlers -------------------------------------------------
+
+    fn on_job_started(&mut self, job: JobId, alloc: AllocationId, now: SimTime) -> Result<(), SimError> {
+        self.arm_walltime_kill(job, now);
+        self.alloc_owner.insert(alloc, job);
+        let strategy = self.scenario.strategy;
+        let run = &mut self.jobs[job.raw() as usize];
+        run.alloc = Some(alloc);
+        run.first_start.get_or_insert(now);
+        run.set_alloc_nodes(now, run.spec.nodes());
+        let nodes = f64::from(run.spec.nodes());
+        self.node_waste.add_allocated(now, nodes);
+
+        // Bind the QPU device from the granted gres unit (if any).
+        let allocation = self.cluster.allocation(alloc).expect("alloc just granted");
+        let units = allocation.gres_units(&GresKind::qpu());
+        if let Some((_, unit)) = units.first() {
+            let unit = *unit;
+            let count = units.len() as u32;
+            let device = self.bind_device(job, unit)?;
+            let run = &mut self.jobs[job.raw() as usize];
+            run.device = Some(device);
+            run.set_qpu_units(now, count);
+            if !strategy.shares_qpu() {
+                self.qpu_waste.add_allocated(now, f64::from(count));
+            }
+        }
+        self.begin_phase(job, now)
+    }
+
+    fn on_step_started(&mut self, job: JobId, alloc: AllocationId, now: SimTime) -> Result<(), SimError> {
+        self.arm_walltime_kill(job, now);
+        self.alloc_owner.insert(alloc, job);
+        let run = &mut self.jobs[job.raw() as usize];
+        run.alloc = Some(alloc);
+        if run.first_start.is_none() {
+            run.first_start = Some(now);
+        } else if let Some(prev) = run.prev_phase_end {
+            // Everything between the previous phase's end and this start is
+            // inter-step overhead: workflow-manager delay + queue wait.
+            run.phase_wait += now.saturating_since(prev);
+        }
+        let allocation = self.cluster.allocation(alloc).expect("alloc just granted");
+        let node_count = allocation.node_count() as u32;
+        let units = allocation.gres_units(&GresKind::qpu());
+        if node_count > 0 {
+            run.set_alloc_nodes(now, node_count);
+            self.node_waste.add_allocated(now, f64::from(node_count));
+        }
+        if let Some((_, unit)) = units.first() {
+            let unit = *unit;
+            let count = units.len() as u32;
+            let device = self.bind_device(job, unit)?;
+            let run = &mut self.jobs[job.raw() as usize];
+            run.device = Some(device);
+            run.set_qpu_units(now, count);
+            self.qpu_waste.add_allocated(now, f64::from(count));
+        }
+        self.begin_phase(job, now)
+    }
+
+    // ----- phase machinery -------------------------------------------------
+
+    fn begin_phase(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
+        let phase = {
+            let run = &self.jobs[job.raw() as usize];
+            if run.phase_idx >= run.spec.phases().len() {
+                return self.complete_job(job, now);
+            }
+            run.spec.phases()[run.phase_idx].clone()
+        };
+        match phase {
+            Phase::Classical(d) => self.begin_classical(job, d, now),
+            Phase::Quantum(kernel) => self.begin_quantum(job, &kernel, now),
+        }
+    }
+
+    fn begin_classical(&mut self, job: JobId, nominal: SimDuration, now: SimTime) -> Result<(), SimError> {
+        let run = &mut self.jobs[job.raw() as usize];
+        // Linear-speedup stretch when malleably running on fewer nodes.
+        let duration = if run.alloc_nodes > 0 && run.alloc_nodes < run.spec.nodes() {
+            nominal.mul_f64(f64::from(run.spec.nodes()) / f64::from(run.alloc_nodes))
+        } else {
+            nominal
+        };
+        let nodes = f64::from(run.alloc_nodes);
+        self.node_waste.add_used(now, nodes);
+        run.classical_started = Some(now);
+        run.classical_active_nodes = nodes;
+        let end = now + duration;
+        let epoch = run.epoch;
+        let key = self.events.schedule(end, Event::PhaseDone(job, epoch));
+        self.jobs[job.raw() as usize].pending_event = Some(key);
+        Ok(())
+    }
+
+    /// Closes an in-flight classical phase's usage accounting (normal end
+    /// or kill) and records its Gantt interval.
+    fn close_classical(&mut self, job: JobId, now: SimTime) {
+        let run = &mut self.jobs[job.raw() as usize];
+        let Some(started) = run.classical_started.take() else {
+            return;
+        };
+        let nodes = run.classical_active_nodes;
+        run.classical_active_nodes = 0.0;
+        self.node_waste.add_used(now, -nodes);
+        run.node_seconds_used += nodes * now.saturating_since(started).as_secs_f64();
+        let name = run.spec.name().to_string();
+        if let Some(g) = self.gantt.as_mut() {
+            g.record(format!("job:{name}"), started, now, "c");
+        }
+    }
+
+    fn begin_quantum(&mut self, job: JobId, kernel: &Kernel, now: SimTime) -> Result<(), SimError> {
+        let strategy = self.scenario.strategy;
+        // Malleability: give back everything above min_nodes first.
+        if let Strategy::Malleable { min_nodes } = strategy {
+            let (alloc, held, target) = {
+                let run = &self.jobs[job.raw() as usize];
+                (run.alloc, run.alloc_nodes, min_nodes.min(run.spec.nodes()).max(1))
+            };
+            if let Some(alloc) = alloc {
+                if held > target {
+                    let released = self.cluster.shrink(alloc, "classical", target, now)?;
+                    let run = &mut self.jobs[job.raw() as usize];
+                    run.set_alloc_nodes(now, target);
+                    self.node_waste.add_allocated(now, -(released.len() as f64));
+                }
+            }
+        }
+        // Pick the device: bound unit for exclusive/vqpu strategies,
+        // least-backlog for malleable (no gres token).
+        let device_idx = {
+            let bound = self.jobs[job.raw() as usize].device;
+            match bound {
+                Some(d) => d,
+                None => {
+                    // Malleable jobs hold no gres token: pick the least-
+                    // backlogged device that can run the job's kernels.
+                    let eligible = self.eligible_devices(job);
+                    *eligible
+                        .iter()
+                        .min_by_key(|&&i| (self.devices[i].next_free(), i))
+                        .ok_or(SimError::Qpu(QpuError::KernelTooLarge {
+                            requested: kernel.qubits(),
+                            available: self.devices.iter().map(QpuDevice::qubits).max().unwrap_or(0),
+                        }))?
+                }
+            }
+        };
+        let exec = self.devices[device_idx].enqueue(kernel, now)?;
+        let overhead = match &self.scenario.access {
+            Some(access) => access.sample_overhead(&mut self.access_rng),
+            None => SimDuration::ZERO,
+        };
+        {
+            let run = &mut self.jobs[job.raw() as usize];
+            run.phase_wait += exec.wait();
+            run.qpu_seconds_used += exec.service().as_secs_f64();
+            run.classical_started = None;
+        }
+        if let Some(g) = self.gantt.as_mut() {
+            let name = self.jobs[job.raw() as usize].spec.name().to_string();
+            if !exec.recalibration.is_zero() {
+                g.record(
+                    format!("qpu{device_idx}"),
+                    exec.start - exec.recalibration,
+                    exec.start,
+                    "=",
+                );
+            }
+            g.record(format!("qpu{device_idx}"), exec.start, exec.end, name);
+        }
+        self.events.schedule(exec.start, Event::KernelExecStart(job));
+        self.events.schedule(exec.end, Event::KernelExecEnd(job));
+        let epoch = self.jobs[job.raw() as usize].epoch;
+        let key = self.events.schedule(exec.end + overhead, Event::KernelDone(job, epoch));
+        self.jobs[job.raw() as usize].pending_event = Some(key);
+        Ok(())
+    }
+
+    fn on_phase_done(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
+        self.close_classical(job, now);
+        {
+            let run = &mut self.jobs[job.raw() as usize];
+            run.pending_event = None;
+            run.phase_idx += 1;
+            run.prev_phase_end = Some(now);
+        }
+        self.advance(job, now)
+    }
+
+    fn on_kernel_done(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
+        {
+            let run = &mut self.jobs[job.raw() as usize];
+            run.pending_event = None;
+            run.phase_idx += 1;
+            run.prev_phase_end = Some(now);
+        }
+        // Malleability: best-effort re-expansion before the next classical
+        // phase; shortfall is absorbed by stretching, never by waiting.
+        if let Strategy::Malleable { .. } = self.scenario.strategy {
+            let (alloc, held, target, more_phases) = {
+                let run = &self.jobs[job.raw() as usize];
+                (
+                    run.alloc,
+                    run.alloc_nodes,
+                    run.spec.nodes(),
+                    run.phase_idx < run.spec.phases().len(),
+                )
+            };
+            let next_is_classical = more_phases && {
+                let run = &self.jobs[job.raw() as usize];
+                matches!(run.spec.phases()[run.phase_idx], Phase::Classical(_))
+            };
+            if next_is_classical && held < target {
+                if let Some(alloc) = alloc {
+                    let free = self.cluster.free_nodes("classical")?;
+                    let grant = free.min(target - held);
+                    if grant > 0 {
+                        let added = self.cluster.expand(alloc, "classical", grant, now)?;
+                        let run = &mut self.jobs[job.raw() as usize];
+                        run.set_alloc_nodes(now, held + added.len() as u32);
+                        self.node_waste.add_allocated(now, added.len() as f64);
+                    }
+                }
+            }
+        }
+        self.advance(job, now)
+    }
+
+    /// After a phase completes: next phase, next workflow step, or done.
+    fn advance(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
+        let strategy = self.scenario.strategy;
+        let (finished, _idx) = {
+            let run = &self.jobs[job.raw() as usize];
+            (run.phase_idx >= run.spec.phases().len(), run.phase_idx)
+        };
+        match strategy {
+            Strategy::Workflow => {
+                // Every step releases its resources on completion.
+                self.release_current(job, now)?;
+                if finished {
+                    self.complete_job(job, now)
+                } else {
+                    let epoch = self.jobs[job.raw() as usize].epoch;
+                    self.events.schedule(
+                        now + self.scenario.workflow_overhead,
+                        Event::StepSubmit(job, epoch),
+                    );
+                    Ok(())
+                }
+            }
+            _ => {
+                if finished {
+                    self.complete_job(job, now)
+                } else {
+                    self.begin_phase(job, now)
+                }
+            }
+        }
+    }
+
+    /// Releases the job's current allocation and closes its integrals.
+    fn release_current(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
+        let run = &mut self.jobs[job.raw() as usize];
+        let Some(alloc) = run.alloc.take() else {
+            return Ok(());
+        };
+        self.alloc_owner.remove(&alloc);
+        let nodes = run.alloc_nodes;
+        let qpus = run.qpu_alloc_units;
+        run.set_alloc_nodes(now, 0);
+        run.set_qpu_units(now, 0);
+        if nodes > 0 {
+            self.node_waste.add_allocated(now, -f64::from(nodes));
+        }
+        if qpus > 0 && (!self.scenario.strategy.shares_qpu()) {
+            self.qpu_waste.add_allocated(now, -f64::from(qpus));
+        } else if qpus > 0 {
+            // vqpu tokens: tracked per-job only (no exclusive physical hold).
+        }
+        // Workflow quantum steps hold gres with shares_qpu() == false, so
+        // the branch above already handled them.
+        self.cluster.release(alloc, now)?;
+        self.scheduler.finished(alloc, now);
+        Ok(())
+    }
+
+    fn complete_job(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
+        self.release_current(job, now)?;
+        self.finalize(job, now, true);
+        Ok(())
+    }
+
+    /// Terminal bookkeeping shared by completion and final kill.
+    fn finalize(&mut self, job: JobId, now: SimTime, completed: bool) {
+        let run = &mut self.jobs[job.raw() as usize];
+        debug_assert!(!run.done, "{job} finalized twice");
+        if let Some(key) = run.kill_event.take() {
+            self.events.cancel(key);
+        }
+        run.done = true;
+        run.completed = completed;
+        self.completed += 1;
+        self.stats.record(JobRecord {
+            name: run.spec.name().to_string(),
+            user: run.spec.user().to_string(),
+            submit: run.spec.submit(),
+            start: run.first_start.unwrap_or(run.spec.submit()),
+            end: now,
+            nodes: run.spec.nodes(),
+            hybrid: run.spec.is_hybrid(),
+            completed,
+            node_seconds_allocated: run.node_seconds_alloc,
+            node_seconds_used: run.node_seconds_used,
+            qpu_seconds_allocated: run.qpu_seconds_alloc,
+            qpu_seconds_used: run.qpu_seconds_used,
+            phase_wait: run.phase_wait,
+        });
+    }
+
+    /// Arms a walltime-kill timer for the just-started job/step, replacing
+    /// any previous timer.
+    fn arm_walltime_kill(&mut self, job: JobId, now: SimTime) {
+        let crate::scenario::WalltimePolicy::Kill { .. } = self.scenario.walltime_policy else {
+            return;
+        };
+        let (walltime, epoch, old) = {
+            let run = &mut self.jobs[job.raw() as usize];
+            (run.current_walltime, run.epoch, run.kill_event.take())
+        };
+        if let Some(key) = old {
+            self.events.cancel(key);
+        }
+        if walltime.is_zero() {
+            return;
+        }
+        let key = self.events.schedule(now + walltime, Event::KillJob(job, epoch));
+        self.jobs[job.raw() as usize].kill_event = Some(key);
+    }
+
+    /// Aborts the job's in-flight attempt: stops the current phase, fences
+    /// off its pending events (a kernel already on the device keeps
+    /// executing — hardware queues don't abort), and releases resources.
+    fn abort_attempt(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
+        self.close_classical(job, now);
+        {
+            let run = &mut self.jobs[job.raw() as usize];
+            if let Some(key) = run.pending_event.take() {
+                self.events.cancel(key);
+            }
+            if let Some(key) = run.kill_event.take() {
+                self.events.cancel(key);
+            }
+            run.epoch += 1;
+        }
+        self.release_current(job, now)
+    }
+
+    /// SLURM-style walltime kill: abort the current attempt, release its
+    /// resources, and requeue the whole job (from phase 0) while the
+    /// requeue budget lasts; record it failed afterwards.
+    fn kill_job(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
+        let crate::scenario::WalltimePolicy::Kill { max_requeues } = self.scenario.walltime_policy
+        else {
+            return Ok(());
+        };
+        self.abort_attempt(job, now)?;
+        let requeues = self.jobs[job.raw() as usize].requeues;
+        if requeues < max_requeues {
+            let run = &mut self.jobs[job.raw() as usize];
+            run.requeues += 1;
+            run.phase_idx = 0;
+            run.prev_phase_end = None;
+            run.device = None;
+            self.on_submit(job, now)
+        } else {
+            self.finalize(job, now, false);
+            Ok(())
+        }
+    }
+
+    // ----- outcome ---------------------------------------------------------
+
+    fn into_outcome(self) -> Outcome {
+        // Device work may outlive the last job record (a killed job's
+        // kernel still executes), so the accounting window runs to the last
+        // processed event, not just the last completion.
+        let end = self
+            .stats
+            .makespan()
+            .max(self.events.now())
+            .max(SimTime::from_nanos(1));
+        let span = end.as_secs_f64();
+        let devices = self
+            .devices
+            .iter()
+            .map(|d| DeviceSummary {
+                name: d.name().to_string(),
+                technology: d.technology(),
+                tasks: d.tasks_executed(),
+                busy_seconds: d.total_busy().as_secs_f64(),
+                utilization: if span > 0.0 {
+                    (d.total_busy().as_secs_f64() / span).min(1.0)
+                } else {
+                    0.0
+                },
+                recalibration_seconds: d.total_recalibration().as_secs_f64(),
+            })
+            .collect();
+        let node_waste = WasteSummary {
+            allocated_fraction: self.node_waste.allocated_fraction(end),
+            used_fraction: self.node_waste.used_fraction(end),
+            efficiency: self.node_waste.efficiency(end),
+            wasted_unit_seconds: self.node_waste.wasted_unit_seconds(end),
+        };
+        let qpu_waste = WasteSummary {
+            allocated_fraction: self.qpu_waste.allocated_fraction(end),
+            used_fraction: self.qpu_waste.used_fraction(end),
+            efficiency: self.qpu_waste.efficiency(end),
+            wasted_unit_seconds: self.qpu_waste.wasted_unit_seconds(end),
+        };
+        Outcome {
+            stats: self.stats,
+            makespan: end,
+            node_waste,
+            qpu_waste,
+            devices,
+            gantt: self.gantt,
+        }
+    }
+}
+
+/// Runs the same workload under several strategies (common random numbers:
+/// identical workload, identical device seeds) and returns the outcomes.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] encountered.
+pub fn run_strategies(
+    base: &Scenario,
+    workload: &Workload,
+    strategies: &[Strategy],
+) -> Result<Vec<(Strategy, Outcome)>, SimError> {
+    strategies
+        .iter()
+        .map(|&strategy| {
+            let mut scenario = base.clone();
+            scenario.strategy = strategy;
+            FacilitySim::run(&scenario, workload).map(|o| (strategy, o))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcqc_qpu::technology::Technology;
+    use hpcqc_qpu::timing::TimingModel;
+    use hpcqc_simcore::dist::Dist;
+    use hpcqc_workload::job::JobSpec;
+
+    /// A deterministic hybrid job: `iters × (classical 60 s → kernel)`.
+    fn hybrid_job(name: &str, nodes: u32, iters: usize, submit_s: u64) -> JobSpec {
+        let mut phases = Vec::new();
+        for _ in 0..iters {
+            phases.push(Phase::Classical(SimDuration::from_secs(60)));
+            phases.push(Phase::Quantum(Kernel::sampling(1_000)));
+        }
+        JobSpec::builder(name)
+            .nodes(nodes)
+            .submit(SimTime::from_secs(submit_s))
+            .walltime(SimDuration::from_hours(4))
+            .phases(phases)
+            .build()
+    }
+
+    fn classical_job(name: &str, nodes: u32, secs: u64, submit_s: u64) -> JobSpec {
+        JobSpec::builder(name)
+            .nodes(nodes)
+            .submit(SimTime::from_secs(submit_s))
+            .walltime(SimDuration::from_hours(4))
+            .phases(vec![Phase::Classical(SimDuration::from_secs(secs))])
+            .build()
+    }
+
+    fn scenario(strategy: Strategy) -> Scenario {
+        Scenario::builder()
+            .classical_nodes(16)
+            .device(Technology::Superconducting)
+            .strategy(strategy)
+            .seed(7)
+            .build()
+    }
+
+    #[test]
+    fn single_classical_job_all_strategies() {
+        let w = Workload::from_jobs(vec![classical_job("mpi", 8, 600, 0)]);
+        for strategy in Strategy::representative_set() {
+            let out = FacilitySim::run(&scenario(strategy), &w).unwrap();
+            assert_eq!(out.stats.len(), 1, "{strategy}");
+            let r = &out.stats.records()[0];
+            assert_eq!(r.wait(), SimDuration::ZERO, "{strategy}");
+            // Runtime may include workflow overhead but is ≥ 600 s.
+            assert!(r.runtime() >= SimDuration::from_secs(600), "{strategy}");
+            assert!(!r.hybrid);
+        }
+    }
+
+    #[test]
+    fn coschedule_holds_everything() {
+        let w = Workload::from_jobs(vec![hybrid_job("h", 8, 3, 0)]);
+        let out = FacilitySim::run(&scenario(Strategy::CoSchedule), &w).unwrap();
+        let r = &out.stats.records()[0];
+        // Nodes allocated for the whole runtime, used only 180 s.
+        assert!(r.node_seconds_allocated > r.node_seconds_used);
+        assert!((r.node_seconds_used - 8.0 * 180.0).abs() < 1e-6);
+        // QPU exclusively allocated the whole time, used only during kernels.
+        assert!(r.qpu_seconds_allocated > r.qpu_seconds_used);
+        assert!(r.qpu_seconds_used > 0.0);
+        assert!(out.qpu_waste.efficiency < 0.9);
+    }
+
+    #[test]
+    fn workflow_releases_between_steps() {
+        let w = Workload::from_jobs(vec![hybrid_job("h", 8, 3, 0)]);
+        let out = FacilitySim::run(&scenario(Strategy::Workflow), &w).unwrap();
+        let r = &out.stats.records()[0];
+        // Nodes held only during classical work → no node waste.
+        assert!(
+            (r.node_seconds_allocated - r.node_seconds_used).abs() < 1.0,
+            "alloc {} vs used {}",
+            r.node_seconds_allocated,
+            r.node_seconds_used
+        );
+        // But the job pays inter-step overhead.
+        assert!(r.phase_wait >= SimDuration::from_secs(10));
+        assert_eq!(out.node_waste.efficiency > 0.99, true);
+    }
+
+    #[test]
+    fn vqpu_shares_the_device() {
+        // Two hybrid jobs, one QPU, 2 VQPUs: both hold nodes, kernels
+        // interleave on the shared device.
+        let w = Workload::from_jobs(vec![hybrid_job("a", 4, 3, 0), hybrid_job("b", 4, 3, 0)]);
+        let out = FacilitySim::run(&scenario(Strategy::Vqpu { vqpus: 2 }), &w).unwrap();
+        assert_eq!(out.stats.len(), 2);
+        assert_eq!(out.total_kernels(), 6);
+        // No exclusive QPU hold → zero exclusive allocation integral.
+        assert_eq!(out.qpu_waste.allocated_fraction, 0.0);
+    }
+
+    #[test]
+    fn vqpu_tokens_bound_concurrency() {
+        // 1 VQPU per device behaves like exclusive access: the second job
+        // cannot even start until the first releases its token… but since
+        // jobs hold tokens for their whole life, job b waits for job a.
+        let w = Workload::from_jobs(vec![hybrid_job("a", 4, 2, 0), hybrid_job("b", 4, 2, 0)]);
+        let one = FacilitySim::run(&scenario(Strategy::Vqpu { vqpus: 1 }), &w).unwrap();
+        let four = FacilitySim::run(&scenario(Strategy::Vqpu { vqpus: 4 }), &w).unwrap();
+        let wait_one = one.stats.mean_wait_secs();
+        let wait_four = four.stats.mean_wait_secs();
+        assert!(
+            wait_one > wait_four,
+            "more vqpus must reduce queue wait ({wait_one} vs {wait_four})"
+        );
+    }
+
+    #[test]
+    fn malleable_shrinks_during_quantum() {
+        // Use a slow "neutral-atom-like" deterministic device so the quantum
+        // phase dominates and the shrink is visible.
+        let w = Workload::from_jobs(vec![hybrid_job("h", 8, 2, 0)]);
+        let mut sc = scenario(Strategy::Malleable { min_nodes: 1 });
+        sc.devices = vec![Technology::NeutralAtom];
+        let out = FacilitySim::run(&sc, &w).unwrap();
+        let r = &out.stats.records()[0];
+        // Allocation integral must be far below nodes × runtime because the
+        // job held only 1 node during the long quantum phases.
+        let full = 8.0 * r.runtime().as_secs_f64();
+        assert!(
+            r.node_seconds_allocated < 0.55 * full,
+            "allocated {} vs full-hold {}",
+            r.node_seconds_allocated,
+            full
+        );
+        // Classical work still ran on all 8 nodes (no stretch needed: the
+        // machine was otherwise empty).
+        assert!((r.node_seconds_used - 8.0 * 120.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn malleable_stretches_when_machine_busy() {
+        // Fill the machine with a classical job while the malleable job is
+        // in its quantum phase; re-expansion then falls short and the next
+        // classical phase runs stretched on fewer nodes.
+        let mut sc = scenario(Strategy::Malleable { min_nodes: 1 });
+        sc.classical_nodes = 8;
+        sc.devices = vec![Technology::NeutralAtom];
+        let hybrid = hybrid_job("h", 8, 2, 0);
+        // Arrives during h's first quantum phase (after 60 s of classical),
+        // and holds 7 nodes for a long time.
+        let filler = classical_job("filler", 7, 20_000, 70);
+        let w = Workload::from_jobs(vec![hybrid, filler]);
+        let out = FacilitySim::run(&sc, &w).unwrap();
+        let h = out.stats.records().iter().find(|r| r.name == "h").unwrap();
+        // Stretched second classical phase → used node-seconds still equal
+        // nodes_eff × stretched_duration = 8 × 60 per phase under linear
+        // speedup, but the runtime must exceed the unstretched case.
+        let unstretched = FacilitySim::run(
+            &sc,
+            &Workload::from_jobs(vec![hybrid_job("h", 8, 2, 0)]),
+        )
+        .unwrap();
+        let r0 = &unstretched.stats.records()[0];
+        assert!(
+            h.runtime() > r0.runtime(),
+            "busy machine must stretch the malleable job ({} vs {})",
+            h.runtime(),
+            r0.runtime()
+        );
+    }
+
+    #[test]
+    fn strategies_deterministic() {
+        let w = Workload::from_jobs(vec![
+            hybrid_job("a", 4, 3, 0),
+            hybrid_job("b", 6, 2, 30),
+            classical_job("c", 8, 900, 60),
+        ]);
+        for strategy in Strategy::representative_set() {
+            let o1 = FacilitySim::run(&scenario(strategy), &w).unwrap();
+            let o2 = FacilitySim::run(&scenario(strategy), &w).unwrap();
+            assert_eq!(o1.makespan, o2.makespan, "{strategy}");
+            assert_eq!(
+                o1.stats.mean_turnaround_secs(),
+                o2.stats.mean_turnaround_secs(),
+                "{strategy}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_jobs_complete_under_contention() {
+        // More jobs than the machine fits at once.
+        let jobs: Vec<JobSpec> = (0..12)
+            .map(|i| {
+                if i % 3 == 0 {
+                    classical_job(&format!("c{i}"), 8, 300, i * 10)
+                } else {
+                    hybrid_job(&format!("h{i}"), 4, 2, i * 10)
+                }
+            })
+            .collect();
+        let w = Workload::from_jobs(jobs);
+        for strategy in Strategy::representative_set() {
+            let out = FacilitySim::run(&scenario(strategy), &w).unwrap();
+            assert_eq!(out.stats.len(), 12, "{strategy} must finish all jobs");
+        }
+    }
+
+    #[test]
+    fn access_overhead_extends_turnaround() {
+        use hpcqc_qpu::remote::AccessMode;
+        let w = Workload::from_jobs(vec![hybrid_job("h", 4, 3, 0)]);
+        let on_prem = FacilitySim::run(&scenario(Strategy::CoSchedule), &w).unwrap();
+        let mut sc = scenario(Strategy::CoSchedule);
+        sc.access = Some(AccessMode::cloud(Technology::Superconducting));
+        let cloud = FacilitySim::run(&sc, &w).unwrap();
+        assert!(
+            cloud.stats.mean_turnaround_secs() > on_prem.stats.mean_turnaround_secs() + 30.0,
+            "cloud access must add vendor-queue latency"
+        );
+    }
+
+    #[test]
+    fn gantt_recorded_when_enabled() {
+        let w = Workload::from_jobs(vec![hybrid_job("h", 4, 2, 0)]);
+        let mut sc = scenario(Strategy::CoSchedule);
+        sc.record_gantt = true;
+        let out = FacilitySim::run(&sc, &w).unwrap();
+        let g = out.gantt.expect("gantt enabled");
+        assert!(g.lanes().any(|l| l == "qpu0"));
+        assert!(g.lanes().any(|l| l.starts_with("job:")));
+        assert!(g.busy("qpu0") > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn device_calibration_appears_in_summary() {
+        let mut sc = scenario(Strategy::CoSchedule);
+        sc.device_calibration = true;
+        // Two jobs a day apart force a recalibration between them.
+        let w = Workload::from_jobs(vec![
+            hybrid_job("h1", 4, 1, 0),
+            hybrid_job("h2", 4, 1, 90_000),
+        ]);
+        let out = FacilitySim::run(&sc, &w).unwrap();
+        assert!(out.devices[0].recalibration_seconds > 0.0);
+    }
+
+    #[test]
+    fn run_strategies_covers_all() {
+        let w = Workload::from_jobs(vec![hybrid_job("h", 4, 2, 0)]);
+        let base = scenario(Strategy::CoSchedule);
+        let results = run_strategies(&base, &w, &Strategy::representative_set()).unwrap();
+        assert_eq!(results.len(), 4);
+        for (_, o) in &results {
+            assert_eq!(o.stats.len(), 1);
+        }
+    }
+
+    #[test]
+    fn walltime_kill_fails_job_without_requeue() {
+        use crate::scenario::WalltimePolicy;
+        // 3 × (60 s classical + kernel) ≈ 190 s, but walltime asks for 100 s.
+        let mut job = hybrid_job("h", 4, 3, 0);
+        job = JobSpec::builder("h")
+            .nodes(4)
+            .walltime(SimDuration::from_secs(100))
+            .phases(job.phases().to_vec())
+            .build();
+        let mut sc = scenario(Strategy::CoSchedule);
+        sc.walltime_policy = WalltimePolicy::Kill { max_requeues: 0 };
+        let out = FacilitySim::run(&sc, &Workload::from_jobs(vec![job])).unwrap();
+        assert_eq!(out.stats.len(), 1);
+        assert_eq!(out.stats.failed_count(), 1);
+        let r = &out.stats.records()[0];
+        assert!(!r.completed);
+        assert_eq!(r.end, SimTime::from_secs(100), "killed exactly at walltime");
+    }
+
+    #[test]
+    fn walltime_requeue_retries_then_fails() {
+        use crate::scenario::WalltimePolicy;
+        let job = JobSpec::builder("h")
+            .nodes(4)
+            .walltime(SimDuration::from_secs(100))
+            .phases(vec![Phase::Classical(SimDuration::from_secs(300))])
+            .build();
+        let mut sc = scenario(Strategy::CoSchedule);
+        sc.walltime_policy = WalltimePolicy::Kill { max_requeues: 1 };
+        let out = FacilitySim::run(&sc, &Workload::from_jobs(vec![job])).unwrap();
+        let r = &out.stats.records()[0];
+        assert!(!r.completed);
+        // Two attempts of 100 s each, back to back on an idle machine.
+        assert_eq!(r.end, SimTime::from_secs(200));
+        // Both attempts' held node time is accounted.
+        assert!((r.node_seconds_allocated - 4.0 * 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn walltime_kill_releases_resources_for_others() {
+        use crate::scenario::WalltimePolicy;
+        // A runaway job blocks the machine until its walltime kill frees it.
+        let runaway = JobSpec::builder("runaway")
+            .nodes(16)
+            .walltime(SimDuration::from_secs(120))
+            .phases(vec![Phase::Classical(SimDuration::from_hours(10))])
+            .build();
+        let follower = classical_job("follower", 16, 60, 10);
+        let mut sc = scenario(Strategy::CoSchedule);
+        sc.walltime_policy = WalltimePolicy::Kill { max_requeues: 0 };
+        let out =
+            FacilitySim::run(&sc, &Workload::from_jobs(vec![runaway, follower])).unwrap();
+        assert_eq!(out.stats.failed_count(), 1);
+        let follower_rec =
+            out.stats.records().iter().find(|r| r.name == "follower").unwrap();
+        assert!(follower_rec.completed);
+        // Follower starts right after the kill at t=120.
+        assert_eq!(follower_rec.start, SimTime::from_secs(120));
+    }
+
+    #[test]
+    fn advisory_walltime_never_kills() {
+        // Default policy: the same overrunning job completes.
+        let job = JobSpec::builder("over")
+            .nodes(4)
+            .walltime(SimDuration::from_secs(60))
+            .phases(vec![Phase::Classical(SimDuration::from_secs(600))])
+            .build();
+        let out =
+            FacilitySim::run(&scenario(Strategy::CoSchedule), &Workload::from_jobs(vec![job]))
+                .unwrap();
+        assert_eq!(out.stats.failed_count(), 0);
+        assert_eq!(out.stats.records()[0].end, SimTime::from_secs(600));
+    }
+
+    #[test]
+    fn kill_mid_kernel_is_safe() {
+        use crate::scenario::WalltimePolicy;
+        // Neutral-atom kernel runs ~45 min; walltime 60 s kills the job
+        // while the kernel is still on the device. The device finishes its
+        // work; the job's completion event is epoch-fenced away.
+        let job = JobSpec::builder("h")
+            .nodes(4)
+            .walltime(SimDuration::from_secs(60))
+            .phases(vec![Phase::Quantum(Kernel::sampling(1_000))])
+            .build();
+        let mut sc = scenario(Strategy::CoSchedule);
+        sc.devices = vec![Technology::NeutralAtom];
+        sc.walltime_policy = WalltimePolicy::Kill { max_requeues: 0 };
+        let out = FacilitySim::run(&sc, &Workload::from_jobs(vec![job])).unwrap();
+        assert_eq!(out.stats.failed_count(), 1);
+        assert_eq!(out.stats.records()[0].end, SimTime::from_secs(60));
+        // Device still shows the kernel's busy time (it could not abort).
+        assert!(out.devices[0].busy_seconds > 0.0);
+    }
+
+    #[test]
+    fn generous_walltime_with_kill_policy_completes_normally() {
+        use crate::scenario::WalltimePolicy;
+        let w = Workload::from_jobs(vec![hybrid_job("h", 4, 3, 0)]);
+        let mut sc = scenario(Strategy::CoSchedule);
+        sc.walltime_policy = WalltimePolicy::Kill { max_requeues: 0 };
+        let killed = FacilitySim::run(&sc, &w).unwrap();
+        let advisory = FacilitySim::run(&scenario(Strategy::CoSchedule), &w).unwrap();
+        assert_eq!(killed.stats.failed_count(), 0);
+        assert_eq!(killed.makespan, advisory.makespan, "kill policy must be inert when unused");
+    }
+
+    #[test]
+    fn node_failures_requeue_and_complete() {
+        use crate::scenario::FailureModel;
+        // Frequent failures (MTBF 200 s) on a long classical job: the job
+        // is hit, requeued, and still finishes thanks to the requeue budget
+        // and node repairs.
+        let mut sc = scenario(Strategy::CoSchedule);
+        sc.classical_nodes = 8;
+        sc.node_failures = Some(FailureModel {
+            mtbf: hpcqc_simcore::dist::Dist::constant(200.0),
+            repair: hpcqc_simcore::dist::Dist::constant(100.0),
+            max_requeues: 50,
+        });
+        let w = Workload::from_jobs(vec![classical_job("long", 2, 150, 0)]);
+        let out = FacilitySim::run(&sc, &w).unwrap();
+        assert_eq!(out.stats.len(), 1);
+        // Whether the job is hit depends on which node fails; either way it
+        // must terminate, and the simulator must not hang on the endless
+        // failure/repair event stream.
+        assert!(out.makespan >= SimTime::from_secs(150));
+    }
+
+    #[test]
+    fn node_failure_budget_exhaustion_fails_job() {
+        use crate::scenario::FailureModel;
+        // One node, deterministic failures faster than the job: every
+        // attempt dies, budget 1 → recorded failed.
+        let mut sc = scenario(Strategy::CoSchedule);
+        sc.classical_nodes = 1;
+        sc.node_failures = Some(FailureModel {
+            mtbf: hpcqc_simcore::dist::Dist::constant(50.0),
+            repair: hpcqc_simcore::dist::Dist::constant(10.0),
+            max_requeues: 1,
+        });
+        let w = Workload::from_jobs(vec![classical_job("doomed", 1, 10_000, 0)]);
+        let out = FacilitySim::run(&sc, &w).unwrap();
+        assert_eq!(out.stats.failed_count(), 1);
+        assert!(!out.stats.records()[0].completed);
+    }
+
+    #[test]
+    fn failures_on_idle_nodes_are_harmless() {
+        use crate::scenario::FailureModel;
+        // Plenty of nodes; the job needs only 2, so most failures hit idle
+        // nodes and the job usually survives untouched.
+        let mut sc = scenario(Strategy::CoSchedule);
+        sc.classical_nodes = 16;
+        sc.node_failures = Some(FailureModel {
+            mtbf: hpcqc_simcore::dist::Dist::constant(30.0),
+            repair: hpcqc_simcore::dist::Dist::constant(1_000.0),
+            max_requeues: 100,
+        });
+        let w = Workload::from_jobs(vec![classical_job("small", 2, 120, 0)]);
+        let out = FacilitySim::run(&sc, &w).unwrap();
+        assert_eq!(out.stats.len(), 1);
+    }
+
+    #[test]
+    fn oversized_job_is_rejected() {
+        let w = Workload::from_jobs(vec![classical_job("big", 32, 60, 0)]);
+        let err = FacilitySim::run(&scenario(Strategy::CoSchedule), &w).unwrap_err();
+        assert!(matches!(err, SimError::Sched(SchedError::ImpossibleRequest { .. })));
+    }
+
+    #[test]
+    fn deterministic_custom_device_timing() {
+        // Sanity-check the fixed-timing path used by several experiments.
+        let mut sc = scenario(Strategy::CoSchedule);
+        sc.devices = vec![Technology::Superconducting];
+        let w = Workload::from_jobs(vec![hybrid_job("h", 4, 1, 0)]);
+        let out = FacilitySim::run(&sc, &w).unwrap();
+        let r = &out.stats.records()[0];
+        assert!(r.qpu_seconds_used > 0.0);
+        let _ = TimingModel::new(Dist::constant(0.01), Dist::constant(2.0));
+    }
+}

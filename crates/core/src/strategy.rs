@@ -1,0 +1,119 @@
+//! The paper's integration strategies (§4), plus the Listing-1 baseline.
+//!
+//! All four interpret the *same* job phase structure; what differs is what
+//! resources are held when:
+//!
+//! | strategy      | classical nodes            | QPU                                  |
+//! |---------------|----------------------------|--------------------------------------|
+//! | `CoSchedule`  | held for the whole job     | exclusive gres for the whole job     |
+//! | `Workflow`    | held per classical step    | exclusive gres per quantum step      |
+//! | `Vqpu`        | held for the whole job     | shared device via a VQPU token       |
+//! | `Malleable`   | shrunk during quantum work | shared device, no exclusive hold     |
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a hybrid job's resources are allocated over its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// The paper's Listing 1 baseline: one heterogeneous job holding the
+    /// classical nodes **and** an exclusive QPU from start to finish.
+    CoSchedule,
+    /// Fig. 2: loosely-coupled workflow — every phase is its own batch job,
+    /// resources held only while a step runs, one queue wait per step.
+    Workflow,
+    /// Fig. 3: virtual QPUs — nodes held for the whole job; quantum phases
+    /// share the physical QPU by temporal interleaving through `vqpus`
+    /// virtual-QPU gres tokens per device.
+    Vqpu {
+        /// Virtual QPUs configured per physical device (≥ 1).
+        vqpus: u32,
+    },
+    /// Fig. 4: malleability — the job shrinks its node allocation to
+    /// `min_nodes` while quantum work is in flight and re-expands after.
+    Malleable {
+        /// Nodes retained through quantum phases (≥ 1 keeps rank 0 alive).
+        min_nodes: u32,
+    },
+}
+
+impl Strategy {
+    /// Short machine-friendly name (used in report tables and lane labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::CoSchedule => "co-schedule",
+            Strategy::Workflow => "workflow",
+            Strategy::Vqpu { .. } => "vqpu",
+            Strategy::Malleable { .. } => "malleable",
+        }
+    }
+
+    /// Gres units to configure per physical QPU device.
+    pub fn gres_per_device(&self) -> u32 {
+        match self {
+            Strategy::Vqpu { vqpus } => (*vqpus).max(1),
+            _ => 1,
+        }
+    }
+
+    /// `true` if quantum phases go through a shared device queue rather
+    /// than an exclusively allocated one.
+    pub fn shares_qpu(&self) -> bool {
+        matches!(self, Strategy::Vqpu { .. } | Strategy::Malleable { .. })
+    }
+
+    /// All strategies at representative parameters, for sweep harnesses.
+    pub fn representative_set() -> Vec<Strategy> {
+        vec![
+            Strategy::CoSchedule,
+            Strategy::Workflow,
+            Strategy::Vqpu { vqpus: 4 },
+            Strategy::Malleable { min_nodes: 1 },
+        ]
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::Vqpu { vqpus } => write!(f, "vqpu(x{vqpus})"),
+            Strategy::Malleable { min_nodes } => write!(f, "malleable(min={min_nodes})"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(Strategy::CoSchedule.to_string(), "co-schedule");
+        assert_eq!(Strategy::Vqpu { vqpus: 8 }.to_string(), "vqpu(x8)");
+        assert_eq!(Strategy::Malleable { min_nodes: 2 }.to_string(), "malleable(min=2)");
+        assert_eq!(Strategy::Workflow.name(), "workflow");
+    }
+
+    #[test]
+    fn gres_multiplicity() {
+        assert_eq!(Strategy::CoSchedule.gres_per_device(), 1);
+        assert_eq!(Strategy::Vqpu { vqpus: 4 }.gres_per_device(), 4);
+        assert_eq!(Strategy::Vqpu { vqpus: 0 }.gres_per_device(), 1, "clamped to 1");
+    }
+
+    #[test]
+    fn sharing_classification() {
+        assert!(!Strategy::CoSchedule.shares_qpu());
+        assert!(!Strategy::Workflow.shares_qpu());
+        assert!(Strategy::Vqpu { vqpus: 2 }.shares_qpu());
+        assert!(Strategy::Malleable { min_nodes: 1 }.shares_qpu());
+    }
+
+    #[test]
+    fn representative_set_covers_all_variants() {
+        let set = Strategy::representative_set();
+        assert_eq!(set.len(), 4);
+        assert!(set.iter().any(|s| matches!(s, Strategy::Vqpu { .. })));
+    }
+}

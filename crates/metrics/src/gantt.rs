@@ -1,0 +1,216 @@
+//! Interval recording: who occupied what, when.
+//!
+//! The [`GanttRecorder`] collects labelled `[start, end)` intervals per
+//! resource lane ("node0", "qpu0", …). Experiments use it for exact busy
+//! accounting and the examples render it as ASCII art, which makes the
+//! strategies' behaviour (Fig. 2–4 of the paper) directly visible in a
+//! terminal.
+
+use hpcqc_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One recorded interval on a lane.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Interval start (inclusive).
+    pub start: SimTime,
+    /// Interval end (exclusive).
+    pub end: SimTime,
+    /// What occupied the lane (job name, "calibration", …).
+    pub tag: String,
+}
+
+impl Interval {
+    /// The interval's length.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// Records labelled occupancy intervals per resource lane.
+///
+/// # Examples
+///
+/// ```
+/// use hpcqc_metrics::gantt::GanttRecorder;
+/// use hpcqc_simcore::time::SimTime;
+///
+/// let mut g = GanttRecorder::new();
+/// g.record("qpu0", SimTime::ZERO, SimTime::from_secs(10), "job1");
+/// g.record("qpu0", SimTime::from_secs(40), SimTime::from_secs(50), "job2");
+/// assert_eq!(g.busy("qpu0").as_secs(), 20);
+/// assert!((g.utilization("qpu0", SimTime::ZERO, SimTime::from_secs(100)) - 0.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GanttRecorder {
+    lanes: BTreeMap<String, Vec<Interval>>,
+}
+
+impl GanttRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        GanttRecorder::default()
+    }
+
+    /// Records an occupancy interval on `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn record(
+        &mut self,
+        lane: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+        tag: impl Into<String>,
+    ) {
+        assert!(end >= start, "GanttRecorder: end before start");
+        self.lanes
+            .entry(lane.into())
+            .or_default()
+            .push(Interval { start, end, tag: tag.into() });
+    }
+
+    /// The lanes recorded so far, in name order.
+    pub fn lanes(&self) -> impl Iterator<Item = &str> {
+        self.lanes.keys().map(String::as_str)
+    }
+
+    /// The intervals of a lane (recording order).
+    pub fn intervals(&self, lane: &str) -> &[Interval] {
+        self.lanes.get(lane).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total busy time on a lane (assumes non-overlapping intervals, which
+    /// holds for exclusive resources).
+    pub fn busy(&self, lane: &str) -> SimDuration {
+        self.intervals(lane).iter().map(Interval::duration).sum()
+    }
+
+    /// Busy fraction of a lane over `[from, until]`.
+    ///
+    /// Intervals are clipped to the window.
+    pub fn utilization(&self, lane: &str, from: SimTime, until: SimTime) -> f64 {
+        let span = until.saturating_since(from).as_secs_f64();
+        if span == 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .intervals(lane)
+            .iter()
+            .map(|iv| {
+                let s = iv.start.max(from);
+                let e = iv.end.min(until);
+                e.saturating_since(s).as_secs_f64()
+            })
+            .sum();
+        busy / span
+    }
+
+    /// The latest interval end across all lanes ([`SimTime::ZERO`] if empty).
+    pub fn horizon(&self) -> SimTime {
+        self.lanes
+            .values()
+            .flat_map(|v| v.iter().map(|iv| iv.end))
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Renders an ASCII Gantt chart, `width` characters of timeline from
+    /// `from` to `until`. Each lane is one row; occupied cells show the
+    /// first character of the interval tag.
+    pub fn render_ascii(&self, from: SimTime, until: SimTime, width: usize) -> String {
+        let width = width.max(10);
+        let span = until.saturating_since(from).as_secs_f64();
+        let mut out = String::new();
+        if span == 0.0 {
+            return out;
+        }
+        let label_w = self.lanes.keys().map(String::len).max().unwrap_or(4).max(4);
+        for (lane, intervals) in &self.lanes {
+            let mut row = vec!['.'; width];
+            for iv in intervals {
+                let s = iv.start.max(from).saturating_since(from).as_secs_f64();
+                let e = iv.end.min(until).saturating_since(from).as_secs_f64();
+                if e <= s {
+                    continue;
+                }
+                let a = ((s / span) * width as f64) as usize;
+                let b = (((e / span) * width as f64).ceil() as usize).min(width);
+                let c = iv.tag.chars().next().unwrap_or('#');
+                for cell in row.iter_mut().take(b).skip(a) {
+                    *cell = c;
+                }
+            }
+            let _ = writeln!(out, "{lane:<label_w$} |{}|", row.iter().collect::<String>());
+        }
+        let _ = writeln!(
+            out,
+            "{:<label_w$}  {} .. {}",
+            "time",
+            from,
+            until
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_sums_intervals() {
+        let mut g = GanttRecorder::new();
+        g.record("n0", SimTime::ZERO, SimTime::from_secs(5), "a");
+        g.record("n0", SimTime::from_secs(10), SimTime::from_secs(20), "b");
+        assert_eq!(g.busy("n0"), SimDuration::from_secs(15));
+        assert_eq!(g.busy("missing"), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn utilization_clips_to_window() {
+        let mut g = GanttRecorder::new();
+        g.record("n0", SimTime::ZERO, SimTime::from_secs(100), "a");
+        // Window [50, 150): only 50 s of the interval falls inside.
+        let u = g.utilization("n0", SimTime::from_secs(50), SimTime::from_secs(150));
+        assert!((u - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn horizon_is_latest_end() {
+        let mut g = GanttRecorder::new();
+        assert_eq!(g.horizon(), SimTime::ZERO);
+        g.record("a", SimTime::ZERO, SimTime::from_secs(7), "x");
+        g.record("b", SimTime::ZERO, SimTime::from_secs(3), "y");
+        assert_eq!(g.horizon(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn ascii_render_marks_cells() {
+        let mut g = GanttRecorder::new();
+        g.record("qpu0", SimTime::ZERO, SimTime::from_secs(50), "job");
+        let art = g.render_ascii(SimTime::ZERO, SimTime::from_secs(100), 20);
+        let row = art.lines().next().unwrap();
+        assert!(row.contains("jjjjjjjjjj"), "{art}");
+        assert!(row.contains(".........."), "{art}");
+    }
+
+    #[test]
+    #[should_panic(expected = "end before start")]
+    fn reversed_interval_panics() {
+        let mut g = GanttRecorder::new();
+        g.record("n", SimTime::from_secs(5), SimTime::ZERO, "x");
+    }
+
+    #[test]
+    fn lanes_sorted() {
+        let mut g = GanttRecorder::new();
+        g.record("b", SimTime::ZERO, SimTime::ZERO, "x");
+        g.record("a", SimTime::ZERO, SimTime::ZERO, "x");
+        let lanes: Vec<&str> = g.lanes().collect();
+        assert_eq!(lanes, vec!["a", "b"]);
+    }
+}

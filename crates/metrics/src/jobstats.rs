@@ -1,0 +1,255 @@
+//! Per-job outcome records and aggregate statistics.
+//!
+//! The standard batch-scheduling metrics: wait time, turnaround, bounded
+//! slowdown — plus the hybrid-specific ones the paper's argument needs:
+//! time a job's *allocated* resources sat idle (the waste that exclusive
+//! co-scheduling produces).
+
+use hpcqc_simcore::stats::{bounded_slowdown, Samples};
+use hpcqc_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job name.
+    pub name: String,
+    /// Submitting user.
+    pub user: String,
+    /// Submission instant.
+    pub submit: SimTime,
+    /// First time any resources started running job work.
+    pub start: SimTime,
+    /// Completion instant.
+    pub end: SimTime,
+    /// Classical nodes the job occupied (max over its lifetime).
+    pub nodes: u32,
+    /// Whether the job had quantum phases.
+    pub hybrid: bool,
+    /// `false` if the job was killed (walltime exceeded, node failure) and
+    /// exhausted its requeue budget.
+    pub completed: bool,
+    /// Node-seconds the job held allocated.
+    pub node_seconds_allocated: f64,
+    /// Node-seconds of actual classical computation.
+    pub node_seconds_used: f64,
+    /// QPU-seconds the job held allocated (exclusive strategies) — 0 when
+    /// the QPU was only used through a shared queue.
+    pub qpu_seconds_allocated: f64,
+    /// QPU-seconds of actual kernel execution.
+    pub qpu_seconds_used: f64,
+    /// Extra wait accumulated at phase boundaries (workflow re-queueing,
+    /// VQPU interleaving delay, malleability re-expansion).
+    pub phase_wait: SimDuration,
+}
+
+impl JobRecord {
+    /// Queue wait before the job first ran.
+    pub fn wait(&self) -> SimDuration {
+        self.start.since(self.submit)
+    }
+
+    /// Submit-to-completion time.
+    pub fn turnaround(&self) -> SimDuration {
+        self.end.since(self.submit)
+    }
+
+    /// Time the job spent running (first start to end).
+    pub fn runtime(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+
+    /// Allocated-but-idle node-seconds (the co-scheduling waste).
+    pub fn node_seconds_wasted(&self) -> f64 {
+        (self.node_seconds_allocated - self.node_seconds_used).max(0.0)
+    }
+
+    /// Allocated-but-idle QPU-seconds.
+    pub fn qpu_seconds_wasted(&self) -> f64 {
+        (self.qpu_seconds_allocated - self.qpu_seconds_used).max(0.0)
+    }
+}
+
+/// Aggregates [`JobRecord`]s into the summary the experiments report.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct JobStats {
+    records: Vec<JobRecord>,
+}
+
+impl JobStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        JobStats::default()
+    }
+
+    /// Records one completed job.
+    pub fn record(&mut self, record: JobRecord) {
+        self.records.push(record);
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Number of completed jobs.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing has completed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Mean queue wait in seconds.
+    pub fn mean_wait_secs(&self) -> f64 {
+        self.mean_of(|r| r.wait().as_secs_f64())
+    }
+
+    /// Mean turnaround in seconds.
+    pub fn mean_turnaround_secs(&self) -> f64 {
+        self.mean_of(|r| r.turnaround().as_secs_f64())
+    }
+
+    /// Mean bounded slowdown (τ = 10 s, the literature's usual threshold).
+    pub fn mean_bounded_slowdown(&self) -> f64 {
+        self.mean_of(|r| bounded_slowdown(r.wait(), r.runtime(), SimDuration::from_secs(10)))
+    }
+
+    /// Mean extra wait accumulated at phase boundaries, seconds.
+    pub fn mean_phase_wait_secs(&self) -> f64 {
+        self.mean_of(|r| r.phase_wait.as_secs_f64())
+    }
+
+    /// Total allocated-but-idle node-hours across all jobs.
+    pub fn total_node_hours_wasted(&self) -> f64 {
+        self.records.iter().map(JobRecord::node_seconds_wasted).sum::<f64>() / 3_600.0
+    }
+
+    /// Total allocated-but-idle QPU-hours across all jobs.
+    pub fn total_qpu_hours_wasted(&self) -> f64 {
+        self.records.iter().map(JobRecord::qpu_seconds_wasted).sum::<f64>() / 3_600.0
+    }
+
+    /// Makespan: last completion ([`SimTime::ZERO`] when empty).
+    pub fn makespan(&self) -> SimTime {
+        self.records.iter().map(|r| r.end).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Wait-time sample set (seconds) for quantile reporting.
+    pub fn wait_samples(&self) -> Samples {
+        self.records.iter().map(|r| r.wait().as_secs_f64()).collect()
+    }
+
+    /// Turnaround sample set (seconds).
+    pub fn turnaround_samples(&self) -> Samples {
+        self.records.iter().map(|r| r.turnaround().as_secs_f64()).collect()
+    }
+
+    /// Number of jobs that finished successfully.
+    pub fn completed_count(&self) -> usize {
+        self.records.iter().filter(|r| r.completed).count()
+    }
+
+    /// Number of jobs killed without completing (walltime/failures).
+    pub fn failed_count(&self) -> usize {
+        self.records.len() - self.completed_count()
+    }
+
+    /// A sub-collector containing only hybrid jobs.
+    pub fn hybrid_only(&self) -> JobStats {
+        JobStats { records: self.records.iter().filter(|r| r.hybrid).cloned().collect() }
+    }
+
+    /// A sub-collector containing only classical jobs.
+    pub fn classical_only(&self) -> JobStats {
+        JobStats { records: self.records.iter().filter(|r| !r.hybrid).cloned().collect() }
+    }
+
+    fn mean_of(&self, f: impl Fn(&JobRecord) -> f64) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.records.iter().map(f).sum::<f64>() / self.records.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(submit: u64, start: u64, end: u64, hybrid: bool) -> JobRecord {
+        JobRecord {
+            name: "j".into(),
+            user: "u".into(),
+            submit: SimTime::from_secs(submit),
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(end),
+            nodes: 4,
+            hybrid,
+            completed: true,
+            node_seconds_allocated: 4.0 * (end - start) as f64,
+            node_seconds_used: 2.0 * (end - start) as f64,
+            qpu_seconds_allocated: 0.0,
+            qpu_seconds_used: 0.0,
+            phase_wait: SimDuration::ZERO,
+        }
+    }
+
+    #[test]
+    fn record_timings() {
+        let r = rec(0, 10, 110, false);
+        assert_eq!(r.wait(), SimDuration::from_secs(10));
+        assert_eq!(r.turnaround(), SimDuration::from_secs(110));
+        assert_eq!(r.runtime(), SimDuration::from_secs(100));
+        assert_eq!(r.node_seconds_wasted(), 200.0);
+    }
+
+    #[test]
+    fn aggregate_means() {
+        let mut s = JobStats::new();
+        s.record(rec(0, 0, 100, false));
+        s.record(rec(0, 100, 200, true));
+        assert_eq!(s.mean_wait_secs(), 50.0);
+        assert_eq!(s.mean_turnaround_secs(), 150.0);
+        assert_eq!(s.makespan(), SimTime::from_secs(200));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn split_by_kind() {
+        let mut s = JobStats::new();
+        s.record(rec(0, 0, 10, false));
+        s.record(rec(0, 0, 10, true));
+        s.record(rec(0, 0, 10, true));
+        assert_eq!(s.hybrid_only().len(), 2);
+        assert_eq!(s.classical_only().len(), 1);
+    }
+
+    #[test]
+    fn waste_totals() {
+        let mut s = JobStats::new();
+        s.record(rec(0, 0, 3_600, false)); // 2 node-hours wasted
+        assert!((s.total_node_hours_wasted() - 2.0).abs() < 1e-9);
+        assert_eq!(s.total_qpu_hours_wasted(), 0.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = JobStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean_wait_secs(), 0.0);
+        assert_eq!(s.mean_bounded_slowdown(), 0.0);
+        assert_eq!(s.makespan(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn slowdown_uses_bound() {
+        let mut s = JobStats::new();
+        // wait 90 s, run 10 s → slowdown 10.
+        s.record(rec(0, 90, 100, false));
+        assert_eq!(s.mean_bounded_slowdown(), 10.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # hpcqc-metrics
+//!
+//! Measurement layer of the `hpcqc` simulator: exact (time-integrated, not
+//! sampled) accounting of what every strategy did with the machine.
+//!
+//! * [`waste`] — allocated-vs-used integration; quantifies the paper's
+//!   "elephant": exclusively allocated resources sitting idle;
+//! * [`jobstats`] — per-job outcomes (wait, turnaround, bounded slowdown,
+//!   phase waits) and aggregates;
+//! * [`gantt`] — labelled occupancy intervals with ASCII rendering, making
+//!   the Fig. 2–4 behaviours visible in a terminal;
+//! * [`report`] — aligned text/markdown/CSV tables for `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gantt;
+pub mod jobstats;
+pub mod report;
+pub mod waste;
+
+pub use gantt::{GanttRecorder, Interval};
+pub use jobstats::{JobRecord, JobStats};
+pub use report::{fmt_pct, fmt_secs, Table};
+pub use waste::WasteTracker;

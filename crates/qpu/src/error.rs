@@ -1,0 +1,58 @@
+//! Error types for QPU operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a quantum task could not be executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QpuError {
+    /// The kernel needs more qubits than the device has.
+    KernelTooLarge {
+        /// Qubits requested by the kernel.
+        requested: u32,
+        /// Qubits available on the device.
+        available: u32,
+    },
+    /// The device is offline (maintenance or failure window).
+    DeviceOffline {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A kernel parameter was invalid (zero shots, zero qubits…).
+    InvalidKernel {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for QpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QpuError::KernelTooLarge { requested, available } => {
+                write!(f, "kernel needs {requested} qubits, device has {available}")
+            }
+            QpuError::DeviceOffline { reason } => write!(f, "device offline: {reason}"),
+            QpuError::InvalidKernel { reason } => write!(f, "invalid kernel: {reason}"),
+        }
+    }
+}
+
+impl Error for QpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = QpuError::KernelTooLarge { requested: 40, available: 20 };
+        assert_eq!(e.to_string(), "kernel needs 40 qubits, device has 20");
+        assert!(QpuError::DeviceOffline { reason: "cal".into() }.to_string().contains("offline"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<QpuError>();
+    }
+}

@@ -1,0 +1,151 @@
+//! Quantum kernels: the unit of work submitted to a QPU.
+//!
+//! A kernel is what the paper calls a *circuit* or *quantum task*: a
+//! parametrized circuit plus a shot count. The scheduler never looks inside
+//! the circuit — only its resource shape (qubits) and the execution time its
+//! technology model implies.
+
+use crate::error::QpuError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A quantum kernel: circuit shape plus shot count.
+///
+/// # Examples
+///
+/// ```
+/// use hpcqc_qpu::kernel::Kernel;
+///
+/// let k = Kernel::builder("vqe-ansatz")
+///     .qubits(12)
+///     .depth(64)
+///     .shots(1_000)
+///     .build()
+///     .unwrap();
+/// assert_eq!(k.shots(), 1_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Kernel {
+    name: String,
+    qubits: u32,
+    depth: u32,
+    shots: u32,
+}
+
+impl Kernel {
+    /// Starts building a kernel with the given name.
+    pub fn builder(name: impl Into<String>) -> KernelBuilder {
+        KernelBuilder { name: name.into(), qubits: 4, depth: 16, shots: 1_000 }
+    }
+
+    /// A small sampling kernel with the given shot count (handy default).
+    pub fn sampling(shots: u32) -> Kernel {
+        Kernel { name: "sampling".into(), qubits: 8, depth: 32, shots }
+    }
+
+    /// The kernel's name (for traces and reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of qubits the circuit touches.
+    pub fn qubits(&self) -> u32 {
+        self.qubits
+    }
+
+    /// Two-qubit-gate depth of the circuit (drives per-shot duration).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Number of measurement shots requested.
+    pub fn shots(&self) -> u32 {
+        self.shots
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[q={}, d={}, shots={}]", self.name, self.qubits, self.depth, self.shots)
+    }
+}
+
+/// Builder for [`Kernel`].
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    name: String,
+    qubits: u32,
+    depth: u32,
+    shots: u32,
+}
+
+impl KernelBuilder {
+    /// Sets the qubit count (default 4).
+    pub fn qubits(mut self, qubits: u32) -> Self {
+        self.qubits = qubits;
+        self
+    }
+
+    /// Sets the circuit depth (default 16).
+    pub fn depth(mut self, depth: u32) -> Self {
+        self.depth = depth;
+        self
+    }
+
+    /// Sets the shot count (default 1000).
+    pub fn shots(mut self, shots: u32) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Validates and builds the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QpuError::InvalidKernel`] if qubits, depth or shots are zero.
+    pub fn build(self) -> Result<Kernel, QpuError> {
+        if self.qubits == 0 {
+            return Err(QpuError::InvalidKernel { reason: "zero qubits".into() });
+        }
+        if self.depth == 0 {
+            return Err(QpuError::InvalidKernel { reason: "zero depth".into() });
+        }
+        if self.shots == 0 {
+            return Err(QpuError::InvalidKernel { reason: "zero shots".into() });
+        }
+        Ok(Kernel { name: self.name, qubits: self.qubits, depth: self.depth, shots: self.shots })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let k = Kernel::builder("k").build().unwrap();
+        assert_eq!((k.qubits(), k.depth(), k.shots()), (4, 16, 1000));
+        let k = Kernel::builder("k").qubits(20).depth(100).shots(512).build().unwrap();
+        assert_eq!((k.qubits(), k.depth(), k.shots()), (20, 100, 512));
+    }
+
+    #[test]
+    fn zero_fields_rejected() {
+        assert!(Kernel::builder("k").qubits(0).build().is_err());
+        assert!(Kernel::builder("k").depth(0).build().is_err());
+        assert!(Kernel::builder("k").shots(0).build().is_err());
+    }
+
+    #[test]
+    fn display_shows_shape() {
+        let k = Kernel::builder("bell").qubits(2).depth(2).shots(100).build().unwrap();
+        assert_eq!(k.to_string(), "bell[q=2, d=2, shots=100]");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let k = Kernel::sampling(42);
+        let json = serde_json::to_string(&k).unwrap();
+        assert_eq!(serde_json::from_str::<Kernel>(&json).unwrap(), k);
+    }
+}

@@ -1,0 +1,45 @@
+//! # hpcqc-qpu
+//!
+//! Quantum-device models for the `hpcqc` hybrid HPC–QC scheduling
+//! simulator. This crate is the *substrate substitution* for the real
+//! quantum hardware the paper discusses: scheduling behaviour depends only
+//! on the devices' time scales and queueing discipline, which are modelled
+//! explicitly here.
+//!
+//! * [`technology`] — the five modelled hardware families and the Fig. 1
+//!   time-scale reproduction ([`fig1_rows`]);
+//! * [`timing`] — per-task timing decomposition (register calibration +
+//!   setup + shots) and periodic device recalibration;
+//! * [`kernel`] — the unit of quantum work (circuit shape + shots);
+//! * [`device`] — the FIFO device state machine shared by all strategies;
+//! * [`remote`] — the REST/cloud access-model overheads of §3.
+//!
+//! ## The paper's Fig. 1, as code
+//!
+//! ```
+//! use hpcqc_qpu::{fig1_rows, Technology};
+//!
+//! for row in fig1_rows(1_000, 100, 42) {
+//!     println!(
+//!         "{:16} shot ~{:.2e}s  job ~{:.1}s",
+//!         row.technology.name(), row.shot_p50, row.job_p50
+//!     );
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod device;
+pub mod error;
+pub mod kernel;
+pub mod remote;
+pub mod technology;
+pub mod timing;
+
+pub use device::{QpuDevice, TaskExecution};
+pub use error::QpuError;
+pub use kernel::{Kernel, KernelBuilder};
+pub use remote::{AccessMode, RemoteAccess};
+pub use technology::{fig1_rows, Technology, TimeScaleRow};
+pub use timing::{CalibrationPolicy, TaskTiming, TimingModel};

@@ -1,0 +1,191 @@
+//! The cloud / REST access model for quantum devices.
+//!
+//! §3 of the paper ("Access and allocation model"): *current quantum
+//! computers are typically accessed via dedicated libraries and REST APIs,
+//! supported by internal queuing systems*. For an HPC job this adds, per
+//! kernel: the submission round trip, the vendor-side queue wait (shared
+//! with outside users), and the result-polling quantization.
+//!
+//! Experiment **E7** uses this module to quantify when the access-model
+//! overhead dominates the kernel itself (short superconducting kernels) and
+//! when it vanishes in the noise (neutral-atom jobs).
+
+use crate::technology::Technology;
+use hpcqc_simcore::dist::Dist;
+use hpcqc_simcore::rng::SimRng;
+use hpcqc_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// How the HPC side reaches the QPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AccessMode {
+    /// On-prem integration: sub-millisecond submit path, no vendor queue.
+    Integrated {
+        /// One-way submit latency (seconds), e.g. RPC over the fabric.
+        submit_latency: Dist,
+    },
+    /// Cloud access through a vendor REST API.
+    Cloud(RemoteAccess),
+}
+
+impl AccessMode {
+    /// A typical on-prem integration profile (~200 µs RPC).
+    pub fn integrated() -> Self {
+        AccessMode::Integrated {
+            submit_latency: Dist::log_normal_mean_cv(200e-6, 0.5).clamped(20e-6, 5e-3),
+        }
+    }
+
+    /// A typical public-cloud profile for the given technology.
+    pub fn cloud(technology: Technology) -> Self {
+        AccessMode::Cloud(RemoteAccess::typical(technology))
+    }
+
+    /// Samples the access overhead added to one kernel execution
+    /// (everything except the kernel's own hardware time).
+    pub fn sample_overhead(&self, rng: &mut SimRng) -> SimDuration {
+        match self {
+            AccessMode::Integrated { submit_latency } => {
+                // Submit + completion notification.
+                submit_latency.sample_duration(rng) + submit_latency.sample_duration(rng)
+            }
+            AccessMode::Cloud(remote) => remote.sample_overhead(rng),
+        }
+    }
+
+    /// Mean access overhead in seconds (analytic).
+    pub fn mean_overhead_secs(&self) -> f64 {
+        match self {
+            AccessMode::Integrated { submit_latency } => 2.0 * submit_latency.mean(),
+            AccessMode::Cloud(remote) => remote.mean_overhead_secs(),
+        }
+    }
+}
+
+/// Parameters of a vendor cloud endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RemoteAccess {
+    rtt: Dist,
+    vendor_queue: Dist,
+    poll_interval: SimDuration,
+}
+
+impl RemoteAccess {
+    /// Creates a profile from a round-trip-time distribution, a vendor queue
+    /// wait distribution (both seconds) and the client's polling interval.
+    pub fn new(rtt: Dist, vendor_queue: Dist, poll_interval: SimDuration) -> Self {
+        RemoteAccess { rtt, vendor_queue, poll_interval }
+    }
+
+    /// A typical public-internet profile: ~80 ms RTT, technology-dependent
+    /// vendor queue (busier machines queue longer), 2 s polling.
+    pub fn typical(technology: Technology) -> Self {
+        // Vendor-side queue waits grow with how contended each technology's
+        // public endpoints are; NISQ clouds routinely show seconds-to-minutes.
+        let vendor_queue = match technology {
+            Technology::Superconducting => Dist::log_normal_mean_cv(45.0, 1.5).clamped(1.0, 1_800.0),
+            Technology::TrappedIon => Dist::log_normal_mean_cv(120.0, 1.2).clamped(5.0, 3_600.0),
+            Technology::NeutralAtom => Dist::log_normal_mean_cv(300.0, 1.0).clamped(10.0, 7_200.0),
+            Technology::Photonic => Dist::log_normal_mean_cv(30.0, 1.5).clamped(1.0, 1_200.0),
+            Technology::SpinQubit => Dist::log_normal_mean_cv(60.0, 1.2).clamped(2.0, 1_800.0),
+        };
+        RemoteAccess::new(
+            Dist::log_normal_mean_cv(0.08, 0.4).clamped(0.02, 0.5),
+            vendor_queue,
+            SimDuration::from_secs(2),
+        )
+    }
+
+    /// The round-trip-time distribution.
+    pub fn rtt(&self) -> &Dist {
+        &self.rtt
+    }
+
+    /// The vendor-queue wait distribution.
+    pub fn vendor_queue(&self) -> &Dist {
+        &self.vendor_queue
+    }
+
+    /// The client polling interval.
+    pub fn poll_interval(&self) -> SimDuration {
+        self.poll_interval
+    }
+
+    /// Samples the total overhead one kernel pays for cloud access:
+    /// submit RTT + vendor queue + result poll quantization + result RTT.
+    pub fn sample_overhead(&self, rng: &mut SimRng) -> SimDuration {
+        let submit = self.rtt.sample_duration(rng);
+        let queue = self.vendor_queue.sample_duration(rng);
+        // Completion lands uniformly within a polling window.
+        let poll = SimDuration::from_secs_f64(
+            self.poll_interval.as_secs_f64() * rng.f64(),
+        );
+        let fetch = self.rtt.sample_duration(rng);
+        submit + queue + poll + fetch
+    }
+
+    /// Mean overhead in seconds (analytic).
+    pub fn mean_overhead_secs(&self) -> f64 {
+        2.0 * self.rtt.mean() + self.vendor_queue.mean() + self.poll_interval.as_secs_f64() / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrated_overhead_sub_millisecond_scale() {
+        let mode = AccessMode::integrated();
+        assert!(mode.mean_overhead_secs() < 0.01);
+        let mut rng = SimRng::seed_from(1);
+        let oh = mode.sample_overhead(&mut rng);
+        assert!(oh < SimDuration::from_millis(20), "overhead {oh}");
+    }
+
+    #[test]
+    fn cloud_overhead_dominated_by_vendor_queue() {
+        let mode = AccessMode::cloud(Technology::Superconducting);
+        // ~45 s queue + ~0.16 s RTTs + 1 s poll → tens of seconds.
+        let mean = mode.mean_overhead_secs();
+        assert!((10.0..120.0).contains(&mean), "mean overhead {mean}");
+    }
+
+    #[test]
+    fn cloud_overhead_vs_integrated_is_orders_of_magnitude() {
+        let ratio = AccessMode::cloud(Technology::Superconducting).mean_overhead_secs()
+            / AccessMode::integrated().mean_overhead_secs();
+        assert!(ratio > 1_000.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn sampled_overhead_positive_and_reproducible() {
+        let remote = RemoteAccess::typical(Technology::TrappedIon);
+        let a = remote.sample_overhead(&mut SimRng::seed_from(5));
+        let b = remote.sample_overhead(&mut SimRng::seed_from(5));
+        assert_eq!(a, b);
+        assert!(a > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn poll_quantization_bounded_by_interval() {
+        let remote = RemoteAccess::new(
+            Dist::constant(0.0),
+            Dist::constant(0.0),
+            SimDuration::from_secs(10),
+        );
+        let mut rng = SimRng::seed_from(6);
+        for _ in 0..100 {
+            let oh = remote.sample_overhead(&mut rng);
+            assert!(oh <= SimDuration::from_secs(10));
+        }
+    }
+
+    #[test]
+    fn all_technologies_have_cloud_profiles() {
+        for t in Technology::ALL {
+            let mode = AccessMode::cloud(t);
+            assert!(mode.mean_overhead_secs() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Timing models: how long a quantum task takes on a given technology.
+//!
+//! A task's wall-clock time decomposes into
+//!
+//! ```text
+//! job = register_calibration (neutral atoms, per register geometry)
+//!     + task_setup           (compile, load, arm electronics)
+//!     + shots × shot_time
+//! ```
+//!
+//! plus, at device level, periodic recalibration windows modelled by
+//! [`CalibrationPolicy`] (drift forces every NISQ device to recalibrate on a
+//! cadence; during the window the device serves no tasks).
+
+use hpcqc_simcore::dist::Dist;
+use hpcqc_simcore::rng::SimRng;
+use hpcqc_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Per-technology task timing model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingModel {
+    shot: Dist,
+    task_setup: Dist,
+    register_calibration: Option<Dist>,
+}
+
+impl TimingModel {
+    /// Creates a model from per-shot and per-task-setup distributions
+    /// (both in seconds).
+    pub fn new(shot: Dist, task_setup: Dist) -> Self {
+        TimingModel { shot, task_setup, register_calibration: None }
+    }
+
+    /// Adds a per-job register-geometry calibration cost (neutral atoms).
+    pub fn with_register_calibration(mut self, dist: Dist) -> Self {
+        self.register_calibration = Some(dist);
+        self
+    }
+
+    /// The per-shot duration distribution.
+    pub fn shot(&self) -> &Dist {
+        &self.shot
+    }
+
+    /// The per-task setup distribution.
+    pub fn task_setup(&self) -> &Dist {
+        &self.task_setup
+    }
+
+    /// The register-calibration distribution, if the technology needs one.
+    pub fn register_calibration(&self) -> Option<&Dist> {
+        self.register_calibration.as_ref()
+    }
+
+    /// Samples a full-job duration in seconds for `shots` shots.
+    ///
+    /// Shots within one task share a single sampled per-shot time — shot
+    /// durations within a task are dominated by the same circuit and
+    /// settings, so they are strongly correlated, and sampling 10⁶ shots
+    /// individually would be pointless work.
+    pub fn sample_job_secs(&self, shots: u32, rng: &mut SimRng) -> f64 {
+        let cal = self.register_calibration.as_ref().map_or(0.0, |d| d.sample(rng));
+        let setup = self.task_setup.sample(rng);
+        let per_shot = self.shot.sample(rng);
+        cal + setup + per_shot * f64::from(shots)
+    }
+
+    /// Samples the decomposed timing of one task.
+    pub fn sample_task(&self, shots: u32, rng: &mut SimRng) -> TaskTiming {
+        let register_calibration = SimDuration::from_secs_f64(
+            self.register_calibration.as_ref().map_or(0.0, |d| d.sample(rng)),
+        );
+        let setup = SimDuration::from_secs_f64(self.task_setup.sample(rng));
+        let shots_time = SimDuration::from_secs_f64(self.shot.sample(rng) * f64::from(shots));
+        TaskTiming { register_calibration, setup, shots_time }
+    }
+
+    /// Expected job duration in seconds (analytic, for capacity planning).
+    pub fn mean_job_secs(&self, shots: u32) -> f64 {
+        self.register_calibration.as_ref().map_or(0.0, Dist::mean)
+            + self.task_setup.mean()
+            + self.shot.mean() * f64::from(shots)
+    }
+}
+
+/// The sampled components of one task execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskTiming {
+    /// Register-geometry calibration charged to this job (zero for most
+    /// technologies).
+    pub register_calibration: SimDuration,
+    /// Compile/load/arm time.
+    pub setup: SimDuration,
+    /// Total shot execution time.
+    pub shots_time: SimDuration,
+}
+
+impl TaskTiming {
+    /// Total wall-clock duration of the task on the device.
+    pub fn total(&self) -> SimDuration {
+        self.register_calibration + self.setup + self.shots_time
+    }
+}
+
+/// Periodic device recalibration: every `period`, the device spends a
+/// sampled `duration` unavailable.
+///
+/// NISQ devices drift; vendors publish calibration cadences from tens of
+/// minutes to a day. The scheduler sees this as planned unavailability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationPolicy {
+    period: SimDuration,
+    duration: Dist,
+}
+
+impl CalibrationPolicy {
+    /// Creates a policy recalibrating every `period` for `duration` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: SimDuration, duration: Dist) -> Self {
+        assert!(!period.is_zero(), "CalibrationPolicy: period must be positive");
+        CalibrationPolicy { period, duration }
+    }
+
+    /// Daily recalibration of roughly half an hour — a common vendor cadence.
+    pub fn daily() -> Self {
+        CalibrationPolicy::new(
+            SimDuration::from_hours(24),
+            Dist::log_normal_mean_cv(1_800.0, 0.2).clamped(600.0, 5_400.0),
+        )
+    }
+
+    /// The recalibration period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// If a recalibration is due at `now` given the `last` calibration
+    /// instant, samples its duration.
+    pub fn due(&self, last: SimTime, now: SimTime, rng: &mut SimRng) -> Option<SimDuration> {
+        if now.saturating_since(last) >= self.period {
+            Some(self.duration.sample_duration(rng))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TimingModel {
+        TimingModel::new(Dist::constant(0.01), Dist::constant(2.0))
+    }
+
+    #[test]
+    fn job_decomposition_adds_up() {
+        let mut rng = SimRng::seed_from(1);
+        let t = model().sample_task(100, &mut rng);
+        assert_eq!(t.register_calibration, SimDuration::ZERO);
+        assert_eq!(t.setup, SimDuration::from_secs(2));
+        assert_eq!(t.shots_time, SimDuration::from_secs(1));
+        assert_eq!(t.total(), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn register_calibration_included() {
+        let m = model().with_register_calibration(Dist::constant(600.0));
+        let mut rng = SimRng::seed_from(2);
+        let t = m.sample_task(100, &mut rng);
+        assert_eq!(t.register_calibration, SimDuration::from_secs(600));
+        assert_eq!(t.total(), SimDuration::from_secs(603));
+        assert_eq!(m.mean_job_secs(100), 603.0);
+    }
+
+    #[test]
+    fn sample_job_secs_matches_task() {
+        let m = model();
+        let mut rng = SimRng::seed_from(3);
+        assert!((m.sample_job_secs(100, &mut rng) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shots_scale_linearly() {
+        let m = model();
+        assert_eq!(m.mean_job_secs(0), 2.0);
+        assert_eq!(m.mean_job_secs(1_000), 12.0);
+    }
+
+    #[test]
+    fn calibration_due_only_after_period() {
+        let pol = CalibrationPolicy::new(SimDuration::from_hours(1), Dist::constant(60.0));
+        let mut rng = SimRng::seed_from(4);
+        assert!(pol.due(SimTime::ZERO, SimTime::from_secs(1_800), &mut rng).is_none());
+        let d = pol.due(SimTime::ZERO, SimTime::from_secs(3_600), &mut rng);
+        assert_eq!(d, Some(SimDuration::from_secs(60)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_panics() {
+        let _ = CalibrationPolicy::new(SimDuration::ZERO, Dist::constant(1.0));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests of the QPU device: FIFO ordering, busy-time
+//! conservation, and timing-model sanity across all technologies.
+
+use hpcqc_qpu::device::QpuDevice;
+use hpcqc_qpu::kernel::Kernel;
+use hpcqc_qpu::technology::Technology;
+use hpcqc_simcore::rng::SimRng;
+use hpcqc_simcore::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn tech_strategy() -> impl Strategy<Value = Technology> {
+    prop_oneof![
+        Just(Technology::Superconducting),
+        Just(Technology::TrappedIon),
+        Just(Technology::NeutralAtom),
+        Just(Technology::Photonic),
+        Just(Technology::SpinQubit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Executions never overlap and start times are nondecreasing (FIFO).
+    #[test]
+    fn fifo_no_overlap(
+        tech in tech_strategy(),
+        seed in any::<u64>(),
+        submits in prop::collection::vec(0u64..10_000, 1..30),
+        shots in 1u32..5_000,
+    ) {
+        let mut device = QpuDevice::new("d", tech, SimRng::seed_from(seed))
+            .with_calibration(None);
+        let kernel = Kernel::builder("k").qubits(4).shots(shots).build().unwrap();
+        let mut submits = submits;
+        submits.sort_unstable();
+        let mut prev_end = SimTime::ZERO;
+        let mut total_service = SimDuration::ZERO;
+        for s in submits {
+            let exec = device.enqueue(&kernel, SimTime::from_secs(s)).unwrap();
+            prop_assert!(exec.start >= SimTime::from_secs(s), "started before submission");
+            prop_assert!(exec.start >= prev_end, "executions overlap");
+            prop_assert!(exec.end > exec.start, "zero-length execution");
+            prev_end = exec.end;
+            total_service += exec.service();
+        }
+        // Busy-time conservation.
+        prop_assert_eq!(device.total_busy(), total_service);
+        prop_assert!(device.utilization(prev_end) <= 1.0 + 1e-9);
+    }
+
+    /// Job duration decomposition: total == calibration + setup + shots.
+    #[test]
+    fn task_timing_adds_up(tech in tech_strategy(), seed in any::<u64>(), shots in 1u32..100_000) {
+        let timing = tech.timing();
+        let mut rng = SimRng::seed_from(seed);
+        let t = timing.sample_task(shots, &mut rng);
+        prop_assert_eq!(t.total(), t.register_calibration + t.setup + t.shots_time);
+        // Only neutral atoms pay register calibration.
+        if tech != Technology::NeutralAtom {
+            prop_assert_eq!(t.register_calibration, SimDuration::ZERO);
+        }
+    }
+
+    /// More shots never make a sampled job shorter (same RNG stream).
+    #[test]
+    fn shots_monotone(tech in tech_strategy(), seed in any::<u64>()) {
+        let timing = tech.timing();
+        let few = timing.sample_task(100, &mut SimRng::seed_from(seed)).total();
+        let many = timing.sample_task(100_000, &mut SimRng::seed_from(seed)).total();
+        prop_assert!(many >= few, "100k shots ({many}) shorter than 100 ({few})");
+    }
+
+    /// Device behaviour is reproducible from the seed.
+    #[test]
+    fn device_deterministic(tech in tech_strategy(), seed in any::<u64>()) {
+        let kernel = Kernel::sampling(1_000);
+        let run = || {
+            let mut d = QpuDevice::new("d", tech, SimRng::seed_from(seed));
+            (0..5)
+                .map(|i| d.enqueue(&kernel, SimTime::from_secs(i * 10)).unwrap().end)
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Oversized kernels are rejected without mutating device state.
+    #[test]
+    fn oversized_kernel_rejected(tech in tech_strategy(), extra in 1u32..64) {
+        let mut device = QpuDevice::new("d", tech, SimRng::seed_from(1));
+        let kernel = Kernel::builder("big")
+            .qubits(device.qubits() + extra)
+            .build()
+            .unwrap();
+        prop_assert!(device.enqueue(&kernel, SimTime::ZERO).is_err());
+        prop_assert_eq!(device.tasks_executed(), 0);
+        prop_assert_eq!(device.total_busy(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,51 @@
+//! # hpcqc-sched
+//!
+//! The operational-HPC substrate the paper insists any integration must live
+//! within: a SLURM-like batch scheduler with priority queues, heterogeneous
+//! (multi-partition) co-allocation, and backfilling.
+//!
+//! * [`demand`] — flattened resource vectors and the free-capacity
+//!   [`Profile`] timeline backfill planning runs on;
+//! * [`priority`] — multifactor priority (age, size, QoS, decayed
+//!   fairshare);
+//! * [`scheduler`] — the [`BatchScheduler`] with three policies: strict
+//!   FCFS, EASY backfill (production default) and conservative backfill.
+//!
+//! ## Example: Listing 1 through the scheduler
+//!
+//! ```
+//! use hpcqc_cluster::{AllocRequest, ClusterBuilder, GresKind, GroupRequest};
+//! use hpcqc_sched::{BatchScheduler, PendingJob, Policy};
+//! use hpcqc_simcore::time::{SimDuration, SimTime};
+//! use hpcqc_workload::JobId;
+//!
+//! let mut cluster = ClusterBuilder::new()
+//!     .partition("classical", 10)
+//!     .partition_with_gres("quantum", 1, GresKind::qpu(), 1)
+//!     .build(SimTime::ZERO);
+//! let mut sched = BatchScheduler::new(Policy::EasyBackfill);
+//! sched.submit(PendingJob {
+//!     id: JobId::new(0),
+//!     request: AllocRequest::new()
+//!         .group(GroupRequest::nodes("classical", 10))
+//!         .group(GroupRequest::gres("quantum", GresKind::qpu(), 1)),
+//!     walltime: SimDuration::from_hours(1),
+//!     submit: SimTime::ZERO,
+//!     user: "alice".into(),
+//!     qos_boost: 0.0,
+//! }, &cluster)?;
+//! let started = sched.try_schedule(&mut cluster, SimTime::ZERO);
+//! assert_eq!(started.len(), 1);
+//! # Ok::<(), hpcqc_sched::SchedError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod demand;
+pub mod priority;
+pub mod scheduler;
+
+pub use demand::{Demand, Profile};
+pub use priority::{PriorityCalculator, PriorityWeights};
+pub use scheduler::{BatchScheduler, PendingJob, Policy, SchedError, StartedJob};

@@ -1,0 +1,162 @@
+//! Multifactor job priority, SLURM-style.
+//!
+//! `priority = age_weight · age_hours + size_weight · nodes + qos_boost
+//!             − fairshare_weight · decayed_usage(user)`
+//!
+//! Age rewards waiting jobs (prevents starvation under backfilling); size
+//! weight can favour large jobs (positive) or small ones (negative);
+//! fairshare penalizes users who recently consumed the machine.
+
+use hpcqc_simcore::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Weights of the multifactor priority.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriorityWeights {
+    /// Points per hour of queue age.
+    pub age_per_hour: f64,
+    /// Points per requested node.
+    pub size_per_node: f64,
+    /// Points subtracted per decayed node-hour of the user's past usage.
+    pub fairshare_per_node_hour: f64,
+}
+
+impl Default for PriorityWeights {
+    /// Age-dominated defaults: 10 pts/hour of age, 0.1 pts/node, 1 pt of
+    /// fairshare penalty per decayed node-hour.
+    fn default() -> Self {
+        PriorityWeights { age_per_hour: 10.0, size_per_node: 0.1, fairshare_per_node_hour: 1.0 }
+    }
+}
+
+/// Computes job priorities and tracks decayed per-user usage.
+#[derive(Debug, Clone)]
+pub struct PriorityCalculator {
+    weights: PriorityWeights,
+    half_life_secs: f64,
+    /// Per user: (usage in node-seconds at `last_update`, last update).
+    usage: HashMap<String, (f64, SimTime)>,
+}
+
+impl Default for PriorityCalculator {
+    fn default() -> Self {
+        PriorityCalculator::new(PriorityWeights::default())
+    }
+}
+
+impl PriorityCalculator {
+    /// Creates a calculator with a one-day fairshare half-life.
+    pub fn new(weights: PriorityWeights) -> Self {
+        PriorityCalculator { weights, half_life_secs: 86_400.0, usage: HashMap::new() }
+    }
+
+    /// Overrides the fairshare half-life.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `secs > 0`.
+    pub fn with_half_life_secs(mut self, secs: f64) -> Self {
+        assert!(secs > 0.0, "half-life must be positive");
+        self.half_life_secs = secs;
+        self
+    }
+
+    /// The weights in force.
+    pub fn weights(&self) -> PriorityWeights {
+        self.weights
+    }
+
+    /// Charges `node_seconds` of usage to `user` at time `now`.
+    pub fn record_usage(&mut self, user: &str, node_seconds: f64, now: SimTime) {
+        let entry = self.usage.entry(user.to_string()).or_insert((0.0, now));
+        let decayed = Self::decay(entry.0, entry.1, now, self.half_life_secs);
+        *entry = (decayed + node_seconds, now);
+    }
+
+    /// The user's decayed usage in node-seconds, as seen at `now`.
+    pub fn usage_of(&self, user: &str, now: SimTime) -> f64 {
+        self.usage
+            .get(user)
+            .map_or(0.0, |(u, at)| Self::decay(*u, *at, now, self.half_life_secs))
+    }
+
+    fn decay(value: f64, at: SimTime, now: SimTime, half_life: f64) -> f64 {
+        let dt = now.saturating_since(at).as_secs_f64();
+        value * 0.5_f64.powf(dt / half_life)
+    }
+
+    /// The priority of a job submitted at `submit` by `user` requesting
+    /// `nodes`, with an additive QoS boost, evaluated at `now`.
+    pub fn priority(
+        &self,
+        submit: SimTime,
+        nodes: u32,
+        user: &str,
+        qos_boost: f64,
+        now: SimTime,
+    ) -> f64 {
+        let age_hours = now.saturating_since(submit).as_secs_f64() / 3_600.0;
+        self.weights.age_per_hour * age_hours
+            + self.weights.size_per_node * f64::from(nodes)
+            + qos_boost
+            - self.weights.fairshare_per_node_hour * self.usage_of(user, now) / 3_600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn age_increases_priority() {
+        let calc = PriorityCalculator::default();
+        let early = calc.priority(SimTime::ZERO, 1, "u", 0.0, SimTime::from_secs(7_200));
+        let late = calc.priority(SimTime::from_secs(3_600), 1, "u", 0.0, SimTime::from_secs(7_200));
+        assert!(early > late, "older job must rank higher");
+        assert!((early - late - 10.0).abs() < 1e-9, "one hour of age = 10 pts");
+    }
+
+    #[test]
+    fn qos_boost_additive() {
+        let calc = PriorityCalculator::default();
+        let base = calc.priority(SimTime::ZERO, 1, "u", 0.0, SimTime::ZERO);
+        let boosted = calc.priority(SimTime::ZERO, 1, "u", 100.0, SimTime::ZERO);
+        assert_eq!(boosted - base, 100.0);
+    }
+
+    #[test]
+    fn fairshare_penalizes_heavy_users() {
+        let mut calc = PriorityCalculator::default();
+        calc.record_usage("heavy", 100.0 * 3_600.0, SimTime::ZERO); // 100 node-hours
+        let heavy = calc.priority(SimTime::ZERO, 1, "heavy", 0.0, SimTime::ZERO);
+        let light = calc.priority(SimTime::ZERO, 1, "light", 0.0, SimTime::ZERO);
+        assert!(light > heavy);
+        assert!((light - heavy - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn usage_decays_with_half_life() {
+        let mut calc = PriorityCalculator::default().with_half_life_secs(3_600.0);
+        calc.record_usage("u", 1_000.0, SimTime::ZERO);
+        let after_one = calc.usage_of("u", SimTime::from_secs(3_600));
+        assert!((after_one - 500.0).abs() < 1e-9);
+        let after_two = calc.usage_of("u", SimTime::from_secs(7_200));
+        assert!((after_two - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn usage_accumulates_across_records() {
+        let mut calc = PriorityCalculator::default().with_half_life_secs(3_600.0);
+        calc.record_usage("u", 1_000.0, SimTime::ZERO);
+        calc.record_usage("u", 1_000.0, SimTime::from_secs(3_600));
+        // 1000 decayed to 500, plus fresh 1000.
+        assert!((calc.usage_of("u", SimTime::from_secs(3_600)) - 1_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_user_has_zero_usage() {
+        let calc = PriorityCalculator::default();
+        assert_eq!(calc.usage_of("nobody", SimTime::from_secs(5)), 0.0);
+    }
+}

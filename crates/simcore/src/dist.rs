@@ -1,0 +1,484 @@
+//! Probability distributions for service times, arrivals and jitter.
+//!
+//! The samplers are hand-rolled (inverse transform / Box–Muller) rather than
+//! pulled from `rand_distr`, keeping the dependency set to the project's
+//! allowed list. Every sampler is unit-tested against closed-form moments and
+//! property-tested for support bounds.
+//!
+//! All distributions sample **seconds** as `f64`; [`Dist::sample_duration`]
+//! quantizes to [`SimDuration`] with negative values clamped to zero.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A serializable description of a non-negative random variable.
+///
+/// # Examples
+///
+/// ```
+/// use hpcqc_simcore::dist::Dist;
+/// use hpcqc_simcore::rng::SimRng;
+///
+/// let d = Dist::exponential(10.0); // mean 10 s
+/// let mut rng = SimRng::seed_from(1);
+/// let x = d.sample(&mut rng);
+/// assert!(x >= 0.0);
+/// assert_eq!(d.mean(), 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Always `value`.
+    Constant {
+        /// The constant value, seconds.
+        value: f64,
+    },
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive), seconds.
+        lo: f64,
+        /// Upper bound (exclusive), seconds.
+        hi: f64,
+    },
+    /// Exponential with the given mean (rate = 1/mean).
+    Exponential {
+        /// Mean, seconds.
+        mean: f64,
+    },
+    /// Log-normal parametrized by the underlying normal's `mu` and `sigma`.
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal (must be > 0).
+        sigma: f64,
+    },
+    /// Weibull with shape `k` and scale `lambda`.
+    Weibull {
+        /// Shape parameter (k > 0). k < 1: heavy tail; k = 1: exponential.
+        shape: f64,
+        /// Scale parameter (λ > 0), seconds.
+        scale: f64,
+    },
+    /// Erlang: sum of `k` iid exponentials with total mean `mean`.
+    Erlang {
+        /// Number of stages (k ≥ 1).
+        k: u32,
+        /// Mean of the sum, seconds.
+        mean: f64,
+    },
+    /// Triangular on `[min, max]` with the given mode.
+    Triangular {
+        /// Lower bound, seconds.
+        min: f64,
+        /// Most likely value, seconds.
+        mode: f64,
+        /// Upper bound, seconds.
+        max: f64,
+    },
+    /// Normal truncated at zero (resampled-free: negative draws clamp to 0).
+    NormalClamped {
+        /// Mean of the untruncated normal, seconds.
+        mean: f64,
+        /// Standard deviation of the untruncated normal.
+        std_dev: f64,
+    },
+    /// `offset + inner` — e.g. a fixed setup cost plus a stochastic part.
+    Shifted {
+        /// Constant offset added to every draw, seconds.
+        offset: f64,
+        /// The stochastic part.
+        inner: Box<Dist>,
+    },
+    /// `inner` clamped into `[lo, hi]`.
+    Clamped {
+        /// Lower clamp, seconds.
+        lo: f64,
+        /// Upper clamp, seconds.
+        hi: f64,
+        /// The unclamped distribution.
+        inner: Box<Dist>,
+    },
+}
+
+impl Dist {
+    /// A degenerate distribution always returning `value` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or non-finite.
+    pub fn constant(value: f64) -> Dist {
+        assert!(value.is_finite() && value >= 0.0, "constant: need finite value ≥ 0, got {value}");
+        Dist::Constant { value }
+    }
+
+    /// Uniform on `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ lo ≤ hi` and both are finite.
+    pub fn uniform(lo: f64, hi: f64) -> Dist {
+        assert!(lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi, "uniform: need 0 ≤ lo ≤ hi, got [{lo}, {hi})");
+        Dist::Uniform { lo, hi }
+    }
+
+    /// Exponential with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean > 0` and finite.
+    pub fn exponential(mean: f64) -> Dist {
+        assert!(mean.is_finite() && mean > 0.0, "exponential: need mean > 0, got {mean}");
+        Dist::Exponential { mean }
+    }
+
+    /// Log-normal from the underlying normal's parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sigma > 0` and both parameters are finite.
+    pub fn log_normal(mu: f64, sigma: f64) -> Dist {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma > 0.0, "log_normal: need finite mu, sigma > 0");
+        Dist::LogNormal { mu, sigma }
+    }
+
+    /// Log-normal with the given (linear-space) mean and coefficient of
+    /// variation — the natural parametrization for job runtimes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean > 0` and `cv > 0`.
+    pub fn log_normal_mean_cv(mean: f64, cv: f64) -> Dist {
+        assert!(mean > 0.0 && cv > 0.0, "log_normal_mean_cv: need mean > 0 and cv > 0");
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        Dist::LogNormal { mu, sigma: sigma2.sqrt() }
+    }
+
+    /// Weibull with shape `k` and scale `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are positive and finite.
+    pub fn weibull(shape: f64, scale: f64) -> Dist {
+        assert!(shape.is_finite() && scale.is_finite() && shape > 0.0 && scale > 0.0, "weibull: need shape > 0 and scale > 0");
+        Dist::Weibull { shape, scale }
+    }
+
+    /// Erlang: sum of `k` exponential stages with total mean `mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k ≥ 1` and `mean > 0`.
+    pub fn erlang(k: u32, mean: f64) -> Dist {
+        assert!(k >= 1 && mean > 0.0 && mean.is_finite(), "erlang: need k ≥ 1 and mean > 0");
+        Dist::Erlang { k, mean }
+    }
+
+    /// Triangular on `[min, max]` peaking at `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ min ≤ mode ≤ max`.
+    pub fn triangular(min: f64, mode: f64, max: f64) -> Dist {
+        assert!(0.0 <= min && min <= mode && mode <= max && max.is_finite(), "triangular: need 0 ≤ min ≤ mode ≤ max");
+        Dist::Triangular { min, mode, max }
+    }
+
+    /// Normal clamped at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `std_dev ≥ 0` and both parameters are finite.
+    pub fn normal_clamped(mean: f64, std_dev: f64) -> Dist {
+        assert!(mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0, "normal_clamped: need finite mean and std_dev ≥ 0");
+        Dist::NormalClamped { mean, std_dev }
+    }
+
+    /// Adds a deterministic offset (e.g. fixed setup latency) to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is negative or non-finite.
+    pub fn shifted(self, offset: f64) -> Dist {
+        assert!(offset.is_finite() && offset >= 0.0, "shifted: need offset ≥ 0, got {offset}");
+        Dist::Shifted { offset, inner: Box::new(self) }
+    }
+
+    /// Clamps draws into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ lo ≤ hi`.
+    pub fn clamped(self, lo: f64, hi: f64) -> Dist {
+        assert!(0.0 <= lo && lo <= hi, "clamped: need 0 ≤ lo ≤ hi");
+        Dist::Clamped { lo, hi, inner: Box::new(self) }
+    }
+
+    /// Draws one value, in seconds. Always non-negative.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        let v = match self {
+            Dist::Constant { value } => *value,
+            Dist::Uniform { lo, hi } => rng.f64_range(*lo, *hi),
+            Dist::Exponential { mean } => {
+                // Inverse transform; guard the log singularity at u = 0.
+                let u = (1.0 - rng.f64()).max(f64::MIN_POSITIVE);
+                -mean * u.ln()
+            }
+            Dist::LogNormal { mu, sigma } => (mu + sigma * rng.standard_normal()).exp(),
+            Dist::Weibull { shape, scale } => {
+                let u = (1.0 - rng.f64()).max(f64::MIN_POSITIVE);
+                scale * (-u.ln()).powf(1.0 / shape)
+            }
+            Dist::Erlang { k, mean } => {
+                let stage_mean = mean / f64::from(*k);
+                (0..*k)
+                    .map(|_| {
+                        let u = (1.0 - rng.f64()).max(f64::MIN_POSITIVE);
+                        -stage_mean * u.ln()
+                    })
+                    .sum()
+            }
+            Dist::Triangular { min, mode, max } => {
+                let u = rng.f64();
+                let span = max - min;
+                if span == 0.0 {
+                    *min
+                } else {
+                    let fc = (mode - min) / span;
+                    if u < fc {
+                        min + (u * span * (mode - min)).sqrt()
+                    } else {
+                        max - ((1.0 - u) * span * (max - mode)).sqrt()
+                    }
+                }
+            }
+            Dist::NormalClamped { mean, std_dev } => mean + std_dev * rng.standard_normal(),
+            Dist::Shifted { offset, inner } => offset + inner.sample(rng),
+            Dist::Clamped { lo, hi, inner } => inner.sample(rng).clamp(*lo, *hi),
+        };
+        v.max(0.0)
+    }
+
+    /// Draws one value quantized to a [`SimDuration`].
+    pub fn sample_duration(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(self.sample(rng))
+    }
+
+    /// The exact mean of the distribution, in seconds.
+    ///
+    /// For [`Dist::NormalClamped`] and [`Dist::Clamped`] this is the mean of
+    /// the *unclamped* variable — an upper-layer approximation documented
+    /// here rather than silently wrong.
+    pub fn mean(&self) -> f64 {
+        match self {
+            Dist::Constant { value } => *value,
+            Dist::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Dist::Exponential { mean } => *mean,
+            Dist::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            Dist::Weibull { shape, scale } => scale * gamma(1.0 + 1.0 / shape),
+            Dist::Erlang { mean, .. } => *mean,
+            Dist::Triangular { min, mode, max } => (min + mode + max) / 3.0,
+            Dist::NormalClamped { mean, .. } => *mean,
+            Dist::Shifted { offset, inner } => offset + inner.mean(),
+            Dist::Clamped { inner, .. } => inner.mean(),
+        }
+    }
+
+    /// The mean as a [`SimDuration`].
+    pub fn mean_duration(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.mean())
+    }
+}
+
+impl fmt::Display for Dist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dist::Constant { value } => write!(f, "const({value}s)"),
+            Dist::Uniform { lo, hi } => write!(f, "uniform({lo}s, {hi}s)"),
+            Dist::Exponential { mean } => write!(f, "exp(mean={mean}s)"),
+            Dist::LogNormal { mu, sigma } => write!(f, "lognormal(mu={mu}, sigma={sigma})"),
+            Dist::Weibull { shape, scale } => write!(f, "weibull(k={shape}, λ={scale}s)"),
+            Dist::Erlang { k, mean } => write!(f, "erlang(k={k}, mean={mean}s)"),
+            Dist::Triangular { min, mode, max } => write!(f, "tri({min}, {mode}, {max})"),
+            Dist::NormalClamped { mean, std_dev } => write!(f, "normal⁺(mean={mean}s, sd={std_dev})"),
+            Dist::Shifted { offset, inner } => write!(f, "{offset}s + {inner}"),
+            Dist::Clamped { lo, hi, inner } => write!(f, "clamp[{lo},{hi}]({inner})"),
+        }
+    }
+}
+
+/// Lanczos approximation of the gamma function, used for the Weibull mean.
+fn gamma(x: f64) -> f64 {
+    // Coefficients for g = 7, n = 9 (Numerical Recipes flavour).
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_mean(d: &Dist, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::seed_from(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-7);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Dist::constant(3.5);
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 3.5);
+        }
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Dist::uniform(2.0, 6.0);
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            assert!((2.0..6.0).contains(&v));
+        }
+        assert!((empirical_mean(&d, 100_000, 3) - 4.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Dist::exponential(5.0);
+        let m = empirical_mean(&d, 200_000, 4);
+        assert!((m - 5.0).abs() < 0.05, "empirical mean {m}");
+    }
+
+    #[test]
+    fn lognormal_mean_matches_analytic() {
+        let d = Dist::log_normal_mean_cv(100.0, 1.5);
+        assert!((d.mean() - 100.0).abs() < 1e-9);
+        let m = empirical_mean(&d, 400_000, 5);
+        assert!((m - 100.0).abs() < 2.0, "empirical mean {m}");
+    }
+
+    #[test]
+    fn weibull_mean_matches_analytic() {
+        let d = Dist::weibull(1.5, 10.0);
+        let analytic = d.mean();
+        let m = empirical_mean(&d, 200_000, 6);
+        assert!((m - analytic).abs() / analytic < 0.02, "empirical {m} vs analytic {analytic}");
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let d = Dist::weibull(1.0, 7.0);
+        assert!((d.mean() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn erlang_mean_and_lower_variance() {
+        let d = Dist::erlang(4, 8.0);
+        let m = empirical_mean(&d, 100_000, 7);
+        assert!((m - 8.0).abs() < 0.1, "empirical mean {m}");
+        // Erlang(k) has variance mean²/k: check it is well below exponential's.
+        let mut rng = SimRng::seed_from(8);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((var - 16.0).abs() < 1.0, "variance {var} should be ≈ 64/4");
+    }
+
+    #[test]
+    fn triangular_bounds_and_mean() {
+        let d = Dist::triangular(1.0, 2.0, 6.0);
+        let mut rng = SimRng::seed_from(9);
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            assert!((1.0..=6.0).contains(&v));
+        }
+        assert!((empirical_mean(&d, 100_000, 10) - 3.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn normal_clamped_never_negative() {
+        let d = Dist::normal_clamped(0.5, 2.0);
+        let mut rng = SimRng::seed_from(11);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn shifted_adds_offset() {
+        let d = Dist::constant(2.0).shifted(3.0);
+        let mut rng = SimRng::seed_from(12);
+        assert_eq!(d.sample(&mut rng), 5.0);
+        assert_eq!(d.mean(), 5.0);
+    }
+
+    #[test]
+    fn clamped_respects_bounds() {
+        let d = Dist::exponential(100.0).clamped(1.0, 2.0);
+        let mut rng = SimRng::seed_from(13);
+        for _ in 0..1_000 {
+            let v = d.sample(&mut rng);
+            assert!((1.0..=2.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn sample_duration_quantizes() {
+        let d = Dist::constant(1.25);
+        let mut rng = SimRng::seed_from(14);
+        assert_eq!(d.sample_duration(&mut rng), SimDuration::from_millis(1250));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = Dist::log_normal(2.5, 0.5).shifted(1.0).clamped(0.5, 100.0);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dist = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean > 0")]
+    fn exponential_rejects_nonpositive_mean() {
+        let _ = Dist::exponential(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo ≤ hi")]
+    fn uniform_rejects_reversed_bounds() {
+        let _ = Dist::uniform(5.0, 1.0);
+    }
+}

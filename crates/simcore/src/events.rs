@@ -1,0 +1,282 @@
+//! The event calendar: a deterministic future-event list.
+//!
+//! [`EventQueue`] is the heart of the discrete-event kernel. It orders
+//! pending events by timestamp and breaks ties by insertion order (FIFO), so
+//! a simulation driven from a fixed seed always replays the identical event
+//! sequence — the determinism invariant every experiment in this repository
+//! relies on.
+//!
+//! Events can be cancelled through the [`EventKey`] returned at scheduling
+//! time; cancellation is lazy (tombstoned) and O(1).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+/// Opaque handle identifying a scheduled event, used for cancellation.
+///
+/// Keys are unique for the lifetime of the queue that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventKey(u64);
+
+impl fmt::Display for EventKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evt#{}", self.0)
+    }
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest (time, seq) first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A scheduled event popped from the queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// The cancellation key it was scheduled under.
+    pub key: EventKey,
+    /// The event payload.
+    pub payload: E,
+}
+
+/// A deterministic future-event list ordered by `(time, insertion order)`.
+///
+/// # Examples
+///
+/// ```
+/// use hpcqc_simcore::events::EventQueue;
+/// use hpcqc_simcore::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), "late");
+/// q.schedule(SimTime::from_secs(1), "early");
+/// let first = q.pop().unwrap();
+/// assert_eq!(first.payload, "early");
+/// assert_eq!(first.time, SimTime::from_secs(1));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time` and returns its cancellation key.
+    ///
+    /// Events scheduled for a time earlier than the last popped event would
+    /// travel backwards in time; that is a simulation-logic bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the timestamp of the last event
+    /// popped from this queue.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventKey {
+        assert!(
+            time >= self.last_popped,
+            "scheduled an event at {time} in the past of the clock ({})",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+        EventKey(seq)
+    }
+
+    /// Cancels a scheduled event. Returns `true` if the event was still
+    /// pending (i.e. this call actually prevented it from firing).
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        // A key is pending iff it was issued and has not fired yet. We cannot
+        // cheaply know whether it already fired, so track tombstones and let
+        // `pop` drop them; `insert` returns false on double-cancel.
+        if key.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(key.0)
+    }
+
+    /// Removes and returns the earliest pending event, skipping cancelled
+    /// ones, or `None` when the calendar is exhausted.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.last_popped = entry.time;
+            return Some(Scheduled {
+                time: entry.time,
+                key: EventKey(entry.seq),
+                payload: entry.payload,
+            });
+        }
+        None
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Purge cancelled heads so the peeked time is a live event.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = self.heap.pop().expect("peeked entry vanished").seq;
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// `true` if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The timestamp of the most recently popped event ([`SimTime::ZERO`]
+    /// before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.last_popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 3);
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut q = EventQueue::new();
+        let k1 = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        assert!(q.cancel(k1));
+        assert!(!q.cancel(k1), "double-cancel must report false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_key_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventKey(42)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(5), "b");
+        q.cancel(k);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(9), ());
+    }
+
+    #[test]
+    fn same_time_as_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), 1);
+        q.pop();
+        q.schedule(SimTime::from_secs(10), 2); // zero-delay follow-up event
+        assert_eq!(q.pop().unwrap().payload, 2);
+    }
+
+    #[test]
+    fn empty_after_draining() {
+        let mut q = EventQueue::new();
+        let end = SimTime::ZERO + SimDuration::from_secs(1);
+        q.schedule(end, ());
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

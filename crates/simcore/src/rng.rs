@@ -1,0 +1,280 @@
+//! Deterministic, forkable random-number generation.
+//!
+//! Every stochastic component of the simulator (arrival processes, service
+//! times, device jitter) draws from a [`SimRng`] derived from a single root
+//! seed. [`SimRng::fork`] derives decorrelated child generators from string
+//! labels, so adding a new random consumer does not perturb the streams of
+//! existing ones — the classic "common random numbers" discipline for
+//! comparing scheduling policies on identical workloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Mixes a 64-bit value with the SplitMix64 finalizer.
+///
+/// Used to derive stream seeds from `(root seed, label hash)` pairs; the
+/// finalizer's avalanche behaviour decorrelates neighbouring seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a label, for stable stream derivation.
+fn fnv1a(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A seedable, forkable random-number generator for simulations.
+///
+/// Wraps [`rand::rngs::StdRng`] with deterministic construction from a `u64`
+/// seed and labelled stream derivation.
+///
+/// # Examples
+///
+/// ```
+/// use hpcqc_simcore::rng::SimRng;
+///
+/// let mut root = SimRng::seed_from(42);
+/// let mut arrivals = root.fork("arrivals");
+/// let mut services = root.fork("services");
+/// // Streams are decorrelated but fully reproducible:
+/// let a = arrivals.f64();
+/// let s = services.f64();
+/// let mut root2 = SimRng::seed_from(42);
+/// assert_eq!(root2.fork("arrivals").f64(), a);
+/// assert_eq!(root2.fork("services").f64(), s);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(splitmix64(seed)),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives a decorrelated child generator from a string label.
+    ///
+    /// Forking depends only on `(seed, label)` — not on how much randomness
+    /// has been consumed — so call order does not matter.
+    pub fn fork(&self, label: &str) -> SimRng {
+        SimRng::seed_from(splitmix64(self.seed ^ fnv1a(label)))
+    }
+
+    /// Derives a decorrelated child generator from an index (e.g. a job id).
+    pub fn fork_indexed(&self, label: &str, index: u64) -> SimRng {
+        SimRng::seed_from(splitmix64(self.seed ^ fnv1a(label) ^ splitmix64(index)))
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "f64_range: lo ({lo}) > hi ({hi})");
+        if lo == hi {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform `u64` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below: n must be positive");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform `usize` index into a slice of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "index: empty range");
+        self.inner.gen_range(0..len)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.f64() < p
+        }
+    }
+
+    /// Picks a uniformly random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Standard normal draw via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Box–Muller needs u1 in (0,1]; guard the log singularity at 0.
+        let u1 = (1.0 - self.f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Fisher–Yates shuffle of a slice, in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "seeds 1 and 2 produced near-identical streams");
+    }
+
+    #[test]
+    fn forks_are_order_independent() {
+        let root = SimRng::seed_from(99);
+        let mut x1 = root.fork("x");
+        let mut y1 = root.fork("y");
+        // Opposite derivation order must not matter.
+        let root2 = SimRng::seed_from(99);
+        let mut y2 = root2.fork("y");
+        let mut x2 = root2.fork("x");
+        assert_eq!(x1.next_u64(), x2.next_u64());
+        assert_eq!(y1.next_u64(), y2.next_u64());
+    }
+
+    #[test]
+    fn forked_streams_decorrelated() {
+        let root = SimRng::seed_from(5);
+        let mut a = root.fork("a");
+        let mut b = root.fork("b");
+        let matches = (0..256).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(matches, 0);
+    }
+
+    #[test]
+    fn indexed_forks_distinct() {
+        let root = SimRng::seed_from(11);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            seen.insert(root.fork_indexed("job", i).next_u64());
+        }
+        assert_eq!(seen.len(), 1000);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..10_000 {
+            let v = rng.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(4);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-1.0));
+        assert!(rng.chance(2.0));
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SimRng::seed_from(12);
+        let n = 200_000;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for _ in 0..n {
+            let z = rng.standard_normal();
+            sum += z;
+            sum2 += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.03, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed_from(8);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+
+    #[test]
+    fn range_degenerate() {
+        let mut rng = SimRng::seed_from(1);
+        assert_eq!(rng.f64_range(2.0, 2.0), 2.0);
+    }
+}

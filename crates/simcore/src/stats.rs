@@ -1,0 +1,617 @@
+//! Online statistics used by the metrics layer.
+//!
+//! * [`Welford`] — numerically stable streaming mean/variance with merge.
+//! * [`Samples`] — exact quantiles over a retained sample set.
+//! * [`Histogram`] — fixed-bin counting for dense reporting.
+//! * [`TimeWeighted`] — exact time integrals of piecewise-constant signals,
+//!   the workhorse behind every utilization number in the experiments.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/variance via Welford's algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use hpcqc_simcore::stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     w.record(x);
+/// }
+/// assert_eq!(w.mean(), 4.0);
+/// assert_eq!(w.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0.0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel-sweep support).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A retained sample set with exact quantiles.
+///
+/// Scheduling experiments are small enough (≤ millions of jobs) that keeping
+/// the samples is cheaper and more trustworthy than quantile sketches.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Samples { values: Vec::new(), sorted: true }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.values.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Sample mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Exact `q`-quantile by linear interpolation (`q` in `[0,1]`).
+    ///
+    /// Returns `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile: q must be in [0,1], got {q}");
+        if self.values.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.values.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+            self.sorted = true;
+        }
+        let n = self.values.len();
+        if n == 1 {
+            return Some(self.values[0]);
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.values[lo] * (1.0 - frac) + self.values[hi] * frac)
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&mut self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&mut self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Largest observation.
+    pub fn max(&mut self) -> Option<f64> {
+        self.quantile(1.0)
+    }
+
+    /// Immutable view of the recorded values (unsorted order not guaranteed).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl Extend<f64> for Samples {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Samples::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// A fixed-bin histogram over `[lo, hi)` with overflow/underflow bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `n_bins` equal bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi` and `n_bins ≥ 1`.
+    pub fn new(lo: f64, hi: f64, n_bins: usize) -> Self {
+        assert!(lo < hi, "histogram: need lo < hi");
+        assert!(n_bins >= 1, "histogram: need at least one bin");
+        Histogram { lo, hi, bins: vec![0; n_bins], underflow: 0, overflow: 0, count: 0 }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Counts per bin (excluding under/overflow).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `[lo, hi)` bounds of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len(), "bin index out of range");
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+}
+
+/// Exact time integral of a piecewise-constant signal.
+///
+/// Utilization, queue depth and allocated-node counts are all step
+/// functions of simulation time; `TimeWeighted` integrates them exactly
+/// between updates.
+///
+/// # Examples
+///
+/// ```
+/// use hpcqc_simcore::stats::TimeWeighted;
+/// use hpcqc_simcore::time::SimTime;
+///
+/// let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+/// tw.set(SimTime::from_secs(10), 4.0);   // 0 for 10 s
+/// tw.set(SimTime::from_secs(20), 0.0);   // 4 for 10 s
+/// let avg = tw.time_average(SimTime::from_secs(20));
+/// assert_eq!(avg, 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    value: f64,
+    integral: f64, // value × seconds
+    max: f64,
+    start: SimTime,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at `start` with initial `value`.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        TimeWeighted { last_time: start, value, integral: 0.0, max: value, start }
+    }
+
+    /// Sets the signal to `value` from time `now` on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous update (simulation-logic bug).
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        let dt = now.since(self.last_time).as_secs_f64();
+        self.integral += self.value * dt;
+        self.last_time = now;
+        self.value = value;
+        self.max = self.max.max(value);
+    }
+
+    /// Adds `delta` to the current value at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// The current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// The maximum value the signal has reached.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Integral of the signal from `start` to `until` (value × seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until` precedes the last update.
+    pub fn integral(&self, until: SimTime) -> f64 {
+        self.integral + self.value * until.since(self.last_time).as_secs_f64()
+    }
+
+    /// Time average over `[start, until]`; 0.0 when the window is empty.
+    pub fn time_average(&self, until: SimTime) -> f64 {
+        let span = until.since(self.start).as_secs_f64();
+        if span == 0.0 {
+            0.0
+        } else {
+            self.integral(until) / span
+        }
+    }
+}
+
+/// Integrates busy time of a binary (busy/idle) resource.
+///
+/// A thin wrapper around [`TimeWeighted`] specialized to produce
+/// busy-duration and utilization-fraction reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BusyTracker {
+    tw: TimeWeighted,
+    busy_units: f64,
+    capacity: f64,
+}
+
+impl BusyTracker {
+    /// Creates a tracker for a resource with `capacity` units, all idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive.
+    pub fn new(start: SimTime, capacity: f64) -> Self {
+        assert!(capacity > 0.0, "BusyTracker: capacity must be positive");
+        BusyTracker { tw: TimeWeighted::new(start, 0.0), busy_units: 0.0, capacity }
+    }
+
+    /// Marks `units` additional units busy at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if that would exceed capacity (allocation bug).
+    pub fn acquire(&mut self, now: SimTime, units: f64) {
+        let next = self.busy_units + units;
+        assert!(
+            next <= self.capacity + 1e-9,
+            "BusyTracker: acquiring {units} exceeds capacity ({next} > {})",
+            self.capacity
+        );
+        self.busy_units = next;
+        self.tw.set(now, self.busy_units);
+    }
+
+    /// Releases `units` at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more units are released than are busy.
+    pub fn release(&mut self, now: SimTime, units: f64) {
+        assert!(
+            units <= self.busy_units + 1e-9,
+            "BusyTracker: releasing {units} but only {} busy",
+            self.busy_units
+        );
+        self.busy_units = (self.busy_units - units).max(0.0);
+        self.tw.set(now, self.busy_units);
+    }
+
+    /// Currently busy units.
+    pub fn busy(&self) -> f64 {
+        self.busy_units
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Busy integral in unit-seconds over `[start, until]`.
+    pub fn busy_unit_seconds(&self, until: SimTime) -> f64 {
+        self.tw.integral(until)
+    }
+
+    /// Utilization fraction in `[0,1]` over `[start, until]`.
+    pub fn utilization(&self, until: SimTime) -> f64 {
+        self.tw.time_average(until) / self.capacity
+    }
+}
+
+/// Convenience: mean of a slice (0.0 when empty). Used by report code.
+pub fn mean_of(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Bounded slowdown of a job, the standard batch-scheduling metric:
+/// `max(1, (wait + run) / max(run, tau))` with threshold `tau` guarding
+/// against division-by-tiny-runtime explosions.
+pub fn bounded_slowdown(wait: SimDuration, run: SimDuration, tau: SimDuration) -> f64 {
+    let denom = run.max_of(tau).as_secs_f64();
+    let num = (wait + run).as_secs_f64();
+    (num / denom).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_basic_moments() {
+        let mut w = Welford::new();
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            w.record(x);
+        }
+        assert_eq!(w.mean(), 3.0);
+        assert_eq!(w.variance(), 2.0);
+        assert_eq!(w.min(), Some(1.0));
+        assert_eq!(w.max(), Some(5.0));
+    }
+
+    #[test]
+    fn welford_empty_is_zero() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.min(), None);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        for &x in &data {
+            whole.record(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &data[..37] {
+            a.record(x);
+        }
+        for &x in &data[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.variance() - whole.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_quantiles() {
+        let mut s: Samples = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(s.median(), Some(50.5));
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.max(), Some(100.0));
+        assert!((s.p99().unwrap() - 99.01).abs() < 1e-9);
+        assert_eq!(s.mean(), 50.5);
+    }
+
+    #[test]
+    fn samples_single_value() {
+        let mut s = Samples::new();
+        s.record(42.0);
+        assert_eq!(s.median(), Some(42.0));
+        assert_eq!(s.quantile(0.99), Some(42.0));
+    }
+
+    #[test]
+    fn samples_empty() {
+        let mut s = Samples::new();
+        assert_eq!(s.median(), None);
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [-1.0, 0.0, 1.9, 2.0, 9.99, 10.0, 55.0] {
+            h.record(x);
+        }
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bins(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.bin_bounds(0), (0.0, 2.0));
+    }
+
+    #[test]
+    fn time_weighted_integral_exact() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 1.0);
+        tw.set(SimTime::from_secs(5), 3.0);
+        tw.set(SimTime::from_secs(10), 0.0);
+        // 1×5 + 3×5 = 20 unit-seconds
+        assert_eq!(tw.integral(SimTime::from_secs(10)), 20.0);
+        assert_eq!(tw.time_average(SimTime::from_secs(10)), 2.0);
+        assert_eq!(tw.max(), 3.0);
+        // Integral keeps accruing with the final value.
+        assert_eq!(tw.integral(SimTime::from_secs(20)), 20.0);
+    }
+
+    #[test]
+    fn time_weighted_add() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.add(SimTime::from_secs(1), 2.0);
+        tw.add(SimTime::from_secs(2), -1.0);
+        assert_eq!(tw.current(), 1.0);
+    }
+
+    #[test]
+    fn busy_tracker_utilization() {
+        let mut b = BusyTracker::new(SimTime::ZERO, 4.0);
+        b.acquire(SimTime::ZERO, 4.0);
+        b.release(SimTime::from_secs(30), 4.0);
+        // busy 30 s of 60 s at full capacity → 50 %
+        assert!((b.utilization(SimTime::from_secs(60)) - 0.5).abs() < 1e-12);
+        assert_eq!(b.busy_unit_seconds(SimTime::from_secs(60)), 120.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn busy_tracker_overflow_panics() {
+        let mut b = BusyTracker::new(SimTime::ZERO, 1.0);
+        b.acquire(SimTime::ZERO, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn busy_tracker_over_release_panics() {
+        let mut b = BusyTracker::new(SimTime::ZERO, 1.0);
+        b.release(SimTime::ZERO, 1.0);
+    }
+
+    #[test]
+    fn bounded_slowdown_values() {
+        let tau = SimDuration::from_secs(10);
+        // wait 90, run 10 → (100)/10 = 10
+        assert_eq!(
+            bounded_slowdown(SimDuration::from_secs(90), SimDuration::from_secs(10), tau),
+            10.0
+        );
+        // tiny runtime is bounded by tau
+        assert_eq!(
+            bounded_slowdown(SimDuration::from_secs(10), SimDuration::from_secs(1), tau),
+            1.1
+        );
+        // never below 1
+        assert_eq!(
+            bounded_slowdown(SimDuration::ZERO, SimDuration::from_secs(1), tau),
+            1.0
+        );
+    }
+}

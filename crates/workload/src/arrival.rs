@@ -1,0 +1,160 @@
+//! Arrival processes: when jobs hit the batch queue.
+//!
+//! Production batch traces show Poisson-like arrivals with daily/weekly
+//! modulation and occasional bursts (campaign submissions). The simulator
+//! offers all three; experiments mostly use plain Poisson at a controlled
+//! load factor plus bursts for stress scenarios.
+
+use hpcqc_simcore::dist::Dist;
+use hpcqc_simcore::rng::SimRng;
+use hpcqc_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A stochastic process generating job submission instants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals with the given mean inter-arrival time.
+    Poisson {
+        /// Mean gap between arrivals, seconds.
+        mean_gap_secs: f64,
+    },
+    /// Deterministic arrivals every `gap`.
+    FixedInterval {
+        /// The constant gap.
+        gap: SimDuration,
+    },
+    /// All jobs arrive at the same instant (campaign drop).
+    Burst {
+        /// The drop instant.
+        at: SimTime,
+    },
+    /// Poisson modulated by a diurnal cycle: the rate doubles at daytime
+    /// peak and halves at night, with `mean_gap_secs` the daily average.
+    Diurnal {
+        /// Daily-average gap between arrivals, seconds.
+        mean_gap_secs: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Poisson arrivals with `per_hour` expected arrivals per hour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_hour` is not positive.
+    pub fn poisson_per_hour(per_hour: f64) -> Self {
+        assert!(per_hour > 0.0, "poisson_per_hour: rate must be positive");
+        ArrivalProcess::Poisson { mean_gap_secs: 3_600.0 / per_hour }
+    }
+
+    /// Generates `count` arrival instants starting at `from`, in order.
+    pub fn generate(&self, count: usize, from: SimTime, rng: &mut SimRng) -> Vec<SimTime> {
+        let mut out = Vec::with_capacity(count);
+        let mut t = from;
+        match self {
+            ArrivalProcess::Poisson { mean_gap_secs } => {
+                let gap = Dist::exponential(*mean_gap_secs);
+                for _ in 0..count {
+                    t = t + gap.sample_duration(rng);
+                    out.push(t);
+                }
+            }
+            ArrivalProcess::FixedInterval { gap } => {
+                for i in 0..count {
+                    out.push(from + *gap * (i as u64 + 1));
+                }
+            }
+            ArrivalProcess::Burst { at } => {
+                out.resize(count, (*at).max(from));
+            }
+            ArrivalProcess::Diurnal { mean_gap_secs } => {
+                // Thinning: sample at peak rate (2×average) and accept with
+                // the instantaneous rate ratio.
+                let peak_gap = mean_gap_secs / 2.0;
+                let gap = Dist::exponential(peak_gap);
+                while out.len() < count {
+                    t = t + gap.sample_duration(rng);
+                    let day_frac =
+                        (t.as_secs_f64() % 86_400.0) / 86_400.0;
+                    // Rate ∝ 1 + 0.75·sin(2π(day_frac − 0.25)): peak at noon.
+                    let rel = (1.0
+                        + 0.75 * (std::f64::consts::TAU * (day_frac - 0.25)).sin())
+                        / 1.75;
+                    if rng.chance(rel) {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_gap_matches() {
+        let p = ArrivalProcess::poisson_per_hour(60.0); // one per minute
+        let mut rng = SimRng::seed_from(1);
+        let arr = p.generate(5_000, SimTime::ZERO, &mut rng);
+        let total = arr.last().unwrap().as_secs_f64();
+        let mean_gap = total / 5_000.0;
+        assert!((mean_gap - 60.0).abs() < 3.0, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn arrivals_are_sorted() {
+        for proc in [
+            ArrivalProcess::poisson_per_hour(100.0),
+            ArrivalProcess::FixedInterval { gap: SimDuration::from_secs(10) },
+            ArrivalProcess::Diurnal { mean_gap_secs: 30.0 },
+        ] {
+            let mut rng = SimRng::seed_from(2);
+            let arr = proc.generate(500, SimTime::ZERO, &mut rng);
+            assert!(arr.windows(2).all(|w| w[0] <= w[1]), "{proc:?} out of order");
+        }
+    }
+
+    #[test]
+    fn fixed_interval_exact() {
+        let p = ArrivalProcess::FixedInterval { gap: SimDuration::from_secs(5) };
+        let mut rng = SimRng::seed_from(3);
+        let arr = p.generate(3, SimTime::from_secs(100), &mut rng);
+        assert_eq!(
+            arr,
+            vec![SimTime::from_secs(105), SimTime::from_secs(110), SimTime::from_secs(115)]
+        );
+    }
+
+    #[test]
+    fn burst_all_at_once() {
+        let p = ArrivalProcess::Burst { at: SimTime::from_secs(50) };
+        let mut rng = SimRng::seed_from(4);
+        let arr = p.generate(10, SimTime::ZERO, &mut rng);
+        assert!(arr.iter().all(|&t| t == SimTime::from_secs(50)));
+        // A burst before `from` is clamped to `from`.
+        let arr = p.generate(2, SimTime::from_secs(99), &mut rng);
+        assert!(arr.iter().all(|&t| t == SimTime::from_secs(99)));
+    }
+
+    #[test]
+    fn diurnal_long_run_rate_close_to_average() {
+        let p = ArrivalProcess::Diurnal { mean_gap_secs: 60.0 };
+        let mut rng = SimRng::seed_from(5);
+        let n = 10_000;
+        let arr = p.generate(n, SimTime::ZERO, &mut rng);
+        let mean_gap = arr.last().unwrap().as_secs_f64() / n as f64;
+        // Thinning halves the peak-rate stream on average → ~60 s gaps.
+        assert!((40.0..80.0).contains(&mean_gap), "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = ArrivalProcess::poisson_per_hour(10.0);
+        let a = p.generate(100, SimTime::ZERO, &mut SimRng::seed_from(7));
+        let b = p.generate(100, SimTime::ZERO, &mut SimRng::seed_from(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,408 @@
+//! Workload composition: facility-scale job mixes.
+//!
+//! A [`Workload`] is the reproducible unit the experiments run: a list of
+//! [`JobSpec`]s generated from weighted [`JobClass`]es, an arrival process
+//! and a seed. The same seed always yields the same workload, so strategies
+//! are compared on identical inputs.
+
+use crate::arrival::ArrivalProcess;
+use crate::job::{JobId, JobSpec};
+use crate::pattern::Pattern;
+use hpcqc_simcore::rng::SimRng;
+use hpcqc_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A weighted job template used by [`WorkloadBuilder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobClass {
+    name: String,
+    pattern: Pattern,
+    weight: f64,
+    nodes_lo: u32,
+    nodes_hi: u32,
+    users: Vec<String>,
+    /// Seconds budgeted per quantum phase when estimating walltime.
+    quantum_estimate_secs: f64,
+    /// Requested walltime = estimated runtime × this factor.
+    walltime_margin: f64,
+}
+
+impl JobClass {
+    /// Creates a class with weight 1.0, 1–4 nodes and a single user named
+    /// after the class.
+    pub fn new(name: impl Into<String>, pattern: Pattern) -> Self {
+        let name = name.into();
+        JobClass {
+            users: vec![format!("{name}-user")],
+            name,
+            pattern,
+            weight: 1.0,
+            nodes_lo: 1,
+            nodes_hi: 4,
+            quantum_estimate_secs: 60.0,
+            walltime_margin: 2.0,
+        }
+    }
+
+    /// Sets the selection weight (relative share of generated jobs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not positive.
+    pub fn weight(mut self, weight: f64) -> Self {
+        assert!(weight > 0.0, "JobClass: weight must be positive");
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the inclusive node-count range sampled per job.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ lo ≤ hi`.
+    pub fn nodes_between(mut self, lo: u32, hi: u32) -> Self {
+        assert!(lo >= 1 && lo <= hi, "JobClass: need 1 ≤ lo ≤ hi");
+        self.nodes_lo = lo;
+        self.nodes_hi = hi;
+        self
+    }
+
+    /// Sets the pool of submitting users (sampled uniformly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users` is empty.
+    pub fn users(mut self, users: Vec<String>) -> Self {
+        assert!(!users.is_empty(), "JobClass: users must not be empty");
+        self.users = users;
+        self
+    }
+
+    /// Sets the per-quantum-phase seconds used for walltime estimation
+    /// (e.g. ~10 s for superconducting, ~2000 s for neutral atoms).
+    pub fn quantum_estimate_secs(mut self, secs: f64) -> Self {
+        self.quantum_estimate_secs = secs;
+        self
+    }
+
+    /// Sets the walltime over-request factor (default 2.0).
+    pub fn walltime_margin(mut self, margin: f64) -> Self {
+        self.walltime_margin = margin;
+        self
+    }
+
+    /// The class name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The class pattern.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    fn instantiate(&self, index: u64, submit: SimTime, rng: &mut SimRng) -> JobSpec {
+        let nodes = self.nodes_lo + (rng.below(u64::from(self.nodes_hi - self.nodes_lo + 1)) as u32);
+        let user = rng.pick(&self.users).clone();
+        let phases = self.pattern.generate(rng);
+        let estimated = self.pattern.mean_classical_secs()
+            + f64::from(self.pattern.quantum_phases()) * self.quantum_estimate_secs;
+        let walltime =
+            SimDuration::from_secs_f64((estimated * self.walltime_margin).max(600.0));
+        JobSpec::builder(format!("{}-{index}", self.name))
+            .user(user)
+            .submit(submit)
+            .nodes(nodes)
+            .walltime(walltime)
+            .phases(phases)
+            .build()
+    }
+}
+
+/// A reproducible list of jobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    jobs: Vec<JobSpec>,
+}
+
+impl Workload {
+    /// Starts building a workload.
+    pub fn builder() -> WorkloadBuilder {
+        WorkloadBuilder {
+            classes: Vec::new(),
+            arrival: ArrivalProcess::poisson_per_hour(30.0),
+            count: 100,
+        }
+    }
+
+    /// Wraps an explicit job list.
+    pub fn from_jobs(mut jobs: Vec<JobSpec>) -> Self {
+        jobs.sort_by_key(JobSpec::submit);
+        Workload { jobs }
+    }
+
+    /// The jobs, sorted by submission time.
+    pub fn jobs(&self) -> &[JobSpec] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` if the workload has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Iterates `(JobId, &JobSpec)` pairs; ids are positional.
+    pub fn iter_ids(&self) -> impl Iterator<Item = (JobId, &JobSpec)> {
+        self.jobs.iter().enumerate().map(|(i, j)| (JobId::new(i as u64), j))
+    }
+
+    /// Number of hybrid (quantum-using) jobs.
+    pub fn hybrid_count(&self) -> usize {
+        self.jobs.iter().filter(|j| j.is_hybrid()).count()
+    }
+
+    /// The latest submission instant ([`SimTime::ZERO`] when empty).
+    pub fn last_submit(&self) -> SimTime {
+        self.jobs.last().map_or(SimTime::ZERO, JobSpec::submit)
+    }
+
+    /// Offered-load summary: what this workload demands of a machine.
+    ///
+    /// The node-hour figure counts classical phases only (quantum time
+    /// depends on the device); `offered_load(nodes)` compares it against a
+    /// machine's capacity over the submission window, the first sanity
+    /// check when sizing a scenario (ρ ≳ 1 means the queue diverges).
+    pub fn demand(&self) -> DemandSummary {
+        let node_hours: f64 = self
+            .jobs
+            .iter()
+            .map(|j| f64::from(j.nodes()) * j.total_classical().as_secs_f64() / 3_600.0)
+            .sum();
+        DemandSummary {
+            jobs: self.jobs.len(),
+            hybrid_jobs: self.hybrid_count(),
+            quantum_phases: self.jobs.iter().map(JobSpec::quantum_phase_count).sum(),
+            classical_node_hours: node_hours,
+            span_hours: self.last_submit().as_secs_f64() / 3_600.0,
+            max_nodes: self.jobs.iter().map(JobSpec::nodes).max().unwrap_or(0),
+        }
+    }
+}
+
+/// What a workload asks of a machine (see [`Workload::demand`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandSummary {
+    /// Total jobs.
+    pub jobs: usize,
+    /// Jobs with quantum phases.
+    pub hybrid_jobs: usize,
+    /// Total quantum phases (kernels) across all jobs.
+    pub quantum_phases: usize,
+    /// Classical compute demand in node-hours.
+    pub classical_node_hours: f64,
+    /// Submission window length, hours.
+    pub span_hours: f64,
+    /// Largest single-job node request.
+    pub max_nodes: u32,
+}
+
+impl DemandSummary {
+    /// The load factor ρ this workload offers a machine of `nodes` nodes
+    /// over its submission window: demand / capacity. Values ≳ 1 saturate
+    /// the machine; the queue then grows without bound.
+    ///
+    /// Returns infinity for an instantaneous window (burst submission).
+    pub fn offered_load(&self, nodes: u32) -> f64 {
+        let capacity = f64::from(nodes) * self.span_hours;
+        if capacity == 0.0 {
+            f64::INFINITY
+        } else {
+            self.classical_node_hours / capacity
+        }
+    }
+}
+
+/// Builder for [`Workload`].
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    classes: Vec<JobClass>,
+    arrival: ArrivalProcess,
+    count: usize,
+}
+
+impl WorkloadBuilder {
+    /// Adds a job class.
+    pub fn class(mut self, class: JobClass) -> Self {
+        self.classes.push(class);
+        self
+    }
+
+    /// Sets the arrival process (default: Poisson, 30 jobs/hour).
+    pub fn arrival(mut self, arrival: ArrivalProcess) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Sets the number of jobs to generate (default 100).
+    pub fn count(mut self, count: usize) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// Generates the workload from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no class was added.
+    pub fn generate(&self, seed: u64) -> Workload {
+        assert!(!self.classes.is_empty(), "workload needs at least one job class");
+        let root = SimRng::seed_from(seed);
+        let mut arrival_rng = root.fork("arrivals");
+        let mut class_rng = root.fork("classes");
+        let arrivals = self.arrival.generate(self.count, SimTime::ZERO, &mut arrival_rng);
+        let total_weight: f64 = self.classes.iter().map(|c| c.weight).sum();
+        let jobs = arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(i, submit)| {
+                // Weighted class pick, then a per-job decorrelated stream so
+                // adding a job never perturbs the next one.
+                let mut pick = class_rng.f64() * total_weight;
+                let class = self
+                    .classes
+                    .iter()
+                    .find(|c| {
+                        pick -= c.weight;
+                        pick <= 0.0
+                    })
+                    .unwrap_or_else(|| self.classes.last().expect("non-empty"));
+                let mut job_rng = root.fork_indexed("job", i as u64);
+                class.instantiate(i as u64, submit, &mut job_rng)
+            })
+            .collect();
+        Workload { jobs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcqc_qpu::Kernel;
+
+    fn builder() -> WorkloadBuilder {
+        Workload::builder()
+            .class(JobClass::new("mpi", Pattern::classical(1_800.0)).weight(2.0).nodes_between(4, 32))
+            .class(
+                JobClass::new("vqe", Pattern::vqe(10, 30.0, Kernel::sampling(1_000)))
+                    .weight(1.0)
+                    .nodes_between(1, 4),
+            )
+            .count(200)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = builder().generate(42);
+        let b = builder().generate(42);
+        assert_eq!(a, b);
+        let c = builder().generate(43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn weights_respected_roughly() {
+        let w = builder().count(3_000).generate(7);
+        let hybrid = w.hybrid_count();
+        let frac = hybrid as f64 / w.len() as f64;
+        // vqe weight 1 of 3 total → ≈ 1/3 of jobs.
+        assert!((0.25..0.42).contains(&frac), "hybrid fraction {frac}");
+    }
+
+    #[test]
+    fn jobs_sorted_by_submit() {
+        let w = builder().generate(1);
+        assert!(w.jobs().windows(2).all(|p| p[0].submit() <= p[1].submit()));
+    }
+
+    #[test]
+    fn node_counts_in_range() {
+        let w = builder().generate(3);
+        for j in w.jobs() {
+            assert!((1..=32).contains(&j.nodes()), "{} nodes {}", j.name(), j.nodes());
+        }
+    }
+
+    #[test]
+    fn walltime_covers_estimate() {
+        let class = JobClass::new("vqe", Pattern::vqe(10, 30.0, Kernel::sampling(1_000)))
+            .quantum_estimate_secs(10.0);
+        let w = Workload::builder().class(class).count(20).generate(5);
+        for j in w.jobs() {
+            // estimate ≈ 330 classical + 100 quantum → walltime ≥ 600 s floor
+            assert!(j.walltime() >= SimDuration::from_secs(600));
+        }
+    }
+
+    #[test]
+    fn iter_ids_positional() {
+        let w = builder().count(5).generate(2);
+        let ids: Vec<u64> = w.iter_ids().map(|(id, _)| id.raw()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn from_jobs_sorts() {
+        let j1 = JobSpec::builder("late").submit(SimTime::from_secs(100)).build();
+        let j2 = JobSpec::builder("early").submit(SimTime::from_secs(5)).build();
+        let w = Workload::from_jobs(vec![j1, j2]);
+        assert_eq!(w.jobs()[0].name(), "early");
+        assert_eq!(w.last_submit(), SimTime::from_secs(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job class")]
+    fn empty_builder_panics() {
+        let _ = Workload::builder().generate(1);
+    }
+
+    #[test]
+    fn demand_summary_counts() {
+        use crate::job::Phase;
+        use hpcqc_simcore::time::SimDuration;
+        let jobs = vec![
+            JobSpec::builder("a")
+                .nodes(4)
+                .phases(vec![Phase::Classical(SimDuration::from_hours(2))])
+                .build(),
+            JobSpec::builder("b")
+                .nodes(2)
+                .submit(SimTime::from_secs(7_200))
+                .phases(vec![
+                    Phase::Classical(SimDuration::from_hours(1)),
+                    Phase::Quantum(Kernel::sampling(100)),
+                ])
+                .build(),
+        ];
+        let d = Workload::from_jobs(jobs).demand();
+        assert_eq!(d.jobs, 2);
+        assert_eq!(d.hybrid_jobs, 1);
+        assert_eq!(d.quantum_phases, 1);
+        assert!((d.classical_node_hours - 10.0).abs() < 1e-9); // 4×2 + 2×1
+        assert_eq!(d.max_nodes, 4);
+        assert!((d.span_hours - 2.0).abs() < 1e-9);
+        // 10 node-hours over a 2 h window on 10 nodes → ρ = 0.5.
+        assert!((d.offered_load(10) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn burst_offered_load_is_infinite() {
+        let jobs = vec![JobSpec::builder("x").nodes(1).build()];
+        let d = Workload::from_jobs(jobs).demand();
+        assert!(d.offered_load(8).is_infinite());
+    }
+}

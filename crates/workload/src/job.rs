@@ -1,0 +1,344 @@
+//! Job specifications: what users submit.
+//!
+//! A [`JobSpec`] carries the *resource shape* (classical nodes + QPU gres,
+//! the two halves of the paper's Listing 1) and the *phase structure* — the
+//! alternation of classical computation and quantum kernels that every
+//! integration strategy in the paper reinterprets its own way.
+
+use hpcqc_qpu::kernel::Kernel;
+use hpcqc_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a job within a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct JobId(u64);
+
+impl JobId {
+    /// Wraps a raw index.
+    pub const fn new(raw: u64) -> Self {
+        JobId(raw)
+    }
+
+    /// The raw index.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// One phase of a hybrid application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Classical computation on the allocated nodes for the given duration.
+    Classical(SimDuration),
+    /// A quantum kernel offloaded to the QPU.
+    Quantum(Kernel),
+}
+
+impl Phase {
+    /// `true` if this is a quantum phase.
+    pub fn is_quantum(&self) -> bool {
+        matches!(self, Phase::Quantum(_))
+    }
+}
+
+/// A job specification: resource shape + phase structure.
+///
+/// # Examples
+///
+/// ```
+/// use hpcqc_workload::job::{JobSpec, Phase};
+/// use hpcqc_qpu::Kernel;
+/// use hpcqc_simcore::time::{SimDuration, SimTime};
+///
+/// // A VQE-style loop: 3 × (classical prep → quantum kernel).
+/// let job = JobSpec::builder("vqe")
+///     .user("alice")
+///     .nodes(10)
+///     .submit(SimTime::ZERO)
+///     .walltime(SimDuration::from_hours(1))
+///     .phases(vec![
+///         Phase::Classical(SimDuration::from_secs(60)),
+///         Phase::Quantum(Kernel::sampling(1_000)),
+///         Phase::Classical(SimDuration::from_secs(60)),
+///         Phase::Quantum(Kernel::sampling(1_000)),
+///     ])
+///     .build();
+/// assert!(job.is_hybrid());
+/// assert_eq!(job.quantum_phase_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    name: String,
+    user: String,
+    submit: SimTime,
+    nodes: u32,
+    partition: String,
+    qpu_count: u32,
+    qpu_partition: String,
+    walltime: SimDuration,
+    phases: Vec<Phase>,
+}
+
+impl JobSpec {
+    /// Starts building a job with sensible defaults (1 node in
+    /// `classical`, QPUs from `quantum`, 1 h walltime).
+    pub fn builder(name: impl Into<String>) -> JobSpecBuilder {
+        JobSpecBuilder {
+            name: name.into(),
+            user: "user".into(),
+            submit: SimTime::ZERO,
+            nodes: 1,
+            partition: "classical".into(),
+            qpu_count: 0,
+            qpu_partition: "quantum".into(),
+            walltime: SimDuration::from_hours(1),
+            phases: Vec::new(),
+        }
+    }
+
+    /// The job's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The submitting user (accounting/fairshare key).
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// Submission time.
+    pub fn submit(&self) -> SimTime {
+        self.submit
+    }
+
+    /// Classical nodes requested.
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Partition the classical nodes come from.
+    pub fn partition(&self) -> &str {
+        &self.partition
+    }
+
+    /// QPU gres units requested (0 for purely classical jobs).
+    pub fn qpu_count(&self) -> u32 {
+        self.qpu_count
+    }
+
+    /// Partition the QPU gres comes from.
+    pub fn qpu_partition(&self) -> &str {
+        &self.qpu_partition
+    }
+
+    /// Requested walltime (the scheduler's planning horizon for this job).
+    pub fn walltime(&self) -> SimDuration {
+        self.walltime
+    }
+
+    /// The phase list.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// `true` if the job has at least one quantum phase.
+    pub fn is_hybrid(&self) -> bool {
+        self.phases.iter().any(Phase::is_quantum)
+    }
+
+    /// Total classical computation time across phases.
+    pub fn total_classical(&self) -> SimDuration {
+        self.phases
+            .iter()
+            .filter_map(|p| match p {
+                Phase::Classical(d) => Some(*d),
+                Phase::Quantum(_) => None,
+            })
+            .sum()
+    }
+
+    /// Number of quantum phases.
+    pub fn quantum_phase_count(&self) -> usize {
+        self.phases.iter().filter(|p| p.is_quantum()).count()
+    }
+
+    /// The kernels of the quantum phases, in order.
+    pub fn kernels(&self) -> impl Iterator<Item = &Kernel> {
+        self.phases.iter().filter_map(|p| match p {
+            Phase::Quantum(k) => Some(k),
+            Phase::Classical(_) => None,
+        })
+    }
+
+    /// Re-stamps the submission time (used by arrival processes).
+    pub fn with_submit(mut self, submit: SimTime) -> Self {
+        self.submit = submit;
+        self
+    }
+}
+
+/// Builder for [`JobSpec`].
+#[derive(Debug, Clone)]
+pub struct JobSpecBuilder {
+    name: String,
+    user: String,
+    submit: SimTime,
+    nodes: u32,
+    partition: String,
+    qpu_count: u32,
+    qpu_partition: String,
+    walltime: SimDuration,
+    phases: Vec<Phase>,
+}
+
+impl JobSpecBuilder {
+    /// Sets the submitting user.
+    pub fn user(mut self, user: impl Into<String>) -> Self {
+        self.user = user.into();
+        self
+    }
+
+    /// Sets the submission time.
+    pub fn submit(mut self, submit: SimTime) -> Self {
+        self.submit = submit;
+        self
+    }
+
+    /// Sets the classical node count.
+    pub fn nodes(mut self, nodes: u32) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Sets the classical partition.
+    pub fn partition(mut self, partition: impl Into<String>) -> Self {
+        self.partition = partition.into();
+        self
+    }
+
+    /// Requests `count` QPU gres units from the quantum partition.
+    pub fn qpus(mut self, count: u32) -> Self {
+        self.qpu_count = count;
+        self
+    }
+
+    /// Sets the quantum partition name.
+    pub fn qpu_partition(mut self, partition: impl Into<String>) -> Self {
+        self.qpu_partition = partition.into();
+        self
+    }
+
+    /// Sets the requested walltime.
+    pub fn walltime(mut self, walltime: SimDuration) -> Self {
+        self.walltime = walltime;
+        self
+    }
+
+    /// Sets the whole phase list.
+    pub fn phases(mut self, phases: Vec<Phase>) -> Self {
+        self.phases = phases;
+        self
+    }
+
+    /// Appends one phase.
+    pub fn phase(mut self, phase: Phase) -> Self {
+        self.phases.push(phase);
+        self
+    }
+
+    /// Builds the spec. A job with quantum phases but `qpus(0)` is
+    /// auto-upgraded to request one QPU — the shape Listing 1 implies.
+    pub fn build(mut self) -> JobSpec {
+        if self.qpu_count == 0 && self.phases.iter().any(Phase::is_quantum) {
+            self.qpu_count = 1;
+        }
+        JobSpec {
+            name: self.name,
+            user: self.user,
+            submit: self.submit,
+            nodes: self.nodes,
+            partition: self.partition,
+            qpu_count: self.qpu_count,
+            qpu_partition: self.qpu_partition,
+            walltime: self.walltime,
+            phases: self.phases,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hybrid() -> JobSpec {
+        JobSpec::builder("h")
+            .nodes(4)
+            .phases(vec![
+                Phase::Classical(SimDuration::from_secs(30)),
+                Phase::Quantum(Kernel::sampling(100)),
+                Phase::Classical(SimDuration::from_secs(70)),
+            ])
+            .build()
+    }
+
+    #[test]
+    fn hybrid_detection_and_totals() {
+        let j = hybrid();
+        assert!(j.is_hybrid());
+        assert_eq!(j.total_classical(), SimDuration::from_secs(100));
+        assert_eq!(j.quantum_phase_count(), 1);
+        assert_eq!(j.kernels().count(), 1);
+    }
+
+    #[test]
+    fn classical_job_has_no_qpu() {
+        let j = JobSpec::builder("mpi")
+            .nodes(32)
+            .phases(vec![Phase::Classical(SimDuration::from_hours(2))])
+            .build();
+        assert!(!j.is_hybrid());
+        assert_eq!(j.qpu_count(), 0);
+    }
+
+    #[test]
+    fn quantum_phases_force_qpu_request() {
+        let j = hybrid();
+        assert_eq!(j.qpu_count(), 1, "builder must auto-request a QPU");
+    }
+
+    #[test]
+    fn explicit_qpu_count_kept() {
+        let j = JobSpec::builder("multi")
+            .qpus(2)
+            .phases(vec![Phase::Quantum(Kernel::sampling(10))])
+            .build();
+        assert_eq!(j.qpu_count(), 2);
+    }
+
+    #[test]
+    fn with_submit_restamps() {
+        let j = hybrid().with_submit(SimTime::from_secs(42));
+        assert_eq!(j.submit(), SimTime::from_secs(42));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let j = hybrid();
+        let json = serde_json::to_string(&j).unwrap();
+        assert_eq!(serde_json::from_str::<JobSpec>(&json).unwrap(), j);
+    }
+
+    #[test]
+    fn job_id_display() {
+        assert_eq!(JobId::new(3).to_string(), "job3");
+        assert!(JobId::new(1) < JobId::new(2));
+    }
+}

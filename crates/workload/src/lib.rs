@@ -1,0 +1,48 @@
+//! # hpcqc-workload
+//!
+//! Workload models for the `hpcqc` hybrid HPC–QC scheduling simulator:
+//! job specifications with explicit classical/quantum **phase structure**,
+//! the hybrid patterns the paper motivates (VQE-style loops, sampling
+//! campaigns, classical MPI background), arrival processes, and trace I/O.
+//!
+//! The phase list is the pivot of the whole reproduction: each of the
+//! paper's integration strategies interprets the *same* phase structure
+//! differently —
+//!
+//! * **co-scheduling** holds all resources across every phase (Listing 1);
+//! * **workflows** submit each phase as its own batch job (Fig. 2);
+//! * **virtual QPUs** hold nodes but share the QPU between quantum phases
+//!   of co-tenant jobs (Fig. 3);
+//! * **malleability** shrinks the node allocation during quantum phases
+//!   (Fig. 4).
+//!
+//! ## Example
+//!
+//! ```
+//! use hpcqc_workload::{ArrivalProcess, JobClass, Pattern, Workload};
+//! use hpcqc_qpu::Kernel;
+//!
+//! let workload = Workload::builder()
+//!     .class(JobClass::new("mpi", Pattern::classical(3_600.0)).weight(3.0).nodes_between(8, 64))
+//!     .class(JobClass::new("vqe", Pattern::vqe(20, 30.0, Kernel::sampling(1_000))))
+//!     .arrival(ArrivalProcess::poisson_per_hour(40.0))
+//!     .count(500)
+//!     .generate(42);
+//! assert_eq!(workload.len(), 500);
+//! assert!(workload.hybrid_count() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arrival;
+pub mod campaign;
+pub mod job;
+pub mod pattern;
+pub mod trace;
+
+pub use arrival::ArrivalProcess;
+pub use campaign::{DemandSummary, JobClass, Workload, WorkloadBuilder};
+pub use job::{JobId, JobSpec, JobSpecBuilder, Phase};
+pub use pattern::Pattern;
+pub use trace::{from_hqwf, from_json, to_hqwf, to_json, ParseTraceError};

@@ -1,0 +1,236 @@
+//! Hybrid application patterns: the phase structures the paper motivates.
+//!
+//! Variational algorithms (VQE, QAOA) are the canonical NISQ-era hybrid
+//! workload: a classical optimizer loop interleaved with short quantum
+//! kernels. Sampling campaigns invert the ratio (long quantum, thin
+//! classical glue), and classical MPI jobs form the facility background.
+//! Each pattern is a recipe that, given a seeded RNG, emits a concrete
+//! phase list.
+
+use crate::job::Phase;
+use hpcqc_qpu::kernel::Kernel;
+use hpcqc_simcore::dist::Dist;
+use hpcqc_simcore::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A recipe for generating a job's phase list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// A purely classical (MPI-style) job.
+    ClassicalMpi {
+        /// Runtime distribution, seconds.
+        runtime: Dist,
+    },
+    /// A variational loop: `iterations × (classical step → quantum kernel)`.
+    ///
+    /// This is the paper's Fig. 3/4 workload: long-running classical
+    /// computation interleaved with (possibly very short) quantum jobs.
+    Variational {
+        /// Number of optimizer iterations.
+        iterations: u32,
+        /// Classical time per iteration, seconds.
+        classical_step: Dist,
+        /// The kernel run each iteration.
+        kernel: Kernel,
+        /// Classical post-processing after the loop, seconds.
+        epilogue: Dist,
+    },
+    /// A quantum-heavy campaign: thin classical prep, then `kernels`
+    /// quantum tasks back to back (e.g. tomography, sampling sweeps).
+    SamplingCampaign {
+        /// Number of kernels submitted.
+        kernels: u32,
+        /// Classical prep before each kernel, seconds.
+        prep: Dist,
+        /// The kernel template.
+        kernel: Kernel,
+    },
+    /// A single quantum kernel with negligible classical wrapping — the
+    /// minimal "offload one circuit" job.
+    QuantumOnly {
+        /// The kernel.
+        kernel: Kernel,
+    },
+}
+
+impl Pattern {
+    /// A classical MPI background job with log-normal runtime
+    /// (`mean` seconds, coefficient of variation 1.2 — typical of
+    /// production batch traces).
+    pub fn classical(mean_runtime_secs: f64) -> Pattern {
+        Pattern::ClassicalMpi { runtime: Dist::log_normal_mean_cv(mean_runtime_secs, 1.2) }
+    }
+
+    /// A VQE-style loop with the given iteration count, mean classical step
+    /// and kernel.
+    pub fn vqe(iterations: u32, mean_classical_step_secs: f64, kernel: Kernel) -> Pattern {
+        Pattern::Variational {
+            iterations,
+            classical_step: Dist::log_normal_mean_cv(mean_classical_step_secs, 0.3),
+            kernel,
+            epilogue: Dist::log_normal_mean_cv(mean_classical_step_secs, 0.3),
+        }
+    }
+
+    /// A QAOA loop: like [`Pattern::vqe`] but the kernel depth grows with
+    /// the number of mixer/cost layers `p`, and the classical optimizer
+    /// step is typically lighter than VQE's (gradient-free over 2p angles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn qaoa(iterations: u32, p: u32, qubits: u32, shots: u32) -> Pattern {
+        assert!(p >= 1, "qaoa: need at least one layer");
+        let kernel = Kernel::builder(format!("qaoa-p{p}"))
+            .qubits(qubits)
+            // Each QAOA layer is a cost + mixer block; depth scales with p.
+            .depth(2 * p * qubits.max(2))
+            .shots(shots)
+            .build()
+            .expect("parameters validated above");
+        Pattern::Variational {
+            iterations,
+            classical_step: Dist::log_normal_mean_cv(5.0 * f64::from(p), 0.4),
+            kernel,
+            epilogue: Dist::log_normal_mean_cv(10.0, 0.4),
+        }
+    }
+
+    /// Generates the concrete phase list for one job instance.
+    pub fn generate(&self, rng: &mut SimRng) -> Vec<Phase> {
+        match self {
+            Pattern::ClassicalMpi { runtime } => {
+                vec![Phase::Classical(runtime.sample_duration(rng))]
+            }
+            Pattern::Variational { iterations, classical_step, kernel, epilogue } => {
+                let mut phases = Vec::with_capacity(2 * *iterations as usize + 1);
+                for _ in 0..*iterations {
+                    phases.push(Phase::Classical(classical_step.sample_duration(rng)));
+                    phases.push(Phase::Quantum(kernel.clone()));
+                }
+                phases.push(Phase::Classical(epilogue.sample_duration(rng)));
+                phases
+            }
+            Pattern::SamplingCampaign { kernels, prep, kernel } => {
+                let mut phases = Vec::with_capacity(2 * *kernels as usize);
+                for _ in 0..*kernels {
+                    phases.push(Phase::Classical(prep.sample_duration(rng)));
+                    phases.push(Phase::Quantum(kernel.clone()));
+                }
+                phases
+            }
+            Pattern::QuantumOnly { kernel } => vec![Phase::Quantum(kernel.clone())],
+        }
+    }
+
+    /// Number of quantum phases this pattern will generate.
+    pub fn quantum_phases(&self) -> u32 {
+        match self {
+            Pattern::ClassicalMpi { .. } => 0,
+            Pattern::Variational { iterations, .. } => *iterations,
+            Pattern::SamplingCampaign { kernels, .. } => *kernels,
+            Pattern::QuantumOnly { .. } => 1,
+        }
+    }
+
+    /// Expected total classical seconds the pattern generates (analytic).
+    pub fn mean_classical_secs(&self) -> f64 {
+        match self {
+            Pattern::ClassicalMpi { runtime } => runtime.mean(),
+            Pattern::Variational { iterations, classical_step, epilogue, .. } => {
+                f64::from(*iterations) * classical_step.mean() + epilogue.mean()
+            }
+            Pattern::SamplingCampaign { kernels, prep, .. } => f64::from(*kernels) * prep.mean(),
+            Pattern::QuantumOnly { .. } => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classical_pattern_single_phase() {
+        let p = Pattern::classical(3_600.0);
+        let mut rng = SimRng::seed_from(1);
+        let phases = p.generate(&mut rng);
+        assert_eq!(phases.len(), 1);
+        assert!(!phases[0].is_quantum());
+        assert_eq!(p.quantum_phases(), 0);
+    }
+
+    #[test]
+    fn vqe_alternates_phases() {
+        let p = Pattern::vqe(5, 30.0, Kernel::sampling(1_000));
+        let mut rng = SimRng::seed_from(2);
+        let phases = p.generate(&mut rng);
+        assert_eq!(phases.len(), 11); // 5 × (C, Q) + epilogue
+        for (i, phase) in phases.iter().enumerate() {
+            if i < 10 {
+                assert_eq!(phase.is_quantum(), i % 2 == 1, "phase {i}");
+            }
+        }
+        assert_eq!(p.quantum_phases(), 5);
+    }
+
+    #[test]
+    fn sampling_campaign_counts() {
+        let p = Pattern::SamplingCampaign {
+            kernels: 7,
+            prep: Dist::constant(1.0),
+            kernel: Kernel::sampling(100),
+        };
+        let mut rng = SimRng::seed_from(3);
+        assert_eq!(p.generate(&mut rng).len(), 14);
+        assert_eq!(p.quantum_phases(), 7);
+        assert_eq!(p.mean_classical_secs(), 7.0);
+    }
+
+    #[test]
+    fn quantum_only_is_one_kernel() {
+        let p = Pattern::QuantumOnly { kernel: Kernel::sampling(10) };
+        let mut rng = SimRng::seed_from(4);
+        let phases = p.generate(&mut rng);
+        assert_eq!(phases.len(), 1);
+        assert!(phases[0].is_quantum());
+        assert_eq!(p.mean_classical_secs(), 0.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = Pattern::vqe(3, 10.0, Kernel::sampling(100));
+        let a = p.generate(&mut SimRng::seed_from(9));
+        let b = p.generate(&mut SimRng::seed_from(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn qaoa_depth_scales_with_layers() {
+        let shallow = Pattern::qaoa(5, 1, 8, 1_000);
+        let deep = Pattern::qaoa(5, 8, 8, 1_000);
+        let depth = |p: &Pattern| match p {
+            Pattern::Variational { kernel, .. } => kernel.depth(),
+            _ => unreachable!(),
+        };
+        assert!(depth(&deep) > depth(&shallow) * 4);
+        assert_eq!(shallow.quantum_phases(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer")]
+    fn qaoa_rejects_zero_layers() {
+        let _ = Pattern::qaoa(1, 0, 8, 100);
+    }
+
+    #[test]
+    fn mean_classical_analytic() {
+        let p = Pattern::Variational {
+            iterations: 4,
+            classical_step: Dist::constant(10.0),
+            kernel: Kernel::sampling(1),
+            epilogue: Dist::constant(5.0),
+        };
+        assert_eq!(p.mean_classical_secs(), 45.0);
+    }
+}

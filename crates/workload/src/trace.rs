@@ -1,0 +1,248 @@
+//! Workload trace I/O.
+//!
+//! Two formats:
+//!
+//! * **JSON** — full-fidelity serde round-trip of a [`Workload`], for
+//!   archiving generated campaigns alongside experiment results;
+//! * **HQWF v1** (*Hybrid Quantum Workload Format*) — a compact,
+//!   line-oriented text format in the spirit of the Standard Workload
+//!   Format (SWF) used by the parallel-workloads archive, extended with a
+//!   phase column so hybrid structure survives the round trip.
+//!
+//! HQWF line grammar (whitespace separated):
+//!
+//! ```text
+//! <submit_s> <user> <name> <nodes> <partition> <qpus> <qpu_partition> <walltime_s> <phase>…
+//! phase := C:<secs> | Q:<name>,<qubits>,<depth>,<shots>
+//! ```
+//!
+//! Lines starting with `;` are comments, as in SWF.
+
+use crate::campaign::Workload;
+use crate::job::{JobSpec, Phase};
+use hpcqc_qpu::kernel::Kernel;
+use hpcqc_simcore::time::{SimDuration, SimTime};
+use std::error::Error;
+use std::fmt;
+
+/// Why a trace could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl Error for ParseTraceError {}
+
+/// Serializes a workload to JSON.
+///
+/// # Errors
+///
+/// Propagates `serde_json` failures (practically unreachable for this type).
+pub fn to_json(workload: &Workload) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(workload)
+}
+
+/// Parses a workload from JSON.
+///
+/// # Errors
+///
+/// Returns the underlying `serde_json` error on malformed input.
+pub fn from_json(json: &str) -> Result<Workload, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+/// Renders a workload in HQWF v1.
+pub fn to_hqwf(workload: &Workload) -> String {
+    let mut out = String::from("; HQWF v1 — hybrid quantum workload trace\n");
+    out.push_str("; submit_s user name nodes partition qpus qpu_partition walltime_s phases...\n");
+    for job in workload.jobs() {
+        out.push_str(&format!(
+            "{:.3} {} {} {} {} {} {} {:.0}",
+            job.submit().as_secs_f64(),
+            job.user(),
+            job.name(),
+            job.nodes(),
+            job.partition(),
+            job.qpu_count(),
+            job.qpu_partition(),
+            job.walltime().as_secs_f64(),
+        ));
+        for phase in job.phases() {
+            match phase {
+                Phase::Classical(d) => out.push_str(&format!(" C:{:.3}", d.as_secs_f64())),
+                Phase::Quantum(k) => out.push_str(&format!(
+                    " Q:{},{},{},{}",
+                    k.name(),
+                    k.qubits(),
+                    k.depth(),
+                    k.shots()
+                )),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses an HQWF v1 trace.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] with the offending line on malformed input.
+pub fn from_hqwf(text: &str) -> Result<Workload, ParseTraceError> {
+    let mut jobs = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let mut next = |what: &str| {
+            fields.next().ok_or_else(|| ParseTraceError {
+                line: lineno,
+                reason: format!("missing field `{what}`"),
+            })
+        };
+        let submit: f64 = parse_num(next("submit_s")?, "submit_s", lineno)?;
+        let user = next("user")?.to_string();
+        let name = next("name")?.to_string();
+        let nodes: u32 = parse_num(next("nodes")?, "nodes", lineno)?;
+        let partition = next("partition")?.to_string();
+        let qpus: u32 = parse_num(next("qpus")?, "qpus", lineno)?;
+        let qpu_partition = next("qpu_partition")?.to_string();
+        let walltime: f64 = parse_num(next("walltime_s")?, "walltime_s", lineno)?;
+        let mut phases = Vec::new();
+        for tok in fields {
+            phases.push(parse_phase(tok, lineno)?);
+        }
+        jobs.push(
+            JobSpec::builder(name)
+                .user(user)
+                .submit(SimTime::ZERO + SimDuration::from_secs_f64(submit))
+                .nodes(nodes)
+                .partition(partition)
+                .qpus(qpus)
+                .qpu_partition(qpu_partition)
+                .walltime(SimDuration::from_secs_f64(walltime))
+                .phases(phases)
+                .build(),
+        );
+    }
+    Ok(Workload::from_jobs(jobs))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str, line: usize) -> Result<T, ParseTraceError> {
+    s.parse().map_err(|_| ParseTraceError {
+        line,
+        reason: format!("invalid {what}: `{s}`"),
+    })
+}
+
+fn parse_phase(tok: &str, line: usize) -> Result<Phase, ParseTraceError> {
+    if let Some(secs) = tok.strip_prefix("C:") {
+        let secs: f64 = parse_num(secs, "classical phase seconds", line)?;
+        return Ok(Phase::Classical(SimDuration::from_secs_f64(secs)));
+    }
+    if let Some(spec) = tok.strip_prefix("Q:") {
+        let parts: Vec<&str> = spec.split(',').collect();
+        if parts.len() != 4 {
+            return Err(ParseTraceError {
+                line,
+                reason: format!("quantum phase needs name,qubits,depth,shots: `{tok}`"),
+            });
+        }
+        let kernel = Kernel::builder(parts[0])
+            .qubits(parse_num(parts[1], "qubits", line)?)
+            .depth(parse_num(parts[2], "depth", line)?)
+            .shots(parse_num(parts[3], "shots", line)?)
+            .build()
+            .map_err(|e| ParseTraceError { line, reason: e.to_string() })?;
+        return Ok(Phase::Quantum(kernel));
+    }
+    Err(ParseTraceError { line, reason: format!("unknown phase token `{tok}`") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::JobClass;
+    use crate::pattern::Pattern;
+
+    fn sample_workload() -> Workload {
+        Workload::builder()
+            .class(JobClass::new("mpi", Pattern::classical(600.0)))
+            .class(JobClass::new(
+                "vqe",
+                Pattern::vqe(3, 20.0, Kernel::builder("ans").qubits(8).depth(40).shots(500).build().unwrap()),
+            ))
+            .count(20)
+            .generate(11)
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let w = sample_workload();
+        let json = to_json(&w).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn hqwf_roundtrip_preserves_structure() {
+        let w = sample_workload();
+        let text = to_hqwf(&w);
+        let back = from_hqwf(&text).unwrap();
+        assert_eq!(back.len(), w.len());
+        for (a, b) in w.jobs().iter().zip(back.jobs()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.nodes(), b.nodes());
+            assert_eq!(a.qpu_count(), b.qpu_count());
+            assert_eq!(a.quantum_phase_count(), b.quantum_phase_count());
+            // Durations survive at millisecond fidelity.
+            let da = a.total_classical().as_secs_f64();
+            let db = b.total_classical().as_secs_f64();
+            assert!((da - db).abs() < 0.01, "{da} vs {db}");
+        }
+    }
+
+    #[test]
+    fn hqwf_skips_comments_and_blanks() {
+        let text = "; comment\n\n10.0 u j 2 classical 0 quantum 600 C:5.0\n";
+        let w = from_hqwf(text).unwrap();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.jobs()[0].nodes(), 2);
+    }
+
+    #[test]
+    fn hqwf_error_reports_line() {
+        let text = "; ok\nnot_a_number u j 2 classical 0 quantum 600\n";
+        let err = from_hqwf(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("submit_s"));
+    }
+
+    #[test]
+    fn hqwf_rejects_bad_phase() {
+        let text = "1.0 u j 1 classical 0 quantum 600 X:9\n";
+        let err = from_hqwf(text).unwrap_err();
+        assert!(err.reason.contains("unknown phase token"));
+        let text = "1.0 u j 1 classical 0 quantum 600 Q:only,two\n";
+        assert!(from_hqwf(text).is_err());
+    }
+
+    #[test]
+    fn hqwf_missing_field() {
+        let err = from_hqwf("1.0 u j\n").unwrap_err();
+        assert!(err.reason.contains("missing field"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests of workload generation and trace round-trips.
+
+use hpcqc_qpu::kernel::Kernel;
+use hpcqc_simcore::time::{SimDuration, SimTime};
+use hpcqc_workload::arrival::ArrivalProcess;
+use hpcqc_workload::campaign::{JobClass, Workload};
+use hpcqc_workload::job::{JobSpec, Phase};
+use hpcqc_workload::pattern::Pattern;
+use hpcqc_workload::trace;
+use proptest::prelude::*;
+
+fn job_strategy() -> impl Strategy<Value = JobSpec> {
+    (
+        "[a-z][a-z0-9-]{0,10}",
+        "[a-z]{1,8}",
+        0u64..1_000_000,
+        1u32..64,
+        600u64..86_400,
+        prop::collection::vec(
+            prop_oneof![
+                (1u64..100_000).prop_map(|ms| Phase::Classical(SimDuration::from_millis(ms))),
+                (1u32..32, 1u32..256, 1u32..100_000).prop_map(|(q, d, s)| {
+                    Phase::Quantum(
+                        Kernel::builder("k").qubits(q).depth(d).shots(s).build().unwrap(),
+                    )
+                }),
+            ],
+            0..12,
+        ),
+    )
+        .prop_map(|(name, user, submit, nodes, walltime, phases)| {
+            JobSpec::builder(name)
+                .user(user)
+                .submit(SimTime::from_secs(submit))
+                .nodes(nodes)
+                .walltime(SimDuration::from_secs(walltime))
+                .phases(phases)
+                .build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// JSON round-trips are lossless.
+    #[test]
+    fn json_roundtrip(jobs in prop::collection::vec(job_strategy(), 0..20)) {
+        let w = Workload::from_jobs(jobs);
+        let json = trace::to_json(&w).unwrap();
+        let back = trace::from_json(&json).unwrap();
+        prop_assert_eq!(back, w);
+    }
+
+    /// HQWF round-trips preserve structure and durations to ≤ 1 ms.
+    #[test]
+    fn hqwf_roundtrip(jobs in prop::collection::vec(job_strategy(), 0..20)) {
+        let w = Workload::from_jobs(jobs);
+        let text = trace::to_hqwf(&w);
+        let back = trace::from_hqwf(&text).unwrap();
+        prop_assert_eq!(back.len(), w.len());
+        for (a, b) in w.jobs().iter().zip(back.jobs()) {
+            prop_assert_eq!(a.name(), b.name());
+            prop_assert_eq!(a.user(), b.user());
+            prop_assert_eq!(a.nodes(), b.nodes());
+            prop_assert_eq!(a.qpu_count(), b.qpu_count());
+            prop_assert_eq!(a.phases().len(), b.phases().len());
+            prop_assert_eq!(a.quantum_phase_count(), b.quantum_phase_count());
+            let (da, db) = (a.total_classical().as_secs_f64(), b.total_classical().as_secs_f64());
+            prop_assert!((da - db).abs() <= 0.001 * a.phases().len().max(1) as f64);
+            // Kernels survive exactly.
+            for (ka, kb) in a.kernels().zip(b.kernels()) {
+                prop_assert_eq!(ka, kb);
+            }
+        }
+    }
+
+    /// Generated workloads are sorted, sized correctly, and deterministic.
+    #[test]
+    fn generation_invariants(seed in any::<u64>(), count in 1usize..200, rate in 1.0f64..200.0) {
+        let build = || Workload::builder()
+            .class(JobClass::new("mpi", Pattern::classical(1_000.0)).weight(2.0))
+            .class(JobClass::new("vqe", Pattern::vqe(5, 30.0, Kernel::sampling(500))))
+            .arrival(ArrivalProcess::poisson_per_hour(rate))
+            .count(count)
+            .generate(seed);
+        let w = build();
+        prop_assert_eq!(w.len(), count);
+        prop_assert!(w.jobs().windows(2).all(|p| p[0].submit() <= p[1].submit()));
+        prop_assert_eq!(&build(), &w);
+        // Every hybrid job requests a QPU.
+        for j in w.jobs() {
+            if j.is_hybrid() {
+                prop_assert!(j.qpu_count() >= 1);
+            }
+        }
+    }
+
+    /// Patterns generate the phase counts they promise.
+    #[test]
+    fn pattern_phase_counts(seed in any::<u64>(), iters in 1u32..50, kernels in 1u32..50) {
+        use hpcqc_simcore::rng::SimRng;
+        use hpcqc_simcore::dist::Dist;
+        let mut rng = SimRng::seed_from(seed);
+        let v = Pattern::vqe(iters, 10.0, Kernel::sampling(100));
+        let phases = v.generate(&mut rng);
+        prop_assert_eq!(phases.iter().filter(|p| p.is_quantum()).count() as u32, iters);
+        prop_assert_eq!(phases.len() as u32, 2 * iters + 1);
+
+        let s = Pattern::SamplingCampaign {
+            kernels,
+            prep: Dist::constant(1.0),
+            kernel: Kernel::sampling(10),
+        };
+        let phases = s.generate(&mut rng);
+        prop_assert_eq!(phases.iter().filter(|p| p.is_quantum()).count() as u32, kernels);
+    }
+}

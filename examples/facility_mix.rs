@@ -1,0 +1,88 @@
+//! A full facility: classical background plus a hybrid mix, all four
+//! strategies compared on the metrics an operations team would watch.
+//!
+//! ```text
+//! cargo run --release --example facility_mix
+//! ```
+
+use hpcqc::prelude::*;
+
+
+fn main() -> Result<(), SimError> {
+    // 60% classical MPI, 25% superconducting VQE loops, 15% sampling
+    // campaigns — a plausible early-integration mix.
+    let workload = Workload::builder()
+        .class(
+            JobClass::new("mpi", Pattern::classical(2_400.0))
+                .weight(0.6)
+                .nodes_between(4, 24)
+                .users(vec!["chem".into(), "cfd".into(), "astro".into()]),
+        )
+        .class(
+            JobClass::new("vqe", Pattern::vqe(12, 120.0, Kernel::sampling(1_000)))
+                .weight(0.25)
+                .nodes_between(2, 8)
+                .quantum_estimate_secs(15.0),
+        )
+        .class(
+            JobClass::new(
+                "sampling",
+                Pattern::SamplingCampaign {
+                    kernels: 20,
+                    prep: Dist::log_normal_mean_cv(20.0, 0.4),
+                    kernel: Kernel::sampling(4_000),
+                },
+            )
+            .weight(0.15)
+            .nodes_between(1, 2)
+            .quantum_estimate_secs(15.0),
+        )
+        .arrival(ArrivalProcess::poisson_per_hour(14.0))
+        .count(120)
+        .generate(2_024);
+
+    println!(
+        "{} jobs ({} hybrid) on 48 nodes + 1 superconducting QPU, EASY backfill.\n",
+        workload.len(),
+        workload.hybrid_count()
+    );
+
+    let mut table = Table::new(vec![
+        "strategy",
+        "makespan",
+        "mean wait",
+        "p95 wait",
+        "bounded slowdown",
+        "QPU util",
+        "node-h wasted",
+    ]);
+    for strategy in Strategy::representative_set() {
+        let scenario = Scenario::builder()
+            .classical_nodes(48)
+            .device(Technology::Superconducting)
+            .strategy(strategy)
+            .policy(Policy::EasyBackfill)
+            .seed(9)
+            .build();
+        let outcome = FacilitySim::run(&scenario, &workload)?;
+        let mut waits = outcome.stats.wait_samples();
+        table.row(vec![
+            strategy.to_string(),
+            fmt_secs(outcome.makespan.as_secs_f64()),
+            fmt_secs(outcome.stats.mean_wait_secs()),
+            fmt_secs(waits.p95().unwrap_or(0.0)),
+            format!("{:.1}", outcome.stats.mean_bounded_slowdown()),
+            fmt_pct(outcome.mean_device_utilization()),
+            format!("{:.1}", outcome.stats.total_node_hours_wasted()),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "With short superconducting kernels, exclusive co-scheduling throttles\n\
+         the whole facility through the single QPU gres; sharing it (VQPUs) or\n\
+         splitting jobs (workflows) restores throughput. §4 of the paper: the\n\
+         right choice depends on the workload — try swapping the device for\n\
+         Technology::NeutralAtom in the source and watch the ranking flip."
+    );
+    Ok(())
+}

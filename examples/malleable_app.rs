@@ -1,0 +1,103 @@
+//! Malleability walkthrough: the shrink/expand primitive and its effect.
+//!
+//! Part 1 drives the [`Cluster`] resize API directly — the mechanism a
+//! malleable runtime (DMR, AMPI…) would call. Part 2 runs the Fig. 4
+//! situation end to end: a hybrid job releases its nodes during a long
+//! quantum phase and a waiting classical job slips into the gap.
+//!
+//! ```text
+//! cargo run --example malleable_app
+//! ```
+
+use hpcqc::prelude::*;
+use hpcqc_simcore::time::{SimDuration, SimTime};
+
+fn part1_primitive() -> Result<(), Box<dyn std::error::Error>> {
+    println!("— Part 1: the resize primitive —");
+    let mut cluster = ClusterBuilder::new()
+        .partition("classical", 16)
+        .partition_with_gres("quantum", 0, GresKind::qpu(), 1)
+        .build(SimTime::ZERO);
+
+    let req = AllocRequest::new().group(GroupRequest::nodes("classical", 12));
+    let alloc = cluster.allocate(&req, SimTime::ZERO)?;
+    println!("t=0     allocated 12/16 nodes (free: {})", cluster.free_nodes("classical")?);
+
+    // Entering the quantum phase: keep one node for rank 0.
+    let released = cluster.shrink(alloc, "classical", 1, SimTime::from_secs(10 * 60))?;
+    println!(
+        "t=10min shrink → released {} nodes (free: {})",
+        released.len(),
+        cluster.free_nodes("classical")?
+    );
+
+    // Quantum phase over: take back whatever is available.
+    let regained = cluster.expand(alloc, "classical", 11, SimTime::from_secs(45 * 60))?;
+    println!(
+        "t=45min expand → regained {} nodes (free: {})",
+        regained.len(),
+        cluster.free_nodes("classical")?
+    );
+    cluster.release(alloc, SimTime::from_secs(60 * 60))?;
+    println!("t=60min released; invariants: {:?}\n", cluster.check_invariants());
+    Ok(())
+}
+
+fn part2_endtoend() -> Result<(), SimError> {
+    println!("— Part 2: Fig. 4 end to end —");
+    let kernel = Kernel::builder("anneal").qubits(64).depth(10).shots(600).build().unwrap();
+    let hybrid = JobSpec::builder("hybrid")
+        .user("alice")
+        .nodes(14)
+        .walltime(SimDuration::from_hours(6))
+        .phases(vec![
+            Phase::Classical(SimDuration::from_mins(10)),
+            Phase::Quantum(kernel),
+            Phase::Classical(SimDuration::from_mins(10)),
+        ])
+        .build();
+    // A classical job that arrives while the hybrid job computes; it needs
+    // 10 nodes, which only exist if the hybrid job lets go of its 14.
+    let classical = JobSpec::builder("batch")
+        .user("bob")
+        .nodes(10)
+        .submit(SimTime::from_secs(5 * 60))
+        .walltime(SimDuration::from_hours(2))
+        .phases(vec![Phase::Classical(SimDuration::from_mins(20))])
+        .build();
+    let workload = Workload::from_jobs(vec![hybrid, classical]);
+
+    let mut table =
+        Table::new(vec!["strategy", "hybrid turnaround", "batch job wait", "node-h wasted"]);
+    for strategy in [Strategy::CoSchedule, Strategy::Malleable { min_nodes: 1 }] {
+        let scenario = Scenario::builder()
+            .classical_nodes(16)
+            .device(Technology::NeutralAtom)
+            .strategy(strategy)
+            .seed(5)
+            .build();
+        let outcome = FacilitySim::run(&scenario, &workload)?;
+        let hybrid_stats = outcome.stats.hybrid_only();
+        let classical_stats = outcome.stats.classical_only();
+        table.row(vec![
+            strategy.to_string(),
+            fmt_secs(hybrid_stats.mean_turnaround_secs()),
+            fmt_secs(classical_stats.mean_wait_secs()),
+            format!("{:.2}", outcome.stats.total_node_hours_wasted()),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Under co-scheduling the batch job waits out the entire ~35 min quantum\n\
+         phase behind 14 idle-but-held nodes; the malleable job shrinks to one\n\
+         node, the batch job runs in the gap, and the hybrid job re-expands\n\
+         afterwards — \"a single job rather than a sequence of tasks\" (§4)."
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    part1_primitive()?;
+    part2_endtoend()?;
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! A multi-user VQE campaign sharing one superconducting QPU.
+//!
+//! Eight tenants run iterative variational loops against a single physical
+//! device. The example sweeps the VQPU count to show the paper's Fig. 3
+//! behaviour: more virtual QPUs ⇒ tenants overlap their classical phases
+//! ⇒ device utilization and campaign throughput rise, while per-kernel
+//! delays stay bounded by the co-tenant count.
+//!
+//! ```text
+//! cargo run --example vqe_campaign
+//! ```
+
+use hpcqc::prelude::*;
+use hpcqc_simcore::time::{SimDuration, SimTime};
+
+fn tenants(count: u32) -> Workload {
+    let kernel = Kernel::builder("uccsd-ansatz").qubits(16).depth(96).shots(2_000).build().unwrap();
+    let jobs = (0..count)
+        .map(|i| {
+            let mut phases = Vec::new();
+            for _ in 0..10 {
+                phases.push(Phase::Classical(SimDuration::from_secs(90)));
+                phases.push(Phase::Quantum(kernel.clone()));
+            }
+            JobSpec::builder(format!("vqe-{i}"))
+                .user(format!("user-{i}"))
+                .nodes(4)
+                .submit(SimTime::from_secs(u64::from(i) * 30))
+                .walltime(SimDuration::from_hours(8))
+                .phases(phases)
+                .build()
+        })
+        .collect();
+    Workload::from_jobs(jobs)
+}
+
+fn main() -> Result<(), SimError> {
+    let workload = tenants(8);
+    println!(
+        "8 tenants × 10 VQE iterations (90 s classical + ~2.5 s kernel) on one\n\
+         superconducting QPU, 32 classical nodes.\n"
+    );
+    let mut table = Table::new(vec![
+        "VQPUs",
+        "campaign makespan",
+        "mean tenant wait",
+        "mean kernel delay",
+        "device util",
+    ]);
+    for vqpus in [1, 2, 4, 8] {
+        let scenario = Scenario::builder()
+            .classical_nodes(32)
+            .device(Technology::Superconducting)
+            .strategy(Strategy::Vqpu { vqpus })
+            .seed(7)
+            .build();
+        let outcome = FacilitySim::run(&scenario, &workload)?;
+        table.row(vec![
+            vqpus.to_string(),
+            fmt_secs(outcome.makespan.as_secs_f64()),
+            fmt_secs(outcome.stats.mean_wait_secs()),
+            fmt_secs(outcome.stats.mean_phase_wait_secs() / 10.0),
+            fmt_pct(outcome.mean_device_utilization()),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "One VQPU serializes the tenants (the queue eats the campaign); eight\n\
+         VQPUs let every tenant interleave — the kernel delay grows by only a\n\
+         few seconds, bounded by the co-tenant count (Fig. 3 of the paper)."
+    );
+
+    // What does the advisor say about this workload?
+    let rec = recommend(&WorkloadProfile {
+        quantum_phase_secs: 2.5,
+        classical_phase_secs: 90.0,
+        queue_wait_secs: 300.0,
+        concurrent_hybrid_jobs: 8,
+    });
+    println!("\nadvisor: use {} — {}", rec.strategy, rec.rationale);
+    Ok(())
+}

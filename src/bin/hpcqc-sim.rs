@@ -1,0 +1,259 @@
+//! `hpcqc-sim` — run hybrid HPC-QC scheduling scenarios from the command
+//! line.
+//!
+//! ```text
+//! # Generate a synthetic workload trace
+//! hpcqc-sim generate --count 200 --seed 7 --out campaign.hqwf
+//!
+//! # Simulate it under one strategy
+//! hpcqc-sim run --trace campaign.hqwf --strategy vqpu:4 --nodes 64 \
+//!               --device superconducting --policy easy
+//!
+//! # Compare all four strategies on the same trace
+//! hpcqc-sim run --trace campaign.hqwf --compare --device neutral-atom
+//!
+//! # Archive / inspect a scenario as JSON
+//! hpcqc-sim run --trace campaign.hqwf --scenario scenario.json
+//! ```
+//!
+//! Traces are read as HQWF (`.hqwf`, see `hpcqc_workload::trace`) or JSON
+//! (anything else). `--scenario` loads a full [`Scenario`] as JSON;
+//! individual flags override its fields.
+
+use hpcqc::prelude::*;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  hpcqc-sim generate --count N [--seed S] [--out FILE] [--hybrid-share F]\n  \
+         hpcqc-sim run --trace FILE [--scenario FILE.json] [--strategy S] [--nodes N]\n            \
+         [--device TECH] [--policy P] [--seed S] [--compare] [--gantt]\n\n\
+         strategies: co-schedule | workflow | vqpu:N | malleable:N\n\
+         devices:    superconducting | trapped-ion | neutral-atom | photonic | spin-qubit\n\
+         policies:   fcfs | easy | conservative"
+    );
+    std::process::exit(2);
+}
+
+fn parse_strategy(s: &str) -> Strategy {
+    match s {
+        "co-schedule" | "coschedule" => Strategy::CoSchedule,
+        "workflow" => Strategy::Workflow,
+        other => {
+            if let Some(n) = other.strip_prefix("vqpu:") {
+                Strategy::Vqpu { vqpus: n.parse().unwrap_or_else(|_| usage()) }
+            } else if let Some(n) = other.strip_prefix("malleable:") {
+                Strategy::Malleable { min_nodes: n.parse().unwrap_or_else(|_| usage()) }
+            } else {
+                usage()
+            }
+        }
+    }
+}
+
+fn parse_device(s: &str) -> Technology {
+    match s {
+        "superconducting" => Technology::Superconducting,
+        "trapped-ion" => Technology::TrappedIon,
+        "neutral-atom" => Technology::NeutralAtom,
+        "photonic" => Technology::Photonic,
+        "spin-qubit" => Technology::SpinQubit,
+        _ => usage(),
+    }
+}
+
+fn parse_policy(s: &str) -> Policy {
+    match s {
+        "fcfs" => Policy::Fcfs,
+        "easy" => Policy::EasyBackfill,
+        "conservative" => Policy::ConservativeBackfill,
+        _ => usage(),
+    }
+}
+
+fn generate(args: &[String]) -> ExitCode {
+    let mut count = 100usize;
+    let mut seed = 42u64;
+    let mut out: Option<String> = None;
+    let mut hybrid_share = 0.3f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--count" => count = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--out" => out = it.next().cloned(),
+            "--hybrid-share" => {
+                hybrid_share = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let hybrid_share = hybrid_share.clamp(0.01, 0.99);
+    let workload = Workload::builder()
+        .class(
+            JobClass::new("mpi", Pattern::classical(2_400.0))
+                .weight(1.0 - hybrid_share)
+                .nodes_between(2, 16),
+        )
+        .class(
+            JobClass::new("vqe", Pattern::vqe(8, 120.0, Kernel::sampling(1_000)))
+                .weight(hybrid_share)
+                .nodes_between(1, 8)
+                .quantum_estimate_secs(20.0),
+        )
+        .arrival(ArrivalProcess::poisson_per_hour(20.0))
+        .count(count)
+        .generate(seed);
+    let text = hpcqc::workload::to_hqwf(&workload);
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {count} jobs ({} hybrid) to {path}", workload.hybrid_count());
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn load_trace(path: &str) -> Result<Workload, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.ends_with(".hqwf") {
+        hpcqc::workload::from_hqwf(&text).map_err(|e| e.to_string())
+    } else {
+        hpcqc::workload::from_json(&text).map_err(|e| e.to_string())
+    }
+}
+
+fn summarize(strategy: Strategy, outcome: &Outcome, table: &mut Table) {
+    table.row(vec![
+        strategy.to_string(),
+        fmt_secs(outcome.makespan.as_secs_f64()),
+        fmt_secs(outcome.stats.mean_wait_secs()),
+        format!("{:.1}", outcome.stats.mean_bounded_slowdown()),
+        fmt_pct(outcome.mean_device_utilization()),
+        format!("{:.1}", outcome.stats.total_node_hours_wasted()),
+        format!("{}", outcome.stats.failed_count()),
+    ]);
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let mut trace: Option<String> = None;
+    let mut scenario_path: Option<String> = None;
+    let mut strategy: Option<Strategy> = None;
+    let mut nodes: Option<u32> = None;
+    let mut device: Option<Technology> = None;
+    let mut policy: Option<Policy> = None;
+    let mut seed: Option<u64> = None;
+    let mut compare = false;
+    let mut gantt = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => trace = it.next().cloned(),
+            "--scenario" => scenario_path = it.next().cloned(),
+            "--strategy" => strategy = it.next().map(|s| parse_strategy(s)),
+            "--nodes" => nodes = it.next().and_then(|v| v.parse().ok()),
+            "--device" => device = it.next().map(|s| parse_device(s)),
+            "--policy" => policy = it.next().map(|s| parse_policy(s)),
+            "--seed" => seed = it.next().and_then(|v| v.parse().ok()),
+            "--compare" => compare = true,
+            "--gantt" => gantt = true,
+            _ => usage(),
+        }
+    }
+    let Some(trace) = trace else { usage() };
+    let workload = match load_trace(&trace) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut scenario = match scenario_path {
+        Some(path) => match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str::<Scenario>(&s).map_err(|e| e.to_string()))
+        {
+            Ok(sc) => sc,
+            Err(e) => {
+                eprintln!("cannot load scenario {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Scenario::default(),
+    };
+    if let Some(n) = nodes {
+        scenario.classical_nodes = n;
+    }
+    if let Some(d) = device {
+        scenario.devices = vec![d];
+    }
+    if let Some(p) = policy {
+        scenario.policy = p;
+    }
+    if let Some(s) = seed {
+        scenario.seed = s;
+    }
+    if let Some(s) = strategy {
+        scenario.strategy = s;
+    }
+    scenario.record_gantt = gantt;
+
+    eprintln!(
+        "{} jobs ({} hybrid) on {} nodes + {:?}, policy {}",
+        workload.len(),
+        workload.hybrid_count(),
+        scenario.classical_nodes,
+        scenario.devices,
+        scenario.policy
+    );
+
+    let strategies = if compare {
+        Strategy::representative_set()
+    } else {
+        vec![scenario.strategy]
+    };
+    let mut table = Table::new(vec![
+        "strategy",
+        "makespan",
+        "mean wait",
+        "slowdown",
+        "QPU util",
+        "node-h wasted",
+        "failed",
+    ]);
+    for s in strategies {
+        let mut sc = scenario.clone();
+        sc.strategy = s;
+        match FacilitySim::run(&sc, &workload) {
+            Ok(outcome) => {
+                summarize(s, &outcome, &mut table);
+                if gantt && !compare {
+                    if let Some(g) = &outcome.gantt {
+                        eprintln!();
+                        eprint!("{}", g.render_ascii(SimTime::ZERO, outcome.makespan, 100));
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("simulation failed under {s}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("{table}");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("generate") => generate(&args[1..]),
+        Some("run") => run(&args[1..]),
+        _ => usage(),
+    }
+}

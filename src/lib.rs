@@ -1,0 +1,55 @@
+//! # hpcqc — hybrid HPC–quantum cluster scheduling simulator
+//!
+//! A full reproduction of *Assessing the Elephant in the Room in Scheduling
+//! for Current Hybrid HPC-QC Clusters* (DSN 2025): a discrete-event
+//! simulator of an operational HPC facility with attached quantum devices,
+//! a SLURM-like batch scheduler, per-technology QPU timing models, and the
+//! paper's four resource-allocation strategies (exclusive co-scheduling,
+//! loosely-coupled workflows, virtual QPUs, malleability).
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! name. Use the pieces directly for finer dependency control.
+//!
+//! ```
+//! use hpcqc::core::{FacilitySim, Scenario, Strategy};
+//! use hpcqc::qpu::Technology;
+//! use hpcqc::workload::{JobClass, Pattern, Workload};
+//! use hpcqc::qpu::Kernel;
+//!
+//! let workload = Workload::builder()
+//!     .class(JobClass::new("vqe", Pattern::vqe(8, 60.0, Kernel::sampling(1_000))))
+//!     .count(10)
+//!     .generate(7);
+//! let scenario = Scenario::builder()
+//!     .classical_nodes(16)
+//!     .device(Technology::Superconducting)
+//!     .strategy(Strategy::Vqpu { vqpus: 4 })
+//!     .build();
+//! let outcome = FacilitySim::run(&scenario, &workload)?;
+//! println!("QPU utilization: {:.1}%", outcome.mean_device_utilization() * 100.0);
+//! # Ok::<(), hpcqc::core::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use hpcqc_cluster as cluster;
+pub use hpcqc_core as core;
+pub use hpcqc_metrics as metrics;
+pub use hpcqc_qpu as qpu;
+pub use hpcqc_sched as sched;
+pub use hpcqc_simcore as simcore;
+pub use hpcqc_workload as workload;
+
+/// Everything an application typically needs, one import away.
+pub mod prelude {
+    pub use hpcqc_cluster::{AllocRequest, Cluster, ClusterBuilder, GresKind, GroupRequest};
+    pub use hpcqc_core::{
+        recommend, FacilitySim, FailureModel, Outcome, Scenario, SimError, Strategy,
+        WalltimePolicy, WorkloadProfile,
+    };
+    pub use hpcqc_metrics::{fmt_pct, fmt_secs, GanttRecorder, JobStats, Table};
+    pub use hpcqc_qpu::{AccessMode, Kernel, QpuDevice, Technology};
+    pub use hpcqc_sched::{BatchScheduler, PendingJob, Policy};
+    pub use hpcqc_simcore::{Dist, SimDuration, SimRng, SimTime};
+    pub use hpcqc_workload::{ArrivalProcess, JobClass, JobSpec, Pattern, Phase, Workload};
+}

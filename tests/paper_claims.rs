@@ -1,0 +1,145 @@
+//! End-to-end integration tests of the paper's headline claims, driven
+//! through the public facade (`hpcqc::prelude`). These mirror the bench
+//! harness experiments at a smaller scale, so a regression anywhere in the
+//! stack (cluster, scheduler, devices, strategies) surfaces here.
+
+use hpcqc::prelude::*;
+use hpcqc_simcore::time::{SimDuration, SimTime};
+
+fn hybrid_loop(name: &str, nodes: u32, iters: u32, classical_secs: u64, shots: u32) -> JobSpec {
+    let mut phases = Vec::new();
+    for _ in 0..iters {
+        phases.push(Phase::Classical(SimDuration::from_secs(classical_secs)));
+        phases.push(Phase::Quantum(Kernel::sampling(shots)));
+    }
+    JobSpec::builder(name)
+        .nodes(nodes)
+        .walltime(SimDuration::from_hours(8))
+        .phases(phases)
+        .build()
+}
+
+fn run(strategy: Strategy, technology: Technology, workload: &Workload) -> Outcome {
+    let scenario = Scenario::builder()
+        .classical_nodes(16)
+        .device(technology)
+        .strategy(strategy)
+        .seed(42)
+        .build();
+    FacilitySim::run(&scenario, workload).expect("valid scenario")
+}
+
+/// §3, Listing 1, superconducting direction: the QPU is the starved side.
+#[test]
+fn claim_coscheduling_starves_superconducting_qpu() {
+    let w = Workload::from_jobs(vec![hybrid_loop("l1", 10, 6, 590, 1_000)]);
+    let outcome = run(Strategy::CoSchedule, Technology::Superconducting, &w);
+    let r = &outcome.stats.records()[0];
+    let qpu_eff = r.qpu_seconds_used / r.qpu_seconds_allocated;
+    assert!(qpu_eff < 0.05, "QPU must be <5% busy inside its exclusive hold, got {qpu_eff:.3}");
+}
+
+/// §3, Listing 1, neutral-atom direction: the classical nodes starve.
+#[test]
+fn claim_coscheduling_starves_nodes_on_neutral_atoms() {
+    let w = Workload::from_jobs(vec![hybrid_loop("l1", 10, 3, 300, 1_000)]);
+    let outcome = run(Strategy::CoSchedule, Technology::NeutralAtom, &w);
+    let r = &outcome.stats.records()[0];
+    let node_eff = r.node_seconds_used / r.node_seconds_allocated;
+    assert!(node_eff < 0.5, "nodes must idle through ≥30 min quantum phases, got {node_eff:.3}");
+}
+
+/// Fig. 2: workflows hold resources only while using them.
+#[test]
+fn claim_workflows_eliminate_held_idle_resources() {
+    let w = Workload::from_jobs(vec![hybrid_loop("wf", 8, 4, 120, 1_000)]);
+    let outcome = run(Strategy::Workflow, Technology::NeutralAtom, &w);
+    let r = &outcome.stats.records()[0];
+    assert!(
+        (r.node_seconds_allocated - r.node_seconds_used).abs() < 1.0,
+        "workflow steps must not hold idle nodes"
+    );
+    // But they pay inter-step overhead.
+    assert!(r.phase_wait > SimDuration::ZERO);
+}
+
+/// Fig. 3: VQPU sharing raises device utilization over co-scheduling for
+/// short-kernel workloads with multiple tenants.
+#[test]
+fn claim_vqpus_raise_device_utilization() {
+    let jobs: Vec<JobSpec> = (0..4)
+        .map(|i| hybrid_loop(&format!("t{i}"), 4, 6, 120, 1_000))
+        .collect();
+    let w = Workload::from_jobs(jobs);
+    let cosched = run(Strategy::CoSchedule, Technology::Superconducting, &w);
+    let vqpu = run(Strategy::Vqpu { vqpus: 4 }, Technology::Superconducting, &w);
+    assert!(
+        vqpu.makespan < cosched.makespan,
+        "interleaving must beat serialized exclusive holds ({} vs {})",
+        vqpu.makespan,
+        cosched.makespan
+    );
+    assert!(vqpu.mean_device_utilization() >= cosched.mean_device_utilization() * 0.99);
+}
+
+/// Fig. 4: malleability approaches workflow-level waste without paying
+/// per-step queue passes.
+#[test]
+fn claim_malleability_cuts_waste_without_requeueing() {
+    let w = Workload::from_jobs(vec![hybrid_loop("m", 12, 3, 300, 1_000)]);
+    let cosched = run(Strategy::CoSchedule, Technology::NeutralAtom, &w);
+    let malleable = run(Strategy::Malleable { min_nodes: 1 }, Technology::NeutralAtom, &w);
+    let waste = |o: &Outcome| o.stats.total_node_hours_wasted();
+    assert!(
+        waste(&malleable) < 0.25 * waste(&cosched),
+        "malleable waste {:.2} vs co-schedule {:.2}",
+        waste(&malleable),
+        waste(&cosched)
+    );
+    // Single-job semantics: turnaround does not balloon.
+    assert!(
+        malleable.stats.mean_turnaround_secs() <= cosched.stats.mean_turnaround_secs() * 1.05,
+        "malleability must not slow the job on an idle machine"
+    );
+}
+
+/// §4 complementarity: the advisor picks different strategies for the
+/// paper's three canonical regimes.
+#[test]
+fn claim_advisor_matches_paper_guidance() {
+    // Superconducting VQE: short kernels inside long classical steps.
+    let vqe = recommend(&WorkloadProfile::new(10.0, 600.0, 900.0));
+    assert!(matches!(vqe.strategy, Strategy::Vqpu { .. }), "{vqe:?}");
+    // Neutral atoms: quantum outweighs a queue pass.
+    let atoms = recommend(&WorkloadProfile::new(2_000.0, 600.0, 900.0));
+    assert_eq!(atoms.strategy, Strategy::Workflow, "{atoms:?}");
+    // Both phases short against queue waits.
+    let short = recommend(&WorkloadProfile::new(50.0, 60.0, 1_200.0));
+    assert!(matches!(short.strategy, Strategy::Malleable { .. }), "{short:?}");
+}
+
+/// The strategies agree on purely classical workloads (no quantum phases
+/// means nothing to interleave, decompose or shrink around).
+#[test]
+fn classical_workloads_are_strategy_invariant() {
+    let jobs: Vec<JobSpec> = (0..5)
+        .map(|i| {
+            JobSpec::builder(format!("c{i}"))
+                .nodes(4)
+                .submit(SimTime::from_secs(i * 60))
+                .walltime(SimDuration::from_hours(2))
+                .phases(vec![Phase::Classical(SimDuration::from_secs(600))])
+                .build()
+        })
+        .collect();
+    let w = Workload::from_jobs(jobs);
+    let outcomes: Vec<Outcome> = Strategy::representative_set()
+        .into_iter()
+        .map(|s| run(s, Technology::Superconducting, &w))
+        .collect();
+    let makespans: Vec<_> = outcomes.iter().map(|o| o.makespan).collect();
+    assert!(
+        makespans.windows(2).all(|p| p[0] == p[1]),
+        "classical-only workloads must be identical across strategies: {makespans:?}"
+    );
+}

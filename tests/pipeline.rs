@@ -1,0 +1,275 @@
+//! Cross-crate pipeline tests: trace round-trips feeding the simulator,
+//! policy ablations, failure injection, and full-pipeline determinism.
+
+use hpcqc::prelude::*;
+use hpcqc_simcore::time::{SimDuration, SimTime};
+use hpcqc_workload::trace;
+
+fn mixed_workload(seed: u64) -> Workload {
+    Workload::builder()
+        .class(JobClass::new("mpi", Pattern::classical(1_200.0)).weight(2.0).nodes_between(2, 8))
+        .class(
+            JobClass::new("vqe", Pattern::vqe(6, 60.0, Kernel::sampling(1_000)))
+                .nodes_between(1, 4)
+                .quantum_estimate_secs(15.0),
+        )
+        .arrival(ArrivalProcess::poisson_per_hour(30.0))
+        .count(40)
+        .generate(seed)
+}
+
+fn scenario(strategy: Strategy, policy: Policy) -> Scenario {
+    Scenario::builder()
+        .classical_nodes(24)
+        .device(Technology::Superconducting)
+        .strategy(strategy)
+        .policy(policy)
+        .seed(5)
+        .build()
+}
+
+/// A workload serialized to both trace formats and re-imported produces an
+/// identical simulation — the archival path is faithful.
+#[test]
+fn trace_roundtrip_preserves_simulation() {
+    let original = mixed_workload(7);
+    let sc = scenario(Strategy::Vqpu { vqpus: 4 }, Policy::EasyBackfill);
+    let baseline = FacilitySim::run(&sc, &original).unwrap();
+
+    let via_json = trace::from_json(&trace::to_json(&original).unwrap()).unwrap();
+    let json_outcome = FacilitySim::run(&sc, &via_json).unwrap();
+    assert_eq!(baseline.makespan, json_outcome.makespan);
+    assert_eq!(
+        baseline.stats.mean_turnaround_secs(),
+        json_outcome.stats.mean_turnaround_secs()
+    );
+
+    // HQWF quantizes durations to milliseconds; the sim must still agree to
+    // well under a second per job.
+    let via_hqwf = trace::from_hqwf(&trace::to_hqwf(&original)).unwrap();
+    let hqwf_outcome = FacilitySim::run(&sc, &via_hqwf).unwrap();
+    let drift = (baseline.makespan.as_secs_f64() - hqwf_outcome.makespan.as_secs_f64()).abs();
+    assert!(drift < 1.0, "HQWF round-trip drifted {drift} s");
+}
+
+/// Backfilling matters: EASY completes the campaign no later than strict
+/// FCFS and strictly reduces mean wait on a contended mix.
+#[test]
+fn backfilling_improves_on_fcfs() {
+    let w = mixed_workload(11);
+    let fcfs = FacilitySim::run(&scenario(Strategy::Workflow, Policy::Fcfs), &w).unwrap();
+    let easy = FacilitySim::run(&scenario(Strategy::Workflow, Policy::EasyBackfill), &w).unwrap();
+    assert!(
+        easy.makespan <= fcfs.makespan,
+        "EASY ({}) must not extend the FCFS makespan ({})",
+        easy.makespan,
+        fcfs.makespan
+    );
+    assert!(easy.stats.mean_wait_secs() <= fcfs.stats.mean_wait_secs() + 1.0);
+}
+
+/// Conservative backfill also runs the full pipeline to completion.
+#[test]
+fn conservative_backfill_completes() {
+    let w = mixed_workload(13);
+    let out =
+        FacilitySim::run(&scenario(Strategy::CoSchedule, Policy::ConservativeBackfill), &w)
+            .unwrap();
+    assert_eq!(out.stats.len(), w.len());
+}
+
+/// Device recalibration windows lengthen campaigns but never lose jobs.
+#[test]
+fn device_calibration_slows_but_completes() {
+    let jobs: Vec<JobSpec> = (0..6)
+        .map(|i| {
+            JobSpec::builder(format!("h{i}"))
+                .nodes(2)
+                .submit(SimTime::from_secs(i * 30_000)) // spread over days
+                .walltime(SimDuration::from_hours(8))
+                .phases(vec![
+                    Phase::Classical(SimDuration::from_secs(300)),
+                    Phase::Quantum(Kernel::sampling(1_000)),
+                ])
+                .build()
+        })
+        .collect();
+    let w = Workload::from_jobs(jobs);
+    let mut with_cal = scenario(Strategy::CoSchedule, Policy::EasyBackfill);
+    with_cal.device_calibration = true;
+    let calibrated = FacilitySim::run(&with_cal, &w).unwrap();
+    assert_eq!(calibrated.stats.len(), 6);
+    assert!(
+        calibrated.devices[0].recalibration_seconds > 0.0,
+        "multi-day campaign must hit recalibration windows"
+    );
+}
+
+/// Cloud access (E7 path) through the full simulator: turnaround grows by
+/// roughly the per-kernel overhead × kernel count.
+#[test]
+fn cloud_access_cost_scales_with_kernel_count() {
+    let few = Workload::from_jobs(vec![{
+        let mut phases = Vec::new();
+        for _ in 0..2 {
+            phases.push(Phase::Classical(SimDuration::from_secs(60)));
+            phases.push(Phase::Quantum(Kernel::sampling(1_000)));
+        }
+        JobSpec::builder("few").nodes(2).walltime(SimDuration::from_hours(8)).phases(phases).build()
+    }]);
+    let many = Workload::from_jobs(vec![{
+        let mut phases = Vec::new();
+        for _ in 0..8 {
+            phases.push(Phase::Classical(SimDuration::from_secs(60)));
+            phases.push(Phase::Quantum(Kernel::sampling(1_000)));
+        }
+        JobSpec::builder("many").nodes(2).walltime(SimDuration::from_hours(8)).phases(phases).build()
+    }]);
+    let overhead_of = |w: &Workload| {
+        let mut cloud = scenario(Strategy::CoSchedule, Policy::EasyBackfill);
+        cloud.access = Some(AccessMode::cloud(Technology::Superconducting));
+        let on_prem = scenario(Strategy::CoSchedule, Policy::EasyBackfill);
+        let with = FacilitySim::run(&cloud, w).unwrap().stats.mean_turnaround_secs();
+        let without = FacilitySim::run(&on_prem, w).unwrap().stats.mean_turnaround_secs();
+        with - without
+    };
+    let few_overhead = overhead_of(&few);
+    let many_overhead = overhead_of(&many);
+    assert!(
+        many_overhead > 2.0 * few_overhead,
+        "8 kernels must pay ≳4× the cloud overhead of 2 ({many_overhead:.0}s vs {few_overhead:.0}s)"
+    );
+}
+
+/// The full pipeline (generation → scheduling → devices → metrics) is
+/// byte-stable across runs and across strategies for the same seed.
+#[test]
+fn full_pipeline_determinism() {
+    for strategy in Strategy::representative_set() {
+        let w = mixed_workload(3);
+        let sc = scenario(strategy, Policy::EasyBackfill);
+        let a = FacilitySim::run(&sc, &w).unwrap();
+        let b = FacilitySim::run(&sc, &w).unwrap();
+        assert_eq!(a.makespan, b.makespan, "{strategy}");
+        assert_eq!(a.total_kernels(), b.total_kernels(), "{strategy}");
+        assert_eq!(
+            a.stats.mean_bounded_slowdown(),
+            b.stats.mean_bounded_slowdown(),
+            "{strategy}"
+        );
+    }
+}
+
+/// A facility with several physical QPUs spreads kernels across them
+/// (round-robin over gres tokens / least-backlog for malleable jobs).
+#[test]
+fn multi_device_facility_spreads_kernels() {
+    let jobs: Vec<JobSpec> = (0..6)
+        .map(|i| {
+            let mut phases = Vec::new();
+            for _ in 0..4 {
+                phases.push(Phase::Classical(SimDuration::from_secs(60)));
+                phases.push(Phase::Quantum(Kernel::sampling(1_000)));
+            }
+            JobSpec::builder(format!("t{i}"))
+                .nodes(2)
+                .walltime(SimDuration::from_hours(8))
+                .phases(phases)
+                .build()
+        })
+        .collect();
+    let w = Workload::from_jobs(jobs);
+    for strategy in [
+        Strategy::CoSchedule,
+        Strategy::Vqpu { vqpus: 3 },
+        Strategy::Malleable { min_nodes: 1 },
+    ] {
+        let mut sc = scenario(strategy, Policy::EasyBackfill);
+        sc.devices = vec![Technology::Superconducting, Technology::Superconducting];
+        let out = FacilitySim::run(&sc, &w).unwrap();
+        assert_eq!(out.total_kernels(), 24, "{strategy}");
+        for d in &out.devices {
+            assert!(d.tasks > 0, "{strategy}: device {} never used", d.name);
+        }
+    }
+}
+
+/// Node failures flow through the full pipeline: jobs requeue and the
+/// campaign still completes (or records bounded failures).
+#[test]
+fn node_failures_end_to_end() {
+    let w = mixed_workload(17);
+    let mut sc = scenario(Strategy::CoSchedule, Policy::EasyBackfill);
+    sc.node_failures = Some(FailureModel::exponential(7_200.0));
+    let out = FacilitySim::run(&sc, &w).unwrap();
+    assert_eq!(out.stats.len(), w.len(), "every job must terminate");
+    // With a generous default budget, most of the mix completes.
+    assert!(
+        out.stats.completed_count() >= w.len() - 3,
+        "too many failures: {} of {}",
+        out.stats.failed_count(),
+        w.len()
+    );
+}
+
+/// Heterogeneous facility: a small spin-qubit device (12 qubits) next to a
+/// large superconducting one (127). Jobs with big kernels must route only
+/// to the capable device; small kernels may use either.
+#[test]
+fn heterogeneous_devices_respect_qubit_capability() {
+    let big_kernel = Kernel::builder("big").qubits(64).depth(32).shots(500).build().unwrap();
+    let small_kernel = Kernel::builder("small").qubits(8).depth(32).shots(500).build().unwrap();
+    let mk = |name: &str, kernel: &Kernel, n: u64| -> Vec<JobSpec> {
+        (0..n)
+            .map(|i| {
+                JobSpec::builder(format!("{name}-{i}"))
+                    .nodes(2)
+                    .walltime(SimDuration::from_hours(8))
+                    .phases(vec![
+                        Phase::Classical(SimDuration::from_secs(30)),
+                        Phase::Quantum(kernel.clone()),
+                    ])
+                    .build()
+            })
+            .collect()
+    };
+    let mut jobs = mk("big", &big_kernel, 4);
+    jobs.extend(mk("small", &small_kernel, 4));
+    let w = Workload::from_jobs(jobs);
+    for strategy in [Strategy::CoSchedule, Strategy::Malleable { min_nodes: 1 }] {
+        let mut sc = scenario(strategy, Policy::EasyBackfill);
+        sc.devices = vec![Technology::SpinQubit, Technology::Superconducting];
+        let out = FacilitySim::run(&sc, &w).unwrap();
+        assert_eq!(out.stats.len(), 8, "{strategy}");
+        assert_eq!(out.stats.failed_count(), 0, "{strategy}");
+        assert_eq!(out.total_kernels(), 8, "{strategy}");
+        // The 64-qubit kernels cannot have run on the 12-qubit device, so
+        // the superconducting device must have executed at least those 4.
+        let sc_dev = out.devices.iter().find(|d| d.technology == Technology::Superconducting);
+        assert!(sc_dev.unwrap().tasks >= 4, "{strategy}");
+    }
+}
+
+/// A facility whose only device is too small for a job's kernels must
+/// reject that job with a clear error instead of panicking mid-run.
+#[test]
+fn impossible_kernel_is_a_clean_error() {
+    let kernel = Kernel::builder("huge").qubits(4_096).depth(8).shots(10).build().unwrap();
+    let job = JobSpec::builder("huge")
+        .nodes(1)
+        .walltime(SimDuration::from_hours(1))
+        .phases(vec![Phase::Quantum(kernel)])
+        .build();
+    let sc = scenario(Strategy::CoSchedule, Policy::EasyBackfill);
+    let err = FacilitySim::run(&sc, &Workload::from_jobs(vec![job])).unwrap_err();
+    assert!(err.to_string().contains("qubits"), "unexpected error: {err}");
+}
+
+/// Different seeds genuinely change the workload and the outcome.
+#[test]
+fn seeds_matter() {
+    let sc = scenario(Strategy::CoSchedule, Policy::EasyBackfill);
+    let a = FacilitySim::run(&sc, &mixed_workload(1)).unwrap();
+    let b = FacilitySim::run(&sc, &mixed_workload(2)).unwrap();
+    assert_ne!(a.makespan, b.makespan);
+}
