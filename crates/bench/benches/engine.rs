@@ -16,7 +16,9 @@ fn bench_event_queue(c: &mut Criterion) {
                 || {
                     // Pre-generate pseudo-random timestamps.
                     let mut rng = SimRng::seed_from(7);
-                    (0..n).map(|_| SimTime::from_nanos(rng.below(1 << 40))).collect::<Vec<_>>()
+                    (0..n)
+                        .map(|_| SimTime::from_nanos(rng.below(1 << 40)))
+                        .collect::<Vec<_>>()
                 },
                 |times| {
                     let mut q = EventQueue::new();

@@ -38,7 +38,11 @@ fn queue_of(n: usize, cluster: &Cluster, policy: Policy) -> BatchScheduler {
 
 fn bench_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduling_cycle");
-    for policy in [Policy::Fcfs, Policy::EasyBackfill, Policy::ConservativeBackfill] {
+    for policy in [
+        Policy::Fcfs,
+        Policy::EasyBackfill,
+        Policy::ConservativeBackfill,
+    ] {
         for &depth in &[50usize, 200] {
             group.bench_function(format!("{policy}_{depth}_queued"), |b| {
                 b.iter_batched(

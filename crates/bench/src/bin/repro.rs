@@ -53,7 +53,11 @@ fn parse_args() -> Options {
             .map(ToString::to_string)
             .collect();
     }
-    Options { experiments, quick, csv }
+    Options {
+        experiments,
+        quick,
+        csv,
+    }
 }
 
 fn emit(title: &str, subtitle: &str, table: &Table, csv: bool) {
@@ -71,7 +75,10 @@ fn emit(title: &str, subtitle: &str, table: &Table, csv: bool) {
 fn main() {
     let opts = parse_args();
     let t0 = Instant::now();
-    println!("# hpcqc paper reproduction ({} preset)", if opts.quick { "quick" } else { "full" });
+    println!(
+        "# hpcqc paper reproduction ({} preset)",
+        if opts.quick { "quick" } else { "full" }
+    );
 
     for exp in &opts.experiments {
         let started = Instant::now();
@@ -119,8 +126,11 @@ fn main() {
                 );
             }
             "e4" => {
-                let cfg =
-                    if opts.quick { e4_vqpu::Config::quick() } else { e4_vqpu::Config::full() };
+                let cfg = if opts.quick {
+                    e4_vqpu::Config::quick()
+                } else {
+                    e4_vqpu::Config::full()
+                };
                 let r = e4_vqpu::run(&cfg);
                 emit(
                     "E4a — Fig. 3: virtual QPUs, token-count sweep",
@@ -164,8 +174,11 @@ fn main() {
                 );
             }
             "e7" => {
-                let cfg =
-                    if opts.quick { e7_access::Config::quick() } else { e7_access::Config::full() };
+                let cfg = if opts.quick {
+                    e7_access::Config::quick()
+                } else {
+                    e7_access::Config::full()
+                };
                 let r = e7_access::run(&cfg);
                 emit(
                     "E7 — §3: access-model overhead per kernel",
@@ -175,8 +188,11 @@ fn main() {
                 );
             }
             "a1" => {
-                let cfg =
-                    if opts.quick { a1_policy::Config::quick() } else { a1_policy::Config::full() };
+                let cfg = if opts.quick {
+                    a1_policy::Config::quick()
+                } else {
+                    a1_policy::Config::full()
+                };
                 let r = a1_policy::run(&cfg);
                 emit(
                     "A1 — ablation: scheduler policy × strategy",

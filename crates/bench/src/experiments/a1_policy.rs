@@ -35,12 +35,24 @@ pub struct Config {
 impl Config {
     /// Fast preset.
     pub fn quick() -> Self {
-        Config { nodes: 32, background: 24, background_per_hour: 8.0, hybrid_jobs: 3, seed: 42 }
+        Config {
+            nodes: 32,
+            background: 24,
+            background_per_hour: 8.0,
+            hybrid_jobs: 3,
+            seed: 42,
+        }
     }
 
     /// Full preset.
     pub fn full() -> Self {
-        Config { nodes: 32, background: 60, background_per_hour: 8.0, hybrid_jobs: 4, seed: 42 }
+        Config {
+            nodes: 32,
+            background: 60,
+            background_per_hour: 8.0,
+            hybrid_jobs: 4,
+            seed: 42,
+        }
     }
 }
 
@@ -74,8 +86,14 @@ pub struct Result {
 ///
 /// Panics if a simulation fails (self-consistent configuration).
 pub fn run(config: &Config) -> Result {
-    let mut jobs =
-        background_jobs(config.background, 4, 16, 1_800.0, config.background_per_hour, config.seed);
+    let mut jobs = background_jobs(
+        config.background,
+        4,
+        16,
+        1_800.0,
+        config.background_per_hour,
+        config.seed,
+    );
     for i in 0..config.hybrid_jobs {
         jobs.push(vqe_job(
             &format!("hyb-{i}"),
@@ -90,7 +108,11 @@ pub fn run(config: &Config) -> Result {
     let workload = Workload::from_jobs(jobs);
 
     let mut rows = Vec::new();
-    for policy in [Policy::Fcfs, Policy::EasyBackfill, Policy::ConservativeBackfill] {
+    for policy in [
+        Policy::Fcfs,
+        Policy::EasyBackfill,
+        Policy::ConservativeBackfill,
+    ] {
         for strategy in [Strategy::CoSchedule, Strategy::Workflow] {
             let scenario = Scenario::builder()
                 .classical_nodes(config.nodes)
@@ -110,8 +132,13 @@ pub fn run(config: &Config) -> Result {
         }
     }
 
-    let mut table =
-        Table::new(vec!["policy", "strategy", "mean wait", "hybrid turnaround", "makespan"]);
+    let mut table = Table::new(vec![
+        "policy",
+        "strategy",
+        "mean wait",
+        "hybrid turnaround",
+        "makespan",
+    ]);
     for r in &rows {
         table.row(vec![
             r.policy.to_string(),

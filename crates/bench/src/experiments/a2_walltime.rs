@@ -33,7 +33,13 @@ pub struct Config {
 impl Config {
     /// Fast preset.
     pub fn quick() -> Self {
-        Config { nodes: 32, jobs: 30, margins: vec![0.9, 1.5, 4.0], max_requeues: 1, seed: 42 }
+        Config {
+            nodes: 32,
+            jobs: 30,
+            margins: vec![0.9, 1.5, 4.0],
+            max_requeues: 1,
+            seed: 42,
+        }
     }
 
     /// Full preset.
@@ -100,7 +106,9 @@ pub fn run(config: &Config) -> Result {
                 .classical_nodes(config.nodes)
                 .device(Technology::Superconducting)
                 .strategy(Strategy::CoSchedule)
-                .walltime_policy(WalltimePolicy::Kill { max_requeues: config.max_requeues })
+                .walltime_policy(WalltimePolicy::Kill {
+                    max_requeues: config.max_requeues,
+                })
                 .seed(config.seed)
                 .build();
             let outcome = FacilitySim::run(&scenario, &workload).expect("A2 scenario is valid");
@@ -113,7 +121,12 @@ pub fn run(config: &Config) -> Result {
         })
         .collect();
 
-    let mut table = Table::new(vec!["walltime margin", "failed jobs", "mean wait", "makespan"]);
+    let mut table = Table::new(vec![
+        "walltime margin",
+        "failed jobs",
+        "mean wait",
+        "makespan",
+    ]);
     for r in &rows {
         table.row(vec![
             format!("{:.2}×", r.margin),
@@ -146,6 +159,9 @@ mod tests {
     fn failures_monotone_nonincreasing_in_margin() {
         let result = run(&Config::quick());
         let fails: Vec<usize> = result.rows.iter().map(|r| r.failed).collect();
-        assert!(fails.windows(2).all(|w| w[0] >= w[1]), "failures {fails:?} not monotone");
+        assert!(
+            fails.windows(2).all(|w| w[0] >= w[1]),
+            "failures {fails:?} not monotone"
+        );
     }
 }

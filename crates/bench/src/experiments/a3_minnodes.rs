@@ -34,7 +34,13 @@ pub struct Config {
 impl Config {
     /// Fast preset.
     pub fn quick() -> Self {
-        Config { nodes: 32, hybrid_nodes: 12, min_nodes: vec![1, 4, 12], background: 16, seed: 42 }
+        Config {
+            nodes: 32,
+            hybrid_nodes: 12,
+            min_nodes: vec![1, 4, 12],
+            background: 16,
+            seed: 42,
+        }
     }
 
     /// Full preset.
@@ -136,7 +142,11 @@ mod tests {
     #[test]
     fn waste_grows_with_retention_floor() {
         let result = run(&Config::quick());
-        let wastes: Vec<f64> = result.rows.iter().map(|r| r.hybrid_node_hours_wasted).collect();
+        let wastes: Vec<f64> = result
+            .rows
+            .iter()
+            .map(|r| r.hybrid_node_hours_wasted)
+            .collect();
         assert!(
             wastes.windows(2).all(|w| w[0] <= w[1] + 1e-9),
             "waste {wastes:?} must grow with min_nodes"

@@ -22,12 +22,20 @@ pub struct Config {
 impl Config {
     /// Fast preset for tests and smoke runs.
     pub fn quick() -> Self {
-        Config { shots: 1_000, samples: 200, seed: 42 }
+        Config {
+            shots: 1_000,
+            samples: 200,
+            seed: 42,
+        }
     }
 
     /// Full preset for the published tables.
     pub fn full() -> Self {
-        Config { shots: 1_000, samples: 5_000, seed: 42 }
+        Config {
+            shots: 1_000,
+            samples: 5_000,
+            seed: 42,
+        }
     }
 }
 
@@ -82,7 +90,11 @@ mod tests {
             sc.job_p50
         );
         let na = find(Technology::NeutralAtom);
-        assert!(na.job_p50 > 1_800.0, "neutral-atom job p50 {} not > 30 min", na.job_p50);
+        assert!(
+            na.job_p50 > 1_800.0,
+            "neutral-atom job p50 {} not > 30 min",
+            na.job_p50
+        );
     }
 
     #[test]

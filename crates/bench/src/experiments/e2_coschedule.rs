@@ -36,7 +36,13 @@ pub struct Config {
 impl Config {
     /// The paper's Listing-1 shape.
     pub fn quick() -> Self {
-        Config { nodes: 10, iterations: 6, classical_secs: 590, shots: 1_000, seed: 42 }
+        Config {
+            nodes: 10,
+            iterations: 6,
+            classical_secs: 590,
+            shots: 1_000,
+            seed: 42,
+        }
     }
 
     /// Same shape (the scenario is already small); kept for harness symmetry.
@@ -152,9 +158,17 @@ mod tests {
         let result = run(&Config::quick());
         let sc = row(&result, Technology::Superconducting);
         // §3: "heavy under-utilisation of the QPU".
-        assert!(sc.qpu_efficiency < 0.05, "QPU efficiency {}", sc.qpu_efficiency);
+        assert!(
+            sc.qpu_efficiency < 0.05,
+            "QPU efficiency {}",
+            sc.qpu_efficiency
+        );
         // The classical side is nearly fully busy.
-        assert!(sc.node_efficiency > 0.9, "node efficiency {}", sc.node_efficiency);
+        assert!(
+            sc.node_efficiency > 0.9,
+            "node efficiency {}",
+            sc.node_efficiency
+        );
     }
 
     #[test]
@@ -162,9 +176,17 @@ mod tests {
         let result = run(&Config::quick());
         let na = row(&result, Technology::NeutralAtom);
         // §3: classical nodes "idle waiting for the quantum job completion".
-        assert!(na.node_efficiency < 0.5, "node efficiency {}", na.node_efficiency);
+        assert!(
+            na.node_efficiency < 0.5,
+            "node efficiency {}",
+            na.node_efficiency
+        );
         // And the QPU side dominates the job.
-        assert!(na.qpu_efficiency > 0.5, "QPU efficiency {}", na.qpu_efficiency);
+        assert!(
+            na.qpu_efficiency > 0.5,
+            "QPU efficiency {}",
+            na.qpu_efficiency
+        );
     }
 
     #[test]

@@ -227,7 +227,10 @@ mod tests {
             first.turnaround_ratio,
             last.turnaround_ratio
         );
-        assert!(last.turnaround_ratio < 1.5, "long steps must amortize the queueing");
+        assert!(
+            last.turnaround_ratio < 1.5,
+            "long steps must amortize the queueing"
+        );
     }
 
     #[test]

@@ -229,7 +229,12 @@ pub fn run(config: &Config) -> Result {
             format!("{:.2}×", r.speedup),
         ]);
     }
-    Result { count_rows, caveat_rows, count_table, caveat_table }
+    Result {
+        count_rows,
+        caveat_rows,
+        count_table,
+        caveat_table,
+    }
 }
 
 #[cfg(test)]

@@ -102,7 +102,7 @@ pub struct Result {
 ///
 /// Panics if a simulation fails (self-consistent configuration).
 pub fn run(config: &Config) -> Result {
-    let strategies = vec![
+    let strategies = [
         Strategy::CoSchedule,
         Strategy::Workflow,
         Strategy::Vqpu { vqpus: 4 },
@@ -177,8 +177,11 @@ pub fn run(config: &Config) -> Result {
             .find(|(s, _, _)| matches!(s, Strategy::CoSchedule))
             .map(|(_, u, _)| *u)
             .unwrap_or(0.0);
-        let best_util =
-            c.entries.iter().map(|(_, u, _)| *u).fold(f64::NEG_INFINITY, f64::max);
+        let best_util = c
+            .entries
+            .iter()
+            .map(|(_, u, _)| *u)
+            .fold(f64::NEG_INFINITY, f64::max);
         table.row(vec![
             c.technology.name().to_string(),
             format!("{:.0}", c.load_per_hour),
@@ -241,10 +244,16 @@ mod tests {
     fn winners_differ_across_the_grid() {
         // Complementarity: no strategy sweeps every cell on both criteria.
         let result = run(&Config::quick());
-        let util_winners: std::collections::HashSet<String> =
-            result.cells.iter().map(|c| c.utilization_winner.to_string()).collect();
-        let ta_winners: std::collections::HashSet<String> =
-            result.cells.iter().map(|c| c.turnaround_winner.to_string()).collect();
+        let util_winners: std::collections::HashSet<String> = result
+            .cells
+            .iter()
+            .map(|c| c.utilization_winner.to_string())
+            .collect();
+        let ta_winners: std::collections::HashSet<String> = result
+            .cells
+            .iter()
+            .map(|c| c.turnaround_winner.to_string())
+            .collect();
         assert!(
             util_winners.len() + ta_winners.len() > 2,
             "a single strategy dominated everywhere — contradicts §4 ({util_winners:?}, {ta_winners:?})"
@@ -255,7 +264,10 @@ mod tests {
     fn grid_complete() {
         let cfg = Config::quick();
         let result = run(&cfg);
-        assert_eq!(result.cells.len(), cfg.technologies.len() * cfg.loads_per_hour.len());
+        assert_eq!(
+            result.cells.len(),
+            cfg.technologies.len() * cfg.loads_per_hour.len()
+        );
         for cell in &result.cells {
             assert_eq!(cell.entries.len(), 4);
         }

@@ -27,12 +27,20 @@ pub struct Config {
 impl Config {
     /// Fast preset.
     pub fn quick() -> Self {
-        Config { shots: 1_000, samples: 300, seed: 42 }
+        Config {
+            shots: 1_000,
+            samples: 300,
+            seed: 42,
+        }
     }
 
     /// Full preset.
     pub fn full() -> Self {
-        Config { shots: 1_000, samples: 5_000, seed: 42 }
+        Config {
+            shots: 1_000,
+            samples: 5_000,
+            seed: 42,
+        }
     }
 }
 

@@ -106,7 +106,15 @@ mod tests {
 
     #[test]
     fn vqe_job_shape() {
-        let j = vqe_job("v", 4, 5, 60, 1_000, SimTime::ZERO, SimDuration::from_hours(1));
+        let j = vqe_job(
+            "v",
+            4,
+            5,
+            60,
+            1_000,
+            SimTime::ZERO,
+            SimDuration::from_hours(1),
+        );
         assert_eq!(j.quantum_phase_count(), 5);
         assert_eq!(j.total_classical(), SimDuration::from_secs(300));
         assert_eq!(j.qpu_count(), 1);

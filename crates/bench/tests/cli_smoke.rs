@@ -1,0 +1,26 @@
+//! Smoke test for the `repro` binary target the manifest declares.
+
+use std::process::Command;
+
+#[test]
+fn help_parses_and_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("--help")
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "--help must exit 0: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("usage: repro"),
+        "help text missing: {stdout}"
+    );
+}
+
+#[test]
+fn unknown_argument_is_rejected() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("--definitely-not-a-flag")
+        .output()
+        .expect("repro runs");
+    assert_eq!(out.status.code(), Some(2), "junk flag must exit 2");
+}

@@ -24,12 +24,20 @@ pub struct GroupRequest {
 impl GroupRequest {
     /// A nodes-only group.
     pub fn nodes(partition: impl Into<String>, nodes: u32) -> Self {
-        GroupRequest { partition: partition.into(), nodes, gres: Vec::new() }
+        GroupRequest {
+            partition: partition.into(),
+            nodes,
+            gres: Vec::new(),
+        }
     }
 
     /// A gres-only group (e.g. `--gres=qpu:1` with no dedicated nodes).
     pub fn gres(partition: impl Into<String>, kind: GresKind, count: u32) -> Self {
-        GroupRequest { partition: partition.into(), nodes: 0, gres: vec![(kind, count)] }
+        GroupRequest {
+            partition: partition.into(),
+            nodes: 0,
+            gres: vec![(kind, count)],
+        }
     }
 
     /// Adds a gres demand to this group.
@@ -122,7 +130,11 @@ pub struct Allocation {
 
 impl Allocation {
     pub(crate) fn new(id: AllocationId, groups: Vec<AllocatedGroup>, granted_at: SimTime) -> Self {
-        Allocation { id, groups, granted_at }
+        Allocation {
+            id,
+            groups,
+            granted_at,
+        }
     }
 
     /// The allocation's id.
@@ -216,7 +228,10 @@ mod tests {
             SimTime::from_secs(5),
         );
         assert_eq!(alloc.node_count(), 2);
-        assert_eq!(alloc.gres_units(&GresKind::qpu()), vec![("quantum".to_string(), 0)]);
+        assert_eq!(
+            alloc.gres_units(&GresKind::qpu()),
+            vec![("quantum".to_string(), 0)]
+        );
         assert_eq!(alloc.node_ids().count(), 2);
         assert_eq!(alloc.granted_at(), SimTime::from_secs(5));
     }

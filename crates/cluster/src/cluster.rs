@@ -33,8 +33,11 @@ use std::collections::{BTreeSet, HashMap};
 /// ```
 #[derive(Debug, Default)]
 pub struct ClusterBuilder {
-    partitions: Vec<(String, u32, NodeShape, Vec<(GresKind, u32)>)>,
+    partitions: Vec<PartitionSpec>,
 }
+
+/// A pending partition: `(name, node count, node shape, gres pools)`.
+type PartitionSpec = (String, u32, NodeShape, Vec<(GresKind, u32)>);
 
 impl ClusterBuilder {
     /// Creates an empty builder.
@@ -48,8 +51,14 @@ impl ClusterBuilder {
     }
 
     /// Adds a partition of `nodes` nodes with a custom shape.
-    pub fn partition_shaped(mut self, name: impl Into<String>, nodes: u32, shape: NodeShape) -> Self {
-        self.partitions.push((name.into(), nodes, shape, Vec::new()));
+    pub fn partition_shaped(
+        mut self,
+        name: impl Into<String>,
+        nodes: u32,
+        shape: NodeShape,
+    ) -> Self {
+        self.partitions
+            .push((name.into(), nodes, shape, Vec::new()));
         self
     }
 
@@ -61,7 +70,12 @@ impl ClusterBuilder {
         kind: GresKind,
         count: u32,
     ) -> Self {
-        self.partitions.push((name.into(), nodes, NodeShape::default(), vec![(kind, count)]));
+        self.partitions.push((
+            name.into(),
+            nodes,
+            NodeShape::default(),
+            vec![(kind, count)],
+        ));
         self
     }
 
@@ -71,7 +85,10 @@ impl ClusterBuilder {
     ///
     /// Panics if no partition has been added yet.
     pub fn gres(mut self, kind: GresKind, count: u32) -> Self {
-        let last = self.partitions.last_mut().expect("gres() before any partition()");
+        let last = self
+            .partitions
+            .last_mut()
+            .expect("gres() before any partition()");
         last.3.push((kind, count));
         self
     }
@@ -82,7 +99,10 @@ impl ClusterBuilder {
     ///
     /// Panics if two partitions share a name or no partition was added.
     pub fn build(self, start: SimTime) -> Cluster {
-        assert!(!self.partitions.is_empty(), "cluster needs at least one partition");
+        assert!(
+            !self.partitions.is_empty(),
+            "cluster needs at least one partition"
+        );
         let mut nodes = Vec::new();
         let mut partitions = Vec::new();
         let mut by_name = HashMap::new();
@@ -109,7 +129,10 @@ impl ClusterBuilder {
             node_busy.push(BusyTracker::new(start, f64::from(count.max(1))));
             let mut part = Partition::new(pid, name, ids);
             for (kind, n) in gres {
-                gres_busy.insert((pid, kind.clone()), BusyTracker::new(start, f64::from(n.max(1))));
+                gres_busy.insert(
+                    (pid, kind.clone()),
+                    BusyTracker::new(start, f64::from(n.max(1))),
+                );
                 part = part.with_gres(kind, n);
             }
             partitions.push(part);
@@ -158,7 +181,9 @@ impl Cluster {
 
     /// Looks up a partition by name.
     pub fn partition(&self, name: &str) -> Option<&Partition> {
-        self.by_name.get(name).map(|pid| &self.partitions[pid.raw() as usize])
+        self.by_name
+            .get(name)
+            .map(|pid| &self.partitions[pid.raw() as usize])
     }
 
     /// All partitions.
@@ -213,7 +238,10 @@ impl Cluster {
         self.partitions[pid.raw() as usize]
             .gres_pool(kind)
             .map(|p| p.available())
-            .ok_or_else(|| ClusterError::NoSuchGres { partition: partition.to_string(), kind: kind.clone() })
+            .ok_or_else(|| ClusterError::NoSuchGres {
+                partition: partition.to_string(),
+                kind: kind.clone(),
+            })
     }
 
     /// Checks whether `request` could be granted right now, without granting.
@@ -247,10 +275,12 @@ impl Cluster {
         }
         for ((pid, kind), need) in &gres_need {
             let part = &self.partitions[pid.raw() as usize];
-            let pool = part.gres_pool(kind).ok_or_else(|| ClusterError::NoSuchGres {
-                partition: part.name().to_string(),
-                kind: kind.clone(),
-            })?;
+            let pool = part
+                .gres_pool(kind)
+                .ok_or_else(|| ClusterError::NoSuchGres {
+                    partition: part.name().to_string(),
+                    kind: kind.clone(),
+                })?;
             if pool.available() < *need {
                 return Err(ClusterError::InsufficientGres {
                     partition: part.name().to_string(),
@@ -271,7 +301,11 @@ impl Cluster {
     ///
     /// On any unsatisfiable group the cluster is left untouched and the error
     /// identifies the shortfall.
-    pub fn allocate(&mut self, request: &AllocRequest, now: SimTime) -> Result<AllocationId, ClusterError> {
+    pub fn allocate(
+        &mut self,
+        request: &AllocRequest,
+        now: SimTime,
+    ) -> Result<AllocationId, ClusterError> {
         self.can_allocate(request)?;
         let id = AllocationId::new(self.next_alloc);
         self.next_alloc += 1;
@@ -280,9 +314,16 @@ impl Cluster {
         for g in request.groups() {
             let pid = self.pid(&g.partition).expect("validated above");
             let pidx = pid.raw() as usize;
-            let picked: Vec<NodeId> =
-                self.free[pidx].iter().take(g.nodes as usize).copied().collect();
-            debug_assert_eq!(picked.len(), g.nodes as usize, "can_allocate guaranteed capacity");
+            let picked: Vec<NodeId> = self.free[pidx]
+                .iter()
+                .take(g.nodes as usize)
+                .copied()
+                .collect();
+            debug_assert_eq!(
+                picked.len(),
+                g.nodes as usize,
+                "can_allocate guaranteed capacity"
+            );
             for n in &picked {
                 self.free[pidx].remove(n);
                 self.node_owner.insert(*n, id);
@@ -312,7 +353,8 @@ impl Cluster {
                 gres: granted_gres,
             });
         }
-        self.allocations.insert(id, Allocation::new(id, groups, now));
+        self.allocations
+            .insert(id, Allocation::new(id, groups, now));
         Ok(id)
     }
 
@@ -322,7 +364,10 @@ impl Cluster {
     ///
     /// Returns [`ClusterError::UnknownAllocation`] if `id` is not live.
     pub fn release(&mut self, id: AllocationId, now: SimTime) -> Result<(), ClusterError> {
-        let alloc = self.allocations.remove(&id).ok_or(ClusterError::UnknownAllocation(id))?;
+        let alloc = self
+            .allocations
+            .remove(&id)
+            .ok_or(ClusterError::UnknownAllocation(id))?;
         for group in alloc.groups() {
             let pid = self.pid(&group.partition).expect("partition cannot vanish");
             let pidx = pid.raw() as usize;
@@ -371,7 +416,10 @@ impl Cluster {
     ) -> Result<Vec<NodeId>, ClusterError> {
         let pid = self.pid(partition)?;
         let pidx = pid.raw() as usize;
-        let alloc = self.allocations.get_mut(&id).ok_or(ClusterError::UnknownAllocation(id))?;
+        let alloc = self
+            .allocations
+            .get_mut(&id)
+            .ok_or(ClusterError::UnknownAllocation(id))?;
         let group = alloc
             .groups_mut()
             .iter_mut()
@@ -433,7 +481,11 @@ impl Cluster {
                 available: have,
             });
         }
-        let picked: Vec<NodeId> = self.free[pidx].iter().take(add_nodes as usize).copied().collect();
+        let picked: Vec<NodeId> = self.free[pidx]
+            .iter()
+            .take(add_nodes as usize)
+            .copied()
+            .collect();
         for n in &picked {
             self.free[pidx].remove(n);
             self.node_owner.insert(*n, id);
@@ -442,7 +494,11 @@ impl Cluster {
             self.node_busy[pidx].acquire(now, f64::from(add_nodes));
         }
         let alloc = self.allocations.get_mut(&id).expect("checked above");
-        if let Some(group) = alloc.groups_mut().iter_mut().find(|g| g.partition == partition) {
+        if let Some(group) = alloc
+            .groups_mut()
+            .iter_mut()
+            .find(|g| g.partition == partition)
+        {
             group.nodes.extend(&picked);
         } else {
             alloc.groups_mut().push(AllocatedGroup {
@@ -536,7 +592,10 @@ impl Cluster {
         self.gres_busy
             .get(&(pid, kind.clone()))
             .map(|b| b.utilization(until))
-            .ok_or_else(|| ClusterError::NoSuchGres { partition: partition.to_string(), kind: kind.clone() })
+            .ok_or_else(|| ClusterError::NoSuchGres {
+                partition: partition.to_string(),
+                kind: kind.clone(),
+            })
     }
 
     /// Consistency check: every node is either free, allocated, or
@@ -623,9 +682,13 @@ mod tests {
         let id = c.allocate(&listing1_request(), SimTime::ZERO).unwrap();
         c.release(id, SimTime::from_secs(1800)).unwrap();
         // 10 nodes busy half of the hour.
-        let u = c.node_utilization("classical", SimTime::from_secs(3600)).unwrap();
+        let u = c
+            .node_utilization("classical", SimTime::from_secs(3600))
+            .unwrap();
         assert!((u - 0.5).abs() < 1e-12);
-        let q = c.gres_utilization("quantum", &GresKind::qpu(), SimTime::from_secs(3600)).unwrap();
+        let q = c
+            .gres_utilization("quantum", &GresKind::qpu(), SimTime::from_secs(3600))
+            .unwrap();
         assert!((q - 0.5).abs() < 1e-12);
     }
 
@@ -633,7 +696,10 @@ mod tests {
     fn nodes_picked_lowest_first() {
         let mut c = listing1_cluster();
         let id = c
-            .allocate(&AllocRequest::new().group(GroupRequest::nodes("classical", 3)), SimTime::ZERO)
+            .allocate(
+                &AllocRequest::new().group(GroupRequest::nodes("classical", 3)),
+                SimTime::ZERO,
+            )
             .unwrap();
         let alloc = c.allocation(id).unwrap();
         let ids: Vec<u32> = alloc.node_ids().map(NodeId::raw).collect();
@@ -644,9 +710,14 @@ mod tests {
     fn shrink_releases_highest_ids() {
         let mut c = listing1_cluster();
         let id = c
-            .allocate(&AllocRequest::new().group(GroupRequest::nodes("classical", 8)), SimTime::ZERO)
+            .allocate(
+                &AllocRequest::new().group(GroupRequest::nodes("classical", 8)),
+                SimTime::ZERO,
+            )
             .unwrap();
-        let released = c.shrink(id, "classical", 2, SimTime::from_secs(10)).unwrap();
+        let released = c
+            .shrink(id, "classical", 2, SimTime::from_secs(10))
+            .unwrap();
         assert_eq!(released.len(), 6);
         assert_eq!(released.iter().map(|n| n.raw()).min(), Some(2));
         assert_eq!(c.free_nodes("classical").unwrap(), 8);
@@ -658,10 +729,16 @@ mod tests {
     fn expand_after_shrink_restores() {
         let mut c = listing1_cluster();
         let id = c
-            .allocate(&AllocRequest::new().group(GroupRequest::nodes("classical", 8)), SimTime::ZERO)
+            .allocate(
+                &AllocRequest::new().group(GroupRequest::nodes("classical", 8)),
+                SimTime::ZERO,
+            )
             .unwrap();
-        c.shrink(id, "classical", 1, SimTime::from_secs(10)).unwrap();
-        let added = c.expand(id, "classical", 7, SimTime::from_secs(20)).unwrap();
+        c.shrink(id, "classical", 1, SimTime::from_secs(10))
+            .unwrap();
+        let added = c
+            .expand(id, "classical", 7, SimTime::from_secs(20))
+            .unwrap();
         assert_eq!(added.len(), 7);
         assert_eq!(c.allocation(id).unwrap().node_count(), 8);
         assert_eq!(c.free_nodes("classical").unwrap(), 2);
@@ -672,12 +749,20 @@ mod tests {
     fn expand_fails_when_pool_exhausted() {
         let mut c = listing1_cluster();
         let id = c
-            .allocate(&AllocRequest::new().group(GroupRequest::nodes("classical", 5)), SimTime::ZERO)
+            .allocate(
+                &AllocRequest::new().group(GroupRequest::nodes("classical", 5)),
+                SimTime::ZERO,
+            )
             .unwrap();
         let _other = c
-            .allocate(&AllocRequest::new().group(GroupRequest::nodes("classical", 5)), SimTime::ZERO)
+            .allocate(
+                &AllocRequest::new().group(GroupRequest::nodes("classical", 5)),
+                SimTime::ZERO,
+            )
             .unwrap();
-        let err = c.expand(id, "classical", 1, SimTime::from_secs(1)).unwrap_err();
+        let err = c
+            .expand(id, "classical", 1, SimTime::from_secs(1))
+            .unwrap_err();
         assert!(matches!(err, ClusterError::InsufficientNodes { .. }));
         assert_eq!(c.allocation(id).unwrap().node_count(), 5);
     }
@@ -686,9 +771,14 @@ mod tests {
     fn shrink_to_more_than_held_errors() {
         let mut c = listing1_cluster();
         let id = c
-            .allocate(&AllocRequest::new().group(GroupRequest::nodes("classical", 2)), SimTime::ZERO)
+            .allocate(
+                &AllocRequest::new().group(GroupRequest::nodes("classical", 2)),
+                SimTime::ZERO,
+            )
             .unwrap();
-        let err = c.shrink(id, "classical", 5, SimTime::from_secs(1)).unwrap_err();
+        let err = c
+            .shrink(id, "classical", 5, SimTime::from_secs(1))
+            .unwrap_err();
         assert!(matches!(err, ClusterError::InvalidResize { .. }));
     }
 
@@ -713,9 +803,16 @@ mod tests {
         assert_eq!(c.free_nodes("classical").unwrap(), 9);
         // Allocation must avoid the failed node.
         let id = c
-            .allocate(&AllocRequest::new().group(GroupRequest::nodes("classical", 9)), SimTime::ZERO)
+            .allocate(
+                &AllocRequest::new().group(GroupRequest::nodes("classical", 9)),
+                SimTime::ZERO,
+            )
             .unwrap();
-        assert!(c.allocation(id).unwrap().node_ids().all(|n| n != NodeId::new(0)));
+        assert!(c
+            .allocation(id)
+            .unwrap()
+            .node_ids()
+            .all(|n| n != NodeId::new(0)));
         c.check_invariants().unwrap();
         c.restore_node(NodeId::new(0)).unwrap();
         assert_eq!(c.free_nodes("classical").unwrap(), 1);
@@ -726,7 +823,10 @@ mod tests {
     fn fail_allocated_node_reports_owner() {
         let mut c = listing1_cluster();
         let id = c
-            .allocate(&AllocRequest::new().group(GroupRequest::nodes("classical", 3)), SimTime::ZERO)
+            .allocate(
+                &AllocRequest::new().group(GroupRequest::nodes("classical", 3)),
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(c.fail_node(NodeId::new(1)).unwrap(), Some(id));
         // Releasing must not return the failed node to the free pool.
@@ -756,6 +856,9 @@ mod tests {
     #[test]
     fn unknown_partition_error() {
         let c = listing1_cluster();
-        assert!(matches!(c.free_nodes("gpu"), Err(ClusterError::UnknownPartition(_))));
+        assert!(matches!(
+            c.free_nodes("gpu"),
+            Err(ClusterError::UnknownPartition(_))
+        ));
     }
 }

@@ -56,11 +56,20 @@ impl fmt::Display for ClusterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClusterError::UnknownPartition(name) => write!(f, "unknown partition `{name}`"),
-            ClusterError::InsufficientNodes { partition, requested, available } => write!(
+            ClusterError::InsufficientNodes {
+                partition,
+                requested,
+                available,
+            } => write!(
                 f,
                 "partition `{partition}` has {available} free nodes, {requested} requested"
             ),
-            ClusterError::InsufficientGres { partition, kind, requested, available } => write!(
+            ClusterError::InsufficientGres {
+                partition,
+                kind,
+                requested,
+                available,
+            } => write!(
                 f,
                 "partition `{partition}` has {available} free {kind} units, {requested} requested"
             ),
@@ -90,8 +99,14 @@ mod tests {
             requested: 10,
             available: 3,
         };
-        assert_eq!(e.to_string(), "partition `classical` has 3 free nodes, 10 requested");
-        let e = ClusterError::NoSuchGres { partition: "classical".into(), kind: GresKind::qpu() };
+        assert_eq!(
+            e.to_string(),
+            "partition `classical` has 3 free nodes, 10 requested"
+        );
+        let e = ClusterError::NoSuchGres {
+            partition: "classical".into(),
+            kind: GresKind::qpu(),
+        };
         assert!(e.to_string().contains("no gres of kind `qpu`"));
     }
 

@@ -68,7 +68,11 @@ pub struct GresPool {
 impl GresPool {
     /// Creates a pool of `capacity` units, all free.
     pub fn new(kind: GresKind, capacity: u32) -> Self {
-        GresPool { kind, capacity, free: (0..capacity).collect() }
+        GresPool {
+            kind,
+            capacity,
+            free: (0..capacity).collect(),
+        }
     }
 
     /// The resource kind.
@@ -112,8 +116,16 @@ impl GresPool {
     /// Panics if a unit is out of range or already free (double-release bug).
     pub fn give_back(&mut self, units: &[u32]) {
         for &u in units {
-            assert!(u < self.capacity, "gres unit {u} out of range for {}", self.kind);
-            assert!(self.free.insert(u), "gres unit {u} of {} double-released", self.kind);
+            assert!(
+                u < self.capacity,
+                "gres unit {u} out of range for {}",
+                self.kind
+            );
+            assert!(
+                self.free.insert(u),
+                "gres unit {u} of {} double-released",
+                self.kind
+            );
         }
     }
 }

@@ -45,12 +45,20 @@ pub struct NodeShape {
 impl NodeShape {
     /// A common CPU-only HPC node shape (64 cores, 256 GiB).
     pub const fn cpu64() -> Self {
-        NodeShape { cores: 64, memory_gib: 256, gpus: 0 }
+        NodeShape {
+            cores: 64,
+            memory_gib: 256,
+            gpus: 0,
+        }
     }
 
     /// A GPU node shape (64 cores, 512 GiB, 4 GPUs).
     pub const fn gpu4() -> Self {
-        NodeShape { cores: 64, memory_gib: 512, gpus: 4 }
+        NodeShape {
+            cores: 64,
+            memory_gib: 512,
+            gpus: 4,
+        }
     }
 }
 
@@ -71,7 +79,11 @@ pub struct Node {
 impl Node {
     /// Creates an `Up` node with the given id and shape.
     pub fn new(id: NodeId, shape: NodeShape) -> Self {
-        Node { id, shape, state: NodeState::Up }
+        Node {
+            id,
+            shape,
+            state: NodeState::Up,
+        }
     }
 
     /// The node's id.

@@ -27,7 +27,13 @@ impl Partition {
     pub fn new(id: PartitionId, name: impl Into<String>, nodes: Vec<NodeId>) -> Self {
         let name = name.into();
         assert!(!name.is_empty(), "Partition: name must not be empty");
-        Partition { id, name, nodes, max_walltime: None, gres: Vec::new() }
+        Partition {
+            id,
+            name,
+            nodes,
+            max_walltime: None,
+            gres: Vec::new(),
+        }
     }
 
     /// Sets the maximum job walltime enforced by this partition.

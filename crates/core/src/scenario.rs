@@ -8,10 +8,11 @@ use hpcqc_simcore::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
 /// How requested walltimes are enforced.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum WalltimePolicy {
     /// Walltimes are planning hints only (backfill reservations); jobs run
     /// to completion regardless.
+    #[default]
     Advisory,
     /// SLURM semantics: a job (or workflow step) exceeding its requested
     /// walltime is killed and requeued up to `max_requeues` times; after
@@ -20,12 +21,6 @@ pub enum WalltimePolicy {
         /// Automatic requeues granted before the job is recorded failed.
         max_requeues: u32,
     },
-}
-
-impl Default for WalltimePolicy {
-    fn default() -> Self {
-        WalltimePolicy::Advisory
-    }
 }
 
 /// Random node failures (failure injection for resilience experiments).
@@ -101,7 +96,9 @@ impl Scenario {
     /// Starts building a scenario (defaults: 16 nodes, one superconducting
     /// QPU, EASY backfill, co-scheduling, seed 1).
     pub fn builder() -> ScenarioBuilder {
-        ScenarioBuilder { inner: Scenario::default() }
+        ScenarioBuilder {
+            inner: Scenario::default(),
+        }
     }
 }
 
@@ -208,8 +205,14 @@ impl ScenarioBuilder {
     ///
     /// Panics if there are zero classical nodes or zero devices.
     pub fn build(self) -> Scenario {
-        assert!(self.inner.classical_nodes > 0, "scenario needs classical nodes");
-        assert!(!self.inner.devices.is_empty(), "scenario needs at least one QPU device");
+        assert!(
+            self.inner.classical_nodes > 0,
+            "scenario needs classical nodes"
+        );
+        assert!(
+            !self.inner.devices.is_empty(),
+            "scenario needs at least one QPU device"
+        );
         self.inner
     }
 }
@@ -250,7 +253,10 @@ mod tests {
             .walltime_policy(WalltimePolicy::Kill { max_requeues: 2 })
             .build();
         assert_eq!(s.walltime_policy, WalltimePolicy::Kill { max_requeues: 2 });
-        assert_eq!(Scenario::default().walltime_policy, WalltimePolicy::Advisory);
+        assert_eq!(
+            Scenario::default().walltime_policy,
+            WalltimePolicy::Advisory
+        );
     }
 
     #[test]

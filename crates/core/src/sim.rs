@@ -186,8 +186,8 @@ impl JobRun {
     /// Closes the running node-allocation integral at `now` and sets a new
     /// allocated-node count.
     fn set_alloc_nodes(&mut self, now: SimTime, nodes: u32) {
-        self.node_seconds_alloc +=
-            f64::from(self.alloc_nodes) * now.saturating_since(self.alloc_nodes_since).as_secs_f64();
+        self.node_seconds_alloc += f64::from(self.alloc_nodes)
+            * now.saturating_since(self.alloc_nodes_since).as_secs_f64();
         self.alloc_nodes = nodes;
         self.alloc_nodes_since = now;
     }
@@ -249,7 +249,11 @@ impl FacilitySim {
             .iter()
             .enumerate()
             .map(|(i, &tech)| {
-                let dev = QpuDevice::new(format!("qpu{i}"), tech, root.fork_indexed("device", i as u64));
+                let dev = QpuDevice::new(
+                    format!("qpu{i}"),
+                    tech,
+                    root.fork_indexed("device", i as u64),
+                );
                 if scenario.device_calibration {
                     dev
                 } else {
@@ -441,7 +445,12 @@ impl FacilitySim {
         if eligible.is_empty() {
             let spec = &self.jobs[job.raw() as usize].spec;
             let need = spec.kernels().map(Kernel::qubits).max().unwrap_or(0);
-            let best = self.devices.iter().map(QpuDevice::qubits).max().unwrap_or(0);
+            let best = self
+                .devices
+                .iter()
+                .map(QpuDevice::qubits)
+                .max()
+                .unwrap_or(0);
             return Err(SimError::Qpu(QpuError::KernelTooLarge {
                 requested: need,
                 available: best,
@@ -536,7 +545,12 @@ impl FacilitySim {
 
     // ----- start handlers -------------------------------------------------
 
-    fn on_job_started(&mut self, job: JobId, alloc: AllocationId, now: SimTime) -> Result<(), SimError> {
+    fn on_job_started(
+        &mut self,
+        job: JobId,
+        alloc: AllocationId,
+        now: SimTime,
+    ) -> Result<(), SimError> {
         self.arm_walltime_kill(job, now);
         self.alloc_owner.insert(alloc, job);
         let strategy = self.scenario.strategy;
@@ -564,7 +578,12 @@ impl FacilitySim {
         self.begin_phase(job, now)
     }
 
-    fn on_step_started(&mut self, job: JobId, alloc: AllocationId, now: SimTime) -> Result<(), SimError> {
+    fn on_step_started(
+        &mut self,
+        job: JobId,
+        alloc: AllocationId,
+        now: SimTime,
+    ) -> Result<(), SimError> {
         self.arm_walltime_kill(job, now);
         self.alloc_owner.insert(alloc, job);
         let run = &mut self.jobs[job.raw() as usize];
@@ -611,7 +630,12 @@ impl FacilitySim {
         }
     }
 
-    fn begin_classical(&mut self, job: JobId, nominal: SimDuration, now: SimTime) -> Result<(), SimError> {
+    fn begin_classical(
+        &mut self,
+        job: JobId,
+        nominal: SimDuration,
+        now: SimTime,
+    ) -> Result<(), SimError> {
         let run = &mut self.jobs[job.raw() as usize];
         // Linear-speedup stretch when malleably running on fewer nodes.
         let duration = if run.alloc_nodes > 0 && run.alloc_nodes < run.spec.nodes() {
@@ -653,7 +677,11 @@ impl FacilitySim {
         if let Strategy::Malleable { min_nodes } = strategy {
             let (alloc, held, target) = {
                 let run = &self.jobs[job.raw() as usize];
-                (run.alloc, run.alloc_nodes, min_nodes.min(run.spec.nodes()).max(1))
+                (
+                    run.alloc,
+                    run.alloc_nodes,
+                    min_nodes.min(run.spec.nodes()).max(1),
+                )
             };
             if let Some(alloc) = alloc {
                 if held > target {
@@ -679,7 +707,12 @@ impl FacilitySim {
                         .min_by_key(|&&i| (self.devices[i].next_free(), i))
                         .ok_or(SimError::Qpu(QpuError::KernelTooLarge {
                             requested: kernel.qubits(),
-                            available: self.devices.iter().map(QpuDevice::qubits).max().unwrap_or(0),
+                            available: self
+                                .devices
+                                .iter()
+                                .map(QpuDevice::qubits)
+                                .max()
+                                .unwrap_or(0),
                         }))?
                 }
             }
@@ -707,10 +740,13 @@ impl FacilitySim {
             }
             g.record(format!("qpu{device_idx}"), exec.start, exec.end, name);
         }
-        self.events.schedule(exec.start, Event::KernelExecStart(job));
+        self.events
+            .schedule(exec.start, Event::KernelExecStart(job));
         self.events.schedule(exec.end, Event::KernelExecEnd(job));
         let epoch = self.jobs[job.raw() as usize].epoch;
-        let key = self.events.schedule(exec.end + overhead, Event::KernelDone(job, epoch));
+        let key = self
+            .events
+            .schedule(exec.end + overhead, Event::KernelDone(job, epoch));
         self.jobs[job.raw() as usize].pending_event = Some(key);
         Ok(())
     }
@@ -872,7 +908,9 @@ impl FacilitySim {
         if walltime.is_zero() {
             return;
         }
-        let key = self.events.schedule(now + walltime, Event::KillJob(job, epoch));
+        let key = self
+            .events
+            .schedule(now + walltime, Event::KillJob(job, epoch));
         self.jobs[job.raw() as usize].kill_event = Some(key);
     }
 
@@ -1072,7 +1110,7 @@ mod tests {
         );
         // But the job pays inter-step overhead.
         assert!(r.phase_wait >= SimDuration::from_secs(10));
-        assert_eq!(out.node_waste.efficiency > 0.99, true);
+        assert!(out.node_waste.efficiency > 0.99);
     }
 
     #[test]
@@ -1144,11 +1182,8 @@ mod tests {
         // Stretched second classical phase → used node-seconds still equal
         // nodes_eff × stretched_duration = 8 × 60 per phase under linear
         // speedup, but the runtime must exceed the unstretched case.
-        let unstretched = FacilitySim::run(
-            &sc,
-            &Workload::from_jobs(vec![hybrid_job("h", 8, 2, 0)]),
-        )
-        .unwrap();
+        let unstretched =
+            FacilitySim::run(&sc, &Workload::from_jobs(vec![hybrid_job("h", 8, 2, 0)])).unwrap();
         let r0 = &unstretched.stats.records()[0];
         assert!(
             h.runtime() > r0.runtime(),
@@ -1297,11 +1332,14 @@ mod tests {
         let follower = classical_job("follower", 16, 60, 10);
         let mut sc = scenario(Strategy::CoSchedule);
         sc.walltime_policy = WalltimePolicy::Kill { max_requeues: 0 };
-        let out =
-            FacilitySim::run(&sc, &Workload::from_jobs(vec![runaway, follower])).unwrap();
+        let out = FacilitySim::run(&sc, &Workload::from_jobs(vec![runaway, follower])).unwrap();
         assert_eq!(out.stats.failed_count(), 1);
-        let follower_rec =
-            out.stats.records().iter().find(|r| r.name == "follower").unwrap();
+        let follower_rec = out
+            .stats
+            .records()
+            .iter()
+            .find(|r| r.name == "follower")
+            .unwrap();
         assert!(follower_rec.completed);
         // Follower starts right after the kill at t=120.
         assert_eq!(follower_rec.start, SimTime::from_secs(120));
@@ -1315,9 +1353,11 @@ mod tests {
             .walltime(SimDuration::from_secs(60))
             .phases(vec![Phase::Classical(SimDuration::from_secs(600))])
             .build();
-        let out =
-            FacilitySim::run(&scenario(Strategy::CoSchedule), &Workload::from_jobs(vec![job]))
-                .unwrap();
+        let out = FacilitySim::run(
+            &scenario(Strategy::CoSchedule),
+            &Workload::from_jobs(vec![job]),
+        )
+        .unwrap();
         assert_eq!(out.stats.failed_count(), 0);
         assert_eq!(out.stats.records()[0].end, SimTime::from_secs(600));
     }
@@ -1352,7 +1392,10 @@ mod tests {
         let killed = FacilitySim::run(&sc, &w).unwrap();
         let advisory = FacilitySim::run(&scenario(Strategy::CoSchedule), &w).unwrap();
         assert_eq!(killed.stats.failed_count(), 0);
-        assert_eq!(killed.makespan, advisory.makespan, "kill policy must be inert when unused");
+        assert_eq!(
+            killed.makespan, advisory.makespan,
+            "kill policy must be inert when unused"
+        );
     }
 
     #[test]
@@ -1416,7 +1459,10 @@ mod tests {
     fn oversized_job_is_rejected() {
         let w = Workload::from_jobs(vec![classical_job("big", 32, 60, 0)]);
         let err = FacilitySim::run(&scenario(Strategy::CoSchedule), &w).unwrap_err();
-        assert!(matches!(err, SimError::Sched(SchedError::ImpossibleRequest { .. })));
+        assert!(matches!(
+            err,
+            SimError::Sched(SchedError::ImpossibleRequest { .. })
+        ));
     }
 
     #[test]

@@ -91,7 +91,10 @@ mod tests {
     fn names_and_display() {
         assert_eq!(Strategy::CoSchedule.to_string(), "co-schedule");
         assert_eq!(Strategy::Vqpu { vqpus: 8 }.to_string(), "vqpu(x8)");
-        assert_eq!(Strategy::Malleable { min_nodes: 2 }.to_string(), "malleable(min=2)");
+        assert_eq!(
+            Strategy::Malleable { min_nodes: 2 }.to_string(),
+            "malleable(min=2)"
+        );
         assert_eq!(Strategy::Workflow.name(), "workflow");
     }
 
@@ -99,7 +102,11 @@ mod tests {
     fn gres_multiplicity() {
         assert_eq!(Strategy::CoSchedule.gres_per_device(), 1);
         assert_eq!(Strategy::Vqpu { vqpus: 4 }.gres_per_device(), 4);
-        assert_eq!(Strategy::Vqpu { vqpus: 0 }.gres_per_device(), 1, "clamped to 1");
+        assert_eq!(
+            Strategy::Vqpu { vqpus: 0 }.gres_per_device(),
+            1,
+            "clamped to 1"
+        );
     }
 
     #[test]

@@ -18,8 +18,8 @@ const NODES: u32 = 16;
 
 fn job_strategy() -> impl proptest::strategy::Strategy<Value = JobSpec> {
     (
-        0u64..600,                        // submit
-        1u32..=8,                         // nodes
+        0u64..600, // submit
+        1u32..=8,  // nodes
         prop::collection::vec(
             prop_oneof![
                 (5u64..600).prop_map(|s| Phase::Classical(SimDuration::from_secs(s))),

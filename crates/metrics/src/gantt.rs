@@ -67,10 +67,11 @@ impl GanttRecorder {
         tag: impl Into<String>,
     ) {
         assert!(end >= start, "GanttRecorder: end before start");
-        self.lanes
-            .entry(lane.into())
-            .or_default()
-            .push(Interval { start, end, tag: tag.into() });
+        self.lanes.entry(lane.into()).or_default().push(Interval {
+            start,
+            end,
+            tag: tag.into(),
+        });
     }
 
     /// The lanes recorded so far, in name order.
@@ -146,13 +147,7 @@ impl GanttRecorder {
             }
             let _ = writeln!(out, "{lane:<label_w$} |{}|", row.iter().collect::<String>());
         }
-        let _ = writeln!(
-            out,
-            "{:<label_w$}  {} .. {}",
-            "time",
-            from,
-            until
-        );
+        let _ = writeln!(out, "{:<label_w$}  {} .. {}", "time", from, until);
         out
     }
 }

@@ -124,27 +124,45 @@ impl JobStats {
 
     /// Total allocated-but-idle node-hours across all jobs.
     pub fn total_node_hours_wasted(&self) -> f64 {
-        self.records.iter().map(JobRecord::node_seconds_wasted).sum::<f64>() / 3_600.0
+        self.records
+            .iter()
+            .map(JobRecord::node_seconds_wasted)
+            .sum::<f64>()
+            / 3_600.0
     }
 
     /// Total allocated-but-idle QPU-hours across all jobs.
     pub fn total_qpu_hours_wasted(&self) -> f64 {
-        self.records.iter().map(JobRecord::qpu_seconds_wasted).sum::<f64>() / 3_600.0
+        self.records
+            .iter()
+            .map(JobRecord::qpu_seconds_wasted)
+            .sum::<f64>()
+            / 3_600.0
     }
 
     /// Makespan: last completion ([`SimTime::ZERO`] when empty).
     pub fn makespan(&self) -> SimTime {
-        self.records.iter().map(|r| r.end).max().unwrap_or(SimTime::ZERO)
+        self.records
+            .iter()
+            .map(|r| r.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Wait-time sample set (seconds) for quantile reporting.
     pub fn wait_samples(&self) -> Samples {
-        self.records.iter().map(|r| r.wait().as_secs_f64()).collect()
+        self.records
+            .iter()
+            .map(|r| r.wait().as_secs_f64())
+            .collect()
     }
 
     /// Turnaround sample set (seconds).
     pub fn turnaround_samples(&self) -> Samples {
-        self.records.iter().map(|r| r.turnaround().as_secs_f64()).collect()
+        self.records
+            .iter()
+            .map(|r| r.turnaround().as_secs_f64())
+            .collect()
     }
 
     /// Number of jobs that finished successfully.
@@ -159,12 +177,16 @@ impl JobStats {
 
     /// A sub-collector containing only hybrid jobs.
     pub fn hybrid_only(&self) -> JobStats {
-        JobStats { records: self.records.iter().filter(|r| r.hybrid).cloned().collect() }
+        JobStats {
+            records: self.records.iter().filter(|r| r.hybrid).cloned().collect(),
+        }
     }
 
     /// A sub-collector containing only classical jobs.
     pub fn classical_only(&self) -> JobStats {
-        JobStats { records: self.records.iter().filter(|r| !r.hybrid).cloned().collect() }
+        JobStats {
+            records: self.records.iter().filter(|r| !r.hybrid).cloned().collect(),
+        }
     }
 
     fn mean_of(&self, f: impl Fn(&JobRecord) -> f64) -> f64 {

@@ -34,7 +34,10 @@ impl Table {
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
         let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
         assert!(!headers.is_empty(), "Table: need at least one column");
-        Table { headers, rows: Vec::new() }
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -119,7 +122,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));

@@ -163,7 +163,11 @@ impl QpuDevice {
     /// Panics if `submitted` precedes a previously submitted task's
     /// submission processing (the caller must submit in nondecreasing time
     /// order, which an event-driven simulation does naturally).
-    pub fn enqueue(&mut self, kernel: &Kernel, submitted: SimTime) -> Result<TaskExecution, QpuError> {
+    pub fn enqueue(
+        &mut self,
+        kernel: &Kernel,
+        submitted: SimTime,
+    ) -> Result<TaskExecution, QpuError> {
         if kernel.qubits() > self.qubits {
             return Err(QpuError::KernelTooLarge {
                 requested: kernel.qubits(),
@@ -187,7 +191,13 @@ impl QpuDevice {
         self.busy_until = end;
         self.total_busy += timing.total();
         self.tasks_executed += 1;
-        Ok(TaskExecution { submitted, start, end, recalibration, timing })
+        Ok(TaskExecution {
+            submitted,
+            start,
+            end,
+            recalibration,
+            timing,
+        })
     }
 
     /// Number of tasks executed so far.
@@ -240,7 +250,11 @@ mod tests {
         let b = qpu.enqueue(&k, SimTime::ZERO).unwrap();
         assert_eq!(a.start, SimTime::ZERO);
         assert_eq!(a.end, SimTime::from_secs(3));
-        assert_eq!(b.start, SimTime::from_secs(3), "second task waits for the first");
+        assert_eq!(
+            b.start,
+            SimTime::from_secs(3),
+            "second task waits for the first"
+        );
         assert_eq!(b.wait(), SimDuration::from_secs(3));
     }
 
@@ -259,7 +273,10 @@ mod tests {
         let k = Kernel::builder("big").qubits(64).build().unwrap();
         assert!(matches!(
             qpu.enqueue(&k, SimTime::ZERO),
-            Err(QpuError::KernelTooLarge { requested: 64, available: 16 })
+            Err(QpuError::KernelTooLarge {
+                requested: 64,
+                available: 16
+            })
         ));
     }
 

@@ -28,7 +28,10 @@ pub enum QpuError {
 impl fmt::Display for QpuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            QpuError::KernelTooLarge { requested, available } => {
+            QpuError::KernelTooLarge {
+                requested,
+                available,
+            } => {
                 write!(f, "kernel needs {requested} qubits, device has {available}")
             }
             QpuError::DeviceOffline { reason } => write!(f, "device offline: {reason}"),
@@ -45,9 +48,16 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = QpuError::KernelTooLarge { requested: 40, available: 20 };
+        let e = QpuError::KernelTooLarge {
+            requested: 40,
+            available: 20,
+        };
         assert_eq!(e.to_string(), "kernel needs 40 qubits, device has 20");
-        assert!(QpuError::DeviceOffline { reason: "cal".into() }.to_string().contains("offline"));
+        assert!(QpuError::DeviceOffline {
+            reason: "cal".into()
+        }
+        .to_string()
+        .contains("offline"));
     }
 
     #[test]

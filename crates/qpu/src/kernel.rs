@@ -35,12 +35,22 @@ pub struct Kernel {
 impl Kernel {
     /// Starts building a kernel with the given name.
     pub fn builder(name: impl Into<String>) -> KernelBuilder {
-        KernelBuilder { name: name.into(), qubits: 4, depth: 16, shots: 1_000 }
+        KernelBuilder {
+            name: name.into(),
+            qubits: 4,
+            depth: 16,
+            shots: 1_000,
+        }
     }
 
     /// A small sampling kernel with the given shot count (handy default).
     pub fn sampling(shots: u32) -> Kernel {
-        Kernel { name: "sampling".into(), qubits: 8, depth: 32, shots }
+        Kernel {
+            name: "sampling".into(),
+            qubits: 8,
+            depth: 32,
+            shots,
+        }
     }
 
     /// The kernel's name (for traces and reports).
@@ -66,7 +76,11 @@ impl Kernel {
 
 impl fmt::Display for Kernel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}[q={}, d={}, shots={}]", self.name, self.qubits, self.depth, self.shots)
+        write!(
+            f,
+            "{}[q={}, d={}, shots={}]",
+            self.name, self.qubits, self.depth, self.shots
+        )
     }
 }
 
@@ -105,15 +119,26 @@ impl KernelBuilder {
     /// Returns [`QpuError::InvalidKernel`] if qubits, depth or shots are zero.
     pub fn build(self) -> Result<Kernel, QpuError> {
         if self.qubits == 0 {
-            return Err(QpuError::InvalidKernel { reason: "zero qubits".into() });
+            return Err(QpuError::InvalidKernel {
+                reason: "zero qubits".into(),
+            });
         }
         if self.depth == 0 {
-            return Err(QpuError::InvalidKernel { reason: "zero depth".into() });
+            return Err(QpuError::InvalidKernel {
+                reason: "zero depth".into(),
+            });
         }
         if self.shots == 0 {
-            return Err(QpuError::InvalidKernel { reason: "zero shots".into() });
+            return Err(QpuError::InvalidKernel {
+                reason: "zero shots".into(),
+            });
         }
-        Ok(Kernel { name: self.name, qubits: self.qubits, depth: self.depth, shots: self.shots })
+        Ok(Kernel {
+            name: self.name,
+            qubits: self.qubits,
+            depth: self.depth,
+            shots: self.shots,
+        })
     }
 }
 
@@ -125,7 +150,12 @@ mod tests {
     fn builder_defaults_and_overrides() {
         let k = Kernel::builder("k").build().unwrap();
         assert_eq!((k.qubits(), k.depth(), k.shots()), (4, 16, 1000));
-        let k = Kernel::builder("k").qubits(20).depth(100).shots(512).build().unwrap();
+        let k = Kernel::builder("k")
+            .qubits(20)
+            .depth(100)
+            .shots(512)
+            .build()
+            .unwrap();
         assert_eq!((k.qubits(), k.depth(), k.shots()), (20, 100, 512));
     }
 
@@ -138,7 +168,12 @@ mod tests {
 
     #[test]
     fn display_shows_shape() {
-        let k = Kernel::builder("bell").qubits(2).depth(2).shots(100).build().unwrap();
+        let k = Kernel::builder("bell")
+            .qubits(2)
+            .depth(2)
+            .shots(100)
+            .build()
+            .unwrap();
         assert_eq!(k.to_string(), "bell[q=2, d=2, shots=100]");
     }
 

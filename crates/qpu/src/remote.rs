@@ -74,7 +74,11 @@ impl RemoteAccess {
     /// Creates a profile from a round-trip-time distribution, a vendor queue
     /// wait distribution (both seconds) and the client's polling interval.
     pub fn new(rtt: Dist, vendor_queue: Dist, poll_interval: SimDuration) -> Self {
-        RemoteAccess { rtt, vendor_queue, poll_interval }
+        RemoteAccess {
+            rtt,
+            vendor_queue,
+            poll_interval,
+        }
     }
 
     /// A typical public-internet profile: ~80 ms RTT, technology-dependent
@@ -83,7 +87,9 @@ impl RemoteAccess {
         // Vendor-side queue waits grow with how contended each technology's
         // public endpoints are; NISQ clouds routinely show seconds-to-minutes.
         let vendor_queue = match technology {
-            Technology::Superconducting => Dist::log_normal_mean_cv(45.0, 1.5).clamped(1.0, 1_800.0),
+            Technology::Superconducting => {
+                Dist::log_normal_mean_cv(45.0, 1.5).clamped(1.0, 1_800.0)
+            }
             Technology::TrappedIon => Dist::log_normal_mean_cv(120.0, 1.2).clamped(5.0, 3_600.0),
             Technology::NeutralAtom => Dist::log_normal_mean_cv(300.0, 1.0).clamped(10.0, 7_200.0),
             Technology::Photonic => Dist::log_normal_mean_cv(30.0, 1.5).clamped(1.0, 1_200.0),
@@ -117,9 +123,7 @@ impl RemoteAccess {
         let submit = self.rtt.sample_duration(rng);
         let queue = self.vendor_queue.sample_duration(rng);
         // Completion lands uniformly within a polling window.
-        let poll = SimDuration::from_secs_f64(
-            self.poll_interval.as_secs_f64() * rng.f64(),
-        );
+        let poll = SimDuration::from_secs_f64(self.poll_interval.as_secs_f64() * rng.f64());
         let fetch = self.rtt.sample_duration(rng);
         submit + queue + poll + fetch
     }

@@ -86,7 +86,9 @@ impl Technology {
             )
             // The paper: "Jobs on neutral atoms machines include the
             // calibration time for an arbitrary register geometry."
-            .with_register_calibration(Dist::log_normal_mean_cv(1_500.0, 0.3).clamped(600.0, 2_400.0)),
+            .with_register_calibration(
+                Dist::log_normal_mean_cv(1_500.0, 0.3).clamped(600.0, 2_400.0),
+            ),
             Technology::Photonic => TimingModel::new(
                 Dist::log_normal_mean_cv(20e-6, 0.6).clamped(1e-6, 100e-6),
                 Dist::log_normal_mean_cv(1.0, 0.3).clamped(0.2, 4.0),
@@ -199,9 +201,14 @@ mod tests {
         // will last ∼10 s".
         let timing = Technology::Superconducting.timing();
         let mut rng = SimRng::seed_from(1);
-        let mean: f64 =
-            (0..200).map(|_| timing.sample_job_secs(1_000, &mut rng)).sum::<f64>() / 200.0;
-        assert!((1.0..30.0).contains(&mean), "superconducting job mean {mean} s not ~10 s");
+        let mean: f64 = (0..200)
+            .map(|_| timing.sample_job_secs(1_000, &mut rng))
+            .sum::<f64>()
+            / 200.0;
+        assert!(
+            (1.0..30.0).contains(&mean),
+            "superconducting job mean {mean} s not ~10 s"
+        );
     }
 
     #[test]
@@ -209,16 +216,27 @@ mod tests {
         // §3: "a quantum task could easily last more than 30 min".
         let timing = Technology::NeutralAtom.timing();
         let mut rng = SimRng::seed_from(2);
-        let mean: f64 =
-            (0..100).map(|_| timing.sample_job_secs(1_000, &mut rng)).sum::<f64>() / 100.0;
-        assert!(mean > 30.0 * 60.0, "neutral-atom job mean {mean} s is below 30 min");
+        let mean: f64 = (0..100)
+            .map(|_| timing.sample_job_secs(1_000, &mut rng))
+            .sum::<f64>()
+            / 100.0;
+        assert!(
+            mean > 30.0 * 60.0,
+            "neutral-atom job mean {mean} s is below 30 min"
+        );
     }
 
     #[test]
     fn shot_scales_span_orders_of_magnitude() {
         let rows = fig1_rows(1_000, 200, 3);
-        let sc = rows.iter().find(|r| r.technology == Technology::Superconducting).unwrap();
-        let na = rows.iter().find(|r| r.technology == Technology::NeutralAtom).unwrap();
+        let sc = rows
+            .iter()
+            .find(|r| r.technology == Technology::Superconducting)
+            .unwrap();
+        let na = rows
+            .iter()
+            .find(|r| r.technology == Technology::NeutralAtom)
+            .unwrap();
         assert!(
             na.shot_p50 / sc.shot_p50 > 1_000.0,
             "expected ≥3 orders of magnitude between neutral-atom and superconducting shots"
@@ -233,8 +251,14 @@ mod tests {
     #[test]
     fn quantiles_ordered() {
         for row in fig1_rows(500, 100, 4) {
-            assert!(row.shot_p05 <= row.shot_p50 && row.shot_p50 <= row.shot_p95, "{row:?}");
-            assert!(row.job_p05 <= row.job_p50 && row.job_p50 <= row.job_p95, "{row:?}");
+            assert!(
+                row.shot_p05 <= row.shot_p50 && row.shot_p50 <= row.shot_p95,
+                "{row:?}"
+            );
+            assert!(
+                row.job_p05 <= row.job_p50 && row.job_p50 <= row.job_p95,
+                "{row:?}"
+            );
         }
     }
 

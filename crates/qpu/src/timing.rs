@@ -29,7 +29,11 @@ impl TimingModel {
     /// Creates a model from per-shot and per-task-setup distributions
     /// (both in seconds).
     pub fn new(shot: Dist, task_setup: Dist) -> Self {
-        TimingModel { shot, task_setup, register_calibration: None }
+        TimingModel {
+            shot,
+            task_setup,
+            register_calibration: None,
+        }
     }
 
     /// Adds a per-job register-geometry calibration cost (neutral atoms).
@@ -60,7 +64,10 @@ impl TimingModel {
     /// settings, so they are strongly correlated, and sampling 10⁶ shots
     /// individually would be pointless work.
     pub fn sample_job_secs(&self, shots: u32, rng: &mut SimRng) -> f64 {
-        let cal = self.register_calibration.as_ref().map_or(0.0, |d| d.sample(rng));
+        let cal = self
+            .register_calibration
+            .as_ref()
+            .map_or(0.0, |d| d.sample(rng));
         let setup = self.task_setup.sample(rng);
         let per_shot = self.shot.sample(rng);
         cal + setup + per_shot * f64::from(shots)
@@ -69,11 +76,17 @@ impl TimingModel {
     /// Samples the decomposed timing of one task.
     pub fn sample_task(&self, shots: u32, rng: &mut SimRng) -> TaskTiming {
         let register_calibration = SimDuration::from_secs_f64(
-            self.register_calibration.as_ref().map_or(0.0, |d| d.sample(rng)),
+            self.register_calibration
+                .as_ref()
+                .map_or(0.0, |d| d.sample(rng)),
         );
         let setup = SimDuration::from_secs_f64(self.task_setup.sample(rng));
         let shots_time = SimDuration::from_secs_f64(self.shot.sample(rng) * f64::from(shots));
-        TaskTiming { register_calibration, setup, shots_time }
+        TaskTiming {
+            register_calibration,
+            setup,
+            shots_time,
+        }
     }
 
     /// Expected job duration in seconds (analytic, for capacity planning).
@@ -121,7 +134,10 @@ impl CalibrationPolicy {
     ///
     /// Panics if `period` is zero.
     pub fn new(period: SimDuration, duration: Dist) -> Self {
-        assert!(!period.is_zero(), "CalibrationPolicy: period must be positive");
+        assert!(
+            !period.is_zero(),
+            "CalibrationPolicy: period must be positive"
+        );
         CalibrationPolicy { period, duration }
     }
 
@@ -195,7 +211,9 @@ mod tests {
     fn calibration_due_only_after_period() {
         let pol = CalibrationPolicy::new(SimDuration::from_hours(1), Dist::constant(60.0));
         let mut rng = SimRng::seed_from(4);
-        assert!(pol.due(SimTime::ZERO, SimTime::from_secs(1_800), &mut rng).is_none());
+        assert!(pol
+            .due(SimTime::ZERO, SimTime::from_secs(1_800), &mut rng)
+            .is_none());
         let d = pol.due(SimTime::ZERO, SimTime::from_secs(3_600), &mut rng);
         assert_eq!(d, Some(SimDuration::from_secs(60)));
     }

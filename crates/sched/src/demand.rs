@@ -36,7 +36,9 @@ impl Demand {
             }
             for (kind, n) in &g.gres {
                 if *n > 0 {
-                    *d.gres.entry((g.partition.clone(), kind.clone())).or_default() += n;
+                    *d.gres
+                        .entry((g.partition.clone(), kind.clone()))
+                        .or_default() += n;
                 }
             }
         }
@@ -52,8 +54,10 @@ impl Demand {
                 d.nodes.insert(part.name().to_string(), free);
             }
             for pool in part.gres_pools() {
-                d.gres
-                    .insert((part.name().to_string(), pool.kind().clone()), pool.available());
+                d.gres.insert(
+                    (part.name().to_string(), pool.kind().clone()),
+                    pool.available(),
+                );
             }
         }
         d
@@ -66,7 +70,10 @@ impl Demand {
 
     /// Gres demand on a `(partition, kind)`.
     pub fn gres_in(&self, partition: &str, kind: &GresKind) -> u32 {
-        self.gres.get(&(partition.to_string(), kind.clone())).copied().unwrap_or(0)
+        self.gres
+            .get(&(partition.to_string(), kind.clone()))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// `true` if this demand asks for nothing.
@@ -76,8 +83,14 @@ impl Demand {
 
     /// Component-wise: does `self` (a free vector) cover `other` (a demand)?
     pub fn covers(&self, other: &Demand) -> bool {
-        other.nodes.iter().all(|(k, need)| self.nodes.get(k).copied().unwrap_or(0) >= *need)
-            && other.gres.iter().all(|(k, need)| self.gres.get(k).copied().unwrap_or(0) >= *need)
+        other
+            .nodes
+            .iter()
+            .all(|(k, need)| self.nodes.get(k).copied().unwrap_or(0) >= *need)
+            && other
+                .gres
+                .iter()
+                .all(|(k, need)| self.gres.get(k).copied().unwrap_or(0) >= *need)
     }
 
     /// Component-wise saturating subtraction (`self -= other`).
@@ -295,7 +308,10 @@ mod tests {
         let p = Profile::build(
             SimTime::ZERO,
             free(2),
-            &[(SimTime::from_secs(10), free(3)), (SimTime::from_secs(20), free(5))],
+            &[
+                (SimTime::from_secs(10), free(3)),
+                (SimTime::from_secs(20), free(5)),
+            ],
         );
         assert_eq!(p.segments(), 3);
         assert_eq!(p.free_at(SimTime::from_secs(5)).nodes_in("classical"), 2);
@@ -317,15 +333,25 @@ mod tests {
             SimTime::ZERO
         );
         // 7 nodes never fit.
-        assert_eq!(p.find_slot(&demand(7), SimDuration::from_secs(1), SimTime::ZERO), SimTime::MAX);
+        assert_eq!(
+            p.find_slot(&demand(7), SimDuration::from_secs(1), SimTime::ZERO),
+            SimTime::MAX
+        );
     }
 
     #[test]
     fn reservation_blocks_slot() {
         let mut p = Profile::build(SimTime::ZERO, free(4), &[]);
-        p.reserve(&demand(3), SimTime::from_secs(50), SimDuration::from_secs(100));
+        p.reserve(
+            &demand(3),
+            SimTime::from_secs(50),
+            SimDuration::from_secs(100),
+        );
         // A 2-node job for 40 s fits before the reservation...
-        assert_eq!(p.find_slot(&demand(2), SimDuration::from_secs(40), SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(
+            p.find_slot(&demand(2), SimDuration::from_secs(40), SimTime::ZERO),
+            SimTime::ZERO
+        );
         // ... but a 2-node job for 60 s would overlap it, so it must wait
         // for the reservation to end at t=150.
         assert_eq!(
@@ -338,10 +364,18 @@ mod tests {
     fn fits_checks_whole_span() {
         let p = Profile::build(SimTime::ZERO, free(4), &[]);
         let mut p2 = p.clone();
-        p2.reserve(&demand(4), SimTime::from_secs(10), SimDuration::from_secs(10));
+        p2.reserve(
+            &demand(4),
+            SimTime::from_secs(10),
+            SimDuration::from_secs(10),
+        );
         assert!(p2.fits(&demand(1), SimTime::ZERO, SimDuration::from_secs(10)));
         assert!(!p2.fits(&demand(1), SimTime::ZERO, SimDuration::from_secs(11)));
-        assert!(p2.fits(&demand(1), SimTime::from_secs(20), SimDuration::from_secs(1_000)));
+        assert!(p2.fits(
+            &demand(1),
+            SimTime::from_secs(20),
+            SimDuration::from_secs(1_000)
+        ));
     }
 
     #[test]
@@ -355,7 +389,11 @@ mod tests {
     fn empty_demand_fits_anywhere() {
         let p = Profile::build(SimTime::ZERO, free(0), &[]);
         assert_eq!(
-            p.find_slot(&Demand::new(), SimDuration::from_hours(1), SimTime::from_secs(5)),
+            p.find_slot(
+                &Demand::new(),
+                SimDuration::from_hours(1),
+                SimTime::from_secs(5)
+            ),
             SimTime::from_secs(5)
         );
     }

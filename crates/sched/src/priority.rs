@@ -26,7 +26,11 @@ impl Default for PriorityWeights {
     /// Age-dominated defaults: 10 pts/hour of age, 0.1 pts/node, 1 pt of
     /// fairshare penalty per decayed node-hour.
     fn default() -> Self {
-        PriorityWeights { age_per_hour: 10.0, size_per_node: 0.1, fairshare_per_node_hour: 1.0 }
+        PriorityWeights {
+            age_per_hour: 10.0,
+            size_per_node: 0.1,
+            fairshare_per_node_hour: 1.0,
+        }
     }
 }
 
@@ -48,7 +52,11 @@ impl Default for PriorityCalculator {
 impl PriorityCalculator {
     /// Creates a calculator with a one-day fairshare half-life.
     pub fn new(weights: PriorityWeights) -> Self {
-        PriorityCalculator { weights, half_life_secs: 86_400.0, usage: HashMap::new() }
+        PriorityCalculator {
+            weights,
+            half_life_secs: 86_400.0,
+            usage: HashMap::new(),
+        }
     }
 
     /// Overrides the fairshare half-life.
@@ -76,9 +84,9 @@ impl PriorityCalculator {
 
     /// The user's decayed usage in node-seconds, as seen at `now`.
     pub fn usage_of(&self, user: &str, now: SimTime) -> f64 {
-        self.usage
-            .get(user)
-            .map_or(0.0, |(u, at)| Self::decay(*u, *at, now, self.half_life_secs))
+        self.usage.get(user).map_or(0.0, |(u, at)| {
+            Self::decay(*u, *at, now, self.half_life_secs)
+        })
     }
 
     fn decay(value: f64, at: SimTime, now: SimTime, half_life: f64) -> f64 {
@@ -112,9 +120,18 @@ mod tests {
     fn age_increases_priority() {
         let calc = PriorityCalculator::default();
         let early = calc.priority(SimTime::ZERO, 1, "u", 0.0, SimTime::from_secs(7_200));
-        let late = calc.priority(SimTime::from_secs(3_600), 1, "u", 0.0, SimTime::from_secs(7_200));
+        let late = calc.priority(
+            SimTime::from_secs(3_600),
+            1,
+            "u",
+            0.0,
+            SimTime::from_secs(7_200),
+        );
         assert!(early > late, "older job must rank higher");
-        assert!((early - late - 10.0).abs() < 1e-9, "one hour of age = 10 pts");
+        assert!(
+            (early - late - 10.0).abs() < 1e-9,
+            "one hour of age = 10 pts"
+        );
     }
 
     #[test]

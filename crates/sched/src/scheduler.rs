@@ -233,9 +233,15 @@ impl BatchScheduler {
         }
         // Priority order; ties broken by submit time then id for determinism.
         self.pending.sort_by(|a, b| {
-            let pa = self.priority.priority(a.submit, Self::nodes_of(a), &a.user, a.qos_boost, now);
-            let pb = self.priority.priority(b.submit, Self::nodes_of(b), &b.user, b.qos_boost, now);
-            pb.total_cmp(&pa).then(a.submit.cmp(&b.submit)).then(a.id.cmp(&b.id))
+            let pa = self
+                .priority
+                .priority(a.submit, Self::nodes_of(a), &a.user, a.qos_boost, now);
+            let pb = self
+                .priority
+                .priority(b.submit, Self::nodes_of(b), &b.user, b.qos_boost, now);
+            pb.total_cmp(&pa)
+                .then(a.submit.cmp(&b.submit))
+                .then(a.id.cmp(&b.id))
         });
 
         let releases: Vec<(SimTime, Demand)> = self
@@ -380,8 +386,8 @@ mod tests {
         let mut s = BatchScheduler::new(Policy::EasyBackfill);
         s.submit(job(0, 6, 100, 0), &c).unwrap(); // ends t=100
         s.submit(job(1, 6, 1_000, 1), &c).unwrap(); // head: shadow at t=100 needs 6
-        // 4-node job for 1000 s: fits now (4 ≤ 4 free), and at shadow t=100
-        // free is 10−6(head)=4 ≥ 4 → fine, backfills.
+                                                    // 4-node job for 1000 s: fits now (4 ≤ 4 free), and at shadow t=100
+                                                    // free is 10−6(head)=4 ≥ 4 → fine, backfills.
         s.submit(job(2, 4, 1_000, 2), &c).unwrap();
         // 5-node job for 1000 s: fits now? only 4 free → no.
         s.submit(job(3, 5, 1_000, 3), &c).unwrap();
@@ -491,7 +497,8 @@ mod tests {
             let mut c = cluster(16);
             let mut s = BatchScheduler::new(Policy::EasyBackfill);
             for i in 0..10 {
-                s.submit(job(i, (i % 5 + 1) as u32 * 2, 100 + i * 7, i), &c).unwrap();
+                s.submit(job(i, (i % 5 + 1) as u32 * 2, 100 + i * 7, i), &c)
+                    .unwrap();
             }
             let mut order = Vec::new();
             let mut now = SimTime::ZERO;
@@ -503,7 +510,7 @@ mod tests {
                     c.release(st.alloc, end).unwrap();
                     s.finished(st.alloc, end);
                 }
-                now = now + SimDuration::from_secs(50);
+                now += SimDuration::from_secs(50);
             }
             order
         };

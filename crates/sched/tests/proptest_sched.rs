@@ -69,7 +69,7 @@ fn drain(policy: Policy, jobs: Vec<PendingJob>) -> (Vec<u64>, usize) {
         } else if sched.pending_len() > 0 {
             // Nothing running but jobs pending: a scheduling cycle at a
             // later time must make progress.
-            now = now + SimDuration::from_secs(60);
+            now += SimDuration::from_secs(60);
         } else {
             break;
         }

@@ -108,7 +108,10 @@ impl Dist {
     ///
     /// Panics if `value` is negative or non-finite.
     pub fn constant(value: f64) -> Dist {
-        assert!(value.is_finite() && value >= 0.0, "constant: need finite value ≥ 0, got {value}");
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "constant: need finite value ≥ 0, got {value}"
+        );
         Dist::Constant { value }
     }
 
@@ -118,7 +121,10 @@ impl Dist {
     ///
     /// Panics unless `0 ≤ lo ≤ hi` and both are finite.
     pub fn uniform(lo: f64, hi: f64) -> Dist {
-        assert!(lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi, "uniform: need 0 ≤ lo ≤ hi, got [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi,
+            "uniform: need 0 ≤ lo ≤ hi, got [{lo}, {hi})"
+        );
         Dist::Uniform { lo, hi }
     }
 
@@ -128,7 +134,10 @@ impl Dist {
     ///
     /// Panics unless `mean > 0` and finite.
     pub fn exponential(mean: f64) -> Dist {
-        assert!(mean.is_finite() && mean > 0.0, "exponential: need mean > 0, got {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential: need mean > 0, got {mean}"
+        );
         Dist::Exponential { mean }
     }
 
@@ -138,7 +147,10 @@ impl Dist {
     ///
     /// Panics unless `sigma > 0` and both parameters are finite.
     pub fn log_normal(mu: f64, sigma: f64) -> Dist {
-        assert!(mu.is_finite() && sigma.is_finite() && sigma > 0.0, "log_normal: need finite mu, sigma > 0");
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma > 0.0,
+            "log_normal: need finite mu, sigma > 0"
+        );
         Dist::LogNormal { mu, sigma }
     }
 
@@ -149,10 +161,16 @@ impl Dist {
     ///
     /// Panics unless `mean > 0` and `cv > 0`.
     pub fn log_normal_mean_cv(mean: f64, cv: f64) -> Dist {
-        assert!(mean > 0.0 && cv > 0.0, "log_normal_mean_cv: need mean > 0 and cv > 0");
+        assert!(
+            mean > 0.0 && cv > 0.0,
+            "log_normal_mean_cv: need mean > 0 and cv > 0"
+        );
         let sigma2 = (1.0 + cv * cv).ln();
         let mu = mean.ln() - sigma2 / 2.0;
-        Dist::LogNormal { mu, sigma: sigma2.sqrt() }
+        Dist::LogNormal {
+            mu,
+            sigma: sigma2.sqrt(),
+        }
     }
 
     /// Weibull with shape `k` and scale `lambda`.
@@ -161,7 +179,10 @@ impl Dist {
     ///
     /// Panics unless both parameters are positive and finite.
     pub fn weibull(shape: f64, scale: f64) -> Dist {
-        assert!(shape.is_finite() && scale.is_finite() && shape > 0.0 && scale > 0.0, "weibull: need shape > 0 and scale > 0");
+        assert!(
+            shape.is_finite() && scale.is_finite() && shape > 0.0 && scale > 0.0,
+            "weibull: need shape > 0 and scale > 0"
+        );
         Dist::Weibull { shape, scale }
     }
 
@@ -171,7 +192,10 @@ impl Dist {
     ///
     /// Panics unless `k ≥ 1` and `mean > 0`.
     pub fn erlang(k: u32, mean: f64) -> Dist {
-        assert!(k >= 1 && mean > 0.0 && mean.is_finite(), "erlang: need k ≥ 1 and mean > 0");
+        assert!(
+            k >= 1 && mean > 0.0 && mean.is_finite(),
+            "erlang: need k ≥ 1 and mean > 0"
+        );
         Dist::Erlang { k, mean }
     }
 
@@ -181,7 +205,10 @@ impl Dist {
     ///
     /// Panics unless `0 ≤ min ≤ mode ≤ max`.
     pub fn triangular(min: f64, mode: f64, max: f64) -> Dist {
-        assert!(0.0 <= min && min <= mode && mode <= max && max.is_finite(), "triangular: need 0 ≤ min ≤ mode ≤ max");
+        assert!(
+            0.0 <= min && min <= mode && mode <= max && max.is_finite(),
+            "triangular: need 0 ≤ min ≤ mode ≤ max"
+        );
         Dist::Triangular { min, mode, max }
     }
 
@@ -191,7 +218,10 @@ impl Dist {
     ///
     /// Panics unless `std_dev ≥ 0` and both parameters are finite.
     pub fn normal_clamped(mean: f64, std_dev: f64) -> Dist {
-        assert!(mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0, "normal_clamped: need finite mean and std_dev ≥ 0");
+        assert!(
+            mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+            "normal_clamped: need finite mean and std_dev ≥ 0"
+        );
         Dist::NormalClamped { mean, std_dev }
     }
 
@@ -201,8 +231,14 @@ impl Dist {
     ///
     /// Panics if `offset` is negative or non-finite.
     pub fn shifted(self, offset: f64) -> Dist {
-        assert!(offset.is_finite() && offset >= 0.0, "shifted: need offset ≥ 0, got {offset}");
-        Dist::Shifted { offset, inner: Box::new(self) }
+        assert!(
+            offset.is_finite() && offset >= 0.0,
+            "shifted: need offset ≥ 0, got {offset}"
+        );
+        Dist::Shifted {
+            offset,
+            inner: Box::new(self),
+        }
     }
 
     /// Clamps draws into `[lo, hi]`.
@@ -212,7 +248,11 @@ impl Dist {
     /// Panics unless `0 ≤ lo ≤ hi`.
     pub fn clamped(self, lo: f64, hi: f64) -> Dist {
         assert!(0.0 <= lo && lo <= hi, "clamped: need 0 ≤ lo ≤ hi");
-        Dist::Clamped { lo, hi, inner: Box::new(self) }
+        Dist::Clamped {
+            lo,
+            hi,
+            inner: Box::new(self),
+        }
     }
 
     /// Draws one value, in seconds. Always non-negative.
@@ -301,7 +341,9 @@ impl fmt::Display for Dist {
             Dist::Weibull { shape, scale } => write!(f, "weibull(k={shape}, λ={scale}s)"),
             Dist::Erlang { k, mean } => write!(f, "erlang(k={k}, mean={mean}s)"),
             Dist::Triangular { min, mode, max } => write!(f, "tri({min}, {mode}, {max})"),
-            Dist::NormalClamped { mean, std_dev } => write!(f, "normal⁺(mean={mean}s, sd={std_dev})"),
+            Dist::NormalClamped { mean, std_dev } => {
+                write!(f, "normal⁺(mean={mean}s, sd={std_dev})")
+            }
             Dist::Shifted { offset, inner } => write!(f, "{offset}s + {inner}"),
             Dist::Clamped { lo, hi, inner } => write!(f, "clamp[{lo},{hi}]({inner})"),
         }
@@ -313,14 +355,14 @@ fn gamma(x: f64) -> f64 {
     // Coefficients for g = 7, n = 9 (Numerical Recipes flavour).
     const G: f64 = 7.0;
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     if x < 0.5 {
@@ -394,7 +436,10 @@ mod tests {
         let d = Dist::weibull(1.5, 10.0);
         let analytic = d.mean();
         let m = empirical_mean(&d, 200_000, 6);
-        assert!((m - analytic).abs() / analytic < 0.02, "empirical {m} vs analytic {analytic}");
+        assert!(
+            (m - analytic).abs() / analytic < 0.02,
+            "empirical {m} vs analytic {analytic}"
+        );
     }
 
     #[test]

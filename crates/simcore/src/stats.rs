@@ -104,7 +104,8 @@ impl Welford {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -125,7 +126,10 @@ pub struct Samples {
 impl Samples {
     /// Creates an empty sample set.
     pub fn new() -> Self {
-        Samples { values: Vec::new(), sorted: true }
+        Samples {
+            values: Vec::new(),
+            sorted: true,
+        }
     }
 
     /// Records one observation.
@@ -161,12 +165,16 @@ impl Samples {
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&mut self, q: f64) -> Option<f64> {
-        assert!((0.0..=1.0).contains(&q), "quantile: q must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile: q must be in [0,1], got {q}"
+        );
         if self.values.is_empty() {
             return None;
         }
         if !self.sorted {
-            self.values.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
             self.sorted = true;
         }
         let n = self.values.len();
@@ -242,7 +250,14 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, n_bins: usize) -> Self {
         assert!(lo < hi, "histogram: need lo < hi");
         assert!(n_bins >= 1, "histogram: need at least one bin");
-        Histogram { lo, hi, bins: vec![0; n_bins], underflow: 0, overflow: 0, count: 0 }
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; n_bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
     }
 
     /// Records one observation.
@@ -322,7 +337,13 @@ pub struct TimeWeighted {
 impl TimeWeighted {
     /// Starts tracking at `start` with initial `value`.
     pub fn new(start: SimTime, value: f64) -> Self {
-        TimeWeighted { last_time: start, value, integral: 0.0, max: value, start }
+        TimeWeighted {
+            last_time: start,
+            value,
+            integral: 0.0,
+            max: value,
+            start,
+        }
     }
 
     /// Sets the signal to `value` from time `now` on.
@@ -393,7 +414,11 @@ impl BusyTracker {
     /// Panics if `capacity` is not positive.
     pub fn new(start: SimTime, capacity: f64) -> Self {
         assert!(capacity > 0.0, "BusyTracker: capacity must be positive");
-        BusyTracker { tw: TimeWeighted::new(start, 0.0), busy_units: 0.0, capacity }
+        BusyTracker {
+            tw: TimeWeighted::new(start, 0.0),
+            busy_units: 0.0,
+            capacity,
+        }
     }
 
     /// Marks `units` additional units busy at `now`.

@@ -31,7 +31,9 @@ pub const NANOS_PER_SEC: u64 = 1_000_000_000;
 /// assert_eq!(t.as_secs_f64(), 90.0);
 /// assert_eq!(format!("{t}"), "0:01:30.000");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct SimTime(u64);
 
@@ -45,7 +47,9 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_mins(30);
 /// assert_eq!(d * 2, SimDuration::from_hours(1));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct SimDuration(u64);
 
@@ -218,7 +222,10 @@ impl SimDuration {
     ///
     /// Panics if `other` is zero.
     pub fn ratio(self, other: SimDuration) -> f64 {
-        assert!(!other.is_zero(), "SimDuration::ratio: division by zero duration");
+        assert!(
+            !other.is_zero(),
+            "SimDuration::ratio: division by zero duration"
+        );
         self.0 as f64 / other.0 as f64
     }
 
@@ -385,7 +392,10 @@ mod tests {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::MAX);
-        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration::from_millis(1500));
+        assert_eq!(
+            SimDuration::from_secs_f64(1.5),
+            SimDuration::from_millis(1500)
+        );
     }
 
     #[test]
@@ -401,7 +411,10 @@ mod tests {
 
     #[test]
     fn saturating_ops() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimTime::ZERO.saturating_since(SimTime::from_secs(5)),
             SimDuration::ZERO

@@ -44,7 +44,9 @@ impl ArrivalProcess {
     /// Panics if `per_hour` is not positive.
     pub fn poisson_per_hour(per_hour: f64) -> Self {
         assert!(per_hour > 0.0, "poisson_per_hour: rate must be positive");
-        ArrivalProcess::Poisson { mean_gap_secs: 3_600.0 / per_hour }
+        ArrivalProcess::Poisson {
+            mean_gap_secs: 3_600.0 / per_hour,
+        }
     }
 
     /// Generates `count` arrival instants starting at `from`, in order.
@@ -55,7 +57,7 @@ impl ArrivalProcess {
             ArrivalProcess::Poisson { mean_gap_secs } => {
                 let gap = Dist::exponential(*mean_gap_secs);
                 for _ in 0..count {
-                    t = t + gap.sample_duration(rng);
+                    t += gap.sample_duration(rng);
                     out.push(t);
                 }
             }
@@ -73,13 +75,11 @@ impl ArrivalProcess {
                 let peak_gap = mean_gap_secs / 2.0;
                 let gap = Dist::exponential(peak_gap);
                 while out.len() < count {
-                    t = t + gap.sample_duration(rng);
-                    let day_frac =
-                        (t.as_secs_f64() % 86_400.0) / 86_400.0;
+                    t += gap.sample_duration(rng);
+                    let day_frac = (t.as_secs_f64() % 86_400.0) / 86_400.0;
                     // Rate ∝ 1 + 0.75·sin(2π(day_frac − 0.25)): peak at noon.
-                    let rel = (1.0
-                        + 0.75 * (std::f64::consts::TAU * (day_frac - 0.25)).sin())
-                        / 1.75;
+                    let rel =
+                        (1.0 + 0.75 * (std::f64::consts::TAU * (day_frac - 0.25)).sin()) / 1.75;
                     if rng.chance(rel) {
                         out.push(t);
                     }
@@ -108,29 +108,44 @@ mod tests {
     fn arrivals_are_sorted() {
         for proc in [
             ArrivalProcess::poisson_per_hour(100.0),
-            ArrivalProcess::FixedInterval { gap: SimDuration::from_secs(10) },
-            ArrivalProcess::Diurnal { mean_gap_secs: 30.0 },
+            ArrivalProcess::FixedInterval {
+                gap: SimDuration::from_secs(10),
+            },
+            ArrivalProcess::Diurnal {
+                mean_gap_secs: 30.0,
+            },
         ] {
             let mut rng = SimRng::seed_from(2);
             let arr = proc.generate(500, SimTime::ZERO, &mut rng);
-            assert!(arr.windows(2).all(|w| w[0] <= w[1]), "{proc:?} out of order");
+            assert!(
+                arr.windows(2).all(|w| w[0] <= w[1]),
+                "{proc:?} out of order"
+            );
         }
     }
 
     #[test]
     fn fixed_interval_exact() {
-        let p = ArrivalProcess::FixedInterval { gap: SimDuration::from_secs(5) };
+        let p = ArrivalProcess::FixedInterval {
+            gap: SimDuration::from_secs(5),
+        };
         let mut rng = SimRng::seed_from(3);
         let arr = p.generate(3, SimTime::from_secs(100), &mut rng);
         assert_eq!(
             arr,
-            vec![SimTime::from_secs(105), SimTime::from_secs(110), SimTime::from_secs(115)]
+            vec![
+                SimTime::from_secs(105),
+                SimTime::from_secs(110),
+                SimTime::from_secs(115)
+            ]
         );
     }
 
     #[test]
     fn burst_all_at_once() {
-        let p = ArrivalProcess::Burst { at: SimTime::from_secs(50) };
+        let p = ArrivalProcess::Burst {
+            at: SimTime::from_secs(50),
+        };
         let mut rng = SimRng::seed_from(4);
         let arr = p.generate(10, SimTime::ZERO, &mut rng);
         assert!(arr.iter().all(|&t| t == SimTime::from_secs(50)));
@@ -141,7 +156,9 @@ mod tests {
 
     #[test]
     fn diurnal_long_run_rate_close_to_average() {
-        let p = ArrivalProcess::Diurnal { mean_gap_secs: 60.0 };
+        let p = ArrivalProcess::Diurnal {
+            mean_gap_secs: 60.0,
+        };
         let mut rng = SimRng::seed_from(5);
         let n = 10_000;
         let arr = p.generate(n, SimTime::ZERO, &mut rng);

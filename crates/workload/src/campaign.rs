@@ -102,13 +102,13 @@ impl JobClass {
     }
 
     fn instantiate(&self, index: u64, submit: SimTime, rng: &mut SimRng) -> JobSpec {
-        let nodes = self.nodes_lo + (rng.below(u64::from(self.nodes_hi - self.nodes_lo + 1)) as u32);
+        let nodes =
+            self.nodes_lo + (rng.below(u64::from(self.nodes_hi - self.nodes_lo + 1)) as u32);
         let user = rng.pick(&self.users).clone();
         let phases = self.pattern.generate(rng);
         let estimated = self.pattern.mean_classical_secs()
             + f64::from(self.pattern.quantum_phases()) * self.quantum_estimate_secs;
-        let walltime =
-            SimDuration::from_secs_f64((estimated * self.walltime_margin).max(600.0));
+        let walltime = SimDuration::from_secs_f64((estimated * self.walltime_margin).max(600.0));
         JobSpec::builder(format!("{}-{index}", self.name))
             .user(user)
             .submit(submit)
@@ -158,7 +158,10 @@ impl Workload {
 
     /// Iterates `(JobId, &JobSpec)` pairs; ids are positional.
     pub fn iter_ids(&self) -> impl Iterator<Item = (JobId, &JobSpec)> {
-        self.jobs.iter().enumerate().map(|(i, j)| (JobId::new(i as u64), j))
+        self.jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| (JobId::new(i as u64), j))
     }
 
     /// Number of hybrid (quantum-using) jobs.
@@ -260,11 +263,16 @@ impl WorkloadBuilder {
     ///
     /// Panics if no class was added.
     pub fn generate(&self, seed: u64) -> Workload {
-        assert!(!self.classes.is_empty(), "workload needs at least one job class");
+        assert!(
+            !self.classes.is_empty(),
+            "workload needs at least one job class"
+        );
         let root = SimRng::seed_from(seed);
         let mut arrival_rng = root.fork("arrivals");
         let mut class_rng = root.fork("classes");
-        let arrivals = self.arrival.generate(self.count, SimTime::ZERO, &mut arrival_rng);
+        let arrivals = self
+            .arrival
+            .generate(self.count, SimTime::ZERO, &mut arrival_rng);
         let total_weight: f64 = self.classes.iter().map(|c| c.weight).sum();
         let jobs = arrivals
             .into_iter()
@@ -296,7 +304,11 @@ mod tests {
 
     fn builder() -> WorkloadBuilder {
         Workload::builder()
-            .class(JobClass::new("mpi", Pattern::classical(1_800.0)).weight(2.0).nodes_between(4, 32))
+            .class(
+                JobClass::new("mpi", Pattern::classical(1_800.0))
+                    .weight(2.0)
+                    .nodes_between(4, 32),
+            )
             .class(
                 JobClass::new("vqe", Pattern::vqe(10, 30.0, Kernel::sampling(1_000)))
                     .weight(1.0)
@@ -333,7 +345,12 @@ mod tests {
     fn node_counts_in_range() {
         let w = builder().generate(3);
         for j in w.jobs() {
-            assert!((1..=32).contains(&j.nodes()), "{} nodes {}", j.name(), j.nodes());
+            assert!(
+                (1..=32).contains(&j.nodes()),
+                "{} nodes {}",
+                j.name(),
+                j.nodes()
+            );
         }
     }
 
@@ -357,8 +374,12 @@ mod tests {
 
     #[test]
     fn from_jobs_sorts() {
-        let j1 = JobSpec::builder("late").submit(SimTime::from_secs(100)).build();
-        let j2 = JobSpec::builder("early").submit(SimTime::from_secs(5)).build();
+        let j1 = JobSpec::builder("late")
+            .submit(SimTime::from_secs(100))
+            .build();
+        let j2 = JobSpec::builder("early")
+            .submit(SimTime::from_secs(5))
+            .build();
         let w = Workload::from_jobs(vec![j1, j2]);
         assert_eq!(w.jobs()[0].name(), "early");
         assert_eq!(w.last_submit(), SimTime::from_secs(100));

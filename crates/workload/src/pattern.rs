@@ -58,7 +58,9 @@ impl Pattern {
     /// (`mean` seconds, coefficient of variation 1.2 — typical of
     /// production batch traces).
     pub fn classical(mean_runtime_secs: f64) -> Pattern {
-        Pattern::ClassicalMpi { runtime: Dist::log_normal_mean_cv(mean_runtime_secs, 1.2) }
+        Pattern::ClassicalMpi {
+            runtime: Dist::log_normal_mean_cv(mean_runtime_secs, 1.2),
+        }
     }
 
     /// A VQE-style loop with the given iteration count, mean classical step
@@ -102,7 +104,12 @@ impl Pattern {
             Pattern::ClassicalMpi { runtime } => {
                 vec![Phase::Classical(runtime.sample_duration(rng))]
             }
-            Pattern::Variational { iterations, classical_step, kernel, epilogue } => {
+            Pattern::Variational {
+                iterations,
+                classical_step,
+                kernel,
+                epilogue,
+            } => {
                 let mut phases = Vec::with_capacity(2 * *iterations as usize + 1);
                 for _ in 0..*iterations {
                     phases.push(Phase::Classical(classical_step.sample_duration(rng)));
@@ -111,7 +118,11 @@ impl Pattern {
                 phases.push(Phase::Classical(epilogue.sample_duration(rng)));
                 phases
             }
-            Pattern::SamplingCampaign { kernels, prep, kernel } => {
+            Pattern::SamplingCampaign {
+                kernels,
+                prep,
+                kernel,
+            } => {
                 let mut phases = Vec::with_capacity(2 * *kernels as usize);
                 for _ in 0..*kernels {
                     phases.push(Phase::Classical(prep.sample_duration(rng)));
@@ -137,9 +148,12 @@ impl Pattern {
     pub fn mean_classical_secs(&self) -> f64 {
         match self {
             Pattern::ClassicalMpi { runtime } => runtime.mean(),
-            Pattern::Variational { iterations, classical_step, epilogue, .. } => {
-                f64::from(*iterations) * classical_step.mean() + epilogue.mean()
-            }
+            Pattern::Variational {
+                iterations,
+                classical_step,
+                epilogue,
+                ..
+            } => f64::from(*iterations) * classical_step.mean() + epilogue.mean(),
             Pattern::SamplingCampaign { kernels, prep, .. } => f64::from(*kernels) * prep.mean(),
             Pattern::QuantumOnly { .. } => 0.0,
         }
@@ -189,7 +203,9 @@ mod tests {
 
     #[test]
     fn quantum_only_is_one_kernel() {
-        let p = Pattern::QuantumOnly { kernel: Kernel::sampling(10) };
+        let p = Pattern::QuantumOnly {
+            kernel: Kernel::sampling(10),
+        };
         let mut rng = SimRng::seed_from(4);
         let phases = p.generate(&mut rng);
         assert_eq!(phases.len(), 1);

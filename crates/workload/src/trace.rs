@@ -36,7 +36,11 @@ pub struct ParseTraceError {
 
 impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.reason
+        )
     }
 }
 
@@ -166,10 +170,16 @@ fn parse_phase(tok: &str, line: usize) -> Result<Phase, ParseTraceError> {
             .depth(parse_num(parts[2], "depth", line)?)
             .shots(parse_num(parts[3], "shots", line)?)
             .build()
-            .map_err(|e| ParseTraceError { line, reason: e.to_string() })?;
+            .map_err(|e| ParseTraceError {
+                line,
+                reason: e.to_string(),
+            })?;
         return Ok(Phase::Quantum(kernel));
     }
-    Err(ParseTraceError { line, reason: format!("unknown phase token `{tok}`") })
+    Err(ParseTraceError {
+        line,
+        reason: format!("unknown phase token `{tok}`"),
+    })
 }
 
 #[cfg(test)]
@@ -183,7 +193,16 @@ mod tests {
             .class(JobClass::new("mpi", Pattern::classical(600.0)))
             .class(JobClass::new(
                 "vqe",
-                Pattern::vqe(3, 20.0, Kernel::builder("ans").qubits(8).depth(40).shots(500).build().unwrap()),
+                Pattern::vqe(
+                    3,
+                    20.0,
+                    Kernel::builder("ans")
+                        .qubits(8)
+                        .depth(40)
+                        .shots(500)
+                        .build()
+                        .unwrap(),
+                ),
             ))
             .count(20)
             .generate(11)

@@ -21,7 +21,12 @@ fn job_strategy() -> impl Strategy<Value = JobSpec> {
                 (1u64..100_000).prop_map(|ms| Phase::Classical(SimDuration::from_millis(ms))),
                 (1u32..32, 1u32..256, 1u32..100_000).prop_map(|(q, d, s)| {
                     Phase::Quantum(
-                        Kernel::builder("k").qubits(q).depth(d).shots(s).build().unwrap(),
+                        Kernel::builder("k")
+                            .qubits(q)
+                            .depth(d)
+                            .shots(s)
+                            .build()
+                            .unwrap(),
                     )
                 }),
             ],

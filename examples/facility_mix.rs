@@ -7,7 +7,6 @@
 
 use hpcqc::prelude::*;
 
-
 fn main() -> Result<(), SimError> {
     // 60% classical MPI, 25% superconducting VQE loops, 15% sampling
     // campaigns — a plausible early-integration mix.

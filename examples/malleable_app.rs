@@ -21,7 +21,10 @@ fn part1_primitive() -> Result<(), Box<dyn std::error::Error>> {
 
     let req = AllocRequest::new().group(GroupRequest::nodes("classical", 12));
     let alloc = cluster.allocate(&req, SimTime::ZERO)?;
-    println!("t=0     allocated 12/16 nodes (free: {})", cluster.free_nodes("classical")?);
+    println!(
+        "t=0     allocated 12/16 nodes (free: {})",
+        cluster.free_nodes("classical")?
+    );
 
     // Entering the quantum phase: keep one node for rank 0.
     let released = cluster.shrink(alloc, "classical", 1, SimTime::from_secs(10 * 60))?;
@@ -39,13 +42,21 @@ fn part1_primitive() -> Result<(), Box<dyn std::error::Error>> {
         cluster.free_nodes("classical")?
     );
     cluster.release(alloc, SimTime::from_secs(60 * 60))?;
-    println!("t=60min released; invariants: {:?}\n", cluster.check_invariants());
+    println!(
+        "t=60min released; invariants: {:?}\n",
+        cluster.check_invariants()
+    );
     Ok(())
 }
 
 fn part2_endtoend() -> Result<(), SimError> {
     println!("— Part 2: Fig. 4 end to end —");
-    let kernel = Kernel::builder("anneal").qubits(64).depth(10).shots(600).build().unwrap();
+    let kernel = Kernel::builder("anneal")
+        .qubits(64)
+        .depth(10)
+        .shots(600)
+        .build()
+        .unwrap();
     let hybrid = JobSpec::builder("hybrid")
         .user("alice")
         .nodes(14)
@@ -67,8 +78,12 @@ fn part2_endtoend() -> Result<(), SimError> {
         .build();
     let workload = Workload::from_jobs(vec![hybrid, classical]);
 
-    let mut table =
-        Table::new(vec!["strategy", "hybrid turnaround", "batch job wait", "node-h wasted"]);
+    let mut table = Table::new(vec![
+        "strategy",
+        "hybrid turnaround",
+        "batch job wait",
+        "node-h wasted",
+    ]);
     for strategy in [Strategy::CoSchedule, Strategy::Malleable { min_nodes: 1 }] {
         let scenario = Scenario::builder()
             .classical_nodes(16)

@@ -15,13 +15,18 @@ use hpcqc::prelude::*;
 use hpcqc_simcore::time::{SimDuration, SimTime};
 
 fn workload() -> Workload {
-    let kernel = Kernel::builder("rydberg-sim").qubits(100).depth(20).shots(500).build().unwrap();
+    let kernel = Kernel::builder("rydberg-sim")
+        .qubits(100)
+        .depth(20)
+        .shots(500)
+        .build()
+        .unwrap();
     let jobs = (0..2u64)
         .map(|i| {
             JobSpec::builder(format!("atoms-{i}"))
                 .user("bob")
                 .nodes(6)
-                .submit(SimTime::from_secs(u64::from(i) * 120))
+                .submit(SimTime::from_secs(i * 120))
                 .walltime(SimDuration::from_hours(8))
                 .phases(vec![
                     Phase::Classical(SimDuration::from_mins(8)),
@@ -45,7 +50,10 @@ fn show(strategy: Strategy) -> Result<Outcome, SimError> {
     let outcome = FacilitySim::run(&scenario, &workload())?;
     println!("--- {strategy} ---");
     let gantt = outcome.gantt.as_ref().expect("gantt enabled");
-    print!("{}", gantt.render_ascii(SimTime::ZERO, outcome.makespan, 72));
+    print!(
+        "{}",
+        gantt.render_ascii(SimTime::ZERO, outcome.makespan, 72)
+    );
     let hybrid = outcome.stats.hybrid_only();
     println!(
         "turnaround {} | node-h wasted {:.2} | nodes productive {}\n",

@@ -14,7 +14,12 @@ use hpcqc::prelude::*;
 use hpcqc_simcore::time::{SimDuration, SimTime};
 
 fn tenants(count: u32) -> Workload {
-    let kernel = Kernel::builder("uccsd-ansatz").qubits(16).depth(96).shots(2_000).build().unwrap();
+    let kernel = Kernel::builder("uccsd-ansatz")
+        .qubits(16)
+        .depth(96)
+        .shots(2_000)
+        .build()
+        .unwrap();
     let jobs = (0..count)
         .map(|i| {
             let mut phases = Vec::new();

@@ -23,15 +23,16 @@
 use hpcqc::prelude::*;
 use std::process::ExitCode;
 
+const USAGE: &str =
+    "usage:\n  hpcqc-sim generate --count N [--seed S] [--out FILE] [--hybrid-share F]\n  \
+     hpcqc-sim run --trace FILE [--scenario FILE.json] [--strategy S] [--nodes N]\n            \
+     [--device TECH] [--policy P] [--seed S] [--compare] [--gantt]\n\n\
+     strategies: co-schedule | workflow | vqpu:N | malleable:N\n\
+     devices:    superconducting | trapped-ion | neutral-atom | photonic | spin-qubit\n\
+     policies:   fcfs | easy | conservative";
+
 fn usage() -> ! {
-    eprintln!(
-        "usage:\n  hpcqc-sim generate --count N [--seed S] [--out FILE] [--hybrid-share F]\n  \
-         hpcqc-sim run --trace FILE [--scenario FILE.json] [--strategy S] [--nodes N]\n            \
-         [--device TECH] [--policy P] [--seed S] [--compare] [--gantt]\n\n\
-         strategies: co-schedule | workflow | vqpu:N | malleable:N\n\
-         devices:    superconducting | trapped-ion | neutral-atom | photonic | spin-qubit\n\
-         policies:   fcfs | easy | conservative"
-    );
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
@@ -41,9 +42,13 @@ fn parse_strategy(s: &str) -> Strategy {
         "workflow" => Strategy::Workflow,
         other => {
             if let Some(n) = other.strip_prefix("vqpu:") {
-                Strategy::Vqpu { vqpus: n.parse().unwrap_or_else(|_| usage()) }
+                Strategy::Vqpu {
+                    vqpus: n.parse().unwrap_or_else(|_| usage()),
+                }
             } else if let Some(n) = other.strip_prefix("malleable:") {
-                Strategy::Malleable { min_nodes: n.parse().unwrap_or_else(|_| usage()) }
+                Strategy::Malleable {
+                    min_nodes: n.parse().unwrap_or_else(|_| usage()),
+                }
             } else {
                 usage()
             }
@@ -79,11 +84,24 @@ fn generate(args: &[String]) -> ExitCode {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--count" => count = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--count" => {
+                count = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--out" => out = it.next().cloned(),
             "--hybrid-share" => {
-                hybrid_share = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                hybrid_share = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             _ => usage(),
         }
@@ -111,7 +129,10 @@ fn generate(args: &[String]) -> ExitCode {
                 eprintln!("cannot write {path}: {e}");
                 return ExitCode::FAILURE;
             }
-            eprintln!("wrote {count} jobs ({} hybrid) to {path}", workload.hybrid_count());
+            eprintln!(
+                "wrote {count} jobs ({} hybrid) to {path}",
+                workload.hybrid_count()
+            );
         }
         None => print!("{text}"),
     }
@@ -254,6 +275,10 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("generate") => generate(&args[1..]),
         Some("run") => run(&args[1..]),
+        Some("--help" | "-h") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
         _ => usage(),
     }
 }

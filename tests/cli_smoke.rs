@@ -1,0 +1,54 @@
+//! Smoke tests for the `hpcqc-sim` binary target: the manifests declare it,
+//! so guard that it builds, parses `--help`, and rejects junk cleanly.
+
+use std::process::Command;
+
+#[test]
+fn help_parses_and_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .arg("--help")
+        .output()
+        .expect("hpcqc-sim runs");
+    assert!(out.status.success(), "--help must exit 0: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage:"), "help text missing: {stdout}");
+    assert!(
+        stdout.contains("co-schedule"),
+        "strategies not listed: {stdout}"
+    );
+}
+
+#[test]
+fn no_args_shows_usage_and_fails() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .output()
+        .expect("hpcqc-sim runs");
+    assert_eq!(out.status.code(), Some(2), "bare invocation must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("usage:"),
+        "usage missing on stderr: {stderr}"
+    );
+}
+
+#[test]
+fn generate_then_run_round_trips() {
+    // Unique per process so concurrent test runs don't race on the file.
+    let dir = std::env::temp_dir().join(format!("hpcqc_cli_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("smoke.hqwf");
+    let gen = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["generate", "--count", "5", "--seed", "3", "--out"])
+        .arg(&trace)
+        .output()
+        .expect("generate runs");
+    assert!(gen.status.success(), "generate failed: {gen:?}");
+    let run = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["run", "--trace"])
+        .arg(&trace)
+        .args(["--strategy", "vqpu:2", "--nodes", "64"])
+        .output()
+        .expect("run runs");
+    assert!(run.status.success(), "run failed: {run:?}");
+    std::fs::remove_file(&trace).ok();
+}

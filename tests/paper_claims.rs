@@ -36,7 +36,10 @@ fn claim_coscheduling_starves_superconducting_qpu() {
     let outcome = run(Strategy::CoSchedule, Technology::Superconducting, &w);
     let r = &outcome.stats.records()[0];
     let qpu_eff = r.qpu_seconds_used / r.qpu_seconds_allocated;
-    assert!(qpu_eff < 0.05, "QPU must be <5% busy inside its exclusive hold, got {qpu_eff:.3}");
+    assert!(
+        qpu_eff < 0.05,
+        "QPU must be <5% busy inside its exclusive hold, got {qpu_eff:.3}"
+    );
 }
 
 /// §3, Listing 1, neutral-atom direction: the classical nodes starve.
@@ -46,7 +49,10 @@ fn claim_coscheduling_starves_nodes_on_neutral_atoms() {
     let outcome = run(Strategy::CoSchedule, Technology::NeutralAtom, &w);
     let r = &outcome.stats.records()[0];
     let node_eff = r.node_seconds_used / r.node_seconds_allocated;
-    assert!(node_eff < 0.5, "nodes must idle through ≥30 min quantum phases, got {node_eff:.3}");
+    assert!(
+        node_eff < 0.5,
+        "nodes must idle through ≥30 min quantum phases, got {node_eff:.3}"
+    );
 }
 
 /// Fig. 2: workflows hold resources only while using them.
@@ -88,7 +94,11 @@ fn claim_vqpus_raise_device_utilization() {
 fn claim_malleability_cuts_waste_without_requeueing() {
     let w = Workload::from_jobs(vec![hybrid_loop("m", 12, 3, 300, 1_000)]);
     let cosched = run(Strategy::CoSchedule, Technology::NeutralAtom, &w);
-    let malleable = run(Strategy::Malleable { min_nodes: 1 }, Technology::NeutralAtom, &w);
+    let malleable = run(
+        Strategy::Malleable { min_nodes: 1 },
+        Technology::NeutralAtom,
+        &w,
+    );
     let waste = |o: &Outcome| o.stats.total_node_hours_wasted();
     assert!(
         waste(&malleable) < 0.25 * waste(&cosched),
@@ -115,7 +125,10 @@ fn claim_advisor_matches_paper_guidance() {
     assert_eq!(atoms.strategy, Strategy::Workflow, "{atoms:?}");
     // Both phases short against queue waits.
     let short = recommend(&WorkloadProfile::new(50.0, 60.0, 1_200.0));
-    assert!(matches!(short.strategy, Strategy::Malleable { .. }), "{short:?}");
+    assert!(
+        matches!(short.strategy, Strategy::Malleable { .. }),
+        "{short:?}"
+    );
 }
 
 /// The strategies agree on purely classical workloads (no quantum phases

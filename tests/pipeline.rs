@@ -7,7 +7,11 @@ use hpcqc_workload::trace;
 
 fn mixed_workload(seed: u64) -> Workload {
     Workload::builder()
-        .class(JobClass::new("mpi", Pattern::classical(1_200.0)).weight(2.0).nodes_between(2, 8))
+        .class(
+            JobClass::new("mpi", Pattern::classical(1_200.0))
+                .weight(2.0)
+                .nodes_between(2, 8),
+        )
         .class(
             JobClass::new("vqe", Pattern::vqe(6, 60.0, Kernel::sampling(1_000)))
                 .nodes_between(1, 4)
@@ -52,29 +56,41 @@ fn trace_roundtrip_preserves_simulation() {
     assert!(drift < 1.0, "HQWF round-trip drifted {drift} s");
 }
 
-/// Backfilling matters: EASY completes the campaign no later than strict
-/// FCFS and strictly reduces mean wait on a contended mix.
+/// Backfilling matters: EASY strictly reduces mean wait on a contended mix.
+///
+/// EASY only reserves for the queue *head*, so a backfilled job can delay
+/// non-head jobs and the makespan may drift slightly past strict FCFS on
+/// some traces — that is correct behaviour, not a regression. We therefore
+/// assert the guarantee EASY actually makes (shorter waits) and bound the
+/// makespan drift instead of forbidding it.
 #[test]
 fn backfilling_improves_on_fcfs() {
     let w = mixed_workload(11);
     let fcfs = FacilitySim::run(&scenario(Strategy::Workflow, Policy::Fcfs), &w).unwrap();
     let easy = FacilitySim::run(&scenario(Strategy::Workflow, Policy::EasyBackfill), &w).unwrap();
     assert!(
-        easy.makespan <= fcfs.makespan,
-        "EASY ({}) must not extend the FCFS makespan ({})",
+        easy.makespan.as_secs_f64() <= fcfs.makespan.as_secs_f64() * 1.05,
+        "EASY ({}) extended the FCFS makespan ({}) by more than 5%",
         easy.makespan,
         fcfs.makespan
     );
-    assert!(easy.stats.mean_wait_secs() <= fcfs.stats.mean_wait_secs() + 1.0);
+    assert!(
+        easy.stats.mean_wait_secs() < fcfs.stats.mean_wait_secs(),
+        "EASY must strictly reduce mean wait ({:.1}s vs {:.1}s)",
+        easy.stats.mean_wait_secs(),
+        fcfs.stats.mean_wait_secs()
+    );
 }
 
 /// Conservative backfill also runs the full pipeline to completion.
 #[test]
 fn conservative_backfill_completes() {
     let w = mixed_workload(13);
-    let out =
-        FacilitySim::run(&scenario(Strategy::CoSchedule, Policy::ConservativeBackfill), &w)
-            .unwrap();
+    let out = FacilitySim::run(
+        &scenario(Strategy::CoSchedule, Policy::ConservativeBackfill),
+        &w,
+    )
+    .unwrap();
     assert_eq!(out.stats.len(), w.len());
 }
 
@@ -115,7 +131,11 @@ fn cloud_access_cost_scales_with_kernel_count() {
             phases.push(Phase::Classical(SimDuration::from_secs(60)));
             phases.push(Phase::Quantum(Kernel::sampling(1_000)));
         }
-        JobSpec::builder("few").nodes(2).walltime(SimDuration::from_hours(8)).phases(phases).build()
+        JobSpec::builder("few")
+            .nodes(2)
+            .walltime(SimDuration::from_hours(8))
+            .phases(phases)
+            .build()
     }]);
     let many = Workload::from_jobs(vec![{
         let mut phases = Vec::new();
@@ -123,14 +143,24 @@ fn cloud_access_cost_scales_with_kernel_count() {
             phases.push(Phase::Classical(SimDuration::from_secs(60)));
             phases.push(Phase::Quantum(Kernel::sampling(1_000)));
         }
-        JobSpec::builder("many").nodes(2).walltime(SimDuration::from_hours(8)).phases(phases).build()
+        JobSpec::builder("many")
+            .nodes(2)
+            .walltime(SimDuration::from_hours(8))
+            .phases(phases)
+            .build()
     }]);
     let overhead_of = |w: &Workload| {
         let mut cloud = scenario(Strategy::CoSchedule, Policy::EasyBackfill);
         cloud.access = Some(AccessMode::cloud(Technology::Superconducting));
         let on_prem = scenario(Strategy::CoSchedule, Policy::EasyBackfill);
-        let with = FacilitySim::run(&cloud, w).unwrap().stats.mean_turnaround_secs();
-        let without = FacilitySim::run(&on_prem, w).unwrap().stats.mean_turnaround_secs();
+        let with = FacilitySim::run(&cloud, w)
+            .unwrap()
+            .stats
+            .mean_turnaround_secs();
+        let without = FacilitySim::run(&on_prem, w)
+            .unwrap()
+            .stats
+            .mean_turnaround_secs();
         with - without
     };
     let few_overhead = overhead_of(&few);
@@ -217,8 +247,18 @@ fn node_failures_end_to_end() {
 /// to the capable device; small kernels may use either.
 #[test]
 fn heterogeneous_devices_respect_qubit_capability() {
-    let big_kernel = Kernel::builder("big").qubits(64).depth(32).shots(500).build().unwrap();
-    let small_kernel = Kernel::builder("small").qubits(8).depth(32).shots(500).build().unwrap();
+    let big_kernel = Kernel::builder("big")
+        .qubits(64)
+        .depth(32)
+        .shots(500)
+        .build()
+        .unwrap();
+    let small_kernel = Kernel::builder("small")
+        .qubits(8)
+        .depth(32)
+        .shots(500)
+        .build()
+        .unwrap();
     let mk = |name: &str, kernel: &Kernel, n: u64| -> Vec<JobSpec> {
         (0..n)
             .map(|i| {
@@ -245,7 +285,10 @@ fn heterogeneous_devices_respect_qubit_capability() {
         assert_eq!(out.total_kernels(), 8, "{strategy}");
         // The 64-qubit kernels cannot have run on the 12-qubit device, so
         // the superconducting device must have executed at least those 4.
-        let sc_dev = out.devices.iter().find(|d| d.technology == Technology::Superconducting);
+        let sc_dev = out
+            .devices
+            .iter()
+            .find(|d| d.technology == Technology::Superconducting);
         assert!(sc_dev.unwrap().tasks >= 4, "{strategy}");
     }
 }
@@ -254,7 +297,12 @@ fn heterogeneous_devices_respect_qubit_capability() {
 /// reject that job with a clear error instead of panicking mid-run.
 #[test]
 fn impossible_kernel_is_a_clean_error() {
-    let kernel = Kernel::builder("huge").qubits(4_096).depth(8).shots(10).build().unwrap();
+    let kernel = Kernel::builder("huge")
+        .qubits(4_096)
+        .depth(8)
+        .shots(10)
+        .build()
+        .unwrap();
     let job = JobSpec::builder("huge")
         .nodes(1)
         .walltime(SimDuration::from_hours(1))
@@ -262,7 +310,10 @@ fn impossible_kernel_is_a_clean_error() {
         .build();
     let sc = scenario(Strategy::CoSchedule, Policy::EasyBackfill);
     let err = FacilitySim::run(&sc, &Workload::from_jobs(vec![job])).unwrap_err();
-    assert!(err.to_string().contains("qubits"), "unexpected error: {err}");
+    assert!(
+        err.to_string().contains("qubits"),
+        "unexpected error: {err}"
+    );
 }
 
 /// Different seeds genuinely change the workload and the outcome.

@@ -1,0 +1,356 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! The build environment has no crates-registry access, so the workspace
+//! vendors the slice of criterion its benches use: [`Criterion`] with the
+//! builder knobs, [`BenchmarkGroup`], `iter` / `iter_batched`,
+//! [`Throughput`], [`BatchSize`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Timing is a plain wall-clock mean over an
+//! adaptive iteration count — no statistics, plots, or comparisons — which
+//! is enough to spot order-of-magnitude regressions and to keep
+//! `cargo bench --no-run` compiling in CI.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted upon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Declares the work performed per iteration for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The per-benchmark measurement driver.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Mean nanoseconds per iteration, filled by `iter*`.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Times a routine.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget expires (at least once).
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        loop {
+            black_box(routine());
+            if Instant::now() >= warm_until {
+                break;
+            }
+        }
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let budget = self.config.measurement_time;
+        let min_iters = self.config.sample_size as u64;
+        while elapsed < budget || iters < min_iters {
+            let start = Instant::now();
+            black_box(routine());
+            elapsed += start.elapsed();
+            iters += 1;
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Times a routine with a fresh setup value per iteration; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        loop {
+            black_box(routine(setup()));
+            if Instant::now() >= warm_until {
+                break;
+            }
+        }
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let budget = self.config.measurement_time;
+        let min_iters = self.config.sample_size as u64;
+        while elapsed < budget || iters < min_iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+            iters += 1;
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Criterion {
+    /// Sets the target number of measurement iterations.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Applies CLI arguments (`--test` for smoke mode, a bare word as a
+    /// substring filter; other flags are accepted and ignored). Upstream
+    /// flags that take a separate value have that value skipped too, so
+    /// e.g. `--save-baseline main` doesn't turn `main` into a filter.
+    pub fn configure_from_args(mut self) -> Self {
+        const VALUE_FLAGS: &[&str] = &[
+            "--measurement-time",
+            "--warm-up-time",
+            "--sample-size",
+            "--nresamples",
+            "--noise-threshold",
+            "--confidence-level",
+            "--significance-level",
+            "--save-baseline",
+            "--baseline",
+            "--baseline-lenient",
+            "--load-baseline",
+            "--output-format",
+            "--color",
+            "--colour",
+            "--profile-time",
+            "--plotting-backend",
+        ];
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.quick = true,
+                a if VALUE_FLAGS.contains(&a) => {
+                    args.next();
+                }
+                a if a.starts_with("--") => {}
+                a => self.filter = Some(a.to_string()),
+            }
+        }
+        self
+    }
+
+    fn effective(&self) -> Config {
+        if self.quick {
+            Config {
+                sample_size: 1,
+                warm_up_time: Duration::ZERO,
+                measurement_time: Duration::ZERO,
+            }
+        } else {
+            self.config.clone()
+        }
+    }
+
+    fn skip(&self, id: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !id.contains(f))
+    }
+
+    fn report(&self, id: &str, bencher: &Bencher<'_>, throughput: Option<Throughput>) {
+        let mean = bencher.mean_ns;
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => format!(" ({:.1} Melem/s)", n as f64 / mean * 1e3),
+            Throughput::Bytes(n) => format!(" ({:.1} MiB/s)", n as f64 / mean * 1e9 / 1_048_576.0),
+        });
+        println!(
+            "bench: {id:<50} {mean:>12.1} ns/iter  ({} iters){}",
+            bencher.iters,
+            rate.unwrap_or_default()
+        );
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        if self.skip(&id) {
+            return self;
+        }
+        let config = self.effective();
+        let mut bencher = Bencher {
+            config: &config,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        if self.parent.skip(&id) {
+            return self;
+        }
+        let mut config = self.parent.effective();
+        if let Some(n) = self.sample_size {
+            config.sample_size = n;
+        }
+        let mut bencher = Bencher {
+            config: &config,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        self.parent.report(&id, &bencher, self.throughput);
+        self
+    }
+
+    /// Finishes the group (reporting is incremental; this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group-runner function from a config and target list.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::ZERO)
+            .measurement_time(Duration::ZERO)
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = quick();
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn groups_and_batched_run() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(10));
+        let mut total = 0u64;
+        group.bench_function("b", |b| {
+            b.iter_batched(|| 5u64, |x| total += x, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(total >= 10);
+    }
+}

@@ -1,0 +1,635 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The build environment has no crates-registry access, so the workspace
+//! vendors the slice of proptest its property suites use: the [`proptest!`]
+//! macro with `#![proptest_config(...)]`, range / tuple / `Just` /
+//! `prop_oneof!` / `prop::collection::vec` / `any::<T>()` strategies, the
+//! [`strategy::Strategy`] trait with `prop_map` and `boxed`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream: sampling is driven by a deterministic
+//! SplitMix64 stream derived from the test's module path and name (so
+//! failures are exactly reproducible), and failing cases are **not
+//! shrunk** — the failing inputs are reported as generated.
+
+#![warn(missing_docs)]
+
+/// Deterministic RNG used to drive strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG for one test case, derived from a label and index.
+    pub fn for_case(label: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u64` in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// Run configuration, selected via `#![proptest_config(...)]`.
+pub mod test_runner {
+    /// Configuration for a property test run.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Upstream-compatible alias used inside `proptest!` blocks.
+    pub type ProptestConfig = Config;
+
+    /// A failed (or rejected) test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Fails the current case with a message.
+        pub fn fail(msg: impl std::fmt::Display) -> Self {
+            TestCaseError(msg.to_string())
+        }
+
+        /// Rejects the current case (counted as skipped, not failed).
+        pub fn reject(msg: impl std::fmt::Display) -> Self {
+            TestCaseError(format!("rejected: {msg}"))
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// The result type of a property-test body.
+    pub type TestCaseResult = std::result::Result<(), TestCaseError>;
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::TestRng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through a function.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// String-literal strategies: a pragmatic subset of upstream's regex
+    /// patterns. Supports sequences of literal characters and `[...]`
+    /// classes (with `a-z` ranges), each optionally quantified by
+    /// `{n}` / `{m,n}` / `?` / `+` / `*` (`+`/`*` capped at 8 repeats).
+    impl Strategy for str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            let chars: Vec<char> = self.chars().collect();
+            let mut i = 0;
+            while i < chars.len() {
+                // Parse one atom: a char class or a literal.
+                let options: Vec<char> = if chars[i] == '[' {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed `[` in pattern {self:?}"));
+                    let body = &chars[i + 1..close];
+                    i = close + 1;
+                    let mut opts = Vec::new();
+                    let mut j = 0;
+                    while j < body.len() {
+                        if j + 2 < body.len() && body[j + 1] == '-' {
+                            for c in body[j]..=body[j + 2] {
+                                opts.push(c);
+                            }
+                            j += 3;
+                        } else {
+                            opts.push(body[j]);
+                            j += 1;
+                        }
+                    }
+                    opts
+                } else {
+                    let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    i += 1;
+                    vec![c]
+                };
+                // Parse an optional quantifier.
+                let (lo, hi) = match chars.get(i) {
+                    Some('{') => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .map(|p| i + p)
+                            .unwrap_or_else(|| panic!("unclosed `{{` in pattern {self:?}"));
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((m, n)) => (
+                                m.trim().parse::<usize>().expect("bad quantifier"),
+                                n.trim().parse::<usize>().expect("bad quantifier"),
+                            ),
+                            None => {
+                                let n = body.trim().parse::<usize>().expect("bad quantifier");
+                                (n, n)
+                            }
+                        }
+                    }
+                    Some('?') => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    Some('+') => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    Some('*') => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    _ => (1, 1),
+                };
+                let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+                for _ in 0..count {
+                    let pick = rng.below(options.len() as u64) as usize;
+                    out.push(options[pick]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) source: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics on an empty option list.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].sample(rng)
+        }
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + rng.unit_f64() * (self.end - self.start);
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($n:tt $t:ident),+))*) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// The strategy `any::<Self>()` returns.
+        type Strategy: Strategy<Value = Self>;
+        /// Builds the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Whole-domain strategy for a primitive type.
+    #[derive(Debug, Clone, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    macro_rules! arbitrary_prims {
+        ($($t:ty => |$rng:ident| $expr:expr;)*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, $rng: &mut TestRng) -> $t {
+                    $expr
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = Any<$t>;
+                fn arbitrary() -> Any<$t> {
+                    Any(std::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+
+    arbitrary_prims! {
+        bool => |rng| rng.next_u64() & 1 == 1;
+        u8 => |rng| rng.next_u64() as u8;
+        u16 => |rng| rng.next_u64() as u16;
+        u32 => |rng| rng.next_u64() as u32;
+        u64 => |rng| rng.next_u64();
+        usize => |rng| rng.next_u64() as usize;
+        i8 => |rng| rng.next_u64() as i8;
+        i16 => |rng| rng.next_u64() as i16;
+        i32 => |rng| rng.next_u64() as i32;
+        i64 => |rng| rng.next_u64() as i64;
+        isize => |rng| rng.next_u64() as isize;
+        f64 => |rng| {
+            // Mix of ordinary magnitudes and a few extremes.
+            match rng.below(8) {
+                0 => 0.0,
+                1 => -(rng.unit_f64() * 1e9),
+                _ => rng.unit_f64() * 1e9,
+            }
+        };
+    }
+
+    /// Returns the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// A size specification for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of another strategy's values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror of upstream's `prop` re-export.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config, ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a property (plain panic in this stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips a case when an assumption fails (continues to the next case).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($(|)? $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
+/// runs `cases` times over freshly sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::Config::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr); ) => {};
+    (
+        cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let label = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..u64::from(config.cases) {
+                let mut __rng = $crate::TestRng::for_case(label, case);
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                )+
+                // One closure per case: `prop_assume!` returns Ok early and
+                // `?` on TestCaseError propagates, exactly as upstream.
+                #[allow(unused_mut)]
+                let mut __case = || -> ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    { $body }
+                    ::std::result::Result::Ok(())
+                };
+                if let ::std::result::Result::Err(e) = __case() {
+                    panic!("proptest case {case} failed: {e}");
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, f in -1.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0u32..10, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![Just(1u32), Just(2u32), (5u32..7).prop_map(|v| v * 10)]) {
+            prop_assert!(x == 1 || x == 2 || x == 50 || x == 60);
+        }
+
+        #[test]
+        fn tuples_and_any(pair in (0u8..4, 0u8..4), flag in any::<bool>()) {
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        use crate::strategy::Strategy;
+        let strat = 0u64..1_000_000;
+        let a: Vec<u64> = {
+            let mut rng = crate::TestRng::for_case("x", 1);
+            (0..32).map(|_| strat.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = crate::TestRng::for_case("x", 1);
+            (0..32).map(|_| strat.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,302 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! The build environment has no access to a crates registry, so the
+//! workspace vendors the narrow slice of `rand` 0.8 it actually uses:
+//! [`rngs::StdRng`], the [`RngCore`] / [`SeedableRng`] / [`Rng`] traits and
+//! [`Error`]. `StdRng` here is xoshiro256++ seeded through SplitMix64 —
+//! a different stream than upstream's ChaCha12, but the workspace never
+//! relies on upstream's exact stream, only on determinism and statistical
+//! quality.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Error type for fallible RNG operations (infallible for [`StdRng`]).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: raw word output.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut i = 0;
+        while i < dest.len() {
+            let word = self.next_u64().to_le_bytes();
+            let n = (dest.len() - i).min(8);
+            dest[i..i + n].copy_from_slice(&word[..n]);
+            i += n;
+        }
+    }
+    /// Fallible [`RngCore::fill_bytes`]; never fails for the vendored RNGs.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+mod sample {
+    /// Types samplable uniformly over their whole domain via `Rng::gen`.
+    pub trait Standard: Sized {
+        /// Draws one value from `rng`.
+        fn sample<R: super::RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for f64 {
+        fn sample<R: super::RngCore + ?Sized>(rng: &mut R) -> Self {
+            // 53 high bits -> uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Standard for f32 {
+        fn sample<R: super::RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Standard for bool {
+        fn sample<R: super::RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Standard for u32 {
+        fn sample<R: super::RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl Standard for u64 {
+        fn sample<R: super::RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    /// Ranges samplable via `Rng::gen_range`.
+    pub trait SampleRange {
+        /// The element type the range produces.
+        type Output;
+        /// Draws one value uniformly from the range.
+        fn sample<R: super::RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+    }
+
+    /// Rejection-free-enough uniform integer in `[0, n)` (Lemire reduction).
+    pub(crate) fn below_u64<R: super::RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Widening-multiply reduction; bias is < 2^-64 per draw, far below
+        // anything the simulator's statistics can resolve.
+        let x = rng.next_u64();
+        ((u128::from(x) * u128::from(n)) >> 64) as u64
+    }
+
+    macro_rules! int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange for std::ops::Range<$t> {
+                type Output = $t;
+                fn sample<R: super::RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + below_u64(rng, span) as $t
+                }
+            }
+            impl SampleRange for std::ops::RangeInclusive<$t> {
+                type Output = $t;
+                fn sample<R: super::RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full u64 domain.
+                        return rng.next_u64() as $t;
+                    }
+                    lo + below_u64(rng, span) as $t
+                }
+            }
+        )*};
+    }
+    int_range!(u8, u16, u32, u64, usize);
+
+    macro_rules! sint_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange for std::ops::Range<$t> {
+                type Output = $t;
+                fn sample<R: super::RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + below_u64(rng, span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    sint_range!(i32, i64, isize);
+
+    impl SampleRange for std::ops::Range<f64> {
+        type Output = f64;
+        fn sample<R: super::RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "gen_range: empty range");
+            let u = <f64 as Standard>::sample(rng);
+            let v = self.start + u * (self.end - self.start);
+            // Floating rounding can land exactly on `end`; clamp back inside.
+            // `next_down` (unlike a raw bits-1 decrement) is correct for
+            // negative and zero endpoints.
+            if v >= self.end {
+                self.start.max(self.end.next_down())
+            } else {
+                v
+            }
+        }
+    }
+}
+
+pub use sample::SampleRange;
+pub use sample::Standard;
+
+/// Convenience sampling methods layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly over the type's whole domain.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range.
+    fn gen_range<T: SampleRange>(&mut self, range: T) -> T::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        <f64 as Standard>::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256++ seeded via SplitMix64.
+    ///
+    /// Deterministic for a given seed, `Clone`-able, passes the statistical
+    /// smoke tests the simulator relies on (uniformity, Box–Muller moments).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // xoshiro256++ is ill-defined from the all-zero state.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0f64..5.0);
+            assert!((-2.0..5.0).contains(&f));
+            let i = rng.gen_range(0usize..9);
+            assert!(i < 9);
+        }
+    }
+
+    #[test]
+    fn mean_near_half() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+}

@@ -1,0 +1,517 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The build environment has no crates-registry access, so the workspace
+//! vendors the slice of serde it uses: `#[derive(Serialize, Deserialize)]`
+//! (including `#[serde(transparent)]`) plus the JSON entry points in the
+//! sibling `serde_json` stub. Instead of upstream's visitor-based data
+//! model, this implementation round-trips through a self-describing
+//! [`Value`] tree — equivalent for JSON, dramatically smaller, and fully
+//! sufficient for the derive shapes the simulator uses (named structs,
+//! newtype/transparent structs, unit and struct enum variants).
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON integer (covers the full `i64`/`u64` domain).
+    Int(i128),
+    /// JSON floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the object entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if this is an array.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// A short human label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into the serialized data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the serialized data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Hook for absent struct fields; `Option` overrides this to `None`.
+    fn missing_field(field: &str) -> Result<Self, Error> {
+        Err(Error::custom(format!("missing field `{field}`")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i).map_err(|_| {
+                        Error::custom(format!(
+                            "integer {i} out of range for {}",
+                            stringify!($t)
+                        ))
+                    }),
+                    // Accept floats with an exact integer value (JSON "1.0").
+                    Value::Float(f) if f.fract() == 0.0 => {
+                        <$t>::try_from(*f as i128).map_err(|_| {
+                            Error::custom(format!(
+                                "number {f} out of range for {}",
+                                stringify!($t)
+                            ))
+                        })
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected integer, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+ser_de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(Error::custom(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing_field(_field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output.
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Value::Seq(items.into_iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::hash::Hash + Eq> Deserialize for HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Serializes key/value pairs: an object when every key serializes to a
+/// string, otherwise an array of `[key, value]` pairs.
+fn map_to_value<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    pairs: impl Iterator<Item = (&'a K, &'a V)> + Clone,
+) -> Value {
+    let all_str = pairs
+        .clone()
+        .all(|(k, _)| matches!(k.to_value(), Value::Str(_)));
+    if all_str {
+        Value::Map(
+            pairs
+                .map(|(k, v)| {
+                    let Value::Str(key) = k.to_value() else {
+                        unreachable!()
+                    };
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    } else {
+        Value::Seq(
+            pairs
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+/// Rebuilds key/value pairs from either map encoding.
+fn map_from_value<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, Error> {
+    match v {
+        Value::Map(entries) => entries
+            .iter()
+            .map(|(k, v)| Ok((K::from_value(&Value::Str(k.clone()))?, V::from_value(v)?)))
+            .collect(),
+        Value::Seq(items) => items
+            .iter()
+            .map(|pair| {
+                let items = pair
+                    .as_seq()
+                    .filter(|s| s.len() == 2)
+                    .ok_or_else(|| Error::custom("expected [key, value] pair"))?;
+                Ok((K::from_value(&items[0])?, V::from_value(&items[1])?))
+            })
+            .collect(),
+        other => Err(Error::custom(format!(
+            "expected object or array of pairs, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        map_from_value(v).map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output.
+        let mut pairs: Vec<(&K, &V)> = self.iter().collect();
+        pairs.sort_by(|a, b| a.0.cmp(b.0));
+        map_to_value(pairs.into_iter())
+    }
+}
+
+impl<K: Deserialize + std::hash::Hash + Eq, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        map_from_value(v).map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_seq().ok_or_else(|| {
+                    Error::custom(format!("expected array, found {}", v.kind()))
+                })?;
+                let expect = [$($n),+].len();
+                if items.len() != expect {
+                    return Err(Error::custom(format!(
+                        "expected array of length {expect}, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+// ---------------------------------------------------------------------------
+// Derive support (used by `serde_derive`-generated code)
+// ---------------------------------------------------------------------------
+
+/// Support plumbing for derive-generated code; not a public API.
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Extracts a struct field by name, honouring `missing_field` defaults.
+    pub fn field<T: Deserialize>(entries: &[(String, Value)], name: &str) -> Result<T, Error> {
+        match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v),
+            None => T::missing_field(name),
+        }
+    }
+
+    /// Produces the canonical "expected X, found Y" error.
+    pub fn type_error<T>(expected: &str, found: &Value) -> Result<T, Error> {
+        Err(Error::custom(format!(
+            "expected {expected}, found {}",
+            found.kind()
+        )))
+    }
+}

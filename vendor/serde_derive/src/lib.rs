@@ -1,0 +1,465 @@
+//! Offline `#[derive(Serialize, Deserialize)]` built directly on the
+//! `proc_macro` API — the build environment has no registry access, so
+//! `syn`/`quote` are unavailable and the input is parsed by hand.
+//!
+//! Supported shapes (everything the workspace derives on):
+//! - named-field structs, unit structs
+//! - tuple structs (newtype semantics for arity 1), `#[serde(transparent)]`
+//! - enums with unit, tuple, and named-field variants (external tagging)
+//!
+//! Generics are intentionally unsupported; the derive panics with a clear
+//! message if it meets them, at which point it should be extended.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// True if an attribute token group spells `serde(transparent)`.
+fn attr_is_transparent(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match (tokens.next(), tokens.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args))) => {
+            name.to_string() == "serde"
+                && args
+                    .stream()
+                    .into_iter()
+                    .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "transparent"))
+        }
+        _ => false,
+    }
+}
+
+/// Consumes leading `#[...]` attributes; returns whether any was
+/// `#[serde(transparent)]`.
+fn skip_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut transparent = false;
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                transparent |= attr_is_transparent(&g);
+            }
+            other => panic!("serde_derive: malformed attribute: {other:?}"),
+        }
+    }
+    transparent
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Splits a token stream at top-level commas, tracking `<...>` depth so
+/// commas inside generic arguments (e.g. `BTreeMap<String, u32>`) don't
+/// split. Empty segments (trailing commas) are dropped.
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut segments = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut prev_was_dash = false;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                // `->` never opens/closes a generic-argument list.
+                '>' if !prev_was_dash => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if !current.is_empty() {
+                        segments.push(std::mem::take(&mut current));
+                    }
+                    prev_was_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_was_dash = p.as_char() == '-';
+        } else {
+            prev_was_dash = false;
+        }
+        current.push(token);
+    }
+    if !current.is_empty() {
+        segments.push(current);
+    }
+    segments
+}
+
+/// Parses `name: Type` fields out of a brace-group's contents.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_commas(stream)
+        .into_iter()
+        .map(|segment| {
+            let mut tokens = segment.into_iter().peekable();
+            skip_attrs(&mut tokens);
+            skip_visibility(&mut tokens);
+            match tokens.next() {
+                Some(TokenTree::Ident(name)) => name.to_string(),
+                other => panic!("serde_derive: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_commas(stream)
+        .into_iter()
+        .map(|segment| {
+            let mut tokens = segment.into_iter().peekable();
+            skip_attrs(&mut tokens);
+            let name = match tokens.next() {
+                Some(TokenTree::Ident(name)) => name.to_string(),
+                other => panic!("serde_derive: expected variant name, got {other:?}"),
+            };
+            let shape = match tokens.next() {
+                None => Shape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(split_commas(g.stream()).len())
+                }
+                // `Variant = 3` style discriminants: still a unit variant.
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => Shape::Unit,
+                other => panic!("serde_derive: unexpected token in variant: {other:?}"),
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    let transparent = skip_attrs(&mut tokens);
+    skip_visibility(&mut tokens);
+
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(split_commas(g.stream()).len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Input {
+        name,
+        transparent,
+        kind,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            if input.transparent {
+                assert_eq!(
+                    fields.len(),
+                    1,
+                    "serde_derive: #[serde(transparent)] needs exactly one field"
+                );
+                let f = &fields[0];
+                format!("::serde::Serialize::to_value(&self.{f})")
+            } else {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+            }
+        }
+        Kind::TupleStruct(arity) => match arity {
+            0 => "::serde::Value::Null".to_string(),
+            1 => "::serde::Serialize::to_value(&self.0)".to_string(),
+            n => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+            }
+        },
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Shape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Map(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                        Shape::Tuple(arity) => {
+                            let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                 {inner})]),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_named_ctor(path: &str, fields: &[String], map_expr: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::__private::field({map_expr}, \"{f}\")?"))
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            if input.transparent {
+                let f = &fields[0];
+                format!(
+                    "::std::result::Result::Ok({name} {{ {f}: \
+                     ::serde::Deserialize::from_value(v)? }})"
+                )
+            } else {
+                let ctor = gen_named_ctor(name, fields, "m");
+                format!(
+                    "match v.as_map() {{\n\
+                     ::std::option::Option::Some(m) => ::std::result::Result::Ok({ctor}),\n\
+                     ::std::option::Option::None => \
+                     ::serde::__private::type_error(\"object for struct {name}\", v),\n\
+                     }}"
+                )
+            }
+        }
+        Kind::TupleStruct(arity) => match arity {
+            0 => format!("::std::result::Result::Ok({name}())"),
+            1 => format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"),
+            n => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "match v.as_seq() {{\n\
+                     ::std::option::Option::Some(items) if items.len() == {n} => \
+                     ::std::result::Result::Ok({name}({})),\n\
+                     _ => ::serde::__private::type_error(\
+                     \"array of length {n} for struct {name}\", v),\n\
+                     }}",
+                    items.join(", ")
+                )
+            }
+        },
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Named(fields) => {
+                            let ctor = gen_named_ctor(&format!("{name}::{vname}"), fields, "m");
+                            Some(format!(
+                                "\"{vname}\" => match inner.as_map() {{\n\
+                                 ::std::option::Option::Some(m) => \
+                                 ::std::result::Result::Ok({ctor}),\n\
+                                 ::std::option::Option::None => \
+                                 ::serde::__private::type_error(\
+                                 \"object for variant {name}::{vname}\", inner),\n\
+                                 }},"
+                            ))
+                        }
+                        Shape::Tuple(arity) => {
+                            if *arity == 1 {
+                                Some(format!(
+                                    "\"{vname}\" => ::std::result::Result::Ok(\
+                                     {name}::{vname}(\
+                                     ::serde::Deserialize::from_value(inner)?)),"
+                                ))
+                            } else {
+                                let items: Vec<String> = (0..*arity)
+                                    .map(|i| {
+                                        format!("::serde::Deserialize::from_value(&items[{i}])?")
+                                    })
+                                    .collect();
+                                Some(format!(
+                                    "\"{vname}\" => match inner.as_seq() {{\n\
+                                     ::std::option::Option::Some(items) \
+                                     if items.len() == {arity} => \
+                                     ::std::result::Result::Ok({name}::{vname}({})),\n\
+                                     _ => ::serde::__private::type_error(\
+                                     \"array of length {arity} for variant \
+                                     {name}::{vname}\", inner),\n\
+                                     }},",
+                                    items.join(", ")
+                                ))
+                            }
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit}\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{other}}` of enum {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                 {data}\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{other}}` of enum {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::serde::__private::type_error(\
+                 \"string or single-key object for enum {name}\", other),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
