@@ -1,0 +1,69 @@
+//! Criterion bench of the sweep engine's parallel scaling: scenario cells
+//! per second at 1 thread vs the machine's available parallelism, on a
+//! moderately heavy 24-cell campaign (the N-thread run should be >2×
+//! faster once per-cell simulation cost dominates queueing overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hpcqc_core::strategy::Strategy;
+use hpcqc_qpu::technology::Technology;
+use hpcqc_sched::scheduler::Policy;
+use hpcqc_sweep::{Executor, Grid, WorkloadSpec};
+
+/// 4 strategies × 3 policies × 2 technologies = 24 cells, each a loaded
+/// facility with enough background traffic that a cell costs milliseconds.
+fn campaign_grid() -> Grid {
+    Grid::builder()
+        .base_seed(42)
+        .strategies(Strategy::representative_set())
+        .policies(vec![
+            Policy::Fcfs,
+            Policy::EasyBackfill,
+            Policy::ConservativeBackfill,
+        ])
+        .node_counts(vec![32])
+        .technologies(vec![Technology::Superconducting, Technology::NeutralAtom])
+        .loads_per_hour(vec![8.0])
+        .workload(WorkloadSpec::LoadedFacility {
+            background: 120,
+            bg_nodes_lo: 2,
+            bg_nodes_hi: 12,
+            bg_mean_secs: 1_800.0,
+            hybrid_jobs: 6,
+            hybrid_nodes: 6,
+            iterations: 6,
+            classical_secs: 300,
+            shots: 1_000,
+            first_submit_secs: 600,
+            stagger_secs: 600,
+            hybrid_walltime_hours: 48,
+        })
+        .build()
+}
+
+fn bench_sweep_scaling(c: &mut Criterion) {
+    let grid = campaign_grid();
+    let cells = grid.len() as u64;
+    // Floor at 4 workers so the scaling point exists even on a 1-core CI
+    // box (where it measures pure queue overhead instead of speedup).
+    let parallelism = std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .max(4);
+
+    let mut group = c.benchmark_group("sweep_cells_per_sec");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cells));
+    group.bench_function("threads-1", |b| {
+        b.iter(|| Executor::new(1).run_sim(&grid).expect("sweep runs"));
+    });
+    group.bench_function(format!("threads-{parallelism}"), |b| {
+        b.iter(|| {
+            Executor::new(parallelism)
+                .run_sim(&grid)
+                .expect("sweep runs")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_scaling);
+criterion_main!(benches);

@@ -2,12 +2,16 @@
 //! paper and prints them as markdown.
 //!
 //! ```text
-//! repro [EXPERIMENTS…] [--quick] [--csv]
+//! repro [EXPERIMENTS…] [--quick] [--csv] [--threads N]
 //!
 //! EXPERIMENTS   e1 e2 e3 e4 e5 e6 e7, or `all` (default)
 //! --quick       small presets (seconds instead of minutes)
 //! --csv         emit CSV instead of markdown tables
+//! --threads N   sweep-executor workers (default: available parallelism)
 //! ```
+//!
+//! Unknown experiment names or flags are rejected with exit code 2 and a
+//! "did you mean" hint.
 
 use hpcqc_bench::experiments::{
     a1_policy, a2_walltime, a3_minnodes, e1_timescales, e2_coschedule, e3_workflow, e4_vqpu,
@@ -16,35 +20,86 @@ use hpcqc_bench::experiments::{
 use hpcqc_metrics::report::Table;
 use std::time::Instant;
 
+const EXPERIMENTS: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "a1", "a2", "a3", "all",
+];
+const FLAGS: [&str; 5] = ["--quick", "--csv", "--threads", "--help", "-h"];
+
 struct Options {
     experiments: Vec<String>,
     quick: bool,
     csv: bool,
+    /// Sweep-executor workers (0 = available parallelism).
+    threads: usize,
+}
+
+/// Levenshtein edit distance, for "did you mean" hints.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut current = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let substitution = prev[j] + usize::from(ca != cb);
+            current.push(substitution.min(prev[j + 1] + 1).min(current[j] + 1));
+        }
+        prev = current;
+    }
+    prev[b.len()]
+}
+
+/// The closest known experiment name or flag, if anything is plausibly
+/// close (distance ≤ 2, enough for a typo'd short name).
+fn did_you_mean(input: &str) -> Option<&'static str> {
+    EXPERIMENTS
+        .iter()
+        .chain(FLAGS.iter())
+        .map(|known| (edit_distance(input, known), *known))
+        .min()
+        .filter(|(distance, _)| *distance <= 2)
+        .map(|(_, known)| known)
+}
+
+fn reject_unknown(arg: &str) -> ! {
+    match did_you_mean(arg) {
+        Some(hint) => eprintln!("unknown argument `{arg}` — did you mean `{hint}`? (try --help)"),
+        None => eprintln!("unknown argument `{arg}` (try --help)"),
+    }
+    std::process::exit(2);
 }
 
 fn parse_args() -> Options {
     let mut experiments = Vec::new();
     let mut quick = false;
     let mut csv = false;
-    for arg in std::env::args().skip(1) {
+    let mut threads = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--csv" => csv = true,
+            "--threads" => {
+                threads = match args.next().map(|v| v.parse::<usize>()) {
+                    Some(Ok(n)) => n,
+                    _ => {
+                        eprintln!("--threads needs a numeric worker count (try --help)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [e1 e2 e3 e4 e5 e6 e7 | all] [--quick] [--csv]\n\n\
+                    "usage: repro [e1 e2 e3 e4 e5 e6 e7 | all] [--quick] [--csv] [--threads N]\n\n\
                      Regenerates the paper's figures/claims as tables.\n\
-                     Ablations: a1 (scheduler policy), a2 (walltime accuracy), a3 (malleable floor)."
+                     Ablations: a1 (scheduler policy), a2 (walltime accuracy), a3 (malleable floor).\n\
+                     --threads N routes grid experiments through the sweep executor's worker\n\
+                     pool (default: available parallelism). Output is identical at any N."
                 );
                 std::process::exit(0);
             }
-            e @ ("e1" | "e2" | "e3" | "e4" | "e5" | "e6" | "e7" | "a1" | "a2" | "a3" | "all") => {
-                experiments.push(e.to_string());
-            }
-            other => {
-                eprintln!("unknown argument `{other}` (try --help)");
-                std::process::exit(2);
-            }
+            e if EXPERIMENTS.contains(&e) => experiments.push(e.to_string()),
+            other => reject_unknown(other),
         }
     }
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
@@ -57,6 +112,7 @@ fn parse_args() -> Options {
         experiments,
         quick,
         csv,
+        threads,
     }
 }
 
@@ -98,11 +154,12 @@ fn main() {
                 );
             }
             "e2" => {
-                let cfg = if opts.quick {
+                let mut cfg = if opts.quick {
                     e2_coschedule::Config::quick()
                 } else {
                     e2_coschedule::Config::full()
                 };
+                cfg.threads = opts.threads;
                 let r = e2_coschedule::run(&cfg);
                 emit(
                     "E2 — Listing 1: exclusive co-scheduling waste by technology",
@@ -160,11 +217,12 @@ fn main() {
                 );
             }
             "e6" => {
-                let cfg = if opts.quick {
+                let mut cfg = if opts.quick {
                     e6_crossover::Config::quick()
                 } else {
                     e6_crossover::Config::full()
                 };
+                cfg.threads = opts.threads;
                 let r = e6_crossover::run(&cfg);
                 emit(
                     "E6 — §4: strategy crossover map",
@@ -174,11 +232,12 @@ fn main() {
                 );
             }
             "e7" => {
-                let cfg = if opts.quick {
+                let mut cfg = if opts.quick {
                     e7_access::Config::quick()
                 } else {
                     e7_access::Config::full()
                 };
+                cfg.threads = opts.threads;
                 let r = e7_access::run(&cfg);
                 emit(
                     "E7 — §3: access-model overhead per kernel",
@@ -188,11 +247,12 @@ fn main() {
                 );
             }
             "a1" => {
-                let cfg = if opts.quick {
+                let mut cfg = if opts.quick {
                     a1_policy::Config::quick()
                 } else {
                     a1_policy::Config::full()
                 };
+                cfg.threads = opts.threads;
                 let r = a1_policy::run(&cfg);
                 emit(
                     "A1 — ablation: scheduler policy × strategy",

@@ -6,16 +6,14 @@
 //! FCFS, EASY backfill and conservative backfill, for both the
 //! co-scheduling baseline and the workflow strategy (the strategy that
 //! touches the queue once per phase).
+//!
+//! The (policy × strategy) product runs on the [`hpcqc_sweep`] engine —
+//! one declarative grid, executed across threads.
 
-use crate::workloads::{background_jobs, vqe_job};
-use hpcqc_core::scenario::Scenario;
-use hpcqc_core::sim::FacilitySim;
 use hpcqc_core::strategy::Strategy;
 use hpcqc_metrics::report::{fmt_secs, Table};
-use hpcqc_qpu::technology::Technology;
 use hpcqc_sched::scheduler::Policy;
-use hpcqc_simcore::time::{SimDuration, SimTime};
-use hpcqc_workload::campaign::Workload;
+use hpcqc_sweep::{Executor, Grid, WorkloadSpec};
 
 /// A1 configuration.
 #[derive(Debug, Clone)]
@@ -30,6 +28,8 @@ pub struct Config {
     pub hybrid_jobs: u32,
     /// RNG seed.
     pub seed: u64,
+    /// Sweep worker threads (0 = available parallelism).
+    pub threads: usize,
 }
 
 impl Config {
@@ -41,6 +41,7 @@ impl Config {
             background_per_hour: 8.0,
             hybrid_jobs: 3,
             seed: 42,
+            threads: 0,
         }
     }
 
@@ -52,6 +53,7 @@ impl Config {
             background_per_hour: 8.0,
             hybrid_jobs: 4,
             seed: 42,
+            threads: 0,
         }
     }
 }
@@ -80,57 +82,62 @@ pub struct Result {
     pub table: Table,
 }
 
+const POLICIES: [Policy; 3] = [
+    Policy::Fcfs,
+    Policy::EasyBackfill,
+    Policy::ConservativeBackfill,
+];
+const STRATEGIES: [Strategy; 2] = [Strategy::CoSchedule, Strategy::Workflow];
+
 /// Runs A1.
 ///
 /// # Panics
 ///
 /// Panics if a simulation fails (self-consistent configuration).
 pub fn run(config: &Config) -> Result {
-    let mut jobs = background_jobs(
-        config.background,
-        4,
-        16,
-        1_800.0,
-        config.background_per_hour,
-        config.seed,
-    );
-    for i in 0..config.hybrid_jobs {
-        jobs.push(vqe_job(
-            &format!("hyb-{i}"),
-            4,
-            6,
-            180,
-            1_000,
-            SimTime::from_secs(1_200 + u64::from(i) * 600),
-            SimDuration::from_hours(24),
-        ));
-    }
-    let workload = Workload::from_jobs(jobs);
+    let grid = Grid::builder()
+        .base_seed(config.seed)
+        .strategies(STRATEGIES.to_vec())
+        .policies(POLICIES.to_vec())
+        .node_counts(vec![config.nodes])
+        .loads_per_hour(vec![config.background_per_hour])
+        .workload(WorkloadSpec::LoadedFacility {
+            background: config.background,
+            bg_nodes_lo: 4,
+            bg_nodes_hi: 16,
+            bg_mean_secs: 1_800.0,
+            hybrid_jobs: config.hybrid_jobs,
+            hybrid_nodes: 4,
+            iterations: 6,
+            classical_secs: 180,
+            shots: 1_000,
+            first_submit_secs: 1_200,
+            stagger_secs: 600,
+            hybrid_walltime_hours: 24,
+        })
+        .build();
+    let sweep = Executor::new(config.threads)
+        .run_sim(&grid)
+        .expect("A1 scenario is valid");
 
-    let mut rows = Vec::new();
-    for policy in [
-        Policy::Fcfs,
-        Policy::EasyBackfill,
-        Policy::ConservativeBackfill,
-    ] {
-        for strategy in [Strategy::CoSchedule, Strategy::Workflow] {
-            let scenario = Scenario::builder()
-                .classical_nodes(config.nodes)
-                .device(Technology::Superconducting)
-                .strategy(strategy)
-                .policy(policy)
-                .seed(config.seed)
-                .build();
-            let outcome = FacilitySim::run(&scenario, &workload).expect("A1 scenario is valid");
-            rows.push(Row {
+    // Keep the table in the historical (policy outer, strategy inner)
+    // reading order, independent of the grid's cell order.
+    let rows: Vec<Row> = POLICIES
+        .iter()
+        .flat_map(|&policy| STRATEGIES.iter().map(move |&strategy| (policy, strategy)))
+        .map(|(policy, strategy)| {
+            let cell = sweep
+                .find(|c| c.policy == policy && c.strategy == strategy)
+                .expect("grid covers the full product");
+            Row {
                 policy,
                 strategy,
-                mean_wait: outcome.stats.mean_wait_secs(),
-                hybrid_turnaround: outcome.stats.hybrid_only().mean_turnaround_secs(),
-                makespan: outcome.makespan.as_secs_f64(),
-            });
-        }
-    }
+                mean_wait: cell.outcome.stats.mean_wait_secs(),
+                hybrid_turnaround: cell.outcome.stats.hybrid_only().mean_turnaround_secs(),
+                makespan: cell.outcome.makespan.as_secs_f64(),
+            }
+        })
+        .collect();
 
     let mut table = Table::new(vec![
         "policy",
@@ -199,5 +206,14 @@ mod tests {
         for r in &result.rows {
             assert!(r.makespan > 0.0);
         }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_table() {
+        let mut single = Config::quick();
+        single.threads = 1;
+        let mut pooled = Config::quick();
+        pooled.threads = 4;
+        assert_eq!(run(&single).table.rows(), run(&pooled).table.rows());
     }
 }

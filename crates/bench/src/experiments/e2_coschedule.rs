@@ -7,15 +7,12 @@
 //! (> 30 min tasks) the classical nodes idle instead. The experiment runs
 //! the *same* hybrid loop on every technology under plain co-scheduling
 //! and reports each side's efficiency inside the allocation.
+//!
+//! The technology axis runs on the [`hpcqc_sweep`] engine.
 
-use crate::workloads::vqe_job;
-use hpcqc_core::scenario::Scenario;
-use hpcqc_core::sim::FacilitySim;
-use hpcqc_core::strategy::Strategy;
 use hpcqc_metrics::report::{fmt_pct, fmt_secs, Table};
 use hpcqc_qpu::technology::Technology;
-use hpcqc_simcore::time::{SimDuration, SimTime};
-use hpcqc_workload::campaign::Workload;
+use hpcqc_sweep::{Executor, Grid, WorkloadSpec};
 
 /// E2 configuration.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +28,8 @@ pub struct Config {
     pub shots: u32,
     /// RNG seed.
     pub seed: u64,
+    /// Sweep worker threads (0 = available parallelism).
+    pub threads: usize,
 }
 
 impl Config {
@@ -42,6 +41,7 @@ impl Config {
             classical_secs: 590,
             shots: 1_000,
             seed: 42,
+            threads: 0,
         }
     }
 
@@ -84,29 +84,29 @@ pub struct Result {
 /// Panics if the simulation fails (configuration is self-consistent, so
 /// this indicates a bug).
 pub fn run(config: &Config) -> Result {
-    let rows: Vec<Row> = Technology::ALL
+    let grid = Grid::builder()
+        .base_seed(config.seed)
+        .node_counts(vec![config.nodes])
+        .technologies(Technology::ALL.to_vec())
+        .workload(WorkloadSpec::Listing1 {
+            nodes: config.nodes,
+            iterations: config.iterations,
+            classical_secs: config.classical_secs,
+            shots: config.shots,
+            walltime_hours: 1,
+        })
+        .build();
+    let sweep = Executor::new(config.threads)
+        .run_sim(&grid)
+        .expect("E2 scenario is valid");
+
+    let rows: Vec<Row> = sweep
+        .results()
         .iter()
-        .map(|&tech| {
-            let scenario = Scenario::builder()
-                .classical_nodes(config.nodes)
-                .device(tech)
-                .strategy(Strategy::CoSchedule)
-                .seed(config.seed)
-                .build();
-            let job = vqe_job(
-                "listing1",
-                config.nodes,
-                config.iterations,
-                config.classical_secs,
-                config.shots,
-                SimTime::ZERO,
-                SimDuration::from_hours(1),
-            );
-            let workload = Workload::from_jobs(vec![job]);
-            let outcome = FacilitySim::run(&scenario, &workload).expect("E2 scenario is valid");
-            let record = &outcome.stats.records()[0];
+        .map(|result| {
+            let record = &result.outcome.stats.records()[0];
             Row {
-                technology: tech,
+                technology: result.cell.technology,
                 job_secs: record.runtime().as_secs_f64(),
                 qpu_efficiency: if record.qpu_seconds_allocated > 0.0 {
                     record.qpu_seconds_used / record.qpu_seconds_allocated
@@ -202,6 +202,7 @@ mod tests {
     fn waste_is_substantial_somewhere_for_every_technology() {
         // The paper's thesis: exclusive co-scheduling always wastes a side.
         let result = run(&Config::quick());
+        assert_eq!(result.rows.len(), Technology::ALL.len());
         for r in &result.rows {
             let min_eff = r.qpu_efficiency.min(r.node_efficiency);
             assert!(

@@ -3,18 +3,14 @@
 //! The paper proposes three strategies *because* no single one dominates:
 //! the winner depends on the quantum technology's time scale and the
 //! facility's queue pressure. The experiment sweeps the grid
-//! (technology × background load), runs all four strategies on each cell,
-//! and reports the winner by two criteria: combined machine utilization
-//! and hybrid-job turnaround.
+//! (technology × background load × strategy) on the [`hpcqc_sweep`]
+//! engine and reports the winner per (technology, load) cell by two
+//! criteria: combined machine utilization and hybrid-job turnaround.
 
-use crate::workloads::{background_jobs, vqe_job};
-use hpcqc_core::scenario::Scenario;
-use hpcqc_core::sim::FacilitySim;
 use hpcqc_core::strategy::Strategy;
 use hpcqc_metrics::report::Table;
 use hpcqc_qpu::technology::Technology;
-use hpcqc_simcore::time::{SimDuration, SimTime};
-use hpcqc_workload::campaign::Workload;
+use hpcqc_sweep::{Executor, Grid, WorkloadSpec};
 
 /// E6 configuration.
 #[derive(Debug, Clone)]
@@ -35,6 +31,8 @@ pub struct Config {
     pub background: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Sweep worker threads (0 = available parallelism).
+    pub threads: usize,
 }
 
 impl Config {
@@ -49,6 +47,7 @@ impl Config {
             classical_secs: 300,
             background: 12,
             seed: 42,
+            threads: 0,
         }
     }
 
@@ -68,6 +67,7 @@ impl Config {
             classical_secs: 300,
             background: 24,
             seed: 42,
+            threads: 0,
         }
     }
 }
@@ -102,43 +102,51 @@ pub struct Result {
 ///
 /// Panics if a simulation fails (self-consistent configuration).
 pub fn run(config: &Config) -> Result {
-    let strategies = [
-        Strategy::CoSchedule,
-        Strategy::Workflow,
-        Strategy::Vqpu { vqpus: 4 },
-        Strategy::Malleable { min_nodes: 1 },
-    ];
+    let strategies = Strategy::representative_set();
+    let grid = Grid::builder()
+        .base_seed(config.seed)
+        .strategies(strategies.clone())
+        .node_counts(vec![config.nodes])
+        .technologies(config.technologies.clone())
+        .loads_per_hour(config.loads_per_hour.clone())
+        .workload(WorkloadSpec::LoadedFacility {
+            background: config.background,
+            bg_nodes_lo: 2,
+            bg_nodes_hi: 8,
+            bg_mean_secs: 1_500.0,
+            hybrid_jobs: config.hybrid_jobs,
+            hybrid_nodes: 6,
+            iterations: config.iterations,
+            classical_secs: config.classical_secs,
+            shots: 1_000,
+            first_submit_secs: 600,
+            stagger_secs: 300,
+            hybrid_walltime_hours: 48,
+        })
+        .build();
+    let sweep = Executor::new(config.threads)
+        .run_sim(&grid)
+        .expect("E6 scenario is valid");
+
+    // Regroup the flat sweep into the paper's (technology × load) reading
+    // order, one entry per strategy.
     let mut cells = Vec::new();
     for &tech in &config.technologies {
         for &load in &config.loads_per_hour {
-            let mut jobs = background_jobs(config.background, 2, 8, 1_500.0, load, config.seed);
-            for i in 0..config.hybrid_jobs {
-                jobs.push(vqe_job(
-                    &format!("hyb-{i}"),
-                    6,
-                    config.iterations,
-                    config.classical_secs,
-                    1_000,
-                    SimTime::from_secs(600 + u64::from(i) * 300),
-                    SimDuration::from_hours(48),
-                ));
-            }
-            let workload = Workload::from_jobs(jobs);
             let entries: Vec<(Strategy, f64, f64)> = strategies
                 .iter()
                 .map(|&strategy| {
-                    let scenario = Scenario::builder()
-                        .classical_nodes(config.nodes)
-                        .device(tech)
-                        .strategy(strategy)
-                        .seed(config.seed)
-                        .build();
-                    let outcome =
-                        FacilitySim::run(&scenario, &workload).expect("E6 scenario is valid");
+                    let cell = sweep
+                        .find(|c| {
+                            c.technology == tech
+                                && c.load_per_hour == load
+                                && c.strategy == strategy
+                        })
+                        .expect("grid covers the full product");
                     (
                         strategy,
-                        outcome.combined_utilization(),
-                        outcome.stats.hybrid_only().mean_turnaround_secs(),
+                        cell.outcome.combined_utilization(),
+                        cell.outcome.stats.hybrid_only().mean_turnaround_secs(),
                     )
                 })
                 .collect();

@@ -7,11 +7,17 @@
 //! technology, the per-kernel overhead of cloud access (submit RTT +
 //! vendor queue + polling) against the kernel's own execution time, and
 //! the same for an integrated on-prem path.
+//!
+//! The Monte-Carlo cells are independent, so they run on the generic
+//! [`hpcqc_sweep::Executor`] (one cell per technology); each cell forks
+//! its RNG stream from the grid's base seed by technology name, so the
+//! numbers are independent of thread count and scheduling order.
 
 use hpcqc_metrics::report::{fmt_pct, fmt_secs, Table};
 use hpcqc_qpu::remote::AccessMode;
 use hpcqc_qpu::technology::Technology;
 use hpcqc_simcore::rng::SimRng;
+use hpcqc_sweep::{Executor, Grid};
 
 /// E7 configuration.
 #[derive(Debug, Clone, Copy)]
@@ -22,6 +28,8 @@ pub struct Config {
     pub samples: u32,
     /// RNG seed.
     pub seed: u64,
+    /// Sweep worker threads (0 = available parallelism).
+    pub threads: usize,
 }
 
 impl Config {
@@ -31,6 +39,7 @@ impl Config {
             shots: 1_000,
             samples: 300,
             seed: 42,
+            threads: 0,
         }
     }
 
@@ -40,6 +49,7 @@ impl Config {
             shots: 1_000,
             samples: 5_000,
             seed: 42,
+            threads: 0,
         }
     }
 }
@@ -70,33 +80,36 @@ pub struct Result {
 
 /// Runs E7.
 pub fn run(config: &Config) -> Result {
-    let root = SimRng::seed_from(config.seed);
-    let rows: Vec<Row> = Technology::ALL
-        .iter()
-        .map(|&tech| {
-            let mut rng = root.fork(tech.name());
-            let timing = tech.timing();
-            let integrated = AccessMode::integrated();
-            let cloud = AccessMode::cloud(tech);
-            let n = config.samples;
-            let (mut k_sum, mut i_sum, mut c_sum) = (0.0, 0.0, 0.0);
-            for _ in 0..n {
-                k_sum += timing.sample_job_secs(config.shots, &mut rng);
-                i_sum += integrated.sample_overhead(&mut rng).as_secs_f64();
-                c_sum += cloud.sample_overhead(&mut rng).as_secs_f64();
-            }
-            let kernel_secs = k_sum / f64::from(n);
-            let integrated_overhead = i_sum / f64::from(n);
-            let cloud_overhead = c_sum / f64::from(n);
-            Row {
-                technology: tech,
-                kernel_secs,
-                integrated_overhead,
-                cloud_overhead,
-                cloud_overhead_share: cloud_overhead / (cloud_overhead + kernel_secs),
-            }
-        })
-        .collect();
+    let grid = Grid::builder()
+        .base_seed(config.seed)
+        .technologies(Technology::ALL.to_vec())
+        .build();
+    let rows = Executor::new(config.threads).run_cells(&grid, |cell| {
+        let tech = cell.technology;
+        // Fork by technology name from the root seed — the exact stream a
+        // serial loop over `Technology::ALL` would use.
+        let mut rng = SimRng::seed_from(config.seed).fork(tech.name());
+        let timing = tech.timing();
+        let integrated = AccessMode::integrated();
+        let cloud = AccessMode::cloud(tech);
+        let n = config.samples;
+        let (mut k_sum, mut i_sum, mut c_sum) = (0.0, 0.0, 0.0);
+        for _ in 0..n {
+            k_sum += timing.sample_job_secs(config.shots, &mut rng);
+            i_sum += integrated.sample_overhead(&mut rng).as_secs_f64();
+            c_sum += cloud.sample_overhead(&mut rng).as_secs_f64();
+        }
+        let kernel_secs = k_sum / f64::from(n);
+        let integrated_overhead = i_sum / f64::from(n);
+        let cloud_overhead = c_sum / f64::from(n);
+        Row {
+            technology: tech,
+            kernel_secs,
+            integrated_overhead,
+            cloud_overhead,
+            cloud_overhead_share: cloud_overhead / (cloud_overhead + kernel_secs),
+        }
+    });
 
     let mut table = Table::new(vec![
         "technology",
@@ -165,5 +178,14 @@ mod tests {
         let a = run(&Config::quick());
         let b = run(&Config::quick());
         assert_eq!(a.table.rows(), b.table.rows());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_table() {
+        let mut single = Config::quick();
+        single.threads = 1;
+        let mut pooled = Config::quick();
+        pooled.threads = 4;
+        assert_eq!(run(&single).table.rows(), run(&pooled).table.rows());
     }
 }

@@ -1,142 +1,11 @@
 //! Shared workload constructors for the experiments.
 //!
-//! Experiment workloads are built from *deterministic* phase structures
-//! (constant classical durations) so that sweeps vary exactly one thing at
-//! a time; stochastic elements (device timing, arrivals of background
-//! jobs) stay seeded.
+//! The constructors themselves live in [`hpcqc_sweep::spec`] (the sweep
+//! engine materializes the same shapes from declarative
+//! [`hpcqc_sweep::WorkloadSpec`]s); this module re-exports them so the
+//! experiments keep one import path. Workloads are built from
+//! *deterministic* phase structures (constant classical durations) so
+//! sweeps vary exactly one thing at a time; stochastic elements (device
+//! timing, arrivals of background jobs) stay seeded.
 
-use hpcqc_qpu::kernel::Kernel;
-use hpcqc_simcore::dist::Dist;
-use hpcqc_simcore::rng::SimRng;
-use hpcqc_simcore::time::{SimDuration, SimTime};
-use hpcqc_workload::arrival::ArrivalProcess;
-use hpcqc_workload::job::{JobSpec, Phase};
-
-/// A deterministic VQE-style hybrid job:
-/// `iters × (classical_secs of classical work → one kernel of `shots`)`.
-pub fn vqe_job(
-    name: &str,
-    nodes: u32,
-    iters: u32,
-    classical_secs: u64,
-    shots: u32,
-    submit: SimTime,
-    walltime: SimDuration,
-) -> JobSpec {
-    let kernel = Kernel::builder(format!("{name}-k"))
-        .qubits(12)
-        .depth(64)
-        .shots(shots)
-        .build()
-        .expect("valid kernel");
-    let mut phases = Vec::with_capacity(2 * iters as usize);
-    for _ in 0..iters {
-        phases.push(Phase::Classical(SimDuration::from_secs(classical_secs)));
-        phases.push(Phase::Quantum(kernel.clone()));
-    }
-    JobSpec::builder(name)
-        .nodes(nodes)
-        .submit(submit)
-        .walltime(walltime)
-        .phases(phases)
-        .build()
-}
-
-/// Poisson-arriving classical background jobs that keep a facility busy:
-/// `count` jobs, log-normal runtimes around `mean_secs`, `nodes_lo..=nodes_hi`
-/// nodes each, arriving at `per_hour`.
-pub fn background_jobs(
-    count: usize,
-    nodes_lo: u32,
-    nodes_hi: u32,
-    mean_secs: f64,
-    per_hour: f64,
-    seed: u64,
-) -> Vec<JobSpec> {
-    let root = SimRng::seed_from(seed);
-    let mut arrival_rng = root.fork("bg-arrivals");
-    let arrivals =
-        ArrivalProcess::poisson_per_hour(per_hour).generate(count, SimTime::ZERO, &mut arrival_rng);
-    let runtime = Dist::log_normal_mean_cv(mean_secs, 0.8).clamped(60.0, mean_secs * 6.0);
-    arrivals
-        .into_iter()
-        .enumerate()
-        .map(|(i, submit)| {
-            let mut rng = root.fork_indexed("bg-job", i as u64);
-            let nodes = nodes_lo + rng.below(u64::from(nodes_hi - nodes_lo + 1)) as u32;
-            let secs = runtime.sample_duration(&mut rng);
-            JobSpec::builder(format!("bg-{i}"))
-                .user(format!("bg-user-{}", i % 4))
-                .nodes(nodes)
-                .submit(submit)
-                .walltime((secs * 2).max_of(SimDuration::from_mins(10)))
-                .phases(vec![Phase::Classical(secs)])
-                .build()
-        })
-        .collect()
-}
-
-/// `count` identical hybrid tenants (VQE loops) arriving together at t=0 —
-/// the Fig. 3 multitenancy drop.
-pub fn tenant_jobs(
-    count: u32,
-    nodes: u32,
-    iters: u32,
-    classical_secs: u64,
-    shots: u32,
-) -> Vec<JobSpec> {
-    (0..count)
-        .map(|i| {
-            vqe_job(
-                &format!("tenant-{i}"),
-                nodes,
-                iters,
-                classical_secs,
-                shots,
-                SimTime::ZERO,
-                SimDuration::from_hours(12),
-            )
-        })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn vqe_job_shape() {
-        let j = vqe_job(
-            "v",
-            4,
-            5,
-            60,
-            1_000,
-            SimTime::ZERO,
-            SimDuration::from_hours(1),
-        );
-        assert_eq!(j.quantum_phase_count(), 5);
-        assert_eq!(j.total_classical(), SimDuration::from_secs(300));
-        assert_eq!(j.qpu_count(), 1);
-    }
-
-    #[test]
-    fn background_jobs_deterministic_and_bounded() {
-        let a = background_jobs(50, 2, 8, 1_800.0, 20.0, 9);
-        let b = background_jobs(50, 2, 8, 1_800.0, 20.0, 9);
-        assert_eq!(a, b);
-        for j in &a {
-            assert!((2..=8).contains(&j.nodes()));
-            assert!(j.total_classical() >= SimDuration::from_secs(60));
-            assert!(!j.is_hybrid());
-        }
-    }
-
-    #[test]
-    fn tenants_arrive_together() {
-        let t = tenant_jobs(4, 2, 3, 30, 500);
-        assert_eq!(t.len(), 4);
-        assert!(t.iter().all(|j| j.submit() == SimTime::ZERO));
-        assert!(t.iter().all(|j| j.is_hybrid()));
-    }
-}
+pub use hpcqc_sweep::spec::{background_jobs, tenant_jobs, vqe_job};

@@ -6,6 +6,7 @@ use hpcqc_qpu::technology::Technology;
 use hpcqc_sched::scheduler::Policy;
 use hpcqc_simcore::time::SimDuration;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// How requested walltimes are enforced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -21,6 +22,16 @@ pub enum WalltimePolicy {
         /// Automatic requeues granted before the job is recorded failed.
         max_requeues: u32,
     },
+}
+
+impl fmt::Display for WalltimePolicy {
+    /// Short label used in sweep tables: `advisory` / `kill(n)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalltimePolicy::Advisory => f.write_str("advisory"),
+            WalltimePolicy::Kill { max_requeues } => write!(f, "kill({max_requeues})"),
+        }
+    }
 }
 
 /// Random node failures (failure injection for resilience experiments).
@@ -245,6 +256,15 @@ mod tests {
         assert_eq!(s.devices.len(), 2);
         assert_eq!(s.seed, 99);
         assert!(s.device_calibration);
+    }
+
+    #[test]
+    fn walltime_policy_display() {
+        assert_eq!(WalltimePolicy::Advisory.to_string(), "advisory");
+        assert_eq!(
+            WalltimePolicy::Kill { max_requeues: 2 }.to_string(),
+            "kill(2)"
+        );
     }
 
     #[test]

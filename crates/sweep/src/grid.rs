@@ -1,0 +1,565 @@
+//! The declarative parameter grid: a cartesian product of scenario axes.
+//!
+//! A [`Grid`] is the paper's experimental method as data: one seeded
+//! workload replayed across every combination of strategy, policy, machine
+//! size, quantum technology, access mode, walltime enforcement and arrival
+//! load, replicated over `replicas` seeds. Grids serialize to JSON so a
+//! whole campaign is a reviewable file (see `examples/grids/`).
+//!
+//! ## Cell order and seeding
+//!
+//! Cells are numbered row-major with the axes nested in declaration order
+//! (strategies slowest, replicas fastest):
+//!
+//! ```text
+//! index = ((((((strategy · P + policy) · N + nodes) · T + tech) · A + access)
+//!           · W + walltime) · L + load) · R + replica
+//! ```
+//!
+//! Two seeds are derived per cell, both purely from `(base_seed, indices)`
+//! so they are identical at any thread count:
+//!
+//! * [`Cell::replica_seed`] — `base_seed + replica`. Shared by every cell
+//!   of the same replica, so all points being *compared* (strategies,
+//!   policies, …) replay the identical workload: the common-random-numbers
+//!   discipline the paper's comparisons rely on. Replica 0 uses `base_seed`
+//!   itself, so a single-replica sweep reproduces a hand-rolled run.
+//! * [`Cell::cell_seed`] — an injective hash of `(base_seed, index)` for
+//!   cell-local randomness that must not collide between cells.
+
+use crate::spec::WorkloadSpec;
+use hpcqc_core::scenario::{Scenario, WalltimePolicy};
+use hpcqc_core::strategy::Strategy;
+use hpcqc_qpu::remote::AccessMode;
+use hpcqc_qpu::technology::Technology;
+use hpcqc_sched::scheduler::Policy;
+use hpcqc_simcore::rng::SimRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Symbolic access-model axis value.
+///
+/// The concrete [`AccessMode`] depends on the cell's technology (cloud
+/// profiles are per-technology), so the grid stores the *kind* of access
+/// path and resolves it per cell via [`AccessSpec::to_mode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum AccessSpec {
+    /// No access-model overhead (the simulator's negligible on-prem path).
+    #[default]
+    OnPrem,
+    /// Integrated on-prem RPC path (~200 µs submit latency).
+    Integrated,
+    /// Vendor-cloud REST path (submit RTT + vendor queue + polling).
+    Cloud,
+}
+
+impl AccessSpec {
+    /// Resolves the symbolic axis value to a concrete access mode for the
+    /// given technology (`None` = no modelled overhead).
+    pub fn to_mode(self, technology: Technology) -> Option<AccessMode> {
+        match self {
+            AccessSpec::OnPrem => None,
+            AccessSpec::Integrated => Some(AccessMode::integrated()),
+            AccessSpec::Cloud => Some(AccessMode::cloud(technology)),
+        }
+    }
+
+    /// Short label for report tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessSpec::OnPrem => "on-prem",
+            AccessSpec::Integrated => "integrated",
+            AccessSpec::Cloud => "cloud",
+        }
+    }
+}
+
+impl fmt::Display for AccessSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Formats a walltime policy for table cells (`advisory` / `kill(n)`).
+pub fn fmt_walltime(policy: WalltimePolicy) -> String {
+    policy.to_string()
+}
+
+/// A declarative cartesian product of scenario axes plus the workload
+/// they all replay.
+///
+/// Build one with [`Grid::builder`] or deserialize one from JSON. Every
+/// axis must be non-empty (the builder and [`Grid::validate`] enforce it).
+///
+/// # Examples
+///
+/// ```
+/// use hpcqc_sweep::Grid;
+/// use hpcqc_core::Strategy;
+/// use hpcqc_sched::Policy;
+///
+/// let grid = Grid::builder()
+///     .strategies(Strategy::representative_set())
+///     .policies(vec![Policy::Fcfs, Policy::EasyBackfill])
+///     .loads_per_hour(vec![3.0, 9.0])
+///     .base_seed(42)
+///     .build();
+/// assert_eq!(grid.len(), 4 * 2 * 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    /// Root seed; replica `r` runs at seed `base_seed + r`.
+    pub base_seed: u64,
+    /// Replications per parameter combination (≥ 1).
+    pub replicas: u32,
+    /// Integration-strategy axis.
+    pub strategies: Vec<Strategy>,
+    /// Batch-scheduler policy axis.
+    pub policies: Vec<Policy>,
+    /// Classical partition-size axis.
+    pub node_counts: Vec<u32>,
+    /// Quantum-technology axis (one device per cell).
+    pub technologies: Vec<Technology>,
+    /// Access-model axis.
+    pub access: Vec<AccessSpec>,
+    /// Walltime-enforcement axis.
+    pub walltime: Vec<WalltimePolicy>,
+    /// Background arrival-load axis (jobs per hour fed to the workload).
+    pub loads_per_hour: Vec<f64>,
+    /// The workload every cell replays.
+    pub workload: WorkloadSpec,
+}
+
+impl Grid {
+    /// Starts building a grid (single-cell defaults: co-scheduling, EASY
+    /// backfill, 16 nodes, superconducting, on-prem, advisory walltimes,
+    /// one replica of the Listing-1 workload).
+    pub fn builder() -> GridBuilder {
+        GridBuilder {
+            inner: Grid::default(),
+        }
+    }
+
+    /// Number of cells: the product of all axis lengths times `replicas`.
+    #[allow(clippy::len_without_is_empty)] // a valid grid is never empty
+    pub fn len(&self) -> usize {
+        self.axis_lengths().iter().product()
+    }
+
+    fn axis_lengths(&self) -> [usize; 8] {
+        [
+            self.strategies.len(),
+            self.policies.len(),
+            self.node_counts.len(),
+            self.technologies.len(),
+            self.access.len(),
+            self.walltime.len(),
+            self.loads_per_hour.len(),
+            self.replicas as usize,
+        ]
+    }
+
+    /// Checks a (possibly deserialized) grid for empty axes or an
+    /// overflowing cell count.
+    pub fn validate(&self) -> Result<(), String> {
+        let names = [
+            "strategies",
+            "policies",
+            "node_counts",
+            "technologies",
+            "access",
+            "walltime",
+            "loads_per_hour",
+            "replicas",
+        ];
+        let mut cells = 1usize;
+        for (len, name) in self.axis_lengths().iter().zip(names) {
+            if *len == 0 {
+                return Err(format!("grid axis `{name}` is empty"));
+            }
+            cells = cells
+                .checked_mul(*len)
+                .ok_or_else(|| "grid cell count overflows usize".to_string())?;
+        }
+        if self.node_counts.contains(&0) {
+            return Err("grid axis `node_counts` contains 0 nodes".to_string());
+        }
+        if self
+            .loads_per_hour
+            .iter()
+            .any(|l| !l.is_finite() || *l < 0.0)
+        {
+            return Err(
+                "grid axis `loads_per_hour` contains a negative or non-finite rate".to_string(),
+            );
+        }
+        // A loaded facility draws Poisson arrivals at the cell's load, and
+        // a zero rate would assert deep inside a worker thread — reject it
+        // here so the caller gets a graceful error instead of an abort.
+        if matches!(self.workload, WorkloadSpec::LoadedFacility { .. })
+            && self.loads_per_hour.contains(&0.0)
+        {
+            return Err(
+                "grid axis `loads_per_hour` must be positive for a LoadedFacility workload"
+                    .to_string(),
+            );
+        }
+        Ok(())
+    }
+
+    /// The cell at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn cell(&self, index: usize) -> Cell {
+        assert!(index < self.len(), "cell index {index} out of range");
+        let mut rest = index;
+        let [_, p, n, t, a, w, l, r] = self.axis_lengths();
+        let replica = (rest % r) as u32;
+        rest /= r;
+        let load = rest % l;
+        rest /= l;
+        let wt = rest % w;
+        rest /= w;
+        let ac = rest % a;
+        rest /= a;
+        let tech = rest % t;
+        rest /= t;
+        let nodes = rest % n;
+        rest /= n;
+        let policy = rest % p;
+        rest /= p;
+        let strategy = rest;
+        Cell {
+            index,
+            strategy: self.strategies[strategy],
+            policy: self.policies[policy],
+            nodes: self.node_counts[nodes],
+            technology: self.technologies[tech],
+            access: self.access[ac],
+            walltime: self.walltime[wt],
+            load_per_hour: self.loads_per_hour[load],
+            replica,
+            replica_seed: replica_seed(self.base_seed, replica),
+            cell_seed: cell_seed(self.base_seed, index),
+        }
+    }
+
+    /// Iterates all cells in index order.
+    pub fn cells(&self) -> impl Iterator<Item = Cell> + '_ {
+        (0..self.len()).map(|i| self.cell(i))
+    }
+}
+
+impl Default for Grid {
+    fn default() -> Self {
+        Grid {
+            base_seed: 1,
+            replicas: 1,
+            strategies: vec![Strategy::CoSchedule],
+            policies: vec![Policy::EasyBackfill],
+            node_counts: vec![16],
+            technologies: vec![Technology::Superconducting],
+            access: vec![AccessSpec::OnPrem],
+            walltime: vec![WalltimePolicy::Advisory],
+            loads_per_hour: vec![0.0],
+            workload: WorkloadSpec::default(),
+        }
+    }
+}
+
+/// The workload seed for replica `r`: `base_seed + r`, so replica 0
+/// reproduces a hand-rolled single run at `base_seed` exactly.
+pub fn replica_seed(base_seed: u64, replica: u32) -> u64 {
+    base_seed.wrapping_add(u64::from(replica))
+}
+
+/// A unique per-cell seed, injective in `index` for a fixed `base_seed`
+/// (the underlying SplitMix64 finalizer is a bijection on `u64`).
+pub fn cell_seed(base_seed: u64, index: usize) -> u64 {
+    SimRng::seed_from(base_seed)
+        .fork_indexed("sweep-cell", index as u64)
+        .seed()
+}
+
+/// One point of the grid: concrete values for every axis plus its seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Position in the grid's row-major cell order.
+    pub index: usize,
+    /// Integration strategy.
+    pub strategy: Strategy,
+    /// Scheduler policy.
+    pub policy: Policy,
+    /// Classical partition size.
+    pub nodes: u32,
+    /// Quantum technology (one device).
+    pub technology: Technology,
+    /// Access-model axis value.
+    pub access: AccessSpec,
+    /// Walltime-enforcement axis value.
+    pub walltime: WalltimePolicy,
+    /// Background arrival load, jobs per hour.
+    pub load_per_hour: f64,
+    /// Replica number within the parameter combination.
+    pub replica: u32,
+    /// Common-random-numbers seed shared across this replica's cells.
+    pub replica_seed: u64,
+    /// Injective per-cell seed for cell-local randomness.
+    pub cell_seed: u64,
+}
+
+impl Cell {
+    /// Builds the scenario this cell simulates (workload comes from the
+    /// grid's [`WorkloadSpec`]).
+    pub fn scenario(&self) -> Scenario {
+        let mut builder = Scenario::builder()
+            .classical_nodes(self.nodes)
+            .device(self.technology)
+            .policy(self.policy)
+            .strategy(self.strategy)
+            .walltime_policy(self.walltime)
+            .seed(self.replica_seed);
+        if let Some(mode) = self.access.to_mode(self.technology) {
+            builder = builder.access(mode);
+        }
+        builder.build()
+    }
+}
+
+/// Builder for [`Grid`].
+#[derive(Debug, Clone, Default)]
+pub struct GridBuilder {
+    inner: Grid,
+}
+
+impl GridBuilder {
+    /// Sets the root seed.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.inner.base_seed = seed;
+        self
+    }
+
+    /// Sets the replication count (clamped to ≥ 1).
+    pub fn replicas(mut self, replicas: u32) -> Self {
+        self.inner.replicas = replicas.max(1);
+        self
+    }
+
+    /// Sets the strategy axis.
+    pub fn strategies(mut self, strategies: Vec<Strategy>) -> Self {
+        self.inner.strategies = strategies;
+        self
+    }
+
+    /// Sets the policy axis.
+    pub fn policies(mut self, policies: Vec<Policy>) -> Self {
+        self.inner.policies = policies;
+        self
+    }
+
+    /// Sets the node-count axis.
+    pub fn node_counts(mut self, node_counts: Vec<u32>) -> Self {
+        self.inner.node_counts = node_counts;
+        self
+    }
+
+    /// Sets the technology axis.
+    pub fn technologies(mut self, technologies: Vec<Technology>) -> Self {
+        self.inner.technologies = technologies;
+        self
+    }
+
+    /// Sets the access-model axis.
+    pub fn access(mut self, access: Vec<AccessSpec>) -> Self {
+        self.inner.access = access;
+        self
+    }
+
+    /// Sets the walltime-enforcement axis.
+    pub fn walltime(mut self, walltime: Vec<WalltimePolicy>) -> Self {
+        self.inner.walltime = walltime;
+        self
+    }
+
+    /// Sets the arrival-load axis.
+    pub fn loads_per_hour(mut self, loads: Vec<f64>) -> Self {
+        self.inner.loads_per_hour = loads;
+        self
+    }
+
+    /// Sets the workload specification.
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.inner.workload = workload;
+        self
+    }
+
+    /// Finalizes the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis is empty (see [`Grid::validate`]).
+    pub fn build(self) -> Grid {
+        if let Err(e) = self.inner.validate() {
+            panic!("invalid grid: {e}");
+        }
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_is_one_cell() {
+        let g = Grid::default();
+        assert_eq!(g.len(), 1);
+        let c = g.cell(0);
+        assert_eq!(c.index, 0);
+        assert_eq!(c.replica_seed, g.base_seed);
+    }
+
+    #[test]
+    fn len_is_axis_product() {
+        let g = Grid::builder()
+            .strategies(Strategy::representative_set())
+            .policies(vec![Policy::Fcfs, Policy::EasyBackfill])
+            .technologies(vec![Technology::Superconducting, Technology::NeutralAtom])
+            .loads_per_hour(vec![3.0, 6.0, 9.0])
+            .replicas(2)
+            .build();
+        assert_eq!(g.len(), 4 * 2 * 2 * 3 * 2);
+    }
+
+    #[test]
+    fn cell_order_replica_fastest_strategy_slowest() {
+        let g = Grid::builder()
+            .strategies(vec![Strategy::CoSchedule, Strategy::Workflow])
+            .replicas(2)
+            .build();
+        assert_eq!(g.cell(0).replica, 0);
+        assert_eq!(g.cell(1).replica, 1);
+        assert_eq!(g.cell(0).strategy, Strategy::CoSchedule);
+        assert_eq!(g.cell(2).strategy, Strategy::Workflow);
+    }
+
+    #[test]
+    fn replica_zero_seed_is_base_seed() {
+        assert_eq!(replica_seed(42, 0), 42);
+        assert_eq!(replica_seed(42, 3), 45);
+    }
+
+    #[test]
+    fn cell_seeds_unique_within_grid() {
+        let g = Grid::builder()
+            .strategies(Strategy::representative_set())
+            .policies(vec![
+                Policy::Fcfs,
+                Policy::EasyBackfill,
+                Policy::ConservativeBackfill,
+            ])
+            .replicas(4)
+            .build();
+        let seeds: std::collections::HashSet<u64> = g.cells().map(|c| c.cell_seed).collect();
+        assert_eq!(seeds.len(), g.len());
+    }
+
+    #[test]
+    fn scenario_reflects_cell() {
+        let g = Grid::builder()
+            .node_counts(vec![64])
+            .technologies(vec![Technology::TrappedIon])
+            .access(vec![AccessSpec::Cloud])
+            .walltime(vec![WalltimePolicy::Kill { max_requeues: 1 }])
+            .build();
+        let s = g.cell(0).scenario();
+        assert_eq!(s.classical_nodes, 64);
+        assert_eq!(s.devices, vec![Technology::TrappedIon]);
+        assert!(s.access.is_some());
+        assert_eq!(s.walltime_policy, WalltimePolicy::Kill { max_requeues: 1 });
+    }
+
+    #[test]
+    fn validate_rejects_empty_axis() {
+        let g = Grid {
+            policies: vec![],
+            ..Grid::default()
+        };
+        assert!(g.validate().unwrap_err().contains("policies"));
+        let g = Grid {
+            node_counts: vec![0],
+            ..Grid::default()
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_loads() {
+        // Zero load is fine for Listing1 (the axis is unused there)…
+        let g = Grid {
+            loads_per_hour: vec![0.0],
+            ..Grid::default()
+        };
+        assert!(g.validate().is_ok());
+        // …but not for a loaded facility, whose Poisson arrivals need a
+        // positive rate.
+        let loaded = WorkloadSpec::LoadedFacility {
+            background: 4,
+            bg_nodes_lo: 2,
+            bg_nodes_hi: 4,
+            bg_mean_secs: 600.0,
+            hybrid_jobs: 1,
+            hybrid_nodes: 2,
+            iterations: 2,
+            classical_secs: 60,
+            shots: 100,
+            first_submit_secs: 0,
+            stagger_secs: 60,
+            hybrid_walltime_hours: 8,
+        };
+        let g = Grid {
+            loads_per_hour: vec![0.0],
+            workload: loaded.clone(),
+            ..Grid::default()
+        };
+        assert!(g.validate().unwrap_err().contains("positive"));
+        let g = Grid {
+            loads_per_hour: vec![4.0, f64::NAN],
+            workload: loaded,
+            ..Grid::default()
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid grid")]
+    fn builder_rejects_empty_axis() {
+        let _ = Grid::builder().strategies(vec![]).build();
+    }
+
+    #[test]
+    fn access_spec_resolution() {
+        assert!(AccessSpec::OnPrem
+            .to_mode(Technology::Superconducting)
+            .is_none());
+        assert!(matches!(
+            AccessSpec::Integrated.to_mode(Technology::Superconducting),
+            Some(AccessMode::Integrated { .. })
+        ));
+        assert!(matches!(
+            AccessSpec::Cloud.to_mode(Technology::NeutralAtom),
+            Some(AccessMode::Cloud(_))
+        ));
+    }
+
+    #[test]
+    fn walltime_formatting() {
+        assert_eq!(fmt_walltime(WalltimePolicy::Advisory), "advisory");
+        assert_eq!(
+            fmt_walltime(WalltimePolicy::Kill { max_requeues: 2 }),
+            "kill(2)"
+        );
+    }
+}

@@ -1,0 +1,347 @@
+//! Sweep aggregation: per-cell outcome rows, group-by reductions over
+//! replicas, and CSV/JSON/markdown emitters built on
+//! [`hpcqc_metrics::report::Table`].
+
+use crate::grid::{fmt_walltime, Cell};
+use hpcqc_core::outcome::Outcome;
+use hpcqc_metrics::report::Table;
+use serde::{Deserialize, Serialize};
+
+/// One simulated grid cell: its parameters and the full outcome.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The grid point.
+    pub cell: Cell,
+    /// Everything the facility simulation produced.
+    pub outcome: Outcome,
+}
+
+/// The flat metric row emitted per cell (what lands in CSV/JSON).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellRow {
+    /// Cell index in grid order.
+    pub index: usize,
+    /// Strategy label.
+    pub strategy: String,
+    /// Policy label.
+    pub policy: String,
+    /// Classical nodes.
+    pub nodes: u32,
+    /// Technology label.
+    pub technology: String,
+    /// Access-model label.
+    pub access: String,
+    /// Walltime-policy label.
+    pub walltime: String,
+    /// Background load, jobs per hour.
+    pub load_per_hour: f64,
+    /// Replica number.
+    pub replica: u32,
+    /// The replica's common-random-numbers seed.
+    pub seed: u64,
+    /// Campaign makespan, seconds.
+    pub makespan_secs: f64,
+    /// Mean queue wait over all jobs, seconds.
+    pub mean_wait_secs: f64,
+    /// Mean hybrid-job turnaround, seconds.
+    pub hybrid_turnaround_secs: f64,
+    /// Mean of classical used-fraction and QPU utilization.
+    pub combined_utilization: f64,
+    /// Mean physical-QPU busy fraction.
+    pub qpu_utilization: f64,
+    /// Allocated-but-idle classical node-hours.
+    pub node_hours_wasted: f64,
+    /// Jobs recorded failed.
+    pub failed: u64,
+}
+
+impl CellRow {
+    fn from_result(result: &CellResult) -> Self {
+        let cell = &result.cell;
+        let outcome = &result.outcome;
+        CellRow {
+            index: cell.index,
+            strategy: cell.strategy.to_string(),
+            policy: cell.policy.to_string(),
+            nodes: cell.nodes,
+            technology: cell.technology.name().to_string(),
+            access: cell.access.name().to_string(),
+            walltime: fmt_walltime(cell.walltime),
+            load_per_hour: cell.load_per_hour,
+            replica: cell.replica,
+            seed: cell.replica_seed,
+            makespan_secs: outcome.makespan.as_secs_f64(),
+            mean_wait_secs: outcome.stats.mean_wait_secs(),
+            hybrid_turnaround_secs: outcome.stats.hybrid_only().mean_turnaround_secs(),
+            combined_utilization: outcome.combined_utilization(),
+            qpu_utilization: outcome.mean_device_utilization(),
+            node_hours_wasted: outcome.stats.total_node_hours_wasted(),
+            failed: outcome.stats.failed_count() as u64,
+        }
+    }
+
+    /// The group-by key: every axis except the replica.
+    fn group_key(&self) -> (String, String, u32, String, String, String, String) {
+        (
+            self.strategy.clone(),
+            self.policy.clone(),
+            self.nodes,
+            self.technology.clone(),
+            self.access.clone(),
+            self.walltime.clone(),
+            // f64 is not Ord/Hash; the label form is exact enough for a key.
+            fmt_f64(self.load_per_hour),
+        )
+    }
+}
+
+/// Formats an f64 with enough digits to round-trip, no trailing noise.
+fn fmt_f64(value: f64) -> String {
+    // `{}` on f64 prints the shortest representation that round-trips.
+    format!("{value}")
+}
+
+/// Nearest-rank p95 of a non-empty slice (copies + sorts internally).
+fn p95(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((0.95 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn mean(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Everything a sweep produced, with emitters.
+///
+/// Per-cell rows come out of [`SweepResult::table`] /
+/// [`SweepResult::to_csv`] / [`SweepResult::to_json`] /
+/// [`SweepResult::to_markdown`]; [`SweepResult::summary`] reduces over
+/// replicas (mean and p95 per parameter combination).
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    results: Vec<CellResult>,
+}
+
+impl SweepResult {
+    /// Wraps per-cell results (expected in cell-index order).
+    pub fn new(results: Vec<CellResult>) -> Self {
+        SweepResult { results }
+    }
+
+    /// The per-cell results, in cell-index order.
+    pub fn results(&self) -> &[CellResult] {
+        &self.results
+    }
+
+    /// Number of simulated cells.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// `true` if the sweep produced no cells.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// The outcome of the first cell matching `predicate`, if any.
+    pub fn find<P: FnMut(&Cell) -> bool>(&self, mut predicate: P) -> Option<&CellResult> {
+        self.results.iter().find(|r| predicate(&r.cell))
+    }
+
+    /// Flat metric rows, one per cell.
+    pub fn rows(&self) -> Vec<CellRow> {
+        self.results.iter().map(CellRow::from_result).collect()
+    }
+
+    /// The per-cell metric table.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "index",
+            "strategy",
+            "policy",
+            "nodes",
+            "technology",
+            "access",
+            "walltime",
+            "load/h",
+            "replica",
+            "seed",
+            "makespan_s",
+            "mean_wait_s",
+            "hybrid_turnaround_s",
+            "combined_util",
+            "qpu_util",
+            "node_h_wasted",
+            "failed",
+        ]);
+        for row in self.rows() {
+            table.row(vec![
+                row.index.to_string(),
+                row.strategy,
+                row.policy,
+                row.nodes.to_string(),
+                row.technology,
+                row.access,
+                row.walltime,
+                fmt_f64(row.load_per_hour),
+                row.replica.to_string(),
+                row.seed.to_string(),
+                format!("{:.3}", row.makespan_secs),
+                format!("{:.3}", row.mean_wait_secs),
+                format!("{:.3}", row.hybrid_turnaround_secs),
+                format!("{:.6}", row.combined_utilization),
+                format!("{:.6}", row.qpu_utilization),
+                format!("{:.4}", row.node_hours_wasted),
+                row.failed.to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// Per-cell rows as CSV.
+    pub fn to_csv(&self) -> String {
+        self.table().to_csv()
+    }
+
+    /// Per-cell rows as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        self.table().to_markdown()
+    }
+
+    /// Per-cell rows as a JSON array.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.rows()).expect("rows serialize")
+    }
+
+    /// Group-by reduction over replicas: one row per parameter
+    /// combination with mean and p95 of the headline metrics. Groups keep
+    /// first-appearance (cell-index) order, so output is deterministic.
+    pub fn summary(&self) -> Table {
+        let rows = self.rows();
+        let mut order: Vec<(String, String, u32, String, String, String, String)> = Vec::new();
+        let mut groups: std::collections::HashMap<_, Vec<&CellRow>> =
+            std::collections::HashMap::new();
+        for row in &rows {
+            let key = row.group_key();
+            if !groups.contains_key(&key) {
+                order.push(key.clone());
+            }
+            groups.entry(key).or_default().push(row);
+        }
+
+        let mut table = Table::new(vec![
+            "strategy",
+            "policy",
+            "nodes",
+            "technology",
+            "access",
+            "walltime",
+            "load/h",
+            "replicas",
+            "makespan_s mean",
+            "makespan_s p95",
+            "mean_wait_s mean",
+            "mean_wait_s p95",
+            "hybrid_turnaround_s mean",
+            "hybrid_turnaround_s p95",
+            "combined_util mean",
+            "combined_util p95",
+        ]);
+        for key in order {
+            let members = &groups[&key];
+            let metric =
+                |f: fn(&CellRow) -> f64| -> Vec<f64> { members.iter().map(|r| f(r)).collect() };
+            let makespan = metric(|r| r.makespan_secs);
+            let wait = metric(|r| r.mean_wait_secs);
+            let turnaround = metric(|r| r.hybrid_turnaround_secs);
+            let util = metric(|r| r.combined_utilization);
+            let (strategy, policy, nodes, technology, access, walltime, load) = key;
+            table.row(vec![
+                strategy,
+                policy,
+                nodes.to_string(),
+                technology,
+                access,
+                walltime,
+                load,
+                members.len().to_string(),
+                format!("{:.3}", mean(&makespan)),
+                format!("{:.3}", p95(&makespan)),
+                format!("{:.3}", mean(&wait)),
+                format!("{:.3}", p95(&wait)),
+                format!("{:.3}", mean(&turnaround)),
+                format!("{:.3}", p95(&turnaround)),
+                format!("{:.6}", mean(&util)),
+                format!("{:.6}", p95(&util)),
+            ]);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Executor;
+    use crate::grid::Grid;
+    use hpcqc_core::strategy::Strategy;
+
+    fn small_sweep(replicas: u32) -> SweepResult {
+        let grid = Grid::builder()
+            .strategies(vec![Strategy::CoSchedule, Strategy::Workflow])
+            .replicas(replicas)
+            .base_seed(42)
+            .build();
+        Executor::new(2).run_sim(&grid).expect("sweep runs")
+    }
+
+    #[test]
+    fn csv_has_one_row_per_cell() {
+        let result = small_sweep(2);
+        let csv = result.to_csv();
+        assert_eq!(csv.lines().count(), 1 + result.len());
+        assert!(csv.starts_with("index,strategy,policy"));
+    }
+
+    #[test]
+    fn json_round_trips_rows() {
+        let result = small_sweep(1);
+        let parsed: Vec<CellRow> = serde_json::from_str(&result.to_json()).expect("valid JSON");
+        assert_eq!(parsed, result.rows());
+    }
+
+    #[test]
+    fn markdown_renders() {
+        let md = small_sweep(1).to_markdown();
+        assert!(md.contains("| index"));
+        assert!(md.contains("co-schedule"));
+    }
+
+    #[test]
+    fn summary_reduces_over_replicas() {
+        let result = small_sweep(3);
+        let summary = result.summary();
+        // 2 strategies × 3 replicas → 2 groups of 3.
+        assert_eq!(summary.len(), 2);
+        assert!(summary.rows().iter().all(|r| r[7] == "3"));
+    }
+
+    #[test]
+    fn p95_nearest_rank() {
+        assert_eq!(p95(&[1.0]), 1.0);
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(p95(&v), 95.0);
+        assert_eq!(p95(&[3.0, 1.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn find_locates_cells() {
+        let result = small_sweep(1);
+        assert!(result.find(|c| c.strategy == Strategy::Workflow).is_some());
+        assert!(result
+            .find(|c| c.strategy == Strategy::Malleable { min_nodes: 1 })
+            .is_none());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests of grid construction: cell count is the product of the
+//! axis lengths, the cell→seed mapping is injective, and a grid survives
+//! a serde round trip losslessly.
+
+use hpcqc_core::scenario::WalltimePolicy;
+use hpcqc_core::strategy::Strategy;
+use hpcqc_qpu::technology::Technology;
+use hpcqc_sched::scheduler::Policy;
+use hpcqc_sweep::{cell_seed, AccessSpec, Grid, WorkloadSpec};
+use proptest::prelude::*;
+
+const ALL_STRATEGIES: [Strategy; 4] = [
+    Strategy::CoSchedule,
+    Strategy::Workflow,
+    Strategy::Vqpu { vqpus: 4 },
+    Strategy::Malleable { min_nodes: 1 },
+];
+const ALL_POLICIES: [Policy; 3] = [
+    Policy::Fcfs,
+    Policy::EasyBackfill,
+    Policy::ConservativeBackfill,
+];
+const ALL_ACCESS: [AccessSpec; 3] = [
+    AccessSpec::OnPrem,
+    AccessSpec::Integrated,
+    AccessSpec::Cloud,
+];
+const ALL_WALLTIME: [WalltimePolicy; 2] = [
+    WalltimePolicy::Advisory,
+    WalltimePolicy::Kill { max_requeues: 2 },
+];
+
+/// A grid with axis lengths picked from the given prefix sizes.
+#[allow(clippy::too_many_arguments)] // one parameter per grid axis
+fn grid_from(
+    seed: u64,
+    strategies: usize,
+    policies: usize,
+    nodes: usize,
+    technologies: usize,
+    access: usize,
+    walltime: usize,
+    loads: usize,
+    replicas: u32,
+) -> Grid {
+    Grid::builder()
+        .base_seed(seed)
+        .replicas(replicas)
+        .strategies(ALL_STRATEGIES[..strategies].to_vec())
+        .policies(ALL_POLICIES[..policies].to_vec())
+        .node_counts((1..=nodes).map(|n| 8 * n as u32).collect())
+        .technologies(Technology::ALL[..technologies].to_vec())
+        .access(ALL_ACCESS[..access].to_vec())
+        .walltime(ALL_WALLTIME[..walltime].to_vec())
+        .loads_per_hour((1..=loads).map(|l| 3.0 * l as f64).collect())
+        .workload(WorkloadSpec::listing1())
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Grid::len` is exactly the product of the axis lengths.
+    #[test]
+    fn cell_count_is_axis_product(
+        seed in any::<u64>(),
+        s in 1usize..=4, p in 1usize..=3, n in 1usize..=3, t in 1usize..=5,
+        a in 1usize..=3, w in 1usize..=2, l in 1usize..=3, r in 1u32..=3,
+    ) {
+        let grid = grid_from(seed, s, p, n, t, a, w, l, r);
+        prop_assert_eq!(grid.len(), s * p * n * t * a * w * l * r as usize);
+        prop_assert!(grid.validate().is_ok());
+    }
+
+    /// Every cell decodes its own index, and the cell→seed mapping is
+    /// injective across the whole grid.
+    #[test]
+    fn cell_seeds_are_injective(
+        seed in any::<u64>(),
+        s in 1usize..=4, p in 1usize..=3, t in 1usize..=5, r in 1u32..=4,
+    ) {
+        let grid = grid_from(seed, s, p, 1, t, 1, 1, 1, r);
+        let mut seeds = std::collections::HashSet::new();
+        for (i, cell) in grid.cells().enumerate() {
+            prop_assert_eq!(cell.index, i);
+            prop_assert_eq!(cell.cell_seed, cell_seed(seed, i));
+            prop_assert!(seeds.insert(cell.cell_seed),
+                "cell {} repeated seed {}", i, cell.cell_seed);
+        }
+        prop_assert_eq!(seeds.len(), grid.len());
+    }
+
+    /// The per-cell seed stream differs between base seeds (no accidental
+    /// base-seed cancellation).
+    #[test]
+    fn cell_seeds_depend_on_base_seed(seed in any::<u64>(), index in 0usize..4096) {
+        prop_assert_ne!(cell_seed(seed, index), cell_seed(seed.wrapping_add(1), index));
+    }
+
+    /// JSON round trip is lossless for arbitrary axis combinations.
+    #[test]
+    fn serde_round_trips_losslessly(
+        seed in any::<u64>(),
+        s in 1usize..=4, p in 1usize..=3, n in 1usize..=3, t in 1usize..=5,
+        a in 1usize..=3, w in 1usize..=2, l in 1usize..=3, r in 1u32..=3,
+    ) {
+        let grid = grid_from(seed, s, p, n, t, a, w, l, r);
+        let json = serde_json::to_string(&grid).expect("grid serializes");
+        let back: Grid = serde_json::from_str(&json).expect("grid deserializes");
+        prop_assert_eq!(&back, &grid);
+        // And the round-tripped grid enumerates identical cells.
+        let cells: Vec<_> = grid.cells().collect();
+        let back_cells: Vec<_> = back.cells().collect();
+        prop_assert_eq!(cells, back_cells);
+    }
+}

@@ -14,6 +14,9 @@
 //!
 //! # Archive / inspect a scenario as JSON
 //! hpcqc-sim run --trace campaign.hqwf --scenario scenario.json
+//!
+//! # Run a declarative parameter sweep across all cores
+//! hpcqc-sim sweep --grid examples/grids/crossover.json --threads 8 --format csv
 //! ```
 //!
 //! Traces are read as HQWF (`.hqwf`, see `hpcqc_workload::trace`) or JSON
@@ -26,7 +29,9 @@ use std::process::ExitCode;
 const USAGE: &str =
     "usage:\n  hpcqc-sim generate --count N [--seed S] [--out FILE] [--hybrid-share F]\n  \
      hpcqc-sim run --trace FILE [--scenario FILE.json] [--strategy S] [--nodes N]\n            \
-     [--device TECH] [--policy P] [--seed S] [--compare] [--gantt]\n\n\
+     [--device TECH] [--policy P] [--seed S] [--compare] [--gantt]\n  \
+     hpcqc-sim sweep --grid FILE.json [--threads N] [--format csv|json|markdown]\n              \
+     [--summary] [--out FILE]\n\n\
      strategies: co-schedule | workflow | vqpu:N | malleable:N\n\
      devices:    superconducting | trapped-ion | neutral-atom | photonic | spin-qubit\n\
      policies:   fcfs | easy | conservative";
@@ -270,11 +275,101 @@ fn run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Runs a declarative parameter grid on the sweep engine and emits the
+/// per-cell rows (or the replica-aggregated summary) as CSV, JSON, or
+/// markdown.
+fn sweep(args: &[String]) -> ExitCode {
+    let mut grid_path: Option<String> = None;
+    let mut threads = 0usize; // 0 = available parallelism
+    let mut format = String::from("csv");
+    let mut summary = false;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--grid" => grid_path = it.next().cloned(),
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--format" => format = it.next().cloned().unwrap_or_else(|| usage()),
+            "--summary" => summary = true,
+            "--out" => out = it.next().cloned(),
+            _ => usage(),
+        }
+    }
+    if !matches!(format.as_str(), "csv" | "json" | "markdown" | "md") {
+        eprintln!("unknown --format `{format}` (csv | json | markdown)");
+        return ExitCode::from(2);
+    }
+    let Some(grid_path) = grid_path else { usage() };
+    let grid = match std::fs::read_to_string(&grid_path)
+        .map_err(|e| e.to_string())
+        .and_then(|s| serde_json::from_str::<Grid>(&s).map_err(|e| e.to_string()))
+    {
+        Ok(grid) => grid,
+        Err(e) => {
+            eprintln!("cannot load grid {grid_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = grid.validate() {
+        eprintln!("invalid grid {grid_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let executor = Executor::new(threads);
+    eprintln!(
+        "sweep: {} cells ({} replicas) on {} threads",
+        grid.len(),
+        grid.replicas,
+        executor.threads()
+    );
+    let result = match executor.run_sim(&grid) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (rendered, contents) = if summary {
+        let table = result.summary();
+        let rendered = match format.as_str() {
+            "csv" => table.to_csv(),
+            "json" => serde_json::to_string_pretty(&table).expect("table serializes"),
+            _ => table.to_markdown(),
+        };
+        let contents = format!("{} summary rows ({} cells)", table.len(), result.len());
+        (rendered, contents)
+    } else {
+        let rendered = match format.as_str() {
+            "csv" => result.to_csv(),
+            "json" => result.to_json(),
+            _ => result.to_markdown(),
+        };
+        (rendered, format!("{} cells", result.len()))
+    };
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &rendered) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {contents} to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("generate") => generate(&args[1..]),
         Some("run") => run(&args[1..]),
+        Some("sweep") => sweep(&args[1..]),
         Some("--help" | "-h") => {
             println!("{USAGE}");
             ExitCode::SUCCESS

@@ -38,6 +38,7 @@ pub use hpcqc_metrics as metrics;
 pub use hpcqc_qpu as qpu;
 pub use hpcqc_sched as sched;
 pub use hpcqc_simcore as simcore;
+pub use hpcqc_sweep as sweep;
 pub use hpcqc_workload as workload;
 
 /// Everything an application typically needs, one import away.
@@ -51,5 +52,9 @@ pub mod prelude {
     pub use hpcqc_qpu::{AccessMode, Kernel, QpuDevice, Technology};
     pub use hpcqc_sched::{BatchScheduler, PendingJob, Policy};
     pub use hpcqc_simcore::{Dist, SimDuration, SimRng, SimTime};
+    pub use hpcqc_sweep::{
+        AccessSpec, Cell, CellResult, CellRow, Executor, Grid, GridBuilder, SweepError,
+        SweepResult, WorkloadSpec,
+    };
     pub use hpcqc_workload::{ArrivalProcess, JobClass, JobSpec, Pattern, Phase, Workload};
 }
