@@ -1,0 +1,72 @@
+//! Criterion bench of the simulation event loop's observer dispatch:
+//! the same workload simulated with 0 vs 3 extra observers attached,
+//! reported as events/second, guards the overhead of routing every
+//! metric through the `SimObserver` stream instead of hard-wired calls.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hpcqc_core::observer::{SimEvent, SimObserver};
+use hpcqc_core::{FacilitySim, Scenario, Strategy};
+use hpcqc_qpu::Technology;
+use hpcqc_simcore::time::SimTime;
+use hpcqc_sweep::spec::tenant_jobs;
+use hpcqc_workload::Workload;
+
+/// The cheapest possible observer: one counter bump per event, so the
+/// bench isolates dispatch cost rather than observer work.
+#[derive(Debug, Default)]
+struct CountingObserver {
+    events: u64,
+}
+
+impl SimObserver for CountingObserver {
+    fn on_event(&mut self, _now: SimTime, _event: &SimEvent<'_>) {
+        self.events += 1;
+    }
+}
+
+/// An event-dense workload: 8 hybrid tenants × 6 iterations interleaving
+/// on 4 virtual QPUs, plus the scheduling traffic they generate.
+fn workload() -> Workload {
+    Workload::from_jobs(tenant_jobs(8, 2, 6, 30, 500))
+}
+
+fn scenario() -> Scenario {
+    Scenario::builder()
+        .classical_nodes(16)
+        .device(Technology::Superconducting)
+        .strategy(Strategy::Vqpu { vqpus: 4 })
+        .seed(7)
+        .build()
+}
+
+fn bench_observer_dispatch(c: &mut Criterion) {
+    let scenario = scenario();
+    let workload = workload();
+    // Count the stream once so both variants report true events/second.
+    let mut probe = CountingObserver::default();
+    FacilitySim::run_observed(&scenario, &workload, &mut [&mut probe]).expect("valid scenario");
+    let events = probe.events;
+
+    let mut group = c.benchmark_group("event_loop");
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("0-observers", |b| {
+        b.iter(|| FacilitySim::run(&scenario, &workload).expect("valid scenario"));
+    });
+    group.bench_function("3-observers", |b| {
+        b.iter(|| {
+            let mut o1 = CountingObserver::default();
+            let mut o2 = CountingObserver::default();
+            let mut o3 = CountingObserver::default();
+            FacilitySim::run_observed(&scenario, &workload, &mut [&mut o1, &mut o2, &mut o3])
+                .expect("valid scenario")
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_secs(1)).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_observer_dispatch
+}
+criterion_main!(benches);

@@ -33,32 +33,11 @@ struct Options {
     threads: usize,
 }
 
-/// Levenshtein edit distance, for "did you mean" hints.
-fn edit_distance(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    for (i, &ca) in a.iter().enumerate() {
-        let mut current = vec![i + 1];
-        for (j, &cb) in b.iter().enumerate() {
-            let substitution = prev[j] + usize::from(ca != cb);
-            current.push(substitution.min(prev[j + 1] + 1).min(current[j] + 1));
-        }
-        prev = current;
-    }
-    prev[b.len()]
-}
-
 /// The closest known experiment name or flag, if anything is plausibly
-/// close (distance ≤ 2, enough for a typo'd short name).
+/// close (the shared `hpcqc::cli` helper: distance ≤ 2, enough for a
+/// typo'd short name).
 fn did_you_mean(input: &str) -> Option<&'static str> {
-    EXPERIMENTS
-        .iter()
-        .chain(FLAGS.iter())
-        .map(|known| (edit_distance(input, known), *known))
-        .min()
-        .filter(|(distance, _)| *distance <= 2)
-        .map(|(_, known)| known)
+    hpcqc::cli::did_you_mean(input, EXPERIMENTS.iter().chain(FLAGS.iter()).copied())
 }
 
 fn reject_unknown(arg: &str) -> ! {

@@ -1,0 +1,24 @@
+//! The paper's Listing-1 baseline as a driver.
+
+use crate::driver::{SimCtx, StrategyDriver, SubmissionPlan};
+use hpcqc_workload::job::JobId;
+
+/// Exclusive co-scheduling: one heterogeneous batch job holding the
+/// classical nodes **and** an exclusive QPU gres token from the first
+/// phase to the last. The baseline every other strategy is measured
+/// against — maximally simple, maximally wasteful whenever either side
+/// of the machine idles inside the job.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoScheduleDriver;
+
+impl StrategyDriver for CoScheduleDriver {
+    fn name(&self) -> &'static str {
+        "co-schedule"
+    }
+
+    fn submission_plan(&mut self, ctx: &mut SimCtx<'_, '_>, job: JobId) -> SubmissionPlan {
+        SubmissionPlan::WholeJob {
+            hold_qpu: ctx.spec(job).is_hybrid(),
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Built-in [`StrategyDriver`](crate::driver::StrategyDriver)
+//! implementations: the paper's four integration strategies plus the
+//! advisor-driven adaptive strategy, each a self-contained driver.
+//!
+//! | driver                                      | plan       | QPU hold        | quantum hooks        |
+//! |---------------------------------------------|------------|-----------------|----------------------|
+//! | [`CoScheduleDriver`] (Listing 1)            | whole job  | exclusive gres  | —                    |
+//! | [`WorkflowDriver`] (Fig. 2)                 | per step   | exclusive/step  | —                    |
+//! | [`VqpuDriver`] (Fig. 3)                     | whole job  | shared tokens   | —                    |
+//! | [`MalleableDriver`] (Fig. 4)                | whole job  | none            | shrink / re-expand   |
+//! | [`AdaptiveDriver`] (§4 advisor, per job)    | per job    | shared tokens   | per assigned mechanism |
+
+mod adaptive;
+mod coschedule;
+mod malleable;
+mod vqpu;
+mod workflow;
+
+pub use adaptive::AdaptiveDriver;
+pub use coschedule::CoScheduleDriver;
+pub use malleable::MalleableDriver;
+pub use vqpu::VqpuDriver;
+pub use workflow::WorkflowDriver;

@@ -1,0 +1,42 @@
+//! The virtual-QPU strategy (paper Fig. 3) as a driver.
+
+use crate::driver::{SimCtx, StrategyDriver, SubmissionPlan};
+use hpcqc_workload::job::JobId;
+
+/// Virtual QPUs: nodes are held for the whole job like co-scheduling,
+/// but each physical device is multiplexed into `vqpus` gres tokens.
+/// A job's token admits it to the device's shared FIFO; kernels from
+/// co-tenant jobs interleave, so the interleaving delay is bounded by
+/// the token multiplicity.
+#[derive(Debug, Clone, Copy)]
+pub struct VqpuDriver {
+    vqpus: u32,
+}
+
+impl VqpuDriver {
+    /// Creates a driver with `vqpus` virtual QPUs per physical device
+    /// (clamped to ≥ 1).
+    pub fn new(vqpus: u32) -> Self {
+        VqpuDriver { vqpus }
+    }
+}
+
+impl StrategyDriver for VqpuDriver {
+    fn name(&self) -> &'static str {
+        "vqpu"
+    }
+
+    fn gres_per_device(&self) -> u32 {
+        self.vqpus.max(1)
+    }
+
+    fn submission_plan(&mut self, ctx: &mut SimCtx<'_, '_>, job: JobId) -> SubmissionPlan {
+        SubmissionPlan::WholeJob {
+            hold_qpu: ctx.spec(job).is_hybrid(),
+        }
+    }
+
+    fn holds_qpu_exclusively(&self, _job: JobId) -> bool {
+        false
+    }
+}

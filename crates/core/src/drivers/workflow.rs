@@ -1,0 +1,22 @@
+//! The loosely-coupled workflow strategy (paper Fig. 2) as a driver.
+
+use crate::driver::{SimCtx, StrategyDriver, SubmissionPlan};
+use hpcqc_workload::job::JobId;
+
+/// Workflows: every phase is its own batch job, submitted when the
+/// previous one completes (plus the scenario's workflow-manager
+/// overhead). Classical steps hold only nodes, quantum steps only one
+/// QPU gres token — nothing idles allocated, but every step pays a
+/// queue pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkflowDriver;
+
+impl StrategyDriver for WorkflowDriver {
+    fn name(&self) -> &'static str {
+        "workflow"
+    }
+
+    fn submission_plan(&mut self, _ctx: &mut SimCtx<'_, '_>, _job: JobId) -> SubmissionPlan {
+        SubmissionPlan::PerStep
+    }
+}

@@ -15,7 +15,25 @@
 //! * [`Strategy::Vqpu`] — temporal interleaving on virtual QPUs (Fig. 3);
 //! * [`Strategy::Malleable`] — shrink/expand around quantum phases (Fig. 4);
 //!
-//! plus the [`advisor`] that encodes §4's "which strategy when" guidance.
+//! plus the [`advisor`] that encodes §4's "which strategy when" guidance,
+//! and a fifth strategy proving the simulation core is open:
+//!
+//! * [`Strategy::Adaptive`] — the advisor run per job inside the
+//!   simulator, picking the mechanism from each job's phase profile.
+//!
+//! ## Extension points
+//!
+//! The simulation core exposes two pluggable APIs (see the [`driver`] and
+//! [`observer`] modules):
+//!
+//! * [`StrategyDriver`] — strategy-specific behaviour behind lifecycle
+//!   hooks over a [`SimCtx`] capability handle. The five built-in
+//!   strategies are ~50-line drivers in [`drivers`]; custom drivers run
+//!   on the stock loop via [`FacilitySim::run_with_driver`].
+//! * [`SimObserver`] — metrics consumers fed a typed [`SimEvent`]
+//!   stream. Job statistics, waste accounting and Gantt recording are
+//!   built-in observers; attach your own via
+//!   [`FacilitySim::run_observed`].
 //!
 //! ## Example
 //!
@@ -43,12 +61,17 @@
 #![warn(missing_debug_implementations)]
 
 pub mod advisor;
+pub mod driver;
+pub mod drivers;
+pub mod observer;
 pub mod outcome;
 pub mod scenario;
 pub mod sim;
 pub mod strategy;
 
 pub use advisor::{estimate_queue_wait, recommend, Recommendation, WorkloadProfile};
+pub use driver::{driver_for, SimCtx, StrategyDriver, SubmissionPlan};
+pub use observer::{PhaseKind, SimEvent, SimObserver};
 pub use outcome::{DeviceSummary, Outcome, WasteSummary};
 pub use scenario::{FailureModel, Scenario, ScenarioBuilder, WalltimePolicy};
 pub use sim::{run_strategies, FacilitySim, SimError};

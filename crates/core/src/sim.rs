@@ -1,31 +1,24 @@
-//! The facility simulator: a hybrid HPC–QC machine executing a workload
-//! under one of the paper's integration strategies.
+//! The facility simulator: a strategy-agnostic discrete-event loop over a
+//! hybrid HPC–QC machine, driven by a pluggable [`StrategyDriver`] and
+//! observed through a typed [`SimEvent`] stream.
 //!
 //! [`FacilitySim::run`] wires together every substrate crate: the
 //! [`Cluster`] machine model, the [`BatchScheduler`], the [`QpuDevice`]s
-//! and the metrics trackers, then drives a deterministic event loop until
+//! and the metrics observers, then drives a deterministic event loop until
 //! the workload drains. The same seeded workload can be replayed under all
-//! four strategies, which is how every experiment isolates the strategy
-//! effect.
+//! strategies, which is how every experiment isolates the strategy effect.
 //!
-//! ## Per-strategy semantics (paper §4)
-//!
-//! * **Co-scheduling** (Listing 1): the job's heterogeneous allocation
-//!   (nodes + exclusive QPU gres) is held from first to last phase.
-//! * **Workflows** (Fig. 2): each phase is submitted as its own batch job
-//!   when the previous one completes (plus a workflow-manager overhead);
-//!   classical steps hold only nodes, quantum steps only the QPU gres.
-//! * **Virtual QPUs** (Fig. 3): nodes are held like co-scheduling, but the
-//!   QPU gres is a *virtual* token — kernels funnel into the shared
-//!   physical device FIFO, so the interleaving delay is bounded by the
-//!   co-tenant count.
-//! * **Malleability** (Fig. 4): the job holds only nodes; entering a
-//!   quantum phase it shrinks to `min_nodes`, and afterwards re-expands
-//!   *best-effort* — if the machine is busy it continues on fewer nodes
-//!   with the classical phase stretched by the linear-speedup factor
-//!   (the paper: "continue with fewer resources, accepting slower
-//!   performance").
+//! Strategy-specific behaviour lives in the [`crate::drivers`] modules;
+//! the loop here only knows about submission plans, phases and the
+//! lifecycle hooks of [`StrategyDriver`]. Metrics consumers — job
+//! statistics, waste accounting, Gantt recording, and anything a caller
+//! attaches via [`FacilitySim::run_observed`] — are [`SimObserver`]s fed
+//! the event stream; none of them has privileged access to the loop.
 
+use crate::driver::{driver_for, SimCtx, StrategyDriver, SubmissionPlan};
+use crate::observer::{
+    GanttObserver, PhaseKind, SimEvent, SimObserver, StatsObserver, WasteObserver,
+};
 use crate::outcome::{DeviceSummary, Outcome, WasteSummary};
 use crate::scenario::Scenario;
 use crate::strategy::Strategy;
@@ -34,8 +27,7 @@ use hpcqc_cluster::cluster::{Cluster, ClusterBuilder};
 use hpcqc_cluster::error::ClusterError;
 use hpcqc_cluster::gres::GresKind;
 use hpcqc_cluster::ids::AllocationId;
-use hpcqc_metrics::gantt::GanttRecorder;
-use hpcqc_metrics::jobstats::{JobRecord, JobStats};
+use hpcqc_metrics::jobstats::JobRecord;
 use hpcqc_metrics::waste::WasteTracker;
 use hpcqc_qpu::device::QpuDevice;
 use hpcqc_qpu::error::QpuError;
@@ -103,7 +95,7 @@ enum Event {
     KernelExecEnd(JobId),
     /// The job observes kernel completion (after any access overhead).
     KernelDone(JobId, u32),
-    /// Workflow: submit the job's next step to the batch queue.
+    /// Per-step plans: submit the job's next step to the batch queue.
     StepSubmit(JobId, u32),
     /// Walltime enforcement: kill the job's current attempt.
     KillJob(JobId, u32),
@@ -115,15 +107,16 @@ enum Event {
 
 #[derive(Debug, Clone, Copy)]
 enum QueueEntry {
-    /// A whole-job submission (co-schedule / vqpu / malleable).
+    /// A whole-job submission.
     JobStart(JobId),
-    /// A single workflow step of the job.
+    /// A single per-step submission of the job.
     Step(JobId),
 }
 
 #[derive(Debug)]
 struct JobRun {
     spec: JobSpec,
+    plan: SubmissionPlan,
     phase_idx: usize,
     alloc: Option<AllocationId>,
     device: Option<usize>,
@@ -147,6 +140,7 @@ struct JobRun {
     current_walltime: SimDuration,
     classical_started: Option<SimTime>,
     classical_active_nodes: f64,
+    quantum_started: Option<SimTime>,
     requeues: u32,
     completed: bool,
     done: bool,
@@ -156,6 +150,7 @@ impl JobRun {
     fn new(spec: JobSpec) -> Self {
         JobRun {
             spec,
+            plan: SubmissionPlan::WholeJob { hold_qpu: false },
             phase_idx: 0,
             alloc: None,
             device: None,
@@ -177,6 +172,7 @@ impl JobRun {
             current_walltime: SimDuration::ZERO,
             classical_started: None,
             classical_active_nodes: 0.0,
+            quantum_started: None,
             requeues: 0,
             completed: false,
             done: false,
@@ -201,9 +197,29 @@ impl JobRun {
     }
 }
 
-/// The facility simulator. Construct via [`FacilitySim::run`].
+/// Emits one [`SimEvent`] to the built-in observers and every attached
+/// extra, in deterministic order. A macro rather than a method so event
+/// payloads can borrow job names while the observers are borrowed
+/// mutably (disjoint fields).
+macro_rules! emit {
+    ($state:expr, $now:expr, $event:expr) => {{
+        let now = $now;
+        let event = $event;
+        $state.stats_obs.on_event(now, &event);
+        $state.waste_obs.on_event(now, &event);
+        if let Some(gantt) = $state.gantt_obs.as_mut() {
+            gantt.on_event(now, &event);
+        }
+        for observer in $state.extras.iter_mut() {
+            observer.on_event(now, &event);
+        }
+    }};
+}
+
+/// Everything the event loop owns except the driver. Drivers reach it
+/// through the [`SimCtx`] capability handle only.
 #[derive(Debug)]
-pub struct FacilitySim {
+pub(crate) struct SimState<'o> {
     scenario: Scenario,
     cluster: Cluster,
     scheduler: BatchScheduler,
@@ -212,10 +228,10 @@ pub struct FacilitySim {
     jobs: Vec<JobRun>,
     queue_map: HashMap<u64, QueueEntry>,
     next_qid: u64,
-    node_waste: WasteTracker,
-    qpu_waste: WasteTracker,
-    gantt: Option<GanttRecorder>,
-    stats: JobStats,
+    stats_obs: StatsObserver,
+    waste_obs: WasteObserver,
+    gantt_obs: Option<GanttObserver>,
+    extras: &'o mut [&'o mut dyn SimObserver],
     access_rng: SimRng,
     failure_rng: SimRng,
     alloc_owner: HashMap<AllocationId, JobId>,
@@ -223,7 +239,15 @@ pub struct FacilitySim {
     completed: usize,
 }
 
-impl FacilitySim {
+/// The facility simulator. Construct via [`FacilitySim::run`],
+/// [`FacilitySim::run_observed`] or [`FacilitySim::run_with_driver`].
+#[derive(Debug)]
+pub struct FacilitySim<'o> {
+    state: SimState<'o>,
+    driver: Box<dyn StrategyDriver>,
+}
+
+impl<'o> FacilitySim<'o> {
     /// Runs `workload` under `scenario` to completion and returns the
     /// outcome.
     ///
@@ -232,13 +256,55 @@ impl FacilitySim {
     /// Returns [`SimError`] if a job cannot ever fit the machine, a kernel
     /// exceeds its device, or the configuration is inconsistent.
     pub fn run(scenario: &Scenario, workload: &Workload) -> Result<Outcome, SimError> {
-        let mut sim = FacilitySim::new(scenario.clone(), workload);
+        FacilitySim::run_observed(scenario, workload, &mut [])
+    }
+
+    /// Like [`FacilitySim::run`], with extra [`SimObserver`]s attached to
+    /// the event stream alongside the built-in metrics observers. The
+    /// observers are borrowed, so the caller inspects them afterwards.
+    ///
+    /// # Errors
+    ///
+    /// See [`FacilitySim::run`].
+    pub fn run_observed(
+        scenario: &Scenario,
+        workload: &Workload,
+        observers: &'o mut [&'o mut dyn SimObserver],
+    ) -> Result<Outcome, SimError> {
+        FacilitySim::run_with_driver(
+            scenario,
+            workload,
+            driver_for(&scenario.strategy),
+            observers,
+        )
+    }
+
+    /// Runs under a caller-supplied [`StrategyDriver`] instead of the
+    /// built-in driver for `scenario.strategy` (which is then ignored).
+    /// This is the fully open end of the API: any allocation discipline
+    /// expressible through the driver hooks runs on the unmodified loop.
+    ///
+    /// # Errors
+    ///
+    /// See [`FacilitySim::run`].
+    pub fn run_with_driver(
+        scenario: &Scenario,
+        workload: &Workload,
+        driver: Box<dyn StrategyDriver>,
+        observers: &'o mut [&'o mut dyn SimObserver],
+    ) -> Result<Outcome, SimError> {
+        let mut sim = FacilitySim::new(scenario.clone(), workload, driver, observers);
         sim.drive()?;
         Ok(sim.into_outcome())
     }
 
-    fn new(scenario: Scenario, workload: &Workload) -> Self {
-        let gres_units = scenario.strategy.gres_per_device() * scenario.devices.len() as u32;
+    fn new(
+        scenario: Scenario,
+        workload: &Workload,
+        driver: Box<dyn StrategyDriver>,
+        extras: &'o mut [&'o mut dyn SimObserver],
+    ) -> Self {
+        let gres_units = driver.gres_per_device() * scenario.devices.len() as u32;
         let cluster = ClusterBuilder::new()
             .partition("classical", scenario.classical_nodes)
             .partition_with_gres("quantum", 0, GresKind::qpu(), gres_units)
@@ -267,56 +333,113 @@ impl FacilitySim {
             events.schedule(job.spec.submit(), Event::Submit(JobId::new(i as u64)));
         }
         let scheduler = BatchScheduler::new(scenario.policy);
-        let node_waste = WasteTracker::new(SimTime::ZERO, f64::from(scenario.classical_nodes));
-        let qpu_waste = WasteTracker::new(SimTime::ZERO, scenario.devices.len() as f64);
-        let gantt = scenario.record_gantt.then(GanttRecorder::new);
+        let waste_obs = WasteObserver::new(
+            SimTime::ZERO,
+            f64::from(scenario.classical_nodes),
+            scenario.devices.len() as f64,
+        );
+        let gantt_obs = scenario.record_gantt.then(GanttObserver::new);
         let mut failure_rng = root.fork("failures");
         if let Some(model) = &scenario.node_failures {
             let first = model.mtbf.sample_duration(&mut failure_rng);
             events.schedule(SimTime::ZERO + first, Event::NodeFailure);
         }
         FacilitySim {
-            access_rng: root.fork("access"),
-            failure_rng,
-            scenario,
-            cluster,
-            scheduler,
-            devices,
-            events,
-            jobs,
-            queue_map: HashMap::new(),
-            next_qid: 0,
-            node_waste,
-            qpu_waste,
-            gantt,
-            stats: JobStats::new(),
-            alloc_owner: HashMap::new(),
-            failures_injected: 0,
-            completed: 0,
+            state: SimState {
+                access_rng: root.fork("access"),
+                failure_rng,
+                scenario,
+                cluster,
+                scheduler,
+                devices,
+                events,
+                jobs,
+                queue_map: HashMap::new(),
+                next_qid: 0,
+                stats_obs: StatsObserver::new(),
+                waste_obs,
+                gantt_obs,
+                extras,
+                alloc_owner: HashMap::new(),
+                failures_injected: 0,
+                completed: 0,
+            },
+            driver,
         }
     }
 
     fn drive(&mut self) -> Result<(), SimError> {
+        self.state.drive(self.driver.as_mut())
+    }
+
+    // ----- outcome ---------------------------------------------------------
+
+    fn into_outcome(self) -> Outcome {
+        let state = self.state;
+        let stats = state.stats_obs.into_stats();
+        // Device work may outlive the last job record (a killed job's
+        // kernel still executes), so the accounting window runs to the last
+        // processed event, not just the last completion.
+        let end = stats
+            .makespan()
+            .max(state.events.now())
+            .max(SimTime::from_nanos(1));
+        let span = end.as_secs_f64();
+        let devices = state
+            .devices
+            .iter()
+            .map(|d| DeviceSummary {
+                name: d.name().to_string(),
+                technology: d.technology(),
+                tasks: d.tasks_executed(),
+                busy_seconds: d.total_busy().as_secs_f64(),
+                utilization: if span > 0.0 {
+                    (d.total_busy().as_secs_f64() / span).min(1.0)
+                } else {
+                    0.0
+                },
+                recalibration_seconds: d.total_recalibration().as_secs_f64(),
+            })
+            .collect();
+        let summarize = |tracker: &WasteTracker| WasteSummary {
+            allocated_fraction: tracker.allocated_fraction(end),
+            used_fraction: tracker.used_fraction(end),
+            efficiency: tracker.efficiency(end),
+            wasted_unit_seconds: tracker.wasted_unit_seconds(end),
+        };
+        Outcome {
+            makespan: end,
+            node_waste: summarize(state.waste_obs.node()),
+            qpu_waste: summarize(state.waste_obs.qpu()),
+            devices,
+            gantt: state.gantt_obs.map(GanttObserver::into_gantt),
+            stats,
+        }
+    }
+}
+
+impl<'o> SimState<'o> {
+    fn drive(&mut self, driver: &mut dyn StrategyDriver) -> Result<(), SimError> {
         while let Some(ev) = self.events.pop() {
             let now = ev.time;
             match ev.payload {
-                Event::Submit(job) => self.on_submit(job, now)?,
+                Event::Submit(job) => self.on_submit(driver, job, now)?,
                 Event::PhaseDone(job, epoch) => {
                     if self.jobs[job.raw() as usize].epoch == epoch {
-                        self.on_phase_done(job, now)?;
+                        self.on_phase_done(driver, job, now)?;
                     }
                 }
                 Event::KernelExecStart(job) => {
                     debug_assert!((job.raw() as usize) < self.jobs.len(), "unknown {job}");
-                    self.qpu_waste.add_used(now, 1.0);
+                    emit!(self, now, SimEvent::KernelExecStarted { job });
                 }
                 Event::KernelExecEnd(job) => {
                     debug_assert!((job.raw() as usize) < self.jobs.len(), "unknown {job}");
-                    self.qpu_waste.add_used(now, -1.0);
+                    emit!(self, now, SimEvent::KernelExecEnded { job });
                 }
                 Event::KernelDone(job, epoch) => {
                     if self.jobs[job.raw() as usize].epoch == epoch {
-                        self.on_kernel_done(job, now)?;
+                        self.on_kernel_done(driver, job, now)?;
                     }
                 }
                 Event::StepSubmit(job, epoch) => {
@@ -328,15 +451,23 @@ impl FacilitySim {
                     if self.jobs[job.raw() as usize].epoch == epoch
                         && !self.jobs[job.raw() as usize].done
                     {
-                        self.kill_job(job, now)?;
+                        self.kill_job(driver, job, now)?;
                     }
                 }
-                Event::NodeFailure => self.on_node_failure(now)?,
+                Event::NodeFailure => self.on_node_failure(driver, now)?,
                 Event::NodeRepair(node) => {
                     self.cluster.restore_node(node)?;
+                    emit!(self, now, SimEvent::NodeRepaired { node });
                 }
             }
-            self.cycle(now)?;
+            self.cycle(driver, now)?;
+            // The proptest suite runs debug builds: verify the machine
+            // invariants after *every* event, not just at the end.
+            debug_assert!(
+                self.cluster.check_invariants().is_ok(),
+                "cluster invariant violated at {now}: {:?}",
+                self.cluster.check_invariants()
+            );
             // Failure/repair events self-perpetuate; once the workload has
             // drained there is nothing left to observe.
             if self.completed == self.jobs.len() {
@@ -351,7 +482,11 @@ impl FacilitySim {
     /// Fails a uniformly random up-node; the owning job (if any) is killed
     /// and requeued within the failure budget. Schedules the repair and the
     /// next failure.
-    fn on_node_failure(&mut self, now: SimTime) -> Result<(), SimError> {
+    fn on_node_failure(
+        &mut self,
+        driver: &mut dyn StrategyDriver,
+        now: SimTime,
+    ) -> Result<(), SimError> {
         let Some(model) = self.scenario.node_failures.clone() else {
             return Ok(());
         };
@@ -367,18 +502,19 @@ impl FacilitySim {
             let node = *self.failure_rng.pick(&up);
             let owner = self.cluster.fail_node(node)?;
             self.failures_injected += 1;
+            emit!(self, now, SimEvent::NodeFailed { node });
             let repair = model.repair.sample_duration(&mut self.failure_rng);
             self.events.schedule(now + repair, Event::NodeRepair(node));
             if let Some(alloc) = owner {
                 if let Some(&job) = self.alloc_owner.get(&alloc) {
-                    self.abort_attempt(job, now)?;
+                    self.abort_attempt(driver, job, now)?;
                     let run = &mut self.jobs[job.raw() as usize];
                     if run.requeues < model.max_requeues {
                         run.requeues += 1;
                         run.phase_idx = 0;
                         run.prev_phase_end = None;
                         run.device = None;
-                        self.on_submit(job, now)?;
+                        self.on_submit(driver, job, now)?;
                     } else {
                         self.finalize(job, now, false);
                     }
@@ -391,7 +527,7 @@ impl FacilitySim {
     }
 
     /// One scheduling cycle: start whatever the policy admits.
-    fn cycle(&mut self, now: SimTime) -> Result<(), SimError> {
+    fn cycle(&mut self, driver: &mut dyn StrategyDriver, now: SimTime) -> Result<(), SimError> {
         loop {
             let started = self.scheduler.try_schedule(&mut self.cluster, now);
             if started.is_empty() {
@@ -403,8 +539,8 @@ impl FacilitySim {
                     .remove(&st.job.raw())
                     .expect("started job must have a queue entry");
                 match entry {
-                    QueueEntry::JobStart(job) => self.on_job_started(job, st.alloc, now)?,
-                    QueueEntry::Step(job) => self.on_step_started(job, st.alloc, now)?,
+                    QueueEntry::JobStart(job) => self.on_job_started(driver, job, st.alloc, now)?,
+                    QueueEntry::Step(job) => self.on_step_started(driver, job, st.alloc, now)?,
                 }
             }
             // Starting jobs can release nothing, so one pass suffices; loop
@@ -461,17 +597,22 @@ impl FacilitySim {
 
     // ----- submission ----------------------------------------------------
 
-    fn on_submit(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
-        match self.scenario.strategy {
-            Strategy::Workflow => self.submit_step(job, now),
-            strategy => {
+    fn on_submit(
+        &mut self,
+        driver: &mut dyn StrategyDriver,
+        job: JobId,
+        now: SimTime,
+    ) -> Result<(), SimError> {
+        let plan = driver.submission_plan(&mut SimCtx { state: self, now }, job);
+        self.jobs[job.raw() as usize].plan = plan;
+        match plan {
+            SubmissionPlan::PerStep => self.submit_step(job, now),
+            SubmissionPlan::WholeJob { hold_qpu } => {
                 let (request, walltime, user) = {
                     let spec = &self.jobs[job.raw() as usize].spec;
                     let mut request = AllocRequest::new()
                         .group(GroupRequest::nodes(spec.partition(), spec.nodes()));
-                    let needs_gres =
-                        spec.is_hybrid() && !matches!(strategy, Strategy::Malleable { .. });
-                    if needs_gres {
+                    if hold_qpu && spec.is_hybrid() {
                         request = request.group(GroupRequest::gres(
                             spec.qpu_partition(),
                             GresKind::qpu(),
@@ -493,12 +634,21 @@ impl FacilitySim {
                 run.queued_at = now;
                 run.current_walltime = walltime;
                 self.scheduler.submit(pending, &self.cluster)?;
+                emit!(
+                    self,
+                    now,
+                    SimEvent::JobSubmitted {
+                        job,
+                        name: self.jobs[job.raw() as usize].spec.name(),
+                        step: false,
+                    }
+                );
                 Ok(())
             }
         }
     }
 
-    /// Workflow: submit the step for the job's current phase.
+    /// Per-step plans: submit the step for the job's current phase.
     fn submit_step(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
         let (request, walltime) = {
             let run = &self.jobs[job.raw() as usize];
@@ -509,13 +659,10 @@ impl FacilitySim {
                     (*d + SimDuration::from_secs(60)).max_of(SimDuration::from_secs(60)),
                 ),
                 Phase::Quantum(kernel) => {
-                    // Planning estimate: the slowest device's mean job time
-                    // with headroom; actual duration comes from the device.
-                    let est = self
-                        .devices
-                        .iter()
-                        .map(|d| d.timing().mean_job_secs(kernel.shots()))
-                        .fold(0.0_f64, f64::max);
+                    // Planning estimate: the slowest *capable* device's mean
+                    // job time with headroom; actual duration comes from the
+                    // device.
+                    let est = self.worst_case_device_secs(kernel);
                     (
                         AllocRequest::new().group(GroupRequest::gres(
                             spec.qpu_partition(),
@@ -540,6 +687,15 @@ impl FacilitySim {
             qos_boost: 0.0,
         };
         self.scheduler.submit(pending, &self.cluster)?;
+        emit!(
+            self,
+            now,
+            SimEvent::JobSubmitted {
+                job,
+                name: self.jobs[job.raw() as usize].spec.name(),
+                step: true,
+            }
+        );
         Ok(())
     }
 
@@ -547,19 +703,36 @@ impl FacilitySim {
 
     fn on_job_started(
         &mut self,
+        driver: &mut dyn StrategyDriver,
         job: JobId,
         alloc: AllocationId,
         now: SimTime,
     ) -> Result<(), SimError> {
+        emit!(
+            self,
+            now,
+            SimEvent::JobStarted {
+                job,
+                name: self.jobs[job.raw() as usize].spec.name(),
+                wait: self.last_wait(job, now),
+            }
+        );
         self.arm_walltime_kill(job, now);
         self.alloc_owner.insert(alloc, job);
-        let strategy = self.scenario.strategy;
         let run = &mut self.jobs[job.raw() as usize];
         run.alloc = Some(alloc);
         run.first_start.get_or_insert(now);
         run.set_alloc_nodes(now, run.spec.nodes());
         let nodes = f64::from(run.spec.nodes());
-        self.node_waste.add_allocated(now, nodes);
+        emit!(
+            self,
+            now,
+            SimEvent::AllocationChanged {
+                job,
+                node_delta: nodes,
+                qpu_delta: 0.0,
+            }
+        );
 
         // Bind the QPU device from the granted gres unit (if any).
         let allocation = self.cluster.allocation(alloc).expect("alloc just granted");
@@ -571,19 +744,40 @@ impl FacilitySim {
             let run = &mut self.jobs[job.raw() as usize];
             run.device = Some(device);
             run.set_qpu_units(now, count);
-            if !strategy.shares_qpu() {
-                self.qpu_waste.add_allocated(now, f64::from(count));
+            if driver.holds_qpu_exclusively(job) {
+                emit!(
+                    self,
+                    now,
+                    SimEvent::AllocationChanged {
+                        job,
+                        node_delta: 0.0,
+                        qpu_delta: f64::from(count),
+                    }
+                );
             }
         }
-        self.begin_phase(job, now)
+        // The hook fires with the grant fully recorded, so ctx.held_nodes /
+        // shrink_to / expand_toward act on the live allocation.
+        driver.on_started(&mut SimCtx { state: self, now }, job)?;
+        self.begin_phase(driver, job, now)
     }
 
     fn on_step_started(
         &mut self,
+        driver: &mut dyn StrategyDriver,
         job: JobId,
         alloc: AllocationId,
         now: SimTime,
     ) -> Result<(), SimError> {
+        emit!(
+            self,
+            now,
+            SimEvent::JobStarted {
+                job,
+                name: self.jobs[job.raw() as usize].spec.name(),
+                wait: self.last_wait(job, now),
+            }
+        );
         self.arm_walltime_kill(job, now);
         self.alloc_owner.insert(alloc, job);
         let run = &mut self.jobs[job.raw() as usize];
@@ -600,7 +794,15 @@ impl FacilitySim {
         let units = allocation.gres_units(&GresKind::qpu());
         if node_count > 0 {
             run.set_alloc_nodes(now, node_count);
-            self.node_waste.add_allocated(now, f64::from(node_count));
+            emit!(
+                self,
+                now,
+                SimEvent::AllocationChanged {
+                    job,
+                    node_delta: f64::from(node_count),
+                    qpu_delta: 0.0,
+                }
+            );
         }
         if let Some((_, unit)) = units.first() {
             let unit = *unit;
@@ -609,24 +811,41 @@ impl FacilitySim {
             let run = &mut self.jobs[job.raw() as usize];
             run.device = Some(device);
             run.set_qpu_units(now, count);
-            self.qpu_waste.add_allocated(now, f64::from(count));
+            if driver.holds_qpu_exclusively(job) {
+                emit!(
+                    self,
+                    now,
+                    SimEvent::AllocationChanged {
+                        job,
+                        node_delta: 0.0,
+                        qpu_delta: f64::from(count),
+                    }
+                );
+            }
         }
-        self.begin_phase(job, now)
+        // As in on_job_started: the grant is fully recorded before the hook.
+        driver.on_started(&mut SimCtx { state: self, now }, job)?;
+        self.begin_phase(driver, job, now)
     }
 
     // ----- phase machinery -------------------------------------------------
 
-    fn begin_phase(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
+    fn begin_phase(
+        &mut self,
+        driver: &mut dyn StrategyDriver,
+        job: JobId,
+        now: SimTime,
+    ) -> Result<(), SimError> {
         let phase = {
             let run = &self.jobs[job.raw() as usize];
             if run.phase_idx >= run.spec.phases().len() {
-                return self.complete_job(job, now);
+                return self.complete_job(driver, job, now);
             }
             run.spec.phases()[run.phase_idx].clone()
         };
         match phase {
             Phase::Classical(d) => self.begin_classical(job, d, now),
-            Phase::Quantum(kernel) => self.begin_quantum(job, &kernel, now),
+            Phase::Quantum(kernel) => self.begin_quantum(driver, job, &kernel, now),
         }
     }
 
@@ -644,18 +863,30 @@ impl FacilitySim {
             nominal
         };
         let nodes = f64::from(run.alloc_nodes);
-        self.node_waste.add_used(now, nodes);
         run.classical_started = Some(now);
         run.classical_active_nodes = nodes;
+        let index = run.phase_idx;
+        emit!(
+            self,
+            now,
+            SimEvent::PhaseStarted {
+                job,
+                name: self.jobs[job.raw() as usize].spec.name(),
+                kind: PhaseKind::Classical,
+                index,
+                busy_nodes: nodes,
+            }
+        );
         let end = now + duration;
-        let epoch = run.epoch;
+        let epoch = self.jobs[job.raw() as usize].epoch;
         let key = self.events.schedule(end, Event::PhaseDone(job, epoch));
         self.jobs[job.raw() as usize].pending_event = Some(key);
         Ok(())
     }
 
     /// Closes an in-flight classical phase's usage accounting (normal end
-    /// or kill) and records its Gantt interval.
+    /// or kill): per-job integral plus the [`SimEvent::PhaseEnded`] the
+    /// waste and Gantt observers consume.
     fn close_classical(&mut self, job: JobId, now: SimTime) {
         let run = &mut self.jobs[job.raw() as usize];
         let Some(started) = run.classical_started.take() else {
@@ -663,44 +894,38 @@ impl FacilitySim {
         };
         let nodes = run.classical_active_nodes;
         run.classical_active_nodes = 0.0;
-        self.node_waste.add_used(now, -nodes);
         run.node_seconds_used += nodes * now.saturating_since(started).as_secs_f64();
-        let name = run.spec.name().to_string();
-        if let Some(g) = self.gantt.as_mut() {
-            g.record(format!("job:{name}"), started, now, "c");
-        }
+        let index = run.phase_idx;
+        emit!(
+            self,
+            now,
+            SimEvent::PhaseEnded {
+                job,
+                name: self.jobs[job.raw() as usize].spec.name(),
+                kind: PhaseKind::Classical,
+                index,
+                busy_nodes: nodes,
+                started,
+            }
+        );
     }
 
-    fn begin_quantum(&mut self, job: JobId, kernel: &Kernel, now: SimTime) -> Result<(), SimError> {
-        let strategy = self.scenario.strategy;
-        // Malleability: give back everything above min_nodes first.
-        if let Strategy::Malleable { min_nodes } = strategy {
-            let (alloc, held, target) = {
-                let run = &self.jobs[job.raw() as usize];
-                (
-                    run.alloc,
-                    run.alloc_nodes,
-                    min_nodes.min(run.spec.nodes()).max(1),
-                )
-            };
-            if let Some(alloc) = alloc {
-                if held > target {
-                    let released = self.cluster.shrink(alloc, "classical", target, now)?;
-                    let run = &mut self.jobs[job.raw() as usize];
-                    run.set_alloc_nodes(now, target);
-                    self.node_waste.add_allocated(now, -(released.len() as f64));
-                }
-            }
-        }
-        // Pick the device: bound unit for exclusive/vqpu strategies,
-        // least-backlog for malleable (no gres token).
+    fn begin_quantum(
+        &mut self,
+        driver: &mut dyn StrategyDriver,
+        job: JobId,
+        kernel: &Kernel,
+        now: SimTime,
+    ) -> Result<(), SimError> {
+        // Malleable-style drivers give nodes back before quantum work.
+        driver.on_quantum_enter(&mut SimCtx { state: self, now }, job)?;
+        // Pick the device: the bound gres unit when the job holds a token,
+        // least-backlog among capable devices when it does not.
         let device_idx = {
             let bound = self.jobs[job.raw() as usize].device;
             match bound {
                 Some(d) => d,
                 None => {
-                    // Malleable jobs hold no gres token: pick the least-
-                    // backlogged device that can run the job's kernels.
                     let eligible = self.eligible_devices(job);
                     *eligible
                         .iter()
@@ -722,24 +947,37 @@ impl FacilitySim {
             Some(access) => access.sample_overhead(&mut self.access_rng),
             None => SimDuration::ZERO,
         };
-        {
+        let index = {
             let run = &mut self.jobs[job.raw() as usize];
             run.phase_wait += exec.wait();
             run.qpu_seconds_used += exec.service().as_secs_f64();
             run.classical_started = None;
-        }
-        if let Some(g) = self.gantt.as_mut() {
-            let name = self.jobs[job.raw() as usize].spec.name().to_string();
-            if !exec.recalibration.is_zero() {
-                g.record(
-                    format!("qpu{device_idx}"),
-                    exec.start - exec.recalibration,
-                    exec.start,
-                    "=",
-                );
+            run.quantum_started = Some(now);
+            run.phase_idx
+        };
+        emit!(
+            self,
+            now,
+            SimEvent::PhaseStarted {
+                job,
+                name: self.jobs[job.raw() as usize].spec.name(),
+                kind: PhaseKind::Quantum,
+                index,
+                busy_nodes: 0.0,
             }
-            g.record(format!("qpu{device_idx}"), exec.start, exec.end, name);
-        }
+        );
+        emit!(
+            self,
+            now,
+            SimEvent::KernelEnqueued {
+                job,
+                name: self.jobs[job.raw() as usize].spec.name(),
+                device: device_idx,
+                start: exec.start,
+                end: exec.end,
+                recalibration: exec.recalibration,
+            }
+        );
         self.events
             .schedule(exec.start, Event::KernelExecStart(job));
         self.events.schedule(exec.end, Event::KernelExecEnd(job));
@@ -751,7 +989,12 @@ impl FacilitySim {
         Ok(())
     }
 
-    fn on_phase_done(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
+    fn on_phase_done(
+        &mut self,
+        driver: &mut dyn StrategyDriver,
+        job: JobId,
+        now: SimTime,
+    ) -> Result<(), SimError> {
         self.close_classical(job, now);
         {
             let run = &mut self.jobs[job.raw() as usize];
@@ -759,61 +1002,62 @@ impl FacilitySim {
             run.phase_idx += 1;
             run.prev_phase_end = Some(now);
         }
-        self.advance(job, now)
+        driver.on_phase_advanced(&mut SimCtx { state: self, now }, job)?;
+        self.advance(driver, job, now)
     }
 
-    fn on_kernel_done(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
+    fn on_kernel_done(
+        &mut self,
+        driver: &mut dyn StrategyDriver,
+        job: JobId,
+        now: SimTime,
+    ) -> Result<(), SimError> {
+        let (index, started) = {
+            let run = &mut self.jobs[job.raw() as usize];
+            (run.phase_idx, run.quantum_started.take().unwrap_or(now))
+        };
+        emit!(
+            self,
+            now,
+            SimEvent::PhaseEnded {
+                job,
+                name: self.jobs[job.raw() as usize].spec.name(),
+                kind: PhaseKind::Quantum,
+                index,
+                busy_nodes: 0.0,
+                started,
+            }
+        );
         {
             let run = &mut self.jobs[job.raw() as usize];
             run.pending_event = None;
             run.phase_idx += 1;
             run.prev_phase_end = Some(now);
         }
-        // Malleability: best-effort re-expansion before the next classical
-        // phase; shortfall is absorbed by stretching, never by waiting.
-        if let Strategy::Malleable { .. } = self.scenario.strategy {
-            let (alloc, held, target, more_phases) = {
-                let run = &self.jobs[job.raw() as usize];
-                (
-                    run.alloc,
-                    run.alloc_nodes,
-                    run.spec.nodes(),
-                    run.phase_idx < run.spec.phases().len(),
-                )
-            };
-            let next_is_classical = more_phases && {
-                let run = &self.jobs[job.raw() as usize];
-                matches!(run.spec.phases()[run.phase_idx], Phase::Classical(_))
-            };
-            if next_is_classical && held < target {
-                if let Some(alloc) = alloc {
-                    let free = self.cluster.free_nodes("classical")?;
-                    let grant = free.min(target - held);
-                    if grant > 0 {
-                        let added = self.cluster.expand(alloc, "classical", grant, now)?;
-                        let run = &mut self.jobs[job.raw() as usize];
-                        run.set_alloc_nodes(now, held + added.len() as u32);
-                        self.node_waste.add_allocated(now, added.len() as f64);
-                    }
-                }
-            }
-        }
-        self.advance(job, now)
+        // Malleable-style drivers re-expand (best-effort) before the next
+        // classical phase; shortfall is absorbed by stretching.
+        driver.on_quantum_exit(&mut SimCtx { state: self, now }, job)?;
+        driver.on_phase_advanced(&mut SimCtx { state: self, now }, job)?;
+        self.advance(driver, job, now)
     }
 
-    /// After a phase completes: next phase, next workflow step, or done.
-    fn advance(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
-        let strategy = self.scenario.strategy;
-        let (finished, _idx) = {
+    /// After a phase completes: next phase, next step, or done.
+    fn advance(
+        &mut self,
+        driver: &mut dyn StrategyDriver,
+        job: JobId,
+        now: SimTime,
+    ) -> Result<(), SimError> {
+        let (finished, plan) = {
             let run = &self.jobs[job.raw() as usize];
-            (run.phase_idx >= run.spec.phases().len(), run.phase_idx)
+            (run.phase_idx >= run.spec.phases().len(), run.plan)
         };
-        match strategy {
-            Strategy::Workflow => {
+        match plan {
+            SubmissionPlan::PerStep => {
                 // Every step releases its resources on completion.
-                self.release_current(job, now)?;
+                self.release_current(driver, job, now)?;
                 if finished {
-                    self.complete_job(job, now)
+                    self.complete_job(driver, job, now)
                 } else {
                     let epoch = self.jobs[job.raw() as usize].epoch;
                     self.events.schedule(
@@ -823,18 +1067,23 @@ impl FacilitySim {
                     Ok(())
                 }
             }
-            _ => {
+            SubmissionPlan::WholeJob { .. } => {
                 if finished {
-                    self.complete_job(job, now)
+                    self.complete_job(driver, job, now)
                 } else {
-                    self.begin_phase(job, now)
+                    self.begin_phase(driver, job, now)
                 }
             }
         }
     }
 
     /// Releases the job's current allocation and closes its integrals.
-    fn release_current(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
+    fn release_current(
+        &mut self,
+        driver: &mut dyn StrategyDriver,
+        job: JobId,
+        now: SimTime,
+    ) -> Result<(), SimError> {
         let run = &mut self.jobs[job.raw() as usize];
         let Some(alloc) = run.alloc.take() else {
             return Ok(());
@@ -844,23 +1093,37 @@ impl FacilitySim {
         let qpus = run.qpu_alloc_units;
         run.set_alloc_nodes(now, 0);
         run.set_qpu_units(now, 0);
-        if nodes > 0 {
-            self.node_waste.add_allocated(now, -f64::from(nodes));
+        // Shared (virtual) tokens are tracked per-job only: they are not
+        // an exclusive physical hold, so they never entered the exclusive
+        // allocation integral and must not leave it either.
+        let exclusive = driver.holds_qpu_exclusively(job);
+        if nodes > 0 || (qpus > 0 && exclusive) {
+            emit!(
+                self,
+                now,
+                SimEvent::AllocationChanged {
+                    job,
+                    node_delta: if nodes > 0 { -f64::from(nodes) } else { 0.0 },
+                    qpu_delta: if qpus > 0 && exclusive {
+                        -f64::from(qpus)
+                    } else {
+                        0.0
+                    },
+                }
+            );
         }
-        if qpus > 0 && (!self.scenario.strategy.shares_qpu()) {
-            self.qpu_waste.add_allocated(now, -f64::from(qpus));
-        } else if qpus > 0 {
-            // vqpu tokens: tracked per-job only (no exclusive physical hold).
-        }
-        // Workflow quantum steps hold gres with shares_qpu() == false, so
-        // the branch above already handled them.
         self.cluster.release(alloc, now)?;
         self.scheduler.finished(alloc, now);
         Ok(())
     }
 
-    fn complete_job(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
-        self.release_current(job, now)?;
+    fn complete_job(
+        &mut self,
+        driver: &mut dyn StrategyDriver,
+        job: JobId,
+        now: SimTime,
+    ) -> Result<(), SimError> {
+        self.release_current(driver, job, now)?;
         self.finalize(job, now, true);
         Ok(())
     }
@@ -875,7 +1138,7 @@ impl FacilitySim {
         run.done = true;
         run.completed = completed;
         self.completed += 1;
-        self.stats.record(JobRecord {
+        let record = JobRecord {
             name: run.spec.name().to_string(),
             user: run.spec.user().to_string(),
             submit: run.spec.submit(),
@@ -889,7 +1152,8 @@ impl FacilitySim {
             qpu_seconds_allocated: run.qpu_seconds_alloc,
             qpu_seconds_used: run.qpu_seconds_used,
             phase_wait: run.phase_wait,
-        });
+        };
+        emit!(self, now, SimEvent::JobFinalized { record: &record });
     }
 
     /// Arms a walltime-kill timer for the just-started job/step, replacing
@@ -917,7 +1181,12 @@ impl FacilitySim {
     /// Aborts the job's in-flight attempt: stops the current phase, fences
     /// off its pending events (a kernel already on the device keeps
     /// executing — hardware queues don't abort), and releases resources.
-    fn abort_attempt(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
+    fn abort_attempt(
+        &mut self,
+        driver: &mut dyn StrategyDriver,
+        job: JobId,
+        now: SimTime,
+    ) -> Result<(), SimError> {
         self.close_classical(job, now);
         {
             let run = &mut self.jobs[job.raw() as usize];
@@ -929,18 +1198,24 @@ impl FacilitySim {
             }
             run.epoch += 1;
         }
-        self.release_current(job, now)
+        self.release_current(driver, job, now)?;
+        driver.on_abort(&mut SimCtx { state: self, now }, job)
     }
 
     /// SLURM-style walltime kill: abort the current attempt, release its
     /// resources, and requeue the whole job (from phase 0) while the
     /// requeue budget lasts; record it failed afterwards.
-    fn kill_job(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
+    fn kill_job(
+        &mut self,
+        driver: &mut dyn StrategyDriver,
+        job: JobId,
+        now: SimTime,
+    ) -> Result<(), SimError> {
         let crate::scenario::WalltimePolicy::Kill { max_requeues } = self.scenario.walltime_policy
         else {
             return Ok(());
         };
-        self.abort_attempt(job, now)?;
+        self.abort_attempt(driver, job, now)?;
         let requeues = self.jobs[job.raw() as usize].requeues;
         if requeues < max_requeues {
             let run = &mut self.jobs[job.raw() as usize];
@@ -948,61 +1223,130 @@ impl FacilitySim {
             run.phase_idx = 0;
             run.prev_phase_end = None;
             run.device = None;
-            self.on_submit(job, now)
+            self.on_submit(driver, job, now)
         } else {
             self.finalize(job, now, false);
             Ok(())
         }
     }
 
-    // ----- outcome ---------------------------------------------------------
+    // ----- SimCtx capabilities --------------------------------------------
 
-    fn into_outcome(self) -> Outcome {
-        // Device work may outlive the last job record (a killed job's
-        // kernel still executes), so the accounting window runs to the last
-        // processed event, not just the last completion.
-        let end = self
-            .stats
-            .makespan()
-            .max(self.events.now())
-            .max(SimTime::from_nanos(1));
-        let span = end.as_secs_f64();
-        let devices = self
-            .devices
+    pub(crate) fn spec(&self, job: JobId) -> &JobSpec {
+        &self.jobs[job.raw() as usize].spec
+    }
+
+    pub(crate) fn held_nodes(&self, job: JobId) -> u32 {
+        self.jobs[job.raw() as usize].alloc_nodes
+    }
+
+    pub(crate) fn phase_index(&self, job: JobId) -> usize {
+        self.jobs[job.raw() as usize].phase_idx
+    }
+
+    pub(crate) fn last_wait(&self, job: JobId, now: SimTime) -> SimDuration {
+        now.saturating_since(self.jobs[job.raw() as usize].queued_at)
+    }
+
+    pub(crate) fn free_classical_nodes(&self) -> Result<u32, SimError> {
+        Ok(self.cluster.free_nodes("classical")?)
+    }
+
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.scheduler.pending_len()
+    }
+
+    pub(crate) fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The slowest capable device's mean job time for `kernel`, seconds.
+    /// Only devices with enough qubits count — an incapable device's
+    /// timing must not drive planning for a kernel it can never run —
+    /// falling back to all devices when none is capable (the simulation
+    /// will error on such a kernel anyway; the estimate stays finite).
+    pub(crate) fn worst_case_device_secs(&self, kernel: &Kernel) -> f64 {
+        let any_capable = self.devices.iter().any(|d| d.qubits() >= kernel.qubits());
+        self.devices
             .iter()
-            .map(|d| DeviceSummary {
-                name: d.name().to_string(),
-                technology: d.technology(),
-                tasks: d.tasks_executed(),
-                busy_seconds: d.total_busy().as_secs_f64(),
-                utilization: if span > 0.0 {
-                    (d.total_busy().as_secs_f64() / span).min(1.0)
-                } else {
-                    0.0
-                },
-                recalibration_seconds: d.total_recalibration().as_secs_f64(),
-            })
-            .collect();
-        let node_waste = WasteSummary {
-            allocated_fraction: self.node_waste.allocated_fraction(end),
-            used_fraction: self.node_waste.used_fraction(end),
-            efficiency: self.node_waste.efficiency(end),
-            wasted_unit_seconds: self.node_waste.wasted_unit_seconds(end),
+            .filter(|d| !any_capable || d.qubits() >= kernel.qubits())
+            .map(|d| d.timing().mean_job_secs(kernel.shots()))
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Shrinks `job`'s allocation down to `target` nodes; returns nodes
+    /// released (0 when already at/below target or unallocated).
+    pub(crate) fn shrink_to(
+        &mut self,
+        job: JobId,
+        target: u32,
+        now: SimTime,
+    ) -> Result<u32, SimError> {
+        let (alloc, held) = {
+            let run = &self.jobs[job.raw() as usize];
+            (run.alloc, run.alloc_nodes)
         };
-        let qpu_waste = WasteSummary {
-            allocated_fraction: self.qpu_waste.allocated_fraction(end),
-            used_fraction: self.qpu_waste.used_fraction(end),
-            efficiency: self.qpu_waste.efficiency(end),
-            wasted_unit_seconds: self.qpu_waste.wasted_unit_seconds(end),
-        };
-        Outcome {
-            stats: self.stats,
-            makespan: end,
-            node_waste,
-            qpu_waste,
-            devices,
-            gantt: self.gantt,
+        let Some(alloc) = alloc else { return Ok(0) };
+        if held <= target {
+            return Ok(0);
         }
+        let released = self.cluster.shrink(alloc, "classical", target, now)?;
+        let run = &mut self.jobs[job.raw() as usize];
+        run.set_alloc_nodes(now, target);
+        let count = released.len() as u32;
+        emit!(
+            self,
+            now,
+            SimEvent::AllocationChanged {
+                job,
+                node_delta: -f64::from(count),
+                qpu_delta: 0.0,
+            }
+        );
+        Ok(count)
+    }
+
+    /// Best-effort expansion of `job` toward `target` nodes; returns the
+    /// nodes granted (0 when the machine is busy or the job unallocated).
+    pub(crate) fn expand_toward(
+        &mut self,
+        job: JobId,
+        target: u32,
+        now: SimTime,
+    ) -> Result<u32, SimError> {
+        let (alloc, held) = {
+            let run = &self.jobs[job.raw() as usize];
+            (run.alloc, run.alloc_nodes)
+        };
+        let Some(alloc) = alloc else { return Ok(0) };
+        if held >= target {
+            return Ok(0);
+        }
+        let free = self.cluster.free_nodes("classical")?;
+        let grant = free.min(target - held);
+        if grant == 0 {
+            return Ok(0);
+        }
+        let added = self.cluster.expand(alloc, "classical", grant, now)?;
+        let count = added.len() as u32;
+        let run = &mut self.jobs[job.raw() as usize];
+        run.set_alloc_nodes(now, held + count);
+        emit!(
+            self,
+            now,
+            SimEvent::AllocationChanged {
+                job,
+                node_delta: f64::from(count),
+                qpu_delta: 0.0,
+            }
+        );
+        Ok(count)
+    }
+
+    /// Re-arms the walltime-kill timer to fire `walltime` from `now`.
+    pub(crate) fn rearm_walltime(&mut self, job: JobId, walltime: SimDuration, now: SimTime) {
+        self.jobs[job.raw() as usize].current_walltime = walltime;
+        self.arm_walltime_kill(job, now);
     }
 }
 
@@ -1071,7 +1415,7 @@ mod tests {
     #[test]
     fn single_classical_job_all_strategies() {
         let w = Workload::from_jobs(vec![classical_job("mpi", 8, 600, 0)]);
-        for strategy in Strategy::representative_set() {
+        for strategy in Strategy::extended_set() {
             let out = FacilitySim::run(&scenario(strategy), &w).unwrap();
             assert_eq!(out.stats.len(), 1, "{strategy}");
             let r = &out.stats.records()[0];
@@ -1200,7 +1544,7 @@ mod tests {
             hybrid_job("b", 6, 2, 30),
             classical_job("c", 8, 900, 60),
         ]);
-        for strategy in Strategy::representative_set() {
+        for strategy in Strategy::extended_set() {
             let o1 = FacilitySim::run(&scenario(strategy), &w).unwrap();
             let o2 = FacilitySim::run(&scenario(strategy), &w).unwrap();
             assert_eq!(o1.makespan, o2.makespan, "{strategy}");
@@ -1225,7 +1569,7 @@ mod tests {
             })
             .collect();
         let w = Workload::from_jobs(jobs);
-        for strategy in Strategy::representative_set() {
+        for strategy in Strategy::extended_set() {
             let out = FacilitySim::run(&scenario(strategy), &w).unwrap();
             assert_eq!(out.stats.len(), 12, "{strategy} must finish all jobs");
         }
@@ -1475,5 +1819,210 @@ mod tests {
         let r = &out.stats.records()[0];
         assert!(r.qpu_seconds_used > 0.0);
         let _ = TimingModel::new(Dist::constant(0.01), Dist::constant(2.0));
+    }
+
+    // ----- driver / observer API ------------------------------------------
+
+    /// A short quantum phase inside long classical work → the advisor
+    /// routes the job to virtual QPUs.
+    #[test]
+    fn adaptive_runs_end_to_end() {
+        let w = Workload::from_jobs(vec![
+            hybrid_job("a", 4, 3, 0),
+            hybrid_job("b", 6, 2, 30),
+            classical_job("c", 8, 900, 60),
+        ]);
+        let out = FacilitySim::run(&scenario(Strategy::Adaptive { vqpus: 4 }), &w).unwrap();
+        assert_eq!(out.stats.len(), 3);
+        assert_eq!(out.stats.failed_count(), 0);
+        // Adaptive never holds a device exclusively.
+        assert_eq!(out.qpu_waste.allocated_fraction, 0.0);
+    }
+
+    /// On the neutral-atom machine (30-minute kernels) the advisor must
+    /// route hybrid jobs to workflows: nodes are released during quantum
+    /// work, so node waste stays near zero — unlike co-scheduling.
+    #[test]
+    fn adaptive_routes_long_kernels_to_workflow() {
+        let mut sc = scenario(Strategy::Adaptive { vqpus: 4 });
+        sc.devices = vec![Technology::NeutralAtom];
+        let w = Workload::from_jobs(vec![hybrid_job("h", 8, 2, 0)]);
+        let out = FacilitySim::run(&sc, &w).unwrap();
+        let r = &out.stats.records()[0];
+        assert!(
+            (r.node_seconds_allocated - r.node_seconds_used).abs() < 1.0,
+            "workflow routing releases nodes during quantum work \
+             (alloc {} vs used {})",
+            r.node_seconds_allocated,
+            r.node_seconds_used
+        );
+    }
+
+    /// The adaptive planning estimate must ignore devices that cannot run
+    /// the kernel: a small slow device next to a large fast one must not
+    /// inflate the estimate for kernels only the large device can run.
+    #[test]
+    fn quantum_estimate_ignores_incapable_devices() {
+        let mut sc = scenario(Strategy::Adaptive { vqpus: 4 });
+        // 127-qubit superconducting next to a 12-qubit spin-qubit device.
+        sc.devices = vec![Technology::Superconducting, Technology::SpinQubit];
+        let w = Workload::from_jobs(vec![hybrid_job("h", 4, 1, 0)]);
+        let sim = FacilitySim::new(sc.clone(), &w, driver_for(&sc.strategy), &mut []);
+        let supercond = sim.state.devices[0].timing().mean_job_secs(1_000);
+        let spin = sim.state.devices[1].timing().mean_job_secs(1_000);
+        let big = Kernel::builder("big")
+            .qubits(100)
+            .shots(1_000)
+            .build()
+            .unwrap();
+        assert_eq!(
+            sim.state.worst_case_device_secs(&big),
+            supercond,
+            "only the superconducting device can run 100 qubits"
+        );
+        let small = Kernel::builder("small")
+            .qubits(8)
+            .shots(1_000)
+            .build()
+            .unwrap();
+        assert_eq!(
+            sim.state.worst_case_device_secs(&small),
+            supercond.max(spin),
+            "both devices are capable, the slowest wins"
+        );
+    }
+
+    #[test]
+    fn custom_driver_runs_on_the_stock_loop() {
+        /// Pins every job to co-scheduling regardless of the scenario's
+        /// strategy field — the minimal proof that external drivers plug in.
+        #[derive(Debug)]
+        struct AlwaysCoSchedule;
+        impl StrategyDriver for AlwaysCoSchedule {
+            fn name(&self) -> &'static str {
+                "always-coschedule"
+            }
+            fn submission_plan(&mut self, ctx: &mut SimCtx<'_, '_>, job: JobId) -> SubmissionPlan {
+                SubmissionPlan::WholeJob {
+                    hold_qpu: ctx.spec(job).is_hybrid(),
+                }
+            }
+        }
+        let w = Workload::from_jobs(vec![hybrid_job("h", 4, 2, 0)]);
+        let stock = FacilitySim::run(&scenario(Strategy::CoSchedule), &w).unwrap();
+        let custom = FacilitySim::run_with_driver(
+            &scenario(Strategy::Workflow),
+            &w,
+            Box::new(AlwaysCoSchedule),
+            &mut [],
+        )
+        .unwrap();
+        assert_eq!(stock.makespan, custom.makespan);
+        assert_eq!(
+            stock.stats.mean_turnaround_secs(),
+            custom.stats.mean_turnaround_secs()
+        );
+    }
+
+    #[test]
+    fn extra_observers_see_the_event_stream() {
+        use crate::observer::SimEvent;
+
+        /// Counts events per variant family.
+        #[derive(Debug, Default)]
+        struct Counter {
+            submitted: usize,
+            started: usize,
+            finalized: usize,
+            kernels: usize,
+        }
+        impl SimObserver for Counter {
+            fn on_event(&mut self, _now: SimTime, event: &SimEvent<'_>) {
+                match event {
+                    SimEvent::JobSubmitted { .. } => self.submitted += 1,
+                    SimEvent::JobStarted { .. } => self.started += 1,
+                    SimEvent::JobFinalized { .. } => self.finalized += 1,
+                    SimEvent::KernelExecEnded { .. } => self.kernels += 1,
+                    _ => {}
+                }
+            }
+        }
+
+        let w = Workload::from_jobs(vec![hybrid_job("h", 4, 3, 0), classical_job("c", 8, 60, 0)]);
+        for strategy in Strategy::extended_set() {
+            let mut counter = Counter::default();
+            let out =
+                FacilitySim::run_observed(&scenario(strategy), &w, &mut [&mut counter]).unwrap();
+            assert_eq!(counter.finalized, 2, "{strategy}");
+            assert_eq!(counter.submitted, counter.started, "{strategy}");
+            assert_eq!(counter.kernels as u64, out.total_kernels(), "{strategy}");
+        }
+    }
+
+    #[test]
+    fn observers_do_not_perturb_the_simulation() {
+        /// An observer that only burns cycles.
+        #[derive(Debug, Default)]
+        struct Noop(usize);
+        impl SimObserver for Noop {
+            fn on_event(&mut self, _now: SimTime, _event: &SimEvent<'_>) {
+                self.0 += 1;
+            }
+        }
+        let w = Workload::from_jobs(vec![hybrid_job("a", 4, 3, 0), hybrid_job("b", 6, 2, 30)]);
+        for strategy in Strategy::extended_set() {
+            let bare = FacilitySim::run(&scenario(strategy), &w).unwrap();
+            let mut o1 = Noop::default();
+            let mut o2 = Noop::default();
+            let observed =
+                FacilitySim::run_observed(&scenario(strategy), &w, &mut [&mut o1, &mut o2])
+                    .unwrap();
+            assert_eq!(bare.makespan, observed.makespan, "{strategy}");
+            assert_eq!(
+                bare.stats.mean_turnaround_secs(),
+                observed.stats.mean_turnaround_secs(),
+                "{strategy}"
+            );
+            assert!(o1.0 > 0);
+            assert_eq!(o1.0, o2.0);
+        }
+    }
+
+    /// The crossover workload mix: hybrid tenants competing with classical
+    /// background traffic — the regime where the paper's strategies
+    /// cross over (E6).
+    fn crossover_workload() -> Workload {
+        let mut jobs = Vec::new();
+        // Four overlapping hybrid tenants: under co-scheduling they
+        // serialize on the single exclusive QPU token.
+        for i in 0..4u64 {
+            jobs.push(hybrid_job(&format!("hyb{i}"), 4, 4, i * 15));
+        }
+        // Classical background traffic competing for the nodes.
+        for i in 0..4u64 {
+            jobs.push(classical_job(&format!("bg{i}"), 4, 600, 100 + i * 150));
+        }
+        Workload::from_jobs(jobs)
+    }
+
+    /// The acceptance experiment: on the crossover workload mix (several
+    /// hybrid tenants over background load), per-job advisor routing must
+    /// beat the *worst* fixed strategy on mean turnaround.
+    #[test]
+    fn adaptive_beats_worst_fixed_on_crossover_mix() {
+        let w = crossover_workload();
+        let base = scenario(Strategy::CoSchedule);
+        let fixed = run_strategies(&base, &w, &Strategy::representative_set()).unwrap();
+        let worst = fixed
+            .iter()
+            .map(|(_, o)| o.stats.mean_turnaround_secs())
+            .fold(f64::MIN, f64::max);
+        let adaptive = FacilitySim::run(&scenario(Strategy::Adaptive { vqpus: 4 }), &w).unwrap();
+        assert!(
+            adaptive.stats.mean_turnaround_secs() < worst,
+            "adaptive {} must beat the worst fixed strategy {}",
+            adaptive.stats.mean_turnaround_secs(),
+            worst
+        );
     }
 }

@@ -9,6 +9,11 @@
 //! | `Workflow`    | held per classical step    | exclusive gres per quantum step      |
 //! | `Vqpu`        | held for the whole job     | shared device via a VQPU token       |
 //! | `Malleable`   | shrunk during quantum work | shared device, no exclusive hold     |
+//! | `Adaptive`    | per job, advisor-chosen    | shared device via tokens             |
+//!
+//! `Adaptive` is the fifth strategy this reproduction adds on top of the
+//! paper: the §4 advisor picks one of the mechanisms above per job (see
+//! [`crate::drivers::AdaptiveDriver`]).
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -35,6 +40,15 @@ pub enum Strategy {
         /// Nodes retained through quantum phases (≥ 1 keeps rank 0 alive).
         min_nodes: u32,
     },
+    /// The §4 advisor run *inside* the simulator: the mechanism is picked
+    /// **per job** from its phase profile (workflow for long quantum
+    /// phases, virtual QPUs for short ones, malleability in between).
+    /// Devices are shared through `vqpus` tokens; no job holds a QPU
+    /// exclusively.
+    Adaptive {
+        /// Shared QPU tokens configured per physical device (≥ 1).
+        vqpus: u32,
+    },
 }
 
 impl Strategy {
@@ -45,13 +59,14 @@ impl Strategy {
             Strategy::Workflow => "workflow",
             Strategy::Vqpu { .. } => "vqpu",
             Strategy::Malleable { .. } => "malleable",
+            Strategy::Adaptive { .. } => "adaptive",
         }
     }
 
     /// Gres units to configure per physical QPU device.
     pub fn gres_per_device(&self) -> u32 {
         match self {
-            Strategy::Vqpu { vqpus } => (*vqpus).max(1),
+            Strategy::Vqpu { vqpus } | Strategy::Adaptive { vqpus } => (*vqpus).max(1),
             _ => 1,
         }
     }
@@ -59,10 +74,17 @@ impl Strategy {
     /// `true` if quantum phases go through a shared device queue rather
     /// than an exclusively allocated one.
     pub fn shares_qpu(&self) -> bool {
-        matches!(self, Strategy::Vqpu { .. } | Strategy::Malleable { .. })
+        matches!(
+            self,
+            Strategy::Vqpu { .. } | Strategy::Malleable { .. } | Strategy::Adaptive { .. }
+        )
     }
 
-    /// All strategies at representative parameters, for sweep harnesses.
+    /// The paper's four fixed strategies at representative parameters, for
+    /// sweep harnesses. Deliberately excludes [`Strategy::Adaptive`] —
+    /// the paper's comparisons (and this repository's golden outputs) are
+    /// over the fixed four; use [`Strategy::extended_set`] to include the
+    /// advisor-driven strategy.
     pub fn representative_set() -> Vec<Strategy> {
         vec![
             Strategy::CoSchedule,
@@ -71,6 +93,13 @@ impl Strategy {
             Strategy::Malleable { min_nodes: 1 },
         ]
     }
+
+    /// The representative set plus [`Strategy::Adaptive`].
+    pub fn extended_set() -> Vec<Strategy> {
+        let mut set = Strategy::representative_set();
+        set.push(Strategy::Adaptive { vqpus: 4 });
+        set
+    }
 }
 
 impl fmt::Display for Strategy {
@@ -78,6 +107,7 @@ impl fmt::Display for Strategy {
         match self {
             Strategy::Vqpu { vqpus } => write!(f, "vqpu(x{vqpus})"),
             Strategy::Malleable { min_nodes } => write!(f, "malleable(min={min_nodes})"),
+            Strategy::Adaptive { vqpus } => write!(f, "adaptive(x{vqpus})"),
             other => f.write_str(other.name()),
         }
     }
@@ -96,6 +126,8 @@ mod tests {
             "malleable(min=2)"
         );
         assert_eq!(Strategy::Workflow.name(), "workflow");
+        assert_eq!(Strategy::Adaptive { vqpus: 4 }.to_string(), "adaptive(x4)");
+        assert_eq!(Strategy::Adaptive { vqpus: 4 }.name(), "adaptive");
     }
 
     #[test]
@@ -120,7 +152,16 @@ mod tests {
     #[test]
     fn representative_set_covers_all_variants() {
         let set = Strategy::representative_set();
-        assert_eq!(set.len(), 4);
+        assert_eq!(set.len(), 4, "goldens depend on the fixed four");
         assert!(set.iter().any(|s| matches!(s, Strategy::Vqpu { .. })));
+    }
+
+    #[test]
+    fn extended_set_adds_adaptive() {
+        let set = Strategy::extended_set();
+        assert_eq!(set.len(), 5);
+        assert!(matches!(set[4], Strategy::Adaptive { .. }));
+        assert!(Strategy::Adaptive { vqpus: 2 }.shares_qpu());
+        assert_eq!(Strategy::Adaptive { vqpus: 3 }.gres_per_device(), 3);
     }
 }

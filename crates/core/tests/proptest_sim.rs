@@ -1,6 +1,13 @@
 //! Property tests of the facility simulator: for arbitrary small hybrid
-//! workloads, every strategy completes every job with consistent records.
+//! workloads, every driver (including the adaptive fifth strategy)
+//! completes every job with consistent records, and the cluster/accounting
+//! invariants hold after **every** event — the event loop re-checks
+//! [`Cluster::check_invariants`](hpcqc_cluster::cluster::Cluster::check_invariants)
+//! per event in debug builds (which these tests are), and an attached
+//! [`SimObserver`] reconstructs the waste accounting from the public
+//! event stream and polices its bounds event by event.
 
+use hpcqc_core::observer::{PhaseKind, SimEvent, SimObserver};
 use hpcqc_core::scenario::Scenario;
 use hpcqc_core::sim::FacilitySim;
 use hpcqc_core::strategy::Strategy;
@@ -45,7 +52,94 @@ fn strategy_strategy() -> impl proptest::strategy::Strategy<Value = Strategy> {
         Just(Strategy::Workflow),
         (1u32..=4).prop_map(|v| Strategy::Vqpu { vqpus: v }),
         (1u32..=4).prop_map(|m| Strategy::Malleable { min_nodes: m }),
+        (1u32..=4).prop_map(|v| Strategy::Adaptive { vqpus: v }),
     ]
+}
+
+/// Reconstructs the facility-wide allocation/usage accounting from the
+/// public [`SimEvent`] stream and checks its bounds after every event:
+///
+/// * allocated and used counts never go negative or exceed capacity;
+/// * used nodes never exceed allocated nodes (work happens inside holds);
+/// * concurrent kernel executions never exceed the device count.
+#[derive(Debug)]
+struct AccountingInvariants {
+    node_capacity: f64,
+    qpu_capacity: f64,
+    node_alloc: f64,
+    node_used: f64,
+    qpu_alloc: f64,
+    qpu_used: f64,
+    events: u64,
+    violations: Vec<String>,
+}
+
+impl AccountingInvariants {
+    fn new(node_capacity: f64, qpu_capacity: f64) -> Self {
+        AccountingInvariants {
+            node_capacity,
+            qpu_capacity,
+            node_alloc: 0.0,
+            node_used: 0.0,
+            qpu_alloc: 0.0,
+            qpu_used: 0.0,
+            events: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    fn check(&mut self, when: SimTime) {
+        const EPS: f64 = 1e-6;
+        let checks = [
+            (self.node_alloc, self.node_capacity, "allocated nodes"),
+            (self.node_used, self.node_capacity, "used nodes"),
+            (self.qpu_alloc, self.qpu_capacity, "allocated QPUs"),
+            (self.qpu_used, self.qpu_capacity, "executing kernels"),
+        ];
+        for (value, capacity, what) in checks {
+            if !(-EPS..=capacity + EPS).contains(&value) {
+                self.violations.push(format!(
+                    "{what} = {value} outside [0, {capacity}] at {when}"
+                ));
+            }
+        }
+        if self.node_used > self.node_alloc + EPS {
+            self.violations.push(format!(
+                "used nodes {} exceed allocated {} at {when}",
+                self.node_used, self.node_alloc
+            ));
+        }
+    }
+}
+
+impl SimObserver for AccountingInvariants {
+    fn on_event(&mut self, now: SimTime, event: &SimEvent<'_>) {
+        match event {
+            SimEvent::AllocationChanged {
+                node_delta,
+                qpu_delta,
+                ..
+            } => {
+                self.node_alloc += node_delta;
+                self.qpu_alloc += qpu_delta;
+            }
+            SimEvent::PhaseStarted {
+                kind: PhaseKind::Classical,
+                busy_nodes,
+                ..
+            } => self.node_used += busy_nodes,
+            SimEvent::PhaseEnded {
+                kind: PhaseKind::Classical,
+                busy_nodes,
+                ..
+            } => self.node_used -= busy_nodes,
+            SimEvent::KernelExecStarted { .. } => self.qpu_used += 1.0,
+            SimEvent::KernelExecEnded { .. } => self.qpu_used -= 1.0,
+            _ => {}
+        }
+        self.events += 1;
+        self.check(now);
+    }
 }
 
 proptest! {
@@ -89,6 +183,42 @@ proptest! {
         }
         prop_assert!(outcome.makespan >= workload.last_submit());
         prop_assert!(outcome.node_waste.used_fraction <= outcome.node_waste.allocated_fraction + 1e-9);
+    }
+
+    /// Cluster invariants and the node/QPU accounting integrals hold
+    /// after every event, for arbitrary workloads under every driver
+    /// (including `Adaptive`). Cluster state is re-checked per event by
+    /// the loop's debug assertions; the resource accounting is verified
+    /// independently by the attached observer.
+    #[test]
+    fn accounting_invariants_hold_after_every_event(
+        jobs in prop::collection::vec(job_strategy(), 1..8),
+        strategy in strategy_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let workload = Workload::from_jobs(jobs);
+        let scenario = Scenario::builder()
+            .classical_nodes(NODES)
+            .device(Technology::Superconducting)
+            .strategy(strategy)
+            .seed(seed)
+            .build();
+        let mut invariants = AccountingInvariants::new(f64::from(NODES), 1.0);
+        let outcome = FacilitySim::run_observed(&scenario, &workload, &mut [&mut invariants])
+            .expect("valid scenario");
+        prop_assert!(
+            invariants.violations.is_empty(),
+            "{}: {:?}",
+            strategy,
+            invariants.violations
+        );
+        prop_assert!(invariants.events > 0);
+        // Advisory walltimes + no failures ⇒ the machine drains clean.
+        prop_assert!(invariants.node_alloc.abs() < 1e-6, "{} nodes left allocated", invariants.node_alloc);
+        prop_assert!(invariants.node_used.abs() < 1e-6);
+        prop_assert!(invariants.qpu_alloc.abs() < 1e-6);
+        prop_assert!(invariants.qpu_used.abs() < 1e-6);
+        prop_assert_eq!(outcome.stats.len(), workload.len());
     }
 
     /// Full-pipeline determinism: same inputs ⇒ identical outcome.

@@ -1,0 +1,65 @@
+//! Acceptance test for the fifth strategy: [`Strategy::Adaptive`] runs
+//! end-to-end through the sweep engine on the *committed* crossover grid
+//! (`examples/grids/crossover.json`) and beats the worst fixed strategy
+//! on the crossover experiment's combined-utilization metric (E6).
+
+use hpcqc_core::Strategy;
+use hpcqc_sweep::{Executor, Grid};
+use std::collections::BTreeMap;
+
+fn crossover_grid() -> Grid {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/grids/crossover.json"
+    );
+    let text = std::fs::read_to_string(path).expect("crossover grid exists");
+    let grid: Grid = serde_json::from_str(&text).expect("crossover grid parses");
+    grid.validate().expect("crossover grid is valid");
+    grid
+}
+
+#[test]
+fn crossover_grid_carries_the_adaptive_axis_entry() {
+    let grid = crossover_grid();
+    assert!(
+        grid.strategies
+            .iter()
+            .any(|s| matches!(s, Strategy::Adaptive { .. })),
+        "examples/grids/crossover.json must sweep the adaptive strategy"
+    );
+}
+
+#[test]
+fn adaptive_beats_worst_fixed_on_crossover_grid() {
+    // Focus the committed grid down to one policy and the heavier load so
+    // the test stays fast, while keeping the crossover essence: all five
+    // strategies across both quantum technologies.
+    let mut grid = crossover_grid();
+    grid.policies = vec![hpcqc_sched::Policy::EasyBackfill];
+    grid.loads_per_hour = vec![9.0];
+    let result = Executor::default().run_sim(&grid).expect("sweep runs");
+
+    // Mean combined utilization per strategy over the surviving cells.
+    let mut sums: BTreeMap<String, (f64, u32)> = BTreeMap::new();
+    for cell in result.results() {
+        let entry = sums
+            .entry(cell.cell.strategy.name().to_string())
+            .or_default();
+        entry.0 += cell.outcome.combined_utilization();
+        entry.1 += 1;
+    }
+    let mean = |name: &str| {
+        let (sum, n) = sums[name];
+        sum / f64::from(n)
+    };
+    let adaptive = mean("adaptive");
+    let worst_fixed = ["co-schedule", "workflow", "vqpu", "malleable"]
+        .iter()
+        .map(|s| mean(s))
+        .fold(f64::MAX, f64::min);
+    assert!(
+        adaptive > worst_fixed,
+        "adaptive combined utilization {adaptive:.4} must beat the worst \
+         fixed strategy's {worst_fixed:.4} on the crossover mix"
+    );
+}

@@ -17,6 +17,9 @@
 //!
 //! # Run a declarative parameter sweep across all cores
 //! hpcqc-sim sweep --grid examples/grids/crossover.json --threads 8 --format csv
+//!
+//! # Ask the paper's §4 advisor which strategy fits a workload profile
+//! hpcqc-sim advise --quantum-secs 10 --classical-secs 300 --queue-wait-secs 600
 //! ```
 //!
 //! Traces are read as HQWF (`.hqwf`, see `hpcqc_workload::trace`) or JSON
@@ -31,8 +34,10 @@ const USAGE: &str =
      hpcqc-sim run --trace FILE [--scenario FILE.json] [--strategy S] [--nodes N]\n            \
      [--device TECH] [--policy P] [--seed S] [--compare] [--gantt]\n  \
      hpcqc-sim sweep --grid FILE.json [--threads N] [--format csv|json|markdown]\n              \
-     [--summary] [--out FILE]\n\n\
-     strategies: co-schedule | workflow | vqpu:N | malleable:N\n\
+     [--summary] [--out FILE]\n  \
+     hpcqc-sim advise --quantum-secs X --classical-secs Y --queue-wait-secs Z\n               \
+     [--tenants N]\n\n\
+     strategies: co-schedule | workflow | vqpu:N | malleable:N | adaptive[:N]\n\
      devices:    superconducting | trapped-ion | neutral-atom | photonic | spin-qubit\n\
      policies:   fcfs | easy | conservative";
 
@@ -41,21 +46,53 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn parse_strategy(s: &str) -> Strategy {
+/// Every strategy form the CLI accepts, as shown in errors.
+const STRATEGY_FORMS: &str = "co-schedule | workflow | vqpu:N | malleable:N | adaptive[:N]";
+/// Bare strategy names, for "did you mean" hints against the typed word.
+const STRATEGY_NAMES: [&str; 6] = [
+    "co-schedule",
+    "coschedule",
+    "workflow",
+    "vqpu",
+    "malleable",
+    "adaptive",
+];
+
+/// Parses a strategy argument; errors enumerate every valid form and hint
+/// at the closest name (the `repro` arg-error convention).
+fn parse_strategy(s: &str) -> Result<Strategy, String> {
+    let bad = |input: &str| {
+        let name = input.split(':').next().unwrap_or(input);
+        let hint = match hpcqc::cli::did_you_mean(name, STRATEGY_NAMES) {
+            Some(known) => format!(" — did you mean `{known}`?"),
+            None => String::new(),
+        };
+        Err(format!(
+            "unknown strategy `{input}`{hint} (valid: {STRATEGY_FORMS})"
+        ))
+    };
     match s {
-        "co-schedule" | "coschedule" => Strategy::CoSchedule,
-        "workflow" => Strategy::Workflow,
+        "co-schedule" | "coschedule" => Ok(Strategy::CoSchedule),
+        "workflow" => Ok(Strategy::Workflow),
+        "adaptive" => Ok(Strategy::Adaptive { vqpus: 4 }),
         other => {
             if let Some(n) = other.strip_prefix("vqpu:") {
-                Strategy::Vqpu {
-                    vqpus: n.parse().unwrap_or_else(|_| usage()),
+                match n.parse() {
+                    Ok(vqpus) => Ok(Strategy::Vqpu { vqpus }),
+                    Err(_) => bad(other),
                 }
             } else if let Some(n) = other.strip_prefix("malleable:") {
-                Strategy::Malleable {
-                    min_nodes: n.parse().unwrap_or_else(|_| usage()),
+                match n.parse() {
+                    Ok(min_nodes) => Ok(Strategy::Malleable { min_nodes }),
+                    Err(_) => bad(other),
+                }
+            } else if let Some(n) = other.strip_prefix("adaptive:") {
+                match n.parse() {
+                    Ok(vqpus) => Ok(Strategy::Adaptive { vqpus }),
+                    Err(_) => bad(other),
                 }
             } else {
-                usage()
+                bad(other)
             }
         }
     }
@@ -180,11 +217,30 @@ fn run(args: &[String]) -> ExitCode {
         match arg.as_str() {
             "--trace" => trace = it.next().cloned(),
             "--scenario" => scenario_path = it.next().cloned(),
-            "--strategy" => strategy = it.next().map(|s| parse_strategy(s)),
-            "--nodes" => nodes = it.next().and_then(|v| v.parse().ok()),
+            "--strategy" => match it.next().map(|s| parse_strategy(s)) {
+                Some(Ok(s)) => strategy = Some(s),
+                Some(Err(message)) => {
+                    eprintln!("{message}");
+                    return ExitCode::from(2);
+                }
+                None => usage(),
+            },
+            "--nodes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => nodes = Some(n),
+                None => {
+                    eprintln!("--nodes needs a positive node count");
+                    return ExitCode::from(2);
+                }
+            },
             "--device" => device = it.next().map(|s| parse_device(s)),
             "--policy" => policy = it.next().map(|s| parse_policy(s)),
-            "--seed" => seed = it.next().and_then(|v| v.parse().ok()),
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = Some(s),
+                None => {
+                    eprintln!("--seed needs a numeric seed");
+                    return ExitCode::from(2);
+                }
+            },
             "--compare" => compare = true,
             "--gantt" => gantt = true,
             _ => usage(),
@@ -364,12 +420,78 @@ fn sweep(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Prints the §4 advisor's recommendation for a workload profile: which
+/// integration strategy fits, and why (the paper's rationale verbatim).
+fn advise(args: &[String]) -> ExitCode {
+    let mut quantum_secs: Option<f64> = None;
+    let mut classical_secs: Option<f64> = None;
+    let mut queue_wait_secs: Option<f64> = None;
+    let mut tenants = 4u32;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quantum-secs" | "--classical-secs" | "--queue-wait-secs" => {
+                let value = it
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|v| v.is_finite() && *v >= 0.0);
+                let Some(v) = value else {
+                    eprintln!("{arg} needs a non-negative number of seconds");
+                    return ExitCode::from(2);
+                };
+                match arg.as_str() {
+                    "--quantum-secs" => quantum_secs = Some(v),
+                    "--classical-secs" => classical_secs = Some(v),
+                    _ => queue_wait_secs = Some(v),
+                }
+            }
+            "--tenants" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => tenants = n,
+                None => {
+                    eprintln!("--tenants needs a job count");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                let known = [
+                    "--quantum-secs",
+                    "--classical-secs",
+                    "--queue-wait-secs",
+                    "--tenants",
+                ];
+                match hpcqc::cli::did_you_mean(other, known) {
+                    Some(hint) => eprintln!("unknown argument `{other}` — did you mean `{hint}`?"),
+                    None => eprintln!("unknown argument `{other}`"),
+                }
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let (Some(quantum), Some(classical), Some(wait)) =
+        (quantum_secs, classical_secs, queue_wait_secs)
+    else {
+        eprintln!(
+            "advise needs --quantum-secs, --classical-secs and --queue-wait-secs\n\
+             (typical durations of one quantum phase, one classical phase, and\n\
+             one batch-queue pass at your facility)"
+        );
+        return ExitCode::from(2);
+    };
+    let mut profile = WorkloadProfile::new(quantum, classical, wait);
+    profile.concurrent_hybrid_jobs = tenants;
+    let recommendation = recommend(&profile);
+    println!("recommended strategy: {}", recommendation.strategy);
+    println!("rationale (paper §4): {}", recommendation.rationale);
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("generate") => generate(&args[1..]),
         Some("run") => run(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
+        Some("advise") => advise(&args[1..]),
         Some("--help" | "-h") => {
             println!("{USAGE}");
             ExitCode::SUCCESS

@@ -32,6 +32,8 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
+
 pub use hpcqc_cluster as cluster;
 pub use hpcqc_core as core;
 pub use hpcqc_metrics as metrics;
@@ -45,8 +47,9 @@ pub use hpcqc_workload as workload;
 pub mod prelude {
     pub use hpcqc_cluster::{AllocRequest, Cluster, ClusterBuilder, GresKind, GroupRequest};
     pub use hpcqc_core::{
-        recommend, FacilitySim, FailureModel, Outcome, Scenario, SimError, Strategy,
-        WalltimePolicy, WorkloadProfile,
+        driver_for, recommend, FacilitySim, FailureModel, Outcome, PhaseKind, Scenario, SimCtx,
+        SimError, SimEvent, SimObserver, Strategy, StrategyDriver, SubmissionPlan, WalltimePolicy,
+        WorkloadProfile,
     };
     pub use hpcqc_metrics::{fmt_pct, fmt_secs, GanttRecorder, JobStats, Table};
     pub use hpcqc_qpu::{AccessMode, Kernel, QpuDevice, Technology};

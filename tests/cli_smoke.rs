@@ -32,6 +32,79 @@ fn no_args_shows_usage_and_fails() {
 }
 
 #[test]
+fn unknown_strategy_enumerates_and_hints() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["run", "--trace", "x.hqwf", "--strategy", "workflw"])
+        .output()
+        .expect("hpcqc-sim runs");
+    assert_eq!(out.status.code(), Some(2), "bad strategy must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("did you mean `workflow`"),
+        "missing hint: {stderr}"
+    );
+    for form in [
+        "co-schedule",
+        "workflow",
+        "vqpu:N",
+        "malleable:N",
+        "adaptive",
+    ] {
+        assert!(
+            stderr.contains(form),
+            "valid strategy `{form}` not enumerated: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn adaptive_strategy_parses() {
+    // `adaptive` and `adaptive:N` must both be accepted; a junk trace is
+    // rejected *after* strategy parsing, so exit 1 (not the arg-error 2).
+    for spec in ["adaptive", "adaptive:8"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+            .args(["run", "--trace", "/nonexistent.hqwf", "--strategy", spec])
+            .output()
+            .expect("hpcqc-sim runs");
+        assert_eq!(out.status.code(), Some(1), "`{spec}` must parse: {out:?}");
+    }
+}
+
+#[test]
+fn advise_prints_recommendation_and_rationale() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args([
+            "advise",
+            "--quantum-secs",
+            "1800",
+            "--classical-secs",
+            "300",
+            "--queue-wait-secs",
+            "600",
+        ])
+        .output()
+        .expect("hpcqc-sim runs");
+    assert!(out.status.success(), "advise failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("recommended strategy: workflow"),
+        "long quantum phases must get workflow: {stdout}"
+    );
+    assert!(stdout.contains("rationale"), "rationale missing: {stdout}");
+}
+
+#[test]
+fn advise_requires_the_three_profile_numbers() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["advise", "--quantum-secs", "10"])
+        .output()
+        .expect("hpcqc-sim runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--classical-secs"), "{stderr}");
+}
+
+#[test]
 fn generate_then_run_round_trips() {
     // Unique per process so concurrent test runs don't race on the file.
     let dir = std::env::temp_dir().join(format!("hpcqc_cli_smoke_{}", std::process::id()));

@@ -1,0 +1,56 @@
+//! Golden-file regression guard for the simulation core.
+//!
+//! The committed fixture `tests/fixtures/smoke_grid.csv` pins the output
+//! of `examples/grids/smoke.json` — all four paper strategies over two
+//! load levels — as produced by the pre-driver/observer-refactor
+//! simulator (the refactor was verified byte-identical against the
+//! pre-refactor binary on this grid and the full 48-cell crossover grid
+//! before the fixture was committed). Asserting byte-identical output
+//! keeps every future refactor honest: results cannot silently drift.
+//!
+//! If a change is *supposed* to alter results (a new model, a fixed bug
+//! in the physics), regenerate the fixture and say so in the PR:
+//!
+//! ```text
+//! cargo run --release --bin hpcqc-sim -- sweep \
+//!     --grid examples/grids/smoke.json --format csv \
+//!     --out tests/fixtures/smoke_grid.csv
+//! ```
+
+use hpcqc::prelude::*;
+
+fn load_smoke_grid() -> Grid {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/grids/smoke.json");
+    let text = std::fs::read_to_string(path).expect("smoke grid exists");
+    let grid: Grid = serde_json::from_str(&text).expect("smoke grid parses");
+    grid.validate().expect("smoke grid is valid");
+    grid
+}
+
+const GOLDEN: &str = include_str!("fixtures/smoke_grid.csv");
+
+#[test]
+fn smoke_grid_csv_matches_golden_fixture() {
+    let grid = load_smoke_grid();
+    let result = Executor::new(2).run_sim(&grid).expect("smoke grid runs");
+    let csv = result.to_csv();
+    assert!(
+        csv == GOLDEN,
+        "smoke-grid CSV drifted from the golden fixture.\n\
+         If the change is intentional, regenerate tests/fixtures/smoke_grid.csv \
+         (see this file's header) and explain the drift in the PR.\n\
+         --- golden ---\n{GOLDEN}\n--- current ---\n{csv}"
+    );
+}
+
+#[test]
+fn golden_output_is_thread_count_invariant() {
+    let grid = load_smoke_grid();
+    for threads in [1, 4] {
+        let csv = Executor::new(threads)
+            .run_sim(&grid)
+            .expect("smoke grid runs")
+            .to_csv();
+        assert_eq!(csv, GOLDEN, "drift at {threads} threads");
+    }
+}

@@ -12,7 +12,8 @@
 
 use std::fmt;
 
-/// Error type for fallible RNG operations (infallible for [`StdRng`]).
+/// Error type for fallible RNG operations (infallible for
+/// [`StdRng`](rngs::StdRng)).
 #[derive(Debug)]
 pub struct Error;
 
