@@ -1,0 +1,72 @@
+//! Criterion bench of the streaming workload path, reported as
+//! **jobs/second** through the full facility simulator:
+//!
+//! * `generate-only` — the raw `hpcqc-gen` stream (synthesis cost alone);
+//! * `streamed` — generator → `FacilitySim::run_streamed`, constant
+//!   memory, generation interleaved with simulation;
+//! * `materialized` — the same jobs collected into a `Workload` up front
+//!   (collection *excluded* from the timing), then `FacilitySim::run`.
+//!
+//! `streamed` vs `materialized` is the price of constant memory on the
+//! simulation loop itself; both produce identical outcomes by contract.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hpcqc_core::source::IterSource;
+use hpcqc_core::{FacilitySim, Scenario, Strategy};
+use hpcqc_gen::{GeneratorSpec, Horizon};
+use hpcqc_qpu::Technology;
+use hpcqc_workload::Workload;
+
+const JOBS: u64 = 2_000;
+
+fn spec() -> GeneratorSpec {
+    let mut spec = GeneratorSpec::dev_facility();
+    spec.horizon = Horizon::Jobs { count: JOBS };
+    spec.arrival.base_per_hour = 240.0;
+    spec
+}
+
+fn scenario() -> Scenario {
+    Scenario::builder()
+        .classical_nodes(256)
+        .device(Technology::Superconducting)
+        .strategy(Strategy::Vqpu { vqpus: 8 })
+        .seed(7)
+        .build()
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let spec = spec();
+    let scenario = scenario();
+    let jobs: Vec<_> = spec.stream(scenario.seed).collect();
+    let workload = Workload::from_jobs(jobs.clone());
+
+    let mut group = c.benchmark_group("streaming_jobs_per_sec");
+    group.throughput(Throughput::Elements(JOBS));
+    group.bench_function("generate-only", |b| {
+        b.iter(|| spec.stream(scenario.seed).count());
+    });
+    group.bench_function("streamed", |b| {
+        b.iter(|| {
+            let mut source = spec.stream(scenario.seed);
+            FacilitySim::run_streamed(&scenario, &mut source).expect("valid scenario")
+        });
+    });
+    group.bench_function("materialized", |b| {
+        b.iter(|| FacilitySim::run(&scenario, &workload).expect("valid scenario"));
+    });
+    // Sanity: the two paths agree (also keeps `jobs` honest if the spec
+    // drifts).
+    let mut source = IterSource::new(jobs.into_iter());
+    let streamed = FacilitySim::run_streamed(&scenario, &mut source).expect("valid scenario");
+    let materialized = FacilitySim::run(&scenario, &workload).expect("valid scenario");
+    assert_eq!(streamed.makespan, materialized.makespan);
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_secs(1)).measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_streaming
+}
+criterion_main!(benches);

@@ -34,6 +34,14 @@
 //!   stream. Job statistics, waste accounting and Gantt recording are
 //!   built-in observers; attach your own via
 //!   [`FacilitySim::run_observed`].
+//! * [`JobSource`] — streaming workload input (see [`source`]): the
+//!   simulator pulls time-ordered jobs lazily and retires their state at
+//!   finalization, so facility-scale campaigns (months, millions of jobs)
+//!   run in memory proportional to the jobs in flight. Run one via
+//!   [`FacilitySim::run_streamed`]; a materialized [`Workload`]
+//!   participates through [`source::SliceSource`].
+//!
+//! [`Workload`]: hpcqc_workload::Workload
 //!
 //! ## Example
 //!
@@ -67,6 +75,7 @@ pub mod observer;
 pub mod outcome;
 pub mod scenario;
 pub mod sim;
+pub mod source;
 pub mod strategy;
 
 pub use advisor::{estimate_queue_wait, recommend, Recommendation, WorkloadProfile};
@@ -75,4 +84,5 @@ pub use observer::{PhaseKind, SimEvent, SimObserver};
 pub use outcome::{DeviceSummary, Outcome, WasteSummary};
 pub use scenario::{FailureModel, Scenario, ScenarioBuilder, WalltimePolicy};
 pub use sim::{run_strategies, FacilitySim, SimError};
+pub use source::{IterSource, JobSource, SliceSource};
 pub use strategy::Strategy;

@@ -198,14 +198,33 @@ pub trait SimObserver: std::fmt::Debug {
 
 // ---- built-in observers -------------------------------------------------
 
+/// Full [`JobRecord`]s retained by the built-in statistics observer
+/// before per-job retention folds into streaming aggregates (running
+/// sums + P² quantile sketches — see [`JobStats::with_cap`]). Far above
+/// any hand-built experiment, far below facility scale: a million-job
+/// streamed run keeps O(this) metric memory, with every aggregate still
+/// covering the whole population.
+pub const DEFAULT_RECORD_CAP: usize = 100_000;
+
 /// Collects per-job [`JobRecord`]s into [`JobStats`] (built-in).
-#[derive(Debug, Default)]
+///
+/// Retains up to [`DEFAULT_RECORD_CAP`] full records; aggregates are
+/// streaming and exact over all jobs regardless.
+#[derive(Debug)]
 pub struct StatsObserver {
     stats: JobStats,
 }
 
+impl Default for StatsObserver {
+    fn default() -> Self {
+        StatsObserver {
+            stats: JobStats::with_cap(DEFAULT_RECORD_CAP),
+        }
+    }
+}
+
 impl StatsObserver {
-    /// Creates an empty collector.
+    /// Creates an empty collector with the default retention cap.
     pub fn new() -> Self {
         StatsObserver::default()
     }

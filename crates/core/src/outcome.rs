@@ -52,6 +52,10 @@ pub struct Outcome {
     pub devices: Vec<DeviceSummary>,
     /// The Gantt trace, when the scenario recorded one.
     pub gantt: Option<GanttRecorder>,
+    /// High-water mark of concurrently live (pulled-but-not-finalized)
+    /// jobs in the simulator — the memory bound a streamed run actually
+    /// paid, regardless of how many jobs the source produced in total.
+    pub peak_in_flight_jobs: usize,
 }
 
 impl Outcome {
@@ -116,6 +120,7 @@ mod tests {
                 },
             ],
             gantt: None,
+            peak_in_flight_jobs: 2,
         }
     }
 

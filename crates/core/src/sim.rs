@@ -21,6 +21,7 @@ use crate::observer::{
 };
 use crate::outcome::{DeviceSummary, Outcome, WasteSummary};
 use crate::scenario::Scenario;
+use crate::source::{JobSource, SliceSource};
 use crate::strategy::Strategy;
 use hpcqc_cluster::alloc::{AllocRequest, GroupRequest};
 use hpcqc_cluster::cluster::{Cluster, ClusterBuilder};
@@ -41,6 +42,29 @@ use hpcqc_workload::job::{JobId, JobSpec, Phase};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Identity hasher for the live-jobs map: keys are sequential job ids, so
+/// hashing them through SipHash would tax every event-handler lookup on
+/// the streaming hot path for no distribution benefit.
+#[derive(Debug, Default)]
+pub(crate) struct JobIdHasher(u64);
+
+impl Hasher for JobIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("JobIdHasher only hashes u64 job ids");
+    }
+
+    fn write_u64(&mut self, id: u64) {
+        self.0 = id;
+    }
+}
+
+type JobMap = HashMap<u64, JobRun, BuildHasherDefault<JobIdHasher>>;
 
 /// Why a simulation could not run to completion.
 #[derive(Debug)]
@@ -113,6 +137,10 @@ enum QueueEntry {
     Step(JobId),
 }
 
+/// Per-job live state. A `JobRun` exists from the moment the job is pulled
+/// from its [`JobSource`] until it finalizes; the map holding them is the
+/// simulator's only per-job storage, so peak memory tracks jobs *in
+/// flight*, not jobs simulated.
 #[derive(Debug)]
 struct JobRun {
     spec: JobSpec,
@@ -120,6 +148,9 @@ struct JobRun {
     phase_idx: usize,
     alloc: Option<AllocationId>,
     device: Option<usize>,
+    /// The batch queue id of this job's not-yet-started submission, so an
+    /// abort can withdraw it (a killed job must leave the queue too).
+    queued_qid: Option<u64>,
     queued_at: SimTime,
     prev_phase_end: Option<SimTime>,
     first_start: Option<SimTime>,
@@ -142,8 +173,6 @@ struct JobRun {
     classical_active_nodes: f64,
     quantum_started: Option<SimTime>,
     requeues: u32,
-    completed: bool,
-    done: bool,
 }
 
 impl JobRun {
@@ -154,6 +183,7 @@ impl JobRun {
             phase_idx: 0,
             alloc: None,
             device: None,
+            queued_qid: None,
             queued_at: SimTime::ZERO,
             prev_phase_end: None,
             first_start: None,
@@ -174,8 +204,6 @@ impl JobRun {
             classical_active_nodes: 0.0,
             quantum_started: None,
             requeues: 0,
-            completed: false,
-            done: false,
         }
     }
 
@@ -225,7 +253,9 @@ pub(crate) struct SimState<'o> {
     scheduler: BatchScheduler,
     devices: Vec<QpuDevice>,
     events: EventQueue<Event>,
-    jobs: Vec<JobRun>,
+    /// Live jobs only, keyed by raw [`JobId`]: inserted when pulled from
+    /// the source, removed at finalization. Never iterated (determinism).
+    jobs: JobMap,
     queue_map: HashMap<u64, QueueEntry>,
     next_qid: u64,
     stats_obs: StatsObserver,
@@ -236,11 +266,22 @@ pub(crate) struct SimState<'o> {
     failure_rng: SimRng,
     alloc_owner: HashMap<AllocationId, JobId>,
     failures_injected: u64,
-    completed: usize,
+    completed: u64,
+    /// Jobs pulled from the source so far (also the next fresh job id).
+    spawned: u64,
+    /// `true` once the source returned `None`.
+    drained: bool,
+    /// Monotonic clamp for arrival scheduling (sources must be
+    /// time-ordered; a regression is clamped to the clock).
+    last_arrival: SimTime,
+    /// High-water mark of concurrently live jobs — the streaming memory
+    /// bound reported in [`Outcome::peak_in_flight_jobs`].
+    peak_live: usize,
 }
 
 /// The facility simulator. Construct via [`FacilitySim::run`],
-/// [`FacilitySim::run_observed`] or [`FacilitySim::run_with_driver`].
+/// [`FacilitySim::run_observed`], [`FacilitySim::run_with_driver`] or the
+/// streaming variants ([`FacilitySim::run_streamed`] and friends).
 #[derive(Debug)]
 pub struct FacilitySim<'o> {
     state: SimState<'o>,
@@ -293,14 +334,68 @@ impl<'o> FacilitySim<'o> {
         driver: Box<dyn StrategyDriver>,
         observers: &'o mut [&'o mut dyn SimObserver],
     ) -> Result<Outcome, SimError> {
-        let mut sim = FacilitySim::new(scenario.clone(), workload, driver, observers);
-        sim.drive()?;
+        let mut source = SliceSource::from(workload);
+        FacilitySim::run_streamed_with_driver(scenario, &mut source, driver, observers)
+    }
+
+    /// Runs a streamed workload to completion: jobs are pulled lazily from
+    /// `source`, so memory tracks jobs in flight rather than jobs total.
+    /// Produces the identical [`Outcome`] the materialized path would for
+    /// the same job sequence.
+    ///
+    /// # Errors
+    ///
+    /// See [`FacilitySim::run`].
+    pub fn run_streamed(
+        scenario: &Scenario,
+        source: &mut dyn JobSource,
+    ) -> Result<Outcome, SimError> {
+        FacilitySim::run_streamed_observed(scenario, source, &mut [])
+    }
+
+    /// Streaming variant of [`FacilitySim::run_observed`].
+    ///
+    /// # Errors
+    ///
+    /// See [`FacilitySim::run`].
+    pub fn run_streamed_observed(
+        scenario: &Scenario,
+        source: &mut dyn JobSource,
+        observers: &'o mut [&'o mut dyn SimObserver],
+    ) -> Result<Outcome, SimError> {
+        FacilitySim::run_streamed_with_driver(
+            scenario,
+            source,
+            driver_for(&scenario.strategy),
+            observers,
+        )
+    }
+
+    /// Streaming variant of [`FacilitySim::run_with_driver`] — the one
+    /// entry point every other `run_*` delegates to.
+    ///
+    /// # Errors
+    ///
+    /// See [`FacilitySim::run`].
+    pub fn run_streamed_with_driver(
+        scenario: &Scenario,
+        source: &mut dyn JobSource,
+        driver: Box<dyn StrategyDriver>,
+        observers: &'o mut [&'o mut dyn SimObserver],
+    ) -> Result<Outcome, SimError> {
+        let mut sim = FacilitySim::new(scenario.clone(), driver, observers);
+        {
+            let FacilitySim { state, driver } = &mut sim;
+            // Prime the pump: the first arrival must be on the calendar
+            // before the loop starts popping.
+            state.spawn_next(source);
+            state.drive(driver.as_mut(), source)?;
+        }
         Ok(sim.into_outcome())
     }
 
     fn new(
         scenario: Scenario,
-        workload: &Workload,
         driver: Box<dyn StrategyDriver>,
         extras: &'o mut [&'o mut dyn SimObserver],
     ) -> Self {
@@ -328,10 +423,6 @@ impl<'o> FacilitySim<'o> {
             })
             .collect();
         let mut events = EventQueue::new();
-        let jobs: Vec<JobRun> = workload.jobs().iter().cloned().map(JobRun::new).collect();
-        for (i, job) in jobs.iter().enumerate() {
-            events.schedule(job.spec.submit(), Event::Submit(JobId::new(i as u64)));
-        }
         let scheduler = BatchScheduler::new(scenario.policy);
         let waste_obs = WasteObserver::new(
             SimTime::ZERO,
@@ -353,7 +444,7 @@ impl<'o> FacilitySim<'o> {
                 scheduler,
                 devices,
                 events,
-                jobs,
+                jobs: JobMap::default(),
                 queue_map: HashMap::new(),
                 next_qid: 0,
                 stats_obs: StatsObserver::new(),
@@ -363,13 +454,13 @@ impl<'o> FacilitySim<'o> {
                 alloc_owner: HashMap::new(),
                 failures_injected: 0,
                 completed: 0,
+                spawned: 0,
+                drained: false,
+                last_arrival: SimTime::ZERO,
+                peak_live: 0,
             },
             driver,
         }
-    }
-
-    fn drive(&mut self) -> Result<(), SimError> {
-        self.state.drive(self.driver.as_mut())
     }
 
     // ----- outcome ---------------------------------------------------------
@@ -413,44 +504,74 @@ impl<'o> FacilitySim<'o> {
             qpu_waste: summarize(state.waste_obs.qpu()),
             devices,
             gantt: state.gantt_obs.map(GanttObserver::into_gantt),
+            peak_in_flight_jobs: state.peak_live,
             stats,
         }
     }
 }
 
 impl<'o> SimState<'o> {
-    fn drive(&mut self, driver: &mut dyn StrategyDriver) -> Result<(), SimError> {
+    /// Pulls the next job from the source (if any), registers its live
+    /// state and schedules its arrival in the calendar's front lane. The
+    /// front lane is what makes lazy pulling *exactly* equivalent to
+    /// scheduling every arrival up front: an arrival always sorts before
+    /// completion events sharing its timestamp, whenever it was scheduled.
+    fn spawn_next(&mut self, source: &mut dyn JobSource) {
+        let Some(spec) = source.next_job() else {
+            self.drained = true;
+            return;
+        };
+        // Sources promise non-decreasing submit times; clamp a regression
+        // to the clock rather than panicking deep in the event queue.
+        let submit = spec.submit().max(self.last_arrival).max(self.events.now());
+        self.last_arrival = submit;
+        let id = JobId::new(self.spawned);
+        self.spawned += 1;
+        self.jobs.insert(id.raw(), JobRun::new(spec));
+        self.peak_live = self.peak_live.max(self.jobs.len());
+        self.events.schedule_front(submit, Event::Submit(id));
+    }
+
+    fn drive(
+        &mut self,
+        driver: &mut dyn StrategyDriver,
+        source: &mut dyn JobSource,
+    ) -> Result<(), SimError> {
         while let Some(ev) = self.events.pop() {
             let now = ev.time;
             match ev.payload {
-                Event::Submit(job) => self.on_submit(driver, job, now)?,
+                Event::Submit(job) => {
+                    // Pull the successor before handling this arrival, so
+                    // its Submit lands in the front lane ahead of anything
+                    // this handler schedules.
+                    self.spawn_next(source);
+                    self.on_submit(driver, job, now)?;
+                }
                 Event::PhaseDone(job, epoch) => {
-                    if self.jobs[job.raw() as usize].epoch == epoch {
+                    if self.jobs.get(&job.raw()).is_some_and(|r| r.epoch == epoch) {
                         self.on_phase_done(driver, job, now)?;
                     }
                 }
+                // Device accounting events outlive their job (a killed
+                // job's kernel still executes), so no liveness check.
                 Event::KernelExecStart(job) => {
-                    debug_assert!((job.raw() as usize) < self.jobs.len(), "unknown {job}");
                     emit!(self, now, SimEvent::KernelExecStarted { job });
                 }
                 Event::KernelExecEnd(job) => {
-                    debug_assert!((job.raw() as usize) < self.jobs.len(), "unknown {job}");
                     emit!(self, now, SimEvent::KernelExecEnded { job });
                 }
                 Event::KernelDone(job, epoch) => {
-                    if self.jobs[job.raw() as usize].epoch == epoch {
+                    if self.jobs.get(&job.raw()).is_some_and(|r| r.epoch == epoch) {
                         self.on_kernel_done(driver, job, now)?;
                     }
                 }
                 Event::StepSubmit(job, epoch) => {
-                    if self.jobs[job.raw() as usize].epoch == epoch {
+                    if self.jobs.get(&job.raw()).is_some_and(|r| r.epoch == epoch) {
                         self.submit_step(job, now)?;
                     }
                 }
                 Event::KillJob(job, epoch) => {
-                    if self.jobs[job.raw() as usize].epoch == epoch
-                        && !self.jobs[job.raw() as usize].done
-                    {
+                    if self.jobs.get(&job.raw()).is_some_and(|r| r.epoch == epoch) {
                         self.kill_job(driver, job, now)?;
                     }
                 }
@@ -468,13 +589,14 @@ impl<'o> SimState<'o> {
                 "cluster invariant violated at {now}: {:?}",
                 self.cluster.check_invariants()
             );
-            // Failure/repair events self-perpetuate; once the workload has
-            // drained there is nothing left to observe.
-            if self.completed == self.jobs.len() {
+            // Failure/repair events self-perpetuate; once the source has
+            // drained and every job finalized there is nothing to observe.
+            if self.drained && self.completed == self.spawned {
                 break;
             }
         }
-        debug_assert_eq!(self.completed, self.jobs.len(), "all jobs must complete");
+        debug_assert_eq!(self.completed, self.spawned, "all jobs must complete");
+        debug_assert!(self.jobs.is_empty(), "live jobs leaked past completion");
         debug_assert!(self.cluster.check_invariants().is_ok());
         Ok(())
     }
@@ -508,7 +630,7 @@ impl<'o> SimState<'o> {
             if let Some(alloc) = owner {
                 if let Some(&job) = self.alloc_owner.get(&alloc) {
                     self.abort_attempt(driver, job, now)?;
-                    let run = &mut self.jobs[job.raw() as usize];
+                    let run = self.jobs.get_mut(&job.raw()).expect("live job");
                     if run.requeues < model.max_requeues {
                         run.requeues += 1;
                         run.phase_idx = 0;
@@ -558,7 +680,7 @@ impl<'o> SimState<'o> {
     /// Devices with enough qubits for every kernel of the job. Jobs without
     /// quantum phases are compatible with all devices.
     fn eligible_devices(&self, job: JobId) -> Vec<usize> {
-        let spec = &self.jobs[job.raw() as usize].spec;
+        let spec = &self.jobs[&job.raw()].spec;
         let need = spec.kernels().map(Kernel::qubits).max().unwrap_or(0);
         self.devices
             .iter()
@@ -579,7 +701,7 @@ impl<'o> SimState<'o> {
     fn bind_device(&self, job: JobId, unit: u32) -> Result<usize, SimError> {
         let eligible = self.eligible_devices(job);
         if eligible.is_empty() {
-            let spec = &self.jobs[job.raw() as usize].spec;
+            let spec = &self.jobs[&job.raw()].spec;
             let need = spec.kernels().map(Kernel::qubits).max().unwrap_or(0);
             let best = self
                 .devices
@@ -604,12 +726,12 @@ impl<'o> SimState<'o> {
         now: SimTime,
     ) -> Result<(), SimError> {
         let plan = driver.submission_plan(&mut SimCtx { state: self, now }, job);
-        self.jobs[job.raw() as usize].plan = plan;
+        self.jobs.get_mut(&job.raw()).expect("live job").plan = plan;
         match plan {
             SubmissionPlan::PerStep => self.submit_step(job, now),
             SubmissionPlan::WholeJob { hold_qpu } => {
                 let (request, walltime, user) = {
-                    let spec = &self.jobs[job.raw() as usize].spec;
+                    let spec = &self.jobs[&job.raw()].spec;
                     let mut request = AllocRequest::new()
                         .group(GroupRequest::nodes(spec.partition(), spec.nodes()));
                     if hold_qpu && spec.is_hybrid() {
@@ -630,7 +752,8 @@ impl<'o> SimState<'o> {
                     user,
                     qos_boost: 0.0,
                 };
-                let run = &mut self.jobs[job.raw() as usize];
+                let run = self.jobs.get_mut(&job.raw()).expect("live job");
+                run.queued_qid = Some(qid.raw());
                 run.queued_at = now;
                 run.current_walltime = walltime;
                 self.scheduler.submit(pending, &self.cluster)?;
@@ -639,7 +762,7 @@ impl<'o> SimState<'o> {
                     now,
                     SimEvent::JobSubmitted {
                         job,
-                        name: self.jobs[job.raw() as usize].spec.name(),
+                        name: self.jobs[&job.raw()].spec.name(),
                         step: false,
                     }
                 );
@@ -651,7 +774,7 @@ impl<'o> SimState<'o> {
     /// Per-step plans: submit the step for the job's current phase.
     fn submit_step(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
         let (request, walltime) = {
-            let run = &self.jobs[job.raw() as usize];
+            let run = &self.jobs[&job.raw()];
             let spec = &run.spec;
             match &spec.phases()[run.phase_idx] {
                 Phase::Classical(d) => (
@@ -675,7 +798,8 @@ impl<'o> SimState<'o> {
             }
         };
         let qid = self.fresh_qid(QueueEntry::Step(job));
-        let run = &mut self.jobs[job.raw() as usize];
+        let run = self.jobs.get_mut(&job.raw()).expect("live job");
+        run.queued_qid = Some(qid.raw());
         run.queued_at = now;
         run.current_walltime = walltime;
         let pending = PendingJob {
@@ -692,7 +816,7 @@ impl<'o> SimState<'o> {
             now,
             SimEvent::JobSubmitted {
                 job,
-                name: self.jobs[job.raw() as usize].spec.name(),
+                name: self.jobs[&job.raw()].spec.name(),
                 step: true,
             }
         );
@@ -713,13 +837,14 @@ impl<'o> SimState<'o> {
             now,
             SimEvent::JobStarted {
                 job,
-                name: self.jobs[job.raw() as usize].spec.name(),
+                name: self.jobs[&job.raw()].spec.name(),
                 wait: self.last_wait(job, now),
             }
         );
         self.arm_walltime_kill(job, now);
         self.alloc_owner.insert(alloc, job);
-        let run = &mut self.jobs[job.raw() as usize];
+        let run = self.jobs.get_mut(&job.raw()).expect("live job");
+        run.queued_qid = None;
         run.alloc = Some(alloc);
         run.first_start.get_or_insert(now);
         run.set_alloc_nodes(now, run.spec.nodes());
@@ -741,7 +866,7 @@ impl<'o> SimState<'o> {
             let unit = *unit;
             let count = units.len() as u32;
             let device = self.bind_device(job, unit)?;
-            let run = &mut self.jobs[job.raw() as usize];
+            let run = self.jobs.get_mut(&job.raw()).expect("live job");
             run.device = Some(device);
             run.set_qpu_units(now, count);
             if driver.holds_qpu_exclusively(job) {
@@ -774,13 +899,14 @@ impl<'o> SimState<'o> {
             now,
             SimEvent::JobStarted {
                 job,
-                name: self.jobs[job.raw() as usize].spec.name(),
+                name: self.jobs[&job.raw()].spec.name(),
                 wait: self.last_wait(job, now),
             }
         );
         self.arm_walltime_kill(job, now);
         self.alloc_owner.insert(alloc, job);
-        let run = &mut self.jobs[job.raw() as usize];
+        let run = self.jobs.get_mut(&job.raw()).expect("live job");
+        run.queued_qid = None;
         run.alloc = Some(alloc);
         if run.first_start.is_none() {
             run.first_start = Some(now);
@@ -808,7 +934,7 @@ impl<'o> SimState<'o> {
             let unit = *unit;
             let count = units.len() as u32;
             let device = self.bind_device(job, unit)?;
-            let run = &mut self.jobs[job.raw() as usize];
+            let run = self.jobs.get_mut(&job.raw()).expect("live job");
             run.device = Some(device);
             run.set_qpu_units(now, count);
             if driver.holds_qpu_exclusively(job) {
@@ -837,7 +963,7 @@ impl<'o> SimState<'o> {
         now: SimTime,
     ) -> Result<(), SimError> {
         let phase = {
-            let run = &self.jobs[job.raw() as usize];
+            let run = &self.jobs[&job.raw()];
             if run.phase_idx >= run.spec.phases().len() {
                 return self.complete_job(driver, job, now);
             }
@@ -855,7 +981,7 @@ impl<'o> SimState<'o> {
         nominal: SimDuration,
         now: SimTime,
     ) -> Result<(), SimError> {
-        let run = &mut self.jobs[job.raw() as usize];
+        let run = self.jobs.get_mut(&job.raw()).expect("live job");
         // Linear-speedup stretch when malleably running on fewer nodes.
         let duration = if run.alloc_nodes > 0 && run.alloc_nodes < run.spec.nodes() {
             nominal.mul_f64(f64::from(run.spec.nodes()) / f64::from(run.alloc_nodes))
@@ -871,16 +997,19 @@ impl<'o> SimState<'o> {
             now,
             SimEvent::PhaseStarted {
                 job,
-                name: self.jobs[job.raw() as usize].spec.name(),
+                name: self.jobs[&job.raw()].spec.name(),
                 kind: PhaseKind::Classical,
                 index,
                 busy_nodes: nodes,
             }
         );
         let end = now + duration;
-        let epoch = self.jobs[job.raw() as usize].epoch;
+        let epoch = self.jobs[&job.raw()].epoch;
         let key = self.events.schedule(end, Event::PhaseDone(job, epoch));
-        self.jobs[job.raw() as usize].pending_event = Some(key);
+        self.jobs
+            .get_mut(&job.raw())
+            .expect("live job")
+            .pending_event = Some(key);
         Ok(())
     }
 
@@ -888,7 +1017,7 @@ impl<'o> SimState<'o> {
     /// or kill): per-job integral plus the [`SimEvent::PhaseEnded`] the
     /// waste and Gantt observers consume.
     fn close_classical(&mut self, job: JobId, now: SimTime) {
-        let run = &mut self.jobs[job.raw() as usize];
+        let run = self.jobs.get_mut(&job.raw()).expect("live job");
         let Some(started) = run.classical_started.take() else {
             return;
         };
@@ -901,7 +1030,7 @@ impl<'o> SimState<'o> {
             now,
             SimEvent::PhaseEnded {
                 job,
-                name: self.jobs[job.raw() as usize].spec.name(),
+                name: self.jobs[&job.raw()].spec.name(),
                 kind: PhaseKind::Classical,
                 index,
                 busy_nodes: nodes,
@@ -922,7 +1051,7 @@ impl<'o> SimState<'o> {
         // Pick the device: the bound gres unit when the job holds a token,
         // least-backlog among capable devices when it does not.
         let device_idx = {
-            let bound = self.jobs[job.raw() as usize].device;
+            let bound = self.jobs[&job.raw()].device;
             match bound {
                 Some(d) => d,
                 None => {
@@ -948,7 +1077,7 @@ impl<'o> SimState<'o> {
             None => SimDuration::ZERO,
         };
         let index = {
-            let run = &mut self.jobs[job.raw() as usize];
+            let run = self.jobs.get_mut(&job.raw()).expect("live job");
             run.phase_wait += exec.wait();
             run.qpu_seconds_used += exec.service().as_secs_f64();
             run.classical_started = None;
@@ -960,7 +1089,7 @@ impl<'o> SimState<'o> {
             now,
             SimEvent::PhaseStarted {
                 job,
-                name: self.jobs[job.raw() as usize].spec.name(),
+                name: self.jobs[&job.raw()].spec.name(),
                 kind: PhaseKind::Quantum,
                 index,
                 busy_nodes: 0.0,
@@ -971,7 +1100,7 @@ impl<'o> SimState<'o> {
             now,
             SimEvent::KernelEnqueued {
                 job,
-                name: self.jobs[job.raw() as usize].spec.name(),
+                name: self.jobs[&job.raw()].spec.name(),
                 device: device_idx,
                 start: exec.start,
                 end: exec.end,
@@ -981,11 +1110,14 @@ impl<'o> SimState<'o> {
         self.events
             .schedule(exec.start, Event::KernelExecStart(job));
         self.events.schedule(exec.end, Event::KernelExecEnd(job));
-        let epoch = self.jobs[job.raw() as usize].epoch;
+        let epoch = self.jobs[&job.raw()].epoch;
         let key = self
             .events
             .schedule(exec.end + overhead, Event::KernelDone(job, epoch));
-        self.jobs[job.raw() as usize].pending_event = Some(key);
+        self.jobs
+            .get_mut(&job.raw())
+            .expect("live job")
+            .pending_event = Some(key);
         Ok(())
     }
 
@@ -997,7 +1129,7 @@ impl<'o> SimState<'o> {
     ) -> Result<(), SimError> {
         self.close_classical(job, now);
         {
-            let run = &mut self.jobs[job.raw() as usize];
+            let run = self.jobs.get_mut(&job.raw()).expect("live job");
             run.pending_event = None;
             run.phase_idx += 1;
             run.prev_phase_end = Some(now);
@@ -1013,7 +1145,7 @@ impl<'o> SimState<'o> {
         now: SimTime,
     ) -> Result<(), SimError> {
         let (index, started) = {
-            let run = &mut self.jobs[job.raw() as usize];
+            let run = self.jobs.get_mut(&job.raw()).expect("live job");
             (run.phase_idx, run.quantum_started.take().unwrap_or(now))
         };
         emit!(
@@ -1021,7 +1153,7 @@ impl<'o> SimState<'o> {
             now,
             SimEvent::PhaseEnded {
                 job,
-                name: self.jobs[job.raw() as usize].spec.name(),
+                name: self.jobs[&job.raw()].spec.name(),
                 kind: PhaseKind::Quantum,
                 index,
                 busy_nodes: 0.0,
@@ -1029,7 +1161,7 @@ impl<'o> SimState<'o> {
             }
         );
         {
-            let run = &mut self.jobs[job.raw() as usize];
+            let run = self.jobs.get_mut(&job.raw()).expect("live job");
             run.pending_event = None;
             run.phase_idx += 1;
             run.prev_phase_end = Some(now);
@@ -1049,7 +1181,7 @@ impl<'o> SimState<'o> {
         now: SimTime,
     ) -> Result<(), SimError> {
         let (finished, plan) = {
-            let run = &self.jobs[job.raw() as usize];
+            let run = &self.jobs[&job.raw()];
             (run.phase_idx >= run.spec.phases().len(), run.plan)
         };
         match plan {
@@ -1059,7 +1191,7 @@ impl<'o> SimState<'o> {
                 if finished {
                     self.complete_job(driver, job, now)
                 } else {
-                    let epoch = self.jobs[job.raw() as usize].epoch;
+                    let epoch = self.jobs[&job.raw()].epoch;
                     self.events.schedule(
                         now + self.scenario.workflow_overhead,
                         Event::StepSubmit(job, epoch),
@@ -1084,7 +1216,13 @@ impl<'o> SimState<'o> {
         job: JobId,
         now: SimTime,
     ) -> Result<(), SimError> {
-        let run = &mut self.jobs[job.raw() as usize];
+        let run = self.jobs.get_mut(&job.raw()).expect("live job");
+        // Walltime enforcement tracks the *active* allocation: a released
+        // step's timer must not keep ticking into the next queue wait
+        // (SLURM bills walltime per job step, not across the gaps).
+        if let Some(key) = run.kill_event.take() {
+            self.events.cancel(key);
+        }
         let Some(alloc) = run.alloc.take() else {
             return Ok(());
         };
@@ -1128,15 +1266,17 @@ impl<'o> SimState<'o> {
         Ok(())
     }
 
-    /// Terminal bookkeeping shared by completion and final kill.
+    /// Terminal bookkeeping shared by completion and final kill. Retires
+    /// the job's live state entirely — after this the simulator holds no
+    /// per-job memory for it (the streaming-memory contract).
     fn finalize(&mut self, job: JobId, now: SimTime, completed: bool) {
-        let run = &mut self.jobs[job.raw() as usize];
-        debug_assert!(!run.done, "{job} finalized twice");
+        let mut run = self
+            .jobs
+            .remove(&job.raw())
+            .unwrap_or_else(|| panic!("{job} finalized twice"));
         if let Some(key) = run.kill_event.take() {
             self.events.cancel(key);
         }
-        run.done = true;
-        run.completed = completed;
         self.completed += 1;
         let record = JobRecord {
             name: run.spec.name().to_string(),
@@ -1163,7 +1303,7 @@ impl<'o> SimState<'o> {
             return;
         };
         let (walltime, epoch, old) = {
-            let run = &mut self.jobs[job.raw() as usize];
+            let run = self.jobs.get_mut(&job.raw()).expect("live job");
             (run.current_walltime, run.epoch, run.kill_event.take())
         };
         if let Some(key) = old {
@@ -1175,7 +1315,7 @@ impl<'o> SimState<'o> {
         let key = self
             .events
             .schedule(now + walltime, Event::KillJob(job, epoch));
-        self.jobs[job.raw() as usize].kill_event = Some(key);
+        self.jobs.get_mut(&job.raw()).expect("live job").kill_event = Some(key);
     }
 
     /// Aborts the job's in-flight attempt: stops the current phase, fences
@@ -1188,8 +1328,8 @@ impl<'o> SimState<'o> {
         now: SimTime,
     ) -> Result<(), SimError> {
         self.close_classical(job, now);
-        {
-            let run = &mut self.jobs[job.raw() as usize];
+        let queued = {
+            let run = self.jobs.get_mut(&job.raw()).expect("live job");
             if let Some(key) = run.pending_event.take() {
                 self.events.cancel(key);
             }
@@ -1197,6 +1337,13 @@ impl<'o> SimState<'o> {
                 self.events.cancel(key);
             }
             run.epoch += 1;
+            run.queued_qid.take()
+        };
+        // A not-yet-started submission must leave the batch queue with the
+        // attempt, or it would later start a job that no longer exists.
+        if let Some(qid) = queued {
+            self.scheduler.cancel(JobId::new(qid));
+            self.queue_map.remove(&qid);
         }
         self.release_current(driver, job, now)?;
         driver.on_abort(&mut SimCtx { state: self, now }, job)
@@ -1216,9 +1363,9 @@ impl<'o> SimState<'o> {
             return Ok(());
         };
         self.abort_attempt(driver, job, now)?;
-        let requeues = self.jobs[job.raw() as usize].requeues;
+        let requeues = self.jobs[&job.raw()].requeues;
         if requeues < max_requeues {
-            let run = &mut self.jobs[job.raw() as usize];
+            let run = self.jobs.get_mut(&job.raw()).expect("live job");
             run.requeues += 1;
             run.phase_idx = 0;
             run.prev_phase_end = None;
@@ -1233,19 +1380,19 @@ impl<'o> SimState<'o> {
     // ----- SimCtx capabilities --------------------------------------------
 
     pub(crate) fn spec(&self, job: JobId) -> &JobSpec {
-        &self.jobs[job.raw() as usize].spec
+        &self.jobs[&job.raw()].spec
     }
 
     pub(crate) fn held_nodes(&self, job: JobId) -> u32 {
-        self.jobs[job.raw() as usize].alloc_nodes
+        self.jobs[&job.raw()].alloc_nodes
     }
 
     pub(crate) fn phase_index(&self, job: JobId) -> usize {
-        self.jobs[job.raw() as usize].phase_idx
+        self.jobs[&job.raw()].phase_idx
     }
 
     pub(crate) fn last_wait(&self, job: JobId, now: SimTime) -> SimDuration {
-        now.saturating_since(self.jobs[job.raw() as usize].queued_at)
+        now.saturating_since(self.jobs[&job.raw()].queued_at)
     }
 
     pub(crate) fn free_classical_nodes(&self) -> Result<u32, SimError> {
@@ -1283,7 +1430,7 @@ impl<'o> SimState<'o> {
         now: SimTime,
     ) -> Result<u32, SimError> {
         let (alloc, held) = {
-            let run = &self.jobs[job.raw() as usize];
+            let run = &self.jobs[&job.raw()];
             (run.alloc, run.alloc_nodes)
         };
         let Some(alloc) = alloc else { return Ok(0) };
@@ -1291,7 +1438,7 @@ impl<'o> SimState<'o> {
             return Ok(0);
         }
         let released = self.cluster.shrink(alloc, "classical", target, now)?;
-        let run = &mut self.jobs[job.raw() as usize];
+        let run = self.jobs.get_mut(&job.raw()).expect("live job");
         run.set_alloc_nodes(now, target);
         let count = released.len() as u32;
         emit!(
@@ -1315,7 +1462,7 @@ impl<'o> SimState<'o> {
         now: SimTime,
     ) -> Result<u32, SimError> {
         let (alloc, held) = {
-            let run = &self.jobs[job.raw() as usize];
+            let run = &self.jobs[&job.raw()];
             (run.alloc, run.alloc_nodes)
         };
         let Some(alloc) = alloc else { return Ok(0) };
@@ -1329,7 +1476,7 @@ impl<'o> SimState<'o> {
         }
         let added = self.cluster.expand(alloc, "classical", grant, now)?;
         let count = added.len() as u32;
-        let run = &mut self.jobs[job.raw() as usize];
+        let run = self.jobs.get_mut(&job.raw()).expect("live job");
         run.set_alloc_nodes(now, held + count);
         emit!(
             self,
@@ -1345,7 +1492,10 @@ impl<'o> SimState<'o> {
 
     /// Re-arms the walltime-kill timer to fire `walltime` from `now`.
     pub(crate) fn rearm_walltime(&mut self, job: JobId, walltime: SimDuration, now: SimTime) {
-        self.jobs[job.raw() as usize].current_walltime = walltime;
+        self.jobs
+            .get_mut(&job.raw())
+            .expect("live job")
+            .current_walltime = walltime;
         self.arm_walltime_kill(job, now);
     }
 }
@@ -1866,8 +2016,7 @@ mod tests {
         let mut sc = scenario(Strategy::Adaptive { vqpus: 4 });
         // 127-qubit superconducting next to a 12-qubit spin-qubit device.
         sc.devices = vec![Technology::Superconducting, Technology::SpinQubit];
-        let w = Workload::from_jobs(vec![hybrid_job("h", 4, 1, 0)]);
-        let sim = FacilitySim::new(sc.clone(), &w, driver_for(&sc.strategy), &mut []);
+        let sim = FacilitySim::new(sc.clone(), driver_for(&sc.strategy), &mut []);
         let supercond = sim.state.devices[0].timing().mean_job_secs(1_000);
         let spin = sim.state.devices[1].timing().mean_job_secs(1_000);
         let big = Kernel::builder("big")

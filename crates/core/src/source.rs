@@ -1,0 +1,176 @@
+//! Streaming job sources: feeding the simulator without materializing the
+//! workload.
+//!
+//! A [`JobSource`] hands the facility simulator one time-ordered
+//! [`JobSpec`] at a time. The simulator pulls lazily — it holds at most
+//! one not-yet-submitted job — so a month-long, million-job scenario runs
+//! in memory proportional to the jobs *in flight*, not the jobs in the
+//! campaign. [`Workload`] remains the convenient materialized form; it
+//! adapts into a source via [`SliceSource`] (which is how
+//! [`FacilitySim::run`](crate::sim::FacilitySim::run) is implemented), and
+//! any iterator of specs — such as `hpcqc-gen`'s generative streams — is a
+//! source already through the blanket impl.
+//!
+//! The streamed and materialized paths produce **identical** outcomes: the
+//! event loop schedules lazily-pulled arrivals in a front priority lane
+//! (see [`EventQueue::schedule_front`](hpcqc_simcore::events::EventQueue::schedule_front)),
+//! reproducing the tie-order a fully pre-scheduled calendar would have had.
+//!
+//! ## A worked example
+//!
+//! ```
+//! use hpcqc_core::source::{IterSource, JobSource, SliceSource};
+//! use hpcqc_core::{FacilitySim, Scenario, Strategy};
+//! use hpcqc_workload::{JobClass, Pattern, Workload};
+//! use hpcqc_qpu::Kernel;
+//!
+//! let workload = Workload::builder()
+//!     .class(JobClass::new("vqe", Pattern::vqe(3, 60.0, Kernel::sampling(500))))
+//!     .count(12)
+//!     .generate(7);
+//! let scenario = Scenario::builder()
+//!     .strategy(Strategy::Vqpu { vqpus: 4 })
+//!     .build();
+//!
+//! // The materialized and streamed paths agree exactly.
+//! let materialized = FacilitySim::run(&scenario, &workload)?;
+//! let mut source = SliceSource::new(workload.jobs());
+//! let streamed = FacilitySim::run_streamed(&scenario, &mut source)?;
+//! assert_eq!(materialized.makespan, streamed.makespan);
+//!
+//! // Any iterator of specs is a source; `IterSource` wraps one that
+//! // yields jobs by value (e.g. a generative stream).
+//! let mut by_value = IterSource::new(workload.jobs().to_vec().into_iter());
+//! assert_eq!(by_value.next_job().unwrap().name(), workload.jobs()[0].name());
+//! # Ok::<(), hpcqc_core::SimError>(())
+//! ```
+
+use hpcqc_workload::campaign::Workload;
+use hpcqc_workload::job::JobSpec;
+
+/// A stream of jobs in non-decreasing submission order.
+///
+/// The simulator pulls the next job only when the previous one's arrival
+/// fires, so implementations can synthesize jobs on demand and a consumed
+/// job's spec is dropped as soon as the job finalizes. Sources must yield
+/// specs with non-decreasing [`JobSpec::submit`] instants; an out-of-order
+/// submit is clamped to the simulation clock (a warning sign, not a
+/// crash).
+pub trait JobSource {
+    /// The next job, or `None` when the stream is exhausted.
+    fn next_job(&mut self) -> Option<JobSpec>;
+
+    /// `(lower, upper)` bounds on the remaining job count, iterator-style.
+    /// Purely advisory (used for log lines, never for allocation).
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, None)
+    }
+}
+
+/// Every iterator of job specs is a job source.
+impl<I: Iterator<Item = JobSpec>> JobSource for I {
+    fn next_job(&mut self) -> Option<JobSpec> {
+        self.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        Iterator::size_hint(self)
+    }
+}
+
+/// A source over a borrowed, already-sorted job slice — the adapter that
+/// makes [`Workload`] "one trivial impl" of the streaming API (specs are
+/// cloned one at a time as the simulator pulls).
+#[derive(Debug)]
+pub struct SliceSource<'a> {
+    jobs: std::slice::Iter<'a, JobSpec>,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wraps a job slice (expected in submission order, as
+    /// [`Workload::jobs`] guarantees).
+    pub fn new(jobs: &'a [JobSpec]) -> Self {
+        SliceSource { jobs: jobs.iter() }
+    }
+}
+
+impl<'a> From<&'a Workload> for SliceSource<'a> {
+    fn from(workload: &'a Workload) -> Self {
+        SliceSource::new(workload.jobs())
+    }
+}
+
+impl JobSource for SliceSource<'_> {
+    fn next_job(&mut self) -> Option<JobSpec> {
+        self.jobs.next().cloned()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.jobs.size_hint()
+    }
+}
+
+/// A source over an owning iterator of specs. Exists mostly for
+/// documentation value — thanks to the blanket impl the wrapped iterator
+/// is itself already a source — and for turning `impl Iterator` values
+/// into a nameable type.
+#[derive(Debug)]
+pub struct IterSource<I> {
+    iter: I,
+}
+
+impl<I: Iterator<Item = JobSpec>> IterSource<I> {
+    /// Wraps an iterator of job specs.
+    pub fn new(iter: I) -> Self {
+        IterSource { iter }
+    }
+}
+
+impl<I: Iterator<Item = JobSpec>> JobSource for IterSource<I> {
+    fn next_job(&mut self) -> Option<JobSpec> {
+        self.iter.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.iter.size_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcqc_simcore::time::SimTime;
+
+    fn job(name: &str, submit: u64) -> JobSpec {
+        JobSpec::builder(name)
+            .submit(SimTime::from_secs(submit))
+            .build()
+    }
+
+    #[test]
+    fn slice_source_streams_in_order() {
+        let w = Workload::from_jobs(vec![job("b", 10), job("a", 5)]);
+        let mut src = SliceSource::from(&w);
+        assert_eq!(JobSource::size_hint(&src), (2, Some(2)));
+        assert_eq!(src.next_job().unwrap().name(), "a");
+        assert_eq!(src.next_job().unwrap().name(), "b");
+        assert!(src.next_job().is_none());
+    }
+
+    #[test]
+    fn iterators_are_sources() {
+        let jobs = vec![job("x", 0), job("y", 1)];
+        let mut iter = jobs.into_iter();
+        let source: &mut dyn JobSource = &mut iter;
+        assert_eq!(source.next_job().unwrap().name(), "x");
+        assert_eq!(source.size_hint(), (1, Some(1)));
+    }
+
+    #[test]
+    fn iter_source_wraps_by_value() {
+        let jobs = vec![job("x", 0)];
+        let mut src = IterSource::new(jobs.into_iter());
+        assert!(src.next_job().is_some());
+        assert!(src.next_job().is_none());
+    }
+}

@@ -1,0 +1,47 @@
+//! # hpcqc-gen
+//!
+//! Facility-scale workload **synthesis** for the hpcqc simulator: where
+//! `hpcqc-workload` builds job lists you can hold in a `Vec`, this crate
+//! describes whole synthetic facilities — multi-tenant user populations
+//! submitting power-law-sized campaigns under diurnal and weekly load
+//! curves — and *streams* them, one time-ordered [`JobSpec`] at a time,
+//! for as many jobs or as many simulated weeks as the spec asks for.
+//!
+//! The pieces:
+//!
+//! * [`GeneratorSpec`] — the declarative, serde-able description (tenant
+//!   population, job-class mix, arrival intensity, horizon). A synthetic
+//!   facility is a reviewable JSON file, like a sweep grid.
+//! * [`JobStream`] — the deterministic generator: an
+//!   `Iterator<Item = JobSpec>` (and therefore a
+//!   `hpcqc_core::JobSource`) whose memory is bounded by the campaigns
+//!   in flight, never by the total job count.
+//!
+//! Determinism contract: the same `(spec, seed)` pair yields the same job
+//! sequence whether the stream is consumed lazily, collected, or written
+//! to an HQWF trace and parsed back — every emitted time sits on the
+//! trace format's millisecond grid (walltimes on whole seconds), so the
+//! text round-trip is lossless.
+//!
+//! ```
+//! use hpcqc_gen::GeneratorSpec;
+//!
+//! let spec = GeneratorSpec::dev_facility();
+//! let jobs: Vec<_> = spec.stream(42).take(100).collect();
+//! assert_eq!(jobs.len(), 100);
+//! assert!(jobs.windows(2).all(|w| w[0].submit() <= w[1].submit()));
+//! // Byte-identical on re-generation.
+//! let again: Vec<_> = spec.stream(42).take(100).collect();
+//! assert_eq!(jobs, again);
+//! ```
+//!
+//! [`JobSpec`]: hpcqc_workload::JobSpec
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod spec;
+pub mod stream;
+
+pub use spec::{ClassSpec, GeneratorSpec, Horizon, IntensityProfile, TenantModel};
+pub use stream::JobStream;

@@ -1,0 +1,441 @@
+//! The declarative generator specification.
+//!
+//! A [`GeneratorSpec`] is to a synthetic facility what a sweep grid is to
+//! an experiment: the whole thing as reviewable data. It names a tenant
+//! population (how many users, how large their campaigns run), a weighted
+//! job-class mix (what the jobs look like), an arrival intensity (how load
+//! breathes over the day and week) and a horizon (how long, or how many
+//! jobs). [`GeneratorSpec::stream`] turns it into a deterministic
+//! [`JobStream`].
+
+use crate::stream::JobStream;
+use hpcqc_workload::pattern::Pattern;
+use serde::{Deserialize, Serialize};
+
+/// A weighted job template for generated tenants.
+///
+/// Unlike [`hpcqc_workload::JobClass`] (which carries its own user pool),
+/// a `ClassSpec` leaves the submitting user to the tenant model and keeps
+/// every field public so specs stay plain data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassSpec {
+    /// Class name; generated job names are `c<campaign>-<name>-<k>`.
+    pub name: String,
+    /// Relative share of campaigns drawing this class (must be positive).
+    pub weight: f64,
+    /// The phase-structure recipe.
+    pub pattern: Pattern,
+    /// Inclusive node-count range sampled per job.
+    pub nodes_lo: u32,
+    /// Inclusive node-count range sampled per job.
+    pub nodes_hi: u32,
+    /// Seconds budgeted per quantum phase when estimating walltime.
+    pub quantum_estimate_secs: f64,
+    /// Requested walltime = estimated runtime × this factor (whole-second
+    /// quantized, floored at 600 s).
+    pub walltime_margin: f64,
+}
+
+impl ClassSpec {
+    /// A class with weight 1, 1–4 nodes and conventional walltime margins.
+    pub fn new(name: impl Into<String>, pattern: Pattern) -> Self {
+        ClassSpec {
+            name: name.into(),
+            weight: 1.0,
+            pattern,
+            nodes_lo: 1,
+            nodes_hi: 4,
+            quantum_estimate_secs: 60.0,
+            walltime_margin: 2.0,
+        }
+    }
+
+    /// Sets the selection weight.
+    pub fn weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the inclusive node range.
+    pub fn nodes_between(mut self, lo: u32, hi: u32) -> Self {
+        self.nodes_lo = lo;
+        self.nodes_hi = hi;
+        self
+    }
+}
+
+/// The tenant population: who submits, and in what bursts.
+///
+/// Production traces (e.g. the PSNC multi-user hybrid deployment) show
+/// users submitting *campaigns* — related jobs in quick succession —
+/// whose sizes follow a heavy-tailed distribution: most campaigns are a
+/// couple of jobs, a few are hundreds. The model here is a bounded power
+/// law `P(size = s) ∝ s^-alpha` on `[campaign_min, campaign_max]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantModel {
+    /// Population size. Tenants are addressed by index (`u0`, `u1`, …)
+    /// and their attributes derived on demand, so millions of users cost
+    /// no memory.
+    pub users: u64,
+    /// Power-law exponent of the campaign-size distribution (> 1;
+    /// 2–3 is typical of batch traces).
+    pub campaign_alpha: f64,
+    /// Smallest campaign (≥ 1).
+    pub campaign_min: u32,
+    /// Largest campaign.
+    pub campaign_max: u32,
+    /// Mean gap between successive submissions within one campaign,
+    /// seconds (exponential).
+    pub intra_gap_secs: f64,
+}
+
+impl TenantModel {
+    /// Expected campaign size under the bounded power law (analytic).
+    pub fn mean_campaign_size(&self) -> f64 {
+        let a = self.campaign_alpha;
+        let (lo, hi) = (f64::from(self.campaign_min), f64::from(self.campaign_max));
+        if self.campaign_min >= self.campaign_max {
+            return lo;
+        }
+        // E[X] for a continuous bounded Pareto with pdf ∝ x^-a on [lo, hi].
+        let norm = if (a - 1.0).abs() < 1e-9 {
+            (hi / lo).ln()
+        } else {
+            (lo.powf(1.0 - a) - hi.powf(1.0 - a)) / (a - 1.0)
+        };
+        let first = if (a - 2.0).abs() < 1e-9 {
+            (hi / lo).ln()
+        } else {
+            (lo.powf(2.0 - a) - hi.powf(2.0 - a)) / (a - 2.0)
+        };
+        first / norm
+    }
+}
+
+/// How campaign arrivals breathe over the day and week.
+///
+/// The instantaneous campaign-arrival rate is
+///
+/// ```text
+/// rate(t) = base_per_hour
+///         × (1 + diurnal_amplitude · cos(2π · (hour_of_day − peak_hour) / 24))
+///         × (weekend_factor on Saturday/Sunday, 1 otherwise)
+/// ```
+///
+/// with `t = 0` being Monday 00:00. Arrivals are drawn by thinning a
+/// homogeneous Poisson process at the peak rate, the same technique
+/// [`hpcqc_workload::ArrivalProcess::Diurnal`] uses for its fixed curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntensityProfile {
+    /// Average weekday campaign-arrival rate, campaigns per hour.
+    pub base_per_hour: f64,
+    /// Day/night swing in `[0, 1]`: 0 = flat, 1 = nights fully quiet.
+    pub diurnal_amplitude: f64,
+    /// Hour of day (0–24) the rate peaks at.
+    pub peak_hour: f64,
+    /// Multiplier applied on Saturday and Sunday (e.g. 0.4 for the
+    /// weekend lull; 1.0 = no weekly structure).
+    pub weekend_factor: f64,
+}
+
+impl IntensityProfile {
+    /// A flat profile at `per_hour` campaigns per hour.
+    pub fn flat(per_hour: f64) -> Self {
+        IntensityProfile {
+            base_per_hour: per_hour,
+            diurnal_amplitude: 0.0,
+            peak_hour: 12.0,
+            weekend_factor: 1.0,
+        }
+    }
+
+    /// The instantaneous rate at `secs` since Monday 00:00, per hour.
+    pub fn rate_per_hour(&self, secs: f64) -> f64 {
+        let hour_of_day = (secs / 3_600.0) % 24.0;
+        let diurnal = 1.0
+            + self.diurnal_amplitude
+                * (std::f64::consts::TAU * (hour_of_day - self.peak_hour) / 24.0).cos();
+        let day_of_week = ((secs / 86_400.0) as u64) % 7;
+        let weekly = if day_of_week >= 5 {
+            self.weekend_factor
+        } else {
+            1.0
+        };
+        self.base_per_hour * diurnal * weekly
+    }
+
+    /// The largest rate the profile can reach (thinning envelope).
+    pub fn peak_per_hour(&self) -> f64 {
+        self.base_per_hour * (1.0 + self.diurnal_amplitude) * self.weekend_factor.max(1.0)
+    }
+}
+
+/// When the stream ends.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Horizon {
+    /// Exactly this many jobs.
+    Jobs {
+        /// The job count.
+        count: u64,
+    },
+    /// Every campaign *starting* within the first `secs` simulated seconds
+    /// (jobs of a late-starting campaign may submit slightly past the
+    /// boundary; the campaign count is what the horizon bounds).
+    Span {
+        /// The window length, seconds.
+        secs: f64,
+    },
+}
+
+/// A declarative synthetic facility: everything [`JobStream`] needs.
+///
+/// # Examples
+///
+/// ```
+/// use hpcqc_gen::{ClassSpec, GeneratorSpec, Horizon, IntensityProfile, TenantModel};
+/// use hpcqc_workload::Pattern;
+/// use hpcqc_qpu::Kernel;
+///
+/// let spec = GeneratorSpec {
+///     name: "two-class-day".into(),
+///     horizon: Horizon::Jobs { count: 500 },
+///     tenants: TenantModel {
+///         users: 10_000,
+///         campaign_alpha: 2.2,
+///         campaign_min: 1,
+///         campaign_max: 64,
+///         intra_gap_secs: 45.0,
+///     },
+///     classes: vec![
+///         ClassSpec::new("mpi", Pattern::classical(1_800.0)).weight(3.0).nodes_between(2, 16),
+///         ClassSpec::new("vqe", Pattern::vqe(6, 60.0, Kernel::sampling(1_000))),
+///     ],
+///     arrival: IntensityProfile {
+///         base_per_hour: 40.0,
+///         diurnal_amplitude: 0.6,
+///         peak_hour: 14.0,
+///         weekend_factor: 0.5,
+///     },
+/// };
+/// assert!(spec.validate().is_ok());
+/// let jobs: Vec<_> = spec.stream(7).collect();
+/// assert_eq!(jobs.len(), 500);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorSpec {
+    /// Human-readable spec name (report labels, file stem).
+    pub name: String,
+    /// When the stream ends.
+    pub horizon: Horizon,
+    /// Who submits.
+    pub tenants: TenantModel,
+    /// What they submit (weighted).
+    pub classes: Vec<ClassSpec>,
+    /// When they submit.
+    pub arrival: IntensityProfile,
+}
+
+impl GeneratorSpec {
+    /// A small two-class facility useful for tests and quick starts:
+    /// 500 jobs from 1 000 users, diurnal load, mostly-classical mix.
+    pub fn dev_facility() -> Self {
+        use hpcqc_qpu::kernel::Kernel;
+        GeneratorSpec {
+            name: "dev-facility".into(),
+            horizon: Horizon::Jobs { count: 500 },
+            tenants: TenantModel {
+                users: 1_000,
+                campaign_alpha: 2.2,
+                campaign_min: 1,
+                campaign_max: 32,
+                intra_gap_secs: 30.0,
+            },
+            classes: vec![
+                ClassSpec::new("mpi", Pattern::classical(1_200.0))
+                    .weight(3.0)
+                    .nodes_between(2, 8),
+                ClassSpec::new("vqe", Pattern::vqe(5, 45.0, Kernel::sampling(1_000)))
+                    .nodes_between(1, 4),
+            ],
+            arrival: IntensityProfile {
+                base_per_hour: 60.0,
+                diurnal_amplitude: 0.6,
+                peak_hour: 13.0,
+                weekend_factor: 0.5,
+            },
+        }
+    }
+
+    /// Checks the spec for values the generator cannot honour.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first defect.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.classes.is_empty() {
+            return Err("generator needs at least one job class".into());
+        }
+        for class in &self.classes {
+            if !class.weight.is_finite() || class.weight <= 0.0 {
+                return Err(format!("class `{}`: weight must be positive", class.name));
+            }
+            if class.nodes_lo < 1 || class.nodes_lo > class.nodes_hi {
+                return Err(format!(
+                    "class `{}`: need 1 ≤ nodes_lo ≤ nodes_hi",
+                    class.name
+                ));
+            }
+            if class.name.contains(char::is_whitespace) {
+                return Err(format!(
+                    "class `{}`: names must be whitespace-free (HQWF field)",
+                    class.name
+                ));
+            }
+        }
+        if self.tenants.users == 0 {
+            return Err("tenant population must be non-empty".into());
+        }
+        if self.tenants.campaign_min < 1 || self.tenants.campaign_min > self.tenants.campaign_max {
+            return Err("need 1 ≤ campaign_min ≤ campaign_max".into());
+        }
+        if !self.tenants.campaign_alpha.is_finite() || self.tenants.campaign_alpha <= 1.0 {
+            return Err("campaign_alpha must exceed 1".into());
+        }
+        if !self.tenants.intra_gap_secs.is_finite() || self.tenants.intra_gap_secs < 0.0 {
+            return Err("intra_gap_secs must be non-negative".into());
+        }
+        if !self.arrival.base_per_hour.is_finite() || self.arrival.base_per_hour <= 0.0 {
+            return Err("base_per_hour must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.arrival.diurnal_amplitude) {
+            return Err("diurnal_amplitude must be in [0, 1]".into());
+        }
+        if !self.arrival.weekend_factor.is_finite() || self.arrival.weekend_factor <= 0.0 {
+            return Err("weekend_factor must be positive".into());
+        }
+        match self.horizon {
+            Horizon::Jobs { count: 0 } => Err("horizon needs at least one job".into()),
+            Horizon::Span { secs } if !secs.is_finite() || secs <= 0.0 => {
+                Err("horizon span must be positive".into())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Expected jobs per average weekday hour (analytic): arrival rate ×
+    /// mean campaign size. The first sanity check when sizing a machine
+    /// for a spec.
+    pub fn expected_jobs_per_hour(&self) -> f64 {
+        self.arrival.base_per_hour * self.tenants.mean_campaign_size()
+    }
+
+    /// Opens the deterministic job stream for this spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`GeneratorSpec::validate`].
+    pub fn stream(&self, seed: u64) -> JobStream {
+        match self.validate() {
+            Ok(()) => JobStream::new(self.clone(), seed),
+            Err(e) => panic!("invalid generator spec `{}`: {e}", self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dev_facility_validates() {
+        assert!(GeneratorSpec::dev_facility().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_defects() {
+        let ok = GeneratorSpec::dev_facility();
+        let check = |mutate: fn(&mut GeneratorSpec), needle: &str| {
+            let mut spec = ok.clone();
+            mutate(&mut spec);
+            let err = spec.validate().unwrap_err();
+            assert!(err.contains(needle), "`{err}` missing `{needle}`");
+        };
+        check(|s| s.classes.clear(), "at least one job class");
+        check(|s| s.classes[0].weight = 0.0, "weight");
+        check(|s| s.classes[0].nodes_lo = 9, "nodes_lo");
+        check(|s| s.classes[0].name = "a b".into(), "whitespace");
+        check(|s| s.tenants.users = 0, "population");
+        check(|s| s.tenants.campaign_min = 0, "campaign_min");
+        check(|s| s.tenants.campaign_alpha = 1.0, "alpha");
+        check(|s| s.arrival.base_per_hour = 0.0, "base_per_hour");
+        check(|s| s.arrival.diurnal_amplitude = 1.5, "diurnal_amplitude");
+        check(|s| s.arrival.weekend_factor = 0.0, "weekend_factor");
+        check(
+            |s| s.horizon = Horizon::Jobs { count: 0 },
+            "at least one job",
+        );
+        check(|s| s.horizon = Horizon::Span { secs: 0.0 }, "span");
+    }
+
+    #[test]
+    fn spec_serde_roundtrip() {
+        let spec = GeneratorSpec::dev_facility();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: GeneratorSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn intensity_profile_shapes_rate() {
+        let profile = IntensityProfile {
+            base_per_hour: 100.0,
+            diurnal_amplitude: 0.5,
+            peak_hour: 12.0,
+            weekend_factor: 0.25,
+        };
+        // Peak at noon Monday, trough at midnight.
+        let noon = profile.rate_per_hour(12.0 * 3_600.0);
+        let midnight = profile.rate_per_hour(0.0);
+        assert!((noon - 150.0).abs() < 1e-9);
+        assert!((midnight - 50.0).abs() < 1e-9);
+        // Saturday noon is scaled by the weekend factor.
+        let sat_noon = profile.rate_per_hour((5.0 * 24.0 + 12.0) * 3_600.0);
+        assert!((sat_noon - 150.0 * 0.25).abs() < 1e-9);
+        // The envelope dominates everything.
+        for h in 0..(24 * 7) {
+            assert!(profile.rate_per_hour(f64::from(h) * 3_600.0) <= profile.peak_per_hour());
+        }
+    }
+
+    #[test]
+    fn mean_campaign_size_analytic() {
+        // Degenerate: fixed-size campaigns.
+        let fixed = TenantModel {
+            users: 10,
+            campaign_alpha: 2.5,
+            campaign_min: 7,
+            campaign_max: 7,
+            intra_gap_secs: 1.0,
+        };
+        assert_eq!(fixed.mean_campaign_size(), 7.0);
+        // Heavier tail → larger mean.
+        let mk = |alpha: f64| TenantModel {
+            users: 10,
+            campaign_alpha: alpha,
+            campaign_min: 1,
+            campaign_max: 1_000,
+            intra_gap_secs: 1.0,
+        };
+        assert!(mk(1.5).mean_campaign_size() > mk(3.0).mean_campaign_size());
+        let m = mk(2.2).mean_campaign_size();
+        assert!((1.0..=1_000.0).contains(&m), "mean {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid generator spec")]
+    fn stream_rejects_invalid_spec() {
+        let mut spec = GeneratorSpec::dev_facility();
+        spec.classes.clear();
+        let _ = spec.stream(1);
+    }
+}

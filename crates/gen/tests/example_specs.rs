@@ -1,0 +1,57 @@
+//! The committed example specs under `examples/gen/` must stay loadable,
+//! valid, and shaped the way their names promise — they are the CLI's and
+//! CI's entry points into the generator.
+
+use hpcqc_gen::{GeneratorSpec, Horizon};
+
+fn load(name: &str) -> GeneratorSpec {
+    let path = format!(
+        "{}/../../examples/gen/{name}.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let spec: GeneratorSpec =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+    spec.validate().unwrap_or_else(|e| panic!("{path}: {e}"));
+    spec
+}
+
+#[test]
+fn day_small_is_a_dev_scale_day() {
+    let spec = load("day_small");
+    assert!(matches!(spec.horizon, Horizon::Span { secs } if (secs - 86_400.0).abs() < 1.0));
+    // Small enough to collect comfortably in tests and docs.
+    let jobs: Vec<_> = spec.stream(7).collect();
+    assert!(
+        (200..20_000).contains(&jobs.len()),
+        "day_small produced {} jobs",
+        jobs.len()
+    );
+    assert!(jobs.windows(2).all(|w| w[0].submit() <= w[1].submit()));
+}
+
+#[test]
+fn day_smoke_100k_has_the_ci_contract() {
+    let spec = load("day_smoke_100k");
+    assert_eq!(spec.horizon, Horizon::Jobs { count: 100_000 });
+    // ≥100k jobs inside roughly a day: expected throughput must cover the
+    // count within ~30 h.
+    let hours = 100_000.0 / spec.expected_jobs_per_hour();
+    assert!(hours < 30.0, "100k jobs would take {hours:.1} h");
+    // Don't run 100k in a debug test — just prove the stream opens and is
+    // ordered over a prefix.
+    let prefix: Vec<_> = spec.stream(7).take(2_000).collect();
+    assert_eq!(prefix.len(), 2_000);
+    assert!(prefix.windows(2).all(|w| w[0].submit() <= w[1].submit()));
+}
+
+#[test]
+fn month_million_is_month_scale() {
+    let spec = load("month_million");
+    assert_eq!(spec.horizon, Horizon::Jobs { count: 1_000_000 });
+    let days = 1_000_000.0 / spec.expected_jobs_per_hour() / 24.0;
+    assert!(
+        (20.0..45.0).contains(&days),
+        "a million jobs spans {days:.1} days, not a month"
+    );
+}

@@ -4,8 +4,19 @@
 //! slowdown — plus the hybrid-specific ones the paper's argument needs:
 //! time a job's *allocated* resources sat idle (the waste that exclusive
 //! co-scheduling produces).
+//!
+//! ## Memory model
+//!
+//! [`JobStats`] keeps every aggregate **streaming** (running sums, counts,
+//! and [`P2Quantile`] sketches), updated as records arrive. Full
+//! [`JobRecord`]s are additionally retained up to a configurable cap
+//! ([`JobStats::with_cap`]); below the cap every aggregate is computed
+//! from the retained records exactly as it always was, so small runs are
+//! bit-for-bit unchanged. Past the cap, new records fold into the
+//! streaming aggregates only — a month-long million-job simulation holds
+//! O(cap) metric memory instead of O(jobs).
 
-use hpcqc_simcore::stats::{bounded_slowdown, Samples};
+use hpcqc_simcore::stats::{bounded_slowdown, P2Quantile, Samples};
 use hpcqc_simcore::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -70,86 +81,189 @@ impl JobRecord {
     }
 }
 
+/// Streaming aggregates over one population of jobs (all / hybrid-only /
+/// classical-only). Sums accumulate in record order, so while the full
+/// record list is retained the derived means equal the record-walk values
+/// bit for bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct AggStats {
+    total: u64,
+    completed: u64,
+    sum_wait: f64,
+    sum_turnaround: f64,
+    sum_slowdown: f64,
+    sum_phase_wait: f64,
+    node_seconds_wasted: f64,
+    qpu_seconds_wasted: f64,
+    makespan: SimTime,
+    wait_p95: P2Quantile,
+    turnaround_p95: P2Quantile,
+}
+
+impl Default for AggStats {
+    fn default() -> Self {
+        AggStats {
+            total: 0,
+            completed: 0,
+            sum_wait: 0.0,
+            sum_turnaround: 0.0,
+            sum_slowdown: 0.0,
+            sum_phase_wait: 0.0,
+            node_seconds_wasted: 0.0,
+            qpu_seconds_wasted: 0.0,
+            makespan: SimTime::ZERO,
+            wait_p95: P2Quantile::new(0.95),
+            turnaround_p95: P2Quantile::new(0.95),
+        }
+    }
+}
+
+impl AggStats {
+    fn record(&mut self, record: &JobRecord) {
+        self.total += 1;
+        if record.completed {
+            self.completed += 1;
+        }
+        let wait = record.wait().as_secs_f64();
+        let turnaround = record.turnaround().as_secs_f64();
+        self.sum_wait += wait;
+        self.sum_turnaround += turnaround;
+        self.sum_slowdown +=
+            bounded_slowdown(record.wait(), record.runtime(), SimDuration::from_secs(10));
+        self.sum_phase_wait += record.phase_wait.as_secs_f64();
+        self.node_seconds_wasted += record.node_seconds_wasted();
+        self.qpu_seconds_wasted += record.qpu_seconds_wasted();
+        self.makespan = self.makespan.max(record.end);
+        self.wait_p95.record(wait);
+        self.turnaround_p95.record(turnaround);
+    }
+
+    fn mean(&self, sum: f64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            sum / self.total as f64
+        }
+    }
+}
+
 /// Aggregates [`JobRecord`]s into the summary the experiments report.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Aggregates are maintained streaming; full records are retained up to a
+/// cap (unlimited for [`JobStats::new`]) — see the module docs for the
+/// memory model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobStats {
     records: Vec<JobRecord>,
+    cap: usize,
+    all: AggStats,
+    hybrid: AggStats,
+    classical: AggStats,
+}
+
+impl Default for JobStats {
+    fn default() -> Self {
+        JobStats::with_cap(usize::MAX)
+    }
 }
 
 impl JobStats {
-    /// Creates an empty collector.
+    /// Creates an empty collector retaining every record.
     pub fn new() -> Self {
         JobStats::default()
     }
 
-    /// Records one completed job.
-    pub fn record(&mut self, record: JobRecord) {
-        self.records.push(record);
+    /// Creates an empty collector retaining at most `cap` full records;
+    /// records past the cap fold into the streaming aggregates only.
+    pub fn with_cap(cap: usize) -> Self {
+        JobStats {
+            records: Vec::new(),
+            cap,
+            all: AggStats::default(),
+            hybrid: AggStats::default(),
+            classical: AggStats::default(),
+        }
     }
 
-    /// All records.
+    /// The record-retention cap this collector was created with.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// `true` while every recorded job is still retained in full — exact
+    /// per-record reporting is available; `false` once the cap truncated
+    /// retention and only streaming aggregates cover the whole population.
+    pub fn is_exact(&self) -> bool {
+        self.records.len() as u64 == self.all.total
+    }
+
+    /// Records one completed job.
+    pub fn record(&mut self, record: JobRecord) {
+        self.all.record(&record);
+        if record.hybrid {
+            self.hybrid.record(&record);
+        } else {
+            self.classical.record(&record);
+        }
+        if self.records.len() < self.cap {
+            self.records.push(record);
+        }
+    }
+
+    /// The retained records — all of them while [`JobStats::is_exact`],
+    /// the first `cap` otherwise.
     pub fn records(&self) -> &[JobRecord] {
         &self.records
     }
 
-    /// Number of completed jobs.
+    /// Number of recorded jobs (including any past the retention cap).
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.all.total as usize
     }
 
     /// `true` when nothing has completed.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.all.total == 0
     }
 
     /// Mean queue wait in seconds.
     pub fn mean_wait_secs(&self) -> f64 {
-        self.mean_of(|r| r.wait().as_secs_f64())
+        self.all.mean(self.all.sum_wait)
     }
 
     /// Mean turnaround in seconds.
     pub fn mean_turnaround_secs(&self) -> f64 {
-        self.mean_of(|r| r.turnaround().as_secs_f64())
+        self.all.mean(self.all.sum_turnaround)
     }
 
     /// Mean bounded slowdown (τ = 10 s, the literature's usual threshold).
     pub fn mean_bounded_slowdown(&self) -> f64 {
-        self.mean_of(|r| bounded_slowdown(r.wait(), r.runtime(), SimDuration::from_secs(10)))
+        self.all.mean(self.all.sum_slowdown)
     }
 
     /// Mean extra wait accumulated at phase boundaries, seconds.
     pub fn mean_phase_wait_secs(&self) -> f64 {
-        self.mean_of(|r| r.phase_wait.as_secs_f64())
+        self.all.mean(self.all.sum_phase_wait)
     }
 
     /// Total allocated-but-idle node-hours across all jobs.
     pub fn total_node_hours_wasted(&self) -> f64 {
-        self.records
-            .iter()
-            .map(JobRecord::node_seconds_wasted)
-            .sum::<f64>()
-            / 3_600.0
+        self.all.node_seconds_wasted / 3_600.0
     }
 
     /// Total allocated-but-idle QPU-hours across all jobs.
     pub fn total_qpu_hours_wasted(&self) -> f64 {
-        self.records
-            .iter()
-            .map(JobRecord::qpu_seconds_wasted)
-            .sum::<f64>()
-            / 3_600.0
+        self.all.qpu_seconds_wasted / 3_600.0
     }
 
     /// Makespan: last completion ([`SimTime::ZERO`] when empty).
     pub fn makespan(&self) -> SimTime {
-        self.records
-            .iter()
-            .map(|r| r.end)
-            .max()
-            .unwrap_or(SimTime::ZERO)
+        self.all.makespan
     }
 
-    /// Wait-time sample set (seconds) for quantile reporting.
+    /// Wait-time sample set (seconds) over the *retained* records, for
+    /// exact quantile reporting. Partial past the retention cap — prefer
+    /// [`JobStats::wait_p95_secs`] for capped collections.
     pub fn wait_samples(&self) -> Samples {
         self.records
             .iter()
@@ -157,7 +271,7 @@ impl JobStats {
             .collect()
     }
 
-    /// Turnaround sample set (seconds).
+    /// Turnaround sample set (seconds) over the retained records.
     pub fn turnaround_samples(&self) -> Samples {
         self.records
             .iter()
@@ -165,35 +279,72 @@ impl JobStats {
             .collect()
     }
 
+    /// 95th-percentile queue wait, seconds: exact while every record is
+    /// retained, the streaming P² estimate over the whole population
+    /// otherwise. `None` when empty.
+    pub fn wait_p95_secs(&self) -> Option<f64> {
+        if self.is_exact() {
+            self.wait_samples().p95()
+        } else {
+            self.all.wait_p95.estimate()
+        }
+    }
+
+    /// 95th-percentile turnaround, seconds (exact / P² as for
+    /// [`JobStats::wait_p95_secs`]).
+    pub fn turnaround_p95_secs(&self) -> Option<f64> {
+        if self.is_exact() {
+            self.turnaround_samples().p95()
+        } else {
+            self.all.turnaround_p95.estimate()
+        }
+    }
+
     /// Number of jobs that finished successfully.
     pub fn completed_count(&self) -> usize {
-        self.records.iter().filter(|r| r.completed).count()
+        self.all.completed as usize
     }
 
     /// Number of jobs killed without completing (walltime/failures).
     pub fn failed_count(&self) -> usize {
-        self.records.len() - self.completed_count()
+        (self.all.total - self.all.completed) as usize
     }
 
     /// A sub-collector containing only hybrid jobs.
     pub fn hybrid_only(&self) -> JobStats {
-        JobStats {
-            records: self.records.iter().filter(|r| r.hybrid).cloned().collect(),
-        }
+        self.filtered(true)
     }
 
     /// A sub-collector containing only classical jobs.
     pub fn classical_only(&self) -> JobStats {
-        JobStats {
-            records: self.records.iter().filter(|r| !r.hybrid).cloned().collect(),
-        }
+        self.filtered(false)
     }
 
-    fn mean_of(&self, f: impl Fn(&JobRecord) -> f64) -> f64 {
-        if self.records.is_empty() {
-            0.0
+    fn filtered(&self, hybrid: bool) -> JobStats {
+        let sub = if hybrid {
+            &self.hybrid
         } else {
-            self.records.iter().map(f).sum::<f64>() / self.records.len() as f64
+            &self.classical
+        };
+        JobStats {
+            records: self
+                .records
+                .iter()
+                .filter(|r| r.hybrid == hybrid)
+                .cloned()
+                .collect(),
+            cap: self.cap,
+            all: sub.clone(),
+            hybrid: if hybrid {
+                sub.clone()
+            } else {
+                AggStats::default()
+            },
+            classical: if hybrid {
+                AggStats::default()
+            } else {
+                sub.clone()
+            },
         }
     }
 }
@@ -273,5 +424,64 @@ mod tests {
         // wait 90 s, run 10 s → slowdown 10.
         s.record(rec(0, 90, 100, false));
         assert_eq!(s.mean_bounded_slowdown(), 10.0);
+    }
+
+    #[test]
+    fn capped_stats_match_uncapped_aggregates() {
+        let mut exact = JobStats::new();
+        let mut capped = JobStats::with_cap(10);
+        for i in 0..200u64 {
+            let r = rec(i, i + i % 7, i + 50 + (i * 13) % 90, i % 3 == 0);
+            exact.record(r.clone());
+            capped.record(r);
+        }
+        assert!(exact.is_exact());
+        assert!(!capped.is_exact());
+        assert_eq!(capped.records().len(), 10);
+        assert_eq!(capped.len(), 200);
+        // Every streaming aggregate is identical to the exact walk — the
+        // sums accumulate in the same order.
+        assert_eq!(capped.mean_wait_secs(), exact.mean_wait_secs());
+        assert_eq!(capped.mean_turnaround_secs(), exact.mean_turnaround_secs());
+        assert_eq!(
+            capped.mean_bounded_slowdown(),
+            exact.mean_bounded_slowdown()
+        );
+        assert_eq!(capped.makespan(), exact.makespan());
+        assert_eq!(capped.failed_count(), exact.failed_count());
+        assert_eq!(
+            capped.total_node_hours_wasted(),
+            exact.total_node_hours_wasted()
+        );
+        // Sub-populations survive the cap with full-population aggregates.
+        assert_eq!(capped.hybrid_only().len(), exact.hybrid_only().len());
+        assert_eq!(
+            capped.hybrid_only().mean_turnaround_secs(),
+            exact.hybrid_only().mean_turnaround_secs()
+        );
+        assert_eq!(
+            capped.classical_only().mean_wait_secs(),
+            exact.classical_only().mean_wait_secs()
+        );
+    }
+
+    #[test]
+    fn capped_quantiles_fall_back_to_sketch() {
+        let mut exact = JobStats::new();
+        let mut capped = JobStats::with_cap(16);
+        for i in 0..5_000u64 {
+            let wait = (i * 7919) % 1_000;
+            let r = rec(0, wait, wait + 100, false);
+            exact.record(r.clone());
+            capped.record(r);
+        }
+        let truth = exact.wait_p95_secs().unwrap();
+        let est = capped.wait_p95_secs().unwrap();
+        assert!(
+            (est - truth).abs() <= 0.05 * truth.max(1.0),
+            "P² wait p95 {est} vs exact {truth}"
+        );
+        // Exact collections answer from the retained samples.
+        assert_eq!(exact.wait_p95_secs(), exact.wait_samples().p95());
     }
 }

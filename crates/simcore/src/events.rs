@@ -29,13 +29,14 @@ impl fmt::Display for EventKey {
 #[derive(Debug)]
 struct Entry<E> {
     time: SimTime,
+    class: u8,
     seq: u64,
     payload: E,
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.class == other.class && self.seq == other.seq
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -47,11 +48,13 @@ impl<E> PartialOrd for Entry<E> {
 }
 
 impl<E> Ord for Entry<E> {
-    // Reversed: BinaryHeap is a max-heap, we want the earliest (time, seq) first.
+    // Reversed: BinaryHeap is a max-heap, we want the earliest
+    // (time, class, seq) first.
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .time
             .cmp(&self.time)
+            .then_with(|| other.class.cmp(&self.class))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -117,6 +120,26 @@ impl<E> EventQueue<E> {
     /// Panics if `time` is earlier than the timestamp of the last event
     /// popped from this queue.
     pub fn schedule(&mut self, time: SimTime, payload: E) -> EventKey {
+        self.schedule_class(time, 1, payload)
+    }
+
+    /// Like [`EventQueue::schedule`], but the event sorts *before* every
+    /// normally-scheduled event at the same timestamp, regardless of when
+    /// it was inserted (ties among front-lane events stay FIFO).
+    ///
+    /// This is how a lazily-fed simulation reproduces the event order of a
+    /// fully-materialized one: arrivals scheduled on demand still beat
+    /// completion events that share their timestamp but were scheduled
+    /// earlier, exactly as if every arrival had been scheduled up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the last popped timestamp.
+    pub fn schedule_front(&mut self, time: SimTime, payload: E) -> EventKey {
+        self.schedule_class(time, 0, payload)
+    }
+
+    fn schedule_class(&mut self, time: SimTime, class: u8, payload: E) -> EventKey {
         assert!(
             time >= self.last_popped,
             "scheduled an event at {time} in the past of the clock ({})",
@@ -124,7 +147,12 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, payload });
+        self.heap.push(Entry {
+            time,
+            class,
+            seq,
+            payload,
+        });
         EventKey(seq)
     }
 
@@ -212,6 +240,39 @@ mod tests {
         }
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.payload)).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn front_lane_beats_equal_time_normal_events() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        q.schedule(t, "normal-early");
+        q.schedule_front(t, "front-a");
+        q.schedule(t, "normal-late");
+        q.schedule_front(t, "front-b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|s| s.payload)).collect();
+        assert_eq!(
+            order,
+            vec!["front-a", "front-b", "normal-early", "normal-late"]
+        );
+    }
+
+    #[test]
+    fn front_lane_still_ordered_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule_front(SimTime::from_secs(9), "late-front");
+        q.schedule(SimTime::from_secs(1), "early-normal");
+        assert_eq!(q.pop().unwrap().payload, "early-normal");
+        assert_eq!(q.pop().unwrap().payload, "late-front");
+    }
+
+    #[test]
+    fn front_lane_events_cancel() {
+        let mut q = EventQueue::new();
+        let k = q.schedule_front(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(1), "b");
+        assert!(q.cancel(k));
+        assert_eq!(q.pop().unwrap().payload, "b");
     }
 
     #[test]

@@ -2,6 +2,9 @@
 //!
 //! * [`Welford`] — numerically stable streaming mean/variance with merge.
 //! * [`Samples`] — exact quantiles over a retained sample set.
+//! * [`P2Quantile`] — constant-memory streaming quantile estimate (the P²
+//!   algorithm), for facility-scale runs where retaining samples is not
+//!   an option.
 //! * [`Histogram`] — fixed-bin counting for dense reporting.
 //! * [`TimeWeighted`] — exact time integrals of piecewise-constant signals,
 //!   the workhorse behind every utilization number in the experiments.
@@ -227,6 +230,168 @@ impl FromIterator<f64> for Samples {
         let mut s = Samples::new();
         s.extend(iter);
         s
+    }
+}
+
+/// Streaming quantile estimation with five markers: the P² algorithm
+/// (Jain & Chlamtáč, 1985).
+///
+/// Exact quantiles need the whole sample set; [`Samples`] retains it, which
+/// is fine for thousands of jobs and fatal for millions. `P2Quantile` keeps
+/// **five** marker heights and positions — O(1) memory, O(1) update — and
+/// converges on the true quantile for any stationary input. It is fully
+/// deterministic (no sampling), so streamed simulations stay replayable.
+///
+/// Until five observations have arrived the estimate is exact (computed
+/// from the retained handful).
+///
+/// # Examples
+///
+/// ```
+/// use hpcqc_simcore::stats::P2Quantile;
+///
+/// // Track the 95th percentile of a million-observation stream in
+/// // constant memory.
+/// let mut p95 = P2Quantile::new(0.95);
+/// for i in 0..10_000 {
+///     // A deterministic pseudo-uniform ramble over [0, 1000).
+///     p95.record(f64::from((i * 7919) % 10_000) / 10.0);
+/// }
+/// let est = p95.estimate().unwrap();
+/// assert!((est - 950.0).abs() < 15.0, "estimate {est}");
+/// assert_eq!(p95.count(), 10_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimated quantile curve), 5 entries once primed.
+    heights: Vec<f64>,
+    /// Actual marker positions, 1-based ranks.
+    positions: Vec<f64>,
+    /// Desired marker positions.
+    desired: Vec<f64>,
+    /// Per-observation increments of the desired positions.
+    rates: Vec<f64>,
+    count: u64,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(
+            q > 0.0 && q < 1.0,
+            "P2Quantile: q must be in (0, 1), got {q}"
+        );
+        P2Quantile {
+            q,
+            heights: Vec::with_capacity(5),
+            positions: vec![1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: vec![1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            rates: vec![0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The quantile this estimator tracks.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Records one observation in O(1) time and memory.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if self.heights.len() < 5 {
+            // Priming phase: retain and sort the first five observations.
+            let at = self.heights.partition_point(|&h| h < x);
+            self.heights.insert(at, x);
+            return;
+        }
+        // Locate the cell containing x, clamping the extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // First marker whose height exceeds x, minus one.
+            (1..4).find(|&i| x < self.heights[i]).unwrap_or(4) - 1
+        };
+        for position in self.positions.iter_mut().skip(k + 1) {
+            *position += 1.0;
+        }
+        for (desired, rate) in self.desired.iter_mut().zip(&self.rates) {
+            *desired += rate;
+        }
+        // Adjust the three interior markers toward their desired positions
+        // with the piecewise-parabolic (P²) update, falling back to linear
+        // interpolation when the parabola would leave the bracket.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let ahead = self.positions[i + 1] - self.positions[i];
+            let behind = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && ahead > 1.0) || (d <= -1.0 && behind < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (nm, n, np) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
+        h + d / (np - nm)
+            * ((n - nm + d) * (hp - h) / (np - n) + (np - n - d) * (h - hm) / (n - nm))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current quantile estimate (`None` before any observation).
+    ///
+    /// Exact while fewer than five observations have arrived; the P²
+    /// approximation afterwards.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.heights.is_empty() {
+            return None;
+        }
+        if self.heights.len() < 5 {
+            // Exact nearest-rank-with-interpolation over the primed handful,
+            // matching `Samples::quantile`.
+            let n = self.heights.len();
+            if n == 1 {
+                return Some(self.heights[0]);
+            }
+            let pos = self.q * (n - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            return Some(self.heights[lo] * (1.0 - frac) + self.heights[hi] * frac);
+        }
+        Some(self.heights[2])
     }
 }
 
@@ -560,6 +725,78 @@ mod tests {
         assert_eq!(s.median(), None);
         assert!(s.is_empty());
         assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn p2_empty_and_tiny() {
+        let mut p = P2Quantile::new(0.5);
+        assert_eq!(p.estimate(), None);
+        p.record(7.0);
+        assert_eq!(p.estimate(), Some(7.0));
+        p.record(1.0);
+        p.record(3.0);
+        // Exact interpolated median of {1, 3, 7}.
+        assert_eq!(p.estimate(), Some(3.0));
+        assert_eq!(p.count(), 3);
+    }
+
+    #[test]
+    fn p2_tracks_uniform_quantiles() {
+        // A deterministic low-discrepancy stream over [0, 1).
+        let mut golden = 0.0f64;
+        let mut p50 = P2Quantile::new(0.5);
+        let mut p95 = P2Quantile::new(0.95);
+        let mut p99 = P2Quantile::new(0.99);
+        for _ in 0..100_000 {
+            golden = (golden + 0.618_033_988_749_894_9) % 1.0;
+            p50.record(golden);
+            p95.record(golden);
+            p99.record(golden);
+        }
+        assert!((p50.estimate().unwrap() - 0.5).abs() < 0.02);
+        assert!((p95.estimate().unwrap() - 0.95).abs() < 0.02);
+        assert!((p99.estimate().unwrap() - 0.99).abs() < 0.01);
+    }
+
+    #[test]
+    fn p2_matches_exact_on_exponential_tail() {
+        // Heavier-tailed input: compare against the exact quantile.
+        let mut rng = crate::rng::SimRng::seed_from(17);
+        let dist = crate::dist::Dist::exponential(100.0);
+        let mut sketch = P2Quantile::new(0.95);
+        let mut exact = Samples::new();
+        for _ in 0..50_000 {
+            let x = dist.sample(&mut rng);
+            sketch.record(x);
+            exact.record(x);
+        }
+        let truth = exact.p95().unwrap();
+        let est = sketch.estimate().unwrap();
+        assert!(
+            (est - truth).abs() / truth < 0.05,
+            "P² {est} vs exact {truth}"
+        );
+    }
+
+    #[test]
+    fn p2_is_deterministic() {
+        let feed = |p: &mut P2Quantile| {
+            for i in 0..10_000u64 {
+                p.record(((i * 2_654_435_761) % 1_000_003) as f64);
+            }
+        };
+        let mut a = P2Quantile::new(0.9);
+        let mut b = P2Quantile::new(0.9);
+        feed(&mut a);
+        feed(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(a.estimate(), b.estimate());
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1)")]
+    fn p2_rejects_degenerate_quantile() {
+        let _ = P2Quantile::new(1.0);
     }
 
     #[test]

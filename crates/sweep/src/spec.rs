@@ -8,6 +8,7 @@
 //! thing at a time, stochastic elements (device timing, background
 //! arrivals) seeded.
 
+use hpcqc_gen::GeneratorSpec;
 use hpcqc_qpu::kernel::Kernel;
 use hpcqc_simcore::dist::Dist;
 use hpcqc_simcore::rng::SimRng;
@@ -62,6 +63,20 @@ pub enum WorkloadSpec {
         /// Hybrid requested walltime, hours.
         hybrid_walltime_hours: u64,
     },
+    /// A synthetic facility from an `hpcqc-gen` [`GeneratorSpec`] — the
+    /// generator axis of a grid. The cell's `load_per_hour` axis value,
+    /// when positive, **overrides** the spec's base campaign-arrival rate,
+    /// so one grid sweeps the same facility across load levels; the
+    /// cell's replica seed drives generation (common random numbers
+    /// across compared cells, as for every other workload kind).
+    Generated {
+        /// The facility description.
+        spec: GeneratorSpec,
+        /// Hard ceiling on materialized jobs per cell, protecting sweeps
+        /// from month-scale horizons (0 = no extra cap beyond the spec's
+        /// own horizon).
+        max_jobs: u64,
+    },
 }
 
 impl WorkloadSpec {
@@ -86,6 +101,19 @@ impl WorkloadSpec {
     /// identical jobs.
     pub fn build(&self, load_per_hour: f64, seed: u64) -> Workload {
         match *self {
+            WorkloadSpec::Generated { ref spec, max_jobs } => {
+                let mut spec = spec.clone();
+                if load_per_hour > 0.0 {
+                    spec.arrival.base_per_hour = load_per_hour;
+                }
+                let stream = spec.stream(seed);
+                let jobs: Vec<JobSpec> = if max_jobs > 0 {
+                    stream.take(max_jobs as usize).collect()
+                } else {
+                    stream.collect()
+                };
+                Workload::from_jobs(jobs)
+            }
             WorkloadSpec::Listing1 {
                 nodes,
                 iterations,
@@ -295,6 +323,44 @@ mod tests {
             assert!(j.total_classical() >= SimDuration::from_secs(60));
             assert!(!j.is_hybrid());
         }
+    }
+
+    #[test]
+    fn generated_spec_builds_deterministically() {
+        let spec = WorkloadSpec::Generated {
+            spec: GeneratorSpec::dev_facility(),
+            max_jobs: 60,
+        };
+        let w = spec.build(0.0, 42);
+        assert_eq!(w.len(), 60);
+        assert_eq!(w, spec.build(0.0, 42), "same (load, seed) → same workload");
+        assert_ne!(w, spec.build(0.0, 43), "seed must matter");
+    }
+
+    #[test]
+    fn generated_spec_load_axis_overrides_rate() {
+        let spec = WorkloadSpec::Generated {
+            spec: GeneratorSpec::dev_facility(),
+            max_jobs: 120,
+        };
+        // Higher load axis → same job count squeezed into less time.
+        let relaxed = spec.build(5.0, 7).last_submit();
+        let loaded = spec.build(500.0, 7).last_submit();
+        assert!(
+            loaded < relaxed,
+            "500/h should compress arrivals vs 5/h ({loaded} vs {relaxed})"
+        );
+    }
+
+    #[test]
+    fn generated_spec_serde_roundtrip() {
+        let spec = WorkloadSpec::Generated {
+            spec: GeneratorSpec::dev_facility(),
+            max_jobs: 10,
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! The committed `examples/grids/generated.json` — the generator axis'
+//! shipped entry point — must stay loadable, valid, and buildable, like
+//! every other committed example (smoke.json has the golden CI diff,
+//! crossover.json has `adaptive_grid.rs`).
+
+use hpcqc_sweep::{Grid, WorkloadSpec};
+
+fn load() -> Grid {
+    let path = format!(
+        "{}/../../examples/grids/generated.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let grid: Grid = serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+    grid.validate().unwrap_or_else(|e| panic!("{path}: {e}"));
+    grid
+}
+
+#[test]
+fn generated_grid_loads_and_builds_cells() {
+    let grid = load();
+    assert!(
+        matches!(grid.workload, WorkloadSpec::Generated { .. }),
+        "the example must exercise the generator axis"
+    );
+    // 5 strategies × 2 loads × 2 replicas.
+    assert_eq!(grid.len(), 20);
+    // Building a cell's workload realizes the embedded GeneratorSpec; do
+    // one cell per load-axis value rather than simulating all 20 cells.
+    for index in [0, grid.len() - 1] {
+        let cell = grid.cell(index);
+        let workload = grid.workload.build(cell.load_per_hour, cell.replica_seed);
+        assert_eq!(workload.len(), 250, "cell {index}");
+        assert!(workload.hybrid_count() > 0, "cell {index}");
+    }
+}

@@ -6,11 +6,81 @@
 //! are compared on identical inputs.
 
 use crate::arrival::ArrivalProcess;
-use crate::job::{JobId, JobSpec};
+use crate::job::{JobId, JobSpec, Phase};
 use crate::pattern::Pattern;
 use hpcqc_simcore::rng::SimRng;
 use hpcqc_simcore::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Why a job list does not form a valid [`Workload`].
+///
+/// Both defects used to be accepted silently and produced confusing
+/// downstream behaviour: duplicate names made per-job reports (Gantt
+/// lanes, record lookups) ambiguous, and zero-duration classical phases
+/// are always a unit mix-up in the caller (seconds that were actually
+/// nanoseconds, a sampled duration truncated to zero).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// Two jobs share a name. Indices are positions in the submitted list.
+    DuplicateName {
+        /// The shared job name.
+        name: String,
+        /// Position of the first holder.
+        first: usize,
+        /// Position of the duplicate.
+        duplicate: usize,
+    },
+    /// A classical phase has zero duration.
+    ZeroDurationPhase {
+        /// The offending job's name.
+        job: String,
+        /// Position of the job in the submitted list.
+        job_index: usize,
+        /// Index of the phase within the job.
+        phase_index: usize,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::DuplicateName {
+                name,
+                first,
+                duplicate,
+            } => write!(
+                f,
+                "duplicate job name `{name}` (jobs #{first} and #{duplicate})"
+            ),
+            WorkloadError::ZeroDurationPhase {
+                job,
+                job_index,
+                phase_index,
+            } => write!(
+                f,
+                "job `{job}` (#{job_index}) has a zero-duration classical phase \
+                 (phase {phase_index})"
+            ),
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+/// The index of the offending *job* a [`WorkloadError`] points at (the
+/// duplicate for name clashes), so callers holding per-job provenance —
+/// like the trace parser's line numbers — can localize the report.
+impl WorkloadError {
+    /// Position in the submitted job list the error refers to.
+    pub fn job_index(&self) -> usize {
+        match self {
+            WorkloadError::DuplicateName { duplicate, .. } => *duplicate,
+            WorkloadError::ZeroDurationPhase { job_index, .. } => *job_index,
+        }
+    }
+}
 
 /// A weighted job template used by [`WorkloadBuilder`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -135,15 +205,75 @@ impl Workload {
         }
     }
 
-    /// Wraps an explicit job list.
-    pub fn from_jobs(mut jobs: Vec<JobSpec>) -> Self {
+    /// Wraps an explicit job list, validating it first.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate job names or zero-duration classical phases —
+    /// see [`Workload::try_from_jobs`] for the fallible variant carrying
+    /// the typed [`WorkloadError`].
+    pub fn from_jobs(jobs: Vec<JobSpec>) -> Self {
+        Workload::try_from_jobs(jobs).unwrap_or_else(|e| panic!("invalid workload: {e}"))
+    }
+
+    /// Wraps an explicit job list after validating it: job names must be
+    /// unique and classical phases must have a positive duration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`WorkloadError`] describing the first defect, in
+    /// submitted-list order.
+    pub fn try_from_jobs(mut jobs: Vec<JobSpec>) -> Result<Self, WorkloadError> {
+        Workload::validate_jobs(&jobs)?;
         jobs.sort_by_key(JobSpec::submit);
-        Workload { jobs }
+        Ok(Workload { jobs })
+    }
+
+    /// Checks a job list against the workload invariants (unique names,
+    /// positive classical-phase durations) without taking ownership — the
+    /// validation walk behind [`Workload::try_from_jobs`], usable in place
+    /// on already-materialized lists (e.g. a deserialized trace).
+    ///
+    /// # Errors
+    ///
+    /// The first defect, in list order.
+    pub fn validate_jobs(jobs: &[JobSpec]) -> Result<(), WorkloadError> {
+        let mut seen: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        for (index, job) in jobs.iter().enumerate() {
+            if let Some(&first) = seen.get(job.name()) {
+                return Err(WorkloadError::DuplicateName {
+                    name: job.name().to_string(),
+                    first,
+                    duplicate: index,
+                });
+            }
+            seen.insert(job.name(), index);
+            for (phase_index, phase) in job.phases().iter().enumerate() {
+                if let Phase::Classical(d) = phase {
+                    if d.is_zero() {
+                        return Err(WorkloadError::ZeroDurationPhase {
+                            job: job.name().to_string(),
+                            job_index: index,
+                            phase_index,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The jobs, sorted by submission time.
     pub fn jobs(&self) -> &[JobSpec] {
         &self.jobs
+    }
+
+    /// Restores the sorted-by-submit invariant in place (stable sort; a
+    /// no-op pass on already-sorted lists). Deserialization paths use
+    /// this instead of rebuilding through [`Workload::try_from_jobs`],
+    /// which would clone facility-scale job lists.
+    pub(crate) fn sort_by_submit(&mut self) {
+        self.jobs.sort_by_key(JobSpec::submit);
     }
 
     /// Number of jobs.
@@ -389,6 +519,63 @@ mod tests {
     #[should_panic(expected = "at least one job class")]
     fn empty_builder_panics() {
         let _ = Workload::builder().generate(1);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let jobs = vec![
+            JobSpec::builder("twin").build(),
+            JobSpec::builder("other").build(),
+            JobSpec::builder("twin").build(),
+        ];
+        let err = Workload::try_from_jobs(jobs).unwrap_err();
+        assert_eq!(
+            err,
+            WorkloadError::DuplicateName {
+                name: "twin".into(),
+                first: 0,
+                duplicate: 2,
+            }
+        );
+        assert_eq!(err.job_index(), 2);
+        assert!(err.to_string().contains("twin"));
+    }
+
+    #[test]
+    fn zero_duration_phase_rejected() {
+        use crate::job::Phase;
+        let jobs = vec![JobSpec::builder("z")
+            .phases(vec![
+                Phase::Classical(SimDuration::from_secs(1)),
+                Phase::Classical(SimDuration::ZERO),
+            ])
+            .build()];
+        let err = Workload::try_from_jobs(jobs).unwrap_err();
+        assert_eq!(
+            err,
+            WorkloadError::ZeroDurationPhase {
+                job: "z".into(),
+                job_index: 0,
+                phase_index: 1,
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate job name")]
+    fn from_jobs_panics_on_duplicates() {
+        let _ = Workload::from_jobs(vec![
+            JobSpec::builder("x").build(),
+            JobSpec::builder("x").build(),
+        ]);
+    }
+
+    #[test]
+    fn empty_phase_list_is_valid() {
+        // A job with no phases at all completes immediately — that is a
+        // legitimate (if degenerate) workload, unlike a zero-length phase.
+        let w = Workload::try_from_jobs(vec![JobSpec::builder("noop").build()]).unwrap();
+        assert_eq!(w.len(), 1);
     }
 
     #[test]

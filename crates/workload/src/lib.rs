@@ -42,7 +42,9 @@ pub mod pattern;
 pub mod trace;
 
 pub use arrival::ArrivalProcess;
-pub use campaign::{DemandSummary, JobClass, Workload, WorkloadBuilder};
+pub use campaign::{DemandSummary, JobClass, Workload, WorkloadBuilder, WorkloadError};
 pub use job::{JobId, JobSpec, JobSpecBuilder, Phase};
 pub use pattern::Pattern;
-pub use trace::{from_hqwf, from_json, to_hqwf, to_json, ParseTraceError};
+pub use trace::{
+    from_hqwf, from_json, to_hqwf, to_hqwf_line, to_json, ParseTraceError, TraceError, HQWF_HEADER,
+};

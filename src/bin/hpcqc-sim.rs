@@ -2,12 +2,20 @@
 //! line.
 //!
 //! ```text
-//! # Generate a synthetic workload trace
+//! # Generate a synthetic workload trace (builder mix)
 //! hpcqc-sim generate --count 200 --seed 7 --out campaign.hqwf
 //!
-//! # Simulate it under one strategy
+//! # Synthesize a facility-scale trace from a declarative generator spec
+//! hpcqc-sim gen --spec examples/gen/day_small.json --seed 7 --out day.hqwf
+//!
+//! # Simulate a trace under one strategy
 //! hpcqc-sim run --trace campaign.hqwf --strategy vqpu:4 --nodes 64 \
 //!               --device superconducting --policy easy
+//!
+//! # Stream a generated facility through the simulator (constant memory —
+//! # the trace is never materialized)
+//! hpcqc-sim run --source gen:examples/gen/day_small.json --strategy vqpu:4 \
+//!               --nodes 256
 //!
 //! # Compare all four strategies on the same trace
 //! hpcqc-sim run --trace campaign.hqwf --compare --device neutral-atom
@@ -24,15 +32,21 @@
 //!
 //! Traces are read as HQWF (`.hqwf`, see `hpcqc_workload::trace`) or JSON
 //! (anything else). `--scenario` loads a full [`Scenario`] as JSON;
-//! individual flags override its fields.
+//! individual flags override its fields. `--source gen:<spec.json>` runs a
+//! `hpcqc_gen::GeneratorSpec` stream (seeded by `--seed`) instead of a
+//! trace file.
 
 use hpcqc::prelude::*;
+use std::io::Write;
 use std::process::ExitCode;
 
 const USAGE: &str =
     "usage:\n  hpcqc-sim generate --count N [--seed S] [--out FILE] [--hybrid-share F]\n  \
-     hpcqc-sim run --trace FILE [--scenario FILE.json] [--strategy S] [--nodes N]\n            \
-     [--device TECH] [--policy P] [--seed S] [--compare] [--gantt]\n  \
+     hpcqc-sim gen --spec FILE.json [--seed S] [--jobs N] [--format hqwf|json]\n              \
+     [--out FILE] [--demand]\n  \
+     hpcqc-sim run (--trace FILE | --source gen:FILE.json) [--scenario FILE.json]\n            \
+     [--strategy S] [--nodes N] [--device TECH] [--policy P] [--seed S]\n            \
+     [--compare] [--gantt]\n  \
      hpcqc-sim sweep --grid FILE.json [--threads N] [--format csv|json|markdown]\n              \
      [--summary] [--out FILE]\n  \
      hpcqc-sim advise --quantum-secs X --classical-secs Y --queue-wait-secs Z\n               \
@@ -190,6 +204,149 @@ fn load_trace(path: &str) -> Result<Workload, String> {
     }
 }
 
+fn load_generator_spec(path: &str) -> Result<GeneratorSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let spec: GeneratorSpec =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    spec.validate()
+        .map_err(|e| format!("invalid generator spec {path}: {e}"))?;
+    Ok(spec)
+}
+
+/// `hpcqc-sim gen`: synthesize a facility-scale trace from a declarative
+/// [`GeneratorSpec`]. HQWF output is written streaming — one line per
+/// generated job — so month-long, million-job traces never materialize.
+fn gen(args: &[String]) -> ExitCode {
+    let mut spec_path: Option<String> = None;
+    let mut seed = 42u64;
+    let mut jobs: Option<u64> = None;
+    let mut format = String::from("hqwf");
+    let mut out: Option<String> = None;
+    let mut demand = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--spec" => spec_path = it.next().cloned(),
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--jobs" => {
+                jobs = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|n| *n > 0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--format" => format = it.next().cloned().unwrap_or_else(|| usage()),
+            "--out" => out = it.next().cloned(),
+            "--demand" => demand = true,
+            other => {
+                let known = [
+                    "--spec", "--seed", "--jobs", "--format", "--out", "--demand",
+                ];
+                match hpcqc::cli::did_you_mean(other, known) {
+                    Some(hint) => eprintln!("unknown argument `{other}` — did you mean `{hint}`?"),
+                    None => eprintln!("unknown argument `{other}`"),
+                }
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !matches!(format.as_str(), "hqwf" | "json") {
+        eprintln!("unknown --format `{format}` (hqwf | json)");
+        return ExitCode::from(2);
+    }
+    let Some(spec_path) = spec_path else { usage() };
+    let mut spec = match load_generator_spec(&spec_path) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(count) = jobs {
+        spec.horizon = Horizon::Jobs { count };
+    }
+    if demand {
+        println!(
+            "spec `{}`: ~{:.1} jobs/hour (≈{:.0}/day) — {:.1} campaigns/h × mean campaign size {:.2}",
+            spec.name,
+            spec.expected_jobs_per_hour(),
+            spec.expected_jobs_per_hour() * 24.0,
+            spec.arrival.base_per_hour,
+            spec.tenants.mean_campaign_size(),
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let stream = spec.stream(seed);
+    let (count, hybrid) = if format == "json" {
+        // JSON is a single document: materialize (use hqwf for huge traces).
+        let workload = Workload::from_jobs(stream.collect());
+        let text = hpcqc::workload::to_json(&workload).expect("workload serializes");
+        let counts = (workload.len() as u64, workload.hybrid_count() as u64);
+        if let Err(e) = write_output(out.as_deref(), |w| w.write_all(text.as_bytes())) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        counts
+    } else {
+        let mut count = 0u64;
+        let mut hybrid = 0u64;
+        let result = write_output(out.as_deref(), |w| {
+            w.write_all(hpcqc::workload::HQWF_HEADER.as_bytes())?;
+            for job in stream {
+                count += 1;
+                hybrid += u64::from(job.is_hybrid());
+                writeln!(w, "{}", hpcqc::workload::to_hqwf_line(&job))?;
+            }
+            Ok(())
+        });
+        if let Err(e) = result {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        (count, hybrid)
+    };
+    eprintln!(
+        "generated {count} jobs ({hybrid} hybrid) from `{}` at seed {seed}{}",
+        spec.name,
+        out.as_deref()
+            .map(|p| format!(" into {p}"))
+            .unwrap_or_default()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Writes through a buffered sink to `path` (or stdout when `None`).
+fn write_output(
+    path: Option<&str>,
+    body: impl FnOnce(&mut dyn Write) -> std::io::Result<()>,
+) -> Result<(), String> {
+    let fail = |e: std::io::Error| match path {
+        Some(p) => format!("cannot write {p}: {e}"),
+        None => format!("cannot write stdout: {e}"),
+    };
+    match path {
+        Some(p) => {
+            let file = std::fs::File::create(p).map_err(fail)?;
+            let mut writer = std::io::BufWriter::new(file);
+            body(&mut writer).map_err(fail)?;
+            writer.flush().map_err(fail)
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut writer = std::io::BufWriter::new(stdout.lock());
+            body(&mut writer).map_err(fail)?;
+            writer.flush().map_err(fail)
+        }
+    }
+}
+
 fn summarize(strategy: Strategy, outcome: &Outcome, table: &mut Table) {
     table.row(vec![
         strategy.to_string(),
@@ -202,8 +359,16 @@ fn summarize(strategy: Strategy, outcome: &Outcome, table: &mut Table) {
     ]);
 }
 
+/// What `run` simulates: a materialized trace file, or a generator spec
+/// streamed through the simulator in constant memory.
+enum RunInput {
+    Trace(Workload),
+    Gen(GeneratorSpec),
+}
+
 fn run(args: &[String]) -> ExitCode {
     let mut trace: Option<String> = None;
+    let mut source: Option<String> = None;
     let mut scenario_path: Option<String> = None;
     let mut strategy: Option<Strategy> = None;
     let mut nodes: Option<u32> = None;
@@ -216,6 +381,7 @@ fn run(args: &[String]) -> ExitCode {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--trace" => trace = it.next().cloned(),
+            "--source" => source = it.next().cloned(),
             "--scenario" => scenario_path = it.next().cloned(),
             "--strategy" => match it.next().map(|s| parse_strategy(s)) {
                 Some(Ok(s)) => strategy = Some(s),
@@ -246,13 +412,32 @@ fn run(args: &[String]) -> ExitCode {
             _ => usage(),
         }
     }
-    let Some(trace) = trace else { usage() };
-    let workload = match load_trace(&trace) {
-        Ok(w) => w,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+    let input = match (trace, source) {
+        (Some(path), None) => match load_trace(&path) {
+            Ok(w) => RunInput::Trace(w),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, Some(source)) => {
+            let Some(path) = source.strip_prefix("gen:") else {
+                eprintln!("--source takes `gen:<spec.json>` (got `{source}`)");
+                return ExitCode::from(2);
+            };
+            match load_generator_spec(path) {
+                Ok(spec) => RunInput::Gen(spec),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
+        (Some(_), Some(_)) => {
+            eprintln!("--trace and --source are mutually exclusive");
+            return ExitCode::from(2);
+        }
+        (None, None) => usage(),
     };
 
     let mut scenario = match scenario_path {
@@ -285,14 +470,25 @@ fn run(args: &[String]) -> ExitCode {
     }
     scenario.record_gantt = gantt;
 
-    eprintln!(
-        "{} jobs ({} hybrid) on {} nodes + {:?}, policy {}",
-        workload.len(),
-        workload.hybrid_count(),
-        scenario.classical_nodes,
-        scenario.devices,
-        scenario.policy
-    );
+    match &input {
+        RunInput::Trace(workload) => eprintln!(
+            "{} jobs ({} hybrid) on {} nodes + {:?}, policy {}",
+            workload.len(),
+            workload.hybrid_count(),
+            scenario.classical_nodes,
+            scenario.devices,
+            scenario.policy
+        ),
+        RunInput::Gen(spec) => eprintln!(
+            "streaming `{}` (~{:.0} jobs/h expected, seed {}) on {} nodes + {:?}, policy {}",
+            spec.name,
+            spec.expected_jobs_per_hour(),
+            scenario.seed,
+            scenario.classical_nodes,
+            scenario.devices,
+            scenario.policy
+        ),
+    }
 
     let strategies = if compare {
         Strategy::representative_set()
@@ -311,8 +507,26 @@ fn run(args: &[String]) -> ExitCode {
     for s in strategies {
         let mut sc = scenario.clone();
         sc.strategy = s;
-        match FacilitySim::run(&sc, &workload) {
+        let result = match &input {
+            RunInput::Trace(workload) => FacilitySim::run(&sc, workload),
+            RunInput::Gen(spec) => {
+                // A fresh stream per strategy: every strategy replays the
+                // identical generated sequence (common random numbers).
+                let mut source = spec.stream(sc.seed);
+                FacilitySim::run_streamed(&sc, &mut source)
+            }
+        };
+        match result {
             Ok(outcome) => {
+                if let RunInput::Gen(_) = &input {
+                    eprintln!(
+                        "{s}: streamed {} jobs, peak in-flight {} ({} completed, {} failed)",
+                        outcome.stats.len(),
+                        outcome.peak_in_flight_jobs,
+                        outcome.stats.completed_count(),
+                        outcome.stats.failed_count(),
+                    );
+                }
                 summarize(s, &outcome, &mut table);
                 if gantt && !compare {
                     if let Some(g) = &outcome.gantt {
@@ -489,6 +703,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("generate") => generate(&args[1..]),
+        Some("gen") => gen(&args[1..]),
         Some("run") => run(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
         Some("advise") => advise(&args[1..]),

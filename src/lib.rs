@@ -36,6 +36,7 @@ pub mod cli;
 
 pub use hpcqc_cluster as cluster;
 pub use hpcqc_core as core;
+pub use hpcqc_gen as gen;
 pub use hpcqc_metrics as metrics;
 pub use hpcqc_qpu as qpu;
 pub use hpcqc_sched as sched;
@@ -47,9 +48,12 @@ pub use hpcqc_workload as workload;
 pub mod prelude {
     pub use hpcqc_cluster::{AllocRequest, Cluster, ClusterBuilder, GresKind, GroupRequest};
     pub use hpcqc_core::{
-        driver_for, recommend, FacilitySim, FailureModel, Outcome, PhaseKind, Scenario, SimCtx,
-        SimError, SimEvent, SimObserver, Strategy, StrategyDriver, SubmissionPlan, WalltimePolicy,
-        WorkloadProfile,
+        driver_for, recommend, FacilitySim, FailureModel, IterSource, JobSource, Outcome,
+        PhaseKind, Scenario, SimCtx, SimError, SimEvent, SimObserver, SliceSource, Strategy,
+        StrategyDriver, SubmissionPlan, WalltimePolicy, WorkloadProfile,
+    };
+    pub use hpcqc_gen::{
+        ClassSpec, GeneratorSpec, Horizon, IntensityProfile, JobStream, TenantModel,
     };
     pub use hpcqc_metrics::{fmt_pct, fmt_secs, GanttRecorder, JobStats, Table};
     pub use hpcqc_qpu::{AccessMode, Kernel, QpuDevice, Technology};
@@ -59,5 +63,7 @@ pub mod prelude {
         AccessSpec, Cell, CellResult, CellRow, Executor, Grid, GridBuilder, SweepError,
         SweepResult, WorkloadSpec,
     };
-    pub use hpcqc_workload::{ArrivalProcess, JobClass, JobSpec, Pattern, Phase, Workload};
+    pub use hpcqc_workload::{
+        ArrivalProcess, JobClass, JobSpec, Pattern, Phase, Workload, WorkloadError,
+    };
 }

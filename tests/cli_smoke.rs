@@ -104,6 +104,94 @@ fn advise_requires_the_three_profile_numbers() {
     assert!(stderr.contains("--classical-secs"), "{stderr}");
 }
 
+fn spec_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/gen/day_small.json")
+}
+
+#[test]
+fn gen_demand_summarizes_the_spec() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["gen", "--spec"])
+        .arg(spec_path())
+        .arg("--demand")
+        .output()
+        .expect("gen runs");
+    assert!(out.status.success(), "gen --demand failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("jobs/hour"), "{stdout}");
+    assert!(stdout.contains("day-small"), "{stdout}");
+}
+
+#[test]
+fn gen_streams_a_trace_then_run_consumes_it() {
+    let dir = std::env::temp_dir().join(format!("hpcqc_cli_gen_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("gen.hqwf");
+    let gen = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["gen", "--spec"])
+        .arg(spec_path())
+        .args(["--seed", "3", "--jobs", "40", "--out"])
+        .arg(&trace)
+        .output()
+        .expect("gen runs");
+    assert!(gen.status.success(), "gen failed: {gen:?}");
+    let stderr = String::from_utf8_lossy(&gen.stderr);
+    assert!(stderr.contains("generated 40 jobs"), "{stderr}");
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert_eq!(text.lines().count(), 42, "2 header lines + 40 jobs");
+    let run = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["run", "--trace"])
+        .arg(&trace)
+        .args(["--strategy", "vqpu:2", "--nodes", "64"])
+        .output()
+        .expect("run runs");
+    assert!(
+        run.status.success(),
+        "run on generated trace failed: {run:?}"
+    );
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn run_streams_a_generator_source() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["run", "--source"])
+        .arg(format!("gen:{}", spec_path().display()))
+        .args(["--strategy", "vqpu:4", "--nodes", "64", "--seed", "7"])
+        .output()
+        .expect("run runs");
+    assert!(out.status.success(), "streamed run failed: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("peak in-flight"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("vqpu(x4)"), "{stdout}");
+}
+
+#[test]
+fn run_rejects_trace_source_conflicts_and_bad_source() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["run", "--trace", "x.hqwf", "--source", "gen:y.json"])
+        .output()
+        .expect("run runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["run", "--source", "nope:y.json"])
+        .output()
+        .expect("run runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("gen:<spec.json>"));
+}
+
+#[test]
+fn gen_hints_on_typoed_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["gen", "--spce", "x.json"])
+        .output()
+        .expect("gen runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("did you mean `--spec`"));
+}
+
 #[test]
 fn generate_then_run_round_trips() {
     // Unique per process so concurrent test runs don't race on the file.
