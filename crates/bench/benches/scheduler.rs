@@ -6,7 +6,8 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use hpcqc_cluster::alloc::{AllocRequest, GroupRequest};
 use hpcqc_cluster::cluster::{Cluster, ClusterBuilder};
 use hpcqc_cluster::gres::GresKind;
-use hpcqc_sched::scheduler::{BatchScheduler, PendingJob, Policy};
+use hpcqc_sched::scheduler::{BatchScheduler, PendingJob};
+use hpcqc_sched::PolicySpec;
 use hpcqc_simcore::rng::SimRng;
 use hpcqc_simcore::time::{SimDuration, SimTime};
 use hpcqc_workload::job::JobId;
@@ -18,7 +19,7 @@ fn make_cluster() -> Cluster {
         .build(SimTime::ZERO)
 }
 
-fn queue_of(n: usize, cluster: &Cluster, policy: Policy) -> BatchScheduler {
+fn queue_of(n: usize, cluster: &Cluster, policy: PolicySpec) -> BatchScheduler {
     let mut sched = BatchScheduler::new(policy);
     let mut rng = SimRng::seed_from(11);
     for i in 0..n {
@@ -39,9 +40,9 @@ fn queue_of(n: usize, cluster: &Cluster, policy: Policy) -> BatchScheduler {
 fn bench_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduling_cycle");
     for policy in [
-        Policy::Fcfs,
-        Policy::EasyBackfill,
-        Policy::ConservativeBackfill,
+        PolicySpec::fcfs(),
+        PolicySpec::easy(),
+        PolicySpec::conservative(),
     ] {
         for &depth in &[50usize, 200] {
             group.bench_function(format!("{policy}_{depth}_queued"), |b| {

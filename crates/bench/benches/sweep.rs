@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hpcqc_core::strategy::Strategy;
 use hpcqc_qpu::technology::Technology;
-use hpcqc_sched::scheduler::Policy;
+use hpcqc_sched::PolicySpec;
 use hpcqc_sweep::{Executor, Grid, WorkloadSpec};
 
 /// 4 strategies × 3 policies × 2 technologies = 24 cells, each a loaded
@@ -16,9 +16,9 @@ fn campaign_grid() -> Grid {
         .base_seed(42)
         .strategies(Strategy::representative_set())
         .policies(vec![
-            Policy::Fcfs,
-            Policy::EasyBackfill,
-            Policy::ConservativeBackfill,
+            PolicySpec::fcfs(),
+            PolicySpec::easy(),
+            PolicySpec::conservative(),
         ])
         .node_counts(vec![32])
         .technologies(vec![Technology::Superconducting, Technology::NeutralAtom])

@@ -12,7 +12,7 @@
 
 use hpcqc_core::strategy::Strategy;
 use hpcqc_metrics::report::{fmt_secs, Table};
-use hpcqc_sched::scheduler::Policy;
+use hpcqc_sched::PolicySpec;
 use hpcqc_sweep::{Executor, Grid, WorkloadSpec};
 
 /// A1 configuration.
@@ -62,7 +62,7 @@ impl Config {
 #[derive(Debug, Clone)]
 pub struct Row {
     /// Scheduling policy.
-    pub policy: Policy,
+    pub policy: PolicySpec,
     /// Strategy under test.
     pub strategy: Strategy,
     /// Mean queue wait across all jobs, seconds.
@@ -82,10 +82,10 @@ pub struct Result {
     pub table: Table,
 }
 
-const POLICIES: [Policy; 3] = [
-    Policy::Fcfs,
-    Policy::EasyBackfill,
-    Policy::ConservativeBackfill,
+const POLICIES: [PolicySpec; 3] = [
+    PolicySpec::fcfs(),
+    PolicySpec::easy(),
+    PolicySpec::conservative(),
 ];
 const STRATEGIES: [Strategy; 2] = [Strategy::CoSchedule, Strategy::Workflow];
 
@@ -162,7 +162,7 @@ pub fn run(config: &Config) -> Result {
 mod tests {
     use super::*;
 
-    fn row(result: &Result, policy: Policy, strategy: Strategy) -> &Row {
+    fn row(result: &Result, policy: PolicySpec, strategy: Strategy) -> &Row {
         result
             .rows
             .iter()
@@ -174,8 +174,8 @@ mod tests {
     fn backfilling_cuts_waits() {
         let result = run(&Config::quick());
         for strategy in [Strategy::CoSchedule, Strategy::Workflow] {
-            let fcfs = row(&result, Policy::Fcfs, strategy);
-            let easy = row(&result, Policy::EasyBackfill, strategy);
+            let fcfs = row(&result, PolicySpec::fcfs(), strategy);
+            let easy = row(&result, PolicySpec::easy(), strategy);
             assert!(
                 easy.mean_wait <= fcfs.mean_wait + 1.0,
                 "{strategy}: EASY wait {:.0}s must not exceed FCFS {:.0}s",
@@ -191,8 +191,8 @@ mod tests {
         // improvement on hybrid turnaround should be at least as large as
         // for the co-scheduling baseline (which queues once per job).
         let result = run(&Config::quick());
-        let wf_gain = row(&result, Policy::Fcfs, Strategy::Workflow).hybrid_turnaround
-            - row(&result, Policy::EasyBackfill, Strategy::Workflow).hybrid_turnaround;
+        let wf_gain = row(&result, PolicySpec::fcfs(), Strategy::Workflow).hybrid_turnaround
+            - row(&result, PolicySpec::easy(), Strategy::Workflow).hybrid_turnaround;
         assert!(
             wf_gain >= -60.0,
             "backfilling should not hurt workflow hybrids materially, gain {wf_gain:.0}s"

@@ -3,7 +3,7 @@
 use crate::strategy::Strategy;
 use hpcqc_qpu::remote::AccessMode;
 use hpcqc_qpu::technology::Technology;
-use hpcqc_sched::scheduler::Policy;
+use hpcqc_sched::PolicySpec;
 use hpcqc_simcore::time::SimDuration;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -82,7 +82,7 @@ pub struct Scenario {
     /// One entry per physical QPU device in the `quantum` partition.
     pub devices: Vec<Technology>,
     /// Batch-scheduler policy.
-    pub policy: Policy,
+    pub policy: PolicySpec,
     /// Integration strategy for hybrid jobs.
     pub strategy: Strategy,
     /// Root RNG seed (drives device timing, overheads, workloads do their own).
@@ -118,7 +118,7 @@ impl Default for Scenario {
         Scenario {
             classical_nodes: 16,
             devices: vec![Technology::Superconducting],
-            policy: Policy::EasyBackfill,
+            policy: PolicySpec::easy(),
             strategy: Strategy::CoSchedule,
             seed: 1,
             workflow_overhead: SimDuration::from_secs(2),
@@ -157,7 +157,7 @@ impl ScenarioBuilder {
     }
 
     /// Sets the scheduling policy.
-    pub fn policy(mut self, policy: Policy) -> Self {
+    pub fn policy(mut self, policy: PolicySpec) -> Self {
         self.inner.policy = policy;
         self
     }
@@ -237,7 +237,7 @@ mod tests {
         let s = Scenario::builder().build();
         assert_eq!(s.classical_nodes, 16);
         assert_eq!(s.devices, vec![Technology::Superconducting]);
-        assert_eq!(s.policy, Policy::EasyBackfill);
+        assert_eq!(s.policy, PolicySpec::easy());
         assert_eq!(s.strategy, Strategy::CoSchedule);
         assert!(!s.record_gantt);
     }
@@ -247,7 +247,7 @@ mod tests {
         let s = Scenario::builder()
             .classical_nodes(128)
             .devices(vec![Technology::NeutralAtom, Technology::TrappedIon])
-            .policy(Policy::Fcfs)
+            .policy(PolicySpec::fcfs())
             .strategy(Strategy::Malleable { min_nodes: 2 })
             .seed(99)
             .device_calibration(true)

@@ -2,20 +2,25 @@
 //!
 //! The operational-HPC substrate the paper insists any integration must live
 //! within: a SLURM-like batch scheduler with priority queues, heterogeneous
-//! (multi-partition) co-allocation, and backfilling.
+//! (multi-partition) co-allocation, and a pluggable queue-policy API.
 //!
 //! * [`demand`] — flattened resource vectors and the free-capacity
 //!   [`Profile`] timeline backfill planning runs on;
 //! * [`priority`] — multifactor priority (age, size, QoS, decayed
 //!   fairshare);
-//! * [`scheduler`] — the [`BatchScheduler`] with three policies: strict
-//!   FCFS, EASY backfill (production default) and conservative backfill.
+//! * [`policy`] — the open [`QueuePolicy`] trait, its [`SchedCtx`]
+//!   capability handle, and the serde-able [`PolicySpec`] naming a policy
+//!   in scenarios, grids and on the CLI;
+//! * [`policies`] — the five built-ins: strict FCFS, EASY backfill
+//!   (production default), conservative backfill, priority backfill with
+//!   hard aging, and quantum-aware backfill;
+//! * [`scheduler`] — the policy-agnostic [`BatchScheduler`] cycle loop.
 //!
 //! ## Example: Listing 1 through the scheduler
 //!
 //! ```
 //! use hpcqc_cluster::{AllocRequest, ClusterBuilder, GresKind, GroupRequest};
-//! use hpcqc_sched::{BatchScheduler, PendingJob, Policy};
+//! use hpcqc_sched::{BatchScheduler, PendingJob, PolicySpec};
 //! use hpcqc_simcore::time::{SimDuration, SimTime};
 //! use hpcqc_workload::JobId;
 //!
@@ -23,7 +28,7 @@
 //!     .partition("classical", 10)
 //!     .partition_with_gres("quantum", 1, GresKind::qpu(), 1)
 //!     .build(SimTime::ZERO);
-//! let mut sched = BatchScheduler::new(Policy::EasyBackfill);
+//! let mut sched = BatchScheduler::new(PolicySpec::easy());
 //! sched.submit(PendingJob {
 //!     id: JobId::new(0),
 //!     request: AllocRequest::new()
@@ -43,9 +48,15 @@
 #![warn(missing_debug_implementations)]
 
 pub mod demand;
+pub mod policies;
+pub mod policy;
 pub mod priority;
 pub mod scheduler;
 
 pub use demand::{Demand, Profile};
+pub use policy::{
+    sort_by_score, sort_multifactor, Discipline, ParsePolicyError, PolicySpec, QueuePolicy,
+    SchedCtx, Verdict, POLICY_FORMS,
+};
 pub use priority::{PriorityCalculator, PriorityWeights};
-pub use scheduler::{BatchScheduler, PendingJob, Policy, SchedError, StartedJob};
+pub use scheduler::{BatchScheduler, PendingJob, SchedError, StartedJob};

@@ -1,0 +1,48 @@
+//! Conservative backfilling.
+
+use crate::demand::{Demand, Profile};
+use crate::policy::{sort_multifactor, QueuePolicy, SchedCtx, Verdict};
+use crate::scheduler::PendingJob;
+
+/// Conservative backfilling: *every* job that cannot start now reserves
+/// its earliest feasible slot, so a later job may jump ahead only if it
+/// delays nobody. Stronger guarantees than EASY, at the cost of a profile
+/// that grows with queue depth (see `crates/bench/benches/sched.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct ConservativeBackfill;
+
+impl ConservativeBackfill {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        ConservativeBackfill
+    }
+}
+
+impl QueuePolicy for ConservativeBackfill {
+    fn name(&self) -> &str {
+        "conservative-backfill"
+    }
+
+    fn order(&mut self, queue: &mut [PendingJob], ctx: &SchedCtx<'_>) {
+        sort_multifactor(queue, ctx);
+    }
+
+    fn admit(
+        &mut self,
+        job: &PendingJob,
+        demand: &Demand,
+        profile: &mut Profile,
+        ctx: &SchedCtx<'_>,
+    ) -> Verdict {
+        let slot = profile.find_slot(demand, job.walltime, ctx.now());
+        if slot > ctx.now() {
+            // Reserve its future slot so later jobs cannot delay it.
+            profile.reserve(demand, slot, job.walltime);
+            Verdict::Hold
+        } else if ctx.can_allocate(&job.request) {
+            Verdict::Start
+        } else {
+            Verdict::Hold
+        }
+    }
+}

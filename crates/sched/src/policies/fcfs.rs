@@ -1,0 +1,59 @@
+//! Strict first-come-first-served.
+
+use crate::demand::{Demand, Profile};
+use crate::policy::{sort_multifactor, QueuePolicy, SchedCtx, Verdict};
+use crate::scheduler::PendingJob;
+
+/// Strict FCFS: the queue (in priority order) starts from the front until
+/// the first job that does not fit; everything behind it waits, however
+/// small. The paper's worst case for the workflow strategy — every
+/// inter-step queue pass pays the full head-of-line wait.
+#[derive(Debug, Clone, Default)]
+pub struct Fcfs {
+    blocked: bool,
+}
+
+impl Fcfs {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Fcfs::default()
+    }
+}
+
+impl QueuePolicy for Fcfs {
+    fn name(&self) -> &str {
+        "fcfs"
+    }
+
+    fn begin_cycle(&mut self, _ctx: &SchedCtx<'_>) {
+        self.blocked = false;
+    }
+
+    fn order(&mut self, queue: &mut [PendingJob], ctx: &SchedCtx<'_>) {
+        sort_multifactor(queue, ctx);
+    }
+
+    fn admit(
+        &mut self,
+        job: &PendingJob,
+        _demand: &Demand,
+        _profile: &mut Profile,
+        ctx: &SchedCtx<'_>,
+    ) -> Verdict {
+        if !self.blocked && ctx.can_allocate(&job.request) {
+            Verdict::Start
+        } else {
+            Verdict::Hold
+        }
+    }
+
+    fn held(
+        &mut self,
+        _job: &PendingJob,
+        _demand: &Demand,
+        _profile: &mut Profile,
+        _ctx: &SchedCtx<'_>,
+    ) {
+        self.blocked = true;
+    }
+}

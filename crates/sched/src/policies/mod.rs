@@ -1,0 +1,74 @@
+//! The built-in queue policies.
+//!
+//! Five [`QueuePolicy`](crate::policy::QueuePolicy) implementations ship
+//! with the scheduler:
+//!
+//! * [`Fcfs`] — strict first-come-first-served;
+//! * [`EasyBackfill`] — EASY backfilling (the production default);
+//! * [`ConservativeBackfill`] — conservative backfilling;
+//! * [`PriorityBackfill`] — EASY mechanics + hard aging (no starvation);
+//! * [`QuantumAware`] — EASY mechanics + idle-QPU boosting.
+//!
+//! Each is a ~40-line module; a sixth policy is an `impl QueuePolicy`
+//! away (see the worked example on [`crate::policy`]) and runs through
+//! [`BatchScheduler::custom`](crate::BatchScheduler::custom).
+
+use crate::demand::{Demand, Profile};
+use crate::policy::{SchedCtx, Verdict};
+use crate::scheduler::PendingJob;
+use hpcqc_simcore::time::SimTime;
+
+mod conservative;
+mod easy;
+mod fcfs;
+mod priority;
+mod quantum;
+
+pub use conservative::ConservativeBackfill;
+pub use easy::EasyBackfill;
+pub use fcfs::Fcfs;
+pub use priority::PriorityBackfill;
+pub use quantum::QuantumAware;
+
+/// Shared EASY-style admission: before the head blocks, anything the
+/// live cluster can place starts; afterwards a job may only backfill —
+/// start now without delaying the head's reservation already carved into
+/// the profile.
+pub(crate) fn easy_admit(
+    head_blocked: bool,
+    job: &PendingJob,
+    demand: &Demand,
+    profile: &mut Profile,
+    ctx: &SchedCtx<'_>,
+) -> Verdict {
+    let can_start = if head_blocked {
+        profile.find_slot(demand, job.walltime, ctx.now()) == ctx.now()
+            && ctx.can_allocate(&job.request)
+    } else {
+        ctx.can_allocate(&job.request)
+    };
+    if can_start {
+        Verdict::Start
+    } else {
+        Verdict::Hold
+    }
+}
+
+/// Shared EASY-style hold handling: the first held job becomes the head;
+/// its earliest feasible slot (the "shadow time") is reserved so nothing
+/// backfilled later in the cycle can delay it.
+pub(crate) fn easy_held(
+    head_blocked: &mut bool,
+    job: &PendingJob,
+    demand: &Demand,
+    profile: &mut Profile,
+    ctx: &SchedCtx<'_>,
+) {
+    if !*head_blocked {
+        *head_blocked = true;
+        let shadow = profile.find_slot(demand, job.walltime, ctx.now());
+        if shadow != SimTime::MAX {
+            profile.reserve(demand, shadow, job.walltime);
+        }
+    }
+}

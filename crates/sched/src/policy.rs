@@ -1,0 +1,775 @@
+//! The open queue-policy API: the [`QueuePolicy`] trait, the
+//! [`SchedCtx`] capability handle policies decide against, and the
+//! serde-able [`PolicySpec`] that names a policy in scenarios, sweep
+//! grids and on the command line.
+//!
+//! The batch scheduler itself ([`BatchScheduler`](crate::BatchScheduler))
+//! is policy-agnostic:
+//! every scheduling cycle it asks the policy to order the queue, then
+//! walks it asking `admit` for each job against the free-capacity
+//! [`Profile`], allocating the admitted ones and telling the policy about
+//! the held ones. Everything discipline-specific — FCFS head blocking,
+//! EASY's shadow reservation, conservative's per-job reservations,
+//! priority aging, quantum-aware boosting — lives behind this trait, in
+//! [`crate::policies`].
+//!
+//! # Implementing a custom policy
+//!
+//! A policy is a small state machine over one scheduling cycle. Here is a
+//! complete LIFO (newest-first) policy, run through the stock scheduler:
+//!
+//! ```
+//! use hpcqc_cluster::{AllocRequest, ClusterBuilder, GroupRequest};
+//! use hpcqc_sched::policy::{QueuePolicy, SchedCtx, Verdict};
+//! use hpcqc_sched::{BatchScheduler, Demand, PendingJob, Profile};
+//! use hpcqc_simcore::time::{SimDuration, SimTime};
+//! use hpcqc_workload::JobId;
+//!
+//! /// Newest submission first; no backfilling, no reservations.
+//! #[derive(Debug)]
+//! struct Lifo;
+//!
+//! impl QueuePolicy for Lifo {
+//!     fn name(&self) -> &str {
+//!         "lifo"
+//!     }
+//!
+//!     fn order(&mut self, queue: &mut [PendingJob], _ctx: &SchedCtx<'_>) {
+//!         queue.sort_by(|a, b| b.submit.cmp(&a.submit).then(b.id.cmp(&a.id)));
+//!     }
+//!
+//!     fn admit(
+//!         &mut self,
+//!         job: &PendingJob,
+//!         _demand: &Demand,
+//!         _profile: &mut Profile,
+//!         ctx: &SchedCtx<'_>,
+//!     ) -> Verdict {
+//!         if ctx.can_allocate(&job.request) {
+//!             Verdict::Start
+//!         } else {
+//!             Verdict::Hold
+//!         }
+//!     }
+//! }
+//!
+//! let mut cluster = ClusterBuilder::new()
+//!     .partition("classical", 4)
+//!     .build(SimTime::ZERO);
+//! let mut sched = BatchScheduler::custom(Box::new(Lifo));
+//! for (id, submit) in [(0, 0), (1, 60)] {
+//!     sched.submit(
+//!         PendingJob {
+//!             id: JobId::new(id),
+//!             request: AllocRequest::new().group(GroupRequest::nodes("classical", 4)),
+//!             walltime: SimDuration::from_secs(600),
+//!             submit: SimTime::from_secs(submit),
+//!             user: "doc".into(),
+//!             qos_boost: 0.0,
+//!         },
+//!         &cluster,
+//!     )?;
+//! }
+//! let started = sched.try_schedule(&mut cluster, SimTime::from_secs(60));
+//! assert_eq!(started[0].job, JobId::new(1), "LIFO starts the newest job");
+//! # Ok::<(), hpcqc_sched::SchedError>(())
+//! ```
+
+use crate::demand::{Demand, Profile};
+use crate::policies;
+use crate::priority::{PriorityCalculator, PriorityWeights};
+use crate::scheduler::PendingJob;
+use hpcqc_cluster::alloc::AllocRequest;
+use hpcqc_cluster::cluster::Cluster;
+use hpcqc_cluster::gres::GresKind;
+use hpcqc_simcore::time::SimTime;
+use serde::{Deserialize, Serialize, Value};
+use std::cmp::Reverse;
+use std::fmt;
+use std::str::FromStr;
+
+/// A policy's verdict on one queued job during one scheduling cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Start the job now (the scheduler still re-validates against the
+    /// live cluster; a failed allocation turns into a hold).
+    Start,
+    /// Keep the job queued this cycle.
+    Hold,
+}
+
+/// Read-only capability handle a [`QueuePolicy`] decides against.
+///
+/// Exposes exactly what a queueing discipline may observe: the cycle
+/// instant, the live cluster (free capacity, gres availability) and the
+/// scheduler's multifactor priority of any queued job. Mutation stays
+/// with the scheduler.
+#[derive(Debug)]
+pub struct SchedCtx<'a> {
+    now: SimTime,
+    cluster: &'a Cluster,
+    priority: &'a PriorityCalculator,
+}
+
+impl<'a> SchedCtx<'a> {
+    pub(crate) fn new(
+        now: SimTime,
+        cluster: &'a Cluster,
+        priority: &'a PriorityCalculator,
+    ) -> Self {
+        SchedCtx {
+            now,
+            cluster,
+            priority,
+        }
+    }
+
+    /// The instant of this scheduling cycle.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The live cluster, read-only.
+    pub fn cluster(&self) -> &Cluster {
+        self.cluster
+    }
+
+    /// The job's multifactor priority (age, size, QoS, fairshare) as of
+    /// [`SchedCtx::now`].
+    pub fn priority_of(&self, job: &PendingJob) -> f64 {
+        self.priority.priority(
+            job.submit,
+            job.request.total_nodes(),
+            &job.user,
+            job.qos_boost,
+            self.now,
+        )
+    }
+
+    /// `true` if the live cluster can satisfy `request` right now.
+    pub fn can_allocate(&self, request: &AllocRequest) -> bool {
+        self.cluster.can_allocate(request).is_ok()
+    }
+
+    /// Total free units of a gres kind across every partition (e.g. idle
+    /// QPU tokens — what [`crate::policies::QuantumAware`] keys on).
+    pub fn free_gres(&self, kind: &GresKind) -> u32 {
+        self.cluster
+            .partitions()
+            .iter()
+            .flat_map(|p| p.gres_pools().iter())
+            .filter(|pool| pool.kind() == kind)
+            .map(|pool| pool.available())
+            .sum()
+    }
+}
+
+/// A batch-scheduler queueing discipline.
+///
+/// One value lives for the scheduler's whole lifetime; per-cycle state
+/// (like "has the head blocked yet") is reset in
+/// [`begin_cycle`](QueuePolicy::begin_cycle). See the
+/// [module docs](self) for a complete worked example, and
+/// [`crate::policies`] for the five built-ins.
+pub trait QueuePolicy: fmt::Debug + Send {
+    /// Short label for tables and logs (e.g. `easy-backfill`).
+    fn name(&self) -> &str;
+
+    /// Resets per-cycle state. Called once at the start of every
+    /// scheduling cycle, before [`order`](QueuePolicy::order).
+    fn begin_cycle(&mut self, _ctx: &SchedCtx<'_>) {}
+
+    /// Orders the queue for this cycle, most-preferred first. The
+    /// scheduler walks the queue in this order.
+    fn order(&mut self, queue: &mut [PendingJob], ctx: &SchedCtx<'_>);
+
+    /// Decides whether `job` (the next in order) may start now. `demand`
+    /// is the job's flattened footprint; `profile` is the cycle's
+    /// free-capacity timeline, already carrying every reservation made
+    /// earlier in the cycle (a policy may carve further reservations).
+    fn admit(
+        &mut self,
+        job: &PendingJob,
+        demand: &Demand,
+        profile: &mut Profile,
+        ctx: &SchedCtx<'_>,
+    ) -> Verdict;
+
+    /// Called when `job` stays queued this cycle — either because
+    /// [`admit`](QueuePolicy::admit) held it, or because the live cluster
+    /// refused an admitted start (e.g. failed nodes). A policy may protect
+    /// the job with a reservation here (EASY protects the first held job,
+    /// its "head").
+    fn held(
+        &mut self,
+        _job: &PendingJob,
+        _demand: &Demand,
+        _profile: &mut Profile,
+        _ctx: &SchedCtx<'_>,
+    ) {
+    }
+}
+
+/// Total-order wrapper so `f64` priorities can key a sort.
+#[derive(PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Sorts a queue by multifactor priority (highest first), ties broken by
+/// submit time then job id — the ordering every built-in policy starts
+/// from. Custom policies can call this and then locally adjust.
+pub fn sort_multifactor(queue: &mut [PendingJob], ctx: &SchedCtx<'_>) {
+    sort_by_score(queue, |job| ctx.priority_of(job));
+}
+
+/// Sorts a queue by an arbitrary score (highest first), ties broken by
+/// submit time then job id. The score is evaluated once per job.
+pub fn sort_by_score(queue: &mut [PendingJob], mut score: impl FnMut(&PendingJob) -> f64) {
+    queue.sort_by_cached_key(|job| (Reverse(OrdF64(score(job))), job.submit, job.id));
+}
+
+/// Default aging threshold (hours) for
+/// [`Discipline::PriorityBackfill`]: a day in queue escalates a job to
+/// the front.
+pub const DEFAULT_ESCALATE_AFTER_HOURS: f64 = 24.0;
+
+/// Default idle-QPU priority boost for [`Discipline::QuantumAware`]
+/// (1000 pts ≈ 100 hours of queue age at default weights: decisive in
+/// any realistic queue).
+pub const DEFAULT_IDLE_BOOST: f64 = 1_000.0;
+
+/// Default fairshare half-life: one day, matching
+/// [`PriorityCalculator::new`].
+pub const DEFAULT_FAIRSHARE_HALF_LIFE_SECS: f64 = 86_400.0;
+
+/// The queueing discipline named by a [`PolicySpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Discipline {
+    /// Strict first-come-first-served: the queue head blocks everything
+    /// behind it.
+    Fcfs,
+    /// EASY backfilling: the head gets a reservation at its earliest
+    /// feasible start; later jobs may start now if they do not delay it.
+    EasyBackfill,
+    /// Conservative backfilling: every queued job gets a reservation; a
+    /// job may jump ahead only without delaying any of them.
+    ConservativeBackfill,
+    /// EASY mechanics plus hard aging: a job queued longer than the
+    /// threshold escalates to the front (oldest first), where the head
+    /// reservation guarantees it a start — no starvation, ever.
+    PriorityBackfill {
+        /// Queue age (hours) past which a job escalates to the front.
+        escalate_after_hours: f64,
+    },
+    /// EASY mechanics plus an idle-QPU boost: whenever a QPU gres token
+    /// sits free, jobs requesting QPU gres gain `idle_boost` priority
+    /// points, pulling quantum work forward to soak up idle QPU time
+    /// (à la SCIM MILQ).
+    QuantumAware {
+        /// Priority points added to QPU-requesting jobs while a QPU idles.
+        idle_boost: f64,
+    },
+}
+
+impl Discipline {
+    /// Short kebab-case label (the [`fmt::Display`] form without knobs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Discipline::Fcfs => "fcfs",
+            Discipline::EasyBackfill => "easy-backfill",
+            Discipline::ConservativeBackfill => "conservative-backfill",
+            Discipline::PriorityBackfill { .. } => "priority-backfill",
+            Discipline::QuantumAware { .. } => "quantum-aware",
+        }
+    }
+}
+
+/// Serde-able specification of a queue policy: the discipline plus the
+/// multifactor [`PriorityWeights`] and fairshare half-life driving queue
+/// order — knobs that used to be silent [`PriorityCalculator`] defaults.
+///
+/// `PolicySpec` is what scenarios, sweep grids and the CLI carry;
+/// [`PolicySpec::build`] turns it into the live [`QueuePolicy`] and
+/// [`PolicySpec::calculator`] into the matching priority calculator.
+///
+/// In JSON it accepts three forms (and always serializes the full one):
+///
+/// ```json
+/// "EasyBackfill"
+/// {"QuantumAware": {"idle_boost": 500.0}}
+/// {"discipline": "Fcfs", "weights": {"age_per_hour": 20.0,
+///  "size_per_node": 0.1, "fairshare_per_node_hour": 1.0},
+///  "fairshare_half_life_secs": 43200.0}
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use hpcqc_sched::PolicySpec;
+///
+/// let spec: PolicySpec = "priority-backfill:age=20".parse()?;
+/// assert_eq!(spec.to_string(), "priority-backfill:age=20");
+/// let policy = spec.build();
+/// assert_eq!(policy.name(), "priority-backfill");
+/// # Ok::<(), hpcqc_sched::ParsePolicyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicySpec {
+    /// The queueing discipline.
+    pub discipline: Discipline,
+    /// Multifactor priority weights driving queue order.
+    pub weights: PriorityWeights,
+    /// Fairshare usage-decay half-life, seconds (must be positive).
+    pub fairshare_half_life_secs: f64,
+}
+
+impl PolicySpec {
+    /// Strict FCFS with default priority knobs.
+    pub const fn fcfs() -> Self {
+        PolicySpec::of(Discipline::Fcfs)
+    }
+
+    /// EASY backfilling with default priority knobs (the production
+    /// default).
+    pub const fn easy() -> Self {
+        PolicySpec::of(Discipline::EasyBackfill)
+    }
+
+    /// Conservative backfilling with default priority knobs.
+    pub const fn conservative() -> Self {
+        PolicySpec::of(Discipline::ConservativeBackfill)
+    }
+
+    /// Priority backfilling escalating jobs older than
+    /// `escalate_after_hours` to the front.
+    pub const fn priority_backfill(escalate_after_hours: f64) -> Self {
+        PolicySpec::of(Discipline::PriorityBackfill {
+            escalate_after_hours,
+        })
+    }
+
+    /// Quantum-aware backfilling boosting QPU-requesting jobs by
+    /// `idle_boost` points while a QPU idles.
+    pub const fn quantum_aware(idle_boost: f64) -> Self {
+        PolicySpec::of(Discipline::QuantumAware { idle_boost })
+    }
+
+    /// A spec of the given discipline with default priority knobs.
+    pub const fn of(discipline: Discipline) -> Self {
+        PolicySpec {
+            discipline,
+            weights: PriorityWeights::DEFAULT,
+            fairshare_half_life_secs: DEFAULT_FAIRSHARE_HALF_LIFE_SECS,
+        }
+    }
+
+    /// Replaces the priority weights.
+    pub const fn with_weights(mut self, weights: PriorityWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Replaces the fairshare half-life (seconds).
+    pub const fn with_fairshare_half_life_secs(mut self, secs: f64) -> Self {
+        self.fairshare_half_life_secs = secs;
+        self
+    }
+
+    /// Builds the live policy this spec names.
+    pub fn build(&self) -> Box<dyn QueuePolicy> {
+        match self.discipline {
+            Discipline::Fcfs => Box::new(policies::Fcfs::new()),
+            Discipline::EasyBackfill => Box::new(policies::EasyBackfill::new()),
+            Discipline::ConservativeBackfill => Box::new(policies::ConservativeBackfill::new()),
+            Discipline::PriorityBackfill {
+                escalate_after_hours,
+            } => Box::new(policies::PriorityBackfill::new(escalate_after_hours)),
+            Discipline::QuantumAware { idle_boost } => {
+                Box::new(policies::QuantumAware::new(idle_boost))
+            }
+        }
+    }
+
+    /// Builds the priority calculator this spec configures (weights +
+    /// fairshare half-life).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the half-life is not positive — run
+    /// [`PolicySpec::validate`] on deserialized specs first, as the CLI
+    /// and the sweep grid's `Grid::validate` both do.
+    pub fn calculator(&self) -> PriorityCalculator {
+        PriorityCalculator::new(self.weights).with_half_life_secs(self.fairshare_half_life_secs)
+    }
+
+    /// Checks knobs a (possibly deserialized) spec could get wrong.
+    pub fn validate(&self) -> Result<(), String> {
+        let finite = |name: &str, v: f64| {
+            if v.is_finite() {
+                Ok(())
+            } else {
+                Err(format!("policy `{}`: {name} must be finite", self))
+            }
+        };
+        finite("age_per_hour", self.weights.age_per_hour)?;
+        finite("size_per_node", self.weights.size_per_node)?;
+        finite(
+            "fairshare_per_node_hour",
+            self.weights.fairshare_per_node_hour,
+        )?;
+        if !(self.fairshare_half_life_secs > 0.0 && self.fairshare_half_life_secs.is_finite()) {
+            return Err(format!(
+                "policy `{}`: fairshare_half_life_secs must be positive and finite",
+                self
+            ));
+        }
+        match self.discipline {
+            Discipline::PriorityBackfill {
+                escalate_after_hours,
+            } if !(escalate_after_hours > 0.0 && escalate_after_hours.is_finite()) => Err(format!(
+                "policy `{}`: escalate_after_hours must be positive and finite",
+                self
+            )),
+            Discipline::QuantumAware { idle_boost }
+                if !(idle_boost >= 0.0 && idle_boost.is_finite()) =>
+            {
+                Err(format!(
+                    "policy `{}`: idle_boost must be non-negative and finite",
+                    self
+                ))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+impl Default for PolicySpec {
+    /// EASY backfill, the production default.
+    fn default() -> Self {
+        PolicySpec::easy()
+    }
+}
+
+impl From<Discipline> for PolicySpec {
+    fn from(discipline: Discipline) -> Self {
+        PolicySpec::of(discipline)
+    }
+}
+
+impl fmt::Display for PolicySpec {
+    /// The short CLI label: `fcfs`, `easy-backfill`,
+    /// `conservative-backfill`, `priority-backfill:age=H`,
+    /// `quantum-aware:boost=P`. Round-trips through [`FromStr`] for any
+    /// spec with default weights (the weights themselves have no short
+    /// form; they travel as JSON).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.discipline {
+            Discipline::PriorityBackfill {
+                escalate_after_hours,
+            } => write!(f, "priority-backfill:age={escalate_after_hours}"),
+            Discipline::QuantumAware { idle_boost } => {
+                write!(f, "quantum-aware:boost={idle_boost}")
+            }
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// Why a policy string failed to parse. `name` is the discipline part the
+/// caller typed (before any `:knob=`), for "did you mean" hints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError {
+    /// The full rejected input.
+    pub input: String,
+    /// The discipline name part of the input.
+    pub name: String,
+}
+
+/// Every policy form [`FromStr`] accepts, for error messages and usage
+/// text.
+pub const POLICY_FORMS: &str =
+    "fcfs | easy[-backfill] | conservative[-backfill] | priority-backfill[:age=H] | quantum-aware[:boost=P]";
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown policy `{}` (valid: {POLICY_FORMS})", self.input)
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl FromStr for PolicySpec {
+    type Err = ParsePolicyError;
+
+    /// Parses the short CLI form (see [`fmt::Display`]); `easy` and
+    /// `conservative` are accepted as shorthands.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (name, knob) = match s.split_once(':') {
+            Some((name, knob)) => (name, Some(knob)),
+            None => (s, None),
+        };
+        let bad = || ParsePolicyError {
+            input: s.to_string(),
+            name: name.to_string(),
+        };
+        let knob_value = |key: &str| -> Result<Option<f64>, ParsePolicyError> {
+            match knob {
+                None => Ok(None),
+                Some(k) => {
+                    let (kk, kv) = k.split_once('=').ok_or_else(bad)?;
+                    if kk != key {
+                        return Err(bad());
+                    }
+                    let v: f64 = kv.parse().map_err(|_| bad())?;
+                    if !v.is_finite() {
+                        return Err(bad());
+                    }
+                    Ok(Some(v))
+                }
+            }
+        };
+        match name {
+            "fcfs" => knob_value("")
+                .and_then(|k| if k.is_none() { Ok(()) } else { Err(bad()) })
+                .map(|()| PolicySpec::fcfs()),
+            "easy" | "easy-backfill" => knob_value("")
+                .and_then(|k| if k.is_none() { Ok(()) } else { Err(bad()) })
+                .map(|()| PolicySpec::easy()),
+            "conservative" | "conservative-backfill" => knob_value("")
+                .and_then(|k| if k.is_none() { Ok(()) } else { Err(bad()) })
+                .map(|()| PolicySpec::conservative()),
+            "priority-backfill" => {
+                let hours = knob_value("age")?.unwrap_or(DEFAULT_ESCALATE_AFTER_HOURS);
+                if hours <= 0.0 {
+                    return Err(bad());
+                }
+                Ok(PolicySpec::priority_backfill(hours))
+            }
+            "quantum-aware" => {
+                let boost = knob_value("boost")?.unwrap_or(DEFAULT_IDLE_BOOST);
+                if boost < 0.0 {
+                    return Err(bad());
+                }
+                Ok(PolicySpec::quantum_aware(boost))
+            }
+            _ => Err(bad()),
+        }
+    }
+}
+
+impl Serialize for PolicySpec {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("discipline".to_string(), self.discipline.to_value()),
+            ("weights".to_string(), self.weights.to_value()),
+            (
+                "fairshare_half_life_secs".to_string(),
+                self.fairshare_half_life_secs.to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for PolicySpec {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        // Full form: {"discipline": …, "weights": …, "fairshare_half_life_secs": …}
+        // (missing knobs take the documented defaults).
+        if v.get("discipline").is_some() {
+            let discipline = Discipline::from_value(v.get("discipline").expect("checked"))?;
+            let weights = match v.get("weights") {
+                Some(w) => PriorityWeights::from_value(w)?,
+                None => PriorityWeights::DEFAULT,
+            };
+            let fairshare_half_life_secs = match v.get("fairshare_half_life_secs") {
+                Some(h) => f64::from_value(h)?,
+                None => DEFAULT_FAIRSHARE_HALF_LIFE_SECS,
+            };
+            return Ok(PolicySpec {
+                discipline,
+                weights,
+                fairshare_half_life_secs,
+            });
+        }
+        // Short CLI label ("easy-backfill", "priority-backfill:age=20").
+        if let Value::Str(s) = v {
+            if let Ok(spec) = s.parse::<PolicySpec>() {
+                return Ok(spec);
+            }
+        }
+        // Bare discipline: "Fcfs" or {"QuantumAware": {"idle_boost": …}}.
+        Discipline::from_value(v).map(PolicySpec::of)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_legacy_labels() {
+        assert_eq!(PolicySpec::fcfs().to_string(), "fcfs");
+        assert_eq!(PolicySpec::easy().to_string(), "easy-backfill");
+        assert_eq!(
+            PolicySpec::conservative().to_string(),
+            "conservative-backfill"
+        );
+        assert_eq!(
+            PolicySpec::priority_backfill(20.0).to_string(),
+            "priority-backfill:age=20"
+        );
+        assert_eq!(
+            PolicySpec::quantum_aware(500.0).to_string(),
+            "quantum-aware:boost=500"
+        );
+    }
+
+    #[test]
+    fn from_str_round_trips_display() {
+        for spec in [
+            PolicySpec::fcfs(),
+            PolicySpec::easy(),
+            PolicySpec::conservative(),
+            PolicySpec::priority_backfill(20.0),
+            PolicySpec::priority_backfill(1.5),
+            PolicySpec::quantum_aware(500.0),
+            PolicySpec::quantum_aware(0.0),
+        ] {
+            let parsed: PolicySpec = spec.to_string().parse().expect("round trip parses");
+            assert_eq!(parsed, spec, "{spec}");
+        }
+    }
+
+    #[test]
+    fn from_str_accepts_shorthands_and_defaults() {
+        assert_eq!("easy".parse::<PolicySpec>().unwrap(), PolicySpec::easy());
+        assert_eq!(
+            "conservative".parse::<PolicySpec>().unwrap(),
+            PolicySpec::conservative()
+        );
+        assert_eq!(
+            "priority-backfill".parse::<PolicySpec>().unwrap(),
+            PolicySpec::priority_backfill(DEFAULT_ESCALATE_AFTER_HOURS)
+        );
+        assert_eq!(
+            "quantum-aware".parse::<PolicySpec>().unwrap(),
+            PolicySpec::quantum_aware(DEFAULT_IDLE_BOOST)
+        );
+    }
+
+    #[test]
+    fn from_str_rejects_junk_with_the_typed_name() {
+        let err = "quantum-awre".parse::<PolicySpec>().unwrap_err();
+        assert_eq!(err.name, "quantum-awre");
+        assert!(err.to_string().contains("valid:"));
+        for bad in [
+            "easy:age=2",                // knob on a knobless policy
+            "priority-backfill:age",     // missing value
+            "priority-backfill:age=x",   // non-numeric
+            "priority-backfill:age=0",   // aging must be positive
+            "priority-backfill:boost=1", // wrong knob name
+            "quantum-aware:boost=-1",    // negative boost
+            "quantum-aware:boost=inf",   // non-finite
+        ] {
+            assert!(bad.parse::<PolicySpec>().is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn serde_accepts_all_three_json_forms() {
+        let from = |json: &str| -> PolicySpec { serde_json::from_str(json).expect(json) };
+        assert_eq!(from("\"EasyBackfill\""), PolicySpec::easy());
+        assert_eq!(from("\"easy-backfill\""), PolicySpec::easy());
+        assert_eq!(from("\"Fcfs\""), PolicySpec::fcfs());
+        assert_eq!(
+            from("{\"QuantumAware\": {\"idle_boost\": 500.0}}"),
+            PolicySpec::quantum_aware(500.0)
+        );
+        assert_eq!(
+            from("\"priority-backfill:age=20\""),
+            PolicySpec::priority_backfill(20.0)
+        );
+        let full = from(
+            "{\"discipline\": \"Fcfs\", \"weights\": {\"age_per_hour\": 20.0, \
+             \"size_per_node\": 0.0, \"fairshare_per_node_hour\": 2.0}, \
+             \"fairshare_half_life_secs\": 3600.0}",
+        );
+        assert_eq!(full.discipline, Discipline::Fcfs);
+        assert_eq!(full.weights.age_per_hour, 20.0);
+        assert_eq!(full.fairshare_half_life_secs, 3600.0);
+        // Partial full form: missing knobs default.
+        let partial = from("{\"discipline\": \"EasyBackfill\"}");
+        assert_eq!(partial, PolicySpec::easy());
+    }
+
+    #[test]
+    fn serde_round_trips_losslessly() {
+        for spec in [
+            PolicySpec::easy(),
+            PolicySpec::priority_backfill(6.0).with_weights(PriorityWeights {
+                age_per_hour: 50.0,
+                size_per_node: -0.5,
+                fairshare_per_node_hour: 2.0,
+            }),
+            PolicySpec::quantum_aware(250.0).with_fairshare_half_life_secs(7_200.0),
+        ] {
+            let json = serde_json::to_string(&spec).expect("serializes");
+            let back: PolicySpec = serde_json::from_str(&json).expect("parses back");
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn validate_catches_bad_knobs() {
+        assert!(PolicySpec::easy().validate().is_ok());
+        assert!(PolicySpec::priority_backfill(0.0).validate().is_err());
+        assert!(PolicySpec::quantum_aware(-1.0).validate().is_err());
+        assert!(PolicySpec::easy()
+            .with_fairshare_half_life_secs(0.0)
+            .validate()
+            .is_err());
+        let mut w = PriorityWeights::DEFAULT;
+        w.age_per_hour = f64::NAN;
+        assert!(PolicySpec::easy().with_weights(w).validate().is_err());
+    }
+
+    #[test]
+    fn builds_name_matches_discipline() {
+        for (spec, name) in [
+            (PolicySpec::fcfs(), "fcfs"),
+            (PolicySpec::easy(), "easy-backfill"),
+            (PolicySpec::conservative(), "conservative-backfill"),
+            (PolicySpec::priority_backfill(2.0), "priority-backfill"),
+            (PolicySpec::quantum_aware(10.0), "quantum-aware"),
+        ] {
+            assert_eq!(spec.build().name(), name);
+            assert_eq!(spec.discipline.name(), name);
+        }
+    }
+
+    #[test]
+    fn calculator_reflects_spec_knobs() {
+        let spec = PolicySpec::easy()
+            .with_weights(PriorityWeights {
+                age_per_hour: 100.0,
+                size_per_node: 0.0,
+                fairshare_per_node_hour: 0.0,
+            })
+            .with_fairshare_half_life_secs(10.0);
+        let calc = spec.calculator();
+        assert_eq!(calc.weights().age_per_hour, 100.0);
+        assert_eq!(calc.half_life_secs(), 10.0);
+    }
+}

@@ -22,15 +22,20 @@ pub struct PriorityWeights {
     pub fairshare_per_node_hour: f64,
 }
 
-impl Default for PriorityWeights {
+impl PriorityWeights {
     /// Age-dominated defaults: 10 pts/hour of age, 0.1 pts/node, 1 pt of
     /// fairshare penalty per decayed node-hour.
+    pub const DEFAULT: PriorityWeights = PriorityWeights {
+        age_per_hour: 10.0,
+        size_per_node: 0.1,
+        fairshare_per_node_hour: 1.0,
+    };
+}
+
+impl Default for PriorityWeights {
+    /// [`PriorityWeights::DEFAULT`].
     fn default() -> Self {
-        PriorityWeights {
-            age_per_hour: 10.0,
-            size_per_node: 0.1,
-            fairshare_per_node_hour: 1.0,
-        }
+        PriorityWeights::DEFAULT
     }
 }
 
@@ -73,6 +78,11 @@ impl PriorityCalculator {
     /// The weights in force.
     pub fn weights(&self) -> PriorityWeights {
         self.weights
+    }
+
+    /// The fairshare half-life in force, seconds.
+    pub fn half_life_secs(&self) -> f64 {
+        self.half_life_secs
     }
 
     /// Charges `node_seconds` of usage to `user` at time `now`.

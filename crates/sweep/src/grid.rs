@@ -32,7 +32,7 @@ use hpcqc_core::scenario::{Scenario, WalltimePolicy};
 use hpcqc_core::strategy::Strategy;
 use hpcqc_qpu::remote::AccessMode;
 use hpcqc_qpu::technology::Technology;
-use hpcqc_sched::scheduler::Policy;
+use hpcqc_sched::PolicySpec;
 use hpcqc_simcore::rng::SimRng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -96,11 +96,11 @@ pub fn fmt_walltime(policy: WalltimePolicy) -> String {
 /// ```
 /// use hpcqc_sweep::Grid;
 /// use hpcqc_core::Strategy;
-/// use hpcqc_sched::Policy;
+/// use hpcqc_sched::PolicySpec;
 ///
 /// let grid = Grid::builder()
 ///     .strategies(Strategy::representative_set())
-///     .policies(vec![Policy::Fcfs, Policy::EasyBackfill])
+///     .policies(vec![PolicySpec::fcfs(), PolicySpec::easy()])
 ///     .loads_per_hour(vec![3.0, 9.0])
 ///     .base_seed(42)
 ///     .build();
@@ -115,7 +115,7 @@ pub struct Grid {
     /// Integration-strategy axis.
     pub strategies: Vec<Strategy>,
     /// Batch-scheduler policy axis.
-    pub policies: Vec<Policy>,
+    pub policies: Vec<PolicySpec>,
     /// Classical partition-size axis.
     pub node_counts: Vec<u32>,
     /// Quantum-technology axis (one device per cell).
@@ -183,6 +183,13 @@ impl Grid {
         }
         if self.node_counts.contains(&0) {
             return Err("grid axis `node_counts` contains 0 nodes".to_string());
+        }
+        // A deserialized grid can carry broken policy knobs (zero aging,
+        // NaN weights, …) that would assert deep inside a worker thread.
+        for policy in &self.policies {
+            policy
+                .validate()
+                .map_err(|e| format!("grid axis `policies`: {e}"))?;
         }
         if self
             .loads_per_hour
@@ -258,7 +265,7 @@ impl Default for Grid {
             base_seed: 1,
             replicas: 1,
             strategies: vec![Strategy::CoSchedule],
-            policies: vec![Policy::EasyBackfill],
+            policies: vec![PolicySpec::easy()],
             node_counts: vec![16],
             technologies: vec![Technology::Superconducting],
             access: vec![AccessSpec::OnPrem],
@@ -291,7 +298,7 @@ pub struct Cell {
     /// Integration strategy.
     pub strategy: Strategy,
     /// Scheduler policy.
-    pub policy: Policy,
+    pub policy: PolicySpec,
     /// Classical partition size.
     pub nodes: u32,
     /// Quantum technology (one device).
@@ -354,7 +361,7 @@ impl GridBuilder {
     }
 
     /// Sets the policy axis.
-    pub fn policies(mut self, policies: Vec<Policy>) -> Self {
+    pub fn policies(mut self, policies: Vec<PolicySpec>) -> Self {
         self.inner.policies = policies;
         self
     }
@@ -425,7 +432,7 @@ mod tests {
     fn len_is_axis_product() {
         let g = Grid::builder()
             .strategies(Strategy::representative_set())
-            .policies(vec![Policy::Fcfs, Policy::EasyBackfill])
+            .policies(vec![PolicySpec::fcfs(), PolicySpec::easy()])
             .technologies(vec![Technology::Superconducting, Technology::NeutralAtom])
             .loads_per_hour(vec![3.0, 6.0, 9.0])
             .replicas(2)
@@ -456,9 +463,9 @@ mod tests {
         let g = Grid::builder()
             .strategies(Strategy::representative_set())
             .policies(vec![
-                Policy::Fcfs,
-                Policy::EasyBackfill,
-                Policy::ConservativeBackfill,
+                PolicySpec::fcfs(),
+                PolicySpec::easy(),
+                PolicySpec::conservative(),
             ])
             .replicas(4)
             .build();
@@ -490,6 +497,20 @@ mod tests {
         assert!(g.validate().unwrap_err().contains("policies"));
         let g = Grid {
             node_counts: vec![0],
+            ..Grid::default()
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_policy_knobs() {
+        let g = Grid {
+            policies: vec![PolicySpec::priority_backfill(0.0)],
+            ..Grid::default()
+        };
+        assert!(g.validate().unwrap_err().contains("policies"));
+        let g = Grid {
+            policies: vec![PolicySpec::quantum_aware(f64::NAN)],
             ..Grid::default()
         };
         assert!(g.validate().is_err());

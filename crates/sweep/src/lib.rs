@@ -22,11 +22,11 @@
 //! ```
 //! use hpcqc_sweep::{Executor, Grid};
 //! use hpcqc_core::Strategy;
-//! use hpcqc_sched::Policy;
+//! use hpcqc_sched::PolicySpec;
 //!
 //! let grid = Grid::builder()
 //!     .strategies(Strategy::representative_set())
-//!     .policies(vec![Policy::Fcfs, Policy::EasyBackfill])
+//!     .policies(vec![PolicySpec::fcfs(), PolicySpec::easy()])
 //!     .base_seed(42)
 //!     .build();
 //! let result = Executor::new(4).run_sim(&grid)?;

@@ -35,7 +35,7 @@ fn adaptive_beats_worst_fixed_on_crossover_grid() {
     // the test stays fast, while keeping the crossover essence: all five
     // strategies across both quantum technologies.
     let mut grid = crossover_grid();
-    grid.policies = vec![hpcqc_sched::Policy::EasyBackfill];
+    grid.policies = vec![hpcqc_sched::PolicySpec::easy()];
     grid.loads_per_hour = vec![9.0];
     let result = Executor::default().run_sim(&grid).expect("sweep runs");
 

@@ -6,7 +6,7 @@
 use hpcqc_core::scenario::WalltimePolicy;
 use hpcqc_core::strategy::Strategy;
 use hpcqc_qpu::technology::Technology;
-use hpcqc_sched::scheduler::Policy;
+use hpcqc_sched::PolicySpec;
 use hpcqc_sweep::{AccessSpec, Executor, Grid, WorkloadSpec};
 
 fn campaign_grid() -> Grid {
@@ -14,7 +14,7 @@ fn campaign_grid() -> Grid {
         .base_seed(42)
         .replicas(2)
         .strategies(vec![Strategy::CoSchedule, Strategy::Vqpu { vqpus: 4 }])
-        .policies(vec![Policy::Fcfs, Policy::EasyBackfill])
+        .policies(vec![PolicySpec::fcfs(), PolicySpec::easy()])
         .technologies(vec![Technology::Superconducting, Technology::NeutralAtom])
         .loads_per_hour(vec![4.0])
         .workload(WorkloadSpec::LoadedFacility {

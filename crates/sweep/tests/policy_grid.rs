@@ -1,0 +1,102 @@
+//! The committed `examples/grids/policies.json` — the policy axis'
+//! shipped entry point — must stay loadable, valid and runnable, like
+//! every other committed example (smoke.json has the golden CI diff,
+//! crossover.json has `adaptive_grid.rs`, generated.json has
+//! `generated_grid.rs`). On top of that, the grid is the acceptance test
+//! for the `QuantumAware` policy: on its QPU-contended cell, boosting
+//! QPU-requesting jobs while the device idles must measurably cut
+//! idle-QPU waste versus plain EASY backfill.
+
+use hpcqc_core::outcome::Outcome;
+use hpcqc_core::strategy::Strategy;
+use hpcqc_sweep::{Executor, Grid, SweepResult};
+
+fn load() -> Grid {
+    let path = format!(
+        "{}/../../examples/grids/policies.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let grid: Grid = serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+    grid.validate().unwrap_or_else(|e| panic!("{path}: {e}"));
+    grid
+}
+
+fn run() -> (Grid, SweepResult) {
+    let grid = load();
+    let result = Executor::new(2).run_sim(&grid).expect("policies grid runs");
+    (grid, result)
+}
+
+/// QPU-idle seconds inside the QPU's *duty window* — from t=0 to the
+/// last hybrid-job completion, the span over which the facility still
+/// owes the device work. Idle time after the last hybrid job is not
+/// waste any queue policy can recover (the campaign simply has no more
+/// quantum work), so the SCIM-MILQ comparison is made inside the window.
+fn idle_qpu_secs(outcome: &Outcome) -> f64 {
+    let window = outcome.stats.hybrid_only().makespan().as_secs_f64();
+    let busy: f64 = outcome.devices.iter().map(|d| d.busy_seconds).sum();
+    (window * outcome.devices.len() as f64 - busy).max(0.0)
+}
+
+#[test]
+fn policies_grid_covers_all_five_policies() {
+    let (grid, result) = run();
+    // 5 policies × 2 strategies.
+    assert_eq!(grid.len(), 10);
+    assert_eq!(result.len(), 10);
+    let csv = result.to_csv();
+    for label in [
+        "fcfs",
+        "easy-backfill",
+        "conservative-backfill",
+        "priority-backfill:age=12",
+        "quantum-aware:boost=1000",
+    ] {
+        assert!(csv.contains(label), "policy `{label}` missing from:\n{csv}");
+    }
+    for cell in result.results() {
+        assert!(
+            cell.outcome.makespan.as_secs_f64() > 0.0,
+            "cell {} did not run",
+            cell.cell.index
+        );
+        assert_eq!(
+            cell.outcome.stats.failed_count(),
+            0,
+            "cell {} failed jobs",
+            cell.cell.index
+        );
+    }
+}
+
+#[test]
+fn quantum_aware_reduces_idle_qpu_waste_versus_easy() {
+    let (_, result) = run();
+    let outcome_of = |policy_name: &str| {
+        &result
+            .find(|c| {
+                c.strategy == Strategy::CoSchedule && c.policy.discipline.name() == policy_name
+            })
+            .unwrap_or_else(|| panic!("grid has a co-schedule × {policy_name} cell"))
+            .outcome
+    };
+    let easy = outcome_of("easy-backfill");
+    let aware = outcome_of("quantum-aware");
+    // Same workload, same seed (common random numbers): the only change
+    // is the queue order while a QPU idles.
+    let idle_easy = idle_qpu_secs(easy);
+    let idle_aware = idle_qpu_secs(aware);
+    assert!(
+        idle_aware < 0.9 * idle_easy,
+        "quantum-aware must measurably cut idle-QPU time: easy {idle_easy:.0}s vs \
+         quantum-aware {idle_aware:.0}s"
+    );
+    // The boost pulls hybrid jobs forward, so their turnaround improves too.
+    let t_easy = easy.stats.hybrid_only().mean_turnaround_secs();
+    let t_aware = aware.stats.hybrid_only().mean_turnaround_secs();
+    assert!(
+        t_aware < t_easy,
+        "hybrid turnaround should improve: easy {t_easy:.0}s vs quantum-aware {t_aware:.0}s"
+    );
+}

@@ -5,7 +5,7 @@
 use hpcqc_core::scenario::WalltimePolicy;
 use hpcqc_core::strategy::Strategy;
 use hpcqc_qpu::technology::Technology;
-use hpcqc_sched::scheduler::Policy;
+use hpcqc_sched::PolicySpec;
 use hpcqc_sweep::{cell_seed, AccessSpec, Grid, WorkloadSpec};
 use proptest::prelude::*;
 
@@ -15,10 +15,12 @@ const ALL_STRATEGIES: [Strategy; 4] = [
     Strategy::Vqpu { vqpus: 4 },
     Strategy::Malleable { min_nodes: 1 },
 ];
-const ALL_POLICIES: [Policy; 3] = [
-    Policy::Fcfs,
-    Policy::EasyBackfill,
-    Policy::ConservativeBackfill,
+const ALL_POLICIES: [PolicySpec; 5] = [
+    PolicySpec::fcfs(),
+    PolicySpec::easy(),
+    PolicySpec::conservative(),
+    PolicySpec::priority_backfill(20.0),
+    PolicySpec::quantum_aware(500.0),
 ];
 const ALL_ACCESS: [AccessSpec; 3] = [
     AccessSpec::OnPrem,

@@ -60,7 +60,7 @@ fn main() -> Result<(), SimError> {
             .classical_nodes(48)
             .device(Technology::Superconducting)
             .strategy(strategy)
-            .policy(Policy::EasyBackfill)
+            .policy(PolicySpec::easy())
             .seed(9)
             .build();
         let outcome = FacilitySim::run(&scenario, &workload)?;

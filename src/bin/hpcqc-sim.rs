@@ -46,14 +46,16 @@ const USAGE: &str =
      [--out FILE] [--demand]\n  \
      hpcqc-sim run (--trace FILE | --source gen:FILE.json) [--scenario FILE.json]\n            \
      [--strategy S] [--nodes N] [--device TECH] [--policy P] [--seed S]\n            \
-     [--compare] [--gantt]\n  \
+     [--age-weight F] [--size-weight F] [--fairshare-weight F]\n            \
+     [--fairshare-half-life SECS] [--compare] [--gantt]\n  \
      hpcqc-sim sweep --grid FILE.json [--threads N] [--format csv|json|markdown]\n              \
      [--summary] [--out FILE]\n  \
      hpcqc-sim advise --quantum-secs X --classical-secs Y --queue-wait-secs Z\n               \
      [--tenants N]\n\n\
      strategies: co-schedule | workflow | vqpu:N | malleable:N | adaptive[:N]\n\
      devices:    superconducting | trapped-ion | neutral-atom | photonic | spin-qubit\n\
-     policies:   fcfs | easy | conservative";
+     policies:   fcfs | easy | conservative | priority-backfill[:age=H] |\n            \
+     quantum-aware[:boost=P]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -123,13 +125,31 @@ fn parse_device(s: &str) -> Technology {
     }
 }
 
-fn parse_policy(s: &str) -> Policy {
-    match s {
-        "fcfs" => Policy::Fcfs,
-        "easy" => Policy::EasyBackfill,
-        "conservative" => Policy::ConservativeBackfill,
-        _ => usage(),
-    }
+/// Bare policy names, for "did you mean" hints against the typed word.
+const POLICY_NAMES: [&str; 7] = [
+    "fcfs",
+    "easy",
+    "easy-backfill",
+    "conservative",
+    "conservative-backfill",
+    "priority-backfill",
+    "quantum-aware",
+];
+
+/// Parses a policy argument; errors enumerate every valid form and hint
+/// at the closest name (the `repro` arg-error convention).
+fn parse_policy(s: &str) -> Result<PolicySpec, String> {
+    s.parse().map_err(|e: hpcqc::sched::ParsePolicyError| {
+        let hint = match hpcqc::cli::did_you_mean(&e.name, POLICY_NAMES) {
+            Some(known) => format!(" — did you mean `{known}`?"),
+            None => String::new(),
+        };
+        format!(
+            "unknown policy `{input}`{hint} (valid: {forms})",
+            input = e.input,
+            forms = hpcqc::sched::POLICY_FORMS
+        )
+    })
 }
 
 fn generate(args: &[String]) -> ExitCode {
@@ -373,7 +393,11 @@ fn run(args: &[String]) -> ExitCode {
     let mut strategy: Option<Strategy> = None;
     let mut nodes: Option<u32> = None;
     let mut device: Option<Technology> = None;
-    let mut policy: Option<Policy> = None;
+    let mut policy: Option<PolicySpec> = None;
+    let mut age_weight: Option<f64> = None;
+    let mut size_weight: Option<f64> = None;
+    let mut fairshare_weight: Option<f64> = None;
+    let mut half_life: Option<f64> = None;
     let mut seed: Option<u64> = None;
     let mut compare = false;
     let mut gantt = false;
@@ -399,7 +423,36 @@ fn run(args: &[String]) -> ExitCode {
                 }
             },
             "--device" => device = it.next().map(|s| parse_device(s)),
-            "--policy" => policy = it.next().map(|s| parse_policy(s)),
+            "--policy" => match it.next().map(|s| parse_policy(s)) {
+                Some(Ok(p)) => policy = Some(p),
+                Some(Err(message)) => {
+                    eprintln!("{message}");
+                    return ExitCode::from(2);
+                }
+                None => usage(),
+            },
+            "--age-weight" | "--size-weight" | "--fairshare-weight" | "--fairshare-half-life" => {
+                let value = it
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|v| v.is_finite());
+                let Some(v) = value else {
+                    eprintln!("{arg} needs a finite number");
+                    return ExitCode::from(2);
+                };
+                match arg.as_str() {
+                    "--fairshare-half-life" => {
+                        if v <= 0.0 {
+                            eprintln!("--fairshare-half-life needs a positive number of seconds");
+                            return ExitCode::from(2);
+                        }
+                        half_life = Some(v);
+                    }
+                    "--age-weight" => age_weight = Some(v),
+                    "--size-weight" => size_weight = Some(v),
+                    _ => fairshare_weight = Some(v),
+                }
+            }
             "--seed" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(s) => seed = Some(s),
                 None => {
@@ -461,6 +514,28 @@ fn run(args: &[String]) -> ExitCode {
     }
     if let Some(p) = policy {
         scenario.policy = p;
+    }
+    // Priority knobs layer field-by-field on top of whatever policy is in
+    // force (from `--policy` or the scenario file), so `--size-weight 0.5`
+    // overrides exactly that weight and nothing else.
+    if let Some(v) = age_weight {
+        scenario.policy.weights.age_per_hour = v;
+    }
+    if let Some(v) = size_weight {
+        scenario.policy.weights.size_per_node = v;
+    }
+    if let Some(v) = fairshare_weight {
+        scenario.policy.weights.fairshare_per_node_hour = v;
+    }
+    if let Some(h) = half_life {
+        scenario.policy.fairshare_half_life_secs = h;
+    }
+    // A scenario file can carry policy knobs serde cannot reject (zero
+    // half-life, NaN weights); catch them here instead of panicking deep
+    // in the scheduler.
+    if let Err(e) = scenario.policy.validate() {
+        eprintln!("invalid scenario policy: {e}");
+        return ExitCode::FAILURE;
     }
     if let Some(s) = seed {
         scenario.seed = s;

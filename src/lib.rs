@@ -57,7 +57,10 @@ pub mod prelude {
     };
     pub use hpcqc_metrics::{fmt_pct, fmt_secs, GanttRecorder, JobStats, Table};
     pub use hpcqc_qpu::{AccessMode, Kernel, QpuDevice, Technology};
-    pub use hpcqc_sched::{BatchScheduler, PendingJob, Policy};
+    pub use hpcqc_sched::{
+        BatchScheduler, Discipline, PendingJob, PolicySpec, PriorityCalculator, PriorityWeights,
+        QueuePolicy, SchedCtx, Verdict,
+    };
     pub use hpcqc_simcore::{Dist, SimDuration, SimRng, SimTime};
     pub use hpcqc_sweep::{
         AccessSpec, Cell, CellResult, CellRow, Executor, Grid, GridBuilder, SweepError,

@@ -213,3 +213,115 @@ fn generate_then_run_round_trips() {
     assert!(run.status.success(), "run failed: {run:?}");
     std::fs::remove_file(&trace).ok();
 }
+
+#[test]
+fn unknown_policy_enumerates_and_hints() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["run", "--trace", "x.hqwf", "--policy", "quantum-awre"])
+        .output()
+        .expect("hpcqc-sim runs");
+    assert_eq!(out.status.code(), Some(2), "bad policy must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("did you mean `quantum-aware`"),
+        "missing hint: {stderr}"
+    );
+    for form in [
+        "fcfs",
+        "easy[-backfill]",
+        "conservative[-backfill]",
+        "priority-backfill[:age=H]",
+        "quantum-aware[:boost=P]",
+    ] {
+        assert!(
+            stderr.contains(form),
+            "valid policy `{form}` not enumerated: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn new_policies_parse_with_and_without_knobs() {
+    // A junk trace is rejected *after* policy parsing, so exit 1 (not the
+    // arg-error 2).
+    for spec in [
+        "priority-backfill",
+        "priority-backfill:age=20",
+        "quantum-aware",
+        "quantum-aware:boost=500",
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+            .args(["run", "--trace", "/nonexistent.hqwf", "--policy", spec])
+            .output()
+            .expect("hpcqc-sim runs");
+        assert_eq!(out.status.code(), Some(1), "`{spec}` must parse: {out:?}");
+    }
+    // A malformed knob is an argument error.
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args([
+            "run",
+            "--trace",
+            "x.hqwf",
+            "--policy",
+            "priority-backfill:age=zero",
+        ])
+        .output()
+        .expect("hpcqc-sim runs");
+    assert_eq!(out.status.code(), Some(2), "bad knob must exit 2: {out:?}");
+}
+
+#[test]
+fn priority_knob_flags_are_validated() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["run", "--trace", "x.hqwf", "--fairshare-half-life", "-5"])
+        .output()
+        .expect("hpcqc-sim runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("positive"));
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["run", "--trace", "x.hqwf", "--age-weight", "lots"])
+        .output()
+        .expect("hpcqc-sim runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("finite number"));
+}
+
+#[test]
+fn scenario_file_with_broken_policy_knobs_fails_gracefully() {
+    use hpcqc::prelude::*;
+    let dir = std::env::temp_dir().join(format!("hpcqc_cli_badpolicy_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // A real trace, so the run gets past input loading to the scenario.
+    let trace = dir.join("tiny.hqwf");
+    let gen = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["generate", "--count", "5", "--seed", "1", "--out"])
+        .arg(&trace)
+        .output()
+        .expect("generate runs");
+    assert!(gen.status.success(), "{gen:?}");
+    // A scenario whose policy knobs serde cannot reject.
+    let mut scenario = Scenario::default();
+    scenario.policy.fairshare_half_life_secs = 0.0;
+    let path = dir.join("bad.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&scenario).unwrap()).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["run", "--nodes", "64", "--trace"])
+        .arg(&trace)
+        .arg("--scenario")
+        .arg(&path)
+        .output()
+        .expect("hpcqc-sim runs");
+    // The broken knob must produce a graceful failure, never a panic.
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("invalid scenario policy"),
+        "expected the policy validation error: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "must not panic on a bad scenario policy: {stderr}"
+    );
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&path).ok();
+}

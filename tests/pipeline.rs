@@ -22,7 +22,7 @@ fn mixed_workload(seed: u64) -> Workload {
         .generate(seed)
 }
 
-fn scenario(strategy: Strategy, policy: Policy) -> Scenario {
+fn scenario(strategy: Strategy, policy: PolicySpec) -> Scenario {
     Scenario::builder()
         .classical_nodes(24)
         .device(Technology::Superconducting)
@@ -37,7 +37,7 @@ fn scenario(strategy: Strategy, policy: Policy) -> Scenario {
 #[test]
 fn trace_roundtrip_preserves_simulation() {
     let original = mixed_workload(7);
-    let sc = scenario(Strategy::Vqpu { vqpus: 4 }, Policy::EasyBackfill);
+    let sc = scenario(Strategy::Vqpu { vqpus: 4 }, PolicySpec::easy());
     let baseline = FacilitySim::run(&sc, &original).unwrap();
 
     let via_json = trace::from_json(&trace::to_json(&original).unwrap()).unwrap();
@@ -66,8 +66,8 @@ fn trace_roundtrip_preserves_simulation() {
 #[test]
 fn backfilling_improves_on_fcfs() {
     let w = mixed_workload(11);
-    let fcfs = FacilitySim::run(&scenario(Strategy::Workflow, Policy::Fcfs), &w).unwrap();
-    let easy = FacilitySim::run(&scenario(Strategy::Workflow, Policy::EasyBackfill), &w).unwrap();
+    let fcfs = FacilitySim::run(&scenario(Strategy::Workflow, PolicySpec::fcfs()), &w).unwrap();
+    let easy = FacilitySim::run(&scenario(Strategy::Workflow, PolicySpec::easy()), &w).unwrap();
     assert!(
         easy.makespan.as_secs_f64() <= fcfs.makespan.as_secs_f64() * 1.05,
         "EASY ({}) extended the FCFS makespan ({}) by more than 5%",
@@ -87,7 +87,7 @@ fn backfilling_improves_on_fcfs() {
 fn conservative_backfill_completes() {
     let w = mixed_workload(13);
     let out = FacilitySim::run(
-        &scenario(Strategy::CoSchedule, Policy::ConservativeBackfill),
+        &scenario(Strategy::CoSchedule, PolicySpec::conservative()),
         &w,
     )
     .unwrap();
@@ -111,7 +111,7 @@ fn device_calibration_slows_but_completes() {
         })
         .collect();
     let w = Workload::from_jobs(jobs);
-    let mut with_cal = scenario(Strategy::CoSchedule, Policy::EasyBackfill);
+    let mut with_cal = scenario(Strategy::CoSchedule, PolicySpec::easy());
     with_cal.device_calibration = true;
     let calibrated = FacilitySim::run(&with_cal, &w).unwrap();
     assert_eq!(calibrated.stats.len(), 6);
@@ -150,9 +150,9 @@ fn cloud_access_cost_scales_with_kernel_count() {
             .build()
     }]);
     let overhead_of = |w: &Workload| {
-        let mut cloud = scenario(Strategy::CoSchedule, Policy::EasyBackfill);
+        let mut cloud = scenario(Strategy::CoSchedule, PolicySpec::easy());
         cloud.access = Some(AccessMode::cloud(Technology::Superconducting));
-        let on_prem = scenario(Strategy::CoSchedule, Policy::EasyBackfill);
+        let on_prem = scenario(Strategy::CoSchedule, PolicySpec::easy());
         let with = FacilitySim::run(&cloud, w)
             .unwrap()
             .stats
@@ -177,7 +177,7 @@ fn cloud_access_cost_scales_with_kernel_count() {
 fn full_pipeline_determinism() {
     for strategy in Strategy::representative_set() {
         let w = mixed_workload(3);
-        let sc = scenario(strategy, Policy::EasyBackfill);
+        let sc = scenario(strategy, PolicySpec::easy());
         let a = FacilitySim::run(&sc, &w).unwrap();
         let b = FacilitySim::run(&sc, &w).unwrap();
         assert_eq!(a.makespan, b.makespan, "{strategy}");
@@ -214,7 +214,7 @@ fn multi_device_facility_spreads_kernels() {
         Strategy::Vqpu { vqpus: 3 },
         Strategy::Malleable { min_nodes: 1 },
     ] {
-        let mut sc = scenario(strategy, Policy::EasyBackfill);
+        let mut sc = scenario(strategy, PolicySpec::easy());
         sc.devices = vec![Technology::Superconducting, Technology::Superconducting];
         let out = FacilitySim::run(&sc, &w).unwrap();
         assert_eq!(out.total_kernels(), 24, "{strategy}");
@@ -229,7 +229,7 @@ fn multi_device_facility_spreads_kernels() {
 #[test]
 fn node_failures_end_to_end() {
     let w = mixed_workload(17);
-    let mut sc = scenario(Strategy::CoSchedule, Policy::EasyBackfill);
+    let mut sc = scenario(Strategy::CoSchedule, PolicySpec::easy());
     sc.node_failures = Some(FailureModel::exponential(7_200.0));
     let out = FacilitySim::run(&sc, &w).unwrap();
     assert_eq!(out.stats.len(), w.len(), "every job must terminate");
@@ -277,7 +277,7 @@ fn heterogeneous_devices_respect_qubit_capability() {
     jobs.extend(mk("small", &small_kernel, 4));
     let w = Workload::from_jobs(jobs);
     for strategy in [Strategy::CoSchedule, Strategy::Malleable { min_nodes: 1 }] {
-        let mut sc = scenario(strategy, Policy::EasyBackfill);
+        let mut sc = scenario(strategy, PolicySpec::easy());
         sc.devices = vec![Technology::SpinQubit, Technology::Superconducting];
         let out = FacilitySim::run(&sc, &w).unwrap();
         assert_eq!(out.stats.len(), 8, "{strategy}");
@@ -308,7 +308,7 @@ fn impossible_kernel_is_a_clean_error() {
         .walltime(SimDuration::from_hours(1))
         .phases(vec![Phase::Quantum(kernel)])
         .build();
-    let sc = scenario(Strategy::CoSchedule, Policy::EasyBackfill);
+    let sc = scenario(Strategy::CoSchedule, PolicySpec::easy());
     let err = FacilitySim::run(&sc, &Workload::from_jobs(vec![job])).unwrap_err();
     assert!(
         err.to_string().contains("qubits"),
@@ -319,7 +319,7 @@ fn impossible_kernel_is_a_clean_error() {
 /// Different seeds genuinely change the workload and the outcome.
 #[test]
 fn seeds_matter() {
-    let sc = scenario(Strategy::CoSchedule, Policy::EasyBackfill);
+    let sc = scenario(Strategy::CoSchedule, PolicySpec::easy());
     let a = FacilitySim::run(&sc, &mixed_workload(1)).unwrap();
     let b = FacilitySim::run(&sc, &mixed_workload(2)).unwrap();
     assert_ne!(a.makespan, b.makespan);
