@@ -107,6 +107,9 @@ fn emit(title: &str, subtitle: &str, table: &Table, csv: bool) {
     }
 }
 
+// Wall-clock timing is the whole point of the reproduction harness: it
+// reports how long each experiment took on the host, outside any simulation.
+#[allow(clippy::disallowed_methods)]
 fn main() {
     let opts = parse_args();
     let t0 = Instant::now();

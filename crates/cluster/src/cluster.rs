@@ -14,7 +14,7 @@ use crate::node::{Node, NodeShape, NodeState};
 use crate::partition::Partition;
 use hpcqc_simcore::stats::BusyTracker;
 use hpcqc_simcore::time::SimTime;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Builder for [`Cluster`]; add partitions, then [`ClusterBuilder::build`].
 ///
@@ -88,6 +88,7 @@ impl ClusterBuilder {
         let last = self
             .partitions
             .last_mut()
+            // hpcqc-lint: allow(D004, reason = "documented builder-misuse panic (see # Panics); builders run at setup, not in the event loop")
             .expect("gres() before any partition()");
         last.3.push((kind, count));
         self
@@ -105,11 +106,11 @@ impl ClusterBuilder {
         );
         let mut nodes = Vec::new();
         let mut partitions = Vec::new();
-        let mut by_name = HashMap::new();
+        let mut by_name = BTreeMap::new();
         let mut free = Vec::new();
         let mut node_partition = Vec::new();
         let mut node_busy = Vec::new();
-        let mut gres_busy = HashMap::new();
+        let mut gres_busy = BTreeMap::new();
 
         for (idx, (name, count, shape, gres)) in self.partitions.into_iter().enumerate() {
             let pid = PartitionId::new(idx as u32);
@@ -144,8 +145,8 @@ impl ClusterBuilder {
             by_name,
             free,
             node_partition,
-            node_owner: HashMap::new(),
-            allocations: HashMap::new(),
+            node_owner: BTreeMap::new(),
+            allocations: BTreeMap::new(),
             next_alloc: 0,
             start,
             node_busy,
@@ -161,16 +162,16 @@ impl ClusterBuilder {
 pub struct Cluster {
     nodes: Vec<Node>,
     partitions: Vec<Partition>,
-    by_name: HashMap<String, PartitionId>,
+    by_name: BTreeMap<String, PartitionId>,
     /// Free schedulable nodes per partition (BTreeSet ⇒ deterministic pick order).
     free: Vec<BTreeSet<NodeId>>,
     node_partition: Vec<PartitionId>,
-    node_owner: HashMap<NodeId, AllocationId>,
-    allocations: HashMap<AllocationId, Allocation>,
+    node_owner: BTreeMap<NodeId, AllocationId>,
+    allocations: BTreeMap<AllocationId, Allocation>,
     next_alloc: u32,
     start: SimTime,
     node_busy: Vec<BusyTracker>,
-    gres_busy: HashMap<(PartitionId, GresKind), BusyTracker>,
+    gres_busy: BTreeMap<(PartitionId, GresKind), BusyTracker>,
 }
 
 impl Cluster {
@@ -254,8 +255,8 @@ impl Cluster {
             return Err(ClusterError::EmptyRequest);
         }
         // Demands on the same partition/pool accumulate across groups.
-        let mut node_need: HashMap<PartitionId, u32> = HashMap::new();
-        let mut gres_need: HashMap<(PartitionId, GresKind), u32> = HashMap::new();
+        let mut node_need: BTreeMap<PartitionId, u32> = BTreeMap::new();
+        let mut gres_need: BTreeMap<(PartitionId, GresKind), u32> = BTreeMap::new();
         for g in request.groups() {
             let pid = self.pid(&g.partition)?;
             *node_need.entry(pid).or_default() += g.nodes;
@@ -312,6 +313,7 @@ impl Cluster {
 
         let mut groups = Vec::with_capacity(request.groups().len());
         for g in request.groups() {
+            // hpcqc-lint: allow(D004, reason = "can_allocate() above resolved every partition in this request")
             let pid = self.pid(&g.partition).expect("validated above");
             let pidx = pid.raw() as usize;
             let picked: Vec<NodeId> = self.free[pidx]
@@ -338,11 +340,14 @@ impl Cluster {
                 }
                 let units = self.partitions[pidx]
                     .gres_pool_mut(kind)
+                    // hpcqc-lint: allow(D004, reason = "can_allocate() above verified the pool exists")
                     .expect("validated above")
                     .take(*count)
+                    // hpcqc-lint: allow(D004, reason = "can_allocate() above verified pool capacity covers the request")
                     .expect("validated above");
                 self.gres_busy
                     .get_mut(&(pid, kind.clone()))
+                    // hpcqc-lint: allow(D004, reason = "the builder creates one tracker per gres pool; pools are never removed")
                     .expect("tracker exists for every pool")
                     .acquire(now, f64::from(*count));
                 granted_gres.push((kind.clone(), units));
@@ -369,6 +374,7 @@ impl Cluster {
             .remove(&id)
             .ok_or(ClusterError::UnknownAllocation(id))?;
         for group in alloc.groups() {
+            // hpcqc-lint: allow(D004, reason = "the allocation held a group on this partition; partitions are never removed")
             let pid = self.pid(&group.partition).expect("partition cannot vanish");
             let pidx = pid.raw() as usize;
             for n in &group.nodes {
@@ -384,10 +390,12 @@ impl Cluster {
             for (kind, units) in &group.gres {
                 self.partitions[pidx]
                     .gres_pool_mut(kind)
+                    // hpcqc-lint: allow(D004, reason = "units were taken from this pool at allocate(); pools are never removed")
                     .expect("pool cannot vanish")
                     .give_back(units);
                 self.gres_busy
                     .get_mut(&(pid, kind.clone()))
+                    // hpcqc-lint: allow(D004, reason = "the builder creates one tracker per gres pool; pools are never removed")
                     .expect("tracker exists")
                     .release(now, units.len() as f64);
             }
@@ -493,6 +501,7 @@ impl Cluster {
         if add_nodes > 0 {
             self.node_busy[pidx].acquire(now, f64::from(add_nodes));
         }
+        // hpcqc-lint: allow(D004, reason = "contains_key(&id) was checked at function entry and nothing removed it since")
         let alloc = self.allocations.get_mut(&id).expect("checked above");
         if let Some(group) = alloc
             .groups_mut()

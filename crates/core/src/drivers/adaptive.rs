@@ -6,7 +6,7 @@ use crate::drivers::malleable::{expand_after_quantum, shrink_for_quantum};
 use crate::sim::SimError;
 use crate::strategy::Strategy;
 use hpcqc_workload::job::JobId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Queue-wait prior (seconds) used before any start has been observed:
 /// the paper's running example of a ~10-minute facility queue.
@@ -36,7 +36,7 @@ const PRIOR_QUEUE_WAIT_SECS: f64 = 600.0;
 #[derive(Debug)]
 pub struct AdaptiveDriver {
     vqpus: u32,
-    assigned: HashMap<u64, Strategy>,
+    assigned: BTreeMap<u64, Strategy>,
     wait_sum_secs: f64,
     wait_observations: u64,
 }
@@ -47,7 +47,7 @@ impl AdaptiveDriver {
     pub fn new(vqpus: u32) -> Self {
         AdaptiveDriver {
             vqpus,
-            assigned: HashMap::new(),
+            assigned: BTreeMap::new(),
             wait_sum_secs: 0.0,
             wait_observations: 0,
         }

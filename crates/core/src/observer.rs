@@ -293,9 +293,11 @@ impl SimObserver for WasteObserver {
                 // Zero-delta updates are skipped entirely: a no-op `set`
                 // would still split the running integral segment and
                 // perturb floating-point summation order.
+                // hpcqc-lint: allow(D005, reason = "exact 0.0 is the documented no-op sentinel; deltas are built from integer conversions and literals")
                 if *node_delta != 0.0 {
                     self.node.add_allocated(now, *node_delta);
                 }
+                // hpcqc-lint: allow(D005, reason = "exact 0.0 is the documented no-op sentinel; deltas are built from integer conversions and literals")
                 if *qpu_delta != 0.0 {
                     self.qpu.add_allocated(now, *qpu_delta);
                 }

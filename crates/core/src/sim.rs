@@ -39,7 +39,8 @@ use hpcqc_simcore::rng::SimRng;
 use hpcqc_simcore::time::{SimDuration, SimTime};
 use hpcqc_workload::campaign::Workload;
 use hpcqc_workload::job::{JobId, JobSpec, Phase};
-use std::collections::HashMap;
+// hpcqc-lint: allow(D002, reason = "HashMap backs the identity-hashed JobMap only; it is never iterated (see JobMap docs)")
+use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -64,6 +65,7 @@ impl Hasher for JobIdHasher {
     }
 }
 
+// hpcqc-lint: allow(D002, reason = "lookup-only on the streaming hot path; never iterated, so hash order cannot escape")
 type JobMap = HashMap<u64, JobRun, BuildHasherDefault<JobIdHasher>>;
 
 /// Why a simulation could not run to completion.
@@ -256,7 +258,7 @@ pub(crate) struct SimState<'o> {
     /// Live jobs only, keyed by raw [`JobId`]: inserted when pulled from
     /// the source, removed at finalization. Never iterated (determinism).
     jobs: JobMap,
-    queue_map: HashMap<u64, QueueEntry>,
+    queue_map: BTreeMap<u64, QueueEntry>,
     next_qid: u64,
     stats_obs: StatsObserver,
     waste_obs: WasteObserver,
@@ -264,7 +266,7 @@ pub(crate) struct SimState<'o> {
     extras: &'o mut [&'o mut dyn SimObserver],
     access_rng: SimRng,
     failure_rng: SimRng,
-    alloc_owner: HashMap<AllocationId, JobId>,
+    alloc_owner: BTreeMap<AllocationId, JobId>,
     failures_injected: u64,
     completed: u64,
     /// Jobs pulled from the source so far (also the next fresh job id).
@@ -445,13 +447,13 @@ impl<'o> FacilitySim<'o> {
                 devices,
                 events,
                 jobs: JobMap::default(),
-                queue_map: HashMap::new(),
+                queue_map: BTreeMap::new(),
                 next_qid: 0,
                 stats_obs: StatsObserver::new(),
                 waste_obs,
                 gantt_obs,
                 extras,
-                alloc_owner: HashMap::new(),
+                alloc_owner: BTreeMap::new(),
                 failures_injected: 0,
                 completed: 0,
                 spawned: 0,
@@ -511,6 +513,26 @@ impl<'o> FacilitySim<'o> {
 }
 
 impl<'o> SimState<'o> {
+    /// The live state of `job`. Every caller holds a liveness proof: the
+    /// event loop fences each handler behind the epoch/liveness check in
+    /// [`SimState::drive`], and intra-handler code never finalizes a job
+    /// before its last lookup. A miss is therefore a simulator bug, not a
+    /// recoverable condition.
+    fn live(&self, job: JobId) -> &JobRun {
+        self.jobs
+            .get(&job.raw())
+            // hpcqc-lint: allow(D004, reason = "single audited lookup behind the drive() liveness fence; see doc comment")
+            .expect("live job")
+    }
+
+    /// Mutable counterpart of [`SimState::live`].
+    fn live_mut(&mut self, job: JobId) -> &mut JobRun {
+        self.jobs
+            .get_mut(&job.raw())
+            // hpcqc-lint: allow(D004, reason = "single audited lookup behind the drive() liveness fence; see doc comment")
+            .expect("live job")
+    }
+
     /// Pulls the next job from the source (if any), registers its live
     /// state and schedules its arrival in the calendar's front lane. The
     /// front lane is what makes lazy pulling *exactly* equivalent to
@@ -630,7 +652,7 @@ impl<'o> SimState<'o> {
             if let Some(alloc) = owner {
                 if let Some(&job) = self.alloc_owner.get(&alloc) {
                     self.abort_attempt(driver, job, now)?;
-                    let run = self.jobs.get_mut(&job.raw()).expect("live job");
+                    let run = self.live_mut(job);
                     if run.requeues < model.max_requeues {
                         run.requeues += 1;
                         run.phase_idx = 0;
@@ -659,6 +681,7 @@ impl<'o> SimState<'o> {
                 let entry = self
                     .queue_map
                     .remove(&st.job.raw())
+                    // hpcqc-lint: allow(D004, reason = "fresh_qid() registered the entry at submit; only a start (here) or an abort removes it")
                     .expect("started job must have a queue entry");
                 match entry {
                     QueueEntry::JobStart(job) => self.on_job_started(driver, job, st.alloc, now)?,
@@ -680,7 +703,7 @@ impl<'o> SimState<'o> {
     /// Devices with enough qubits for every kernel of the job. Jobs without
     /// quantum phases are compatible with all devices.
     fn eligible_devices(&self, job: JobId) -> Vec<usize> {
-        let spec = &self.jobs[&job.raw()].spec;
+        let spec = &self.live(job).spec;
         let need = spec.kernels().map(Kernel::qubits).max().unwrap_or(0);
         self.devices
             .iter()
@@ -701,7 +724,7 @@ impl<'o> SimState<'o> {
     fn bind_device(&self, job: JobId, unit: u32) -> Result<usize, SimError> {
         let eligible = self.eligible_devices(job);
         if eligible.is_empty() {
-            let spec = &self.jobs[&job.raw()].spec;
+            let spec = &self.live(job).spec;
             let need = spec.kernels().map(Kernel::qubits).max().unwrap_or(0);
             let best = self
                 .devices
@@ -726,12 +749,12 @@ impl<'o> SimState<'o> {
         now: SimTime,
     ) -> Result<(), SimError> {
         let plan = driver.submission_plan(&mut SimCtx { state: self, now }, job);
-        self.jobs.get_mut(&job.raw()).expect("live job").plan = plan;
+        self.live_mut(job).plan = plan;
         match plan {
             SubmissionPlan::PerStep => self.submit_step(job, now),
             SubmissionPlan::WholeJob { hold_qpu } => {
                 let (request, walltime, user) = {
-                    let spec = &self.jobs[&job.raw()].spec;
+                    let spec = &self.live(job).spec;
                     let mut request = AllocRequest::new()
                         .group(GroupRequest::nodes(spec.partition(), spec.nodes()));
                     if hold_qpu && spec.is_hybrid() {
@@ -752,7 +775,7 @@ impl<'o> SimState<'o> {
                     user,
                     qos_boost: 0.0,
                 };
-                let run = self.jobs.get_mut(&job.raw()).expect("live job");
+                let run = self.live_mut(job);
                 run.queued_qid = Some(qid.raw());
                 run.queued_at = now;
                 run.current_walltime = walltime;
@@ -774,7 +797,7 @@ impl<'o> SimState<'o> {
     /// Per-step plans: submit the step for the job's current phase.
     fn submit_step(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
         let (request, walltime) = {
-            let run = &self.jobs[&job.raw()];
+            let run = self.live(job);
             let spec = &run.spec;
             match &spec.phases()[run.phase_idx] {
                 Phase::Classical(d) => (
@@ -798,7 +821,7 @@ impl<'o> SimState<'o> {
             }
         };
         let qid = self.fresh_qid(QueueEntry::Step(job));
-        let run = self.jobs.get_mut(&job.raw()).expect("live job");
+        let run = self.live_mut(job);
         run.queued_qid = Some(qid.raw());
         run.queued_at = now;
         run.current_walltime = walltime;
@@ -843,7 +866,7 @@ impl<'o> SimState<'o> {
         );
         self.arm_walltime_kill(job, now);
         self.alloc_owner.insert(alloc, job);
-        let run = self.jobs.get_mut(&job.raw()).expect("live job");
+        let run = self.live_mut(job);
         run.queued_qid = None;
         run.alloc = Some(alloc);
         run.first_start.get_or_insert(now);
@@ -860,13 +883,14 @@ impl<'o> SimState<'o> {
         );
 
         // Bind the QPU device from the granted gres unit (if any).
+        // hpcqc-lint: allow(D004, reason = "the scheduler granted this allocation in the current cycle; nothing released it yet")
         let allocation = self.cluster.allocation(alloc).expect("alloc just granted");
         let units = allocation.gres_units(&GresKind::qpu());
         if let Some((_, unit)) = units.first() {
             let unit = *unit;
             let count = units.len() as u32;
             let device = self.bind_device(job, unit)?;
-            let run = self.jobs.get_mut(&job.raw()).expect("live job");
+            let run = self.live_mut(job);
             run.device = Some(device);
             run.set_qpu_units(now, count);
             if driver.holds_qpu_exclusively(job) {
@@ -905,21 +929,24 @@ impl<'o> SimState<'o> {
         );
         self.arm_walltime_kill(job, now);
         self.alloc_owner.insert(alloc, job);
-        let run = self.jobs.get_mut(&job.raw()).expect("live job");
-        run.queued_qid = None;
-        run.alloc = Some(alloc);
-        if run.first_start.is_none() {
-            run.first_start = Some(now);
-        } else if let Some(prev) = run.prev_phase_end {
-            // Everything between the previous phase's end and this start is
-            // inter-step overhead: workflow-manager delay + queue wait.
-            run.phase_wait += now.saturating_since(prev);
+        {
+            let run = self.live_mut(job);
+            run.queued_qid = None;
+            run.alloc = Some(alloc);
+            if run.first_start.is_none() {
+                run.first_start = Some(now);
+            } else if let Some(prev) = run.prev_phase_end {
+                // Everything between the previous phase's end and this start
+                // is inter-step overhead: workflow-manager delay + queue wait.
+                run.phase_wait += now.saturating_since(prev);
+            }
         }
+        // hpcqc-lint: allow(D004, reason = "the scheduler granted this allocation in the current cycle; nothing released it yet")
         let allocation = self.cluster.allocation(alloc).expect("alloc just granted");
         let node_count = allocation.node_count() as u32;
         let units = allocation.gres_units(&GresKind::qpu());
         if node_count > 0 {
-            run.set_alloc_nodes(now, node_count);
+            self.live_mut(job).set_alloc_nodes(now, node_count);
             emit!(
                 self,
                 now,
@@ -934,7 +961,7 @@ impl<'o> SimState<'o> {
             let unit = *unit;
             let count = units.len() as u32;
             let device = self.bind_device(job, unit)?;
-            let run = self.jobs.get_mut(&job.raw()).expect("live job");
+            let run = self.live_mut(job);
             run.device = Some(device);
             run.set_qpu_units(now, count);
             if driver.holds_qpu_exclusively(job) {
@@ -963,7 +990,7 @@ impl<'o> SimState<'o> {
         now: SimTime,
     ) -> Result<(), SimError> {
         let phase = {
-            let run = &self.jobs[&job.raw()];
+            let run = self.live(job);
             if run.phase_idx >= run.spec.phases().len() {
                 return self.complete_job(driver, job, now);
             }
@@ -981,7 +1008,7 @@ impl<'o> SimState<'o> {
         nominal: SimDuration,
         now: SimTime,
     ) -> Result<(), SimError> {
-        let run = self.jobs.get_mut(&job.raw()).expect("live job");
+        let run = self.live_mut(job);
         // Linear-speedup stretch when malleably running on fewer nodes.
         let duration = if run.alloc_nodes > 0 && run.alloc_nodes < run.spec.nodes() {
             nominal.mul_f64(f64::from(run.spec.nodes()) / f64::from(run.alloc_nodes))
@@ -1004,12 +1031,9 @@ impl<'o> SimState<'o> {
             }
         );
         let end = now + duration;
-        let epoch = self.jobs[&job.raw()].epoch;
+        let epoch = self.live(job).epoch;
         let key = self.events.schedule(end, Event::PhaseDone(job, epoch));
-        self.jobs
-            .get_mut(&job.raw())
-            .expect("live job")
-            .pending_event = Some(key);
+        self.live_mut(job).pending_event = Some(key);
         Ok(())
     }
 
@@ -1017,7 +1041,7 @@ impl<'o> SimState<'o> {
     /// or kill): per-job integral plus the [`SimEvent::PhaseEnded`] the
     /// waste and Gantt observers consume.
     fn close_classical(&mut self, job: JobId, now: SimTime) {
-        let run = self.jobs.get_mut(&job.raw()).expect("live job");
+        let run = self.live_mut(job);
         let Some(started) = run.classical_started.take() else {
             return;
         };
@@ -1051,7 +1075,7 @@ impl<'o> SimState<'o> {
         // Pick the device: the bound gres unit when the job holds a token,
         // least-backlog among capable devices when it does not.
         let device_idx = {
-            let bound = self.jobs[&job.raw()].device;
+            let bound = self.live(job).device;
             match bound {
                 Some(d) => d,
                 None => {
@@ -1077,7 +1101,7 @@ impl<'o> SimState<'o> {
             None => SimDuration::ZERO,
         };
         let index = {
-            let run = self.jobs.get_mut(&job.raw()).expect("live job");
+            let run = self.live_mut(job);
             run.phase_wait += exec.wait();
             run.qpu_seconds_used += exec.service().as_secs_f64();
             run.classical_started = None;
@@ -1110,14 +1134,11 @@ impl<'o> SimState<'o> {
         self.events
             .schedule(exec.start, Event::KernelExecStart(job));
         self.events.schedule(exec.end, Event::KernelExecEnd(job));
-        let epoch = self.jobs[&job.raw()].epoch;
+        let epoch = self.live(job).epoch;
         let key = self
             .events
             .schedule(exec.end + overhead, Event::KernelDone(job, epoch));
-        self.jobs
-            .get_mut(&job.raw())
-            .expect("live job")
-            .pending_event = Some(key);
+        self.live_mut(job).pending_event = Some(key);
         Ok(())
     }
 
@@ -1129,7 +1150,7 @@ impl<'o> SimState<'o> {
     ) -> Result<(), SimError> {
         self.close_classical(job, now);
         {
-            let run = self.jobs.get_mut(&job.raw()).expect("live job");
+            let run = self.live_mut(job);
             run.pending_event = None;
             run.phase_idx += 1;
             run.prev_phase_end = Some(now);
@@ -1145,7 +1166,7 @@ impl<'o> SimState<'o> {
         now: SimTime,
     ) -> Result<(), SimError> {
         let (index, started) = {
-            let run = self.jobs.get_mut(&job.raw()).expect("live job");
+            let run = self.live_mut(job);
             (run.phase_idx, run.quantum_started.take().unwrap_or(now))
         };
         emit!(
@@ -1161,7 +1182,7 @@ impl<'o> SimState<'o> {
             }
         );
         {
-            let run = self.jobs.get_mut(&job.raw()).expect("live job");
+            let run = self.live_mut(job);
             run.pending_event = None;
             run.phase_idx += 1;
             run.prev_phase_end = Some(now);
@@ -1181,7 +1202,7 @@ impl<'o> SimState<'o> {
         now: SimTime,
     ) -> Result<(), SimError> {
         let (finished, plan) = {
-            let run = &self.jobs[&job.raw()];
+            let run = self.live(job);
             (run.phase_idx >= run.spec.phases().len(), run.plan)
         };
         match plan {
@@ -1191,7 +1212,7 @@ impl<'o> SimState<'o> {
                 if finished {
                     self.complete_job(driver, job, now)
                 } else {
-                    let epoch = self.jobs[&job.raw()].epoch;
+                    let epoch = self.live(job).epoch;
                     self.events.schedule(
                         now + self.scenario.workflow_overhead,
                         Event::StepSubmit(job, epoch),
@@ -1216,21 +1237,28 @@ impl<'o> SimState<'o> {
         job: JobId,
         now: SimTime,
     ) -> Result<(), SimError> {
-        let run = self.jobs.get_mut(&job.raw()).expect("live job");
         // Walltime enforcement tracks the *active* allocation: a released
         // step's timer must not keep ticking into the next queue wait
         // (SLURM bills walltime per job step, not across the gaps).
-        if let Some(key) = run.kill_event.take() {
+        let (kill, alloc_taken) = {
+            let run = self.live_mut(job);
+            (run.kill_event.take(), run.alloc.take())
+        };
+        if let Some(key) = kill {
             self.events.cancel(key);
         }
-        let Some(alloc) = run.alloc.take() else {
+        let Some(alloc) = alloc_taken else {
             return Ok(());
         };
         self.alloc_owner.remove(&alloc);
-        let nodes = run.alloc_nodes;
-        let qpus = run.qpu_alloc_units;
-        run.set_alloc_nodes(now, 0);
-        run.set_qpu_units(now, 0);
+        let (nodes, qpus) = {
+            let run = self.live_mut(job);
+            let nodes = run.alloc_nodes;
+            let qpus = run.qpu_alloc_units;
+            run.set_alloc_nodes(now, 0);
+            run.set_qpu_units(now, 0);
+            (nodes, qpus)
+        };
         // Shared (virtual) tokens are tracked per-job only: they are not
         // an exclusive physical hold, so they never entered the exclusive
         // allocation integral and must not leave it either.
@@ -1270,10 +1298,10 @@ impl<'o> SimState<'o> {
     /// the job's live state entirely — after this the simulator holds no
     /// per-job memory for it (the streaming-memory contract).
     fn finalize(&mut self, job: JobId, now: SimTime, completed: bool) {
-        let mut run = self
-            .jobs
-            .remove(&job.raw())
-            .unwrap_or_else(|| panic!("{job} finalized twice"));
+        let Some(mut run) = self.jobs.remove(&job.raw()) else {
+            debug_assert!(false, "{job} finalized twice");
+            return;
+        };
         if let Some(key) = run.kill_event.take() {
             self.events.cancel(key);
         }
@@ -1303,7 +1331,7 @@ impl<'o> SimState<'o> {
             return;
         };
         let (walltime, epoch, old) = {
-            let run = self.jobs.get_mut(&job.raw()).expect("live job");
+            let run = self.live_mut(job);
             (run.current_walltime, run.epoch, run.kill_event.take())
         };
         if let Some(key) = old {
@@ -1315,7 +1343,7 @@ impl<'o> SimState<'o> {
         let key = self
             .events
             .schedule(now + walltime, Event::KillJob(job, epoch));
-        self.jobs.get_mut(&job.raw()).expect("live job").kill_event = Some(key);
+        self.live_mut(job).kill_event = Some(key);
     }
 
     /// Aborts the job's in-flight attempt: stops the current phase, fences
@@ -1328,17 +1356,21 @@ impl<'o> SimState<'o> {
         now: SimTime,
     ) -> Result<(), SimError> {
         self.close_classical(job, now);
-        let queued = {
-            let run = self.jobs.get_mut(&job.raw()).expect("live job");
-            if let Some(key) = run.pending_event.take() {
-                self.events.cancel(key);
-            }
-            if let Some(key) = run.kill_event.take() {
-                self.events.cancel(key);
-            }
+        let (pending, kill, queued) = {
+            let run = self.live_mut(job);
             run.epoch += 1;
-            run.queued_qid.take()
+            (
+                run.pending_event.take(),
+                run.kill_event.take(),
+                run.queued_qid.take(),
+            )
         };
+        if let Some(key) = pending {
+            self.events.cancel(key);
+        }
+        if let Some(key) = kill {
+            self.events.cancel(key);
+        }
         // A not-yet-started submission must leave the batch queue with the
         // attempt, or it would later start a job that no longer exists.
         if let Some(qid) = queued {
@@ -1363,9 +1395,9 @@ impl<'o> SimState<'o> {
             return Ok(());
         };
         self.abort_attempt(driver, job, now)?;
-        let requeues = self.jobs[&job.raw()].requeues;
+        let requeues = self.live(job).requeues;
         if requeues < max_requeues {
-            let run = self.jobs.get_mut(&job.raw()).expect("live job");
+            let run = self.live_mut(job);
             run.requeues += 1;
             run.phase_idx = 0;
             run.prev_phase_end = None;
@@ -1380,19 +1412,19 @@ impl<'o> SimState<'o> {
     // ----- SimCtx capabilities --------------------------------------------
 
     pub(crate) fn spec(&self, job: JobId) -> &JobSpec {
-        &self.jobs[&job.raw()].spec
+        &self.live(job).spec
     }
 
     pub(crate) fn held_nodes(&self, job: JobId) -> u32 {
-        self.jobs[&job.raw()].alloc_nodes
+        self.live(job).alloc_nodes
     }
 
     pub(crate) fn phase_index(&self, job: JobId) -> usize {
-        self.jobs[&job.raw()].phase_idx
+        self.live(job).phase_idx
     }
 
     pub(crate) fn last_wait(&self, job: JobId, now: SimTime) -> SimDuration {
-        now.saturating_since(self.jobs[&job.raw()].queued_at)
+        now.saturating_since(self.live(job).queued_at)
     }
 
     pub(crate) fn free_classical_nodes(&self) -> Result<u32, SimError> {
@@ -1430,7 +1462,7 @@ impl<'o> SimState<'o> {
         now: SimTime,
     ) -> Result<u32, SimError> {
         let (alloc, held) = {
-            let run = &self.jobs[&job.raw()];
+            let run = self.live(job);
             (run.alloc, run.alloc_nodes)
         };
         let Some(alloc) = alloc else { return Ok(0) };
@@ -1438,7 +1470,7 @@ impl<'o> SimState<'o> {
             return Ok(0);
         }
         let released = self.cluster.shrink(alloc, "classical", target, now)?;
-        let run = self.jobs.get_mut(&job.raw()).expect("live job");
+        let run = self.live_mut(job);
         run.set_alloc_nodes(now, target);
         let count = released.len() as u32;
         emit!(
@@ -1462,7 +1494,7 @@ impl<'o> SimState<'o> {
         now: SimTime,
     ) -> Result<u32, SimError> {
         let (alloc, held) = {
-            let run = &self.jobs[&job.raw()];
+            let run = self.live(job);
             (run.alloc, run.alloc_nodes)
         };
         let Some(alloc) = alloc else { return Ok(0) };
@@ -1476,7 +1508,7 @@ impl<'o> SimState<'o> {
         }
         let added = self.cluster.expand(alloc, "classical", grant, now)?;
         let count = added.len() as u32;
-        let run = self.jobs.get_mut(&job.raw()).expect("live job");
+        let run = self.live_mut(job);
         run.set_alloc_nodes(now, held + count);
         emit!(
             self,
@@ -1492,10 +1524,7 @@ impl<'o> SimState<'o> {
 
     /// Re-arms the walltime-kill timer to fire `walltime` from `now`.
     pub(crate) fn rearm_walltime(&mut self, job: JobId, walltime: SimDuration, now: SimTime) {
-        self.jobs
-            .get_mut(&job.raw())
-            .expect("live job")
-            .current_walltime = walltime;
+        self.live_mut(job).current_walltime = walltime;
         self.arm_walltime_kill(job, now);
     }
 }

@@ -1,0 +1,556 @@
+//! A minimal Rust lexer: just enough tokenization for the determinism
+//! rules, with exact line numbers and comment capture.
+//!
+//! The lexer understands line/block comments (including nesting), string
+//! and raw-string literals, byte strings, char literals vs. lifetimes,
+//! numeric literals (classifying floats), identifiers, and a small set of
+//! multi-character punctuators the rules match on (`::`, `==`, `!=`,
+//! `..`). Everything else becomes a single-character punct token. It never
+//! allocates token text for punctuation and never interprets macros — the
+//! rules work on flat token patterns.
+
+/// What a token is, as far as the rules care.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `unwrap`, `for`, ...).
+    Ident(String),
+    /// An integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// A float literal (`1.0`, `2e-3`, `0.5f32`) — drives rule D005.
+    Float,
+    /// A string/char/byte literal of any flavor (contents dropped).
+    Literal,
+    /// A lifetime (`'a`) — kept distinct so it is never a char literal.
+    Lifetime,
+    /// Punctuation: `::`, `==`, `!=`, `..` are single tokens; everything
+    /// else is one character.
+    Punct(&'static str),
+    /// A single-character punct not in the multi-char set.
+    Char(char),
+}
+
+/// One token with its source position (1-based line, 1-based column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification and (for identifiers) text.
+    pub kind: TokenKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// 1-based column the token starts on.
+    pub col: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when the token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+
+    /// True when the token is the given punctuator.
+    pub fn is_punct(&self, p: &str) -> bool {
+        match &self.kind {
+            TokenKind::Punct(s) => *s == p,
+            TokenKind::Char(c) => p.len() == 1 && p.starts_with(*c),
+            _ => false,
+        }
+    }
+}
+
+/// A comment captured during lexing (suppression directives live here).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` delimiters, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when the comment is the only thing on its line (no code
+    /// before it) — such suppressions attach to the *next* code line.
+    pub own_line: bool,
+}
+
+/// Lexer output: the token stream plus every comment.
+#[derive(Debug)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`. Never fails: unrecognized bytes become `Char` tokens,
+/// and unterminated literals simply run to end-of-file — the scanner is a
+/// linter, not a compiler front-end.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    let mut line_has_code = false;
+    let mut code_line = 0u32;
+
+    while let Some(b) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if line != code_line {
+            line_has_code = false;
+        }
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let start = cur.pos;
+                while cur.peek().is_some_and(|c| c != b'\n') {
+                    cur.bump();
+                }
+                let raw = &src[start..cur.pos];
+                let text = raw.trim_start_matches('/').trim_start_matches('!').trim();
+                comments.push(Comment {
+                    text: text.to_string(),
+                    line,
+                    own_line: !(line_has_code && code_line == line),
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                let start = cur.pos;
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                let raw = &src[start..cur.pos];
+                let text = raw
+                    .trim_start_matches('/')
+                    .trim_start_matches('*')
+                    .trim_end_matches('/')
+                    .trim_end_matches('*')
+                    .trim();
+                comments.push(Comment {
+                    text: text.to_string(),
+                    line,
+                    own_line: !(line_has_code && code_line == line),
+                });
+            }
+            b'"' => {
+                lex_string(&mut cur);
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                    col,
+                });
+                line_has_code = true;
+                code_line = line;
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(&cur) => {
+                lex_raw_or_byte(&mut cur);
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                    col,
+                });
+                line_has_code = true;
+                code_line = line;
+            }
+            b'\'' => {
+                let kind = lex_quote(&mut cur);
+                tokens.push(Token { kind, line, col });
+                line_has_code = true;
+                code_line = line;
+            }
+            _ if is_ident_start(b) => {
+                let start = cur.pos;
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                let text = &src[start..cur.pos];
+                tokens.push(Token {
+                    kind: TokenKind::Ident(text.to_string()),
+                    line,
+                    col,
+                });
+                line_has_code = true;
+                code_line = line;
+            }
+            _ if b.is_ascii_digit() => {
+                let kind = lex_number(&mut cur);
+                tokens.push(Token { kind, line, col });
+                line_has_code = true;
+                code_line = line;
+            }
+            _ => {
+                let kind = lex_punct(&mut cur);
+                tokens.push(Token { kind, line, col });
+                line_has_code = true;
+                code_line = line;
+            }
+        }
+    }
+    Lexed { tokens, comments }
+}
+
+fn starts_raw_or_byte_literal(cur: &Cursor<'_>) -> bool {
+    // r"...", r#"..."#, br"...", b"...", b'...' — but NOT identifiers like
+    // `raw` or `before`. Only treat as a literal when the quote follows
+    // immediately (possibly through `#`s or a `r`/`b` pair).
+    let first = cur.peek_at(0);
+    let second = cur.peek_at(1);
+    let mut i = match (first, second) {
+        (Some(b'b'), Some(b'r')) => 2,
+        (Some(b'r') | Some(b'b'), _) => 1,
+        _ => return false,
+    };
+    while cur.peek_at(i) == Some(b'#') {
+        i += 1;
+    }
+    matches!(cur.peek_at(i), Some(b'"')) || (i == 1 && first == Some(b'b') && second == Some(b'\''))
+}
+
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(b) = cur.bump() {
+        match b {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+fn lex_raw_or_byte(cur: &mut Cursor<'_>) {
+    // Consume the `r` / `b` / `br` prefix.
+    if cur.peek() == Some(b'b') {
+        cur.bump();
+    }
+    if cur.peek() == Some(b'\'') {
+        // Byte char literal b'x'.
+        cur.bump();
+        while let Some(b) = cur.bump() {
+            match b {
+                b'\\' => {
+                    cur.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+        return;
+    }
+    let raw = cur.peek() == Some(b'r');
+    if raw {
+        cur.bump();
+    }
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek() != Some(b'"') {
+        return; // Not actually a literal; prefix chars were already consumed
+                // as best-effort (identifier case is filtered by the caller).
+    }
+    cur.bump();
+    if !raw {
+        // Plain b"..." with escapes.
+        while let Some(b) = cur.bump() {
+            match b {
+                b'\\' => {
+                    cur.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        return;
+    }
+    // Raw string: ends at `"` followed by `hashes` hash marks.
+    'outer: while let Some(b) = cur.bump() {
+        if b == b'"' {
+            for i in 0..hashes {
+                if cur.peek_at(i) != Some(b'#') {
+                    continue 'outer;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+    }
+}
+
+/// `'a` (lifetime) vs `'x'` (char literal): a quote closes a char literal
+/// within a couple of characters; a lifetime has none.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // opening '
+    if cur.peek() == Some(b'\\') {
+        // Escaped char literal.
+        cur.bump();
+        while let Some(b) = cur.bump() {
+            if b == b'\'' {
+                break;
+            }
+        }
+        return TokenKind::Literal;
+    }
+    // One (possibly multi-byte) char then a closing quote → char literal;
+    // otherwise it is a lifetime and we consume the identifier.
+    let mut i = 1usize;
+    while cur.peek_at(i).is_some_and(|b| b >= 0x80) && i < 4 {
+        i += 1;
+    }
+    if cur.peek_at(i) == Some(b'\'') {
+        for _ in 0..=i {
+            cur.bump();
+        }
+        return TokenKind::Literal;
+    }
+    while cur.peek().is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    TokenKind::Lifetime
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> TokenKind {
+    let mut float = false;
+    // Hex/octal/binary prefixes never become floats.
+    if cur.peek() == Some(b'0')
+        && matches!(
+            cur.peek_at(1),
+            Some(b'x') | Some(b'X') | Some(b'o') | Some(b'O') | Some(b'b') | Some(b'B')
+        )
+    {
+        cur.bump();
+        cur.bump();
+        while cur
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            cur.bump();
+        }
+        return TokenKind::Int;
+    }
+    while cur.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+        cur.bump();
+    }
+    // Fractional part: `.` followed by a digit (or end/non-ident: `1.`),
+    // but not `..` (range) and not `.method()` (tuple/method access).
+    if cur.peek() == Some(b'.')
+        && cur.peek_at(1) != Some(b'.')
+        && !cur.peek_at(1).is_some_and(is_ident_start)
+    {
+        float = true;
+        cur.bump();
+        while cur.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+            cur.bump();
+        }
+    }
+    // Exponent.
+    if matches!(cur.peek(), Some(b'e') | Some(b'E')) {
+        let mut j = 1usize;
+        if matches!(cur.peek_at(1), Some(b'+') | Some(b'-')) {
+            j = 2;
+        }
+        if cur.peek_at(j).is_some_and(|b| b.is_ascii_digit()) {
+            float = true;
+            for _ in 0..j {
+                cur.bump();
+            }
+            while cur.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                cur.bump();
+            }
+        }
+    }
+    // Suffix (i32, u64, f32, f64, usize, ...).
+    if cur.peek().is_some_and(is_ident_start) {
+        let start = cur.pos;
+        while cur.peek().is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        let suffix = &cur.src[start..cur.pos];
+        if suffix == b"f32" || suffix == b"f64" {
+            float = true;
+        }
+    }
+    if float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+fn lex_punct(cur: &mut Cursor<'_>) -> TokenKind {
+    let a = cur.bump().expect("caller checked peek");
+    let b = cur.peek();
+    let joined = match (a, b) {
+        (b':', Some(b':')) => Some("::"),
+        (b'=', Some(b'=')) => Some("=="),
+        (b'!', Some(b'=')) => Some("!="),
+        (b'.', Some(b'.')) => Some(".."),
+        _ => None,
+    };
+    if let Some(p) = joined {
+        cur.bump();
+        return TokenKind::Punct(p);
+    }
+    TokenKind::Char(a as char)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            let x = "unwrap inside a string";
+            // unwrap inside a comment
+            /* HashMap in a block comment */
+            let y = r#"thread_rng in a raw string"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unwrap"));
+        assert!(!ids.iter().any(|i| i == "HashMap"));
+        assert!(!ids.iter().any(|i| i == "thread_rng"));
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn float_literals_classified() {
+        let kinds: Vec<_> = lex("1.0 2e3 0.5f32 7 0xff 1_000 3f64")
+            .tokens
+            .iter()
+            .map(|t| t.kind.clone())
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Float,
+                TokenKind::Float,
+                TokenKind::Float,
+                TokenKind::Int,
+                TokenKind::Int,
+                TokenKind::Int,
+                TokenKind::Float,
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_and_tuple_access_are_not_floats() {
+        let kinds: Vec<_> = lex("0..10 x.0 1..=2")
+            .tokens
+            .iter()
+            .map(|t| t.kind.clone())
+            .collect();
+        assert!(kinds.contains(&TokenKind::Punct("..")));
+        assert!(!kinds.contains(&TokenKind::Float));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; }").tokens;
+        let lifetimes = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn multichar_puncts_join() {
+        let toks = lex("a == b != c::d");
+        assert!(toks.tokens.iter().any(|t| t.is_punct("==")));
+        assert!(toks.tokens.iter().any(|t| t.is_punct("!=")));
+        assert!(toks.tokens.iter().any(|t| t.is_punct("::")));
+    }
+
+    #[test]
+    fn own_line_comments_flagged() {
+        let lexed = lex("let x = 1; // trailing\n// own line\nlet y = 2;");
+        assert!(!lexed.comments[0].own_line);
+        assert!(lexed.comments[1].own_line);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let lexed = lex("/* outer /* inner */ still comment */ let x = 1;");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.tokens.len(), 5);
+    }
+}

@@ -1,0 +1,128 @@
+//! CLI for `hpcqc-lint`. See the crate docs for the rule set.
+//!
+//! ```text
+//! hpcqc-lint [--root PATH] [--format text|json] [--deny] [--list-rules] [--show-suppressed]
+//! ```
+//!
+//! Exit codes: `0` clean (or findings present without `--deny`), `1`
+//! unsuppressed findings under `--deny`, `2` usage or I/O error.
+
+use hpcqc_lint::{scan_workspace, ALL_RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    deny: bool,
+    list_rules: bool,
+    show_suppressed: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        deny: false,
+        list_rules: false,
+        show_suppressed: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root requires a path")?);
+            }
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("text") => args.json = false,
+                other => return Err(format!("--format must be text or json, got {other:?}")),
+            },
+            "--deny" => args.deny = true,
+            "--list-rules" => args.list_rules = true,
+            "--show-suppressed" => args.show_suppressed = true,
+            "--help" | "-h" => {
+                println!(
+                    "hpcqc-lint [--root PATH] [--format text|json] [--deny] \
+                     [--list-rules] [--show-suppressed]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("hpcqc-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for rule in ALL_RULES {
+            println!("{}  {}", rule.id(), rule.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+    // Default to the workspace root when invoked from a member directory
+    // (cargo run -p sets cwd to the invocation dir, which is the root in
+    // CI; locally we search upward for the workspace manifest).
+    let root = workspace_root(&args.root);
+    let report = match scan_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("hpcqc-lint: scan failed: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => println!("{json}"),
+            Err(err) => {
+                eprintln!("hpcqc-lint: report serialization failed: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        for finding in &report.findings {
+            if !finding.suppressed || args.show_suppressed {
+                println!("{finding}");
+            }
+        }
+        println!(
+            "hpcqc-lint: {} files, {} findings ({} suppressed, {} unsuppressed)",
+            report.files_scanned,
+            report.findings.len(),
+            report.suppressed,
+            report.unsuppressed
+        );
+    }
+    if args.deny && !report.clean() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Walks upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`, falling back to `start` itself.
+fn workspace_root(start: &std::path::Path) -> PathBuf {
+    let mut dir = start.canonicalize().unwrap_or_else(|_| start.to_path_buf());
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir;
+                }
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent.to_path_buf(),
+            None => return start.to_path_buf(),
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Findings and the machine-readable report.
+
+use crate::lexer::Token;
+use crate::rules::Rule;
+use serde::Serialize;
+use std::fmt;
+
+/// One lint finding: a rule violation (codes `D001`–`D005`) or a
+/// malformed suppression directive (code `S001`).
+#[derive(Debug, Clone, Serialize)]
+pub struct Finding {
+    /// The stable finding code (`"D004"`, `"S001"`, ...).
+    pub code: String,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// True when an inline `hpcqc-lint: allow(...)` covers this finding.
+    pub suppressed: bool,
+    /// The suppression's mandatory reason, when suppressed.
+    pub reason: Option<String>,
+}
+
+impl Finding {
+    pub(crate) fn new(rule: Rule, file: &str, tok: &Token, message: String) -> Self {
+        Finding {
+            code: rule.id().to_string(),
+            file: file.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message,
+            suppressed: false,
+            reason: None,
+        }
+    }
+
+    pub(crate) fn syntax(file: &str, line: u32, message: String) -> Self {
+        Finding {
+            code: "S001".to_string(),
+            file: file.to_string(),
+            line,
+            col: 1,
+            message,
+            suppressed: false,
+            reason: None,
+        }
+    }
+
+    pub(crate) fn rule_enum(&self) -> Rule {
+        Rule::parse(&self.code).unwrap_or(Rule::D001)
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {} {}",
+            self.file, self.line, self.col, self.code, self.message
+        )?;
+        if self.suppressed {
+            write!(f, " [suppressed: {}]", self.reason.as_deref().unwrap_or(""))?;
+        }
+        Ok(())
+    }
+}
+
+/// The full machine-readable report emitted by `--format json`.
+#[derive(Debug, Serialize)]
+pub struct Report {
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Findings not covered by a suppression — what `--deny` gates on.
+    pub unsuppressed: usize,
+    /// Findings covered by an audited suppression.
+    pub suppressed: usize,
+    /// Every finding, suppressed and not, in file/line order.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Builds a report over `findings` from a scan of `files_scanned`
+    /// files.
+    pub fn new(files_scanned: usize, mut findings: Vec<Finding>) -> Self {
+        findings.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.col).cmp(&(b.file.as_str(), b.line, b.col))
+        });
+        let suppressed = findings.iter().filter(|f| f.suppressed).count();
+        Report {
+            files_scanned,
+            unsuppressed: findings.len() - suppressed,
+            suppressed,
+            findings,
+        }
+    }
+
+    /// True when nothing unsuppressed was found (the `--deny` gate).
+    pub fn clean(&self) -> bool {
+        self.unsuppressed == 0
+    }
+}

@@ -1,0 +1,111 @@
+//! Workspace discovery: find member crates and their `src/` trees.
+//!
+//! Deliberately minimal — no TOML parser, no cargo metadata. A member is
+//! any directory with a `Cargo.toml` under `crates/`, plus the workspace
+//! root itself (the facade crate). Vendored dependency subsets under
+//! `vendor/` are third-party code and are not scanned; neither are
+//! `tests/`, `benches/` or `examples/` trees (test code is out of scope
+//! for every rule).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One workspace member to scan.
+#[derive(Debug)]
+pub struct Member {
+    /// The Cargo package name (e.g. `hpcqc-core`).
+    pub package: String,
+    /// Every `.rs` file under the member's `src/`, sorted.
+    pub sources: Vec<PathBuf>,
+}
+
+/// Discovers scannable members under `root` (the workspace root).
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory walking.
+pub fn discover(root: &Path) -> io::Result<Vec<Member>> {
+    let mut members = Vec::new();
+    if let Some(member) = member_at(root)? {
+        members.push(member);
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            if let Some(member) = member_at(&dir)? {
+                members.push(member);
+            }
+        }
+    }
+    members.sort_by(|a, b| a.package.cmp(&b.package));
+    Ok(members)
+}
+
+fn member_at(dir: &Path) -> io::Result<Option<Member>> {
+    let manifest = dir.join("Cargo.toml");
+    if !manifest.is_file() {
+        return Ok(None);
+    }
+    let Some(package) = package_name(&fs::read_to_string(&manifest)?) else {
+        return Ok(None);
+    };
+    let src = dir.join("src");
+    if !src.is_dir() {
+        return Ok(None);
+    }
+    let mut sources = Vec::new();
+    collect_rs(&src, &mut sources)?;
+    sources.sort();
+    Ok(Some(Member { package, sources }))
+}
+
+/// Extracts `name = "..."` from the `[package]` section.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start().strip_prefix('=')?.trim();
+                return Some(rest.trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_name_parses() {
+        let toml =
+            "[workspace]\nmembers = []\n[package]\nname = \"hpcqc-core\"\nversion = \"0.1.0\"\n";
+        assert_eq!(package_name(toml), Some("hpcqc-core".to_string()));
+        assert_eq!(package_name("[workspace]\nmembers = []\n"), None);
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: D001 — wall-clock read in simulation code.
+
+pub fn elapsed() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,11 @@
+//! Fixture: D002 — hash-ordered collection in an event-path crate.
+
+use std::collections::HashMap;
+
+pub fn tally(names: &[String]) -> HashMap<String, usize> {
+    let mut counts = HashMap::new();
+    for name in names {
+        *counts.entry(name.clone()).or_insert(0) += 1;
+    }
+    counts
+}

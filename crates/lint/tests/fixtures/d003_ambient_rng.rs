@@ -1,0 +1,14 @@
+//! Fixture: D003 — ambient-entropy RNG outside tests.
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn rng_in_tests_is_fine() {
+        let _rng = rand::thread_rng();
+    }
+}

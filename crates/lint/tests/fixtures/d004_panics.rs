@@ -1,0 +1,22 @@
+//! Fixture: D004 — panicking calls in non-test library code.
+
+pub fn first(values: &[u32]) -> u32 {
+    *values.first().unwrap()
+}
+
+pub fn checked(map: &std::collections::BTreeMap<u32, u32>) -> u32 {
+    *map.get(&0).expect("key zero present")
+}
+
+pub fn boom() {
+    panic!("unreachable by construction");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: D005 — exact float comparison.
+
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0
+}
+
+pub fn ranges_are_not_floats(n: usize) -> usize {
+    // `0..10` and tuple access `pair.0` must NOT be classified as floats.
+    let pair = (n, n);
+    (0..10).filter(|i| *i == pair.0).count()
+}

@@ -1,0 +1,11 @@
+//! Fixture: a valid suppression with a mandatory reason — both the
+//! trailing-comment and standalone-comment forms.
+
+pub fn audited(values: &[u32]) -> u32 {
+    *values.first().unwrap() // hpcqc-lint: allow(D004, reason = "caller guarantees non-empty input")
+}
+
+pub fn audited_standalone(values: &[u32]) -> u32 {
+    // hpcqc-lint: allow(D004, reason = "caller guarantees non-empty input")
+    *values.first().unwrap()
+}

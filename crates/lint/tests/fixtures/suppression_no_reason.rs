@@ -1,0 +1,7 @@
+//! Fixture: a suppression without a reason is itself a finding (S001)
+//! and does NOT suppress the violation it precedes.
+
+pub fn unaudited(values: &[u32]) -> u32 {
+    // hpcqc-lint: allow(D004)
+    *values.first().unwrap()
+}

@@ -95,7 +95,7 @@ impl GanttRecorder {
     /// Intervals are clipped to the window.
     pub fn utilization(&self, lane: &str, from: SimTime, until: SimTime) -> f64 {
         let span = until.saturating_since(from).as_secs_f64();
-        if span == 0.0 {
+        if span <= 0.0 {
             return 0.0;
         }
         let busy: f64 = self
@@ -126,7 +126,7 @@ impl GanttRecorder {
         let width = width.max(10);
         let span = until.saturating_since(from).as_secs_f64();
         let mut out = String::new();
-        if span == 0.0 {
+        if span <= 0.0 {
             return out;
         }
         let label_w = self.lanes.keys().map(String::len).max().unwrap_or(4).max(4);

@@ -137,7 +137,7 @@ impl WasteTracker {
     /// was ever allocated (no waste possible).
     pub fn efficiency(&self, until: SimTime) -> f64 {
         let alloc = self.allocated.integral(until);
-        if alloc == 0.0 {
+        if alloc <= 0.0 {
             1.0
         } else {
             (self.used.integral(until) / alloc).min(1.0)

@@ -222,7 +222,7 @@ impl QpuDevice {
     /// after the last completion for exact figures.
     pub fn utilization(&self, until: SimTime) -> f64 {
         let span = until.saturating_since(self.created_at).as_secs_f64();
-        if span == 0.0 {
+        if span <= 0.0 {
             0.0
         } else {
             (self.total_busy.as_secs_f64() / span).min(1.0)

@@ -171,14 +171,17 @@ pub fn fig1_rows(shots_per_job: u32, samples: u32, seed: u64) -> Vec<TimeScaleRo
                 shot.record(timing.shot().sample(&mut rng));
                 job.record(timing.sample_job_secs(shots_per_job, &mut rng));
             }
+            // An empty sample set (samples == 0) degrades to zeroed rows
+            // rather than panicking; callers always pass samples >= 1.
+            let q = |s: &mut Samples, p: f64| s.quantile(p).unwrap_or_default();
             TimeScaleRow {
                 technology: tech,
-                shot_p05: shot.quantile(0.05).expect("samples > 0"),
-                shot_p50: shot.quantile(0.50).expect("samples > 0"),
-                shot_p95: shot.quantile(0.95).expect("samples > 0"),
-                job_p05: job.quantile(0.05).expect("samples > 0"),
-                job_p50: job.quantile(0.50).expect("samples > 0"),
-                job_p95: job.quantile(0.95).expect("samples > 0"),
+                shot_p05: q(&mut shot, 0.05),
+                shot_p50: q(&mut shot, 0.50),
+                shot_p95: q(&mut shot, 0.95),
+                job_p05: q(&mut job, 0.05),
+                job_p50: q(&mut job, 0.50),
+                job_p95: q(&mut job, 0.95),
             }
         })
         .collect()

@@ -49,7 +49,9 @@ impl Demand {
     pub fn free_of(cluster: &Cluster) -> Self {
         let mut d = Demand::new();
         for part in cluster.partitions() {
-            let free = cluster.free_nodes(part.name()).expect("partition exists");
+            // The partition name came from this cluster's own iterator, so
+            // the lookup cannot miss; degrade to 0 free rather than panic.
+            let free = cluster.free_nodes(part.name()).unwrap_or(0);
             if part.node_count() > 0 {
                 d.nodes.insert(part.name().to_string(), free);
             }
@@ -143,8 +145,10 @@ impl Profile {
         let mut free = vec![current_free.clone()];
         for (t, d) in events {
             current_free.add(d);
-            if *times.last().expect("non-empty") == t {
-                *free.last_mut().expect("non-empty") = current_free.clone();
+            if times.last() == Some(&t) {
+                if let Some(slot) = free.last_mut() {
+                    *slot = current_free.clone();
+                }
             } else {
                 times.push(t);
                 free.push(current_free.clone());

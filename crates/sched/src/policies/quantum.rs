@@ -90,14 +90,10 @@ impl QueuePolicy for QuantumAware {
 
     fn order(&mut self, queue: &mut [PendingJob], ctx: &SchedCtx<'_>) {
         let qpu = GresKind::qpu();
-        let boost = if ctx.free_gres(&qpu) > 0 {
-            self.idle_boost
-        } else {
-            0.0
-        };
+        let qpu_idle = ctx.free_gres(&qpu) > 0;
         sort_by_score(queue, |job| {
-            if boost != 0.0 && job.request.total_gres(&qpu) > 0 {
-                ctx.priority_of(job) + boost
+            if qpu_idle && job.request.total_gres(&qpu) > 0 {
+                ctx.priority_of(job) + self.idle_boost
             } else {
                 ctx.priority_of(job)
             }

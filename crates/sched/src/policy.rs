@@ -587,8 +587,8 @@ impl Deserialize for PolicySpec {
     fn from_value(v: &Value) -> Result<Self, serde::Error> {
         // Full form: {"discipline": …, "weights": …, "fairshare_half_life_secs": …}
         // (missing knobs take the documented defaults).
-        if v.get("discipline").is_some() {
-            let discipline = Discipline::from_value(v.get("discipline").expect("checked"))?;
+        if let Some(d) = v.get("discipline") {
+            let discipline = Discipline::from_value(d)?;
             let weights = match v.get("weights") {
                 Some(w) => PriorityWeights::from_value(w)?,
                 None => PriorityWeights::DEFAULT,

@@ -9,7 +9,7 @@
 
 use hpcqc_simcore::time::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Weights of the multifactor priority.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -45,7 +45,7 @@ pub struct PriorityCalculator {
     weights: PriorityWeights,
     half_life_secs: f64,
     /// Per user: (usage in node-seconds at `last_update`, last update).
-    usage: HashMap<String, (f64, SimTime)>,
+    usage: BTreeMap<String, (f64, SimTime)>,
 }
 
 impl Default for PriorityCalculator {
@@ -60,7 +60,7 @@ impl PriorityCalculator {
         PriorityCalculator {
             weights,
             half_life_secs: 86_400.0,
-            usage: HashMap::new(),
+            usage: BTreeMap::new(),
         }
     }
 

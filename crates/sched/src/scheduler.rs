@@ -20,7 +20,7 @@ use hpcqc_cluster::cluster::Cluster;
 use hpcqc_cluster::ids::AllocationId;
 use hpcqc_simcore::time::{SimDuration, SimTime};
 use hpcqc_workload::job::JobId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -105,7 +105,7 @@ pub struct BatchScheduler {
     spec: Option<PolicySpec>,
     priority: PriorityCalculator,
     pending: Vec<PendingJob>,
-    running: HashMap<AllocationId, Running>,
+    running: BTreeMap<AllocationId, Running>,
     total_started: u64,
     total_finished: u64,
 }
@@ -136,7 +136,7 @@ impl BatchScheduler {
             spec,
             priority,
             pending: Vec::new(),
-            running: HashMap::new(),
+            running: BTreeMap::new(),
             total_started: 0,
             total_finished: 0,
         }

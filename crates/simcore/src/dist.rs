@@ -282,7 +282,7 @@ impl Dist {
             Dist::Triangular { min, mode, max } => {
                 let u = rng.f64();
                 let span = max - min;
-                if span == 0.0 {
+                if span <= 0.0 {
                     *min
                 } else {
                     let fc = (mode - min) / span;

@@ -11,7 +11,7 @@
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 use std::fmt;
 
 /// Opaque handle identifying a scheduled event, used for cancellation.
@@ -88,7 +88,7 @@ pub struct Scheduled<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
     next_seq: u64,
     last_popped: SimTime,
 }
@@ -104,7 +104,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             next_seq: 0,
             last_popped: SimTime::ZERO,
         }
@@ -189,11 +189,11 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // Purge cancelled heads so the peeked time is a live event.
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = self.heap.pop().expect("peeked entry vanished").seq;
-                self.cancelled.remove(&seq);
-            } else {
+            if !self.cancelled.contains(&entry.seq) {
                 return Some(entry.time);
+            }
+            if let Some(dead) = self.heap.pop() {
+                self.cancelled.remove(&dead.seq);
             }
         }
         None

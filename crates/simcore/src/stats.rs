@@ -176,8 +176,7 @@ impl Samples {
             return None;
         }
         if !self.sorted {
-            self.values
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+            self.values.sort_by(f64::total_cmp);
             self.sorted = true;
         }
         let n = self.values.len();
@@ -552,7 +551,7 @@ impl TimeWeighted {
     /// Time average over `[start, until]`; 0.0 when the window is empty.
     pub fn time_average(&self, until: SimTime) -> f64 {
         let span = until.since(self.start).as_secs_f64();
-        if span == 0.0 {
+        if span <= 0.0 {
             0.0
         } else {
             self.integral(until) / span

@@ -88,6 +88,7 @@ impl SimTime {
         SimDuration(
             self.0
                 .checked_sub(earlier.0)
+                // hpcqc-lint: allow(D004, reason = "documented panic: `earlier > self` is a simulation-logic bug, mirrored in the rustdoc above")
                 .expect("SimTime::since: `earlier` is later than `self`"),
         )
     }
@@ -246,6 +247,7 @@ impl Add<SimDuration> for SimTime {
         SimTime(
             self.0
                 .checked_add(rhs.0)
+                // hpcqc-lint: allow(D004, reason = "checked overflow panic in an arithmetic operator impl; mirrors std integer overflow semantics")
                 .expect("SimTime + SimDuration overflowed"),
         )
     }
@@ -263,6 +265,7 @@ impl Sub<SimDuration> for SimTime {
         SimTime(
             self.0
                 .checked_sub(rhs.0)
+                // hpcqc-lint: allow(D004, reason = "checked underflow panic in an arithmetic operator impl; mirrors std integer overflow semantics")
                 .expect("SimTime - SimDuration underflowed"),
         )
     }
@@ -281,6 +284,7 @@ impl Add for SimDuration {
         SimDuration(
             self.0
                 .checked_add(rhs.0)
+                // hpcqc-lint: allow(D004, reason = "checked overflow panic in an arithmetic operator impl; mirrors std integer overflow semantics")
                 .expect("SimDuration + SimDuration overflowed"),
         )
     }
@@ -298,6 +302,7 @@ impl Sub for SimDuration {
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
+                // hpcqc-lint: allow(D004, reason = "checked underflow panic in an arithmetic operator impl; mirrors std integer overflow semantics")
                 .expect("SimDuration - SimDuration underflowed"),
         )
     }
@@ -315,6 +320,7 @@ impl Mul<u64> for SimDuration {
         SimDuration(
             self.0
                 .checked_mul(rhs)
+                // hpcqc-lint: allow(D004, reason = "checked overflow panic in an arithmetic operator impl; mirrors std integer overflow semantics")
                 .expect("SimDuration * u64 overflowed"),
         )
     }

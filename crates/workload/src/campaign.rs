@@ -213,6 +213,7 @@ impl Workload {
     /// see [`Workload::try_from_jobs`] for the fallible variant carrying
     /// the typed [`WorkloadError`].
     pub fn from_jobs(jobs: Vec<JobSpec>) -> Self {
+        // hpcqc-lint: allow(D004, reason = "documented panicking convenience wrapper; try_from_jobs is the fallible variant")
         Workload::try_from_jobs(jobs).unwrap_or_else(|e| panic!("invalid workload: {e}"))
     }
 
@@ -352,7 +353,7 @@ impl DemandSummary {
     /// Returns infinity for an instantaneous window (burst submission).
     pub fn offered_load(&self, nodes: u32) -> f64 {
         let capacity = f64::from(nodes) * self.span_hours;
-        if capacity == 0.0 {
+        if capacity <= 0.0 {
             f64::INFINITY
         } else {
             self.classical_node_hours / capacity
@@ -418,6 +419,7 @@ impl WorkloadBuilder {
                         pick -= c.weight;
                         pick <= 0.0
                     })
+                    // hpcqc-lint: allow(D004, reason = "generate() asserts classes is non-empty on entry")
                     .unwrap_or_else(|| self.classes.last().expect("non-empty"));
                 let mut job_rng = root.fork_indexed("job", i as u64);
                 class.instantiate(i as u64, submit, &mut job_rng)

@@ -80,15 +80,18 @@ impl Pattern {
     ///
     /// # Panics
     ///
-    /// Panics if `p == 0`.
+    /// Panics if `p`, `qubits` or `shots` is zero.
     pub fn qaoa(iterations: u32, p: u32, qubits: u32, shots: u32) -> Pattern {
         assert!(p >= 1, "qaoa: need at least one layer");
+        assert!(qubits >= 1, "qaoa: need at least one qubit");
+        assert!(shots >= 1, "qaoa: need at least one shot");
         let kernel = Kernel::builder(format!("qaoa-p{p}"))
             .qubits(qubits)
             // Each QAOA layer is a cost + mixer block; depth scales with p.
             .depth(2 * p * qubits.max(2))
             .shots(shots)
             .build()
+            // hpcqc-lint: allow(D004, reason = "qubits/depth/shots are asserted non-zero above, the only InvalidKernel causes")
             .expect("parameters validated above");
         Pattern::Variational {
             iterations,

@@ -10,6 +10,9 @@
 //! `cargo bench --no-run` compiling in CI.
 
 #![warn(missing_docs)]
+// Wall-clock timing is the entire purpose of a benchmark harness; the
+// workspace-wide disallowed-methods guard targets simulation code only.
+#![allow(clippy::disallowed_methods)]
 
 use std::time::{Duration, Instant};
 
