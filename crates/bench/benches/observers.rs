@@ -2,6 +2,8 @@
 //! the same workload simulated with 0 vs 3 extra observers attached,
 //! reported as events/second, guards the overhead of routing every
 //! metric through the `SimObserver` stream instead of hard-wired calls.
+//! A `tracing-observer` variant attaches the full `TraceObserver`
+//! (Chrome trace-event recording) to guard its <10% overhead budget.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hpcqc_core::observer::{SimEvent, SimObserver};
@@ -9,6 +11,7 @@ use hpcqc_core::{FacilitySim, Scenario, Strategy};
 use hpcqc_qpu::Technology;
 use hpcqc_simcore::time::SimTime;
 use hpcqc_sweep::spec::tenant_jobs;
+use hpcqc_trace::TraceObserver;
 use hpcqc_workload::Workload;
 
 /// The cheapest possible observer: one counter bump per event, so the
@@ -59,6 +62,15 @@ fn bench_observer_dispatch(c: &mut Criterion) {
             let mut o3 = CountingObserver::default();
             FacilitySim::run_observed(&scenario, &workload, &mut [&mut o1, &mut o2, &mut o3])
                 .expect("valid scenario")
+        });
+    });
+    // Full-fidelity tracing; budget is <10% over the bare event loop.
+    group.bench_function("tracing-observer", |b| {
+        b.iter(|| {
+            let mut tracer = TraceObserver::for_scenario(&scenario);
+            FacilitySim::run_observed(&scenario, &workload, &mut [&mut tracer])
+                .expect("valid scenario");
+            tracer.into_trace().len()
         });
     });
     group.finish();

@@ -1,0 +1,269 @@
+//! bench-export: machine-readable benchmark trajectory for CI.
+//!
+//! Times the repo's two headline benchmark suites with plain wall-clock
+//! sampling (the vendored criterion has no JSON export) and writes one
+//! JSON file per suite so CI can publish — and the repo can commit — a
+//! benchmark trajectory:
+//!
+//! * `BENCH_sched.json` — scheduler planning-cycle cost per policy and
+//!   queue depth (µs per cycle, lower is better); the kernel mirrors
+//!   `benches/sched.rs`.
+//! * `BENCH_streaming.json` — facility-simulation throughput on the
+//!   generate-only / streamed / materialized paths (jobs per second,
+//!   higher is better); the kernel mirrors `benches/streaming.rs`.
+//!
+//! # The `hpcqc-bench-export/v1` format
+//!
+//! ```json
+//! {
+//!   "format": "hpcqc-bench-export/v1",
+//!   "suite": "sched",
+//!   "reps": 10,
+//!   "results": [
+//!     { "bench": "easy-backfill/depth=1000",
+//!       "unit": "us_per_cycle",
+//!       "median": 181.2, "min": 177.9, "max": 201.4 }
+//!   ]
+//! }
+//! ```
+//!
+//! `median`/`min`/`max` summarize `reps` timed repetitions after one
+//! untimed warm-up. Workloads and seeds are fixed, so the *work* is
+//! byte-deterministic; the timings of course are not — committed
+//! baselines record a trajectory, they are not golden files.
+//!
+//! ```text
+//! USAGE: bench-export [--suite sched|streaming|all] [--out-dir DIR] [--quick]
+//! ```
+//!
+//! `--quick` shrinks reps and problem sizes for smoke runs (CI uses it).
+
+use hpcqc_cluster::alloc::{AllocRequest, GroupRequest};
+use hpcqc_cluster::cluster::{Cluster, ClusterBuilder};
+use hpcqc_cluster::gres::GresKind;
+use hpcqc_core::FacilitySim;
+use hpcqc_core::{Scenario, Strategy};
+use hpcqc_gen::{GeneratorSpec, Horizon};
+use hpcqc_qpu::Technology;
+use hpcqc_sched::scheduler::{BatchScheduler, PendingJob};
+use hpcqc_sched::PolicySpec;
+use hpcqc_simcore::rng::SimRng;
+use hpcqc_simcore::time::{SimDuration, SimTime};
+use hpcqc_workload::job::JobId;
+use hpcqc_workload::Workload;
+use serde::Serialize;
+use std::process::ExitCode;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Export {
+    format: &'static str,
+    suite: &'static str,
+    reps: usize,
+    results: Vec<BenchResult>,
+}
+
+#[derive(Serialize)]
+struct BenchResult {
+    bench: String,
+    unit: &'static str,
+    median: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Times `reps` calls of `work` (after one untimed warm-up) and returns
+/// per-call seconds as (median, min, max).
+// Wall-clock timing is the whole point of a benchmark exporter: readings
+// stay on the host side, outside any simulation state.
+#[allow(clippy::disallowed_methods)]
+fn sample<F: FnMut()>(reps: usize, mut work: F) -> (f64, f64, f64) {
+    work();
+    let mut secs: Vec<f64> = (0..reps)
+        .map(|_| {
+            let started = Instant::now();
+            work();
+            started.elapsed().as_secs_f64()
+        })
+        .collect();
+    secs.sort_by(f64::total_cmp);
+    (secs[secs.len() / 2], secs[0], secs[secs.len() - 1])
+}
+
+/// A cluster with every node and QPU token allocated, so a scheduling
+/// cycle is a pure planning pass (mirrors `benches/sched.rs`).
+fn occupied_cluster(nodes: u32) -> Cluster {
+    let mut cluster = ClusterBuilder::new()
+        .partition("classical", nodes)
+        .partition_with_gres("quantum", 0, GresKind::qpu(), 4)
+        .build(SimTime::ZERO);
+    cluster
+        .allocate(
+            &AllocRequest::new()
+                .group(GroupRequest::nodes("classical", nodes))
+                .group(GroupRequest::gres("quantum", GresKind::qpu(), 4)),
+            SimTime::ZERO,
+        )
+        .expect("blocker fits the empty machine");
+    cluster
+}
+
+fn queue_of(n: usize, cluster: &Cluster, policy: PolicySpec) -> BatchScheduler {
+    let mut sched = BatchScheduler::new(policy);
+    let mut rng = SimRng::seed_from(11);
+    for i in 0..n {
+        let nodes = 1 + rng.below(32) as u32;
+        let mut request = AllocRequest::new().group(GroupRequest::nodes("classical", nodes));
+        if i % 8 == 0 {
+            request = request.group(GroupRequest::gres("quantum", GresKind::qpu(), 1));
+        }
+        let job = PendingJob {
+            id: JobId::new(i as u64),
+            request,
+            walltime: SimDuration::from_secs(600 + rng.below(7_200)),
+            submit: SimTime::from_secs(i as u64),
+            user: format!("user{}", i % 8),
+            qos_boost: 0.0,
+        };
+        sched.submit(job, cluster).expect("fits machine");
+    }
+    sched
+}
+
+fn sched_suite(reps: usize, quick: bool) -> Export {
+    let policies = [
+        PolicySpec::fcfs(),
+        PolicySpec::easy(),
+        PolicySpec::conservative(),
+        PolicySpec::priority_backfill(24.0),
+        PolicySpec::quantum_aware(1_000.0),
+    ];
+    let depths: &[usize] = if quick {
+        &[10, 1_000]
+    } else {
+        &[10, 1_000, 10_000]
+    };
+    let mut results = Vec::new();
+    for policy in policies {
+        for &depth in depths {
+            let mut cluster = occupied_cluster(128);
+            let mut sched = queue_of(depth, &cluster, policy);
+            let now = SimTime::from_secs(200_000);
+            let (median, min, max) = sample(reps, || {
+                let started = sched.try_schedule(&mut cluster, now);
+                assert!(started.is_empty(), "occupied machine starts nothing");
+            });
+            let to_us = 1e6;
+            results.push(BenchResult {
+                bench: format!("{policy}/depth={depth}"),
+                unit: "us_per_cycle",
+                median: median * to_us,
+                min: min * to_us,
+                max: max * to_us,
+            });
+        }
+    }
+    Export {
+        format: "hpcqc-bench-export/v1",
+        suite: "sched",
+        reps,
+        results,
+    }
+}
+
+fn streaming_suite(reps: usize, quick: bool) -> Export {
+    let jobs: u64 = if quick { 500 } else { 2_000 };
+    let mut spec = GeneratorSpec::dev_facility();
+    spec.horizon = Horizon::Jobs { count: jobs };
+    spec.arrival.base_per_hour = 240.0;
+    let scenario = Scenario::builder()
+        .classical_nodes(256)
+        .device(Technology::Superconducting)
+        .strategy(Strategy::Vqpu { vqpus: 8 })
+        .seed(7)
+        .build();
+    let workload = Workload::from_jobs(spec.stream(scenario.seed).collect());
+
+    let mut results = Vec::new();
+    let mut push = |bench: &str, (median, min, max): (f64, f64, f64)| {
+        // Per-rep seconds → jobs per second; min time is max throughput.
+        results.push(BenchResult {
+            bench: bench.to_string(),
+            unit: "jobs_per_sec",
+            median: jobs as f64 / median,
+            min: jobs as f64 / max,
+            max: jobs as f64 / min,
+        });
+    };
+    push(
+        "generate-only",
+        sample(reps, || {
+            assert_eq!(spec.stream(scenario.seed).count() as u64, jobs);
+        }),
+    );
+    push(
+        "streamed",
+        sample(reps, || {
+            let mut source = spec.stream(scenario.seed);
+            FacilitySim::run_streamed(&scenario, &mut source).expect("valid scenario");
+        }),
+    );
+    push(
+        "materialized",
+        sample(reps, || {
+            FacilitySim::run(&scenario, &workload).expect("valid scenario");
+        }),
+    );
+    Export {
+        format: "hpcqc-bench-export/v1",
+        suite: "streaming",
+        reps,
+        results,
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("USAGE: bench-export [--suite sched|streaming|all] [--out-dir DIR] [--quick]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut suite = String::from("all");
+    let mut out_dir = String::from("benchmarks");
+    let mut quick = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--suite" => suite = it.next().cloned().unwrap_or_else(|| usage()),
+            "--out-dir" => out_dir = it.next().cloned().unwrap_or_else(|| usage()),
+            "--quick" => quick = true,
+            _ => usage(),
+        }
+    }
+    if !matches!(suite.as_str(), "sched" | "streaming" | "all") {
+        usage();
+    }
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {out_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let reps = if quick { 3 } else { 10 };
+    let mut exports = Vec::new();
+    if suite == "sched" || suite == "all" {
+        exports.push(sched_suite(reps, quick));
+    }
+    if suite == "streaming" || suite == "all" {
+        exports.push(streaming_suite(reps, quick));
+    }
+    for export in exports {
+        let path = format!("{out_dir}/BENCH_{}.json", export.suite);
+        let json = serde_json::to_string_pretty(&export).expect("export serializes");
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {} results to {path}", export.results.len());
+    }
+    ExitCode::SUCCESS
+}

@@ -33,6 +33,7 @@ use hpcqc_metrics::waste::WasteTracker;
 use hpcqc_qpu::device::QpuDevice;
 use hpcqc_qpu::error::QpuError;
 use hpcqc_qpu::kernel::Kernel;
+use hpcqc_sched::probe::{CycleProbe, NoProbe};
 use hpcqc_sched::scheduler::{BatchScheduler, PendingJob, SchedError};
 use hpcqc_simcore::events::EventQueue;
 use hpcqc_simcore::rng::SimRng;
@@ -385,13 +386,33 @@ impl<'o> FacilitySim<'o> {
         driver: Box<dyn StrategyDriver>,
         observers: &'o mut [&'o mut dyn SimObserver],
     ) -> Result<Outcome, SimError> {
+        FacilitySim::run_streamed_probed(scenario, source, driver, observers, &mut NoProbe)
+    }
+
+    /// [`FacilitySim::run_streamed_with_driver`] with a scheduler
+    /// [`CycleProbe`] attached: every planning cycle reports its queue
+    /// depth, phase boundaries and start/hold outcome to `probe`. The
+    /// probe only watches — simulation results are byte-identical to the
+    /// unprobed run (see `hpcqc-trace`'s `SchedProfiler` for the
+    /// wall-clock profiler built on this hook).
+    ///
+    /// # Errors
+    ///
+    /// See [`FacilitySim::run`].
+    pub fn run_streamed_probed(
+        scenario: &Scenario,
+        source: &mut dyn JobSource,
+        driver: Box<dyn StrategyDriver>,
+        observers: &'o mut [&'o mut dyn SimObserver],
+        probe: &mut dyn CycleProbe,
+    ) -> Result<Outcome, SimError> {
         let mut sim = FacilitySim::new(scenario.clone(), driver, observers);
         {
             let FacilitySim { state, driver } = &mut sim;
             // Prime the pump: the first arrival must be on the calendar
             // before the loop starts popping.
             state.spawn_next(source);
-            state.drive(driver.as_mut(), source)?;
+            state.drive(driver.as_mut(), source, probe)?;
         }
         Ok(sim.into_outcome())
     }
@@ -558,6 +579,7 @@ impl<'o> SimState<'o> {
         &mut self,
         driver: &mut dyn StrategyDriver,
         source: &mut dyn JobSource,
+        probe: &mut dyn CycleProbe,
     ) -> Result<(), SimError> {
         while let Some(ev) = self.events.pop() {
             let now = ev.time;
@@ -603,7 +625,7 @@ impl<'o> SimState<'o> {
                     emit!(self, now, SimEvent::NodeRepaired { node });
                 }
             }
-            self.cycle(driver, now)?;
+            self.cycle(driver, now, probe)?;
             // The proptest suite runs debug builds: verify the machine
             // invariants after *every* event, not just at the end.
             debug_assert!(
@@ -671,9 +693,16 @@ impl<'o> SimState<'o> {
     }
 
     /// One scheduling cycle: start whatever the policy admits.
-    fn cycle(&mut self, driver: &mut dyn StrategyDriver, now: SimTime) -> Result<(), SimError> {
+    fn cycle(
+        &mut self,
+        driver: &mut dyn StrategyDriver,
+        now: SimTime,
+        probe: &mut dyn CycleProbe,
+    ) -> Result<(), SimError> {
         loop {
-            let started = self.scheduler.try_schedule(&mut self.cluster, now);
+            let started = self
+                .scheduler
+                .try_schedule_probed(&mut self.cluster, now, probe);
             if started.is_empty() {
                 return Ok(());
             }

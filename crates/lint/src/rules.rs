@@ -44,7 +44,7 @@ pub const ALL_RULES: [Rule; 5] = [Rule::D001, Rule::D002, Rule::D003, Rule::D004
 
 /// Crates whose sources feed the discrete-event simulation state
 /// (everything but the bench harness and the CLI facade).
-const SIM_CRATES: [&str; 9] = [
+const SIM_CRATES: [&str; 10] = [
     "hpcqc-core",
     "hpcqc-sched",
     "hpcqc-simcore",
@@ -52,6 +52,7 @@ const SIM_CRATES: [&str; 9] = [
     "hpcqc-qpu",
     "hpcqc-workload",
     "hpcqc-metrics",
+    "hpcqc-trace",
     "hpcqc-sweep",
     "hpcqc-gen",
 ];
@@ -145,6 +146,7 @@ mod tests {
     #[test]
     fn scopes_match_policy() {
         assert!(Rule::D001.applies_to("hpcqc-core"));
+        assert!(Rule::D001.applies_to("hpcqc-trace"));
         assert!(!Rule::D001.applies_to("hpcqc-bench"));
         assert!(!Rule::D001.applies_to("hpcqc"));
         assert!(Rule::D002.applies_to("hpcqc-sched"));

@@ -14,6 +14,9 @@
 //! * [`policies`] — the five built-ins: strict FCFS, EASY backfill
 //!   (production default), conservative backfill, priority backfill with
 //!   hard aging, and quantum-aware backfill;
+//! * [`probe`] — the [`CycleProbe`] hook that lets harness-layer code
+//!   (profilers, tracers) watch each planning cycle's phases without the
+//!   scheduler ever reading a clock;
 //! * [`scheduler`] — the policy-agnostic [`BatchScheduler`] cycle loop.
 //!
 //! ## Example: Listing 1 through the scheduler
@@ -51,6 +54,7 @@ pub mod demand;
 pub mod policies;
 pub mod policy;
 pub mod priority;
+pub mod probe;
 pub mod scheduler;
 
 pub use demand::{Demand, Profile};
@@ -59,4 +63,5 @@ pub use policy::{
     SchedCtx, Verdict, POLICY_FORMS,
 };
 pub use priority::{PriorityCalculator, PriorityWeights};
+pub use probe::{CyclePhase, CycleProbe, NoProbe};
 pub use scheduler::{BatchScheduler, PendingJob, SchedError, StartedJob};

@@ -1,0 +1,94 @@
+//! Planning-cycle instrumentation: the [`CycleProbe`] hook.
+//!
+//! A probe observes each [`BatchScheduler::try_schedule`] cycle from the
+//! *outside*: it is told when a cycle begins (and how deep the queue is),
+//! when each internal phase — queue ordering, admission decisions, live
+//! cluster allocation — starts and stops, and how the cycle ended (jobs
+//! started vs held). The scheduler itself never reads a clock; a probe
+//! that wants wall-clock timings takes them in its own crate (see
+//! `hpcqc-trace`'s `SchedProfiler`), so the deterministic core stays free
+//! of wall time and the no-op default ([`NoProbe`]) costs two virtual
+//! calls per queued job.
+//!
+//! [`BatchScheduler::try_schedule`]: crate::scheduler::BatchScheduler::try_schedule
+
+use hpcqc_simcore::time::SimTime;
+
+/// The internal phases of one planning cycle, in execution order.
+///
+/// `Admit` and `Allocate` interleave per queued job; probes accumulate
+/// rather than assume contiguity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CyclePhase {
+    /// Policy `begin_cycle` + queue ordering + availability-profile build.
+    Order,
+    /// Per-job policy admission decisions (`admit` / `held`).
+    Admit,
+    /// Live-cluster allocation attempts for admitted jobs.
+    Allocate,
+}
+
+impl CyclePhase {
+    /// Short label used in profiler tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CyclePhase::Order => "order",
+            CyclePhase::Admit => "admit",
+            CyclePhase::Allocate => "allocate",
+        }
+    }
+}
+
+/// Observes planning cycles. All hooks have empty defaults, so a probe
+/// implements only what it measures.
+pub trait CycleProbe: std::fmt::Debug {
+    /// A cycle with a non-empty queue begins at sim time `now` with
+    /// `queue_depth` jobs pending.
+    fn cycle_start(&mut self, now: SimTime, queue_depth: usize) {
+        let _ = (now, queue_depth);
+    }
+
+    /// An internal phase segment begins.
+    fn phase_start(&mut self, phase: CyclePhase) {
+        let _ = phase;
+    }
+
+    /// The matching phase segment ends.
+    fn phase_end(&mut self, phase: CyclePhase) {
+        let _ = phase;
+    }
+
+    /// The cycle finished: `started` jobs were granted resources,
+    /// `held` remain queued.
+    fn cycle_end(&mut self, started: usize, held: usize) {
+        let _ = (started, held);
+    }
+}
+
+/// The do-nothing probe behind the unprofiled
+/// [`try_schedule`](crate::scheduler::BatchScheduler::try_schedule) path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProbe;
+
+impl CycleProbe for NoProbe {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_are_stable() {
+        assert_eq!(CyclePhase::Order.name(), "order");
+        assert_eq!(CyclePhase::Admit.name(), "admit");
+        assert_eq!(CyclePhase::Allocate.name(), "allocate");
+    }
+
+    #[test]
+    fn no_probe_defaults_are_callable() {
+        let mut p = NoProbe;
+        p.cycle_start(SimTime::ZERO, 3);
+        p.phase_start(CyclePhase::Order);
+        p.phase_end(CyclePhase::Order);
+        p.cycle_end(1, 2);
+    }
+}

@@ -15,6 +15,7 @@
 use crate::demand::{Demand, Profile};
 use crate::policy::{PolicySpec, QueuePolicy, SchedCtx, Verdict};
 use crate::priority::PriorityCalculator;
+use crate::probe::{CyclePhase, CycleProbe, NoProbe};
 use hpcqc_cluster::alloc::AllocRequest;
 use hpcqc_cluster::cluster::Cluster;
 use hpcqc_cluster::ids::AllocationId;
@@ -266,9 +267,23 @@ impl BatchScheduler {
     /// Returns the started jobs in start order. Deterministic for
     /// identical inputs.
     pub fn try_schedule(&mut self, cluster: &mut Cluster, now: SimTime) -> Vec<StartedJob> {
+        self.try_schedule_probed(cluster, now, &mut NoProbe)
+    }
+
+    /// [`try_schedule`](BatchScheduler::try_schedule) with a [`CycleProbe`]
+    /// observing the cycle's internal phases. Scheduling decisions are
+    /// byte-identical to the unprobed path — the probe only watches.
+    pub fn try_schedule_probed(
+        &mut self,
+        cluster: &mut Cluster,
+        now: SimTime,
+        probe: &mut dyn CycleProbe,
+    ) -> Vec<StartedJob> {
         if self.pending.is_empty() {
             return Vec::new();
         }
+        probe.cycle_start(now, self.pending.len());
+        probe.phase_start(CyclePhase::Order);
         self.policy
             .begin_cycle(&SchedCtx::new(now, cluster, &self.priority));
         self.policy.order(
@@ -276,20 +291,26 @@ impl BatchScheduler {
             &SchedCtx::new(now, cluster, &self.priority),
         );
         let mut profile = self.availability_profile(cluster, now);
+        probe.phase_end(CyclePhase::Order);
 
         let mut started = Vec::new();
         let mut still_pending: Vec<PendingJob> = Vec::new();
 
         for job in std::mem::take(&mut self.pending) {
             let demand = Demand::of_request(&job.request);
+            probe.phase_start(CyclePhase::Admit);
             let verdict = self.policy.admit(
                 &job,
                 &demand,
                 &mut profile,
                 &SchedCtx::new(now, cluster, &self.priority),
             );
+            probe.phase_end(CyclePhase::Admit);
             if verdict == Verdict::Start {
-                match cluster.allocate(&job.request, now) {
+                probe.phase_start(CyclePhase::Allocate);
+                let granted = cluster.allocate(&job.request, now);
+                probe.phase_end(CyclePhase::Allocate);
+                match granted {
                     Ok(alloc) => {
                         profile.reserve(&demand, now, job.walltime);
                         self.running.insert(
@@ -322,6 +343,7 @@ impl BatchScheduler {
             still_pending.push(job);
         }
         self.pending = still_pending;
+        probe.cycle_end(started.len(), self.pending.len());
         started
     }
 

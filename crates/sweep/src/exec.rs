@@ -7,11 +7,25 @@
 //! count, only wall-clock time changes.
 
 use crate::grid::{Cell, Grid};
-use crate::result::{CellResult, SweepResult};
+use crate::result::{CellResult, CellTiming, SweepResult};
 use hpcqc_core::sim::FacilitySim;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
+
+#[allow(clippy::disallowed_methods)] // mirrors the audited hpcqc-lint D001 suppression
+fn wall_now() -> std::time::Instant {
+    // hpcqc-lint: allow(D001, reason = "sweep harness timing: wall-clock readings annotate the timing report only and never feed back into simulation state; per-cell metric rows stay byte-deterministic")
+    std::time::Instant::now()
+}
+
+/// The process RSS high-water mark (`VmHWM`) in kilobytes, Linux only.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
 
 /// Why a sweep failed.
 #[derive(Debug)]
@@ -119,21 +133,52 @@ impl Executor {
     ///
     /// Returns the first (lowest-index) cell whose simulation failed.
     pub fn run_sim(&self, grid: &Grid) -> Result<SweepResult, SweepError> {
+        self.run_sim_with(grid, |_, _| {})
+    }
+
+    /// [`Executor::run_sim`] with a live progress callback: `progress`
+    /// is invoked from worker threads after each cell completes with
+    /// `(completed_so_far, total)`. Each cell's wall time and the
+    /// process RSS high-water mark are recorded into
+    /// [`SweepResult::timings`]; the simulation outcomes themselves are
+    /// unaffected (byte-identical to an untimed run).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (lowest-index) cell whose simulation failed.
+    pub fn run_sim_with<P>(&self, grid: &Grid, progress: P) -> Result<SweepResult, SweepError>
+    where
+        P: Fn(usize, usize) + Sync,
+    {
         grid.validate().map_err(|message| SweepError {
             cell_index: 0,
             message,
         })?;
+        let total = grid.len();
+        let completed = AtomicUsize::new(0);
         let outcomes = self.run_cells(grid, |cell| {
+            let started = wall_now();
             let workload = grid.workload.build(cell.load_per_hour, cell.replica_seed);
-            FacilitySim::run(&cell.scenario(), &workload).map_err(|e| e.to_string())
+            let outcome = FacilitySim::run(&cell.scenario(), &workload).map_err(|e| e.to_string());
+            let timing = CellTiming {
+                index: cell.index,
+                wall_secs: started.elapsed().as_secs_f64(),
+                peak_rss_kb: peak_rss_kb(),
+            };
+            progress(completed.fetch_add(1, Ordering::Relaxed) + 1, total);
+            (outcome, timing)
         });
         let mut results = Vec::with_capacity(outcomes.len());
-        for (index, outcome) in outcomes.into_iter().enumerate() {
+        let mut timings = Vec::with_capacity(outcomes.len());
+        for (index, (outcome, timing)) in outcomes.into_iter().enumerate() {
             match outcome {
-                Ok(outcome) => results.push(CellResult {
-                    cell: grid.cell(index),
-                    outcome,
-                }),
+                Ok(outcome) => {
+                    results.push(CellResult {
+                        cell: grid.cell(index),
+                        outcome,
+                    });
+                    timings.push(timing);
+                }
                 Err(message) => {
                     return Err(SweepError {
                         cell_index: index,
@@ -142,7 +187,7 @@ impl Executor {
                 }
             }
         }
-        Ok(SweepResult::new(results))
+        Ok(SweepResult::new(results).with_timings(timings))
     }
 }
 
@@ -185,6 +230,36 @@ mod tests {
         let b = Executor::new(4).run_sim(&grid).expect("sweep runs");
         assert_eq!(a.len(), 2);
         assert_eq!(a.to_csv(), b.to_csv());
+    }
+
+    #[test]
+    fn run_sim_with_reports_progress_and_timings() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let grid = Grid::builder()
+            .strategies(vec![Strategy::CoSchedule, Strategy::Workflow])
+            .base_seed(42)
+            .build();
+        let calls = AtomicUsize::new(0);
+        let last = AtomicUsize::new(0);
+        let result = Executor::new(2)
+            .run_sim_with(&grid, |done, total| {
+                assert_eq!(total, 2);
+                calls.fetch_add(1, Ordering::Relaxed);
+                last.fetch_max(done, Ordering::Relaxed);
+            })
+            .expect("sweep runs");
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        assert_eq!(last.load(Ordering::Relaxed), 2);
+        assert_eq!(result.timings().len(), 2);
+        assert!(result.timings().iter().all(|t| t.wall_secs >= 0.0));
+        assert!(result.total_wall_secs() > 0.0);
+        // Timing stays out of the golden per-cell table.
+        assert!(!result.to_csv().contains("wall_s"));
+        assert!(result.timing_table().to_csv().starts_with("index,"));
+        // Plain runs record timings too, with identical metric rows.
+        let plain = Executor::new(1).run_sim(&grid).expect("sweep runs");
+        assert_eq!(plain.timings().len(), 2);
+        assert_eq!(plain.to_csv(), result.to_csv());
     }
 
     #[test]

@@ -45,5 +45,5 @@ pub mod spec;
 
 pub use exec::{Executor, SweepError};
 pub use grid::{cell_seed, fmt_walltime, replica_seed, AccessSpec, Cell, Grid, GridBuilder};
-pub use result::{CellResult, CellRow, SweepResult};
+pub use result::{CellResult, CellRow, CellTiming, SweepResult};
 pub use spec::WorkloadSpec;

@@ -16,6 +16,25 @@ pub struct CellResult {
     pub outcome: Outcome,
 }
 
+/// Harness-layer cost of simulating one cell.
+///
+/// Wall time is measured around the cell's simulation on its worker
+/// thread; the RSS figure is the *process-wide* high-water mark
+/// (`VmHWM` from `/proc/self/status`) sampled when the cell finished,
+/// so it is monotone across cells and `None` off Linux. Timings live
+/// beside — never inside — the deterministic per-cell metric rows:
+/// [`SweepResult::to_csv`] and friends are byte-identical across runs
+/// and machines, while [`SweepResult::timing_table`] is not.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellTiming {
+    /// Cell index in grid order.
+    pub index: usize,
+    /// Wall-clock seconds spent simulating this cell.
+    pub wall_secs: f64,
+    /// Process peak RSS in kilobytes when the cell completed, if known.
+    pub peak_rss_kb: Option<u64>,
+}
+
 /// The flat metric row emitted per cell (what lands in CSV/JSON).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellRow {
@@ -122,12 +141,66 @@ fn mean(values: &[f64]) -> f64 {
 #[derive(Debug, Clone)]
 pub struct SweepResult {
     results: Vec<CellResult>,
+    timings: Vec<CellTiming>,
 }
 
 impl SweepResult {
     /// Wraps per-cell results (expected in cell-index order).
     pub fn new(results: Vec<CellResult>) -> Self {
-        SweepResult { results }
+        SweepResult {
+            results,
+            timings: Vec::new(),
+        }
+    }
+
+    /// Attaches harness timings (expected in cell-index order).
+    pub fn with_timings(mut self, timings: Vec<CellTiming>) -> Self {
+        self.timings = timings;
+        self
+    }
+
+    /// Harness timing per cell, in cell-index order (empty unless the
+    /// executor recorded them).
+    pub fn timings(&self) -> &[CellTiming] {
+        &self.timings
+    }
+
+    /// Total wall-clock seconds summed over all cells (CPU-seconds of
+    /// simulation work, not elapsed time — cells run in parallel).
+    pub fn total_wall_secs(&self) -> f64 {
+        self.timings.iter().map(|t| t.wall_secs).sum()
+    }
+
+    /// The highest process RSS high-water mark observed, in kilobytes.
+    pub fn peak_rss_kb(&self) -> Option<u64> {
+        self.timings.iter().filter_map(|t| t.peak_rss_kb).max()
+    }
+
+    /// Harness timing rows, one per cell.
+    ///
+    /// Deliberately a separate table from [`SweepResult::table`]: wall
+    /// time and RSS vary run to run, and the per-cell metric CSV is
+    /// golden-file checked for byte determinism.
+    pub fn timing_table(&self) -> Table {
+        let mut table = Table::new(vec!["index", "strategy", "load/h", "wall_s", "peak_rss_mb"]);
+        for timing in &self.timings {
+            let (strategy, load) = self
+                .results
+                .get(timing.index)
+                .map(|r| (r.cell.strategy.to_string(), fmt_f64(r.cell.load_per_hour)))
+                .unwrap_or_else(|| (String::from("?"), String::from("?")));
+            table.row(vec![
+                timing.index.to_string(),
+                strategy,
+                load,
+                format!("{:.3}", timing.wall_secs),
+                timing.peak_rss_kb.map_or_else(
+                    || String::from("-"),
+                    |kb| format!("{:.1}", kb as f64 / 1024.0),
+                ),
+            ]);
+        }
+        table
     }
 
     /// The per-cell results, in cell-index order.

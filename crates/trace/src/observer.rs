@@ -1,0 +1,585 @@
+//! [`TraceObserver`]: the full-fidelity [`SimEvent`] → Chrome-trace bridge.
+//!
+//! Attach one to any run (`FacilitySim::run_observed`, the streamed
+//! entries, or `hpcqc-sim run --trace`) and every state transition the
+//! simulator emits becomes a timeline the scheduling story can be *read*
+//! from: which job waited, which QPU sat idle, where recalibration
+//! windows pushed kernels back.
+//!
+//! ## Track layout
+//!
+//! | pid | process     | threads (tid)                         | content |
+//! |-----|-------------|---------------------------------------|---------|
+//! | 1   | `scheduler` | —                                     | counter tracks: `queue_depth`, `running_jobs`, `free_nodes`, `idle_qpus` |
+//! | 2   | `devices`   | one per QPU (`qpu0`, `qpu1`, …)       | kernel execution spans, recalibration spans |
+//! | 3   | `jobs`      | one per job, first-seen order         | whole-job span, per-phase spans, submit/start/enqueue instants |
+//! | 4   | `nodes`     | one per node that faults (`node<i>`)  | `failed`/`repaired` instants |
+//!
+//! Counter samples are taken in simulation time, on change (several
+//! changes at one instant coalesce into the final value). All internal
+//! state lives in ordered containers — a dense job slab plus `BTreeMap`s
+//! — and the emitted event order is exactly the deterministic `SimEvent`
+//! order, so the serialized trace is byte-identical across same-seed
+//! runs.
+
+use crate::chrome::{ArgValue, ChromeTrace, EventArgs};
+use hpcqc_core::observer::{PhaseKind, SimEvent, SimObserver};
+use hpcqc_core::scenario::Scenario;
+use hpcqc_simcore::time::SimTime;
+use hpcqc_workload::job::JobId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Process track holding the scheduler-level counter tracks.
+pub const PID_SCHEDULER: u32 = 1;
+/// Process track holding one thread per QPU device.
+pub const PID_DEVICES: u32 = 2;
+/// Process track holding one thread per job.
+pub const PID_JOBS: u32 = 3;
+/// Process track holding per-node fault instants.
+pub const PID_NODES: u32 = 4;
+
+/// The four counter-track names emitted under [`PID_SCHEDULER`].
+pub const COUNTER_TRACKS: [&str; 4] = ["queue_depth", "running_jobs", "free_nodes", "idle_qpus"];
+
+/// Pre-rendered phase-span names for the common low indices, so the hot
+/// recording path stays allocation-free (higher indices fall back to
+/// `format!`).
+static CLASSICAL_NAMES: [&str; 8] = [
+    "classical[0]",
+    "classical[1]",
+    "classical[2]",
+    "classical[3]",
+    "classical[4]",
+    "classical[5]",
+    "classical[6]",
+    "classical[7]",
+];
+static QUANTUM_NAMES: [&str; 8] = [
+    "quantum[0]",
+    "quantum[1]",
+    "quantum[2]",
+    "quantum[3]",
+    "quantum[4]",
+    "quantum[5]",
+    "quantum[6]",
+    "quantum[7]",
+];
+
+fn phase_name(kind: PhaseKind, index: usize) -> std::borrow::Cow<'static, str> {
+    let (table, label) = match kind {
+        PhaseKind::Classical => (&CLASSICAL_NAMES, "classical"),
+        PhaseKind::Quantum => (&QUANTUM_NAMES, "quantum"),
+    };
+    match table.get(index) {
+        Some(name) => std::borrow::Cow::Borrowed(*name),
+        None => std::borrow::Cow::Owned(format!("{label}[{index}]")),
+    }
+}
+
+/// Converts the simulator's event stream into a [`ChromeTrace`].
+///
+/// # Examples
+///
+/// ```
+/// use hpcqc_core::{FacilitySim, Scenario};
+/// use hpcqc_trace::TraceObserver;
+/// use hpcqc_workload::{JobClass, Pattern, Workload};
+/// use hpcqc_qpu::Kernel;
+///
+/// let workload = Workload::builder()
+///     .class(JobClass::new("vqe", Pattern::vqe(4, 60.0, Kernel::sampling(500))))
+///     .count(4)
+///     .generate(7);
+/// let scenario = Scenario::builder().build();
+/// let mut tracer = TraceObserver::for_scenario(&scenario);
+/// FacilitySim::run_observed(&scenario, &workload, &mut [&mut tracer])?;
+/// let trace = tracer.into_trace();
+/// assert!(!trace.is_empty());
+/// assert!(trace.to_json_string().contains("queue_depth"));
+/// # Ok::<(), hpcqc_core::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct TraceObserver {
+    trace: ChromeTrace,
+    nodes_total: f64,
+    devices_total: i64,
+    // Live counter state, updated from events.
+    queue_depth: i64,
+    running: i64,
+    nodes_alloc: f64,
+    execs: i64,
+    // Last emitted sample per counter track, indexed as COUNTER_TRACKS
+    // (value as a bit pattern, so no float equality is involved).
+    // Counters are sampled on change, and several changes at one
+    // sim-time instant coalesce into the final value.
+    last_counter: [Option<CounterSample>; 4],
+    // Per-job bookkeeping, a slab keyed by raw job id (the simulator
+    // assigns ids sequentially, so this stays dense). Slots are never
+    // retired: a killed job's kernel can outlive its finalization.
+    jobs: Vec<Option<JobSlot>>,
+    next_job_tid: u32,
+    // `JobFinalized` carries only the record (name), not the id.
+    by_name: BTreeMap<String, u64>,
+    node_tracks: BTreeSet<u32>,
+}
+
+/// The last emitted sample on one counter track.
+#[derive(Debug, Clone, Copy)]
+struct CounterSample {
+    bits: u64,
+    ts_ns: u64,
+    event: usize,
+}
+
+/// Slab entry: everything the tracer tracks about one job.
+#[derive(Debug)]
+struct JobSlot {
+    tid: u32,
+    name: String,
+    device: usize,
+    exec_start: Option<SimTime>,
+}
+
+impl TraceObserver {
+    /// Creates a tracer for a machine with `classical_nodes` nodes and
+    /// `devices` physical QPUs (the capacities behind the `free_nodes`
+    /// and `idle_qpus` counter tracks).
+    pub fn new(classical_nodes: u32, devices: usize) -> Self {
+        let mut trace = ChromeTrace::with_capacity(1024);
+        trace.process_name(PID_SCHEDULER, "scheduler");
+        trace.process_name(PID_DEVICES, "devices");
+        trace.process_name(PID_JOBS, "jobs");
+        for d in 0..devices {
+            trace.thread_name(PID_DEVICES, d as u32, format!("qpu{d}"));
+        }
+        // Baseline sample for every counter track at t=0, so the tracks
+        // exist (and start from the idle state) even in a trivial trace.
+        let mut obs = TraceObserver {
+            trace,
+            nodes_total: f64::from(classical_nodes),
+            devices_total: devices as i64,
+            queue_depth: 0,
+            running: 0,
+            nodes_alloc: 0.0,
+            execs: 0,
+            last_counter: [None; 4],
+            jobs: Vec::new(),
+            next_job_tid: 0,
+            by_name: BTreeMap::new(),
+            node_tracks: BTreeSet::new(),
+        };
+        obs.sample_counters(SimTime::ZERO);
+        obs
+    }
+
+    /// Creates a tracer sized for `scenario`'s machine.
+    pub fn for_scenario(scenario: &Scenario) -> Self {
+        TraceObserver::new(scenario.classical_nodes, scenario.devices.len())
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &ChromeTrace {
+        &self.trace
+    }
+
+    /// Consumes the observer, yielding the recorded trace.
+    pub fn into_trace(self) -> ChromeTrace {
+        self.trace
+    }
+
+    fn counter(&mut self, now: SimTime, track: usize, value: f64) {
+        let bits = value.to_bits();
+        let ts_ns = now.as_nanos();
+        if let Some(last) = &mut self.last_counter[track] {
+            if last.bits == bits {
+                return;
+            }
+            if last.ts_ns == ts_ns {
+                // Another change at the same instant: only the final
+                // value is observable, so rewrite the sample in place.
+                last.bits = bits;
+                self.trace.set_counter_value(last.event, value);
+                return;
+            }
+        }
+        let event = self.trace.len();
+        self.trace
+            .counter(COUNTER_TRACKS[track], now, PID_SCHEDULER, value);
+        self.last_counter[track] = Some(CounterSample { bits, ts_ns, event });
+    }
+
+    fn sample_counters(&mut self, now: SimTime) {
+        self.counter(now, 0, self.queue_depth as f64);
+        self.counter(now, 1, self.running as f64);
+        self.counter(now, 2, self.nodes_total - self.nodes_alloc);
+        self.counter(now, 3, (self.devices_total - self.execs) as f64);
+    }
+
+    fn job_tid(&mut self, job: JobId, name: &str) -> u32 {
+        let raw = job.raw() as usize;
+        if raw >= self.jobs.len() {
+            self.jobs.resize_with(raw + 1, || None);
+        }
+        if let Some(slot) = &self.jobs[raw] {
+            return slot.tid;
+        }
+        let tid = self.next_job_tid;
+        self.next_job_tid += 1;
+        self.by_name.insert(name.to_string(), job.raw());
+        self.trace.thread_name(PID_JOBS, tid, name.to_string());
+        self.jobs[raw] = Some(JobSlot {
+            tid,
+            name: name.to_string(),
+            device: 0,
+            exec_start: None,
+        });
+        tid
+    }
+
+    fn slot_mut(&mut self, job: JobId) -> Option<&mut JobSlot> {
+        self.jobs.get_mut(job.raw() as usize)?.as_mut()
+    }
+
+    fn node_tid(&mut self, raw: u32) -> u32 {
+        if self.node_tracks.insert(raw) {
+            if self.node_tracks.len() == 1 {
+                self.trace.process_name(PID_NODES, "nodes");
+            }
+            self.trace.thread_name(PID_NODES, raw, format!("node{raw}"));
+        }
+        raw
+    }
+}
+
+impl SimObserver for TraceObserver {
+    fn on_event(&mut self, now: SimTime, event: &SimEvent<'_>) {
+        match event {
+            SimEvent::JobSubmitted { job, name, step } => {
+                let tid = self.job_tid(*job, name);
+                let label = if *step { "step submitted" } else { "submitted" };
+                self.trace
+                    .instant(label, "queue", now, PID_JOBS, tid, EventArgs::None);
+                self.queue_depth += 1;
+                self.sample_counters(now);
+            }
+            SimEvent::JobStarted { job, name, wait } => {
+                let tid = self.job_tid(*job, name);
+                self.trace.instant(
+                    "started",
+                    "queue",
+                    now,
+                    PID_JOBS,
+                    tid,
+                    EventArgs::single("wait_s", ArgValue::F64(wait.as_secs_f64())),
+                );
+                self.queue_depth -= 1;
+                self.running += 1;
+                self.sample_counters(now);
+            }
+            SimEvent::AllocationChanged { node_delta, .. } => {
+                self.nodes_alloc += node_delta;
+                self.sample_counters(now);
+            }
+            SimEvent::PhaseEnded {
+                job,
+                name,
+                kind,
+                index,
+                busy_nodes,
+                started,
+            } => {
+                let tid = self.job_tid(*job, name);
+                let index_arg = ("index", ArgValue::U64(*index as u64));
+                let args = if matches!(kind, PhaseKind::Classical) {
+                    EventArgs::List(vec![index_arg, ("busy_nodes", ArgValue::F64(*busy_nodes))])
+                } else {
+                    EventArgs::Single(index_arg)
+                };
+                self.trace.complete(
+                    phase_name(*kind, *index),
+                    "phase",
+                    *started,
+                    now.saturating_since(*started).as_nanos(),
+                    PID_JOBS,
+                    tid,
+                    args,
+                );
+            }
+            SimEvent::KernelEnqueued {
+                job,
+                name,
+                device,
+                start,
+                end,
+                recalibration,
+            } => {
+                let tid = self.job_tid(*job, name);
+                if let Some(slot) = self.slot_mut(*job) {
+                    slot.device = *device;
+                }
+                self.trace.instant(
+                    "kernel enqueued",
+                    "kernel",
+                    now,
+                    PID_JOBS,
+                    tid,
+                    EventArgs::List(vec![
+                        ("device", ArgValue::U64(*device as u64)),
+                        ("planned_start_s", ArgValue::F64(start.as_secs_f64())),
+                        ("planned_end_s", ArgValue::F64(end.as_secs_f64())),
+                    ]),
+                );
+                if !recalibration.is_zero() {
+                    self.trace.complete(
+                        "recalibration",
+                        "device",
+                        *start - *recalibration,
+                        recalibration.as_nanos(),
+                        PID_DEVICES,
+                        *device as u32,
+                        EventArgs::None,
+                    );
+                }
+            }
+            SimEvent::KernelExecStarted { job } => {
+                if let Some(slot) = self.slot_mut(*job) {
+                    slot.exec_start = Some(now);
+                }
+                self.execs += 1;
+                self.sample_counters(now);
+            }
+            SimEvent::KernelExecEnded { job } => {
+                if let Some((start, device, name)) = self
+                    .slot_mut(*job)
+                    .and_then(|s| s.exec_start.take().map(|t| (t, s.device, s.name.clone())))
+                {
+                    self.trace.complete(
+                        name,
+                        "kernel",
+                        start,
+                        now.saturating_since(start).as_nanos(),
+                        PID_DEVICES,
+                        device as u32,
+                        EventArgs::None,
+                    );
+                }
+                self.execs -= 1;
+                self.sample_counters(now);
+            }
+            SimEvent::JobFinalized { record } => {
+                if let Some(tid) = self
+                    .by_name
+                    .get(record.name.as_str())
+                    .copied()
+                    .and_then(|raw| self.jobs.get(raw as usize))
+                    .and_then(|slot| slot.as_ref().map(|s| s.tid))
+                {
+                    self.trace.complete(
+                        record.name.clone(),
+                        "job",
+                        record.start,
+                        record.end.saturating_since(record.start).as_nanos(),
+                        PID_JOBS,
+                        tid,
+                        EventArgs::List(vec![
+                            ("user", ArgValue::Str(record.user.clone().into())),
+                            ("nodes", ArgValue::U64(u64::from(record.nodes))),
+                            ("hybrid", ArgValue::Bool(record.hybrid)),
+                            ("completed", ArgValue::Bool(record.completed)),
+                            (
+                                "wait_s",
+                                ArgValue::F64(
+                                    record.start.saturating_since(record.submit).as_secs_f64(),
+                                ),
+                            ),
+                        ]),
+                    );
+                    if !record.completed {
+                        self.trace.instant(
+                            "failed",
+                            "fault",
+                            record.end,
+                            PID_JOBS,
+                            tid,
+                            EventArgs::None,
+                        );
+                    }
+                }
+                self.running -= 1;
+                self.sample_counters(now);
+            }
+            SimEvent::NodeFailed { node } => {
+                let tid = self.node_tid(node.raw());
+                self.trace
+                    .instant("failed", "fault", now, PID_NODES, tid, EventArgs::None);
+            }
+            SimEvent::NodeRepaired { node } => {
+                let tid = self.node_tid(node.raw());
+                self.trace
+                    .instant("repaired", "fault", now, PID_NODES, tid, EventArgs::None);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::EventPhase;
+    use hpcqc_cluster::ids::NodeId;
+    use hpcqc_metrics::jobstats::JobRecord;
+    use hpcqc_simcore::time::SimDuration;
+
+    fn record(name: &str) -> JobRecord {
+        JobRecord {
+            name: name.into(),
+            user: "u".into(),
+            submit: SimTime::ZERO,
+            start: SimTime::from_secs(5),
+            end: SimTime::from_secs(65),
+            nodes: 2,
+            hybrid: true,
+            completed: true,
+            node_seconds_allocated: 120.0,
+            node_seconds_used: 120.0,
+            qpu_seconds_allocated: 0.0,
+            qpu_seconds_used: 0.0,
+            phase_wait: SimDuration::ZERO,
+        }
+    }
+
+    #[test]
+    fn new_emits_track_metadata_and_counter_baselines() {
+        let obs = TraceObserver::new(16, 2);
+        let json = obs.trace().to_json_string();
+        for name in ["scheduler", "devices", "jobs", "qpu0", "qpu1"] {
+            assert!(json.contains(name), "missing track {name}");
+        }
+        for track in COUNTER_TRACKS {
+            assert!(json.contains(track), "missing counter {track}");
+        }
+    }
+
+    #[test]
+    fn job_lifecycle_produces_span_and_instants() {
+        let mut obs = TraceObserver::new(16, 1);
+        let job = JobId::new(0);
+        obs.on_event(
+            SimTime::ZERO,
+            &SimEvent::JobSubmitted {
+                job,
+                name: "vqe-0",
+                step: false,
+            },
+        );
+        obs.on_event(
+            SimTime::from_secs(5),
+            &SimEvent::JobStarted {
+                job,
+                name: "vqe-0",
+                wait: SimDuration::from_secs(5),
+            },
+        );
+        let rec = record("vqe-0");
+        obs.on_event(
+            SimTime::from_secs(65),
+            &SimEvent::JobFinalized { record: &rec },
+        );
+        let spans: Vec<_> = obs
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| e.ph == EventPhase::Complete)
+            .collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "vqe-0");
+        assert_eq!(spans[0].ts_ns, SimTime::from_secs(5).as_nanos());
+        assert_eq!(spans[0].dur_ns, Some(SimDuration::from_secs(60).as_nanos()));
+    }
+
+    #[test]
+    fn counters_emit_only_on_change() {
+        let mut obs = TraceObserver::new(16, 1);
+        let baseline = obs
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| e.ph == EventPhase::Counter)
+            .count();
+        assert_eq!(baseline, 4);
+        obs.on_event(
+            SimTime::from_secs(1),
+            &SimEvent::JobSubmitted {
+                job: JobId::new(0),
+                name: "a",
+                step: false,
+            },
+        );
+        // Only queue_depth changed; the other three stay unsampled.
+        let after = obs
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| e.ph == EventPhase::Counter)
+            .count();
+        assert_eq!(after, baseline + 1);
+    }
+
+    #[test]
+    fn kernel_exec_lands_on_its_device_track() {
+        let mut obs = TraceObserver::new(16, 2);
+        let job = JobId::new(3);
+        obs.on_event(
+            SimTime::ZERO,
+            &SimEvent::JobSubmitted {
+                job,
+                name: "q",
+                step: false,
+            },
+        );
+        obs.on_event(
+            SimTime::from_secs(10),
+            &SimEvent::KernelEnqueued {
+                job,
+                name: "q",
+                device: 1,
+                start: SimTime::from_secs(12),
+                end: SimTime::from_secs(20),
+                recalibration: SimDuration::from_secs(2),
+            },
+        );
+        obs.on_event(SimTime::from_secs(12), &SimEvent::KernelExecStarted { job });
+        obs.on_event(SimTime::from_secs(20), &SimEvent::KernelExecEnded { job });
+        let device_spans: Vec<_> = obs
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| e.ph == EventPhase::Complete && e.pid == PID_DEVICES)
+            .collect();
+        assert_eq!(device_spans.len(), 2);
+        assert_eq!(device_spans[0].name, "recalibration");
+        assert_eq!(device_spans[1].name, "q");
+        assert_eq!(device_spans[1].tid, 1);
+    }
+
+    #[test]
+    fn node_faults_get_lazy_tracks() {
+        let mut obs = TraceObserver::new(16, 1);
+        obs.on_event(
+            SimTime::from_secs(9),
+            &SimEvent::NodeFailed {
+                node: NodeId::new(7),
+            },
+        );
+        obs.on_event(
+            SimTime::from_secs(19),
+            &SimEvent::NodeRepaired {
+                node: NodeId::new(7),
+            },
+        );
+        let json = obs.trace().to_json_string();
+        assert!(json.contains("node7"));
+        assert!(json.contains("\"repaired\""));
+    }
+}

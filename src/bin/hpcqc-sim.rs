@@ -8,20 +8,25 @@
 //! # Synthesize a facility-scale trace from a declarative generator spec
 //! hpcqc-sim gen --spec examples/gen/day_small.json --seed 7 --out day.hqwf
 //!
-//! # Simulate a trace under one strategy
-//! hpcqc-sim run --trace campaign.hqwf --strategy vqpu:4 --nodes 64 \
+//! # Simulate a workload under one strategy
+//! hpcqc-sim run --workload campaign.hqwf --strategy vqpu:4 --nodes 64 \
 //!               --device superconducting --policy easy
 //!
 //! # Stream a generated facility through the simulator (constant memory —
-//! # the trace is never materialized)
+//! # the workload is never materialized)
 //! hpcqc-sim run --source gen:examples/gen/day_small.json --strategy vqpu:4 \
 //!               --nodes 256
 //!
-//! # Compare all four strategies on the same trace
-//! hpcqc-sim run --trace campaign.hqwf --compare --device neutral-atom
+//! # Record observability artifacts: a Perfetto-loadable Chrome trace,
+//! # a metrics time-series, and a scheduler wall-clock profile
+//! hpcqc-sim run --workload campaign.hqwf --trace out.json \
+//!               --metrics out.csv --metrics-interval 60 --profile
+//!
+//! # Compare all four strategies on the same workload
+//! hpcqc-sim run --workload campaign.hqwf --compare --device neutral-atom
 //!
 //! # Archive / inspect a scenario as JSON
-//! hpcqc-sim run --trace campaign.hqwf --scenario scenario.json
+//! hpcqc-sim run --workload campaign.hqwf --scenario scenario.json
 //!
 //! # Run a declarative parameter sweep across all cores
 //! hpcqc-sim sweep --grid examples/grids/crossover.json --threads 8 --format csv
@@ -30,11 +35,12 @@
 //! hpcqc-sim advise --quantum-secs 10 --classical-secs 300 --queue-wait-secs 600
 //! ```
 //!
-//! Traces are read as HQWF (`.hqwf`, see `hpcqc_workload::trace`) or JSON
-//! (anything else). `--scenario` loads a full [`Scenario`] as JSON;
+//! Workloads are read as HQWF (`.hqwf`, see `hpcqc_workload::trace`) or
+//! JSON (anything else). `--scenario` loads a full [`Scenario`] as JSON;
 //! individual flags override its fields. `--source gen:<spec.json>` runs a
 //! `hpcqc_gen::GeneratorSpec` stream (seeded by `--seed`) instead of a
-//! trace file.
+//! workload file. `--trace` writes a Chrome trace-event JSON timeline
+//! (open it at <https://ui.perfetto.dev> or `chrome://tracing`).
 
 use hpcqc::prelude::*;
 use std::io::Write;
@@ -44,12 +50,14 @@ const USAGE: &str =
     "usage:\n  hpcqc-sim generate --count N [--seed S] [--out FILE] [--hybrid-share F]\n  \
      hpcqc-sim gen --spec FILE.json [--seed S] [--jobs N] [--format hqwf|json]\n              \
      [--out FILE] [--demand]\n  \
-     hpcqc-sim run (--trace FILE | --source gen:FILE.json) [--scenario FILE.json]\n            \
+     hpcqc-sim run (--workload FILE | --source gen:FILE.json) [--scenario FILE.json]\n            \
      [--strategy S] [--nodes N] [--device TECH] [--policy P] [--seed S]\n            \
      [--age-weight F] [--size-weight F] [--fairshare-weight F]\n            \
-     [--fairshare-half-life SECS] [--compare] [--gantt]\n  \
+     [--fairshare-half-life SECS] [--compare] [--gantt]\n            \
+     [--trace OUT.json] [--metrics OUT.csv|OUT.json]\n            \
+     [--metrics-interval SECS] [--profile]\n  \
      hpcqc-sim sweep --grid FILE.json [--threads N] [--format csv|json|markdown]\n              \
-     [--summary] [--out FILE]\n  \
+     [--summary] [--timing] [--out FILE]\n  \
      hpcqc-sim advise --quantum-secs X --classical-secs Y --queue-wait-secs Z\n               \
      [--tenants N]\n\n\
      strategies: co-schedule | workflow | vqpu:N | malleable:N | adaptive[:N]\n\
@@ -379,15 +387,78 @@ fn summarize(strategy: Strategy, outcome: &Outcome, table: &mut Table) {
     ]);
 }
 
-/// What `run` simulates: a materialized trace file, or a generator spec
-/// streamed through the simulator in constant memory.
+/// What `run` simulates: a materialized workload file, or a generator
+/// spec streamed through the simulator in constant memory.
 enum RunInput {
-    Trace(Workload),
+    Workload(Workload),
     Gen(GeneratorSpec),
 }
 
+/// Runs one scenario with the observability instruments attached
+/// ([`TraceObserver`], [`MetricsObserver`], [`SchedProfiler`]) and writes
+/// the requested artifacts. Simulation results are byte-identical to the
+/// uninstrumented path — the instruments only watch the event stream.
+fn run_instrumented(
+    sc: &Scenario,
+    input: &RunInput,
+    trace_out: Option<&str>,
+    metrics_out: Option<&str>,
+    metrics_interval: SimDuration,
+    profile: bool,
+) -> Result<Outcome, String> {
+    let mut tracer = trace_out.map(|_| TraceObserver::for_scenario(sc));
+    let mut metrics = metrics_out.map(|_| MetricsObserver::for_scenario(sc, metrics_interval));
+    let mut profiler = SchedProfiler::new();
+    let outcome = {
+        let mut extras: Vec<&mut dyn SimObserver> = Vec::new();
+        if let Some(t) = tracer.as_mut() {
+            extras.push(t);
+        }
+        if let Some(m) = metrics.as_mut() {
+            extras.push(m);
+        }
+        let driver = driver_for(&sc.strategy);
+        match input {
+            RunInput::Workload(workload) => {
+                let mut src = SliceSource::from(workload);
+                FacilitySim::run_streamed_probed(sc, &mut src, driver, &mut extras, &mut profiler)
+            }
+            RunInput::Gen(spec) => {
+                let mut src = spec.stream(sc.seed);
+                FacilitySim::run_streamed_probed(sc, &mut src, driver, &mut extras, &mut profiler)
+            }
+        }
+        .map_err(|e| format!("simulation failed under {}: {e}", sc.strategy))?
+    };
+    if let (Some(path), Some(tracer)) = (trace_out, tracer) {
+        let trace = tracer.into_trace();
+        let events = trace.len();
+        write_output(Some(path), |w| {
+            w.write_all(trace.to_json_string().as_bytes())
+        })?;
+        eprintln!("wrote trace ({events} events) to {path}");
+    }
+    if let (Some(path), Some(metrics)) = (metrics_out, metrics) {
+        let registry = metrics.into_registry(outcome.makespan);
+        let rendered = if path.ends_with(".json") {
+            registry
+                .to_json_string()
+                .map_err(|e| format!("cannot serialize metrics: {e}"))?
+        } else {
+            registry.to_csv()
+        };
+        let rows = registry.len();
+        write_output(Some(path), |w| w.write_all(rendered.as_bytes()))?;
+        eprintln!("wrote metrics ({rows} samples) to {path}");
+    }
+    if profile {
+        eprintln!("{}", profiler.summary());
+    }
+    Ok(outcome)
+}
+
 fn run(args: &[String]) -> ExitCode {
-    let mut trace: Option<String> = None;
+    let mut workload: Option<String> = None;
     let mut source: Option<String> = None;
     let mut scenario_path: Option<String> = None;
     let mut strategy: Option<Strategy> = None;
@@ -401,10 +472,30 @@ fn run(args: &[String]) -> ExitCode {
     let mut seed: Option<u64> = None;
     let mut compare = false;
     let mut gantt = false;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut metrics_interval = 60.0f64;
+    let mut profile = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--trace" => trace = it.next().cloned(),
+            "--workload" => workload = it.next().cloned(),
+            "--trace" => trace_out = it.next().cloned(),
+            "--metrics" => metrics_out = it.next().cloned(),
+            "--metrics-interval" => {
+                let value = it
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|v| v.is_finite() && *v > 0.0);
+                match value {
+                    Some(v) => metrics_interval = v,
+                    None => {
+                        eprintln!("--metrics-interval needs a positive number of seconds");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--profile" => profile = true,
             "--source" => source = it.next().cloned(),
             "--scenario" => scenario_path = it.next().cloned(),
             "--strategy" => match it.next().map(|s| parse_strategy(s)) {
@@ -465,9 +556,22 @@ fn run(args: &[String]) -> ExitCode {
             _ => usage(),
         }
     }
-    let input = match (trace, source) {
+    // `--trace` used to name the *input* workload; it is now the
+    // trace-event output. Catch the old spelling with a pointed hint.
+    if workload.is_none() && trace_out.as_deref().is_some_and(|p| p.ends_with(".hqwf")) {
+        eprintln!(
+            "--trace now names the Chrome trace-event *output*; \
+             use --workload for the input workload file"
+        );
+        return ExitCode::from(2);
+    }
+    if compare && (trace_out.is_some() || metrics_out.is_some() || profile) {
+        eprintln!("--trace/--metrics/--profile instrument a single run; drop --compare");
+        return ExitCode::from(2);
+    }
+    let input = match (workload, source) {
         (Some(path), None) => match load_trace(&path) {
-            Ok(w) => RunInput::Trace(w),
+            Ok(w) => RunInput::Workload(w),
             Err(e) => {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;
@@ -487,7 +591,7 @@ fn run(args: &[String]) -> ExitCode {
             }
         }
         (Some(_), Some(_)) => {
-            eprintln!("--trace and --source are mutually exclusive");
+            eprintln!("--workload and --source are mutually exclusive");
             return ExitCode::from(2);
         }
         (None, None) => usage(),
@@ -546,7 +650,7 @@ fn run(args: &[String]) -> ExitCode {
     scenario.record_gantt = gantt;
 
     match &input {
-        RunInput::Trace(workload) => eprintln!(
+        RunInput::Workload(workload) => eprintln!(
             "{} jobs ({} hybrid) on {} nodes + {:?}, policy {}",
             workload.len(),
             workload.hybrid_count(),
@@ -579,17 +683,37 @@ fn run(args: &[String]) -> ExitCode {
         "node-h wasted",
         "failed",
     ]);
+    let instrumented = trace_out.is_some() || metrics_out.is_some() || profile;
     for s in strategies {
         let mut sc = scenario.clone();
         sc.strategy = s;
-        let result = match &input {
-            RunInput::Trace(workload) => FacilitySim::run(&sc, workload),
-            RunInput::Gen(spec) => {
-                // A fresh stream per strategy: every strategy replays the
-                // identical generated sequence (common random numbers).
-                let mut source = spec.stream(sc.seed);
-                FacilitySim::run_streamed(&sc, &mut source)
+        let result = if instrumented {
+            run_instrumented(
+                &sc,
+                &input,
+                trace_out.as_deref(),
+                metrics_out.as_deref(),
+                SimDuration::from_secs_f64(metrics_interval),
+                profile,
+            )
+            .map_err(|e| {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            })
+        } else {
+            match &input {
+                RunInput::Workload(workload) => FacilitySim::run(&sc, workload),
+                RunInput::Gen(spec) => {
+                    // A fresh stream per strategy: every strategy replays the
+                    // identical generated sequence (common random numbers).
+                    let mut source = spec.stream(sc.seed);
+                    FacilitySim::run_streamed(&sc, &mut source)
+                }
             }
+            .map_err(|e| {
+                eprintln!("simulation failed under {s}: {e}");
+                ExitCode::FAILURE
+            })
         };
         match result {
             Ok(outcome) => {
@@ -610,10 +734,7 @@ fn run(args: &[String]) -> ExitCode {
                     }
                 }
             }
-            Err(e) => {
-                eprintln!("simulation failed under {s}: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(code) => return code,
         }
     }
     println!("{table}");
@@ -628,6 +749,7 @@ fn sweep(args: &[String]) -> ExitCode {
     let mut threads = 0usize; // 0 = available parallelism
     let mut format = String::from("csv");
     let mut summary = false;
+    let mut timing = false;
     let mut out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -641,6 +763,7 @@ fn sweep(args: &[String]) -> ExitCode {
             }
             "--format" => format = it.next().cloned().unwrap_or_else(|| usage()),
             "--summary" => summary = true,
+            "--timing" => timing = true,
             "--out" => out = it.next().cloned(),
             _ => usage(),
         }
@@ -672,13 +795,31 @@ fn sweep(args: &[String]) -> ExitCode {
         grid.replicas,
         executor.threads()
     );
-    let result = match executor.run_sim(&grid) {
+    // Live progress on stderr: a line per ~10% of cells (always the last).
+    let stride = (grid.len() / 10).max(1);
+    let result = match executor.run_sim_with(&grid, |done, total| {
+        if done % stride == 0 || done == total {
+            eprintln!("sweep: {done}/{total} cells done");
+        }
+    }) {
         Ok(result) => result,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
+    eprintln!(
+        "sweep: {:.1} cpu-seconds of simulation{}",
+        result.total_wall_secs(),
+        result
+            .peak_rss_kb()
+            .map(|kb| format!(", peak RSS {:.1} MB", kb as f64 / 1024.0))
+            .unwrap_or_default(),
+    );
+    if timing {
+        eprintln!();
+        eprint!("{}", result.timing_table().to_markdown());
+    }
     let (rendered, contents) = if summary {
         let table = result.summary();
         let rendered = match format.as_str() {

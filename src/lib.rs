@@ -42,6 +42,7 @@ pub use hpcqc_qpu as qpu;
 pub use hpcqc_sched as sched;
 pub use hpcqc_simcore as simcore;
 pub use hpcqc_sweep as sweep;
+pub use hpcqc_trace as trace;
 pub use hpcqc_workload as workload;
 
 /// Everything an application typically needs, one import away.
@@ -58,13 +59,16 @@ pub mod prelude {
     pub use hpcqc_metrics::{fmt_pct, fmt_secs, GanttRecorder, JobStats, Table};
     pub use hpcqc_qpu::{AccessMode, Kernel, QpuDevice, Technology};
     pub use hpcqc_sched::{
-        BatchScheduler, Discipline, PendingJob, PolicySpec, PriorityCalculator, PriorityWeights,
-        QueuePolicy, SchedCtx, Verdict,
+        BatchScheduler, CyclePhase, CycleProbe, Discipline, NoProbe, PendingJob, PolicySpec,
+        PriorityCalculator, PriorityWeights, QueuePolicy, SchedCtx, Verdict,
     };
     pub use hpcqc_simcore::{Dist, SimDuration, SimRng, SimTime};
     pub use hpcqc_sweep::{
-        AccessSpec, Cell, CellResult, CellRow, Executor, Grid, GridBuilder, SweepError,
+        AccessSpec, Cell, CellResult, CellRow, CellTiming, Executor, Grid, GridBuilder, SweepError,
         SweepResult, WorkloadSpec,
+    };
+    pub use hpcqc_trace::{
+        ChromeTrace, MetricsObserver, MetricsRegistry, SchedProfiler, TraceObserver,
     };
     pub use hpcqc_workload::{
         ArrivalProcess, JobClass, JobSpec, Pattern, Phase, Workload, WorkloadError,

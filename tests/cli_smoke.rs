@@ -34,7 +34,7 @@ fn no_args_shows_usage_and_fails() {
 #[test]
 fn unknown_strategy_enumerates_and_hints() {
     let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
-        .args(["run", "--trace", "x.hqwf", "--strategy", "workflw"])
+        .args(["run", "--workload", "x.hqwf", "--strategy", "workflw"])
         .output()
         .expect("hpcqc-sim runs");
     assert_eq!(out.status.code(), Some(2), "bad strategy must exit 2");
@@ -63,7 +63,7 @@ fn adaptive_strategy_parses() {
     // rejected *after* strategy parsing, so exit 1 (not the arg-error 2).
     for spec in ["adaptive", "adaptive:8"] {
         let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
-            .args(["run", "--trace", "/nonexistent.hqwf", "--strategy", spec])
+            .args(["run", "--workload", "/nonexistent.hqwf", "--strategy", spec])
             .output()
             .expect("hpcqc-sim runs");
         assert_eq!(out.status.code(), Some(1), "`{spec}` must parse: {out:?}");
@@ -140,7 +140,7 @@ fn gen_streams_a_trace_then_run_consumes_it() {
     let text = std::fs::read_to_string(&trace).unwrap();
     assert_eq!(text.lines().count(), 42, "2 header lines + 40 jobs");
     let run = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
-        .args(["run", "--trace"])
+        .args(["run", "--workload"])
         .arg(&trace)
         .args(["--strategy", "vqpu:2", "--nodes", "64"])
         .output()
@@ -170,7 +170,7 @@ fn run_streams_a_generator_source() {
 #[test]
 fn run_rejects_trace_source_conflicts_and_bad_source() {
     let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
-        .args(["run", "--trace", "x.hqwf", "--source", "gen:y.json"])
+        .args(["run", "--workload", "x.hqwf", "--source", "gen:y.json"])
         .output()
         .expect("run runs");
     assert_eq!(out.status.code(), Some(2), "{out:?}");
@@ -205,7 +205,7 @@ fn generate_then_run_round_trips() {
         .expect("generate runs");
     assert!(gen.status.success(), "generate failed: {gen:?}");
     let run = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
-        .args(["run", "--trace"])
+        .args(["run", "--workload"])
         .arg(&trace)
         .args(["--strategy", "vqpu:2", "--nodes", "64"])
         .output()
@@ -217,7 +217,7 @@ fn generate_then_run_round_trips() {
 #[test]
 fn unknown_policy_enumerates_and_hints() {
     let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
-        .args(["run", "--trace", "x.hqwf", "--policy", "quantum-awre"])
+        .args(["run", "--workload", "x.hqwf", "--policy", "quantum-awre"])
         .output()
         .expect("hpcqc-sim runs");
     assert_eq!(out.status.code(), Some(2), "bad policy must exit 2");
@@ -251,7 +251,7 @@ fn new_policies_parse_with_and_without_knobs() {
         "quantum-aware:boost=500",
     ] {
         let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
-            .args(["run", "--trace", "/nonexistent.hqwf", "--policy", spec])
+            .args(["run", "--workload", "/nonexistent.hqwf", "--policy", spec])
             .output()
             .expect("hpcqc-sim runs");
         assert_eq!(out.status.code(), Some(1), "`{spec}` must parse: {out:?}");
@@ -260,7 +260,7 @@ fn new_policies_parse_with_and_without_knobs() {
     let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
         .args([
             "run",
-            "--trace",
+            "--workload",
             "x.hqwf",
             "--policy",
             "priority-backfill:age=zero",
@@ -273,17 +273,123 @@ fn new_policies_parse_with_and_without_knobs() {
 #[test]
 fn priority_knob_flags_are_validated() {
     let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
-        .args(["run", "--trace", "x.hqwf", "--fairshare-half-life", "-5"])
+        .args(["run", "--workload", "x.hqwf", "--fairshare-half-life", "-5"])
         .output()
         .expect("hpcqc-sim runs");
     assert_eq!(out.status.code(), Some(2), "{out:?}");
     assert!(String::from_utf8_lossy(&out.stderr).contains("positive"));
     let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
-        .args(["run", "--trace", "x.hqwf", "--age-weight", "lots"])
+        .args(["run", "--workload", "x.hqwf", "--age-weight", "lots"])
         .output()
         .expect("hpcqc-sim runs");
     assert_eq!(out.status.code(), Some(2), "{out:?}");
     assert!(String::from_utf8_lossy(&out.stderr).contains("finite number"));
+}
+
+fn contended_workload() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/workloads/contended.hqwf")
+}
+
+#[test]
+fn run_trace_output_is_perfetto_valid_and_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("hpcqc_cli_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let record = |path: &std::path::Path| {
+        let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+            .args(["run", "--workload"])
+            .arg(contended_workload())
+            .arg("--trace")
+            .arg(path)
+            .output()
+            .expect("run runs");
+        assert!(out.status.success(), "traced run failed: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("wrote trace"), "{stderr}");
+        std::fs::read_to_string(path).expect("trace written")
+    };
+    let first = record(&dir.join("a.json"));
+    let second = record(&dir.join("b.json"));
+    assert_eq!(first, second, "same-seed traces must be byte-identical");
+    hpcqc::trace::chrome::check_json(&first).expect("trace-event JSON parses");
+    for track in ["scheduler", "devices", "jobs", "qpu0"] {
+        assert!(first.contains(track), "missing track `{track}`");
+    }
+    for counter in hpcqc::trace::COUNTER_TRACKS {
+        assert!(first.contains(counter), "missing counter `{counter}`");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_metrics_output_in_csv_and_json() {
+    let dir = std::env::temp_dir().join(format!("hpcqc_cli_metrics_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv_path = dir.join("m.csv");
+    let json_path = dir.join("m.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["run", "--workload"])
+        .arg(contended_workload())
+        .arg("--metrics")
+        .arg(&csv_path)
+        .args(["--metrics-interval", "600"])
+        .output()
+        .expect("run runs");
+    assert!(out.status.success(), "{out:?}");
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    assert!(csv.starts_with("t_s,"), "header row missing: {csv}");
+    assert!(csv.contains("jobs_started"), "{csv}");
+    assert!(csv.lines().count() > 2, "expected multiple samples: {csv}");
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["run", "--workload"])
+        .arg(contended_workload())
+        .arg("--metrics")
+        .arg(&json_path)
+        .output()
+        .expect("run runs");
+    assert!(out.status.success(), "{out:?}");
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    hpcqc::trace::chrome::check_json(&json).expect("metrics JSON parses");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_profile_reports_cycle_phases() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["run", "--workload"])
+        .arg(contended_workload())
+        .arg("--profile")
+        .output()
+        .expect("run runs");
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("scheduler profile:"), "{stderr}");
+    for phase in ["order", "admit", "allocate", "cycle total"] {
+        assert!(stderr.contains(phase), "phase `{phase}` missing: {stderr}");
+    }
+}
+
+#[test]
+fn run_hints_when_trace_is_used_as_input() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["run", "--trace", "old-style.hqwf"])
+        .output()
+        .expect("run runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--workload"),
+        "migration hint missing: {stderr}"
+    );
+}
+
+#[test]
+fn run_instrumentation_conflicts_with_compare() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["run", "--workload", "x.hqwf", "--compare", "--profile"])
+        .output()
+        .expect("run runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--compare"));
 }
 
 #[test]
@@ -305,7 +411,7 @@ fn scenario_file_with_broken_policy_knobs_fails_gracefully() {
     let path = dir.join("bad.json");
     std::fs::write(&path, serde_json::to_string_pretty(&scenario).unwrap()).unwrap();
     let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
-        .args(["run", "--nodes", "64", "--trace"])
+        .args(["run", "--nodes", "64", "--workload"])
         .arg(&trace)
         .arg("--scenario")
         .arg(&path)
