@@ -1,0 +1,116 @@
+//! Criterion benches of the fleet routing layer: the per-kernel
+//! `RoutePolicy::route` decision cost (paid on the hot path of every
+//! quantum phase) and the end-to-end overhead of a routed fleet over the
+//! legacy single-device path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hpcqc_core::{FacilitySim, Scenario, Strategy};
+use hpcqc_fleet::{DeviceId, FleetCtx, FleetDevice, FleetSpec, RouteSpec, ALL_ROUTES};
+use hpcqc_qpu::device::QpuDevice;
+use hpcqc_qpu::kernel::Kernel;
+use hpcqc_qpu::technology::Technology;
+use hpcqc_simcore::rng::SimRng;
+use hpcqc_simcore::time::SimTime;
+use hpcqc_workload::{JobClass, Pattern, Workload};
+
+/// A mixed eight-device machine room with staggered backlogs, so every
+/// policy has real differences to discriminate on.
+fn loaded_devices() -> Vec<QpuDevice> {
+    let techs = [
+        Technology::Superconducting,
+        Technology::TrappedIon,
+        Technology::Photonic,
+        Technology::SpinQubit,
+    ];
+    let mut devices: Vec<QpuDevice> = (0..8)
+        .map(|i| {
+            QpuDevice::new(
+                format!("qpu{i}"),
+                techs[i % techs.len()],
+                SimRng::seed_from(100 + i as u64),
+            )
+        })
+        .collect();
+    for (i, device) in devices.iter_mut().enumerate() {
+        for _ in 0..i {
+            device
+                .enqueue(&Kernel::sampling(10_000), SimTime::ZERO)
+                .expect("capable device accepts the kernel");
+        }
+    }
+    devices
+}
+
+fn bench_route_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_route");
+    group.throughput(Throughput::Elements(1));
+    let devices = loaded_devices();
+    let down = vec![false; devices.len()];
+    let caps = vec![None; devices.len()];
+    let kernel = Kernel::sampling(5_000);
+    for spec in ALL_ROUTES {
+        let mut policy = spec.build();
+        group.bench_function(spec.name(), |b| {
+            let ctx = FleetCtx::new(
+                SimTime::from_secs(60),
+                &devices,
+                &down,
+                &caps,
+                Some(DeviceId::new(3)),
+            );
+            b.iter(|| policy.route(&kernel, &ctx));
+        });
+    }
+    group.finish();
+}
+
+/// VQE tenants contending for the fleet — the workload shape where the
+/// routing decision is on the critical path.
+fn hybrid_workload() -> Workload {
+    Workload::builder()
+        .class(
+            JobClass::new("vqe", Pattern::vqe(6, 60.0, Kernel::sampling(20_000)))
+                .nodes_between(2, 4)
+                .quantum_estimate_secs(30.0),
+        )
+        .count(40)
+        .generate(11)
+}
+
+fn bench_fleet_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_sim");
+    let workload = hybrid_workload();
+    let fleet_of = |route: RouteSpec| {
+        FleetSpec::new("bench")
+            .device(FleetDevice::new("sc0", Technology::Superconducting))
+            .device(FleetDevice::new("ion0", Technology::TrappedIon))
+            .device(FleetDevice::new("sc1", Technology::Superconducting))
+            .route(route)
+    };
+    // The pre-fleet path, as the baseline the routed runs are read against.
+    let legacy = Scenario::builder()
+        .classical_nodes(16)
+        .strategy(Strategy::CoSchedule)
+        .build();
+    group.bench_function("legacy_single_device", |b| {
+        b.iter(|| FacilitySim::run(&legacy, &workload).expect("legacy run"));
+    });
+    for route in ALL_ROUTES {
+        let scenario = Scenario::builder()
+            .classical_nodes(16)
+            .strategy(Strategy::CoSchedule)
+            .fleet(fleet_of(route))
+            .build();
+        group.bench_function(format!("routed_{}", route.name()), |b| {
+            b.iter(|| FacilitySim::run(&scenario, &workload).expect("fleet run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_secs(1)).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_route_decision, bench_fleet_sim
+}
+criterion_main!(benches);

@@ -160,11 +160,15 @@ pub enum SimEvent<'a> {
     KernelExecStarted {
         /// The submitting job.
         job: JobId,
+        /// Device index executing the kernel (`qpu0`, `qpu1`, …).
+        device: usize,
     },
     /// A kernel finished executing on the device hardware.
     KernelExecEnded {
         /// The submitting job.
         job: JobId,
+        /// Device index that executed the kernel.
+        device: usize,
     },
     /// The job reached a terminal state; `record` is its final accounting.
     JobFinalized {
@@ -453,8 +457,14 @@ mod tests {
                 started: SimTime::ZERO,
             },
         );
-        obs.on_event(SimTime::from_secs(60), &SimEvent::KernelExecStarted { job });
-        obs.on_event(SimTime::from_secs(70), &SimEvent::KernelExecEnded { job });
+        obs.on_event(
+            SimTime::from_secs(60),
+            &SimEvent::KernelExecStarted { job, device: 0 },
+        );
+        obs.on_event(
+            SimTime::from_secs(70),
+            &SimEvent::KernelExecEnded { job, device: 0 },
+        );
         obs.on_event(
             SimTime::from_secs(70),
             &SimEvent::AllocationChanged {

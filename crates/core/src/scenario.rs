@@ -1,6 +1,7 @@
 //! Scenario configuration: the machine + policy + strategy under test.
 
 use crate::strategy::Strategy;
+use hpcqc_fleet::FleetSpec;
 use hpcqc_qpu::remote::AccessMode;
 use hpcqc_qpu::technology::Technology;
 use hpcqc_sched::PolicySpec;
@@ -101,6 +102,13 @@ pub struct Scenario {
     pub walltime_policy: WalltimePolicy,
     /// Optional random node failures (none by default).
     pub node_failures: Option<FailureModel>,
+    /// Optional heterogeneous QPU fleet. When set it supersedes
+    /// [`Scenario::devices`]: the simulator builds the named devices and
+    /// routes every kernel through the fleet's
+    /// [`RoutePolicy`](hpcqc_fleet::RoutePolicy). `None` keeps the legacy
+    /// single-technology-list path, which is byte-identical to wrapping
+    /// the list via [`FleetSpec::from_legacy`].
+    pub fleet: Option<FleetSpec>,
 }
 
 impl Scenario {
@@ -109,6 +117,32 @@ impl Scenario {
     pub fn builder() -> ScenarioBuilder {
         ScenarioBuilder {
             inner: Scenario::default(),
+        }
+    }
+
+    /// How many QPU devices the simulator will build: the fleet's device
+    /// count when a fleet is set, the legacy technology list's otherwise.
+    pub fn device_count(&self) -> usize {
+        self.fleet
+            .as_ref()
+            .map_or(self.devices.len(), |f| f.devices.len())
+    }
+
+    /// The label of device `index` (`qpu{i}` on the legacy path, the
+    /// fleet device's name otherwise; `qpu{i}` for an out-of-range
+    /// index).
+    pub fn device_label(&self, index: usize) -> String {
+        self.fleet
+            .as_ref()
+            .and_then(|f| f.devices.get(index))
+            .map_or_else(|| format!("qpu{index}"), |d| d.name.clone())
+    }
+
+    /// The technology of device `index` (`None` when out of range).
+    pub fn device_technology(&self, index: usize) -> Option<Technology> {
+        match &self.fleet {
+            Some(f) => f.devices.get(index).map(|d| d.technology),
+            None => self.devices.get(index).copied(),
         }
     }
 }
@@ -127,6 +161,7 @@ impl Default for Scenario {
             record_gantt: false,
             walltime_policy: WalltimePolicy::Advisory,
             node_failures: None,
+            fleet: None,
         }
     }
 }
@@ -207,6 +242,19 @@ impl ScenarioBuilder {
     /// Enables random node failures.
     pub fn node_failures(mut self, model: FailureModel) -> Self {
         self.inner.node_failures = Some(model);
+        self
+    }
+
+    /// Installs a heterogeneous QPU fleet (supersedes the device list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`FleetSpec::validate`] — fleets from
+    /// untrusted input should be validated before building the scenario.
+    pub fn fleet(mut self, fleet: FleetSpec) -> Self {
+        let invalid = fleet.validate().err();
+        assert!(invalid.is_none(), "invalid fleet spec: {invalid:?}");
+        self.inner.fleet = Some(fleet);
         self
     }
 

@@ -28,6 +28,7 @@ use hpcqc_cluster::cluster::{Cluster, ClusterBuilder};
 use hpcqc_cluster::error::ClusterError;
 use hpcqc_cluster::gres::GresKind;
 use hpcqc_cluster::ids::AllocationId;
+use hpcqc_fleet::{DeviceId, QpuFleet};
 use hpcqc_metrics::jobstats::JobRecord;
 use hpcqc_metrics::waste::WasteTracker;
 use hpcqc_qpu::device::QpuDevice;
@@ -117,9 +118,10 @@ enum Event {
     PhaseDone(JobId, u32),
     /// A kernel starts executing on the device (device accounting; fires
     /// even if the submitting job was killed — hardware queues don't abort).
-    KernelExecStart(JobId),
+    /// Carries the executing device's index for per-device observation.
+    KernelExecStart(JobId, usize),
     /// A kernel finishes executing on the device (device accounting).
-    KernelExecEnd(JobId),
+    KernelExecEnd(JobId, usize),
     /// The job observes kernel completion (after any access overhead).
     KernelDone(JobId, u32),
     /// Per-step plans: submit the job's next step to the batch queue.
@@ -255,6 +257,11 @@ pub(crate) struct SimState<'o> {
     cluster: Cluster,
     scheduler: BatchScheduler,
     devices: Vec<QpuDevice>,
+    /// The routing layer, when the scenario carries a [`FleetSpec`]
+    /// (`None` = legacy single-access-mode path).
+    ///
+    /// [`FleetSpec`]: hpcqc_fleet::FleetSpec
+    fleet: Option<QpuFleet>,
     events: EventQueue<Event>,
     /// Live jobs only, keyed by raw [`JobId`]: inserted when pulled from
     /// the source, removed at finalization. Never iterated (determinism).
@@ -422,35 +429,61 @@ impl<'o> FacilitySim<'o> {
         driver: Box<dyn StrategyDriver>,
         extras: &'o mut [&'o mut dyn SimObserver],
     ) -> Self {
-        let gres_units = driver.gres_per_device() * scenario.devices.len() as u32;
+        let gres_units = driver.gres_per_device() * scenario.device_count() as u32;
         let cluster = ClusterBuilder::new()
             .partition("classical", scenario.classical_nodes)
             .partition_with_gres("quantum", 0, GresKind::qpu(), gres_units)
             .build(SimTime::ZERO);
         let root = SimRng::seed_from(scenario.seed);
-        let devices: Vec<QpuDevice> = scenario
-            .devices
-            .iter()
-            .enumerate()
-            .map(|(i, &tech)| {
-                let dev = QpuDevice::new(
-                    format!("qpu{i}"),
-                    tech,
-                    root.fork_indexed("device", i as u64),
-                );
-                if scenario.device_calibration {
+        // Device construction must fork the root RNG identically on both
+        // paths (`fork_indexed("device", i)`): a legacy device list
+        // wrapped via `FleetSpec::from_legacy` then yields bit-identical
+        // devices, which the byte-identity tests lock in.
+        let devices: Vec<QpuDevice> = match &scenario.fleet {
+            Some(fleet) => fleet
+                .devices
+                .iter()
+                .enumerate()
+                .map(|(i, d)| {
+                    let mut dev = QpuDevice::new(
+                        d.name.clone(),
+                        d.technology,
+                        root.fork_indexed("device", i as u64),
+                    );
+                    if let Some(qubits) = d.qubits {
+                        dev = dev.with_qubits(qubits);
+                    }
+                    if !d.calibration.unwrap_or(scenario.device_calibration) {
+                        dev = dev.with_calibration(None);
+                    }
                     dev
-                } else {
-                    dev.with_calibration(None)
-                }
-            })
-            .collect();
+                })
+                .collect(),
+            None => scenario
+                .devices
+                .iter()
+                .enumerate()
+                .map(|(i, &tech)| {
+                    let dev = QpuDevice::new(
+                        format!("qpu{i}"),
+                        tech,
+                        root.fork_indexed("device", i as u64),
+                    );
+                    if scenario.device_calibration {
+                        dev
+                    } else {
+                        dev.with_calibration(None)
+                    }
+                })
+                .collect(),
+        };
+        let fleet = scenario.fleet.clone().map(QpuFleet::new);
         let mut events = EventQueue::new();
         let scheduler = BatchScheduler::new(scenario.policy);
         let waste_obs = WasteObserver::new(
             SimTime::ZERO,
             f64::from(scenario.classical_nodes),
-            scenario.devices.len() as f64,
+            scenario.device_count() as f64,
         );
         let gantt_obs = scenario.record_gantt.then(GanttObserver::new);
         let mut failure_rng = root.fork("failures");
@@ -466,6 +499,7 @@ impl<'o> FacilitySim<'o> {
                 cluster,
                 scheduler,
                 devices,
+                fleet,
                 events,
                 jobs: JobMap::default(),
                 queue_map: BTreeMap::new(),
@@ -598,11 +632,11 @@ impl<'o> SimState<'o> {
                 }
                 // Device accounting events outlive their job (a killed
                 // job's kernel still executes), so no liveness check.
-                Event::KernelExecStart(job) => {
-                    emit!(self, now, SimEvent::KernelExecStarted { job });
+                Event::KernelExecStart(job, device) => {
+                    emit!(self, now, SimEvent::KernelExecStarted { job, device });
                 }
-                Event::KernelExecEnd(job) => {
-                    emit!(self, now, SimEvent::KernelExecEnded { job });
+                Event::KernelExecEnd(job, device) => {
+                    emit!(self, now, SimEvent::KernelExecEnded { job, device });
                 }
                 Event::KernelDone(job, epoch) => {
                     if self.jobs.get(&job.raw()).is_some_and(|r| r.epoch == epoch) {
@@ -729,15 +763,23 @@ impl<'o> SimState<'o> {
         qid
     }
 
-    /// Devices with enough qubits for every kernel of the job. Jobs without
-    /// quantum phases are compatible with all devices.
+    /// Devices with enough qubits for every kernel of the job — and, when
+    /// a fleet is present, in service with a shot capacity covering the
+    /// job's largest kernel. Jobs without quantum phases are compatible
+    /// with all devices.
     fn eligible_devices(&self, job: JobId) -> Vec<usize> {
         let spec = &self.live(job).spec;
         let need = spec.kernels().map(Kernel::qubits).max().unwrap_or(0);
+        let shots = spec.kernels().map(Kernel::shots).max().unwrap_or(0);
         self.devices
             .iter()
             .enumerate()
-            .filter(|(_, d)| d.qubits() >= need)
+            .filter(|(i, d)| {
+                d.qubits() >= need
+                    && self.fleet.as_ref().is_none_or(|f| {
+                        !f.is_down(*i) && f.shot_capacity(*i).is_none_or(|cap| shots <= cap)
+                    })
+            })
             .map(|(i, _)| i)
             .collect()
     }
@@ -1101,11 +1143,51 @@ impl<'o> SimState<'o> {
     ) -> Result<(), SimError> {
         // Malleable-style drivers give nodes back before quantum work.
         driver.on_quantum_enter(&mut SimCtx { state: self, now }, job)?;
-        // Pick the device: the bound gres unit when the job holds a token,
-        // least-backlog among capable devices when it does not.
-        let device_idx = {
-            let bound = self.live(job).device;
-            match bound {
+        // Pick the device. With a fleet, the routing policy decides over a
+        // snapshot of the live devices (the job's gres-bound device, if
+        // any, arrives as the pin). Without one — the legacy path — the
+        // bound gres unit wins when the job holds a token, else the
+        // earliest-free capable device.
+        let bound = self.live(job).device;
+        let device_idx = match &mut self.fleet {
+            Some(fleet) => {
+                let routable = self
+                    .devices
+                    .iter()
+                    .enumerate()
+                    .any(|(i, d)| d.qubits() >= kernel.qubits() && fleet.serves(i, kernel));
+                if !routable {
+                    // Distinguish "no device is large enough" (the legacy
+                    // error) from fleet-metadata refusals (down devices,
+                    // shot caps).
+                    let best = self
+                        .devices
+                        .iter()
+                        .map(QpuDevice::qubits)
+                        .max()
+                        .unwrap_or(0);
+                    return Err(SimError::Qpu(if best < kernel.qubits() {
+                        QpuError::KernelTooLarge {
+                            requested: kernel.qubits(),
+                            available: best,
+                        }
+                    } else {
+                        QpuError::DeviceOffline {
+                            reason: format!(
+                                "no routable device in fleet `{}` for kernel `{}` \
+                                 ({} shots)",
+                                fleet.spec().name,
+                                kernel.name(),
+                                kernel.shots()
+                            ),
+                        }
+                    }));
+                }
+                fleet
+                    .route(kernel, now, &self.devices, bound.map(DeviceId::new))
+                    .index()
+            }
+            None => match bound {
                 Some(d) => d,
                 None => {
                     let eligible = self.eligible_devices(job);
@@ -1122,12 +1204,24 @@ impl<'o> SimState<'o> {
                                 .unwrap_or(0),
                         }))?
                 }
-            }
+            },
         };
         let exec = self.devices[device_idx].enqueue(kernel, now)?;
-        let overhead = match &self.scenario.access {
-            Some(access) => access.sample_overhead(&mut self.access_rng),
-            None => SimDuration::ZERO,
+        // Access-model overhead: a fleet device's own access mode wins;
+        // otherwise the scenario-wide mode applies (so a legacy wrap
+        // samples the shared access RNG in exactly the legacy order).
+        let overhead = {
+            let access = self
+                .scenario
+                .fleet
+                .as_ref()
+                .and_then(|f| f.devices.get(device_idx))
+                .and_then(|d| d.access.as_ref())
+                .or(self.scenario.access.as_ref());
+            match access {
+                Some(access) => access.sample_overhead(&mut self.access_rng),
+                None => SimDuration::ZERO,
+            }
         };
         let index = {
             let run = self.live_mut(job);
@@ -1161,8 +1255,9 @@ impl<'o> SimState<'o> {
             }
         );
         self.events
-            .schedule(exec.start, Event::KernelExecStart(job));
-        self.events.schedule(exec.end, Event::KernelExecEnd(job));
+            .schedule(exec.start, Event::KernelExecStart(job, device_idx));
+        self.events
+            .schedule(exec.end, Event::KernelExecEnd(job, device_idx));
         let epoch = self.live(job).epoch;
         let key = self
             .events

@@ -1,0 +1,199 @@
+//! Property tests of the fleet routing layer threaded through the full
+//! simulator: for arbitrary hybrid workloads over a heterogeneous fleet,
+//!
+//! 1. every enqueued kernel is routed exactly once (no kernel lost, none
+//!    duplicated);
+//! 2. no kernel lands on a device whose per-kernel shot capacity it
+//!    exceeds, and none lands on a downed device;
+//! 3. the same `(scenario, seed)` routes identically across runs, under
+//!    every [`RoutePolicy`](hpcqc_fleet::RoutePolicy) implementation.
+
+use hpcqc_core::observer::{SimEvent, SimObserver};
+use hpcqc_core::scenario::Scenario;
+use hpcqc_core::sim::FacilitySim;
+use hpcqc_core::strategy::Strategy;
+use hpcqc_fleet::{FleetDevice, FleetSpec, RouteSpec, ALL_ROUTES};
+use hpcqc_qpu::kernel::Kernel;
+use hpcqc_qpu::technology::Technology;
+use hpcqc_simcore::time::{SimDuration, SimTime};
+use hpcqc_workload::campaign::Workload;
+use hpcqc_workload::job::{JobSpec, Phase};
+use proptest::prelude::*;
+// The simulator's `Strategy` enum shadows proptest's trait of the same
+// name; alias the trait so `prop_map` stays resolvable.
+use proptest::strategy::Strategy as PropStrategy;
+use std::collections::BTreeMap;
+
+/// Shot cap on the first fleet device; generated kernels straddle it.
+const SMALL_CAP: u32 = 1_500;
+
+fn fleet(route: RouteSpec) -> FleetSpec {
+    FleetSpec::new("prop")
+        .route(route)
+        .device(
+            FleetDevice::new("sc-capped", Technology::Superconducting)
+                .with_shot_capacity(SMALL_CAP),
+        )
+        .device(FleetDevice::new("sc-open", Technology::Superconducting))
+        .device(FleetDevice::new("ion-down", Technology::TrappedIon).with_down(true))
+        .device(FleetDevice::new("ion-open", Technology::TrappedIon))
+}
+
+fn job_strategy() -> impl proptest::strategy::Strategy<Value = JobSpec> {
+    (
+        0u64..400,    // submit
+        1u32..=6,     // nodes
+        1usize..=3,   // hybrid iterations
+        100u32..4000, // shots (straddles SMALL_CAP)
+    )
+        .prop_map(|(submit, nodes, iters, shots)| {
+            let mut phases = Vec::new();
+            for _ in 0..iters {
+                phases.push(Phase::Classical(SimDuration::from_secs(30)));
+                phases.push(Phase::Quantum(Kernel::sampling(shots)));
+            }
+            JobSpec::builder(format!("j{submit}-{nodes}-{shots}"))
+                .submit(SimTime::from_secs(submit))
+                .nodes(nodes)
+                .walltime(SimDuration::from_hours(8))
+                .phases(phases)
+                .build()
+        })
+}
+
+fn route_strategy() -> impl proptest::strategy::Strategy<Value = RouteSpec> {
+    prop_oneof![
+        Just(RouteSpec::PinFirst),
+        Just(RouteSpec::LeastLoaded),
+        Just(RouteSpec::TechAffinity),
+    ]
+}
+
+/// Collects every `KernelEnqueued` routing decision.
+#[derive(Debug, Default)]
+struct RouteLog {
+    routes: Vec<(String, usize)>,
+}
+
+impl SimObserver for RouteLog {
+    fn on_event(&mut self, _now: SimTime, event: &SimEvent<'_>) {
+        if let SimEvent::KernelEnqueued { name, device, .. } = event {
+            self.routes.push((name.to_string(), *device));
+        }
+    }
+}
+
+fn scenario(route: RouteSpec, seed: u64) -> Scenario {
+    Scenario::builder()
+        .classical_nodes(16)
+        .strategy(Strategy::Workflow)
+        .seed(seed)
+        .fleet(fleet(route))
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every kernel in the workload is routed exactly once: the number of
+    /// `KernelEnqueued` events per job equals the job's quantum-phase
+    /// count (advisory walltimes, no failures ⇒ no re-runs).
+    #[test]
+    fn every_kernel_routed_exactly_once(
+        jobs in prop::collection::vec(job_strategy(), 1..6),
+        route in route_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let expected: BTreeMap<String, usize> = jobs
+            .iter()
+            .map(|j| {
+                let kernels = j
+                    .phases()
+                    .iter()
+                    .filter(|p| matches!(p, Phase::Quantum(_)))
+                    .count();
+                (j.name().to_string(), kernels)
+            })
+            .collect();
+        let workload = Workload::from_jobs(jobs);
+        let mut log = RouteLog::default();
+        let out = FacilitySim::run_observed(&scenario(route, seed), &workload, &mut [&mut log])
+            .expect("valid scenario");
+        prop_assert_eq!(out.stats.failed_count(), 0);
+        let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+        for (name, _) in &log.routes {
+            *seen.entry(name.clone()).or_insert(0) += 1;
+        }
+        for (name, kernels) in &expected {
+            prop_assert_eq!(
+                seen.get(name).copied().unwrap_or(0),
+                *kernels,
+                "{}: job `{}` must route each kernel exactly once",
+                route.name(), name
+            );
+        }
+    }
+
+    /// Capacity and service-status invariants: kernels over a device's
+    /// shot cap never land there, and the downed device serves nothing —
+    /// under every routing policy.
+    #[test]
+    fn caps_and_downed_devices_are_respected(
+        jobs in prop::collection::vec(job_strategy(), 1..6),
+        route in route_strategy(),
+        seed in any::<u64>(),
+    ) {
+        // Job names encode their kernel shot count (see job_strategy).
+        let shots_of: BTreeMap<String, u32> = jobs
+            .iter()
+            .map(|j| {
+                let shots = j
+                    .kernels()
+                    .map(Kernel::shots)
+                    .max()
+                    .unwrap_or(0);
+                (j.name().to_string(), shots)
+            })
+            .collect();
+        let workload = Workload::from_jobs(jobs);
+        let mut log = RouteLog::default();
+        FacilitySim::run_observed(&scenario(route, seed), &workload, &mut [&mut log])
+            .expect("valid scenario");
+        for (name, device) in &log.routes {
+            prop_assert_ne!(
+                *device, 2,
+                "{}: `{}` routed to the downed device", route.name(), name
+            );
+            if *device == 0 {
+                let shots = shots_of.get(name).copied().unwrap_or(0);
+                prop_assert!(
+                    shots <= SMALL_CAP,
+                    "{}: `{}` ({} shots) exceeds device 0's cap of {}",
+                    route.name(), name, shots, SMALL_CAP
+                );
+            }
+        }
+    }
+
+    /// Routing is deterministic: the same `(scenario, seed)` produces the
+    /// identical route sequence on every run, for every policy.
+    #[test]
+    fn routing_is_deterministic_per_policy(
+        jobs in prop::collection::vec(job_strategy(), 1..5),
+        seed in any::<u64>(),
+    ) {
+        let workload = Workload::from_jobs(jobs);
+        for route in ALL_ROUTES {
+            let sc = scenario(route, seed);
+            let mut a = RouteLog::default();
+            FacilitySim::run_observed(&sc, &workload, &mut [&mut a]).expect("valid");
+            let mut b = RouteLog::default();
+            FacilitySim::run_observed(&sc, &workload, &mut [&mut b]).expect("valid");
+            prop_assert!(!a.routes.is_empty() || workload.is_empty());
+            prop_assert_eq!(
+                &a.routes, &b.routes,
+                "{}: identical runs must route identically", route.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The live fleet: [`QpuFleet`] binds a validated
+//! [`FleetSpec`] to its routing policy and service
+//! metadata.
+
+use crate::ctx::{DeviceId, FleetCtx};
+use crate::policy::RoutePolicy;
+use crate::spec::FleetSpec;
+use hpcqc_qpu::device::QpuDevice;
+use hpcqc_qpu::kernel::Kernel;
+use hpcqc_simcore::time::SimTime;
+
+/// A fleet at runtime: the spec it was built from, the live routing
+/// policy, and the per-device service metadata
+/// ([`FleetCtx`] borrows the latter for every decision).
+///
+/// The physical [`QpuDevice`]s themselves stay owned by the simulator —
+/// the fleet only routes onto them.
+///
+/// # Examples
+///
+/// ```
+/// use hpcqc_fleet::{FleetDevice, FleetSpec, QpuFleet, RouteSpec};
+/// use hpcqc_qpu::{Kernel, QpuDevice, Technology};
+/// use hpcqc_simcore::{SimRng, SimTime};
+///
+/// let spec = FleetSpec::new("pair")
+///     .route(RouteSpec::LeastLoaded)
+///     .device(FleetDevice::new("sc-a", Technology::Superconducting))
+///     .device(FleetDevice::new("sc-b", Technology::Superconducting));
+/// let mut fleet = QpuFleet::new(spec);
+/// let devices = vec![
+///     QpuDevice::new("sc-a", Technology::Superconducting, SimRng::seed_from(1)),
+///     QpuDevice::new("sc-b", Technology::Superconducting, SimRng::seed_from(2)),
+/// ];
+/// let pick = fleet.route(&Kernel::sampling(500), SimTime::ZERO, &devices, None);
+/// assert_eq!(pick.index(), 0);
+/// ```
+#[derive(Debug)]
+pub struct QpuFleet {
+    spec: FleetSpec,
+    policy: Box<dyn RoutePolicy>,
+    down: Vec<bool>,
+    shot_capacity: Vec<Option<u32>>,
+}
+
+impl QpuFleet {
+    /// Builds the live fleet a spec names (callers validate the spec
+    /// first; see [`FleetSpec::validate`]).
+    pub fn new(spec: FleetSpec) -> Self {
+        let policy = spec.route.build();
+        let down = spec
+            .devices
+            .iter()
+            .map(|d| d.down.unwrap_or(false))
+            .collect();
+        let shot_capacity = spec.devices.iter().map(|d| d.shot_capacity).collect();
+        QpuFleet {
+            spec,
+            policy,
+            down,
+            shot_capacity,
+        }
+    }
+
+    /// The spec this fleet was built from.
+    pub fn spec(&self) -> &FleetSpec {
+        &self.spec
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.spec.devices.len()
+    }
+
+    /// `true` for a deviceless fleet (never the case for validated
+    /// specs).
+    pub fn is_empty(&self) -> bool {
+        self.spec.devices.is_empty()
+    }
+
+    /// The live routing policy's label.
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
+    /// `true` if the fleet marks device `index` out of service.
+    pub fn is_down(&self, index: usize) -> bool {
+        self.down.get(index).copied().unwrap_or(true)
+    }
+
+    /// Device `index`'s per-kernel shot cap, if any.
+    pub fn shot_capacity(&self, index: usize) -> Option<u32> {
+        self.shot_capacity.get(index).copied().flatten()
+    }
+
+    /// `true` if device `index` may serve `kernel` given the fleet
+    /// metadata alone (service status + shot cap; the qubit check needs
+    /// the live device and happens in [`FleetCtx::capable`]).
+    pub fn serves(&self, index: usize, kernel: &Kernel) -> bool {
+        !self.is_down(index)
+            && self
+                .shot_capacity(index)
+                .is_none_or(|cap| kernel.shots() <= cap)
+    }
+
+    /// Routes one kernel: builds the [`FleetCtx`] snapshot over the live
+    /// devices and asks the policy. Out-of-range picks from buggy custom
+    /// policies are clamped to the last device rather than propagated.
+    pub fn route(
+        &mut self,
+        kernel: &Kernel,
+        now: SimTime,
+        devices: &[QpuDevice],
+        pinned: Option<DeviceId>,
+    ) -> DeviceId {
+        let ctx = FleetCtx::new(now, devices, &self.down, &self.shot_capacity, pinned);
+        let pick = self.policy.route(kernel, &ctx);
+        debug_assert!(
+            pick.index() < devices.len(),
+            "policy `{}` picked out-of-range device {pick}",
+            self.policy.name()
+        );
+        DeviceId::new(pick.index().min(devices.len().saturating_sub(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FleetDevice, RouteSpec};
+    use hpcqc_qpu::technology::Technology;
+    use hpcqc_simcore::rng::SimRng;
+
+    fn spec() -> FleetSpec {
+        FleetSpec::new("t")
+            .device(FleetDevice::new("a", Technology::Superconducting).with_shot_capacity(100))
+            .device(FleetDevice::new("b", Technology::TrappedIon).with_down(true))
+            .device(FleetDevice::new("c", Technology::Photonic))
+    }
+
+    #[test]
+    fn metadata_follows_spec() {
+        let fleet = QpuFleet::new(spec());
+        assert_eq!(fleet.len(), 3);
+        assert_eq!(fleet.policy_name(), "pin-first");
+        assert!(!fleet.is_down(0));
+        assert!(fleet.is_down(1));
+        assert!(fleet.is_down(99), "out of range counts as down");
+        assert_eq!(fleet.shot_capacity(0), Some(100));
+        assert_eq!(fleet.shot_capacity(2), None);
+        let heavy = Kernel::sampling(500);
+        assert!(!fleet.serves(0, &heavy), "over the shot cap");
+        assert!(!fleet.serves(1, &heavy), "down");
+        assert!(fleet.serves(2, &heavy));
+    }
+
+    #[test]
+    fn route_skips_down_devices() {
+        let mut fleet = QpuFleet::new(spec().route(RouteSpec::LeastLoaded));
+        let devices = vec![
+            QpuDevice::new("a", Technology::Superconducting, SimRng::seed_from(1)),
+            QpuDevice::new("b", Technology::TrappedIon, SimRng::seed_from(2)),
+            QpuDevice::new("c", Technology::Photonic, SimRng::seed_from(3)),
+        ];
+        // 500 shots exceeds device 0's cap; device 1 is down → device 2.
+        let pick = fleet.route(&Kernel::sampling(500), SimTime::ZERO, &devices, None);
+        assert_eq!(pick.index(), 2);
+    }
+}

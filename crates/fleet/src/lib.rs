@@ -1,0 +1,37 @@
+//! `hpcqc-fleet`: the heterogeneous multi-QPU fleet model and the
+//! pluggable kernel-routing layer.
+//!
+//! The source paper's facility has one quantum access mode per scenario;
+//! real installations run a *fleet* — superconducting next to trapped-ion
+//! next to photonic hardware, each with its own timing profile,
+//! calibration cadence, capacity and queue. This crate models that fleet
+//! and opens kernel *placement* as a trait API, exactly the way
+//! `hpcqc-sched` opened queueing:
+//!
+//! | concern | spec (serde) | capability handle | trait | built-ins |
+//! |---|---|---|---|---|
+//! | queueing | `PolicySpec` | `SchedCtx` | `QueuePolicy` | 5 disciplines |
+//! | routing | [`FleetSpec`] | [`FleetCtx`] | [`RoutePolicy`] | [`policies::PinFirst`], [`policies::LeastLoaded`], [`policies::TechAffinity`] |
+//!
+//! A [`FleetSpec`] names the devices ([`FleetDevice`]: technology,
+//! optional qubit/shot-capacity/calibration/access overrides, service
+//! status) and a [`RouteSpec`]. The simulator builds a [`QpuFleet`] from
+//! it and, for every quantum kernel, snapshots the live devices into a
+//! [`FleetCtx`] and lets the policy pick the [`DeviceId`] to enqueue on.
+//!
+//! Legacy scenarios — one access mode, no fleet — are the degenerate
+//! case: [`FleetSpec::from_legacy`] wraps them into a
+//! [`policies::PinFirst`]-routed fleet that simulates byte-identically
+//! to the pre-fleet code path.
+
+pub mod ctx;
+pub mod fleet;
+pub mod policies;
+pub mod policy;
+pub mod spec;
+
+pub use ctx::{DeviceId, FleetCtx};
+pub use fleet::QpuFleet;
+pub use policies::{LeastLoaded, PinFirst, TechAffinity};
+pub use policy::RoutePolicy;
+pub use spec::{FleetDevice, FleetSpec, ParseRouteError, RouteSpec, ALL_ROUTES, ROUTE_FORMS};

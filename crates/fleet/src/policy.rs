@@ -1,0 +1,83 @@
+//! The open kernel-routing API: the [`RoutePolicy`] trait.
+//!
+//! Routing is opened the same way queueing was in `hpcqc-sched`: the
+//! simulator is routing-agnostic — whenever a hybrid job's quantum phase
+//! needs a device, it builds a read-only [`FleetCtx`] snapshot and asks
+//! the fleet's policy to pick one. Everything placement-specific — pin
+//! honouring, load balancing, technology affinity, calibration failover —
+//! lives behind this trait, in [`crate::policies`].
+//!
+//! # Implementing a custom policy
+//!
+//! A policy is a pure decision over one routing instant (plus whatever
+//! state it carries between calls). Here is a complete round-robin
+//! router, decided against a hand-built two-device snapshot:
+//!
+//! ```
+//! use hpcqc_fleet::{DeviceId, FleetCtx, RoutePolicy};
+//! use hpcqc_qpu::{Kernel, QpuDevice, Technology};
+//! use hpcqc_simcore::{SimRng, SimTime};
+//!
+//! /// Rotates over capable in-service devices, ignoring load.
+//! #[derive(Debug)]
+//! struct RoundRobin {
+//!     next: usize,
+//! }
+//!
+//! impl RoutePolicy for RoundRobin {
+//!     fn name(&self) -> &str {
+//!         "round-robin"
+//!     }
+//!
+//!     fn route(&mut self, kernel: &Kernel, ctx: &FleetCtx<'_>) -> DeviceId {
+//!         for offset in 0..ctx.len() {
+//!             let d = DeviceId::new((self.next + offset) % ctx.len());
+//!             if ctx.routable(d, kernel) {
+//!                 self.next = d.index() + 1;
+//!                 return d;
+//!             }
+//!         }
+//!         DeviceId::new(0)
+//!     }
+//! }
+//!
+//! let devices = vec![
+//!     QpuDevice::new("sc-a", Technology::Superconducting, SimRng::seed_from(1)),
+//!     QpuDevice::new("ion-a", Technology::TrappedIon, SimRng::seed_from(2)),
+//! ];
+//! let (down, caps) = (vec![false; 2], vec![None; 2]);
+//! let kernel = Kernel::sampling(1_000);
+//! let mut policy = RoundRobin { next: 0 };
+//! let ctx = FleetCtx::new(SimTime::ZERO, &devices, &down, &caps, None);
+//! assert_eq!(policy.route(&kernel, &ctx).index(), 0);
+//! assert_eq!(policy.route(&kernel, &ctx).index(), 1);
+//! assert_eq!(policy.route(&kernel, &ctx).index(), 0, "wraps around");
+//! ```
+
+use crate::ctx::{DeviceId, FleetCtx};
+use hpcqc_qpu::kernel::Kernel;
+use std::fmt;
+
+/// A kernel-routing discipline: picks the device each quantum kernel
+/// executes on.
+///
+/// One value lives for the simulation's whole lifetime, so a policy may
+/// carry state across decisions (round-robin cursors, per-device
+/// histories). Determinism contract: the choice must be a pure function
+/// of the [`FleetCtx`], the kernel and that carried state — no ambient
+/// RNG, no wall clock — so the same `(scenario, seed)` routes
+/// identically on every run.
+///
+/// The simulator guarantees at least one
+/// [`routable`](FleetCtx::routable) device exists before asking (it
+/// fails the job otherwise); policies should still degrade gracefully —
+/// returning any in-range id — if they find none, and out-of-range ids
+/// are clamped by the fleet. See the [module docs](self) for a complete
+/// worked example, and [`crate::policies`] for the three built-ins.
+pub trait RoutePolicy: fmt::Debug + Send {
+    /// Short label for tables and logs (e.g. `least-loaded`).
+    fn name(&self) -> &str;
+
+    /// Picks the device for `kernel` at the snapshot `ctx`.
+    fn route(&mut self, kernel: &Kernel, ctx: &FleetCtx<'_>) -> DeviceId;
+}

@@ -44,12 +44,13 @@ pub const ALL_RULES: [Rule; 5] = [Rule::D001, Rule::D002, Rule::D003, Rule::D004
 
 /// Crates whose sources feed the discrete-event simulation state
 /// (everything but the bench harness and the CLI facade).
-const SIM_CRATES: [&str; 10] = [
+const SIM_CRATES: [&str; 11] = [
     "hpcqc-core",
     "hpcqc-sched",
     "hpcqc-simcore",
     "hpcqc-cluster",
     "hpcqc-qpu",
+    "hpcqc-fleet",
     "hpcqc-workload",
     "hpcqc-metrics",
     "hpcqc-trace",
@@ -59,20 +60,22 @@ const SIM_CRATES: [&str; 10] = [
 
 /// Crates whose event paths can turn container iteration order into
 /// simulation state (the D002 scope).
-const EVENT_PATH_CRATES: [&str; 4] = [
+const EVENT_PATH_CRATES: [&str; 5] = [
     "hpcqc-core",
     "hpcqc-sched",
     "hpcqc-simcore",
     "hpcqc-cluster",
+    "hpcqc-fleet",
 ];
 
 /// Crates whose library code must be panic-free (the D004 scope).
-const PANIC_FREE_CRATES: [&str; 6] = [
+const PANIC_FREE_CRATES: [&str; 7] = [
     "hpcqc-core",
     "hpcqc-sched",
     "hpcqc-simcore",
     "hpcqc-cluster",
     "hpcqc-qpu",
+    "hpcqc-fleet",
     "hpcqc-workload",
 ];
 
@@ -150,8 +153,10 @@ mod tests {
         assert!(!Rule::D001.applies_to("hpcqc-bench"));
         assert!(!Rule::D001.applies_to("hpcqc"));
         assert!(Rule::D002.applies_to("hpcqc-sched"));
+        assert!(Rule::D002.applies_to("hpcqc-fleet"));
         assert!(!Rule::D002.applies_to("hpcqc-metrics"));
         assert!(Rule::D003.applies_to("hpcqc-bench"));
+        assert!(Rule::D004.applies_to("hpcqc-fleet"));
         assert!(Rule::D004.applies_to("hpcqc-workload"));
         assert!(!Rule::D004.applies_to("hpcqc-sweep"));
         assert!(Rule::D005.applies_to("hpcqc"));

@@ -150,6 +150,18 @@ impl QpuDevice {
         self.busy_until.saturating_since(now)
     }
 
+    /// `true` if a recalibration window would trigger for a task the
+    /// device next touches at `at` — the same period test
+    /// [`QpuDevice::enqueue`] applies, but without consuming RNG (the
+    /// window length is sampled only when a task actually arrives).
+    /// Routing policies use this to steer around devices about to
+    /// recalibrate.
+    pub fn calibration_due(&self, at: SimTime) -> bool {
+        self.calibration
+            .as_ref()
+            .is_some_and(|pol| at.saturating_since(self.last_calibration) >= pol.period())
+    }
+
     /// Submits a kernel at `submitted`; it executes after the current
     /// backlog (FIFO) plus any due recalibration window.
     ///
@@ -302,6 +314,23 @@ mod tests {
         assert_eq!(b.recalibration, SimDuration::from_secs(5));
         assert_eq!(b.start, SimTime::from_secs(25));
         assert_eq!(qpu.total_recalibration(), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn calibration_due_mirrors_enqueue_without_rng() {
+        let pol = CalibrationPolicy::new(SimDuration::from_secs(10), Dist::constant(5.0));
+        let mut qpu = fixed_device().with_calibration(Some(pol));
+        assert!(!qpu.calibration_due(SimTime::ZERO));
+        assert!(qpu.calibration_due(SimTime::from_secs(10)));
+        let k = Kernel::sampling(100);
+        qpu.enqueue(&k, SimTime::from_secs(20)).unwrap();
+        // The enqueue recalibrated at t=20..25; the clock restarts there.
+        assert!(!qpu.calibration_due(SimTime::from_secs(30)));
+        assert!(qpu.calibration_due(SimTime::from_secs(35)));
+        assert!(
+            !fixed_device().calibration_due(SimTime::from_secs(360_000)),
+            "no policy, never due"
+        );
     }
 
     #[test]

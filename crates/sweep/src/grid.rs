@@ -12,9 +12,12 @@
 //! (strategies slowest, replicas fastest):
 //!
 //! ```text
-//! index = ((((((strategy · P + policy) · N + nodes) · T + tech) · A + access)
-//!           · W + walltime) · L + load) · R + replica
+//! index = (((((((strategy · P + policy) · N + nodes) · T + tech) · F + fleet)
+//!           · A + access) · W + walltime) · L + load) · R + replica
 //! ```
+//!
+//! The fleet axis has length 1 when [`Grid::fleets`] is `None`, so grids
+//! without one keep their historical cell indices (and golden CSVs).
 //!
 //! Two seeds are derived per cell, both purely from `(base_seed, indices)`
 //! so they are identical at any thread count:
@@ -30,6 +33,7 @@
 use crate::spec::WorkloadSpec;
 use hpcqc_core::scenario::{Scenario, WalltimePolicy};
 use hpcqc_core::strategy::Strategy;
+use hpcqc_fleet::FleetSpec;
 use hpcqc_qpu::remote::AccessMode;
 use hpcqc_qpu::technology::Technology;
 use hpcqc_sched::PolicySpec;
@@ -120,6 +124,11 @@ pub struct Grid {
     pub node_counts: Vec<u32>,
     /// Quantum-technology axis (one device per cell).
     pub technologies: Vec<Technology>,
+    /// Optional fleet-composition axis. `None` keeps the legacy
+    /// single-device path and historical cell indices (the axis has
+    /// length 1). When set, each cell carries one composition, which
+    /// supersedes the cell's single `technology` device.
+    pub fleets: Option<Vec<FleetSpec>>,
     /// Access-model axis.
     pub access: Vec<AccessSpec>,
     /// Walltime-enforcement axis.
@@ -146,12 +155,13 @@ impl Grid {
         self.axis_lengths().iter().product()
     }
 
-    fn axis_lengths(&self) -> [usize; 8] {
+    fn axis_lengths(&self) -> [usize; 9] {
         [
             self.strategies.len(),
             self.policies.len(),
             self.node_counts.len(),
             self.technologies.len(),
+            self.fleets.as_ref().map_or(1, Vec::len),
             self.access.len(),
             self.walltime.len(),
             self.loads_per_hour.len(),
@@ -167,6 +177,7 @@ impl Grid {
             "policies",
             "node_counts",
             "technologies",
+            "fleets",
             "access",
             "walltime",
             "loads_per_hour",
@@ -183,6 +194,15 @@ impl Grid {
         }
         if self.node_counts.contains(&0) {
             return Err("grid axis `node_counts` contains 0 nodes".to_string());
+        }
+        // A deserialized grid can carry a structurally broken fleet
+        // (duplicate device names, zero capacities, all devices down).
+        if let Some(fleets) = &self.fleets {
+            for fleet in fleets {
+                fleet
+                    .validate()
+                    .map_err(|e| format!("grid axis `fleets`: {e}"))?;
+            }
         }
         // A deserialized grid can carry broken policy knobs (zero aging,
         // NaN weights, …) that would assert deep inside a worker thread.
@@ -222,7 +242,7 @@ impl Grid {
     pub fn cell(&self, index: usize) -> Cell {
         assert!(index < self.len(), "cell index {index} out of range");
         let mut rest = index;
-        let [_, p, n, t, a, w, l, r] = self.axis_lengths();
+        let [_, p, n, t, fl, a, w, l, r] = self.axis_lengths();
         let replica = (rest % r) as u32;
         rest /= r;
         let load = rest % l;
@@ -231,6 +251,8 @@ impl Grid {
         rest /= w;
         let ac = rest % a;
         rest /= a;
+        let fleet = rest % fl;
+        rest /= fl;
         let tech = rest % t;
         rest /= t;
         let nodes = rest % n;
@@ -244,6 +266,7 @@ impl Grid {
             policy: self.policies[policy],
             nodes: self.node_counts[nodes],
             technology: self.technologies[tech],
+            fleet: self.fleets.as_ref().map(|f| f[fleet].clone()),
             access: self.access[ac],
             walltime: self.walltime[wt],
             load_per_hour: self.loads_per_hour[load],
@@ -268,6 +291,7 @@ impl Default for Grid {
             policies: vec![PolicySpec::easy()],
             node_counts: vec![16],
             technologies: vec![Technology::Superconducting],
+            fleets: None,
             access: vec![AccessSpec::OnPrem],
             walltime: vec![WalltimePolicy::Advisory],
             loads_per_hour: vec![0.0],
@@ -303,6 +327,9 @@ pub struct Cell {
     pub nodes: u32,
     /// Quantum technology (one device).
     pub technology: Technology,
+    /// Fleet composition, when the grid has a fleet axis (supersedes
+    /// `technology`).
+    pub fleet: Option<FleetSpec>,
     /// Access-model axis value.
     pub access: AccessSpec,
     /// Walltime-enforcement axis value.
@@ -330,6 +357,9 @@ impl Cell {
             .seed(self.replica_seed);
         if let Some(mode) = self.access.to_mode(self.technology) {
             builder = builder.access(mode);
+        }
+        if let Some(fleet) = &self.fleet {
+            builder = builder.fleet(fleet.clone());
         }
         builder.build()
     }
@@ -375,6 +405,13 @@ impl GridBuilder {
     /// Sets the technology axis.
     pub fn technologies(mut self, technologies: Vec<Technology>) -> Self {
         self.inner.technologies = technologies;
+        self
+    }
+
+    /// Sets the fleet-composition axis (each composition supersedes the
+    /// cell's single-technology device).
+    pub fn fleets(mut self, fleets: Vec<FleetSpec>) -> Self {
+        self.inner.fleets = Some(fleets);
         self
     }
 
@@ -558,6 +595,71 @@ mod tests {
     #[should_panic(expected = "invalid grid")]
     fn builder_rejects_empty_axis() {
         let _ = Grid::builder().strategies(vec![]).build();
+    }
+
+    #[test]
+    fn fleet_axis_multiplies_cells_and_reaches_scenarios() {
+        use hpcqc_fleet::{FleetDevice, RouteSpec};
+        let fleets = vec![
+            FleetSpec::new("mono").device(FleetDevice::new("sc-a", Technology::Superconducting)),
+            FleetSpec::new("hetero")
+                .route(RouteSpec::LeastLoaded)
+                .device(FleetDevice::new("sc-a", Technology::Superconducting))
+                .device(FleetDevice::new("ion-a", Technology::TrappedIon)),
+        ];
+        let g = Grid::builder()
+            .strategies(vec![Strategy::CoSchedule, Strategy::Workflow])
+            .fleets(fleets)
+            .build();
+        assert_eq!(g.len(), 2 * 2);
+        // Fleet is the faster axis: indices 0/1 are CoSchedule.
+        assert_eq!(
+            g.cell(0).fleet.as_ref().map(|f| f.name.as_str()),
+            Some("mono")
+        );
+        assert_eq!(
+            g.cell(1).fleet.as_ref().map(|f| f.name.as_str()),
+            Some("hetero")
+        );
+        assert_eq!(g.cell(1).strategy, Strategy::CoSchedule);
+        assert_eq!(g.cell(2).strategy, Strategy::Workflow);
+        let s = g.cell(1).scenario();
+        assert_eq!(s.device_count(), 2);
+        assert_eq!(s.device_label(1), "ion-a");
+    }
+
+    #[test]
+    fn fleetless_grid_keeps_legacy_cell_indices() {
+        let g = Grid::builder()
+            .strategies(vec![Strategy::CoSchedule, Strategy::Workflow])
+            .access(vec![AccessSpec::OnPrem, AccessSpec::Cloud])
+            .replicas(2)
+            .build();
+        // Same unwind as before the fleet axis existed: replica fastest,
+        // then access, then strategy.
+        let c = g.cell(5);
+        assert_eq!(c.strategy, Strategy::Workflow);
+        assert_eq!(c.access, AccessSpec::OnPrem);
+        assert_eq!(c.replica, 1);
+        assert!(c.fleet.is_none());
+    }
+
+    #[test]
+    fn validate_rejects_broken_fleet() {
+        use hpcqc_fleet::FleetDevice;
+        let dup = FleetSpec::new("dup")
+            .device(FleetDevice::new("a", Technology::Superconducting))
+            .device(FleetDevice::new("a", Technology::TrappedIon));
+        let g = Grid {
+            fleets: Some(vec![dup]),
+            ..Grid::default()
+        };
+        assert!(g.validate().unwrap_err().contains("fleets"));
+        let g = Grid {
+            fleets: Some(vec![]),
+            ..Grid::default()
+        };
+        assert!(g.validate().unwrap_err().contains("fleets"));
     }
 
     #[test]

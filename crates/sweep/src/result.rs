@@ -48,6 +48,9 @@ pub struct CellRow {
     pub nodes: u32,
     /// Technology label.
     pub technology: String,
+    /// Fleet-composition label (`<name>/<route>`), when the grid has a
+    /// fleet axis.
+    pub fleet: Option<String>,
     /// Access-model label.
     pub access: String,
     /// Walltime-policy label.
@@ -84,6 +87,10 @@ impl CellRow {
             policy: cell.policy.to_string(),
             nodes: cell.nodes,
             technology: cell.technology.name().to_string(),
+            fleet: cell
+                .fleet
+                .as_ref()
+                .map(|f| format!("{}/{}", f.name, f.route.name())),
             access: cell.access.name().to_string(),
             walltime: fmt_walltime(cell.walltime),
             load_per_hour: cell.load_per_hour,
@@ -100,12 +107,14 @@ impl CellRow {
     }
 
     /// The group-by key: every axis except the replica.
-    fn group_key(&self) -> (String, String, u32, String, String, String, String) {
+    #[allow(clippy::type_complexity)]
+    fn group_key(&self) -> (String, String, u32, String, String, String, String, String) {
         (
             self.strategy.clone(),
             self.policy.clone(),
             self.nodes,
             self.technology.clone(),
+            self.fleet.clone().unwrap_or_default(),
             self.access.clone(),
             self.walltime.clone(),
             // f64 is not Ord/Hash; the label form is exact enough for a key.
@@ -228,14 +237,17 @@ impl SweepResult {
         self.results.iter().map(CellRow::from_result).collect()
     }
 
-    /// The per-cell metric table.
+    /// The per-cell metric table. The `fleet` column only appears when
+    /// the grid had a fleet axis, keeping fleetless CSVs (and their
+    /// golden fixtures) byte-identical.
     pub fn table(&self) -> Table {
-        let mut table = Table::new(vec![
-            "index",
-            "strategy",
-            "policy",
-            "nodes",
-            "technology",
+        let rows = self.rows();
+        let has_fleet = rows.iter().any(|r| r.fleet.is_some());
+        let mut headers = vec!["index", "strategy", "policy", "nodes", "technology"];
+        if has_fleet {
+            headers.push("fleet");
+        }
+        headers.extend([
             "access",
             "walltime",
             "load/h",
@@ -249,13 +261,19 @@ impl SweepResult {
             "node_h_wasted",
             "failed",
         ]);
-        for row in self.rows() {
-            table.row(vec![
+        let mut table = Table::new(headers);
+        for row in rows {
+            let mut cells = vec![
                 row.index.to_string(),
                 row.strategy,
                 row.policy,
                 row.nodes.to_string(),
                 row.technology,
+            ];
+            if has_fleet {
+                cells.push(row.fleet.unwrap_or_else(|| String::from("-")));
+            }
+            cells.extend([
                 row.access,
                 row.walltime,
                 fmt_f64(row.load_per_hour),
@@ -269,6 +287,7 @@ impl SweepResult {
                 format!("{:.4}", row.node_hours_wasted),
                 row.failed.to_string(),
             ]);
+            table.row(cells);
         }
         table
     }
@@ -293,7 +312,10 @@ impl SweepResult {
     /// first-appearance (cell-index) order, so output is deterministic.
     pub fn summary(&self) -> Table {
         let rows = self.rows();
-        let mut order: Vec<(String, String, u32, String, String, String, String)> = Vec::new();
+        let has_fleet = rows.iter().any(|r| r.fleet.is_some());
+        #[allow(clippy::type_complexity)]
+        let mut order: Vec<(String, String, u32, String, String, String, String, String)> =
+            Vec::new();
         let mut groups: std::collections::HashMap<_, Vec<&CellRow>> =
             std::collections::HashMap::new();
         for row in &rows {
@@ -304,11 +326,11 @@ impl SweepResult {
             groups.entry(key).or_default().push(row);
         }
 
-        let mut table = Table::new(vec![
-            "strategy",
-            "policy",
-            "nodes",
-            "technology",
+        let mut headers = vec!["strategy", "policy", "nodes", "technology"];
+        if has_fleet {
+            headers.push("fleet");
+        }
+        headers.extend([
             "access",
             "walltime",
             "load/h",
@@ -322,6 +344,7 @@ impl SweepResult {
             "combined_util mean",
             "combined_util p95",
         ]);
+        let mut table = Table::new(headers);
         for key in order {
             let members = &groups[&key];
             let metric =
@@ -330,12 +353,16 @@ impl SweepResult {
             let wait = metric(|r| r.mean_wait_secs);
             let turnaround = metric(|r| r.hybrid_turnaround_secs);
             let util = metric(|r| r.combined_utilization);
-            let (strategy, policy, nodes, technology, access, walltime, load) = key;
-            table.row(vec![
-                strategy,
-                policy,
-                nodes.to_string(),
-                technology,
+            let (strategy, policy, nodes, technology, fleet, access, walltime, load) = key;
+            let mut cells = vec![strategy, policy, nodes.to_string(), technology];
+            if has_fleet {
+                cells.push(if fleet.is_empty() {
+                    String::from("-")
+                } else {
+                    fleet
+                });
+            }
+            cells.extend([
                 access,
                 walltime,
                 load,
@@ -349,6 +376,7 @@ impl SweepResult {
                 format!("{:.6}", mean(&util)),
                 format!("{:.6}", p95(&util)),
             ]);
+            table.row(cells);
         }
         table
     }

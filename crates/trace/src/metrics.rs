@@ -277,7 +277,10 @@ impl MetricsRegistry {
 
 /// A [`SimObserver`] feeding a standard metric set from the event stream.
 ///
-/// Gauges: `queue_depth`, `running_jobs`, `free_nodes`, `idle_qpus`.
+/// Gauges: `queue_depth`, `running_jobs`, `free_nodes`, `idle_qpus`,
+/// plus one `util[<device>]` gauge per QPU — the device's cumulative
+/// busy fraction (busy seconds over elapsed simulation time) as of its
+/// most recent kernel completion.
 /// Counters: `jobs_submitted`, `jobs_started`, `jobs_finished`,
 /// `jobs_failed`, `kernels_executed`, `node_failures`.
 /// Histogram: `wait_s` (queue wait of every started submission).
@@ -295,13 +298,34 @@ pub struct MetricsObserver {
     kernels_executed: CounterId,
     node_failures: CounterId,
     wait_s: HistogramId,
+    // Per-device utilization: the gauge, accumulated busy seconds, and
+    // the in-flight execution's start time.
+    device_util: Vec<GaugeId>,
+    device_busy_s: Vec<f64>,
+    device_exec_start: Vec<Option<SimTime>>,
 }
 
 impl MetricsObserver {
     /// Creates the standard metric set for a machine with
     /// `classical_nodes` nodes and `devices` QPUs, sampled every
-    /// `interval` of simulation time.
+    /// `interval` of simulation time; device columns are labelled
+    /// `qpu0`, `qpu1`, …
     pub fn new(interval: SimDuration, classical_nodes: u32, devices: usize) -> Self {
+        MetricsObserver::with_device_labels(
+            interval,
+            classical_nodes,
+            (0..devices).map(|d| format!("qpu{d}")).collect(),
+        )
+    }
+
+    /// Creates the standard metric set with one `util[<label>]` column
+    /// per given device label (fleet device names, for instance).
+    pub fn with_device_labels(
+        interval: SimDuration,
+        classical_nodes: u32,
+        labels: Vec<String>,
+    ) -> Self {
+        let devices = labels.len();
         let mut reg = MetricsRegistry::new(interval);
         let queue_depth = reg.gauge("queue_depth");
         let running_jobs = reg.gauge("running_jobs");
@@ -316,6 +340,10 @@ impl MetricsObserver {
         let kernels_executed = reg.counter("kernels_executed");
         let node_failures = reg.counter("node_failures");
         let wait_s = reg.histogram("wait_s");
+        let device_util = labels
+            .iter()
+            .map(|label| reg.gauge(format!("util[{label}]")))
+            .collect();
         MetricsObserver {
             reg,
             queue_depth,
@@ -329,12 +357,20 @@ impl MetricsObserver {
             kernels_executed,
             node_failures,
             wait_s,
+            device_util,
+            device_busy_s: vec![0.0; devices],
+            device_exec_start: vec![None; devices],
         }
     }
 
-    /// Creates the standard metric set sized for `scenario`'s machine.
+    /// Creates the standard metric set sized for `scenario`'s machine,
+    /// device columns labelled with the scenario's device names (fleet
+    /// names when a fleet is configured).
     pub fn for_scenario(scenario: &Scenario, interval: SimDuration) -> Self {
-        MetricsObserver::new(interval, scenario.classical_nodes, scenario.devices.len())
+        let labels = (0..scenario.device_count())
+            .map(|d| scenario.device_label(d))
+            .collect();
+        MetricsObserver::with_device_labels(interval, scenario.classical_nodes, labels)
     }
 
     /// Closes the series at `end` and yields the registry.
@@ -366,12 +402,31 @@ impl SimObserver for MetricsObserver {
             SimEvent::AllocationChanged { node_delta, .. } => {
                 self.reg.add(self.free_nodes, -node_delta);
             }
-            SimEvent::KernelExecStarted { .. } => {
+            SimEvent::KernelExecStarted { device, .. } => {
                 self.reg.add(self.idle_qpus, -1.0);
+                if let Some(slot) = self.device_exec_start.get_mut(*device) {
+                    *slot = Some(now);
+                }
             }
-            SimEvent::KernelExecEnded { .. } => {
+            SimEvent::KernelExecEnded { device, .. } => {
                 self.reg.inc(self.kernels_executed, 1);
                 self.reg.add(self.idle_qpus, 1.0);
+                if let Some(start) = self
+                    .device_exec_start
+                    .get_mut(*device)
+                    .and_then(Option::take)
+                {
+                    if let (Some(busy), Some(&util)) = (
+                        self.device_busy_s.get_mut(*device),
+                        self.device_util.get(*device),
+                    ) {
+                        *busy += now.saturating_since(start).as_secs_f64();
+                        let elapsed = now.as_secs_f64();
+                        if elapsed > 0.0 {
+                            self.reg.set(util, *busy / elapsed);
+                        }
+                    }
+                }
             }
             SimEvent::JobFinalized { record } => {
                 self.reg.add(self.running_jobs, -1.0);
@@ -470,6 +525,37 @@ mod tests {
         assert_eq!(last[col("queue_depth")], "0");
         assert_eq!(last[col("running_jobs")], "1");
         assert_eq!(last[col("wait_s_mean")], "30");
+    }
+
+    #[test]
+    fn per_device_util_columns_track_busy_fraction() {
+        let mut obs = MetricsObserver::with_device_labels(
+            SimDuration::from_secs(60),
+            16,
+            vec!["frankfurt-sc".to_string(), "juelich-ion".to_string()],
+        );
+        let job = JobId::new(0);
+        obs.on_event(
+            SimTime::from_secs(10),
+            &SimEvent::KernelExecStarted { job, device: 1 },
+        );
+        obs.on_event(
+            SimTime::from_secs(40),
+            &SimEvent::KernelExecEnded { job, device: 1 },
+        );
+        let reg = obs.into_registry(SimTime::from_secs(40));
+        let table = reg.table();
+        let headers = table.headers().to_vec();
+        let col = |name: &str| {
+            headers
+                .iter()
+                .position(|h| h == name)
+                .expect("column present")
+        };
+        let last = table.rows().last().expect("rows").clone();
+        // 30 busy seconds over 40 elapsed.
+        assert_eq!(last[col("util[juelich-ion]")], "0.75");
+        assert_eq!(last[col("util[frankfurt-sc]")], "0");
     }
 
     #[test]

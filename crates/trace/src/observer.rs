@@ -11,7 +11,7 @@
 //! | pid | process     | threads (tid)                         | content |
 //! |-----|-------------|---------------------------------------|---------|
 //! | 1   | `scheduler` | —                                     | counter tracks: `queue_depth`, `running_jobs`, `free_nodes`, `idle_qpus` |
-//! | 2   | `devices`   | one per QPU (`qpu0`, `qpu1`, …)       | kernel execution spans, recalibration spans |
+//! | 2   | `devices`   | one per QPU (`qpu0`, `qpu1`, … or the fleet device names) | kernel execution spans, recalibration spans; per-device counter tracks `idle[<device>]`, `busy[<device>]`, `recalibrating[<device>]` |
 //! | 3   | `jobs`      | one per job, first-seen order         | whole-job span, per-phase spans, submit/start/enqueue instants |
 //! | 4   | `nodes`     | one per node that faults (`node<i>`)  | `failed`/`repaired` instants |
 //!
@@ -27,6 +27,7 @@ use hpcqc_core::observer::{PhaseKind, SimEvent, SimObserver};
 use hpcqc_core::scenario::Scenario;
 use hpcqc_simcore::time::SimTime;
 use hpcqc_workload::job::JobId;
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Process track holding the scheduler-level counter tracks.
@@ -40,6 +41,20 @@ pub const PID_NODES: u32 = 4;
 
 /// The four counter-track names emitted under [`PID_SCHEDULER`].
 pub const COUNTER_TRACKS: [&str; 4] = ["queue_depth", "running_jobs", "free_nodes", "idle_qpus"];
+
+/// Per-device counter-track kinds emitted under [`PID_DEVICES`], in
+/// track-index order; each device gets one `<kind>[<label>]` track.
+pub const DEVICE_TRACK_KINDS: [&str; 3] = ["idle", "busy", "recalibrating"];
+
+/// Number of scheduler-level counter tracks preceding the per-device
+/// ones in the coalescing table.
+const SCHED_TRACKS: usize = COUNTER_TRACKS.len();
+
+/// Coalescing-table index of device `d`'s track of the given kind
+/// (0 = idle, 1 = busy, 2 = recalibrating).
+fn device_track(d: usize, kind: usize) -> usize {
+    SCHED_TRACKS + DEVICE_TRACK_KINDS.len() * d + kind
+}
 
 /// Pre-rendered phase-span names for the common low indices, so the hot
 /// recording path stays allocation-free (higher indices fall back to
@@ -108,11 +123,17 @@ pub struct TraceObserver {
     running: i64,
     nodes_alloc: f64,
     execs: i64,
-    // Last emitted sample per counter track, indexed as COUNTER_TRACKS
-    // (value as a bit pattern, so no float equality is involved).
-    // Counters are sampled on change, and several changes at one
-    // sim-time instant coalesce into the final value.
-    last_counter: [Option<CounterSample>; 4],
+    // Per-device running-execution count (0/1 on the serial device
+    // queue), behind the `idle[..]`/`busy[..]` tracks.
+    device_execs: Vec<i64>,
+    // Pre-rendered per-device counter-track names, DEVICE_TRACK_KINDS
+    // per device, in device-major order.
+    device_track_names: Vec<String>,
+    // Last emitted sample per counter track — COUNTER_TRACKS first, then
+    // the per-device tracks (value as a bit pattern, so no float
+    // equality is involved). Counters are sampled on change, and several
+    // changes at one sim-time instant coalesce into the final value.
+    last_counter: Vec<Option<CounterSample>>,
     // Per-job bookkeeping, a slab keyed by raw job id (the simulator
     // assigns ids sequentially, so this stays dense). Slots are never
     // retired: a killed job's kernel can outlive its finalization.
@@ -136,22 +157,40 @@ struct CounterSample {
 struct JobSlot {
     tid: u32,
     name: String,
-    device: usize,
     exec_start: Option<SimTime>,
 }
 
 impl TraceObserver {
     /// Creates a tracer for a machine with `classical_nodes` nodes and
     /// `devices` physical QPUs (the capacities behind the `free_nodes`
-    /// and `idle_qpus` counter tracks).
+    /// and `idle_qpus` counter tracks); device tracks are labelled
+    /// `qpu0`, `qpu1`, …
     pub fn new(classical_nodes: u32, devices: usize) -> Self {
+        TraceObserver::with_device_labels(
+            classical_nodes,
+            (0..devices).map(|d| format!("qpu{d}")).collect(),
+        )
+    }
+
+    /// Creates a tracer whose device tracks carry the given labels (one
+    /// per QPU — fleet device names, for instance).
+    pub fn with_device_labels(classical_nodes: u32, labels: Vec<String>) -> Self {
+        let devices = labels.len();
         let mut trace = ChromeTrace::with_capacity(1024);
         trace.process_name(PID_SCHEDULER, "scheduler");
         trace.process_name(PID_DEVICES, "devices");
         trace.process_name(PID_JOBS, "jobs");
-        for d in 0..devices {
-            trace.thread_name(PID_DEVICES, d as u32, format!("qpu{d}"));
+        for (d, label) in labels.iter().enumerate() {
+            trace.thread_name(PID_DEVICES, d as u32, label.clone());
         }
+        let device_track_names = labels
+            .iter()
+            .flat_map(|label| {
+                DEVICE_TRACK_KINDS
+                    .iter()
+                    .map(move |kind| format!("{kind}[{label}]"))
+            })
+            .collect();
         // Baseline sample for every counter track at t=0, so the tracks
         // exist (and start from the idle state) even in a trivial trace.
         let mut obs = TraceObserver {
@@ -162,19 +201,30 @@ impl TraceObserver {
             running: 0,
             nodes_alloc: 0.0,
             execs: 0,
-            last_counter: [None; 4],
+            device_execs: vec![0; devices],
+            device_track_names,
+            last_counter: vec![None; SCHED_TRACKS + DEVICE_TRACK_KINDS.len() * devices],
             jobs: Vec::new(),
             next_job_tid: 0,
             by_name: BTreeMap::new(),
             node_tracks: BTreeSet::new(),
         };
         obs.sample_counters(SimTime::ZERO);
+        for d in 0..devices {
+            obs.sample_device(d, SimTime::ZERO);
+            obs.counter(SimTime::ZERO, device_track(d, 2), 0.0);
+        }
         obs
     }
 
-    /// Creates a tracer sized for `scenario`'s machine.
+    /// Creates a tracer sized for `scenario`'s machine, device tracks
+    /// labelled with the scenario's device names (fleet names when a
+    /// fleet is configured).
     pub fn for_scenario(scenario: &Scenario) -> Self {
-        TraceObserver::new(scenario.classical_nodes, scenario.devices.len())
+        let labels = (0..scenario.device_count())
+            .map(|d| scenario.device_label(d))
+            .collect();
+        TraceObserver::with_device_labels(scenario.classical_nodes, labels)
     }
 
     /// The trace recorded so far.
@@ -190,7 +240,7 @@ impl TraceObserver {
     fn counter(&mut self, now: SimTime, track: usize, value: f64) {
         let bits = value.to_bits();
         let ts_ns = now.as_nanos();
-        if let Some(last) = &mut self.last_counter[track] {
+        if let Some(last) = self.last_counter.get_mut(track).and_then(Option::as_mut) {
             if last.bits == bits {
                 return;
             }
@@ -202,10 +252,18 @@ impl TraceObserver {
                 return;
             }
         }
+        let (name, pid): (Cow<'static, str>, u32) = match COUNTER_TRACKS.get(track) {
+            Some(name) => (Cow::Borrowed(*name), PID_SCHEDULER),
+            None => match self.device_track_names.get(track - SCHED_TRACKS) {
+                Some(name) => (Cow::Owned(name.clone()), PID_DEVICES),
+                None => return,
+            },
+        };
         let event = self.trace.len();
-        self.trace
-            .counter(COUNTER_TRACKS[track], now, PID_SCHEDULER, value);
-        self.last_counter[track] = Some(CounterSample { bits, ts_ns, event });
+        self.trace.counter(name, now, pid, value);
+        if let Some(slot) = self.last_counter.get_mut(track) {
+            *slot = Some(CounterSample { bits, ts_ns, event });
+        }
     }
 
     fn sample_counters(&mut self, now: SimTime) {
@@ -213,6 +271,18 @@ impl TraceObserver {
         self.counter(now, 1, self.running as f64);
         self.counter(now, 2, self.nodes_total - self.nodes_alloc);
         self.counter(now, 3, (self.devices_total - self.execs) as f64);
+    }
+
+    /// Samples device `d`'s `idle[..]`/`busy[..]` tracks from its live
+    /// execution count (the recalibrating track is driven separately,
+    /// from the planned windows on `KernelEnqueued`).
+    fn sample_device(&mut self, d: usize, now: SimTime) {
+        let Some(&execs) = self.device_execs.get(d) else {
+            return;
+        };
+        let busy = if execs > 0 { 1.0 } else { 0.0 };
+        self.counter(now, device_track(d, 0), 1.0 - busy);
+        self.counter(now, device_track(d, 1), busy);
     }
 
     fn job_tid(&mut self, job: JobId, name: &str) -> u32 {
@@ -230,7 +300,6 @@ impl TraceObserver {
         self.jobs[raw] = Some(JobSlot {
             tid,
             name: name.to_string(),
-            device: 0,
             exec_start: None,
         });
         tid
@@ -314,9 +383,6 @@ impl SimObserver for TraceObserver {
                 recalibration,
             } => {
                 let tid = self.job_tid(*job, name);
-                if let Some(slot) = self.slot_mut(*job) {
-                    slot.device = *device;
-                }
                 self.trace.instant(
                     "kernel enqueued",
                     "kernel",
@@ -330,28 +396,39 @@ impl SimObserver for TraceObserver {
                     ]),
                 );
                 if !recalibration.is_zero() {
+                    let recal_start = *start - *recalibration;
                     self.trace.complete(
                         "recalibration",
                         "device",
-                        *start - *recalibration,
+                        recal_start,
                         recalibration.as_nanos(),
                         PID_DEVICES,
                         *device as u32,
                         EventArgs::None,
                     );
+                    // The planned window is known now; sample the
+                    // device's recalibrating track at its edges. The
+                    // device queue is serial, so windows (and thus these
+                    // samples) are time-ordered per track.
+                    self.counter(recal_start, device_track(*device, 2), 1.0);
+                    self.counter(*start, device_track(*device, 2), 0.0);
                 }
             }
-            SimEvent::KernelExecStarted { job } => {
+            SimEvent::KernelExecStarted { job, device } => {
                 if let Some(slot) = self.slot_mut(*job) {
                     slot.exec_start = Some(now);
                 }
                 self.execs += 1;
+                if let Some(execs) = self.device_execs.get_mut(*device) {
+                    *execs += 1;
+                }
                 self.sample_counters(now);
+                self.sample_device(*device, now);
             }
-            SimEvent::KernelExecEnded { job } => {
-                if let Some((start, device, name)) = self
+            SimEvent::KernelExecEnded { job, device } => {
+                if let Some((start, name)) = self
                     .slot_mut(*job)
-                    .and_then(|s| s.exec_start.take().map(|t| (t, s.device, s.name.clone())))
+                    .and_then(|s| s.exec_start.take().map(|t| (t, s.name.clone())))
                 {
                     self.trace.complete(
                         name,
@@ -359,12 +436,16 @@ impl SimObserver for TraceObserver {
                         start,
                         now.saturating_since(start).as_nanos(),
                         PID_DEVICES,
-                        device as u32,
+                        *device as u32,
                         EventArgs::None,
                     );
                 }
                 self.execs -= 1;
+                if let Some(execs) = self.device_execs.get_mut(*device) {
+                    *execs -= 1;
+                }
                 self.sample_counters(now);
+                self.sample_device(*device, now);
             }
             SimEvent::JobFinalized { record } => {
                 if let Some(tid) = self
@@ -459,6 +540,111 @@ mod tests {
         for track in COUNTER_TRACKS {
             assert!(json.contains(track), "missing counter {track}");
         }
+        for track in [
+            "idle[qpu0]",
+            "busy[qpu0]",
+            "recalibrating[qpu0]",
+            "busy[qpu1]",
+        ] {
+            assert!(json.contains(track), "missing device counter {track}");
+        }
+    }
+
+    #[test]
+    fn device_tracks_carry_fleet_labels() {
+        let obs = TraceObserver::with_device_labels(
+            16,
+            vec!["frankfurt-sc".to_string(), "juelich-ion".to_string()],
+        );
+        let json = obs.trace().to_json_string();
+        for name in ["frankfurt-sc", "busy[frankfurt-sc]", "idle[juelich-ion]"] {
+            assert!(json.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn exec_events_drive_per_device_busy_tracks() {
+        let mut obs = TraceObserver::new(16, 2);
+        let job = JobId::new(0);
+        obs.on_event(
+            SimTime::ZERO,
+            &SimEvent::JobSubmitted {
+                job,
+                name: "q",
+                step: false,
+            },
+        );
+        obs.on_event(
+            SimTime::from_secs(10),
+            &SimEvent::KernelExecStarted { job, device: 1 },
+        );
+        obs.on_event(
+            SimTime::from_secs(20),
+            &SimEvent::KernelExecEnded { job, device: 1 },
+        );
+        let samples: Vec<(u64, f64)> = obs
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| e.ph == EventPhase::Counter && e.name == "busy[qpu1]")
+            .map(|e| match e.args.as_slice() {
+                [(_, ArgValue::F64(v))] => (e.ts_ns, *v),
+                other => panic!("unexpected counter args {other:?}"),
+            })
+            .collect();
+        let s = SimTime::from_secs;
+        assert_eq!(
+            samples,
+            vec![(0, 0.0), (s(10).as_nanos(), 1.0), (s(20).as_nanos(), 0.0)]
+        );
+        // Device 0 never executed: only its baseline sample exists.
+        let untouched = obs
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| e.ph == EventPhase::Counter && e.name == "busy[qpu0]")
+            .count();
+        assert_eq!(untouched, 1);
+    }
+
+    #[test]
+    fn recalibration_window_samples_its_track() {
+        let mut obs = TraceObserver::new(16, 1);
+        let job = JobId::new(0);
+        obs.on_event(
+            SimTime::ZERO,
+            &SimEvent::JobSubmitted {
+                job,
+                name: "q",
+                step: false,
+            },
+        );
+        obs.on_event(
+            SimTime::from_secs(10),
+            &SimEvent::KernelEnqueued {
+                job,
+                name: "q",
+                device: 0,
+                start: SimTime::from_secs(40),
+                end: SimTime::from_secs(50),
+                recalibration: SimDuration::from_secs(5),
+            },
+        );
+        let samples: Vec<(u64, f64)> = obs
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| e.ph == EventPhase::Counter && e.name == "recalibrating[qpu0]")
+            .map(|e| match e.args.as_slice() {
+                [(_, ArgValue::F64(v))] => (e.ts_ns, *v),
+                other => panic!("unexpected counter args {other:?}"),
+            })
+            .collect();
+        let s = SimTime::from_secs;
+        assert_eq!(
+            samples,
+            vec![(0, 0.0), (s(35).as_nanos(), 1.0), (s(40).as_nanos(), 0.0)]
+        );
     }
 
     #[test]
@@ -507,7 +693,9 @@ mod tests {
             .iter()
             .filter(|e| e.ph == EventPhase::Counter)
             .count();
-        assert_eq!(baseline, 4);
+        // Four scheduler tracks plus idle/busy/recalibrating for the
+        // single device.
+        assert_eq!(baseline, SCHED_TRACKS + DEVICE_TRACK_KINDS.len());
         obs.on_event(
             SimTime::from_secs(1),
             &SimEvent::JobSubmitted {
@@ -516,7 +704,7 @@ mod tests {
                 step: false,
             },
         );
-        // Only queue_depth changed; the other three stay unsampled.
+        // Only queue_depth changed; every other track stays unsampled.
         let after = obs
             .trace()
             .events()
@@ -549,8 +737,14 @@ mod tests {
                 recalibration: SimDuration::from_secs(2),
             },
         );
-        obs.on_event(SimTime::from_secs(12), &SimEvent::KernelExecStarted { job });
-        obs.on_event(SimTime::from_secs(20), &SimEvent::KernelExecEnded { job });
+        obs.on_event(
+            SimTime::from_secs(12),
+            &SimEvent::KernelExecStarted { job, device: 1 },
+        );
+        obs.on_event(
+            SimTime::from_secs(20),
+            &SimEvent::KernelExecEnded { job, device: 1 },
+        );
         let device_spans: Vec<_> = obs
             .trace()
             .events()

@@ -52,10 +52,12 @@ const USAGE: &str =
      [--out FILE] [--demand]\n  \
      hpcqc-sim run (--workload FILE | --source gen:FILE.json) [--scenario FILE.json]\n            \
      [--strategy S] [--nodes N] [--device TECH] [--policy P] [--seed S]\n            \
+     [--fleet FILE.json] [--route R]\n            \
      [--age-weight F] [--size-weight F] [--fairshare-weight F]\n            \
      [--fairshare-half-life SECS] [--compare] [--gantt]\n            \
      [--trace OUT.json] [--metrics OUT.csv|OUT.json]\n            \
      [--metrics-interval SECS] [--profile]\n  \
+     hpcqc-sim devices (--fleet FILE.json | --scenario FILE.json)\n  \
      hpcqc-sim sweep --grid FILE.json [--threads N] [--format csv|json|markdown]\n              \
      [--summary] [--timing] [--out FILE]\n  \
      hpcqc-sim advise --quantum-secs X --classical-secs Y --queue-wait-secs Z\n               \
@@ -63,7 +65,8 @@ const USAGE: &str =
      strategies: co-schedule | workflow | vqpu:N | malleable:N | adaptive[:N]\n\
      devices:    superconducting | trapped-ion | neutral-atom | photonic | spin-qubit\n\
      policies:   fcfs | easy | conservative | priority-backfill[:age=H] |\n            \
-     quantum-aware[:boost=P]";
+     quantum-aware[:boost=P]\n\
+     routes:     pin-first | least-loaded | tech-affinity";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -122,15 +125,70 @@ fn parse_strategy(s: &str) -> Result<Strategy, String> {
     }
 }
 
-fn parse_device(s: &str) -> Technology {
+/// Every device technology the CLI accepts, as shown in errors.
+const DEVICE_FORMS: &str = "superconducting | trapped-ion | neutral-atom | photonic | spin-qubit";
+/// Device technology names, for "did you mean" hints.
+const DEVICE_NAMES: [&str; 5] = [
+    "superconducting",
+    "trapped-ion",
+    "neutral-atom",
+    "photonic",
+    "spin-qubit",
+];
+
+/// Parses a device technology; errors enumerate every valid form and hint
+/// at the closest name (the `repro` arg-error convention).
+fn parse_device(s: &str) -> Result<Technology, String> {
     match s {
-        "superconducting" => Technology::Superconducting,
-        "trapped-ion" => Technology::TrappedIon,
-        "neutral-atom" => Technology::NeutralAtom,
-        "photonic" => Technology::Photonic,
-        "spin-qubit" => Technology::SpinQubit,
-        _ => usage(),
+        "superconducting" => Ok(Technology::Superconducting),
+        "trapped-ion" => Ok(Technology::TrappedIon),
+        "neutral-atom" => Ok(Technology::NeutralAtom),
+        "photonic" => Ok(Technology::Photonic),
+        "spin-qubit" => Ok(Technology::SpinQubit),
+        other => {
+            let hint = match hpcqc::cli::did_you_mean(other, DEVICE_NAMES) {
+                Some(known) => format!(" — did you mean `{known}`?"),
+                None => String::new(),
+            };
+            Err(format!(
+                "unknown device `{other}`{hint} (valid: {DEVICE_FORMS})"
+            ))
+        }
     }
+}
+
+/// Parses a route policy; errors enumerate every valid form and hint at
+/// the closest name (the `repro` arg-error convention).
+fn parse_route(s: &str) -> Result<RouteSpec, String> {
+    s.parse().map_err(|_| {
+        let hint = match hpcqc::cli::did_you_mean(s, ALL_ROUTES.map(|r| r.name())) {
+            Some(known) => format!(" — did you mean `{known}`?"),
+            None => String::new(),
+        };
+        format!("unknown route `{s}`{hint} (valid: {ROUTE_FORMS})")
+    })
+}
+
+/// Loads and validates a [`FleetSpec`] JSON file. Route typos inside the
+/// file get the same "did you mean" treatment as `--route`.
+fn load_fleet(path: &str) -> Result<FleetSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let fleet: FleetSpec = serde_json::from_str(&text).map_err(|e| {
+        let message = e.to_string();
+        // The serde error for a bad route already enumerates the valid
+        // forms; recover the typo'd name and add the closest candidate.
+        let hint = message
+            .split_once("unknown route `")
+            .and_then(|(_, rest)| rest.split('`').next())
+            .and_then(|name| hpcqc::cli::did_you_mean(name, ALL_ROUTES.map(|r| r.name())))
+            .map(|known| format!(" — did you mean `{known}`?"))
+            .unwrap_or_default();
+        format!("cannot parse fleet {path}: {message}{hint}")
+    })?;
+    fleet
+        .validate()
+        .map_err(|e| format!("invalid fleet {path}: {e}"))?;
+    Ok(fleet)
 }
 
 /// Bare policy names, for "did you mean" hints against the typed word.
@@ -465,6 +523,8 @@ fn run(args: &[String]) -> ExitCode {
     let mut nodes: Option<u32> = None;
     let mut device: Option<Technology> = None;
     let mut policy: Option<PolicySpec> = None;
+    let mut fleet_path: Option<String> = None;
+    let mut route: Option<RouteSpec> = None;
     let mut age_weight: Option<f64> = None;
     let mut size_weight: Option<f64> = None;
     let mut fairshare_weight: Option<f64> = None;
@@ -513,7 +573,23 @@ fn run(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
-            "--device" => device = it.next().map(|s| parse_device(s)),
+            "--device" => match it.next().map(|s| parse_device(s)) {
+                Some(Ok(d)) => device = Some(d),
+                Some(Err(message)) => {
+                    eprintln!("{message}");
+                    return ExitCode::from(2);
+                }
+                None => usage(),
+            },
+            "--fleet" => fleet_path = it.next().cloned(),
+            "--route" => match it.next().map(|s| parse_route(s)) {
+                Some(Ok(r)) => route = Some(r),
+                Some(Err(message)) => {
+                    eprintln!("{message}");
+                    return ExitCode::from(2);
+                }
+                None => usage(),
+            },
             "--policy" => match it.next().map(|s| parse_policy(s)) {
                 Some(Ok(p)) => policy = Some(p),
                 Some(Err(message)) => {
@@ -616,6 +692,31 @@ fn run(args: &[String]) -> ExitCode {
     if let Some(d) = device {
         scenario.devices = vec![d];
     }
+    if let Some(path) = fleet_path {
+        match load_fleet(&path) {
+            Ok(fleet) => scenario.fleet = Some(fleet),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match (route, &mut scenario.fleet) {
+        (Some(r), Some(fleet)) => fleet.route = r,
+        (Some(_), None) => {
+            eprintln!("--route needs a fleet (--fleet FILE, or a scenario file carrying one)");
+            return ExitCode::from(2);
+        }
+        (None, _) => {}
+    }
+    // A scenario file can carry a fleet serde cannot fully vet (duplicate
+    // device names, empty device list); catch it before the simulator.
+    if let Some(fleet) = &scenario.fleet {
+        if let Err(e) = fleet.validate() {
+            eprintln!("invalid scenario fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(p) = policy {
         scenario.policy = p;
     }
@@ -667,6 +768,14 @@ fn run(args: &[String]) -> ExitCode {
             scenario.devices,
             scenario.policy
         ),
+    }
+    if let Some(fleet) = &scenario.fleet {
+        eprintln!(
+            "fleet `{}`: {} devices, route {}",
+            fleet.name,
+            fleet.devices.len(),
+            fleet.route
+        );
     }
 
     let strategies = if compare {
@@ -727,6 +836,22 @@ fn run(args: &[String]) -> ExitCode {
                     );
                 }
                 summarize(s, &outcome, &mut table);
+                // With a fleet in force, break the per-device picture out:
+                // routing decisions are invisible in the aggregate QPU
+                // utilization column.
+                if scenario.fleet.is_some() && !compare {
+                    for d in &outcome.devices {
+                        eprintln!(
+                            "device {} [{}]: {} kernels, busy {}, util {}, recal {}",
+                            d.name,
+                            d.technology,
+                            d.tasks,
+                            fmt_secs(d.busy_seconds),
+                            fmt_pct(d.utilization),
+                            fmt_secs(d.recalibration_seconds),
+                        );
+                    }
+                }
                 if gantt && !compare {
                     if let Some(g) = &outcome.gantt {
                         eprintln!();
@@ -738,6 +863,104 @@ fn run(args: &[String]) -> ExitCode {
         }
     }
     println!("{table}");
+    ExitCode::SUCCESS
+}
+
+/// `hpcqc-sim devices`: inspect a fleet (or a scenario's device set)
+/// without running anything — one row per device, plus the route policy
+/// in force.
+fn devices(args: &[String]) -> ExitCode {
+    let mut fleet_path: Option<String> = None;
+    let mut scenario_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fleet" => fleet_path = it.next().cloned(),
+            "--scenario" => scenario_path = it.next().cloned(),
+            other => {
+                let known = ["--fleet", "--scenario"];
+                match hpcqc::cli::did_you_mean(other, known) {
+                    Some(hint) => eprintln!("unknown argument `{other}` — did you mean `{hint}`?"),
+                    None => eprintln!("unknown argument `{other}`"),
+                }
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let fleet = match (fleet_path, scenario_path) {
+        (Some(path), None) => match load_fleet(&path) {
+            Ok(fleet) => fleet,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        },
+        (None, Some(path)) => match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str::<Scenario>(&s).map_err(|e| e.to_string()))
+        {
+            Ok(sc) => sc
+                .fleet
+                // A fleetless scenario still has devices: show them as the
+                // one-device-per-technology fleet the simulator builds.
+                .unwrap_or_else(|| FleetSpec::from_legacy(&sc.devices)),
+            Err(e) => {
+                eprintln!("cannot load scenario {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (Some(_), Some(_)) => {
+            eprintln!("--fleet and --scenario are mutually exclusive");
+            return ExitCode::from(2);
+        }
+        (None, None) => usage(),
+    };
+    if let Err(e) = fleet.validate() {
+        eprintln!("invalid fleet `{}`: {e}", fleet.name);
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "fleet `{}`: {} devices, route {}",
+        fleet.name,
+        fleet.devices.len(),
+        fleet.route
+    );
+    let mut table = Table::new(vec![
+        "device",
+        "technology",
+        "qubits",
+        "shot cap",
+        "calibration",
+        "access",
+        "status",
+    ]);
+    for d in &fleet.devices {
+        table.row(vec![
+            d.name.clone(),
+            d.technology.to_string(),
+            d.qubits
+                .unwrap_or_else(|| d.technology.typical_qubits())
+                .to_string(),
+            d.shot_capacity
+                .map_or_else(|| "unlimited".into(), |cap| cap.to_string()),
+            d.calibration.map_or_else(
+                || "scenario".into(),
+                |on| if on { "on" } else { "off" }.into(),
+            ),
+            match &d.access {
+                None => "scenario".to_string(),
+                Some(AccessMode::Integrated { .. }) => "integrated".to_string(),
+                Some(AccessMode::Cloud(_)) => "cloud".to_string(),
+            },
+            if d.down == Some(true) {
+                "down"
+            } else {
+                "in service"
+            }
+            .to_string(),
+        ]);
+    }
+    print!("{table}");
     ExitCode::SUCCESS
 }
 
@@ -921,6 +1144,7 @@ fn main() -> ExitCode {
         Some("generate") => generate(&args[1..]),
         Some("gen") => gen(&args[1..]),
         Some("run") => run(&args[1..]),
+        Some("devices") => devices(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
         Some("advise") => advise(&args[1..]),
         Some("--help" | "-h") => {

@@ -36,6 +36,7 @@ pub mod cli;
 
 pub use hpcqc_cluster as cluster;
 pub use hpcqc_core as core;
+pub use hpcqc_fleet as fleet;
 pub use hpcqc_gen as gen;
 pub use hpcqc_metrics as metrics;
 pub use hpcqc_qpu as qpu;
@@ -52,6 +53,10 @@ pub mod prelude {
         driver_for, recommend, FacilitySim, FailureModel, IterSource, JobSource, Outcome,
         PhaseKind, Scenario, SimCtx, SimError, SimEvent, SimObserver, SliceSource, Strategy,
         StrategyDriver, SubmissionPlan, WalltimePolicy, WorkloadProfile,
+    };
+    pub use hpcqc_fleet::{
+        DeviceId, FleetCtx, FleetDevice, FleetSpec, QpuFleet, RoutePolicy, RouteSpec, ALL_ROUTES,
+        ROUTE_FORMS,
     };
     pub use hpcqc_gen::{
         ClassSpec, GeneratorSpec, Horizon, IntensityProfile, JobStream, TenantModel,
