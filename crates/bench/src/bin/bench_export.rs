@@ -11,6 +11,10 @@
 //! * `BENCH_streaming.json` — facility-simulation throughput on the
 //!   generate-only / streamed / materialized paths (jobs per second,
 //!   higher is better); the kernel mirrors `benches/streaming.rs`.
+//! * `BENCH_fleet.json` — per-kernel routing-decision cost for every
+//!   route policy (ns per decision) and end-to-end routed-fleet
+//!   simulation cost against the legacy single-device path (ms per run,
+//!   both lower is better); the kernels mirror `benches/fleet.rs`.
 //!
 //! # The `hpcqc-bench-export/v1` format
 //!
@@ -33,7 +37,7 @@
 //! baselines record a trajectory, they are not golden files.
 //!
 //! ```text
-//! USAGE: bench-export [--suite sched|streaming|all] [--out-dir DIR] [--quick]
+//! USAGE: bench-export [--suite sched|streaming|fleet|all] [--out-dir DIR] [--quick]
 //! ```
 //!
 //! `--quick` shrinks reps and problem sizes for smoke runs (CI uses it).
@@ -43,14 +47,15 @@ use hpcqc_cluster::cluster::{Cluster, ClusterBuilder};
 use hpcqc_cluster::gres::GresKind;
 use hpcqc_core::FacilitySim;
 use hpcqc_core::{Scenario, Strategy};
+use hpcqc_fleet::{DeviceId, FleetCtx, FleetDevice, FleetSpec, RouteSpec, ALL_ROUTES};
 use hpcqc_gen::{GeneratorSpec, Horizon};
-use hpcqc_qpu::Technology;
+use hpcqc_qpu::{Kernel, QpuDevice, Technology};
 use hpcqc_sched::scheduler::{BatchScheduler, PendingJob};
 use hpcqc_sched::PolicySpec;
 use hpcqc_simcore::rng::SimRng;
 use hpcqc_simcore::time::{SimDuration, SimTime};
 use hpcqc_workload::job::JobId;
-use hpcqc_workload::Workload;
+use hpcqc_workload::{JobClass, Pattern, Workload};
 use serde::Serialize;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -222,8 +227,133 @@ fn streaming_suite(reps: usize, quick: bool) -> Export {
     }
 }
 
+/// A mixed eight-device machine room with staggered backlogs, so every
+/// route policy has real differences to discriminate on (mirrors
+/// `benches/fleet.rs`).
+fn loaded_devices() -> Vec<QpuDevice> {
+    let techs = [
+        Technology::Superconducting,
+        Technology::TrappedIon,
+        Technology::Photonic,
+        Technology::SpinQubit,
+    ];
+    let mut devices: Vec<QpuDevice> = (0..8)
+        .map(|i| {
+            QpuDevice::new(
+                format!("qpu{i}"),
+                techs[i % techs.len()],
+                SimRng::seed_from(100 + i as u64),
+            )
+        })
+        .collect();
+    for (i, device) in devices.iter_mut().enumerate() {
+        for _ in 0..i {
+            device
+                .enqueue(&Kernel::sampling(10_000), SimTime::ZERO)
+                .expect("capable device accepts the kernel");
+        }
+    }
+    devices
+}
+
+/// VQE tenants contending for the fleet (mirrors `benches/fleet.rs`).
+fn hybrid_workload(count: usize) -> Workload {
+    Workload::builder()
+        .class(
+            JobClass::new("vqe", Pattern::vqe(6, 60.0, Kernel::sampling(20_000)))
+                .nodes_between(2, 4)
+                .quantum_estimate_secs(30.0),
+        )
+        .count(count)
+        .generate(11)
+}
+
+fn fleet_suite(reps: usize, quick: bool) -> Export {
+    let mut results = Vec::new();
+
+    // Per-kernel routing-decision cost, batched so one rep is measurable.
+    let decisions: usize = if quick { 10_000 } else { 100_000 };
+    let devices = loaded_devices();
+    let down = vec![false; devices.len()];
+    let caps = vec![None; devices.len()];
+    let kernel = Kernel::sampling(5_000);
+    for spec in ALL_ROUTES {
+        let mut policy = spec.build();
+        let ctx = FleetCtx::new(
+            SimTime::from_secs(60),
+            &devices,
+            &down,
+            &caps,
+            Some(DeviceId::new(3)),
+        );
+        let (median, min, max) = sample(reps, || {
+            for _ in 0..decisions {
+                std::hint::black_box(policy.route(&kernel, &ctx));
+            }
+        });
+        let to_ns = 1e9 / decisions as f64;
+        results.push(BenchResult {
+            bench: format!("route/{}", spec.name()),
+            unit: "ns_per_decision",
+            median: median * to_ns,
+            min: min * to_ns,
+            max: max * to_ns,
+        });
+    }
+
+    // End-to-end routed-fleet simulation against the legacy path.
+    let jobs = if quick { 10 } else { 40 };
+    let workload = hybrid_workload(jobs);
+    let fleet_of = |route: RouteSpec| {
+        FleetSpec::new("bench")
+            .device(FleetDevice::new("sc0", Technology::Superconducting))
+            .device(FleetDevice::new("ion0", Technology::TrappedIon))
+            .device(FleetDevice::new("sc1", Technology::Superconducting))
+            .route(route)
+    };
+    let to_ms = 1e3;
+    let legacy = Scenario::builder()
+        .classical_nodes(16)
+        .strategy(Strategy::CoSchedule)
+        .build();
+    let (median, min, max) = sample(reps, || {
+        FacilitySim::run(&legacy, &workload).expect("legacy run");
+    });
+    results.push(BenchResult {
+        bench: "sim/legacy_single_device".to_string(),
+        unit: "ms_per_run",
+        median: median * to_ms,
+        min: min * to_ms,
+        max: max * to_ms,
+    });
+    for route in ALL_ROUTES {
+        let scenario = Scenario::builder()
+            .classical_nodes(16)
+            .strategy(Strategy::CoSchedule)
+            .fleet(fleet_of(route))
+            .build();
+        let (median, min, max) = sample(reps, || {
+            FacilitySim::run(&scenario, &workload).expect("fleet run");
+        });
+        results.push(BenchResult {
+            bench: format!("sim/routed_{}", route.name()),
+            unit: "ms_per_run",
+            median: median * to_ms,
+            min: min * to_ms,
+            max: max * to_ms,
+        });
+    }
+
+    Export {
+        format: "hpcqc-bench-export/v1",
+        suite: "fleet",
+        reps,
+        results,
+    }
+}
+
 fn usage() -> ! {
-    eprintln!("USAGE: bench-export [--suite sched|streaming|all] [--out-dir DIR] [--quick]");
+    eprintln!("USAGE: bench-export [--suite sched|streaming|fleet|all] [--out-dir DIR] [--quick]");
     std::process::exit(2);
 }
 
@@ -241,7 +371,7 @@ fn main() -> ExitCode {
             _ => usage(),
         }
     }
-    if !matches!(suite.as_str(), "sched" | "streaming" | "all") {
+    if !matches!(suite.as_str(), "sched" | "streaming" | "fleet" | "all") {
         usage();
     }
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
@@ -255,6 +385,9 @@ fn main() -> ExitCode {
     }
     if suite == "streaming" || suite == "all" {
         exports.push(streaming_suite(reps, quick));
+    }
+    if suite == "fleet" || suite == "all" {
+        exports.push(fleet_suite(reps, quick));
     }
     for export in exports {
         let path = format!("{out_dir}/BENCH_{}.json", export.suite);

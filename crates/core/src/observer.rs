@@ -61,6 +61,7 @@ use hpcqc_cluster::ids::NodeId;
 use hpcqc_metrics::gantt::GanttRecorder;
 use hpcqc_metrics::jobstats::{JobRecord, JobStats};
 use hpcqc_metrics::waste::WasteTracker;
+use hpcqc_sched::policy::HoldReason;
 use hpcqc_simcore::time::{SimDuration, SimTime};
 use hpcqc_workload::job::JobId;
 
@@ -89,6 +90,18 @@ pub enum SimEvent<'a> {
         /// `true` for a per-step (workflow) submission of an already-known
         /// job rather than its first whole-job submission.
         step: bool,
+    },
+    /// A queued submission was held by the scheduler for a newly-diagnosed
+    /// cause (emitted at submit time and again whenever the binding cause
+    /// changes, not on every cycle — the cause is in force until the next
+    /// `JobHeld` or `JobStarted` for the same job).
+    JobHeld {
+        /// The held job.
+        job: JobId,
+        /// The job's name.
+        name: &'a str,
+        /// Why the scheduler could not start it this cycle.
+        reason: HoldReason,
     },
     /// A queued submission started: resources are granted.
     JobStarted {

@@ -34,6 +34,7 @@ use hpcqc_metrics::waste::WasteTracker;
 use hpcqc_qpu::device::QpuDevice;
 use hpcqc_qpu::error::QpuError;
 use hpcqc_qpu::kernel::Kernel;
+use hpcqc_sched::policy::HoldReason;
 use hpcqc_sched::probe::{CycleProbe, NoProbe};
 use hpcqc_sched::scheduler::{BatchScheduler, PendingJob, SchedError};
 use hpcqc_simcore::events::EventQueue;
@@ -268,6 +269,10 @@ pub(crate) struct SimState<'o> {
     jobs: JobMap,
     queue_map: BTreeMap<u64, QueueEntry>,
     next_qid: u64,
+    /// Last [`SimEvent::JobHeld`] cause emitted per queued submission
+    /// (keyed by raw qid), so the event fires only when the binding cause
+    /// changes rather than on every cycle.
+    held_reasons: BTreeMap<u64, HoldReason>,
     stats_obs: StatsObserver,
     waste_obs: WasteObserver,
     gantt_obs: Option<GanttObserver>,
@@ -503,6 +508,7 @@ impl<'o> FacilitySim<'o> {
                 events,
                 jobs: JobMap::default(),
                 queue_map: BTreeMap::new(),
+                held_reasons: BTreeMap::new(),
                 next_qid: 0,
                 stats_obs: StatsObserver::new(),
                 waste_obs,
@@ -738,9 +744,11 @@ impl<'o> SimState<'o> {
                 .scheduler
                 .try_schedule_probed(&mut self.cluster, now, probe);
             if started.is_empty() {
+                self.emit_hold_changes(now);
                 return Ok(());
             }
             for st in started {
+                self.held_reasons.remove(&st.job.raw());
                 let entry = self
                     .queue_map
                     .remove(&st.job.raw())
@@ -753,6 +761,39 @@ impl<'o> SimState<'o> {
             }
             // Starting jobs can release nothing, so one pass suffices; loop
             // again anyway in case a zero-node request pattern changed state.
+        }
+    }
+
+    /// Emits a [`SimEvent::JobHeld`] for every queued submission whose
+    /// binding cause changed in the cycle that just ran (including the
+    /// first diagnosis at submit time). Purely observational: it reads
+    /// the scheduler's per-cycle hold ledger and never feeds anything
+    /// back into scheduling state.
+    fn emit_hold_changes(&mut self, now: SimTime) {
+        let holds: Vec<(u64, HoldReason)> = self
+            .scheduler
+            .last_holds()
+            .iter()
+            .map(|(qid, reason)| (qid.raw(), *reason))
+            .collect();
+        for (qid, reason) in holds {
+            if self.held_reasons.get(&qid) == Some(&reason) {
+                continue;
+            }
+            self.held_reasons.insert(qid, reason);
+            let job = match self.queue_map.get(&qid) {
+                Some(QueueEntry::JobStart(job) | QueueEntry::Step(job)) => *job,
+                None => continue,
+            };
+            emit!(
+                self,
+                now,
+                SimEvent::JobHeld {
+                    job,
+                    name: self.jobs[&job.raw()].spec.name(),
+                    reason,
+                }
+            );
         }
     }
 
@@ -1500,6 +1541,7 @@ impl<'o> SimState<'o> {
         if let Some(qid) = queued {
             self.scheduler.cancel(JobId::new(qid));
             self.queue_map.remove(&qid);
+            self.held_reasons.remove(&qid);
         }
         self.release_current(driver, job, now)?;
         driver.on_abort(&mut SimCtx { state: self, now }, job)

@@ -128,6 +128,7 @@ impl SimObserver for EventTrace {
             SimEvent::JobSubmitted { job, name, step } => {
                 format!("submit {job} {name} step={step}")
             }
+            SimEvent::JobHeld { job, name, reason } => format!("held {job} {name} {reason}"),
             SimEvent::JobStarted { job, name, .. } => format!("start {job} {name}"),
             SimEvent::AllocationChanged {
                 job,

@@ -59,17 +59,20 @@ const SIM_CRATES: [&str; 11] = [
 ];
 
 /// Crates whose event paths can turn container iteration order into
-/// simulation state (the D002 scope).
-const EVENT_PATH_CRATES: [&str; 5] = [
+/// simulation state (the D002 scope). `hpcqc-trace` is in scope because
+/// the attribution ledgers fold the event stream into byte-identical
+/// output — hash iteration order there would leak into artifacts.
+const EVENT_PATH_CRATES: [&str; 6] = [
     "hpcqc-core",
     "hpcqc-sched",
     "hpcqc-simcore",
     "hpcqc-cluster",
     "hpcqc-fleet",
+    "hpcqc-trace",
 ];
 
 /// Crates whose library code must be panic-free (the D004 scope).
-const PANIC_FREE_CRATES: [&str; 7] = [
+const PANIC_FREE_CRATES: [&str; 8] = [
     "hpcqc-core",
     "hpcqc-sched",
     "hpcqc-simcore",
@@ -77,6 +80,7 @@ const PANIC_FREE_CRATES: [&str; 7] = [
     "hpcqc-qpu",
     "hpcqc-fleet",
     "hpcqc-workload",
+    "hpcqc-trace",
 ];
 
 impl Rule {
@@ -154,10 +158,12 @@ mod tests {
         assert!(!Rule::D001.applies_to("hpcqc"));
         assert!(Rule::D002.applies_to("hpcqc-sched"));
         assert!(Rule::D002.applies_to("hpcqc-fleet"));
+        assert!(Rule::D002.applies_to("hpcqc-trace"));
         assert!(!Rule::D002.applies_to("hpcqc-metrics"));
         assert!(Rule::D003.applies_to("hpcqc-bench"));
         assert!(Rule::D004.applies_to("hpcqc-fleet"));
         assert!(Rule::D004.applies_to("hpcqc-workload"));
+        assert!(Rule::D004.applies_to("hpcqc-trace"));
         assert!(!Rule::D004.applies_to("hpcqc-sweep"));
         assert!(Rule::D005.applies_to("hpcqc"));
     }

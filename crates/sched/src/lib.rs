@@ -59,8 +59,8 @@ pub mod scheduler;
 
 pub use demand::{Demand, Profile};
 pub use policy::{
-    sort_by_score, sort_multifactor, Discipline, ParsePolicyError, PolicySpec, QueuePolicy,
-    SchedCtx, Verdict, POLICY_FORMS,
+    sort_by_score, sort_multifactor, Discipline, HoldReason, ParsePolicyError, PolicySpec,
+    QueuePolicy, SchedCtx, Verdict, ALL_HOLD_REASONS, POLICY_FORMS,
 };
 pub use priority::{PriorityCalculator, PriorityWeights};
 pub use probe::{CyclePhase, CycleProbe, NoProbe};

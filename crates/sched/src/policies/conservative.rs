@@ -1,7 +1,7 @@
 //! Conservative backfilling.
 
 use crate::demand::{Demand, Profile};
-use crate::policy::{sort_multifactor, QueuePolicy, SchedCtx, Verdict};
+use crate::policy::{sort_multifactor, HoldReason, QueuePolicy, SchedCtx, Verdict};
 use crate::scheduler::PendingJob;
 
 /// Conservative backfilling: *every* job that cannot start now reserves
@@ -38,11 +38,16 @@ impl QueuePolicy for ConservativeBackfill {
         if slot > ctx.now() {
             // Reserve its future slot so later jobs cannot delay it.
             profile.reserve(demand, slot, job.walltime);
-            Verdict::Hold
+            // Fits the live machine but not the reservation timeline →
+            // an earlier job's reservation is what the job waits on.
+            Verdict::Hold(match ctx.hold_reason(&job.request) {
+                HoldReason::PolicyHold => HoldReason::HeadShadow,
+                reason => reason,
+            })
         } else if ctx.can_allocate(&job.request) {
             Verdict::Start
         } else {
-            Verdict::Hold
+            Verdict::Hold(ctx.hold_reason(&job.request))
         }
     }
 }

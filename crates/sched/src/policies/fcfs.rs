@@ -43,7 +43,9 @@ impl QueuePolicy for Fcfs {
         if !self.blocked && ctx.can_allocate(&job.request) {
             Verdict::Start
         } else {
-            Verdict::Hold
+            // `hold_reason` reads `policy-hold` exactly when the machine
+            // would fit the job — i.e. pure head-of-line blocking.
+            Verdict::Hold(ctx.hold_reason(&job.request))
         }
     }
 

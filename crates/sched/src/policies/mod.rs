@@ -14,7 +14,7 @@
 //! [`BatchScheduler::custom`](crate::BatchScheduler::custom).
 
 use crate::demand::{Demand, Profile};
-use crate::policy::{SchedCtx, Verdict};
+use crate::policy::{HoldReason, SchedCtx, Verdict};
 use crate::scheduler::PendingJob;
 use hpcqc_simcore::time::SimTime;
 
@@ -50,7 +50,13 @@ pub(crate) fn easy_admit(
     if can_start {
         Verdict::Start
     } else {
-        Verdict::Hold
+        // Name the binding cause: a live resource shortage when there is
+        // one; otherwise the machine would fit the job right now and only
+        // the head's shadow reservation stands in the way.
+        Verdict::Hold(match ctx.hold_reason(&job.request) {
+            HoldReason::PolicyHold if head_blocked => HoldReason::HeadShadow,
+            reason => reason,
+        })
     }
 }
 

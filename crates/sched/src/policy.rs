@@ -48,7 +48,9 @@
 //!         if ctx.can_allocate(&job.request) {
 //!             Verdict::Start
 //!         } else {
-//!             Verdict::Hold
+//!             // `hold_reason` names the binding shortage for the
+//!             // attribution layer (insufficient nodes, QPU tokens, …).
+//!             Verdict::Hold(ctx.hold_reason(&job.request))
 //!         }
 //!     }
 //! }
@@ -79,8 +81,9 @@ use crate::demand::{Demand, Profile};
 use crate::policies;
 use crate::priority::{PriorityCalculator, PriorityWeights};
 use crate::scheduler::PendingJob;
-use hpcqc_cluster::alloc::AllocRequest;
+use hpcqc_cluster::alloc::{AllocRequest, GroupRequest};
 use hpcqc_cluster::cluster::Cluster;
+use hpcqc_cluster::error::ClusterError;
 use hpcqc_cluster::gres::GresKind;
 use hpcqc_simcore::time::SimTime;
 use serde::{Deserialize, Serialize, Value};
@@ -88,14 +91,82 @@ use std::cmp::Reverse;
 use std::fmt;
 use std::str::FromStr;
 
+/// Why a queued job (or, at the device layer, a routed kernel) is
+/// waiting instead of running — the causal label behind every hold.
+///
+/// The first four variants are produced by queue policies at scheduling
+/// cycles (see [`SchedCtx::hold_reason`] for the resource
+/// classification); the `Device*` variants are reserved for the fleet /
+/// device layer, which reuses this vocabulary so one cause taxonomy
+/// spans batch-queue waits and intra-QPU waits.
+///
+/// The `Ord` impl exists so reasons can key `BTreeMap` blame tables;
+/// the order itself carries no meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HoldReason {
+    /// Not enough free classical nodes to place the request.
+    InsufficientNodes,
+    /// Not enough free gres tokens (QPU contention at the batch layer:
+    /// every token is held by another job).
+    InsufficientGres,
+    /// Resources would fit the live cluster right now, but starting
+    /// would delay a protected reservation — EASY's head shadow, or a
+    /// conservative per-job reservation carved earlier in the cycle.
+    HeadShadow,
+    /// The policy held the job for its own reasons while resources fit
+    /// (FCFS head-of-line blocking, custom policy logic).
+    PolicyHold,
+    /// Kernel queued behind a busy device (intra-QPU contention).
+    DeviceBusy,
+    /// Kernel waiting out a device recalibration window.
+    DeviceRecalibrating,
+    /// Kernel blocked on a device that is out of service.
+    DeviceDown,
+}
+
+/// Every [`HoldReason`] variant, for blame-table iteration.
+pub const ALL_HOLD_REASONS: [HoldReason; 7] = [
+    HoldReason::InsufficientNodes,
+    HoldReason::InsufficientGres,
+    HoldReason::HeadShadow,
+    HoldReason::PolicyHold,
+    HoldReason::DeviceBusy,
+    HoldReason::DeviceRecalibrating,
+    HoldReason::DeviceDown,
+];
+
+impl HoldReason {
+    /// Short kebab-case cause label for tables and traces.
+    /// [`HoldReason::InsufficientGres`] reads `qpu-contention`: in this
+    /// simulator every gres token is a QPU token, and "who pays the QPU
+    /// wait" is the question the label answers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HoldReason::InsufficientNodes => "insufficient-nodes",
+            HoldReason::InsufficientGres => "qpu-contention",
+            HoldReason::HeadShadow => "head-shadow",
+            HoldReason::PolicyHold => "policy-hold",
+            HoldReason::DeviceBusy => "device-busy",
+            HoldReason::DeviceRecalibrating => "device-recalibrating",
+            HoldReason::DeviceDown => "device-down",
+        }
+    }
+}
+
+impl fmt::Display for HoldReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// A policy's verdict on one queued job during one scheduling cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
     /// Start the job now (the scheduler still re-validates against the
     /// live cluster; a failed allocation turns into a hold).
     Start,
-    /// Keep the job queued this cycle.
-    Hold,
+    /// Keep the job queued this cycle, for the stated reason.
+    Hold(HoldReason),
 }
 
 /// Read-only capability handle a [`QueuePolicy`] decides against.
@@ -149,6 +220,51 @@ impl<'a> SchedCtx<'a> {
     /// `true` if the live cluster can satisfy `request` right now.
     pub fn can_allocate(&self, request: &AllocRequest) -> bool {
         self.cluster.can_allocate(request).is_ok()
+    }
+
+    /// Classifies why `request` is not running right now: the binding
+    /// resource shortage, or [`HoldReason::PolicyHold`] when the live
+    /// cluster could satisfy it (the hold is the policy's own doing).
+    /// Purely read-only — calling it cannot perturb a scheduling cycle.
+    ///
+    /// When *both* the node pool and the request's gres tokens are
+    /// exhausted, the gres wins the blame: even a cluster with infinite
+    /// free nodes would still hold the job, so the token is the binding
+    /// constraint. (Nodes recycle every few minutes as batch jobs drain;
+    /// a co-scheduled QPU token is pinned for a whole hybrid campaign —
+    /// attributing the scarcer, slower-recycling resource is what makes
+    /// the wait ledger actionable.)
+    pub fn hold_reason(&self, request: &AllocRequest) -> HoldReason {
+        match self.cluster.can_allocate(request) {
+            Ok(()) => HoldReason::PolicyHold,
+            Err(ClusterError::InsufficientNodes { .. }) => {
+                if self.gres_also_blocked(request) {
+                    HoldReason::InsufficientGres
+                } else {
+                    HoldReason::InsufficientNodes
+                }
+            }
+            Err(ClusterError::InsufficientGres { .. } | ClusterError::NoSuchGres { .. }) => {
+                HoldReason::InsufficientGres
+            }
+            Err(_) => HoldReason::PolicyHold,
+        }
+    }
+
+    /// `true` if the gres-only residue of `request` (every group's token
+    /// demands, with the node demands dropped) cannot be satisfied either.
+    fn gres_also_blocked(&self, request: &AllocRequest) -> bool {
+        let mut residue = AllocRequest::new();
+        for group in request.groups() {
+            if group.gres.iter().any(|(_, n)| *n > 0) {
+                residue = residue.group(GroupRequest {
+                    partition: group.partition.clone(),
+                    nodes: 0,
+                    gres: group.gres.clone(),
+                });
+            }
+        }
+        !residue.is_empty() && self.cluster.can_allocate(&residue).is_err()
     }
 
     /// Total free units of a gres kind across every partition (e.g. idle

@@ -13,11 +13,12 @@
 //! queue policy in force.
 
 use crate::demand::{Demand, Profile};
-use crate::policy::{PolicySpec, QueuePolicy, SchedCtx, Verdict};
+use crate::policy::{HoldReason, PolicySpec, QueuePolicy, SchedCtx, Verdict};
 use crate::priority::PriorityCalculator;
 use crate::probe::{CyclePhase, CycleProbe, NoProbe};
 use hpcqc_cluster::alloc::AllocRequest;
 use hpcqc_cluster::cluster::Cluster;
+use hpcqc_cluster::error::ClusterError;
 use hpcqc_cluster::ids::AllocationId;
 use hpcqc_simcore::time::{SimDuration, SimTime};
 use hpcqc_workload::job::JobId;
@@ -109,6 +110,7 @@ pub struct BatchScheduler {
     running: BTreeMap<AllocationId, Running>,
     total_started: u64,
     total_finished: u64,
+    last_holds: Vec<(JobId, HoldReason)>,
 }
 
 impl BatchScheduler {
@@ -140,6 +142,7 @@ impl BatchScheduler {
             running: BTreeMap::new(),
             total_started: 0,
             total_finished: 0,
+            last_holds: Vec::new(),
         }
     }
 
@@ -163,6 +166,13 @@ impl BatchScheduler {
     /// Jobs currently queued.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Why each job still queued after the last scheduling cycle was held,
+    /// in the order the policy considered them. Empty between cycles with
+    /// nothing pending. Reading this never affects scheduling decisions.
+    pub fn last_holds(&self) -> &[(JobId, HoldReason)] {
+        &self.last_holds
     }
 
     /// The queued jobs, in the order the policy last left them (after a
@@ -279,6 +289,7 @@ impl BatchScheduler {
         now: SimTime,
         probe: &mut dyn CycleProbe,
     ) -> Vec<StartedJob> {
+        self.last_holds.clear();
         if self.pending.is_empty() {
             return Vec::new();
         }
@@ -306,32 +317,39 @@ impl BatchScheduler {
                 &SchedCtx::new(now, cluster, &self.priority),
             );
             probe.phase_end(CyclePhase::Admit);
-            if verdict == Verdict::Start {
-                probe.phase_start(CyclePhase::Allocate);
-                let granted = cluster.allocate(&job.request, now);
-                probe.phase_end(CyclePhase::Allocate);
-                match granted {
-                    Ok(alloc) => {
-                        profile.reserve(&demand, now, job.walltime);
-                        self.running.insert(
-                            alloc,
-                            Running {
-                                job: job.id,
-                                user: job.user.clone(),
-                                demand,
-                                expected_end: now + job.walltime,
-                                node_count: Self::nodes_of(&job),
-                                started: now,
-                            },
-                        );
-                        self.total_started += 1;
-                        started.push(StartedJob { job: job.id, alloc });
-                        continue;
+            match verdict {
+                Verdict::Start => {
+                    probe.phase_start(CyclePhase::Allocate);
+                    let granted = cluster.allocate(&job.request, now);
+                    probe.phase_end(CyclePhase::Allocate);
+                    match granted {
+                        Ok(alloc) => {
+                            profile.reserve(&demand, now, job.walltime);
+                            self.running.insert(
+                                alloc,
+                                Running {
+                                    job: job.id,
+                                    user: job.user.clone(),
+                                    demand,
+                                    expected_end: now + job.walltime,
+                                    node_count: Self::nodes_of(&job),
+                                    started: now,
+                                },
+                            );
+                            self.total_started += 1;
+                            started.push(StartedJob { job: job.id, alloc });
+                            continue;
+                        }
+                        Err(err) => {
+                            // Profile said yes but the live cluster disagrees
+                            // (e.g. failed nodes): treat as held, blaming the
+                            // concrete shortage the allocator reported.
+                            self.last_holds.push((job.id, Self::classify(&err)));
+                        }
                     }
-                    Err(_) => {
-                        // Profile said yes but the live cluster disagrees
-                        // (e.g. failed nodes): treat as held.
-                    }
+                }
+                Verdict::Hold(reason) => {
+                    self.last_holds.push((job.id, reason));
                 }
             }
             self.policy.held(
@@ -349,6 +367,19 @@ impl BatchScheduler {
 
     fn nodes_of(job: &PendingJob) -> u32 {
         job.request.total_nodes()
+    }
+
+    /// Maps a live-allocation failure onto the same causes
+    /// [`SchedCtx::hold_reason`] reports, so the ledger downstream never
+    /// sees an unlabeled hold.
+    fn classify(err: &ClusterError) -> HoldReason {
+        match err {
+            ClusterError::InsufficientNodes { .. } => HoldReason::InsufficientNodes,
+            ClusterError::InsufficientGres { .. } | ClusterError::NoSuchGres { .. } => {
+                HoldReason::InsufficientGres
+            }
+            _ => HoldReason::PolicyHold,
+        }
     }
 }
 
@@ -624,7 +655,7 @@ mod tests {
                 _profile: &mut Profile,
                 _ctx: &SchedCtx<'_>,
             ) -> Verdict {
-                Verdict::Hold
+                Verdict::Hold(HoldReason::PolicyHold)
             }
         }
         let mut c = cluster(10);
@@ -634,6 +665,11 @@ mod tests {
         s.submit(job(0, 1, 100, 0), &c).unwrap();
         assert!(s.try_schedule(&mut c, SimTime::ZERO).is_empty());
         assert_eq!(s.pending_len(), 1);
+        assert_eq!(
+            s.last_holds(),
+            &[(JobId::new(0), HoldReason::PolicyHold)],
+            "the cycle records why the job was held"
+        );
     }
 
     #[test]

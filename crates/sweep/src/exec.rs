@@ -7,8 +7,9 @@
 //! count, only wall-clock time changes.
 
 use crate::grid::{Cell, Grid};
-use crate::result::{CellResult, CellTiming, SweepResult};
+use crate::result::{CellResult, CellTiming, SweepResult, WaitShares};
 use hpcqc_core::sim::FacilitySim;
+use hpcqc_trace::AttributionObserver;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -150,6 +151,48 @@ impl Executor {
     where
         P: Fn(usize, usize) + Sync,
     {
+        self.run_sim_inner(grid, progress, false)
+    }
+
+    /// [`Executor::run_sim`] with an
+    /// [`AttributionObserver`] attached to every cell: rows gain the
+    /// wait-decomposition shares (`wait_qpu_frac`, `wait_shadow_frac`).
+    /// The observer only watches the event stream, so every metric the
+    /// plain path emits stays byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (lowest-index) cell whose simulation failed.
+    pub fn run_sim_attributed(&self, grid: &Grid) -> Result<SweepResult, SweepError> {
+        self.run_sim_attributed_with(grid, |_, _| {})
+    }
+
+    /// [`Executor::run_sim_attributed`] with a live progress callback
+    /// (see [`Executor::run_sim_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (lowest-index) cell whose simulation failed.
+    pub fn run_sim_attributed_with<P>(
+        &self,
+        grid: &Grid,
+        progress: P,
+    ) -> Result<SweepResult, SweepError>
+    where
+        P: Fn(usize, usize) + Sync,
+    {
+        self.run_sim_inner(grid, progress, true)
+    }
+
+    fn run_sim_inner<P>(
+        &self,
+        grid: &Grid,
+        progress: P,
+        attributed: bool,
+    ) -> Result<SweepResult, SweepError>
+    where
+        P: Fn(usize, usize) + Sync,
+    {
         grid.validate().map_err(|message| SweepError {
             cell_index: 0,
             message,
@@ -159,7 +202,22 @@ impl Executor {
         let outcomes = self.run_cells(grid, |cell| {
             let started = wall_now();
             let workload = grid.workload.build(cell.load_per_hour, cell.replica_seed);
-            let outcome = FacilitySim::run(&cell.scenario(), &workload).map_err(|e| e.to_string());
+            let outcome = if attributed {
+                let mut attribution = AttributionObserver::new();
+                FacilitySim::run_observed(&cell.scenario(), &workload, &mut [&mut attribution])
+                    .map(|outcome| {
+                        let shares = WaitShares {
+                            qpu_frac: attribution.qpu_contention_frac(),
+                            shadow_frac: attribution.shadow_frac(),
+                        };
+                        (outcome, Some(shares))
+                    })
+                    .map_err(|e| e.to_string())
+            } else {
+                FacilitySim::run(&cell.scenario(), &workload)
+                    .map(|outcome| (outcome, None))
+                    .map_err(|e| e.to_string())
+            };
             let timing = CellTiming {
                 index: cell.index,
                 wall_secs: started.elapsed().as_secs_f64(),
@@ -172,10 +230,11 @@ impl Executor {
         let mut timings = Vec::with_capacity(outcomes.len());
         for (index, (outcome, timing)) in outcomes.into_iter().enumerate() {
             match outcome {
-                Ok(outcome) => {
+                Ok((outcome, shares)) => {
                     results.push(CellResult {
                         cell: grid.cell(index),
                         outcome,
+                        shares,
                     });
                     timings.push(timing);
                 }
@@ -260,6 +319,44 @@ mod tests {
         let plain = Executor::new(1).run_sim(&grid).expect("sweep runs");
         assert_eq!(plain.timings().len(), 2);
         assert_eq!(plain.to_csv(), result.to_csv());
+    }
+
+    #[test]
+    fn run_sim_attributed_adds_share_columns_only() {
+        let grid = Grid::builder()
+            .strategies(vec![Strategy::CoSchedule, Strategy::Workflow])
+            .base_seed(42)
+            .build();
+        let plain = Executor::new(1).run_sim(&grid).expect("sweep runs");
+        let attributed = Executor::new(1)
+            .run_sim_attributed(&grid)
+            .expect("sweep runs");
+        let plain_csv = plain.to_csv();
+        let attributed_csv = attributed.to_csv();
+        assert!(!plain_csv.contains("wait_qpu_frac"));
+        assert!(attributed_csv.contains("wait_qpu_frac,wait_shadow_frac"));
+        // Shares are in [0, 1] and the observer never perturbs metrics:
+        // stripping the two extra columns recovers the plain table.
+        for result in attributed.results() {
+            let shares = result.shares.expect("attributed cell has shares");
+            assert!((0.0..=1.0).contains(&shares.qpu_frac));
+            assert!((0.0..=1.0).contains(&shares.shadow_frac));
+        }
+        let stripped: Vec<String> = attributed_csv
+            .lines()
+            .map(|line| {
+                line.rsplitn(3, ',')
+                    .nth(2)
+                    .expect("row has share columns")
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(plain_csv.trim_end(), stripped.join("\n"));
+        // And the attributed path is thread-invariant too.
+        let attributed4 = Executor::new(4)
+            .run_sim_attributed(&grid)
+            .expect("sweep runs");
+        assert_eq!(attributed_csv, attributed4.to_csv());
     }
 
     #[test]

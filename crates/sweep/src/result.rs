@@ -14,6 +14,22 @@ pub struct CellResult {
     pub cell: Cell,
     /// Everything the facility simulation produced.
     pub outcome: Outcome,
+    /// Wait-decomposition shares, when the sweep ran with attribution
+    /// ([`Executor::run_sim_attributed`](crate::exec::Executor::run_sim_attributed));
+    /// `None` on the plain path, keeping legacy outputs byte-identical.
+    pub shares: Option<WaitShares>,
+}
+
+/// Facility-wide wait-decomposition shares for one cell, distilled from
+/// the [`AttributionObserver`](hpcqc_trace::AttributionObserver) ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaitShares {
+    /// Share of all attributed wait paid to QPU contention
+    /// (`qpu-contention` gres shortage + `device-busy` kernel queueing).
+    pub qpu_frac: f64,
+    /// Share of all attributed wait paid to the head job's backfill
+    /// shadow (`head-shadow`).
+    pub shadow_frac: f64,
 }
 
 /// Harness-layer cost of simulating one cell.
@@ -75,6 +91,14 @@ pub struct CellRow {
     pub node_hours_wasted: f64,
     /// Jobs recorded failed.
     pub failed: u64,
+    /// Share of attributed wait paid to QPU contention (attributed
+    /// sweeps only; absent — and skipped in JSON — on the plain path).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub wait_qpu_frac: Option<f64>,
+    /// Share of attributed wait paid to the head job's backfill shadow
+    /// (attributed sweeps only; absent on the plain path).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub wait_shadow_frac: Option<f64>,
 }
 
 impl CellRow {
@@ -103,6 +127,8 @@ impl CellRow {
             qpu_utilization: outcome.mean_device_utilization(),
             node_hours_wasted: outcome.stats.total_node_hours_wasted(),
             failed: outcome.stats.failed_count() as u64,
+            wait_qpu_frac: result.shares.map(|s| s.qpu_frac),
+            wait_shadow_frac: result.shares.map(|s| s.shadow_frac),
         }
     }
 
@@ -240,9 +266,12 @@ impl SweepResult {
     /// The per-cell metric table. The `fleet` column only appears when
     /// the grid had a fleet axis, keeping fleetless CSVs (and their
     /// golden fixtures) byte-identical.
+    /// Wait-decomposition columns (`wait_qpu_frac`, `wait_shadow_frac`)
+    /// likewise only appear when the sweep ran attributed.
     pub fn table(&self) -> Table {
         let rows = self.rows();
         let has_fleet = rows.iter().any(|r| r.fleet.is_some());
+        let has_shares = rows.iter().any(|r| r.wait_qpu_frac.is_some());
         let mut headers = vec!["index", "strategy", "policy", "nodes", "technology"];
         if has_fleet {
             headers.push("fleet");
@@ -261,6 +290,9 @@ impl SweepResult {
             "node_h_wasted",
             "failed",
         ]);
+        if has_shares {
+            headers.extend(["wait_qpu_frac", "wait_shadow_frac"]);
+        }
         let mut table = Table::new(headers);
         for row in rows {
             let mut cells = vec![
@@ -287,6 +319,12 @@ impl SweepResult {
                 format!("{:.4}", row.node_hours_wasted),
                 row.failed.to_string(),
             ]);
+            if has_shares {
+                let share =
+                    |v: Option<f64>| v.map_or_else(|| String::from("-"), |f| format!("{f:.6}"));
+                cells.push(share(row.wait_qpu_frac));
+                cells.push(share(row.wait_shadow_frac));
+            }
             table.row(cells);
         }
         table

@@ -1,0 +1,860 @@
+//! Causal wait attribution: who pays the queue wait, and why.
+//!
+//! The simulator already *decides* why every queued submission cannot
+//! start — [`SimEvent::JobHeld`] names the binding cause each time it
+//! changes, and [`SimEvent::KernelEnqueued`] carries each kernel's
+//! planned device window. This module stops those decisions evaporating:
+//! [`AttributionObserver`] folds the event stream into a per-job ledger
+//! of **disjoint, causally-labeled wait intervals** that exactly
+//! partition each job's queue wait (integer nanoseconds — the sums are
+//! exact, not approximate), plus the per-kernel device-side decomposition
+//! (queued behind a busy device vs. waiting out recalibration).
+//!
+//! On top of the ledger sit the *blame tables* — aggregations by cause,
+//! tenant, job class and device ([`AttributionObserver::by_cause`] and
+//! friends, all [`Table`]-backed so CSV/JSON/markdown come for free) — a
+//! per-job critical-path summary naming each job's dominant wait
+//! contributor ([`AttributionObserver::critical_path`]), and a Chrome
+//! trace exporter whose flow arrows chain a job's wait intervals into
+//! the causal sequence Perfetto draws as a connected path
+//! ([`AttributionObserver::to_chrome_trace`]).
+//!
+//! Everything here is observational: the observer reads the event
+//! stream and never feeds anything back into the simulation.
+//!
+//! ## Cause taxonomy
+//!
+//! Queue-side causes come verbatim from the scheduler's
+//! [`HoldReason`]; device-side waits reuse the same enum so one table
+//! can rank them together:
+//!
+//! | cause | meaning |
+//! |---|---|
+//! | `insufficient-nodes` | not enough free classical nodes |
+//! | `qpu-contention` | not enough free QPU gres tokens |
+//! | `head-shadow` | fits now, blocked by the head job's reservation |
+//! | `policy-hold` | fits now, policy ordering says wait |
+//! | `device-busy` | kernel queued behind earlier kernels on its device |
+//! | `device-recalibrating` | kernel waiting out a recalibration window |
+//! | `device-down` | kernel blocked on an out-of-service device |
+//!
+//! [`SimEvent::JobHeld`]: hpcqc_core::observer::SimEvent::JobHeld
+//! [`SimEvent::KernelEnqueued`]: hpcqc_core::observer::SimEvent::KernelEnqueued
+
+use crate::chrome::ChromeTrace;
+use hpcqc_core::observer::{SimEvent, SimObserver};
+use hpcqc_metrics::report::{fmt_pct, fmt_secs, Table};
+use hpcqc_sched::policy::{HoldReason, ALL_HOLD_REASONS};
+use hpcqc_simcore::time::{SimDuration, SimTime};
+use hpcqc_workload::job::JobId;
+use std::collections::BTreeMap;
+
+/// One causally-labeled slice of a submission's queue wait.
+///
+/// Intervals produced for a given submission are pairwise disjoint,
+/// contiguous, and cover `[submit, start)` exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitInterval {
+    /// Interval start (inclusive).
+    pub from: SimTime,
+    /// Interval end (exclusive).
+    pub to: SimTime,
+    /// The cause in force across the whole interval.
+    pub cause: HoldReason,
+}
+
+impl WaitInterval {
+    /// The interval's length.
+    pub fn len(&self) -> SimDuration {
+        self.to.saturating_since(self.from)
+    }
+
+    /// `true` for a zero-length interval (never produced by the
+    /// observer; here for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.to <= self.from
+    }
+}
+
+/// Device-side wait a job's kernels accumulated on one device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceWait {
+    /// Time spent queued behind earlier kernels (`device-busy`).
+    pub busy: SimDuration,
+    /// Time spent waiting out recalibration (`device-recalibrating`).
+    pub recal: SimDuration,
+}
+
+/// One kernel's device-side wait window, in enqueue order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelWindow {
+    /// When the kernel was placed on the device queue.
+    pub enqueued: SimTime,
+    /// Time queued behind earlier kernels before anything else happens.
+    pub busy: SimDuration,
+    /// Recalibration window run immediately before execution.
+    pub recal: SimDuration,
+}
+
+/// The complete wait ledger for one job.
+#[derive(Debug, Clone, Default)]
+pub struct JobLedger {
+    /// The job's name.
+    pub name: String,
+    /// The submitting tenant (filled at finalization; empty until then).
+    pub user: String,
+    /// `true` once the job finalized with quantum phases.
+    pub hybrid: bool,
+    /// Queue-wait intervals, in chronological order, across every
+    /// submission that reached a start. Their lengths sum exactly to
+    /// [`queue_wait`](JobLedger::queue_wait).
+    pub intervals: Vec<WaitInterval>,
+    /// Total queue wait over the job's started submissions.
+    pub queue_wait: SimDuration,
+    /// Device-side wait per device index.
+    pub devices: BTreeMap<usize, DeviceWait>,
+    /// Per-kernel wait windows, in enqueue order (feeds the Chrome
+    /// trace's chronological wait chain).
+    pub windows: Vec<KernelWindow>,
+}
+
+impl JobLedger {
+    /// The job's class: its name with the trailing `-<n>` instance
+    /// suffix stripped (`vqe-12` → `vqe`), or the whole name when there
+    /// is no such suffix.
+    pub fn class(&self) -> &str {
+        match self.name.rsplit_once('-') {
+            Some((class, n)) if !n.is_empty() && n.bytes().all(|b| b.is_ascii_digit()) => class,
+            _ => &self.name,
+        }
+    }
+
+    /// Queue wait attributed to `cause`.
+    pub fn wait_for(&self, cause: HoldReason) -> SimDuration {
+        self.intervals
+            .iter()
+            .filter(|iv| iv.cause == cause)
+            .fold(SimDuration::ZERO, |acc, iv| acc + iv.len())
+    }
+
+    /// Total device-side wait (busy + recalibration over all devices).
+    pub fn device_wait(&self) -> SimDuration {
+        self.devices
+            .values()
+            .fold(SimDuration::ZERO, |acc, d| acc + d.busy + d.recal)
+    }
+
+    /// Per-cause totals: queue-wait intervals bucketed by their
+    /// [`HoldReason`], plus device-side waits under
+    /// [`HoldReason::DeviceBusy`] / [`HoldReason::DeviceRecalibrating`].
+    pub fn cause_totals(&self) -> BTreeMap<HoldReason, SimDuration> {
+        let mut totals: BTreeMap<HoldReason, SimDuration> = BTreeMap::new();
+        for iv in &self.intervals {
+            *totals.entry(iv.cause).or_default() += iv.len();
+        }
+        for dev in self.devices.values() {
+            if !dev.busy.is_zero() {
+                *totals.entry(HoldReason::DeviceBusy).or_default() += dev.busy;
+            }
+            if !dev.recal.is_zero() {
+                *totals.entry(HoldReason::DeviceRecalibrating).or_default() += dev.recal;
+            }
+        }
+        totals
+    }
+
+    /// The dominant wait contributor: the cause with the largest total
+    /// (ties broken by enum order, which is deterministic), or `None`
+    /// for a job that never waited.
+    pub fn dominant_cause(&self) -> Option<(HoldReason, SimDuration)> {
+        self.cause_totals()
+            .into_iter()
+            .filter(|(_, d)| !d.is_zero())
+            .max_by_key(|&(cause, d)| (d, std::cmp::Reverse(cause)))
+    }
+}
+
+/// A submission currently waiting in the batch queue.
+#[derive(Debug, Clone, Copy)]
+struct OpenWait {
+    /// The raw job id the submission belongs to.
+    job: u64,
+    /// When the submission entered the queue.
+    submitted: SimTime,
+    /// Start of the currently-open interval.
+    since: SimTime,
+    /// Cause in force since `since` (`None` until the first
+    /// [`SimEvent::JobHeld`] — which arrives in the same instant as the
+    /// submission whenever the job does not start immediately).
+    ///
+    /// [`SimEvent::JobHeld`]: hpcqc_core::observer::SimEvent::JobHeld
+    cause: Option<HoldReason>,
+}
+
+/// Folds the event stream into per-job [`JobLedger`]s and serves the
+/// blame tables, critical-path summary and Chrome-trace export built on
+/// them. See the [module docs](self) for the full picture.
+///
+/// Attach with
+/// [`FacilitySim::run_observed`](hpcqc_core::FacilitySim::run_observed)
+/// or any streamed variant; interrogate afterwards.
+#[derive(Debug, Default)]
+pub struct AttributionObserver {
+    /// Per-job ledgers, keyed by raw [`JobId`] (insertion via BTreeMap
+    /// keeps every iteration deterministic).
+    ledgers: BTreeMap<u64, JobLedger>,
+    /// Waiting submissions, keyed by raw job id (one open submission
+    /// per job at a time — the simulator enforces that).
+    open: BTreeMap<u64, OpenWait>,
+    /// `name → raw job id`, for joining [`SimEvent::JobFinalized`]
+    /// records (which carry no id) back onto ledgers.
+    ///
+    /// [`SimEvent::JobFinalized`]: hpcqc_core::observer::SimEvent::JobFinalized
+    by_name: BTreeMap<String, u64>,
+}
+
+impl AttributionObserver {
+    /// Creates an empty observer.
+    pub fn new() -> Self {
+        AttributionObserver::default()
+    }
+
+    /// The per-job ledgers, keyed by raw job id, in id order.
+    pub fn ledgers(&self) -> impl Iterator<Item = (JobId, &JobLedger)> {
+        self.ledgers
+            .iter()
+            .map(|(raw, ledger)| (JobId::new(*raw), ledger))
+    }
+
+    /// The ledger for `job`, if the job ever appeared on the stream.
+    pub fn ledger(&self, job: JobId) -> Option<&JobLedger> {
+        self.ledgers.get(&job.raw())
+    }
+
+    /// Number of jobs with a ledger.
+    pub fn len(&self) -> usize {
+        self.ledgers.len()
+    }
+
+    /// `true` before any job was observed.
+    pub fn is_empty(&self) -> bool {
+        self.ledgers.is_empty()
+    }
+
+    /// Facility-wide per-cause totals (queue-side and device-side), in
+    /// [`HoldReason`] order.
+    pub fn cause_totals(&self) -> BTreeMap<HoldReason, SimDuration> {
+        let mut totals: BTreeMap<HoldReason, SimDuration> = BTreeMap::new();
+        for ledger in self.ledgers.values() {
+            for (cause, d) in ledger.cause_totals() {
+                *totals.entry(cause).or_default() += d;
+            }
+        }
+        totals
+    }
+
+    /// Total attributed wait: every queue wait plus every device wait.
+    pub fn total_wait(&self) -> SimDuration {
+        self.ledgers.values().fold(SimDuration::ZERO, |acc, l| {
+            acc + l.queue_wait + l.device_wait()
+        })
+    }
+
+    /// Share of the total attributed wait paid to QPU contention: the
+    /// `qpu-contention` queue cause (not enough gres tokens) plus
+    /// `device-busy` kernel queueing — both are "someone else holds the
+    /// quantum resource". Zero when nothing waited.
+    pub fn qpu_contention_frac(&self) -> f64 {
+        let totals = self.cause_totals();
+        let qpu = totals
+            .get(&HoldReason::InsufficientGres)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
+            + totals
+                .get(&HoldReason::DeviceBusy)
+                .copied()
+                .unwrap_or(SimDuration::ZERO);
+        frac(qpu, self.total_wait())
+    }
+
+    /// Share of the total attributed wait paid to the head job's
+    /// backfill shadow (`head-shadow`). Zero when nothing waited.
+    pub fn shadow_frac(&self) -> f64 {
+        let totals = self.cause_totals();
+        let shadow = totals
+            .get(&HoldReason::HeadShadow)
+            .copied()
+            .unwrap_or(SimDuration::ZERO);
+        frac(shadow, self.total_wait())
+    }
+
+    /// Blame table by cause: one row per [`HoldReason`] with nonzero
+    /// wait, in enum order — `cause, wait_s, share`.
+    pub fn by_cause(&self) -> Table {
+        let totals = self.cause_totals();
+        let total = self.total_wait();
+        let mut table = Table::new(vec!["cause", "wait_s", "share"]);
+        for cause in ALL_HOLD_REASONS {
+            let Some(d) = totals.get(&cause) else {
+                continue;
+            };
+            table.row(vec![
+                cause.label().to_string(),
+                fmt_secs(d.as_secs_f64()),
+                fmt_pct(frac(*d, total)),
+            ]);
+        }
+        table
+    }
+
+    /// Blame table by tenant: `tenant, jobs, queue_wait_s,
+    /// device_wait_s, dominant_cause`, one row per user in name order.
+    pub fn by_tenant(&self) -> Table {
+        self.grouped("tenant", |ledger| ledger.user.clone())
+    }
+
+    /// Blame table by job class (name minus the `-<n>` suffix):
+    /// `class, jobs, queue_wait_s, device_wait_s, dominant_cause`.
+    pub fn by_class(&self) -> Table {
+        self.grouped("class", |ledger| ledger.class().to_string())
+    }
+
+    /// Blame table by device: `device, kernels_waited, busy_s, recal_s`,
+    /// one row per device index that ever made a kernel wait.
+    pub fn by_device(&self) -> Table {
+        let mut per_device: BTreeMap<usize, (u64, DeviceWait)> = BTreeMap::new();
+        for ledger in self.ledgers.values() {
+            for (idx, dev) in &ledger.devices {
+                let slot = per_device.entry(*idx).or_default();
+                if !dev.busy.is_zero() || !dev.recal.is_zero() {
+                    slot.0 += 1;
+                }
+                slot.1.busy += dev.busy;
+                slot.1.recal += dev.recal;
+            }
+        }
+        let mut table = Table::new(vec!["device", "jobs_waited", "busy_s", "recal_s"]);
+        for (idx, (jobs, dev)) in per_device {
+            table.row(vec![
+                format!("qpu{idx}"),
+                jobs.to_string(),
+                fmt_secs(dev.busy.as_secs_f64()),
+                fmt_secs(dev.recal.as_secs_f64()),
+            ]);
+        }
+        table
+    }
+
+    /// Blame table by job: `job, tenant, queue_wait_s, device_wait_s,
+    /// dominant_cause`, one row per job in id order.
+    pub fn by_job(&self) -> Table {
+        let mut table = Table::new(vec![
+            "job",
+            "tenant",
+            "queue_wait_s",
+            "device_wait_s",
+            "dominant_cause",
+        ]);
+        for ledger in self.ledgers.values() {
+            table.row(vec![
+                ledger.name.clone(),
+                ledger.user.clone(),
+                fmt_secs(ledger.queue_wait.as_secs_f64()),
+                fmt_secs(ledger.device_wait().as_secs_f64()),
+                dominant_label(ledger),
+            ]);
+        }
+        table
+    }
+
+    /// Critical-path summary: for each job, its total attributed wait,
+    /// the dominant contributor, and that contributor's share of the
+    /// job's wait — the "what should I fix first" view. Jobs that never
+    /// waited report `-`.
+    pub fn critical_path(&self) -> Table {
+        let mut table = Table::new(vec![
+            "job",
+            "total_wait_s",
+            "dominant_cause",
+            "dominant_share",
+        ]);
+        for ledger in self.ledgers.values() {
+            let total = ledger.queue_wait + ledger.device_wait();
+            let (label, share) = match ledger.dominant_cause() {
+                Some((cause, d)) => (cause.label().to_string(), fmt_pct(frac(d, total))),
+                None => ("-".to_string(), "-".to_string()),
+            };
+            table.row(vec![
+                ledger.name.clone(),
+                fmt_secs(total.as_secs_f64()),
+                label,
+                share,
+            ]);
+        }
+        table
+    }
+
+    /// Exports the ledgers as a Chrome trace: one thread track per job
+    /// (id order) carrying its labeled wait spans — queue-side intervals
+    /// plus device-side `device-busy` / `device-recalibrating` windows —
+    /// with flow arrows chaining each job's consecutive waits into the
+    /// causal sequence Perfetto renders as a connected path. Output is
+    /// byte-deterministic (pure function of the ledgers).
+    pub fn to_chrome_trace(&self) -> ChromeTrace {
+        const PID: u32 = 10;
+        let mut trace = ChromeTrace::new();
+        trace.process_name(PID, "wait attribution");
+        let mut flow_id: u64 = 0;
+        for (tid, (_, ledger)) in self.ledgers.iter().enumerate() {
+            let tid = tid as u32;
+            trace.thread_name(PID, tid, ledger.name.clone());
+            // All of the job's waits, in chronological order: the queue
+            // intervals are already sorted; device windows are appended
+            // in kernel-enqueue order by construction.
+            let mut spans: Vec<(SimTime, SimDuration, HoldReason)> = ledger
+                .intervals
+                .iter()
+                .map(|iv| (iv.from, iv.len(), iv.cause))
+                .collect();
+            for window in &ledger.windows {
+                if !window.busy.is_zero() {
+                    spans.push((window.enqueued, window.busy, HoldReason::DeviceBusy));
+                }
+                if !window.recal.is_zero() {
+                    spans.push((
+                        window.enqueued + window.busy,
+                        window.recal,
+                        HoldReason::DeviceRecalibrating,
+                    ));
+                }
+            }
+            spans.sort_by_key(|&(from, len, cause)| (from, len, cause));
+            for (i, &(from, len, cause)) in spans.iter().enumerate() {
+                trace.complete(
+                    cause.label(),
+                    "wait",
+                    from,
+                    len.as_nanos(),
+                    PID,
+                    tid,
+                    Vec::new(),
+                );
+                if i + 1 < spans.len() {
+                    // Arrow from the end of this wait into the next one:
+                    // the rendered chain is the job's critical path.
+                    trace.flow_start("wait-chain", "wait", from + len, PID, tid, flow_id);
+                    trace.flow_finish("wait-chain", "wait", spans[i + 1].0, PID, tid, flow_id);
+                    flow_id += 1;
+                }
+            }
+        }
+        trace
+    }
+}
+
+/// `numerator / denominator` as a plain fraction, `0.0` when nothing
+/// waited at all.
+fn frac(numerator: SimDuration, denominator: SimDuration) -> f64 {
+    if denominator.is_zero() {
+        0.0
+    } else {
+        numerator.ratio(denominator)
+    }
+}
+
+fn dominant_label(ledger: &JobLedger) -> String {
+    match ledger.dominant_cause() {
+        Some((cause, _)) => cause.label().to_string(),
+        None => "-".to_string(),
+    }
+}
+
+impl AttributionObserver {
+    fn grouped(&self, key_name: &'static str, key: impl Fn(&JobLedger) -> String) -> Table {
+        #[derive(Default)]
+        struct Group {
+            jobs: u64,
+            queue: SimDuration,
+            device: SimDuration,
+            causes: BTreeMap<HoldReason, SimDuration>,
+        }
+        let mut groups: BTreeMap<String, Group> = BTreeMap::new();
+        for ledger in self.ledgers.values() {
+            let group = groups.entry(key(ledger)).or_default();
+            group.jobs += 1;
+            group.queue += ledger.queue_wait;
+            group.device += ledger.device_wait();
+            for (cause, d) in ledger.cause_totals() {
+                *group.causes.entry(cause).or_default() += d;
+            }
+        }
+        let mut table = Table::new(vec![
+            key_name,
+            "jobs",
+            "queue_wait_s",
+            "device_wait_s",
+            "dominant_cause",
+        ]);
+        for (name, group) in groups {
+            let dominant = group
+                .causes
+                .iter()
+                .filter(|(_, d)| !d.is_zero())
+                .max_by_key(|&(cause, d)| (*d, std::cmp::Reverse(*cause)))
+                .map_or_else(|| "-".to_string(), |(cause, _)| cause.label().to_string());
+            table.row(vec![
+                name,
+                group.jobs.to_string(),
+                fmt_secs(group.queue.as_secs_f64()),
+                fmt_secs(group.device.as_secs_f64()),
+                dominant,
+            ]);
+        }
+        table
+    }
+}
+
+impl SimObserver for AttributionObserver {
+    fn on_event(&mut self, now: SimTime, event: &SimEvent<'_>) {
+        match event {
+            SimEvent::JobSubmitted { job, name, .. } => {
+                let raw = job.raw();
+                let ledger = self.ledgers.entry(raw).or_default();
+                if ledger.name.is_empty() {
+                    ledger.name = (*name).to_string();
+                    self.by_name.insert((*name).to_string(), raw);
+                }
+                // A still-open wait here means the previous attempt was
+                // aborted before it started (walltime kill + requeue);
+                // its partial wait never became recorded queue wait, so
+                // it leaves the ledger with the attempt.
+                self.open.insert(
+                    raw,
+                    OpenWait {
+                        job: raw,
+                        submitted: now,
+                        since: now,
+                        cause: None,
+                    },
+                );
+            }
+            SimEvent::JobHeld { job, reason, .. } => {
+                let raw = job.raw();
+                let Some(open) = self.open.get_mut(&raw) else {
+                    return;
+                };
+                if open.cause == Some(*reason) {
+                    return;
+                }
+                if let Some(previous) = open.cause {
+                    if now > open.since {
+                        let interval = WaitInterval {
+                            from: open.since,
+                            to: now,
+                            cause: previous,
+                        };
+                        if let Some(ledger) = self.ledgers.get_mut(&open.job) {
+                            ledger.intervals.push(interval);
+                        }
+                    }
+                }
+                open.since = if open.cause.is_some() {
+                    now
+                } else {
+                    open.since
+                };
+                open.cause = Some(*reason);
+            }
+            SimEvent::JobStarted { job, .. } => {
+                let raw = job.raw();
+                let Some(open) = self.open.remove(&raw) else {
+                    return;
+                };
+                let Some(ledger) = self.ledgers.get_mut(&raw) else {
+                    return;
+                };
+                if now > open.since {
+                    ledger.intervals.push(WaitInterval {
+                        from: open.since,
+                        to: now,
+                        // A submission that waited without ever being
+                        // diagnosed defaults to the policy's discretion.
+                        cause: open.cause.unwrap_or(HoldReason::PolicyHold),
+                    });
+                }
+                ledger.queue_wait += now.saturating_since(open.submitted);
+            }
+            SimEvent::KernelEnqueued {
+                job,
+                device,
+                start,
+                recalibration,
+                ..
+            } => {
+                let Some(ledger) = self.ledgers.get_mut(&job.raw()) else {
+                    return;
+                };
+                // The device executes `[start, end)` after running any
+                // recalibration `[start - recal, start)`; everything
+                // between enqueue (`now`) and the recalibration window
+                // is time queued behind earlier kernels.
+                let exec_ready = *start - *recalibration;
+                let busy = exec_ready.saturating_since(now);
+                let slot = ledger.devices.entry(*device).or_default();
+                slot.busy += busy;
+                slot.recal += *recalibration;
+                ledger.windows.push(KernelWindow {
+                    enqueued: now,
+                    busy,
+                    recal: *recalibration,
+                });
+            }
+            SimEvent::JobFinalized { record } => {
+                let Some(raw) = self.by_name.get(record.name.as_str()) else {
+                    return;
+                };
+                if let Some(ledger) = self.ledgers.get_mut(raw) {
+                    ledger.user = record.user.clone();
+                    ledger.hybrid = record.hybrid;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::{check_json, EventPhase};
+
+    fn submit(obs: &mut AttributionObserver, t: u64, job: u64, name: &'static str) {
+        obs.on_event(
+            SimTime::from_secs(t),
+            &SimEvent::JobSubmitted {
+                job: JobId::new(job),
+                name,
+                step: false,
+            },
+        );
+    }
+
+    fn held(obs: &mut AttributionObserver, t: u64, job: u64, reason: HoldReason) {
+        obs.on_event(
+            SimTime::from_secs(t),
+            &SimEvent::JobHeld {
+                job: JobId::new(job),
+                name: "j",
+                reason,
+            },
+        );
+    }
+
+    fn started(obs: &mut AttributionObserver, t: u64, job: u64) {
+        obs.on_event(
+            SimTime::from_secs(t),
+            &SimEvent::JobStarted {
+                job: JobId::new(job),
+                name: "j",
+                wait: SimDuration::ZERO,
+            },
+        );
+    }
+
+    #[test]
+    fn intervals_partition_the_queue_wait_exactly() {
+        let mut obs = AttributionObserver::new();
+        submit(&mut obs, 0, 0, "vqe-0");
+        held(&mut obs, 0, 0, HoldReason::InsufficientNodes);
+        held(&mut obs, 30, 0, HoldReason::HeadShadow);
+        held(&mut obs, 70, 0, HoldReason::InsufficientGres);
+        started(&mut obs, 100, 0);
+
+        let ledger = obs.ledger(JobId::new(0)).expect("ledger");
+        assert_eq!(ledger.queue_wait, SimDuration::from_secs(100));
+        assert_eq!(ledger.intervals.len(), 3);
+        // Contiguous, disjoint, covering [0, 100).
+        assert_eq!(ledger.intervals[0].from, SimTime::ZERO);
+        for pair in ledger.intervals.windows(2) {
+            assert_eq!(pair[0].to, pair[1].from, "contiguous");
+        }
+        assert_eq!(ledger.intervals[2].to, SimTime::from_secs(100));
+        let sum = ledger
+            .intervals
+            .iter()
+            .fold(SimDuration::ZERO, |acc, iv| acc + iv.len());
+        assert_eq!(sum, ledger.queue_wait, "exact partition");
+        assert_eq!(
+            ledger.wait_for(HoldReason::HeadShadow),
+            SimDuration::from_secs(40)
+        );
+        assert_eq!(
+            ledger.dominant_cause(),
+            Some((HoldReason::HeadShadow, SimDuration::from_secs(40)))
+        );
+    }
+
+    #[test]
+    fn repeated_same_cause_holds_do_not_split_intervals() {
+        let mut obs = AttributionObserver::new();
+        submit(&mut obs, 0, 0, "a-0");
+        held(&mut obs, 0, 0, HoldReason::PolicyHold);
+        held(&mut obs, 10, 0, HoldReason::PolicyHold);
+        started(&mut obs, 20, 0);
+        let ledger = obs.ledger(JobId::new(0)).expect("ledger");
+        assert_eq!(ledger.intervals.len(), 1);
+        assert_eq!(ledger.intervals[0].cause, HoldReason::PolicyHold);
+        assert_eq!(ledger.intervals[0].len(), SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn immediate_start_leaves_no_intervals() {
+        let mut obs = AttributionObserver::new();
+        submit(&mut obs, 5, 0, "a-0");
+        started(&mut obs, 5, 0);
+        let ledger = obs.ledger(JobId::new(0)).expect("ledger");
+        assert!(ledger.intervals.is_empty());
+        assert_eq!(ledger.queue_wait, SimDuration::ZERO);
+        assert_eq!(ledger.dominant_cause(), None);
+    }
+
+    #[test]
+    fn aborted_attempt_wait_is_discarded_on_resubmission() {
+        let mut obs = AttributionObserver::new();
+        submit(&mut obs, 0, 0, "a-0");
+        held(&mut obs, 0, 0, HoldReason::InsufficientNodes);
+        // Walltime kill + requeue: a fresh submission arrives with the
+        // old wait still open.
+        submit(&mut obs, 50, 0, "a-0");
+        held(&mut obs, 50, 0, HoldReason::PolicyHold);
+        started(&mut obs, 60, 0);
+        let ledger = obs.ledger(JobId::new(0)).expect("ledger");
+        assert_eq!(ledger.queue_wait, SimDuration::from_secs(10));
+        assert_eq!(ledger.intervals.len(), 1);
+        assert_eq!(ledger.intervals[0].from, SimTime::from_secs(50));
+    }
+
+    #[test]
+    fn kernel_windows_split_busy_from_recalibration() {
+        let mut obs = AttributionObserver::new();
+        submit(&mut obs, 0, 0, "vqe-0");
+        started(&mut obs, 0, 0);
+        obs.on_event(
+            SimTime::from_secs(10),
+            &SimEvent::KernelEnqueued {
+                job: JobId::new(0),
+                name: "vqe-0",
+                device: 1,
+                start: SimTime::from_secs(25),
+                end: SimTime::from_secs(30),
+                recalibration: SimDuration::from_secs(5),
+            },
+        );
+        let ledger = obs.ledger(JobId::new(0)).expect("ledger");
+        let dev = ledger.devices.get(&1).expect("device 1");
+        // Enqueued at 10, execution at 25 after a 5 s recalibration:
+        // 10 s queued behind earlier kernels, 5 s recalibrating.
+        assert_eq!(dev.busy, SimDuration::from_secs(10));
+        assert_eq!(dev.recal, SimDuration::from_secs(5));
+        assert_eq!(ledger.device_wait(), SimDuration::from_secs(15));
+        let totals = ledger.cause_totals();
+        assert_eq!(
+            totals.get(&HoldReason::DeviceBusy),
+            Some(&SimDuration::from_secs(10))
+        );
+        assert_eq!(
+            totals.get(&HoldReason::DeviceRecalibrating),
+            Some(&SimDuration::from_secs(5))
+        );
+    }
+
+    #[test]
+    fn blame_tables_aggregate_by_cause_and_class() {
+        let mut obs = AttributionObserver::new();
+        submit(&mut obs, 0, 0, "vqe-0");
+        held(&mut obs, 0, 0, HoldReason::InsufficientGres);
+        started(&mut obs, 30, 0);
+        submit(&mut obs, 0, 1, "bg-7");
+        held(&mut obs, 0, 1, HoldReason::InsufficientNodes);
+        started(&mut obs, 10, 1);
+
+        let by_cause = obs.by_cause();
+        assert_eq!(by_cause.headers(), &["cause", "wait_s", "share"]);
+        let causes: Vec<&str> = by_cause.rows().iter().map(|r| r[0].as_str()).collect();
+        assert_eq!(causes, vec!["insufficient-nodes", "qpu-contention"]);
+
+        let by_class = obs.by_class();
+        let classes: Vec<&str> = by_class.rows().iter().map(|r| r[0].as_str()).collect();
+        assert_eq!(classes, vec!["bg", "vqe"]);
+
+        assert!(obs.qpu_contention_frac() > 0.7);
+        // hpcqc-lint: allow(D005, reason = "exact: no shadow wait was ever recorded")
+        assert_eq!(obs.shadow_frac(), 0.0);
+    }
+
+    #[test]
+    fn class_strips_only_numeric_suffixes() {
+        let mut ledger = JobLedger {
+            name: "vqe-12".to_string(),
+            ..JobLedger::default()
+        };
+        assert_eq!(ledger.class(), "vqe");
+        ledger.name = "qaoa-deep-3".to_string();
+        assert_eq!(ledger.class(), "qaoa-deep");
+        ledger.name = "plain".to_string();
+        assert_eq!(ledger.class(), "plain");
+        ledger.name = "oddly-named".to_string();
+        assert_eq!(ledger.class(), "oddly-named");
+    }
+
+    #[test]
+    fn chrome_export_chains_waits_with_flow_arrows() {
+        let mut obs = AttributionObserver::new();
+        submit(&mut obs, 0, 0, "vqe-0");
+        held(&mut obs, 0, 0, HoldReason::InsufficientNodes);
+        held(&mut obs, 10, 0, HoldReason::HeadShadow);
+        started(&mut obs, 30, 0);
+        obs.on_event(
+            SimTime::from_secs(40),
+            &SimEvent::KernelEnqueued {
+                job: JobId::new(0),
+                name: "vqe-0",
+                device: 0,
+                start: SimTime::from_secs(50),
+                end: SimTime::from_secs(55),
+                recalibration: SimDuration::ZERO,
+            },
+        );
+        let trace = obs.to_chrome_trace();
+        let json = trace.to_json_string();
+        check_json(&json).expect("valid JSON");
+        let spans = trace
+            .events()
+            .iter()
+            .filter(|e| e.ph == EventPhase::Complete)
+            .count();
+        assert_eq!(spans, 3, "two queue intervals + one device-busy window");
+        let flows: Vec<_> = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.ph, EventPhase::FlowStart | EventPhase::FlowFinish))
+            .collect();
+        assert_eq!(flows.len(), 4, "two arrows chain three waits");
+        assert!(flows.iter().all(|e| e.id.is_some()));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let build = || {
+            let mut obs = AttributionObserver::new();
+            submit(&mut obs, 0, 0, "vqe-0");
+            held(&mut obs, 0, 0, HoldReason::InsufficientGres);
+            started(&mut obs, 30, 0);
+            (
+                obs.by_cause().to_csv(),
+                obs.to_chrome_trace().to_json_string(),
+            )
+        };
+        assert_eq!(build(), build());
+    }
+}

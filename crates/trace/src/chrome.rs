@@ -33,6 +33,11 @@ pub enum EventPhase {
     Counter,
     /// `"M"` — metadata (process/thread naming).
     Metadata,
+    /// `"s"` — the start of a flow arrow (causal link between tracks).
+    FlowStart,
+    /// `"f"` — the end of a flow arrow; written with `"bp":"e"` so the
+    /// arrow binds to the enclosing slice rather than the next one.
+    FlowFinish,
 }
 
 impl EventPhase {
@@ -43,6 +48,8 @@ impl EventPhase {
             EventPhase::Instant => "i",
             EventPhase::Counter => "C",
             EventPhase::Metadata => "M",
+            EventPhase::FlowStart => "s",
+            EventPhase::FlowFinish => "f",
         }
     }
 }
@@ -129,13 +136,12 @@ impl EventArgs {
 
 impl From<Vec<(&'static str, ArgValue)>> for EventArgs {
     fn from(mut pairs: Vec<(&'static str, ArgValue)>) -> Self {
-        match pairs.len() {
-            0 => EventArgs::None,
-            1 => {
-                let pair = pairs.pop().expect("len checked");
-                EventArgs::Single(pair)
-            }
-            _ => EventArgs::List(pairs),
+        if pairs.len() > 1 {
+            return EventArgs::List(pairs);
+        }
+        match pairs.pop() {
+            Some(pair) => EventArgs::Single(pair),
+            None => EventArgs::None,
         }
     }
 }
@@ -163,6 +169,9 @@ pub struct TraceEvent {
     pub pid: u32,
     /// Thread-track id within the process.
     pub tid: u32,
+    /// Flow-binding id: events with the same id are joined by an arrow
+    /// in the viewer (flow events only; `None` elsewhere).
+    pub id: Option<u64>,
     /// `args` payload, written in the given order (keys are static by
     /// construction — every producer names its fields at compile time).
     pub args: EventArgs,
@@ -233,6 +242,7 @@ impl ChromeTrace {
             dur_ns: None,
             pid,
             tid: 0,
+            id: None,
             args: EventArgs::single("name", ArgValue::Str(name.into())),
         });
     }
@@ -247,6 +257,7 @@ impl ChromeTrace {
             dur_ns: None,
             pid,
             tid,
+            id: None,
             args: EventArgs::single("name", ArgValue::Str(name.into())),
         });
     }
@@ -274,6 +285,7 @@ impl ChromeTrace {
             dur_ns: Some(dur_ns),
             pid,
             tid,
+            id: None,
             args: args.into(),
         });
     }
@@ -296,7 +308,57 @@ impl ChromeTrace {
             dur_ns: None,
             pid,
             tid,
+            id: None,
             args: args.into(),
+        });
+    }
+
+    /// Appends the start of a flow arrow with binding id `id`. Place it
+    /// at the timestamp (and on the track) of the causing slice.
+    pub fn flow_start(
+        &mut self,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+        at: SimTime,
+        pid: u32,
+        tid: u32,
+        id: u64,
+    ) {
+        self.events.push(TraceEvent {
+            name: name.into(),
+            cat,
+            ph: EventPhase::FlowStart,
+            ts_ns: at.as_nanos(),
+            dur_ns: None,
+            pid,
+            tid,
+            id: Some(id),
+            args: EventArgs::None,
+        });
+    }
+
+    /// Appends the end of the flow arrow with binding id `id`. Place it
+    /// inside the caused slice; `"bp":"e"` makes the viewer bind the
+    /// arrow to that enclosing slice.
+    pub fn flow_finish(
+        &mut self,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+        at: SimTime,
+        pid: u32,
+        tid: u32,
+        id: u64,
+    ) {
+        self.events.push(TraceEvent {
+            name: name.into(),
+            cat,
+            ph: EventPhase::FlowFinish,
+            ts_ns: at.as_nanos(),
+            dur_ns: None,
+            pid,
+            tid,
+            id: Some(id),
+            args: EventArgs::None,
         });
     }
 
@@ -316,6 +378,7 @@ impl ChromeTrace {
             dur_ns: None,
             pid,
             tid: 0,
+            id: None,
             args: EventArgs::single("value", ArgValue::F64(value)),
         });
     }
@@ -395,6 +458,12 @@ fn write_event(out: &mut String, ev: &TraceEvent) {
     }
     if ev.ph == EventPhase::Instant {
         out.push_str(",\"s\":\"t\"");
+    }
+    if let Some(id) = ev.id {
+        let _ = write!(out, ",\"id\":{id}");
+    }
+    if ev.ph == EventPhase::FlowFinish {
+        out.push_str(",\"bp\":\"e\"");
     }
     let _ = write!(out, ",\"pid\":{},\"tid\":{}", ev.pid, ev.tid);
     if !ev.args.is_empty() {
@@ -714,6 +783,17 @@ mod tests {
         assert_eq!(spans[1].ts_ns, SimTime::from_secs(10).as_nanos());
         assert_eq!(spans[1].dur_ns, Some(SimDuration::from_secs(10).as_nanos()));
         assert_eq!(spans[2].name, "recalibration");
+    }
+
+    #[test]
+    fn flow_events_carry_id_and_binding_point() {
+        let mut trace = ChromeTrace::new();
+        trace.flow_start("link", "flow", SimTime::from_secs(1), 1, 2, 7);
+        trace.flow_finish("link", "flow", SimTime::from_secs(2), 1, 3, 7);
+        let json = trace.to_json_string();
+        check_json(&json).expect("valid JSON");
+        assert!(json.contains("\"ph\":\"s\",\"ts\":1000000.000,\"id\":7"));
+        assert!(json.contains("\"ph\":\"f\",\"ts\":2000000.000,\"id\":7,\"bp\":\"e\""));
     }
 
     #[test]

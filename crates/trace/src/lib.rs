@@ -4,6 +4,11 @@
 //! visible. The event stream ([`SimEvent`]) already carries every state
 //! transition — this crate stops throwing it away:
 //!
+//! * [`attribution`] — [`AttributionObserver`], causal wait
+//!   attribution: per-job ledgers of disjoint, causally-labeled wait
+//!   intervals that exactly partition each queue wait, blame tables by
+//!   cause/tenant/class/device, a per-job critical-path summary, and
+//!   flow-arrowed Chrome traces of the causal chain;
 //! * [`chrome`] — deterministic Chrome trace-event JSON
 //!   ([`ChromeTrace`]), loadable in [Perfetto] and `chrome://tracing`,
 //!   byte-identical across same-seed runs;
@@ -27,11 +32,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod attribution;
 pub mod chrome;
 pub mod metrics;
 pub mod observer;
 pub mod profile;
 
+pub use attribution::{AttributionObserver, DeviceWait, JobLedger, KernelWindow, WaitInterval};
 pub use chrome::{check_json, ArgValue, ChromeTrace, EventArgs, EventPhase, TraceEvent};
 pub use metrics::{CounterId, GaugeId, HistogramId, MetricsObserver, MetricsRegistry};
 pub use observer::{TraceObserver, COUNTER_TRACKS};

@@ -1,0 +1,195 @@
+//! Property: the attribution ledger is an *exact* accounting.
+//!
+//! For arbitrary workloads, under every one of the five queue policies
+//! and on a heterogeneous fleet, each job's causally-labeled wait
+//! intervals are pairwise disjoint, individually non-empty, in
+//! chronological order, and their lengths sum — in integer nanoseconds,
+//! not approximately — to the queue wait the simulator itself recorded
+//! in its `JobStarted` events. Nothing is double-counted and nothing
+//! leaks: "who pays the queue wait" always adds up to the whole bill.
+
+use hpcqc_core::observer::{SimEvent, SimObserver};
+use hpcqc_core::scenario::Scenario;
+use hpcqc_core::sim::FacilitySim;
+use hpcqc_core::strategy::Strategy;
+use hpcqc_fleet::{FleetDevice, FleetSpec, RouteSpec, ALL_ROUTES};
+use hpcqc_qpu::kernel::Kernel;
+use hpcqc_qpu::technology::Technology;
+use hpcqc_sched::PolicySpec;
+use hpcqc_simcore::time::{SimDuration, SimTime};
+use hpcqc_trace::AttributionObserver;
+use hpcqc_workload::campaign::Workload;
+use hpcqc_workload::job::{JobSpec, Phase};
+use proptest::prelude::*;
+// The paper's `Strategy` enum shadows proptest's trait of the same name;
+// re-import the trait under an alias so `prop_map` stays resolvable.
+use proptest::strategy::Strategy as PropStrategy;
+use std::collections::BTreeMap;
+
+/// The simulator's own per-job wait record, folded independently of the
+/// attribution observer: the sum of the `wait` field every `JobStarted`
+/// event carries (per-step plans start a job many times; the waits
+/// accumulate). This is the ground truth the ledgers must reproduce.
+#[derive(Debug, Default)]
+struct RecordedWaits {
+    by_job: BTreeMap<u64, SimDuration>,
+}
+
+impl SimObserver for RecordedWaits {
+    fn on_event(&mut self, _now: SimTime, event: &SimEvent<'_>) {
+        if let SimEvent::JobStarted { job, wait, .. } = event {
+            *self.by_job.entry(job.raw()).or_default() += *wait;
+        }
+    }
+}
+
+fn jobs_strategy(max: usize) -> impl proptest::strategy::Strategy<Value = Vec<JobSpec>> {
+    let parts = (
+        0u64..600, // submit
+        1u32..=8,  // nodes
+        prop::collection::vec(
+            prop_oneof![
+                (5u64..600).prop_map(|s| Phase::Classical(SimDuration::from_secs(s))),
+                (100u32..5_000).prop_map(|shots| Phase::Quantum(Kernel::sampling(shots))),
+            ],
+            1..6,
+        ),
+    );
+    prop::collection::vec(parts, 1..max).prop_map(|parts| {
+        let mut jobs: Vec<JobSpec> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(index, (submit, nodes, phases))| {
+                JobSpec::builder(format!("job-{index}"))
+                    .user(format!("u{}", nodes % 3))
+                    .submit(SimTime::from_secs(submit))
+                    .nodes(nodes)
+                    .walltime(SimDuration::from_hours(8))
+                    .phases(phases)
+                    .build()
+            })
+            .collect();
+        jobs.sort_by_key(|j| j.submit());
+        jobs
+    })
+}
+
+fn policy_strategy() -> impl proptest::strategy::Strategy<Value = PolicySpec> {
+    prop_oneof![
+        Just(PolicySpec::fcfs()),
+        Just(PolicySpec::easy()),
+        Just(PolicySpec::conservative()),
+        (1u32..=24).prop_map(|h| PolicySpec::priority_backfill(f64::from(h))),
+        (0u32..=2_000).prop_map(|b| PolicySpec::quantum_aware(f64::from(b))),
+    ]
+}
+
+/// One run, both recorders attached, followed by the exactness audit of
+/// every ledger against the simulator's own wait record.
+fn check_exact_partition(scenario: &Scenario, workload: &Workload) -> Result<(), TestCaseError> {
+    let mut attribution = AttributionObserver::new();
+    let mut recorded = RecordedWaits::default();
+    FacilitySim::run_observed(scenario, workload, &mut [&mut attribution, &mut recorded])
+        .expect("valid scenario");
+
+    prop_assert_eq!(attribution.len(), workload.len(), "one ledger per job");
+    for (job, ledger) in attribution.ledgers() {
+        // Chronological, pairwise disjoint, no empty slices.
+        for interval in &ledger.intervals {
+            prop_assert!(
+                interval.from < interval.to,
+                "job {job:?}: empty interval at {:?}",
+                interval.from
+            );
+        }
+        for pair in ledger.intervals.windows(2) {
+            prop_assert!(
+                pair[0].to <= pair[1].from,
+                "job {job:?}: intervals overlap ({:?} then {:?})",
+                pair[0],
+                pair[1]
+            );
+        }
+        // The slices sum to the ledger's total, exactly.
+        let sliced = ledger
+            .intervals
+            .iter()
+            .fold(SimDuration::ZERO, |acc, iv| acc + iv.len());
+        prop_assert_eq!(
+            sliced,
+            ledger.queue_wait,
+            "job {:?}: intervals must partition the queue wait",
+            job
+        );
+        // And the total is the simulator's, not the observer's own
+        // arithmetic: integer-nanosecond equality with `JobStarted`.
+        let ground_truth = recorded
+            .by_job
+            .get(&job.raw())
+            .copied()
+            .unwrap_or(SimDuration::ZERO);
+        prop_assert_eq!(
+            ledger.queue_wait,
+            ground_truth,
+            "job {:?}: ledger drifted from the sim's recorded wait",
+            job
+        );
+        // Per-cause rollup conserves the same bill.
+        let by_cause = ledger
+            .cause_totals()
+            .values()
+            .fold(SimDuration::ZERO, |acc, d| acc + *d);
+        prop_assert_eq!(by_cause, ledger.queue_wait, "job {:?}: cause rollup", job);
+    }
+    Ok(())
+}
+
+fn hetero_fleet(route: RouteSpec) -> FleetSpec {
+    FleetSpec::new("prop-hetero")
+        .device(FleetDevice::new("sc0", Technology::Superconducting))
+        .device(FleetDevice::new("ion0", Technology::TrappedIon))
+        .route(route)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Exact partition under each of the five queue policies: whatever
+    /// holds the policy issues, the blame intervals tile the recorded
+    /// queue wait with no gaps, overlaps, or rounding.
+    #[test]
+    fn intervals_partition_queue_wait_under_every_policy(
+        jobs in jobs_strategy(8),
+        policy in policy_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let workload = Workload::from_jobs(jobs);
+        let scenario = Scenario::builder()
+            .classical_nodes(16)
+            .device(Technology::Superconducting)
+            .strategy(Strategy::CoSchedule)
+            .policy(policy)
+            .seed(seed)
+            .build();
+        check_exact_partition(&scenario, &workload)?;
+    }
+
+    /// The same exactness on a heterogeneous fleet, under every routing
+    /// policy: device-level causes (busy, recalibrating) must not break
+    /// the partition either.
+    #[test]
+    fn intervals_partition_queue_wait_on_a_fleet(
+        jobs in jobs_strategy(8),
+        route_idx in 0usize..ALL_ROUTES.len(),
+        seed in any::<u64>(),
+    ) {
+        let workload = Workload::from_jobs(jobs);
+        let scenario = Scenario::builder()
+            .classical_nodes(16)
+            .strategy(Strategy::CoSchedule)
+            .fleet(hetero_fleet(ALL_ROUTES[route_idx]))
+            .seed(seed)
+            .build();
+        check_exact_partition(&scenario, &workload)?;
+    }
+}

@@ -22,6 +22,9 @@
 //! hpcqc-sim run --workload campaign.hqwf --trace out.json \
 //!               --metrics out.csv --metrics-interval 60 --profile
 //!
+//! # Explain who pays the queue wait: a per-cause wait-attribution table
+//! hpcqc-sim explain --workload campaign.hqwf --by cause --format markdown
+//!
 //! # Compare all four strategies on the same workload
 //! hpcqc-sim run --workload campaign.hqwf --compare --device neutral-atom
 //!
@@ -56,10 +59,15 @@ const USAGE: &str =
      [--age-weight F] [--size-weight F] [--fairshare-weight F]\n            \
      [--fairshare-half-life SECS] [--compare] [--gantt]\n            \
      [--trace OUT.json] [--metrics OUT.csv|OUT.json]\n            \
-     [--metrics-interval SECS] [--profile]\n  \
+     [--metrics-interval SECS] [--profile] [--attribution OUT]\n  \
+     hpcqc-sim explain (--workload FILE | --source gen:FILE.json) [--scenario FILE.json]\n                \
+     [--strategy S] [--nodes N] [--device TECH] [--policy P] [--seed S]\n                \
+     [--fleet FILE.json] [--route R]\n                \
+     [--by job|tenant|device|cause|class|critical-path]\n                \
+     [--format csv|json|markdown|chrome] [--out FILE]\n  \
      hpcqc-sim devices (--fleet FILE.json | --scenario FILE.json)\n  \
      hpcqc-sim sweep --grid FILE.json [--threads N] [--format csv|json|markdown]\n              \
-     [--summary] [--timing] [--out FILE]\n  \
+     [--summary] [--timing] [--attribution] [--out FILE]\n  \
      hpcqc-sim advise --quantum-secs X --classical-secs Y --queue-wait-secs Z\n               \
      [--tenants N]\n\n\
      strategies: co-schedule | workflow | vqpu:N | malleable:N | adaptive[:N]\n\
@@ -463,9 +471,11 @@ fn run_instrumented(
     metrics_out: Option<&str>,
     metrics_interval: SimDuration,
     profile: bool,
+    attribution_out: Option<&str>,
 ) -> Result<Outcome, String> {
     let mut tracer = trace_out.map(|_| TraceObserver::for_scenario(sc));
     let mut metrics = metrics_out.map(|_| MetricsObserver::for_scenario(sc, metrics_interval));
+    let mut attribution = attribution_out.map(|_| AttributionObserver::new());
     let mut profiler = SchedProfiler::new();
     let outcome = {
         let mut extras: Vec<&mut dyn SimObserver> = Vec::new();
@@ -474,6 +484,9 @@ fn run_instrumented(
         }
         if let Some(m) = metrics.as_mut() {
             extras.push(m);
+        }
+        if let Some(a) = attribution.as_mut() {
+            extras.push(a);
         }
         let driver = driver_for(&sc.strategy);
         match input {
@@ -509,10 +522,42 @@ fn run_instrumented(
         write_output(Some(path), |w| w.write_all(rendered.as_bytes()))?;
         eprintln!("wrote metrics ({rows} samples) to {path}");
     }
+    if let (Some(path), Some(attribution)) = (attribution_out, attribution) {
+        let table = attribution.by_cause();
+        let rendered = render_table(&table, format_for_path(path))?;
+        let jobs = attribution.len();
+        write_output(Some(path), |w| w.write_all(rendered.as_bytes()))?;
+        eprintln!(
+            "wrote wait attribution ({jobs} jobs, {} of wait) to {path}",
+            fmt_secs(attribution.total_wait().as_secs_f64())
+        );
+    }
     if profile {
         eprintln!("{}", profiler.summary());
     }
     Ok(outcome)
+}
+
+/// Table output format, selected from a file extension (`.json`,
+/// `.md`/`.markdown`, anything else CSV).
+fn format_for_path(path: &str) -> &'static str {
+    if path.ends_with(".json") {
+        "json"
+    } else if path.ends_with(".md") || path.ends_with(".markdown") {
+        "markdown"
+    } else {
+        "csv"
+    }
+}
+
+/// Renders a [`Table`] as CSV, pretty JSON, or markdown.
+fn render_table(table: &Table, format: &str) -> Result<String, String> {
+    Ok(match format {
+        "json" => serde_json::to_string_pretty(table)
+            .map_err(|e| format!("cannot serialize table: {e}"))?,
+        "markdown" | "md" => table.to_markdown(),
+        _ => table.to_csv(),
+    })
 }
 
 fn run(args: &[String]) -> ExitCode {
@@ -536,12 +581,14 @@ fn run(args: &[String]) -> ExitCode {
     let mut metrics_out: Option<String> = None;
     let mut metrics_interval = 60.0f64;
     let mut profile = false;
+    let mut attribution_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--workload" => workload = it.next().cloned(),
             "--trace" => trace_out = it.next().cloned(),
             "--metrics" => metrics_out = it.next().cloned(),
+            "--attribution" => attribution_out = it.next().cloned(),
             "--metrics-interval" => {
                 let value = it
                     .next()
@@ -641,8 +688,12 @@ fn run(args: &[String]) -> ExitCode {
         );
         return ExitCode::from(2);
     }
-    if compare && (trace_out.is_some() || metrics_out.is_some() || profile) {
-        eprintln!("--trace/--metrics/--profile instrument a single run; drop --compare");
+    if compare
+        && (trace_out.is_some() || metrics_out.is_some() || profile || attribution_out.is_some())
+    {
+        eprintln!(
+            "--trace/--metrics/--profile/--attribution instrument a single run; drop --compare"
+        );
         return ExitCode::from(2);
     }
     let input = match (workload, source) {
@@ -792,7 +843,8 @@ fn run(args: &[String]) -> ExitCode {
         "node-h wasted",
         "failed",
     ]);
-    let instrumented = trace_out.is_some() || metrics_out.is_some() || profile;
+    let instrumented =
+        trace_out.is_some() || metrics_out.is_some() || profile || attribution_out.is_some();
     for s in strategies {
         let mut sc = scenario.clone();
         sc.strategy = s;
@@ -804,6 +856,7 @@ fn run(args: &[String]) -> ExitCode {
                 metrics_out.as_deref(),
                 SimDuration::from_secs_f64(metrics_interval),
                 profile,
+                attribution_out.as_deref(),
             )
             .map_err(|e| {
                 eprintln!("{e}");
@@ -863,6 +916,263 @@ fn run(args: &[String]) -> ExitCode {
         }
     }
     println!("{table}");
+    ExitCode::SUCCESS
+}
+
+/// `hpcqc-sim explain`: run a scenario with the wait-attribution
+/// observer attached and answer "who pays the queue wait" — a blame
+/// table by cause, tenant, device, class, or job, or the per-job
+/// critical path. `--format chrome` emits the causal chain as a
+/// flow-arrowed Chrome trace instead (open it in Perfetto).
+fn explain(args: &[String]) -> ExitCode {
+    let mut workload: Option<String> = None;
+    let mut source: Option<String> = None;
+    let mut scenario_path: Option<String> = None;
+    let mut strategy: Option<Strategy> = None;
+    let mut nodes: Option<u32> = None;
+    let mut device: Option<Technology> = None;
+    let mut policy: Option<PolicySpec> = None;
+    let mut fleet_path: Option<String> = None;
+    let mut route: Option<RouteSpec> = None;
+    let mut seed: Option<u64> = None;
+    let mut by = String::from("cause");
+    let mut format: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workload" => workload = it.next().cloned(),
+            "--source" => source = it.next().cloned(),
+            "--scenario" => scenario_path = it.next().cloned(),
+            "--strategy" => match it.next().map(|s| parse_strategy(s)) {
+                Some(Ok(s)) => strategy = Some(s),
+                Some(Err(message)) => {
+                    eprintln!("{message}");
+                    return ExitCode::from(2);
+                }
+                None => usage(),
+            },
+            "--nodes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => nodes = Some(n),
+                None => {
+                    eprintln!("--nodes needs a positive node count");
+                    return ExitCode::from(2);
+                }
+            },
+            "--device" => match it.next().map(|s| parse_device(s)) {
+                Some(Ok(d)) => device = Some(d),
+                Some(Err(message)) => {
+                    eprintln!("{message}");
+                    return ExitCode::from(2);
+                }
+                None => usage(),
+            },
+            "--policy" => match it.next().map(|s| parse_policy(s)) {
+                Some(Ok(p)) => policy = Some(p),
+                Some(Err(message)) => {
+                    eprintln!("{message}");
+                    return ExitCode::from(2);
+                }
+                None => usage(),
+            },
+            "--fleet" => fleet_path = it.next().cloned(),
+            "--route" => match it.next().map(|s| parse_route(s)) {
+                Some(Ok(r)) => route = Some(r),
+                Some(Err(message)) => {
+                    eprintln!("{message}");
+                    return ExitCode::from(2);
+                }
+                None => usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = Some(s),
+                None => {
+                    eprintln!("--seed needs a numeric seed");
+                    return ExitCode::from(2);
+                }
+            },
+            "--by" => by = it.next().cloned().unwrap_or_else(|| usage()),
+            "--format" => format = it.next().cloned(),
+            "--out" => out = it.next().cloned(),
+            other => {
+                let known = [
+                    "--workload",
+                    "--source",
+                    "--scenario",
+                    "--strategy",
+                    "--nodes",
+                    "--device",
+                    "--policy",
+                    "--fleet",
+                    "--route",
+                    "--seed",
+                    "--by",
+                    "--format",
+                    "--out",
+                ];
+                match hpcqc::cli::did_you_mean(other, known) {
+                    Some(hint) => eprintln!("unknown argument `{other}` — did you mean `{hint}`?"),
+                    None => eprintln!("unknown argument `{other}`"),
+                }
+                return ExitCode::from(2);
+            }
+        }
+    }
+    const BY_VALUES: [&str; 6] = ["cause", "tenant", "device", "class", "job", "critical-path"];
+    if !BY_VALUES.contains(&by.as_str()) {
+        let hint = match hpcqc::cli::did_you_mean(&by, BY_VALUES) {
+            Some(known) => format!(" — did you mean `{known}`?"),
+            None => String::new(),
+        };
+        eprintln!(
+            "unknown --by `{by}`{hint} (valid: {})",
+            BY_VALUES.join(" | ")
+        );
+        return ExitCode::from(2);
+    }
+    // Format defaults to the output file's extension, or CSV on stdout.
+    let format = format.unwrap_or_else(|| format_for_path(out.as_deref().unwrap_or("")).into());
+    if !matches!(
+        format.as_str(),
+        "csv" | "json" | "markdown" | "md" | "chrome"
+    ) {
+        eprintln!("unknown --format `{format}` (csv | json | markdown | chrome)");
+        return ExitCode::from(2);
+    }
+
+    let input = match (workload, source) {
+        (Some(path), None) => match load_trace(&path) {
+            Ok(w) => RunInput::Workload(w),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, Some(source)) => {
+            let Some(path) = source.strip_prefix("gen:") else {
+                eprintln!("--source takes `gen:<spec.json>` (got `{source}`)");
+                return ExitCode::from(2);
+            };
+            match load_generator_spec(path) {
+                Ok(spec) => RunInput::Gen(spec),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        (Some(_), Some(_)) => {
+            eprintln!("--workload and --source are mutually exclusive");
+            return ExitCode::from(2);
+        }
+        (None, None) => usage(),
+    };
+
+    let mut scenario = match scenario_path {
+        Some(path) => match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str::<Scenario>(&s).map_err(|e| e.to_string()))
+        {
+            Ok(sc) => sc,
+            Err(e) => {
+                eprintln!("cannot load scenario {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Scenario::default(),
+    };
+    if let Some(n) = nodes {
+        scenario.classical_nodes = n;
+    }
+    if let Some(d) = device {
+        scenario.devices = vec![d];
+    }
+    if let Some(path) = fleet_path {
+        match load_fleet(&path) {
+            Ok(fleet) => scenario.fleet = Some(fleet),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match (route, &mut scenario.fleet) {
+        (Some(r), Some(fleet)) => fleet.route = r,
+        (Some(_), None) => {
+            eprintln!("--route needs a fleet (--fleet FILE, or a scenario file carrying one)");
+            return ExitCode::from(2);
+        }
+        (None, _) => {}
+    }
+    if let Some(fleet) = &scenario.fleet {
+        if let Err(e) = fleet.validate() {
+            eprintln!("invalid scenario fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(p) = policy {
+        scenario.policy = p;
+    }
+    if let Err(e) = scenario.policy.validate() {
+        eprintln!("invalid scenario policy: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(s) = seed {
+        scenario.seed = s;
+    }
+    if let Some(s) = strategy {
+        scenario.strategy = s;
+    }
+
+    let mut attribution = AttributionObserver::new();
+    let result = match &input {
+        RunInput::Workload(workload) => {
+            FacilitySim::run_observed(&scenario, workload, &mut [&mut attribution])
+        }
+        RunInput::Gen(spec) => {
+            let mut src = spec.stream(scenario.seed);
+            FacilitySim::run_streamed_observed(&scenario, &mut src, &mut [&mut attribution])
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("simulation failed under {}: {e}", scenario.strategy);
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!(
+        "attributed {} of queue wait across {} jobs \
+         (QPU-contention share {}, head-shadow share {})",
+        fmt_secs(attribution.total_wait().as_secs_f64()),
+        attribution.len(),
+        fmt_pct(attribution.qpu_contention_frac()),
+        fmt_pct(attribution.shadow_frac()),
+    );
+    let rendered = if format == "chrome" {
+        attribution.to_chrome_trace().to_json_string()
+    } else {
+        let table = match by.as_str() {
+            "tenant" => attribution.by_tenant(),
+            "device" => attribution.by_device(),
+            "class" => attribution.by_class(),
+            "job" => attribution.by_job(),
+            "critical-path" => attribution.critical_path(),
+            _ => attribution.by_cause(),
+        };
+        match render_table(&table, &format) {
+            Ok(rendered) => rendered,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    if let Err(e) = write_output(out.as_deref(), |w| w.write_all(rendered.as_bytes())) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = out {
+        eprintln!("wrote wait attribution (--by {by}) to {path}");
+    }
     ExitCode::SUCCESS
 }
 
@@ -973,6 +1283,7 @@ fn sweep(args: &[String]) -> ExitCode {
     let mut format = String::from("csv");
     let mut summary = false;
     let mut timing = false;
+    let mut attribution = false;
     let mut out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -987,6 +1298,7 @@ fn sweep(args: &[String]) -> ExitCode {
             "--format" => format = it.next().cloned().unwrap_or_else(|| usage()),
             "--summary" => summary = true,
             "--timing" => timing = true,
+            "--attribution" => attribution = true,
             "--out" => out = it.next().cloned(),
             _ => usage(),
         }
@@ -1020,11 +1332,16 @@ fn sweep(args: &[String]) -> ExitCode {
     );
     // Live progress on stderr: a line per ~10% of cells (always the last).
     let stride = (grid.len() / 10).max(1);
-    let result = match executor.run_sim_with(&grid, |done, total| {
+    let progress = |done: usize, total: usize| {
         if done % stride == 0 || done == total {
             eprintln!("sweep: {done}/{total} cells done");
         }
-    }) {
+    };
+    let result = match if attribution {
+        executor.run_sim_attributed_with(&grid, progress)
+    } else {
+        executor.run_sim_with(&grid, progress)
+    } {
         Ok(result) => result,
         Err(e) => {
             eprintln!("{e}");
@@ -1144,6 +1461,7 @@ fn main() -> ExitCode {
         Some("generate") => generate(&args[1..]),
         Some("gen") => gen(&args[1..]),
         Some("run") => run(&args[1..]),
+        Some("explain") => explain(&args[1..]),
         Some("devices") => devices(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
         Some("advise") => advise(&args[1..]),

@@ -64,8 +64,8 @@ pub mod prelude {
     pub use hpcqc_metrics::{fmt_pct, fmt_secs, GanttRecorder, JobStats, Table};
     pub use hpcqc_qpu::{AccessMode, Kernel, QpuDevice, Technology};
     pub use hpcqc_sched::{
-        BatchScheduler, CyclePhase, CycleProbe, Discipline, NoProbe, PendingJob, PolicySpec,
-        PriorityCalculator, PriorityWeights, QueuePolicy, SchedCtx, Verdict,
+        BatchScheduler, CyclePhase, CycleProbe, Discipline, HoldReason, NoProbe, PendingJob,
+        PolicySpec, PriorityCalculator, PriorityWeights, QueuePolicy, SchedCtx, Verdict,
     };
     pub use hpcqc_simcore::{Dist, SimDuration, SimRng, SimTime};
     pub use hpcqc_sweep::{
@@ -73,7 +73,8 @@ pub mod prelude {
         SweepResult, WorkloadSpec,
     };
     pub use hpcqc_trace::{
-        ChromeTrace, MetricsObserver, MetricsRegistry, SchedProfiler, TraceObserver,
+        AttributionObserver, ChromeTrace, JobLedger, MetricsObserver, MetricsRegistry,
+        SchedProfiler, TraceObserver, WaitInterval,
     };
     pub use hpcqc_workload::{
         ArrivalProcess, JobClass, JobSpec, Pattern, Phase, Workload, WorkloadError,

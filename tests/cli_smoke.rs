@@ -392,6 +392,127 @@ fn run_instrumentation_conflicts_with_compare() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("--compare"));
 }
 
+fn hetero_fleet() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/fleets/hetero.json")
+}
+
+#[test]
+fn devices_lists_the_fleet_without_running() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .arg("devices")
+        .arg("--fleet")
+        .arg(hetero_fleet())
+        .output()
+        .expect("devices runs");
+    assert!(out.status.success(), "devices failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("route"), "route line missing: {stdout}");
+    for column in ["device", "technology", "qubits", "status"] {
+        assert!(
+            stdout.contains(column),
+            "column `{column}` missing: {stdout}"
+        );
+    }
+    for device in ["helios-sc", "ares-ion"] {
+        assert!(
+            stdout.contains(device),
+            "device `{device}` missing: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn devices_rejects_a_malformed_fleet_file() {
+    let dir = std::env::temp_dir().join(format!("hpcqc_cli_badfleet_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.json");
+    std::fs::write(&path, "{ \"name\": \"broken\", \"devices\": [").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .arg("devices")
+        .arg("--fleet")
+        .arg(&path)
+        .output()
+        .expect("devices runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "malformed fleet must exit 2: {out:?}"
+    );
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("panicked"),
+        "must not panic on a malformed fleet: {out:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn devices_hints_on_typoed_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["devices", "--flete", "x.json"])
+        .output()
+        .expect("devices runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("did you mean `--fleet`"));
+}
+
+#[test]
+fn explain_blames_the_queue_wait_by_cause() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["explain", "--workload"])
+        .arg(contended_workload())
+        .args(["--by", "cause", "--format", "csv"])
+        .output()
+        .expect("explain runs");
+    assert!(out.status.success(), "explain failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.starts_with("cause,wait_s,share"),
+        "cause columns missing: {stdout}"
+    );
+    assert!(
+        stdout.contains("qpu-contention"),
+        "qpu-contention row missing on the contended workload: {stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("attributed") && stderr.contains("QPU-contention share"),
+        "summary line missing: {stderr}"
+    );
+}
+
+#[test]
+fn explain_rejects_unknown_by_dimension() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["explain", "--workload", "x.hqwf", "--by", "vibes"])
+        .output()
+        .expect("explain runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cause | tenant | device"), "{stderr}");
+}
+
+#[test]
+fn run_attribution_writes_the_blame_table() {
+    let dir = std::env::temp_dir().join(format!("hpcqc_cli_attr_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("blame.csv");
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["run", "--workload"])
+        .arg(contended_workload())
+        .arg("--attribution")
+        .arg(&path)
+        .output()
+        .expect("run runs");
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("wrote wait attribution"),
+        "{out:?}"
+    );
+    let csv = std::fs::read_to_string(&path).unwrap();
+    assert!(csv.starts_with("cause,wait_s,share"), "{csv}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn scenario_file_with_broken_policy_knobs_fails_gracefully() {
     use hpcqc::prelude::*;
