@@ -1,0 +1,90 @@
+//! Criterion benches of the dependability layer: what a fault plan costs
+//! the simulator. Three prices matter — carrying an *inert* plan (must be
+//! free), sampling the fault processes on a clean run, and actually
+//! exercising recovery (retries, failover, drift recalibration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcqc_core::{FacilitySim, Scenario, Strategy};
+use hpcqc_faults::{DeviceFaults, DriftModel, FaultPlan, RecoverySpec};
+use hpcqc_fleet::{FleetDevice, FleetSpec, RouteSpec};
+use hpcqc_qpu::kernel::Kernel;
+use hpcqc_qpu::technology::Technology;
+use hpcqc_simcore::dist::Dist;
+use hpcqc_workload::{JobClass, Pattern, Workload};
+
+/// VQE tenants contending for the machine — the workload shape whose
+/// quantum phases give the fault processes something to interrupt.
+fn hybrid_workload() -> Workload {
+    Workload::builder()
+        .class(
+            JobClass::new("vqe", Pattern::vqe(6, 60.0, Kernel::sampling(20_000)))
+                .nodes_between(2, 4)
+                .quantum_estimate_secs(30.0),
+        )
+        .count(40)
+        .generate(11)
+}
+
+/// The committed `examples/faults/degraded.json` intensity: outages,
+/// drift, and transient kernel errors, with recovery generous enough
+/// that every job still completes.
+fn degraded_plan() -> FaultPlan {
+    FaultPlan::named("degraded")
+        .device(
+            DeviceFaults::new()
+                .mtbf(Dist::exponential(14_400.0))
+                .repair(Dist::exponential(600.0))
+                .drift(DriftModel::new(1e-5, 0.5).recalibration(Dist::constant(180.0)))
+                .kernel_error_rate(0.05),
+        )
+        .recovery(
+            RecoverySpec::new()
+                .max_kernel_retries(20)
+                .retry_backoff_secs(15.0)
+                .max_requeues(50),
+        )
+}
+
+fn scenario(faults: Option<FaultPlan>, fleet: bool) -> Scenario {
+    let mut builder = Scenario::builder()
+        .classical_nodes(16)
+        .strategy(Strategy::CoSchedule)
+        .seed(42);
+    if fleet {
+        builder = builder.fleet(
+            FleetSpec::new("bench")
+                .device(FleetDevice::new("sc-a", Technology::Superconducting))
+                .device(FleetDevice::new("sc-b", Technology::Superconducting))
+                .route(RouteSpec::LeastLoaded),
+        );
+    }
+    if let Some(plan) = faults {
+        builder = builder.faults(plan);
+    }
+    builder.build()
+}
+
+fn bench_fault_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_sim");
+    let workload = hybrid_workload();
+    // The pre-faults path, as the baseline the rest is read against.
+    let cases = [
+        ("fault_free", scenario(None, false)),
+        ("inert_plan", scenario(Some(FaultPlan::none()), false)),
+        ("degraded_single", scenario(Some(degraded_plan()), false)),
+        ("degraded_failover", scenario(Some(degraded_plan()), true)),
+    ];
+    for (name, sc) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| FacilitySim::run(&sc, &workload).expect("run completes"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_secs(1)).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_fault_sim
+}
+criterion_main!(benches);

@@ -15,6 +15,10 @@
 //!   route policy (ns per decision) and end-to-end routed-fleet
 //!   simulation cost against the legacy single-device path (ms per run,
 //!   both lower is better); the kernels mirror `benches/fleet.rs`.
+//! * `BENCH_faults.json` — dependability-layer cost: end-to-end
+//!   simulation under no plan / an inert plan / the committed degraded
+//!   intensity, single-device and with failover (ms per run, lower is
+//!   better); the kernels mirror `benches/faults.rs`.
 //!
 //! # The `hpcqc-bench-export/v1` format
 //!
@@ -37,7 +41,7 @@
 //! baselines record a trajectory, they are not golden files.
 //!
 //! ```text
-//! USAGE: bench-export [--suite sched|streaming|fleet|all] [--out-dir DIR] [--quick]
+//! USAGE: bench-export [--suite sched|streaming|fleet|faults|all] [--out-dir DIR] [--quick]
 //! ```
 //!
 //! `--quick` shrinks reps and problem sizes for smoke runs (CI uses it).
@@ -47,11 +51,13 @@ use hpcqc_cluster::cluster::{Cluster, ClusterBuilder};
 use hpcqc_cluster::gres::GresKind;
 use hpcqc_core::FacilitySim;
 use hpcqc_core::{Scenario, Strategy};
+use hpcqc_faults::{DeviceFaults, DriftModel, FaultPlan, RecoverySpec};
 use hpcqc_fleet::{DeviceId, FleetCtx, FleetDevice, FleetSpec, RouteSpec, ALL_ROUTES};
 use hpcqc_gen::{GeneratorSpec, Horizon};
 use hpcqc_qpu::{Kernel, QpuDevice, Technology};
 use hpcqc_sched::scheduler::{BatchScheduler, PendingJob};
 use hpcqc_sched::PolicySpec;
+use hpcqc_simcore::dist::Dist;
 use hpcqc_simcore::rng::SimRng;
 use hpcqc_simcore::time::{SimDuration, SimTime};
 use hpcqc_workload::job::JobId;
@@ -352,8 +358,83 @@ fn fleet_suite(reps: usize, quick: bool) -> Export {
     }
 }
 
+/// Dependability overhead: the same hybrid workload under no fault
+/// plan, an inert plan, and the committed `degraded` intensity, with
+/// and without a failover fleet (mirrors `benches/faults.rs`).
+fn faults_suite(reps: usize, quick: bool) -> Export {
+    let jobs = if quick { 10 } else { 40 };
+    let workload = hybrid_workload(jobs);
+    let degraded = || {
+        FaultPlan::named("degraded")
+            .device(
+                DeviceFaults::new()
+                    .mtbf(Dist::exponential(14_400.0))
+                    .repair(Dist::exponential(600.0))
+                    .drift(DriftModel::new(1e-5, 0.5).recalibration(Dist::constant(180.0)))
+                    .kernel_error_rate(0.05),
+            )
+            .recovery(
+                RecoverySpec::new()
+                    .max_kernel_retries(20)
+                    .retry_backoff_secs(15.0)
+                    .max_requeues(50),
+            )
+    };
+    let scenario_of = |faults: Option<FaultPlan>, fleet: bool| {
+        let mut builder = Scenario::builder()
+            .classical_nodes(16)
+            .strategy(Strategy::CoSchedule)
+            .seed(42);
+        if fleet {
+            builder = builder.fleet(
+                FleetSpec::new("bench")
+                    .device(FleetDevice::new("sc-a", Technology::Superconducting))
+                    .device(FleetDevice::new("sc-b", Technology::Superconducting))
+                    .route(RouteSpec::LeastLoaded),
+            );
+        }
+        if let Some(plan) = faults {
+            builder = builder.faults(plan);
+        }
+        builder.build()
+    };
+    let cases = [
+        ("sim/fault_free", scenario_of(None, false)),
+        (
+            "sim/inert_plan",
+            scenario_of(Some(FaultPlan::none()), false),
+        ),
+        ("sim/degraded_single", scenario_of(Some(degraded()), false)),
+        ("sim/degraded_failover", scenario_of(Some(degraded()), true)),
+    ];
+    let to_ms = 1e3;
+    let results = cases
+        .iter()
+        .map(|(bench, scenario)| {
+            let (median, min, max) = sample(reps, || {
+                FacilitySim::run(scenario, &workload).expect("run completes");
+            });
+            BenchResult {
+                bench: (*bench).to_string(),
+                unit: "ms_per_run",
+                median: median * to_ms,
+                min: min * to_ms,
+                max: max * to_ms,
+            }
+        })
+        .collect();
+    Export {
+        format: "hpcqc-bench-export/v1",
+        suite: "faults",
+        reps,
+        results,
+    }
+}
+
 fn usage() -> ! {
-    eprintln!("USAGE: bench-export [--suite sched|streaming|fleet|all] [--out-dir DIR] [--quick]");
+    eprintln!(
+        "USAGE: bench-export [--suite sched|streaming|fleet|faults|all] [--out-dir DIR] [--quick]"
+    );
     std::process::exit(2);
 }
 
@@ -371,7 +452,10 @@ fn main() -> ExitCode {
             _ => usage(),
         }
     }
-    if !matches!(suite.as_str(), "sched" | "streaming" | "fleet" | "all") {
+    if !matches!(
+        suite.as_str(),
+        "sched" | "streaming" | "fleet" | "faults" | "all"
+    ) {
         usage();
     }
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
@@ -388,6 +472,9 @@ fn main() -> ExitCode {
     }
     if suite == "fleet" || suite == "all" {
         exports.push(fleet_suite(reps, quick));
+    }
+    if suite == "faults" || suite == "all" {
+        exports.push(faults_suite(reps, quick));
     }
     for export in exports {
         let path = format!("{out_dir}/BENCH_{}.json", export.suite);

@@ -80,6 +80,9 @@ pub mod strategy;
 
 pub use advisor::{estimate_queue_wait, recommend, Recommendation, WorkloadProfile};
 pub use driver::{driver_for, SimCtx, StrategyDriver, SubmissionPlan};
+pub use hpcqc_faults::{
+    CheckpointSpec, DeviceFaults, DriftModel, FaultPlan, NodeFaults, RecoverySpec,
+};
 pub use observer::{PhaseKind, SimEvent, SimObserver};
 pub use outcome::{DeviceSummary, Outcome, WasteSummary};
 pub use scenario::{FailureModel, Scenario, ScenarioBuilder, WalltimePolicy};

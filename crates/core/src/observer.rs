@@ -198,6 +198,68 @@ pub enum SimEvent<'a> {
         /// The repaired node.
         node: NodeId,
     },
+    /// Fault injection took a QPU device down — an outage, or a forced
+    /// recalibration after accumulated drift crossed its threshold.
+    DeviceFailed {
+        /// Device index (`qpu0`, `qpu1`, …).
+        device: usize,
+        /// `true` when the downtime is a drift-forced recalibration rather
+        /// than an outage.
+        recalibration: bool,
+    },
+    /// A downed QPU device returned to service.
+    DeviceRepaired {
+        /// Device index.
+        device: usize,
+    },
+    /// A kernel execution failed — a transient error, or its device went
+    /// down mid-flight. Device time up to the failure is still consumed.
+    KernelFailed {
+        /// The submitting job.
+        job: JobId,
+        /// The job's name.
+        name: &'a str,
+        /// Device index the kernel failed on.
+        device: usize,
+    },
+    /// A failed kernel was scheduled for another attempt after its
+    /// deterministic backoff.
+    KernelRetried {
+        /// The submitting job.
+        job: JobId,
+        /// 1-based retry attempt number.
+        attempt: u32,
+    },
+    /// A retried kernel landed on a different device than the failed
+    /// attempt (cross-device failover through the fleet router).
+    KernelRerouted {
+        /// The submitting job.
+        job: JobId,
+        /// Device the failed attempt ran on.
+        from: usize,
+        /// Device the retry runs on.
+        to: usize,
+    },
+    /// A classical-phase checkpoint completed (its cost is already part of
+    /// the phase's wall time).
+    CheckpointTaken {
+        /// The checkpointing job.
+        job: JobId,
+        /// Fraction of the phase now safely persisted, in `(0, 1]`.
+        progress: f64,
+    },
+    /// A job was re-submitted after a fault — kernel retries exhausted, or
+    /// a node failure took out its allocation.
+    JobRestarted {
+        /// The restarted job.
+        job: JobId,
+        /// The job's name.
+        name: &'a str,
+        /// Node-seconds of classical progress discarded by the rewind
+        /// (work since the last checkpoint; the whole phase's progress
+        /// when checkpointing is off).
+        rewound_node_seconds: f64,
+    },
 }
 
 /// A consumer of the simulator's [`SimEvent`] stream.
@@ -331,6 +393,10 @@ impl SimObserver for WasteObserver {
             } => self.node.add_used(now, -*busy_nodes),
             SimEvent::KernelExecStarted { .. } => self.qpu.add_used(now, 1.0),
             SimEvent::KernelExecEnded { .. } => self.qpu.add_used(now, -1.0),
+            SimEvent::JobRestarted {
+                rewound_node_seconds,
+                ..
+            } => self.node.add_rewound(*rewound_node_seconds),
             _ => {}
         }
     }

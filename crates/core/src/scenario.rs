@@ -1,6 +1,7 @@
 //! Scenario configuration: the machine + policy + strategy under test.
 
 use crate::strategy::Strategy;
+use hpcqc_faults::FaultPlan;
 use hpcqc_fleet::FleetSpec;
 use hpcqc_qpu::remote::AccessMode;
 use hpcqc_qpu::technology::Technology;
@@ -109,6 +110,12 @@ pub struct Scenario {
     /// single-technology-list path, which is byte-identical to wrapping
     /// the list via [`FleetSpec::from_legacy`].
     pub fleet: Option<FleetSpec>,
+    /// Optional dependability plan: node/device fault processes,
+    /// calibration drift, transient kernel errors and the recovery policy
+    /// countering them. When set, its node section supersedes
+    /// [`Scenario::node_failures`]. `None` (or an inert plan) leaves the
+    /// simulation byte-identical to a fault-free run.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -162,6 +169,7 @@ impl Default for Scenario {
             walltime_policy: WalltimePolicy::Advisory,
             node_failures: None,
             fleet: None,
+            faults: None,
         }
     }
 }
@@ -255,6 +263,19 @@ impl ScenarioBuilder {
         let invalid = fleet.validate().err();
         assert!(invalid.is_none(), "invalid fleet spec: {invalid:?}");
         self.inner.fleet = Some(fleet);
+        self
+    }
+
+    /// Installs a dependability plan (fault injection + recovery policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`] — plans from
+    /// untrusted input should be validated before building the scenario.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        let invalid = plan.validate().err();
+        assert!(invalid.is_none(), "invalid fault plan: {invalid:?}");
+        self.inner.faults = Some(plan);
         self
     }
 

@@ -28,6 +28,7 @@ use hpcqc_cluster::cluster::{Cluster, ClusterBuilder};
 use hpcqc_cluster::error::ClusterError;
 use hpcqc_cluster::gres::GresKind;
 use hpcqc_cluster::ids::AllocationId;
+use hpcqc_faults::{CheckpointSpec, DeviceFaults, FaultPlan, RecoverySpec};
 use hpcqc_fleet::{DeviceId, QpuFleet};
 use hpcqc_metrics::jobstats::JobRecord;
 use hpcqc_metrics::waste::WasteTracker;
@@ -133,6 +134,20 @@ enum Event {
     NodeFailure,
     /// Failure injection: a failed node returns to service.
     NodeRepair(hpcqc_cluster::ids::NodeId),
+    /// Fault injection: QPU device `index` suffers an outage.
+    DeviceFailure(usize),
+    /// Fault injection: the device returns to service (outage repaired or
+    /// forced recalibration done).
+    DeviceRepairDone(usize),
+    /// The job observes a transient kernel failure — fires in place of
+    /// [`Event::KernelDone`]. Carries the epoch and the executing device.
+    KernelFault(JobId, u32, usize),
+    /// Retry backoff expired: re-dispatch the job's current kernel
+    /// (epoch-fenced).
+    KernelRetry(JobId, u32),
+    /// Periodic classical checkpoint (fenced on epoch *and* phase index,
+    /// since phases advance without an epoch bump).
+    Checkpoint(JobId, u32, usize),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -179,6 +194,21 @@ struct JobRun {
     classical_active_nodes: f64,
     quantum_started: Option<SimTime>,
     requeues: u32,
+    // Fault recovery (see Scenario::faults). `kernel_attempts` counts the
+    // failed tries of the *current* kernel; `completed_frac` is the
+    // checkpoint-durable progress of the current classical phase, which a
+    // fault-driven restart resumes from instead of zero.
+    kernel_attempts: u32,
+    last_exec_device: Option<usize>,
+    completed_frac: f64,
+    classical_entry_frac: f64,
+    classical_full_secs: f64,
+    ckpt_cost_secs: f64,
+    classical_end: Option<SimTime>,
+    last_checkpoint_at: Option<SimTime>,
+    /// `node_seconds_used` at the start of the current attempt, so a
+    /// restart-from-zero can book exactly this attempt's work as rewound.
+    attempt_used_base: f64,
 }
 
 impl JobRun {
@@ -210,6 +240,15 @@ impl JobRun {
             classical_active_nodes: 0.0,
             quantum_started: None,
             requeues: 0,
+            kernel_attempts: 0,
+            last_exec_device: None,
+            completed_frac: 0.0,
+            classical_entry_frac: 0.0,
+            classical_full_secs: 0.0,
+            ckpt_cost_secs: 0.0,
+            classical_end: None,
+            last_checkpoint_at: None,
+            attempt_used_base: 0.0,
         }
     }
 
@@ -279,6 +318,24 @@ pub(crate) struct SimState<'o> {
     extras: &'o mut [&'o mut dyn SimObserver],
     access_rng: SimRng,
     failure_rng: SimRng,
+    /// Per-device fault-process streams (outage timing, recalibration
+    /// durations), forked by `(seed, label, index)` alone so their mere
+    /// existence cannot perturb any pre-existing stream.
+    device_fault_rngs: Vec<SimRng>,
+    /// Transient kernel-error stream: one draw per dispatched kernel when
+    /// an active fault plan sets a nonzero error rate.
+    kernel_error_rng: SimRng,
+    /// Fault-injected downtime per device, as a counter: an outage and a
+    /// forced recalibration may overlap, and the device is back in service
+    /// only once every pending repair has completed.
+    device_down: Vec<u32>,
+    /// Accumulated calibration drift per device, in fault-plan units.
+    device_drift: Vec<f64>,
+    /// Jobs with a kernel currently on a device (raw job id → device
+    /// index), so an outage can interrupt exactly the affected kernels.
+    /// A `BTreeMap` because it *is* iterated (on device failure) and the
+    /// victim order must be deterministic.
+    kernels_in_flight: BTreeMap<u64, usize>,
     alloc_owner: BTreeMap<AllocationId, JobId>,
     failures_injected: u64,
     completed: u64,
@@ -492,14 +549,42 @@ impl<'o> FacilitySim<'o> {
         );
         let gantt_obs = scenario.record_gantt.then(GanttObserver::new);
         let mut failure_rng = root.fork("failures");
-        if let Some(model) = &scenario.node_failures {
-            let first = model.mtbf.sample_duration(&mut failure_rng);
+        // The fault plan's node section supersedes the legacy model; both
+        // draw from the same "failures" stream, so a plan mirroring the
+        // legacy model replays the legacy failure trajectory.
+        let node_mtbf = scenario
+            .faults
+            .as_ref()
+            .and_then(|p| p.node.as_ref())
+            .map(|n| &n.mtbf)
+            .or(scenario.node_failures.as_ref().map(|m| &m.mtbf));
+        if let Some(mtbf) = node_mtbf {
+            let first = mtbf.sample_duration(&mut failure_rng);
             events.schedule(SimTime::ZERO + first, Event::NodeFailure);
+        }
+        let mut device_fault_rngs: Vec<SimRng> = (0..devices.len())
+            .map(|i| root.fork_indexed("device-faults", i as u64))
+            .collect();
+        if let Some((mtbf, _)) = scenario
+            .faults
+            .as_ref()
+            .and_then(|p| p.device.as_ref())
+            .and_then(DeviceFaults::outage_process)
+        {
+            for (i, rng) in device_fault_rngs.iter_mut().enumerate() {
+                let first = mtbf.sample_duration(rng);
+                events.schedule(SimTime::ZERO + first, Event::DeviceFailure(i));
+            }
         }
         FacilitySim {
             state: SimState {
                 access_rng: root.fork("access"),
                 failure_rng,
+                kernel_error_rng: root.fork("kernel-errors"),
+                device_fault_rngs,
+                device_down: vec![0; devices.len()],
+                device_drift: vec![0.0; devices.len()],
+                kernels_in_flight: BTreeMap::new(),
                 scenario,
                 cluster,
                 scheduler,
@@ -664,6 +749,27 @@ impl<'o> SimState<'o> {
                     self.cluster.restore_node(node)?;
                     emit!(self, now, SimEvent::NodeRepaired { node });
                 }
+                Event::DeviceFailure(device) => self.on_device_failure(driver, device, now)?,
+                Event::DeviceRepairDone(device) => self.on_device_repair(device, now),
+                Event::KernelFault(job, epoch, device) => {
+                    if self.jobs.get(&job.raw()).is_some_and(|r| r.epoch == epoch) {
+                        self.on_kernel_fault(driver, job, device, now)?;
+                    }
+                }
+                Event::KernelRetry(job, epoch) => {
+                    if self.jobs.get(&job.raw()).is_some_and(|r| r.epoch == epoch) {
+                        self.on_kernel_retry(driver, job, now)?;
+                    }
+                }
+                Event::Checkpoint(job, epoch, phase_idx) => {
+                    if self.jobs.get(&job.raw()).is_some_and(|r| {
+                        r.epoch == epoch
+                            && r.phase_idx == phase_idx
+                            && r.classical_started.is_some()
+                    }) {
+                        self.on_checkpoint(job, now);
+                    }
+                }
             }
             self.cycle(driver, now, probe)?;
             // The proptest suite runs debug builds: verify the machine
@@ -687,14 +793,21 @@ impl<'o> SimState<'o> {
 
     /// Fails a uniformly random up-node; the owning job (if any) is killed
     /// and requeued within the failure budget. Schedules the repair and the
-    /// next failure.
+    /// next failure. The fault plan's node section supersedes the legacy
+    /// [`FailureModel`](crate::scenario::FailureModel); with a plan active
+    /// the requeue additionally books rewound work and resumes from the
+    /// last classical checkpoint when checkpoint-restart is configured.
     fn on_node_failure(
         &mut self,
         driver: &mut dyn StrategyDriver,
         now: SimTime,
     ) -> Result<(), SimError> {
-        let Some(model) = self.scenario.node_failures.clone() else {
-            return Ok(());
+        let plan_node = self.scenario.faults.as_ref().and_then(|p| p.node.clone());
+        let (mtbf, repair, budget, faulted) = match (plan_node, self.scenario.node_failures.clone())
+        {
+            (Some(n), _) => (n.mtbf.clone(), n.repair.clone(), n.requeue_budget(), true),
+            (None, Some(m)) => (m.mtbf, m.repair, m.max_requeues, false),
+            (None, None) => return Ok(()),
         };
         // Pick among currently-up nodes (failed ones cannot fail again).
         let up: Vec<_> = self
@@ -709,27 +822,452 @@ impl<'o> SimState<'o> {
             let owner = self.cluster.fail_node(node)?;
             self.failures_injected += 1;
             emit!(self, now, SimEvent::NodeFailed { node });
-            let repair = model.repair.sample_duration(&mut self.failure_rng);
-            self.events.schedule(now + repair, Event::NodeRepair(node));
+            let repair_in = repair.sample_duration(&mut self.failure_rng);
+            self.events
+                .schedule(now + repair_in, Event::NodeRepair(node));
             if let Some(alloc) = owner {
                 if let Some(&job) = self.alloc_owner.get(&alloc) {
-                    self.abort_attempt(driver, job, now)?;
-                    let run = self.live_mut(job);
-                    if run.requeues < model.max_requeues {
-                        run.requeues += 1;
-                        run.phase_idx = 0;
-                        run.prev_phase_end = None;
-                        run.device = None;
-                        self.on_submit(driver, job, now)?;
+                    if faulted {
+                        self.requeue_after_node_fault(driver, job, budget, now)?;
                     } else {
-                        self.finalize(job, now, false);
+                        // Legacy path: byte-identical to the pre-fault-plan
+                        // simulator (no restart event, phase reset to 0).
+                        self.abort_attempt(driver, job, now)?;
+                        let run = self.live_mut(job);
+                        if run.requeues < budget {
+                            run.requeues += 1;
+                            run.phase_idx = 0;
+                            run.prev_phase_end = None;
+                            run.device = None;
+                            self.on_submit(driver, job, now)?;
+                        } else {
+                            self.finalize(job, now, false);
+                        }
                     }
                 }
             }
         }
-        let next = model.mtbf.sample_duration(&mut self.failure_rng);
+        let next = mtbf.sample_duration(&mut self.failure_rng);
         self.events.schedule(now + next, Event::NodeFailure);
         Ok(())
+    }
+
+    /// Fault-plan requeue after a node failure took out the job's
+    /// allocation: with checkpoint-restart configured the job keeps its
+    /// phase index and rewinds to the last durable checkpoint; otherwise
+    /// it restarts from phase 0 and the whole attempt's work is rewound.
+    fn requeue_after_node_fault(
+        &mut self,
+        driver: &mut dyn StrategyDriver,
+        job: JobId,
+        budget: u32,
+        now: SimTime,
+    ) -> Result<(), SimError> {
+        let checkpointed = self.checkpoint_cfg().is_some();
+        let (started, last_ckpt, active_nodes) = {
+            let run = self.live(job);
+            (
+                run.classical_started,
+                run.last_checkpoint_at,
+                run.classical_active_nodes,
+            )
+        };
+        self.abort_attempt(driver, job, now)?;
+        if self.live(job).requeues >= budget {
+            self.finalize(job, now, false);
+            return Ok(());
+        }
+        let keep_phase = checkpointed && started.is_some();
+        let rewound = if let (true, Some(started)) = (keep_phase, started) {
+            // Only the work since the last durable checkpoint is re-done.
+            let from = last_ckpt.map_or(started, |c| c.max(started));
+            active_nodes * now.saturating_since(from).as_secs_f64()
+        } else {
+            let run = self.live(job);
+            (run.node_seconds_used - run.attempt_used_base).max(0.0)
+        };
+        self.restart_job(driver, job, keep_phase, rewound, now)
+    }
+
+    /// Shared fault-requeue tail: resets per-attempt recovery state, books
+    /// the rewound work via [`SimEvent::JobRestarted`] and resubmits.
+    fn restart_job(
+        &mut self,
+        driver: &mut dyn StrategyDriver,
+        job: JobId,
+        keep_phase: bool,
+        rewound: f64,
+        now: SimTime,
+    ) -> Result<(), SimError> {
+        {
+            let run = self.live_mut(job);
+            run.requeues += 1;
+            run.kernel_attempts = 0;
+            run.last_exec_device = None;
+            run.device = None;
+            run.prev_phase_end = None;
+            if !keep_phase {
+                run.phase_idx = 0;
+                run.completed_frac = 0.0;
+                run.last_checkpoint_at = None;
+            }
+            run.attempt_used_base = run.node_seconds_used;
+        }
+        emit!(
+            self,
+            now,
+            SimEvent::JobRestarted {
+                job,
+                name: self.jobs[&job.raw()].spec.name(),
+                rewound_node_seconds: rewound,
+            }
+        );
+        self.on_submit(driver, job, now)
+    }
+
+    // ----- fault machinery -------------------------------------------------
+
+    /// The scenario's fault plan, when it actually injects something.
+    fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.scenario.faults.as_ref().filter(|p| !p.is_inert())
+    }
+
+    /// The active device fault process, if any.
+    fn device_faults(&self) -> Option<&DeviceFaults> {
+        self.fault_plan().and_then(|p| p.device.as_ref())
+    }
+
+    /// The effective recovery policy (defaults when the plan omits one).
+    fn recovery(&self) -> RecoverySpec {
+        self.scenario
+            .faults
+            .as_ref()
+            .map_or_else(RecoverySpec::default, FaultPlan::recovery_or_default)
+    }
+
+    /// Checkpoint-restart configuration, when an active plan enables it.
+    fn checkpoint_cfg(&self) -> Option<CheckpointSpec> {
+        self.fault_plan()
+            .and_then(|p| p.recovery.as_ref())
+            .and_then(|r| r.checkpoint.clone())
+    }
+
+    /// `true` when `device` is currently out of service through fault
+    /// injection (outage or forced recalibration).
+    fn device_injected_down(&self, device: usize) -> bool {
+        self.device_down.get(device).copied().unwrap_or(0) > 0
+    }
+
+    /// Adjusts the injected-downtime counter for `device` and mirrors the
+    /// resulting service state into the fleet's routing metadata (a
+    /// spec'd-down device stays down regardless of repairs).
+    fn set_device_down(&mut self, device: usize, down: bool) {
+        let Some(counter) = self.device_down.get_mut(device) else {
+            return;
+        };
+        if down {
+            *counter += 1;
+        } else {
+            *counter = counter.saturating_sub(1);
+        }
+        let injected = *counter > 0;
+        let spec_down = self
+            .scenario
+            .fleet
+            .as_ref()
+            .and_then(|f| f.devices.get(device))
+            .and_then(|d| d.down)
+            .unwrap_or(false);
+        if let Some(fleet) = &mut self.fleet {
+            fleet.set_down(device, spec_down || injected);
+        }
+    }
+
+    /// A QPU outage: the device leaves service, in-flight kernels on it
+    /// fail (their jobs enter kernel recovery), and the repair plus the
+    /// next outage are scheduled. Kernels merely *queued* in the device
+    /// model keep their timing — downtime is charged through routing and
+    /// dispatch, not by rebuilding device queues.
+    fn on_device_failure(
+        &mut self,
+        driver: &mut dyn StrategyDriver,
+        device: usize,
+        now: SimTime,
+    ) -> Result<(), SimError> {
+        let Some((mtbf, repair)) = self
+            .device_faults()
+            .and_then(DeviceFaults::outage_process)
+            .map(|(m, r)| (m.clone(), r.clone()))
+        else {
+            return Ok(());
+        };
+        let rng = &mut self.device_fault_rngs[device];
+        let repair_in = repair.sample_duration(rng);
+        let next = mtbf.sample_duration(rng);
+        self.set_device_down(device, true);
+        emit!(
+            self,
+            now,
+            SimEvent::DeviceFailed {
+                device,
+                recalibration: false,
+            }
+        );
+        self.events
+            .schedule(now + repair_in, Event::DeviceRepairDone(device));
+        // The next outage clock starts once the device is back up.
+        self.events
+            .schedule(now + repair_in + next, Event::DeviceFailure(device));
+        let victims: Vec<JobId> = self
+            .kernels_in_flight
+            .iter()
+            .filter(|&(_, &d)| d == device)
+            .map(|(&raw, _)| JobId::new(raw))
+            .collect();
+        for job in victims {
+            self.fail_kernel(driver, job, device, now)?;
+        }
+        Ok(())
+    }
+
+    /// Outage repaired or forced recalibration finished: the device
+    /// returns to service once *all* overlapping downtimes have cleared.
+    fn on_device_repair(&mut self, device: usize, now: SimTime) {
+        self.set_device_down(device, false);
+        if !self.device_injected_down(device) {
+            emit!(self, now, SimEvent::DeviceRepaired { device });
+        }
+    }
+
+    /// Books `kernel`'s shots against device drift; crossing the threshold
+    /// takes the device out of service for a forced recalibration. The
+    /// kernel just dispatched still runs — recalibration starts once the
+    /// device drains, and only future routing sees the downtime.
+    fn accrue_drift(&mut self, device: usize, kernel: &Kernel, now: SimTime) {
+        let Some(drift) = self.device_faults().and_then(|d| d.drift.clone()) else {
+            return;
+        };
+        self.device_drift[device] += drift.per_shot * f64::from(kernel.shots());
+        if self.device_drift[device] < drift.threshold {
+            return;
+        }
+        self.device_drift[device] = 0.0;
+        let down = drift
+            .recalibration_dist()
+            .sample_duration(&mut self.device_fault_rngs[device]);
+        self.set_device_down(device, true);
+        emit!(
+            self,
+            now,
+            SimEvent::DeviceFailed {
+                device,
+                recalibration: true,
+            }
+        );
+        self.events
+            .schedule(now + down, Event::DeviceRepairDone(device));
+    }
+
+    /// No routable device right now (outage or recalibration): hold the
+    /// kernel and try again after the base backoff (at least 1 s, so a
+    /// zero-backoff policy cannot spin the clock in place). Does not
+    /// consume a retry attempt — the kernel never ran.
+    fn park_for_recovery(&mut self, job: JobId, now: SimTime) -> Result<(), SimError> {
+        let delay = self.recovery().backoff(1).max_of(SimDuration::from_secs(1));
+        let epoch = self.live(job).epoch;
+        let key = self
+            .events
+            .schedule(now + delay, Event::KernelRetry(job, epoch));
+        self.live_mut(job).pending_event = Some(key);
+        emit!(
+            self,
+            now,
+            SimEvent::JobHeld {
+                job,
+                name: self.jobs[&job.raw()].spec.name(),
+                reason: HoldReason::FaultRecovery,
+            }
+        );
+        Ok(())
+    }
+
+    /// The completion event of a transiently failed kernel execution.
+    fn on_kernel_fault(
+        &mut self,
+        driver: &mut dyn StrategyDriver,
+        job: JobId,
+        device: usize,
+        now: SimTime,
+    ) -> Result<(), SimError> {
+        self.live_mut(job).pending_event = None;
+        self.kernels_in_flight.remove(&job.raw());
+        self.handle_kernel_failure(driver, job, device, now)
+    }
+
+    /// A device outage interrupts `job`'s in-flight kernel: cancel its
+    /// completion event and run the same failure path a transient error
+    /// takes.
+    fn fail_kernel(
+        &mut self,
+        driver: &mut dyn StrategyDriver,
+        job: JobId,
+        device: usize,
+        now: SimTime,
+    ) -> Result<(), SimError> {
+        if let Some(key) = self.live_mut(job).pending_event.take() {
+            self.events.cancel(key);
+        }
+        self.kernels_in_flight.remove(&job.raw());
+        self.handle_kernel_failure(driver, job, device, now)
+    }
+
+    /// Books a kernel failure and either schedules a capped, exponentially
+    /// backed-off retry or escalates to a fault requeue (resuming at this
+    /// phase when classical progress is checkpointed).
+    fn handle_kernel_failure(
+        &mut self,
+        driver: &mut dyn StrategyDriver,
+        job: JobId,
+        device: usize,
+        now: SimTime,
+    ) -> Result<(), SimError> {
+        let (index, started) = {
+            let run = self.live_mut(job);
+            (run.phase_idx, run.quantum_started.take().unwrap_or(now))
+        };
+        emit!(
+            self,
+            now,
+            SimEvent::PhaseEnded {
+                job,
+                name: self.jobs[&job.raw()].spec.name(),
+                kind: PhaseKind::Quantum,
+                index,
+                busy_nodes: 0.0,
+                started,
+            }
+        );
+        emit!(
+            self,
+            now,
+            SimEvent::KernelFailed {
+                job,
+                name: self.jobs[&job.raw()].spec.name(),
+                device,
+            }
+        );
+        let recovery = self.recovery();
+        let attempts = {
+            let run = self.live_mut(job);
+            run.kernel_attempts += 1;
+            run.kernel_attempts
+        };
+        if attempts <= recovery.kernel_retry_cap() {
+            let epoch = self.live(job).epoch;
+            let key = self.events.schedule(
+                now + recovery.backoff(attempts),
+                Event::KernelRetry(job, epoch),
+            );
+            self.live_mut(job).pending_event = Some(key);
+            emit!(
+                self,
+                now,
+                SimEvent::JobHeld {
+                    job,
+                    name: self.jobs[&job.raw()].spec.name(),
+                    reason: HoldReason::FaultRecovery,
+                }
+            );
+            return Ok(());
+        }
+        let budget = recovery.requeue_budget();
+        let keep_phase = self.checkpoint_cfg().is_some();
+        self.abort_attempt(driver, job, now)?;
+        if self.live(job).requeues >= budget {
+            self.finalize(job, now, false);
+            return Ok(());
+        }
+        let rewound = if keep_phase {
+            // Checkpointed classical progress survives; the quantum phase
+            // itself holds no node work to rewind.
+            0.0
+        } else {
+            let run = self.live(job);
+            (run.node_seconds_used - run.attempt_used_base).max(0.0)
+        };
+        self.restart_job(driver, job, keep_phase, rewound, now)
+    }
+
+    /// Retry backoff expired: re-dispatch the job's current (quantum)
+    /// phase. Routing runs again, so the retry fails over to another
+    /// device when the recovery policy allows it.
+    fn on_kernel_retry(
+        &mut self,
+        driver: &mut dyn StrategyDriver,
+        job: JobId,
+        now: SimTime,
+    ) -> Result<(), SimError> {
+        let (kernel, attempt) = {
+            let run = self.live_mut(job);
+            run.pending_event = None;
+            let Phase::Quantum(kernel) = run.spec.phases()[run.phase_idx].clone() else {
+                debug_assert!(false, "kernel retry outside a quantum phase");
+                return Ok(());
+            };
+            (kernel, run.kernel_attempts)
+        };
+        // Parked first dispatches (attempt 0) are waits, not retries.
+        if attempt > 0 {
+            emit!(self, now, SimEvent::KernelRetried { job, attempt });
+        }
+        self.begin_quantum(driver, job, &kernel, now)
+    }
+
+    /// Takes a periodic checkpoint of an in-flight classical phase: the
+    /// completed fraction becomes durable, the phase end slips by the
+    /// checkpoint cost, and the next checkpoint is scheduled if it still
+    /// fits before the phase ends.
+    fn on_checkpoint(&mut self, job: JobId, now: SimTime) {
+        let Some(cp) = self.checkpoint_cfg() else {
+            return;
+        };
+        let (progress, epoch, index, old_key, new_end) = {
+            let run = self.live_mut(job);
+            let Some(started) = run.classical_started else {
+                return;
+            };
+            let worked =
+                (now.saturating_since(started).as_secs_f64() - run.ckpt_cost_secs).max(0.0);
+            let frac = if run.classical_full_secs > 0.0 {
+                (run.classical_entry_frac + worked / run.classical_full_secs).min(1.0)
+            } else {
+                1.0
+            };
+            run.completed_frac = frac;
+            run.last_checkpoint_at = Some(now);
+            run.ckpt_cost_secs += cp.cost_secs;
+            let end = run.classical_end.unwrap_or(now) + cp.cost();
+            run.classical_end = Some(end);
+            (
+                frac,
+                run.epoch,
+                run.phase_idx,
+                run.pending_event.take(),
+                end,
+            )
+        };
+        // The checkpoint stalls the phase for its cost: push the end out.
+        if let Some(key) = old_key {
+            self.events.cancel(key);
+        }
+        let key = self.events.schedule(new_end, Event::PhaseDone(job, epoch));
+        self.live_mut(job).pending_event = Some(key);
+        emit!(self, now, SimEvent::CheckpointTaken { job, progress });
+        let next = now + cp.cost() + cp.interval();
+        if next < new_end {
+            self.events
+                .schedule(next, Event::Checkpoint(job, epoch, index));
+        }
     }
 
     /// One scheduling cycle: start whatever the policy admits.
@@ -838,6 +1376,36 @@ impl<'o> SimState<'o> {
         if eligible.is_empty() {
             let spec = &self.live(job).spec;
             let need = spec.kernels().map(Kernel::qubits).max().unwrap_or(0);
+            let shots = spec.kernels().map(Kernel::shots).max().unwrap_or(0);
+            // With fault injection, every capable device may be transiently
+            // down right at bind time. Bind among the capable devices that
+            // are not *permanently* out (spec'd down); dispatch parks until
+            // one returns to service.
+            if self.fault_plan().is_some() {
+                let fallback: Vec<usize> =
+                    self.devices
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, d)| {
+                            let spec_down = self
+                                .scenario
+                                .fleet
+                                .as_ref()
+                                .and_then(|f| f.devices.get(*i))
+                                .and_then(|fd| fd.down)
+                                .unwrap_or(false);
+                            d.qubits() >= need
+                                && !spec_down
+                                && self.fleet.as_ref().is_none_or(|f| {
+                                    f.shot_capacity(*i).is_none_or(|cap| shots <= cap)
+                                })
+                        })
+                        .map(|(i, _)| i)
+                        .collect();
+                if !fallback.is_empty() {
+                    return Ok(fallback[unit as usize % fallback.len()]);
+                }
+            }
             let best = self
                 .devices
                 .iter()
@@ -1120,16 +1688,28 @@ impl<'o> SimState<'o> {
         nominal: SimDuration,
         now: SimTime,
     ) -> Result<(), SimError> {
+        let checkpoint = self.checkpoint_cfg();
         let run = self.live_mut(job);
         // Linear-speedup stretch when malleably running on fewer nodes.
-        let duration = if run.alloc_nodes > 0 && run.alloc_nodes < run.spec.nodes() {
+        let full = if run.alloc_nodes > 0 && run.alloc_nodes < run.spec.nodes() {
             nominal.mul_f64(f64::from(run.spec.nodes()) / f64::from(run.alloc_nodes))
         } else {
             nominal
         };
+        // Checkpoint-restart resume: only the not-yet-durable fraction of
+        // the phase is re-run.
+        let entry_frac = run.completed_frac.clamp(0.0, 1.0);
+        let duration = if entry_frac > 0.0 {
+            full.mul_f64(1.0 - entry_frac)
+        } else {
+            full
+        };
         let nodes = f64::from(run.alloc_nodes);
         run.classical_started = Some(now);
         run.classical_active_nodes = nodes;
+        run.classical_entry_frac = entry_frac;
+        run.classical_full_secs = full.as_secs_f64();
+        run.ckpt_cost_secs = 0.0;
         let index = run.phase_idx;
         emit!(
             self,
@@ -1145,7 +1725,18 @@ impl<'o> SimState<'o> {
         let end = now + duration;
         let epoch = self.live(job).epoch;
         let key = self.events.schedule(end, Event::PhaseDone(job, epoch));
-        self.live_mut(job).pending_event = Some(key);
+        {
+            let run = self.live_mut(job);
+            run.pending_event = Some(key);
+            run.classical_end = Some(end);
+        }
+        if let Some(cp) = checkpoint {
+            let first = now + cp.interval();
+            if first < end {
+                self.events
+                    .schedule(first, Event::Checkpoint(job, epoch, index));
+            }
+        }
         Ok(())
     }
 
@@ -1184,20 +1775,47 @@ impl<'o> SimState<'o> {
     ) -> Result<(), SimError> {
         // Malleable-style drivers give nodes back before quantum work.
         driver.on_quantum_enter(&mut SimCtx { state: self, now }, job)?;
+        // A retry under a no-failover recovery policy must go back to the
+        // device that ran the failed attempt — or wait until it returns.
+        if self.live(job).kernel_attempts > 0 && !self.recovery().failover_enabled() {
+            if let Some(prev) = self.live(job).last_exec_device {
+                let up = !self.device_injected_down(prev)
+                    && self.fleet.as_ref().is_none_or(|f| f.serves(prev, kernel));
+                if up {
+                    return self.dispatch_kernel(job, kernel, prev, now);
+                }
+                return self.park_for_recovery(job, now);
+            }
+        }
+        // Whether a *capable* device is merely transiently out of service
+        // (fault-injected outage or recalibration). Distinguishes "park
+        // and retry" from genuinely fatal routing failures.
+        let transient_down = self.devices.iter().enumerate().any(|(i, d)| {
+            d.qubits() >= kernel.qubits() && self.device_down.get(i).copied().unwrap_or(0) > 0
+        });
         // Pick the device. With a fleet, the routing policy decides over a
         // snapshot of the live devices (the job's gres-bound device, if
         // any, arrives as the pin). Without one — the legacy path — the
         // bound gres unit wins when the job holds a token, else the
-        // earliest-free capable device.
+        // earliest-free capable device. `None` means every capable device
+        // is transiently down: park the kernel for fault recovery.
         let bound = self.live(job).device;
-        let device_idx = match &mut self.fleet {
+        let pick = match &mut self.fleet {
             Some(fleet) => {
                 let routable = self
                     .devices
                     .iter()
                     .enumerate()
                     .any(|(i, d)| d.qubits() >= kernel.qubits() && fleet.serves(i, kernel));
-                if !routable {
+                if routable {
+                    Some(
+                        fleet
+                            .route(kernel, now, &self.devices, bound.map(DeviceId::new))
+                            .index(),
+                    )
+                } else if transient_down {
+                    None
+                } else {
                     // Distinguish "no device is large enough" (the legacy
                     // error) from fleet-metadata refusals (down devices,
                     // shot caps).
@@ -1224,29 +1842,71 @@ impl<'o> SimState<'o> {
                         }
                     }));
                 }
-                fleet
-                    .route(kernel, now, &self.devices, bound.map(DeviceId::new))
-                    .index()
             }
             None => match bound {
-                Some(d) => d,
+                Some(d) if !self.device_injected_down(d) => Some(d),
+                Some(_) => None,
                 None => {
                     let eligible = self.eligible_devices(job);
-                    *eligible
+                    let best = eligible
                         .iter()
-                        .min_by_key(|&&i| (self.devices[i].next_free(), i))
-                        .ok_or(SimError::Qpu(QpuError::KernelTooLarge {
-                            requested: kernel.qubits(),
-                            available: self
-                                .devices
-                                .iter()
-                                .map(QpuDevice::qubits)
-                                .max()
-                                .unwrap_or(0),
-                        }))?
+                        .copied()
+                        .filter(|&i| !self.device_injected_down(i))
+                        .min_by_key(|&i| (self.devices[i].next_free(), i));
+                    match best {
+                        Some(i) => Some(i),
+                        None if transient_down => None,
+                        None => {
+                            return Err(SimError::Qpu(QpuError::KernelTooLarge {
+                                requested: kernel.qubits(),
+                                available: self
+                                    .devices
+                                    .iter()
+                                    .map(QpuDevice::qubits)
+                                    .max()
+                                    .unwrap_or(0),
+                            }))
+                        }
+                    }
                 }
             },
         };
+        let Some(device_idx) = pick else {
+            return self.park_for_recovery(job, now);
+        };
+        self.dispatch_kernel(job, kernel, device_idx, now)
+    }
+
+    /// Runs `kernel` on `device_idx`: books the execution on the device
+    /// model, charges the access overhead, emits the phase/kernel events
+    /// and schedules completion — either [`Event::KernelDone`] or, when
+    /// the transient-error coin comes up, [`Event::KernelFault`].
+    fn dispatch_kernel(
+        &mut self,
+        job: JobId,
+        kernel: &Kernel,
+        device_idx: usize,
+        now: SimTime,
+    ) -> Result<(), SimError> {
+        let rerouted_from = {
+            let run = self.live(job);
+            match run.last_exec_device {
+                Some(prev) if run.kernel_attempts > 0 && prev != device_idx => Some(prev),
+                _ => None,
+            }
+        };
+        if let Some(from) = rerouted_from {
+            emit!(
+                self,
+                now,
+                SimEvent::KernelRerouted {
+                    job,
+                    from,
+                    to: device_idx,
+                }
+            );
+        }
+        self.live_mut(job).last_exec_device = Some(device_idx);
         let exec = self.devices[device_idx].enqueue(kernel, now)?;
         // Access-model overhead: a fleet device's own access mode wins;
         // otherwise the scenario-wide mode applies (so a legacy wrap
@@ -1300,10 +1960,22 @@ impl<'o> SimState<'o> {
         self.events
             .schedule(exec.end, Event::KernelExecEnd(job, device_idx));
         let epoch = self.live(job).epoch;
-        let key = self
-            .events
-            .schedule(exec.end + overhead, Event::KernelDone(job, epoch));
+        // Transient kernel errors surface at completion time: the device
+        // executed the shots, the result is garbage. The coin only flips
+        // when a rate is configured, so fault-free runs never touch the
+        // kernel-error stream.
+        let rate = self.device_faults().map_or(0.0, DeviceFaults::error_rate);
+        let failed = rate > 0.0 && self.kernel_error_rng.chance(rate);
+        let done = exec.end + overhead;
+        let key = if failed {
+            self.events
+                .schedule(done, Event::KernelFault(job, epoch, device_idx))
+        } else {
+            self.events.schedule(done, Event::KernelDone(job, epoch))
+        };
         self.live_mut(job).pending_event = Some(key);
+        self.kernels_in_flight.insert(job.raw(), device_idx);
+        self.accrue_drift(device_idx, kernel, now);
         Ok(())
     }
 
@@ -1319,6 +1991,10 @@ impl<'o> SimState<'o> {
             run.pending_event = None;
             run.phase_idx += 1;
             run.prev_phase_end = Some(now);
+            // Checkpoint progress is per-phase: a finished phase resets it.
+            run.completed_frac = 0.0;
+            run.last_checkpoint_at = None;
+            run.classical_end = None;
         }
         driver.on_phase_advanced(&mut SimCtx { state: self, now }, job)?;
         self.advance(driver, job, now)
@@ -1330,8 +2006,10 @@ impl<'o> SimState<'o> {
         job: JobId,
         now: SimTime,
     ) -> Result<(), SimError> {
+        self.kernels_in_flight.remove(&job.raw());
         let (index, started) = {
             let run = self.live_mut(job);
+            run.kernel_attempts = 0;
             (run.phase_idx, run.quantum_started.take().unwrap_or(now))
         };
         emit!(
@@ -1536,6 +2214,7 @@ impl<'o> SimState<'o> {
         if let Some(key) = kill {
             self.events.cancel(key);
         }
+        self.kernels_in_flight.remove(&job.raw());
         // A not-yet-started submission must leave the batch queue with the
         // attempt, or it would later start a job that no longer exists.
         if let Some(qid) = queued {
@@ -2368,5 +3047,246 @@ mod tests {
             adaptive.stats.mean_turnaround_secs(),
             worst
         );
+    }
+
+    // ----- fault injection & recovery -------------------------------------
+
+    use hpcqc_faults::{DriftModel, NodeFaults};
+
+    /// Counts dependability events for behavioral fault assertions.
+    #[derive(Debug, Default)]
+    struct FaultCounter {
+        kernel_failed: usize,
+        kernel_retried: usize,
+        rerouted: usize,
+        checkpoints: usize,
+        restarts: usize,
+        recalibrations: usize,
+        outages: usize,
+        repairs: usize,
+        fault_holds: usize,
+        rewound: f64,
+    }
+    impl SimObserver for FaultCounter {
+        fn on_event(&mut self, _now: SimTime, event: &SimEvent<'_>) {
+            match event {
+                SimEvent::KernelFailed { .. } => self.kernel_failed += 1,
+                SimEvent::KernelRetried { .. } => self.kernel_retried += 1,
+                SimEvent::KernelRerouted { .. } => self.rerouted += 1,
+                SimEvent::CheckpointTaken { .. } => self.checkpoints += 1,
+                SimEvent::JobRestarted {
+                    rewound_node_seconds,
+                    ..
+                } => {
+                    self.restarts += 1;
+                    self.rewound += rewound_node_seconds;
+                }
+                SimEvent::DeviceFailed { recalibration, .. } => {
+                    if *recalibration {
+                        self.recalibrations += 1;
+                    } else {
+                        self.outages += 1;
+                    }
+                }
+                SimEvent::DeviceRepaired { .. } => self.repairs += 1,
+                SimEvent::JobHeld { reason, .. } if *reason == HoldReason::FaultRecovery => {
+                    self.fault_holds += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn inert_fault_plan_changes_nothing() {
+        let w = Workload::from_jobs(vec![
+            hybrid_job("a", 4, 3, 0),
+            hybrid_job("b", 6, 2, 30),
+            classical_job("c", 8, 900, 60),
+        ]);
+        for strategy in Strategy::extended_set() {
+            let plain = FacilitySim::run(&scenario(strategy), &w).unwrap();
+            let mut sc = scenario(strategy);
+            sc.faults = Some(FaultPlan::none());
+            let faulted = FacilitySim::run(&sc, &w).unwrap();
+            assert_eq!(plain.makespan, faulted.makespan, "{strategy}");
+            assert_eq!(
+                plain.stats.mean_turnaround_secs(),
+                faulted.stats.mean_turnaround_secs(),
+                "{strategy}: an inert fault plan must not perturb the run"
+            );
+        }
+    }
+
+    #[test]
+    fn transient_kernel_errors_retry_to_completion() {
+        // Half of all kernel executions fail; generous retry budget means
+        // the jobs still complete, paying backoff time for each attempt.
+        let mut sc = scenario(Strategy::CoSchedule);
+        sc.faults = Some(
+            FaultPlan::named("flaky-kernels")
+                .device(DeviceFaults::new().kernel_error_rate(0.5))
+                .recovery(
+                    RecoverySpec::new()
+                        .max_kernel_retries(50)
+                        .retry_backoff_secs(1.0),
+                ),
+        );
+        let w = Workload::from_jobs(vec![hybrid_job("h", 4, 2, 0)]);
+        let mut counter = FaultCounter::default();
+        let out = FacilitySim::run_observed(&sc, &w, &mut [&mut counter]).unwrap();
+        assert_eq!(out.stats.failed_count(), 0);
+        assert!(
+            counter.kernel_failed >= 1,
+            "a 50% error rate must surface at least one failure"
+        );
+        assert_eq!(
+            counter.kernel_retried, counter.kernel_failed,
+            "every failure must be answered by a retry"
+        );
+        assert!(counter.fault_holds >= 1, "retries hold for fault recovery");
+        // Same plan, same seed: byte-identical replay even with faults.
+        let again = FacilitySim::run(&sc, &w).unwrap();
+        assert_eq!(out.makespan, again.makespan);
+    }
+
+    #[test]
+    fn device_outage_fails_over_to_fleet_peer() {
+        use hpcqc_fleet::{FleetDevice, FleetSpec, RouteSpec};
+        // Two slow neutral-atom devices with frequent outages: long kernels
+        // get interrupted, and the retry routes to the surviving peer.
+        let fleet = FleetSpec::new("pair")
+            .route(RouteSpec::LeastLoaded)
+            .device(FleetDevice::new("na-a", Technology::NeutralAtom))
+            .device(FleetDevice::new("na-b", Technology::NeutralAtom));
+        let mut sc = Scenario::builder()
+            .classical_nodes(16)
+            .fleet(fleet)
+            .strategy(Strategy::Vqpu { vqpus: 2 })
+            .seed(7)
+            .build();
+        sc.faults = Some(
+            FaultPlan::named("outages")
+                .device(
+                    DeviceFaults::new()
+                        .mtbf(Dist::exponential(7_200.0))
+                        .repair(Dist::exponential(900.0)),
+                )
+                .recovery(
+                    RecoverySpec::new()
+                        .max_kernel_retries(20)
+                        .retry_backoff_secs(30.0)
+                        .max_requeues(50),
+                ),
+        );
+        let w = Workload::from_jobs(vec![
+            hybrid_job("a", 4, 2, 0),
+            hybrid_job("b", 4, 2, 60),
+            hybrid_job("c", 4, 2, 120),
+        ]);
+        let mut counter = FaultCounter::default();
+        let out = FacilitySim::run_observed(&sc, &w, &mut [&mut counter]).unwrap();
+        assert_eq!(out.stats.len(), 3);
+        assert_eq!(
+            out.stats.failed_count(),
+            0,
+            "all jobs must survive the outages"
+        );
+        assert!(counter.outages >= 1, "outages must occur");
+        assert!(
+            counter.kernel_failed >= 1,
+            "an outage must interrupt an in-flight kernel"
+        );
+        assert!(
+            counter.rerouted >= 1,
+            "a retried kernel must fail over to the healthy peer \
+             (outages={}, failed={}, retried={})",
+            counter.outages,
+            counter.kernel_failed,
+            counter.kernel_retried,
+        );
+    }
+
+    #[test]
+    fn checkpoint_restart_rescues_long_classical_job() {
+        // Node fails every 1000 s; the 1500 s phase never fits between
+        // failures, so without checkpointing the job burns its requeue
+        // budget and fails. Checkpoint-restart carries progress across
+        // attempts and finishes.
+        let node = NodeFaults {
+            mtbf: Dist::constant(1_000.0),
+            repair: Dist::constant(100.0),
+            max_requeues: Some(10),
+        };
+        let mut plain = scenario(Strategy::CoSchedule);
+        plain.classical_nodes = 4;
+        plain.faults = Some(FaultPlan::named("no-ckpt").node(node.clone()));
+        let w = Workload::from_jobs(vec![classical_job("long", 4, 1_500, 0)]);
+        let out = FacilitySim::run(&plain, &w).unwrap();
+        assert_eq!(
+            out.stats.failed_count(),
+            1,
+            "without checkpoints the phase never fits between failures"
+        );
+
+        let mut ckpt = scenario(Strategy::CoSchedule);
+        ckpt.classical_nodes = 4;
+        ckpt.faults = Some(
+            FaultPlan::named("ckpt")
+                .node(node)
+                .recovery(RecoverySpec::new().checkpoint(CheckpointSpec::new(200.0, 5.0))),
+        );
+        let mut counter = FaultCounter::default();
+        let out = FacilitySim::run_observed(&ckpt, &w, &mut [&mut counter]).unwrap();
+        assert_eq!(
+            out.stats.failed_count(),
+            0,
+            "checkpoint-restart must rescue the job \
+             (checkpoints={}, restarts={})",
+            counter.checkpoints,
+            counter.restarts,
+        );
+        assert!(counter.checkpoints >= 2);
+        assert!(counter.restarts >= 1);
+        assert!(
+            counter.rewound > 0.0,
+            "a restart re-does the work since the last checkpoint"
+        );
+        assert!(
+            counter.rewound < 4.0 * 1_000.0,
+            "checkpoints must bound the rewound work below a full attempt \
+             (rewound {})",
+            counter.rewound
+        );
+    }
+
+    #[test]
+    fn drift_forces_recalibration_and_job_survives() {
+        // 1000-shot kernels against a 500-shot drift threshold: every
+        // kernel trips a recalibration; the next kernel parks until the
+        // device returns and the job still completes.
+        let mut sc = scenario(Strategy::CoSchedule);
+        sc.faults = Some(
+            FaultPlan::named("drifty")
+                .device(DeviceFaults::new().drift(DriftModel::new(1e-3, 0.5))),
+        );
+        let w = Workload::from_jobs(vec![hybrid_job("h", 4, 2, 0)]);
+        let mut counter = FaultCounter::default();
+        let out = FacilitySim::run_observed(&sc, &w, &mut [&mut counter]).unwrap();
+        assert_eq!(out.stats.failed_count(), 0);
+        assert!(
+            counter.recalibrations >= 1,
+            "shot accumulation past the threshold must force recalibration"
+        );
+        // The sim stops once every job finalizes, so the very last
+        // recalibration's repair may never fire.
+        assert!(
+            counter.repairs + 1 >= counter.recalibrations,
+            "recalibrations must end with the device back in service \
+             (repairs={}, recalibrations={})",
+            counter.repairs,
+            counter.recalibrations
+        );
+        assert_eq!(counter.kernel_failed, 0, "drift does not fail kernels");
     }
 }

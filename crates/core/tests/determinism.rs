@@ -147,6 +147,24 @@ impl SimObserver for EventTrace {
             SimEvent::JobFinalized { record } => format!("final {}", record.name),
             SimEvent::NodeFailed { node } => format!("fail {node}"),
             SimEvent::NodeRepaired { node } => format!("repair {node}"),
+            SimEvent::DeviceFailed {
+                device,
+                recalibration,
+            } => format!("dev- {device} recal={recalibration}"),
+            SimEvent::DeviceRepaired { device } => format!("dev+ {device}"),
+            SimEvent::KernelFailed { job, device, .. } => format!("kfail {job} dev={device}"),
+            SimEvent::KernelRetried { job, attempt } => format!("kretry {job} n={attempt}"),
+            SimEvent::KernelRerouted { job, from, to } => {
+                format!("kroute {job} {from}->{to}")
+            }
+            SimEvent::CheckpointTaken { job, progress } => {
+                format!("ckpt {job} {progress:.3}")
+            }
+            SimEvent::JobRestarted {
+                job,
+                rewound_node_seconds,
+                ..
+            } => format!("restart {job} rewound={rewound_node_seconds:.1}"),
         };
         self.entries.push(format!("{now} {label}"));
     }

@@ -1,0 +1,280 @@
+//! Recovery policies: what the facility does when a fault fires.
+//!
+//! A [`RecoverySpec`] combines four mechanisms, each individually tunable:
+//!
+//! | mechanism | knobs | default |
+//! |---|---|---|
+//! | kernel retry | `max_kernel_retries`, `retry_backoff_secs` | 2 retries, 5 s base |
+//! | failover | `failover` | enabled |
+//! | job requeue | `max_requeues` | 3 |
+//! | checkpoint-restart | `checkpoint` | disabled |
+//!
+//! Retry backoff is **deterministic** (no sampling): attempt *n* waits
+//! `base · 2^(n−1)` seconds, so same-seed runs replay identically.
+
+use hpcqc_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Default kernel retry cap.
+pub const DEFAULT_KERNEL_RETRIES: u32 = 2;
+
+/// Default retry backoff base, seconds.
+pub const DEFAULT_RETRY_BACKOFF_SECS: f64 = 5.0;
+
+/// Default fault-driven job requeue budget.
+pub const DEFAULT_FAULT_MAX_REQUEUES: u32 = 3;
+
+/// A recovery policy. All fields are optional in JSON; accessors provide
+/// the documented defaults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RecoverySpec {
+    /// How many times a transiently failed kernel is retried before the
+    /// failure escalates to a job requeue; defaults to
+    /// [`DEFAULT_KERNEL_RETRIES`].
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub max_kernel_retries: Option<u32>,
+    /// Base backoff before a kernel retry, seconds (doubles per attempt);
+    /// defaults to [`DEFAULT_RETRY_BACKOFF_SECS`].
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub retry_backoff_secs: Option<f64>,
+    /// Whether a kernel stranded on a downed device may fail over to
+    /// another routable device mid-execution; defaults to `true`.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub failover: Option<bool>,
+    /// How many times a job may be requeued after a fault (kernel retries
+    /// exhausted, or a node failure) before it is failed outright;
+    /// defaults to [`DEFAULT_FAULT_MAX_REQUEUES`].
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub max_requeues: Option<u32>,
+    /// Checkpoint-restart for classical phases; `None` disables it.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub checkpoint: Option<CheckpointSpec>,
+}
+
+impl RecoverySpec {
+    /// A spec with every knob at its default, to be refined via builders.
+    pub fn new() -> RecoverySpec {
+        RecoverySpec::default()
+    }
+
+    /// A spec with every mechanism explicitly disabled: no retries, no
+    /// failover, no requeues, no checkpoints. Faults become fatal.
+    pub fn none() -> RecoverySpec {
+        RecoverySpec {
+            max_kernel_retries: Some(0),
+            retry_backoff_secs: None,
+            failover: Some(false),
+            max_requeues: Some(0),
+            checkpoint: None,
+        }
+    }
+
+    /// Sets the kernel retry cap.
+    pub fn max_kernel_retries(mut self, n: u32) -> RecoverySpec {
+        self.max_kernel_retries = Some(n);
+        self
+    }
+
+    /// Sets the retry backoff base, seconds.
+    pub fn retry_backoff_secs(mut self, secs: f64) -> RecoverySpec {
+        self.retry_backoff_secs = Some(secs);
+        self
+    }
+
+    /// Enables or disables cross-device failover.
+    pub fn failover(mut self, on: bool) -> RecoverySpec {
+        self.failover = Some(on);
+        self
+    }
+
+    /// Sets the fault-driven requeue budget.
+    pub fn max_requeues(mut self, n: u32) -> RecoverySpec {
+        self.max_requeues = Some(n);
+        self
+    }
+
+    /// Enables checkpoint-restart with the given spec.
+    pub fn checkpoint(mut self, cp: CheckpointSpec) -> RecoverySpec {
+        self.checkpoint = Some(cp);
+        self
+    }
+
+    /// The effective kernel retry cap.
+    pub fn kernel_retry_cap(&self) -> u32 {
+        self.max_kernel_retries.unwrap_or(DEFAULT_KERNEL_RETRIES)
+    }
+
+    /// The effective backoff base, seconds.
+    pub fn backoff_base_secs(&self) -> f64 {
+        self.retry_backoff_secs
+            .unwrap_or(DEFAULT_RETRY_BACKOFF_SECS)
+    }
+
+    /// The deterministic backoff before retry attempt `attempt` (1-based):
+    /// `base · 2^(attempt−1)` seconds.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let exp = attempt.saturating_sub(1).min(30);
+        SimDuration::from_secs_f64(self.backoff_base_secs() * f64::from(1u32 << exp))
+    }
+
+    /// Whether failover is enabled.
+    pub fn failover_enabled(&self) -> bool {
+        self.failover.unwrap_or(true)
+    }
+
+    /// The effective fault-driven requeue budget.
+    pub fn requeue_budget(&self) -> u32 {
+        self.max_requeues.unwrap_or(DEFAULT_FAULT_MAX_REQUEUES)
+    }
+
+    /// The checkpoint spec, if checkpoint-restart is enabled.
+    pub fn checkpoint_spec(&self) -> Option<&CheckpointSpec> {
+        self.checkpoint.as_ref()
+    }
+
+    /// Checks the knobs for sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(secs) = self.retry_backoff_secs {
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(format!(
+                    "recovery: retry_backoff_secs must be finite and ≥ 0, got {secs}"
+                ));
+            }
+        }
+        if let Some(cp) = &self.checkpoint {
+            cp.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Checkpoint-restart parameters for classical phases.
+///
+/// While a classical phase runs, a checkpoint is taken every
+/// `interval_secs` of phase progress at a cost of `cost_secs` wall time
+/// each. When a node failure kills the job mid-phase, the phase rewinds to
+/// the last checkpoint instead of restarting from zero — the work since
+/// that checkpoint is the only part re-done (and is what the waste ledger
+/// books as *rewound* node-seconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointSpec {
+    /// Phase progress between checkpoints, seconds.
+    pub interval_secs: f64,
+    /// Wall-time cost of taking one checkpoint, seconds.
+    pub cost_secs: f64,
+}
+
+impl CheckpointSpec {
+    /// A checkpoint spec from interval and per-checkpoint cost, seconds.
+    pub fn new(interval_secs: f64, cost_secs: f64) -> CheckpointSpec {
+        CheckpointSpec {
+            interval_secs,
+            cost_secs,
+        }
+    }
+
+    /// The checkpoint interval as a duration.
+    pub fn interval(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.interval_secs)
+    }
+
+    /// The per-checkpoint cost as a duration.
+    pub fn cost(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.cost_secs)
+    }
+
+    /// Checks the knobs for sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.interval_secs.is_finite() || self.interval_secs <= 0.0 {
+            return Err(format!(
+                "checkpoint: interval_secs must be finite and > 0, got {}",
+                self.interval_secs
+            ));
+        }
+        if !self.cost_secs.is_finite() || self.cost_secs < 0.0 {
+            return Err(format!(
+                "checkpoint: cost_secs must be finite and ≥ 0, got {}",
+                self.cost_secs
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_constants() {
+        let rec = RecoverySpec::new();
+        assert_eq!(rec.kernel_retry_cap(), DEFAULT_KERNEL_RETRIES);
+        assert_eq!(rec.backoff_base_secs(), DEFAULT_RETRY_BACKOFF_SECS);
+        assert!(rec.failover_enabled());
+        assert_eq!(rec.requeue_budget(), DEFAULT_FAULT_MAX_REQUEUES);
+        assert!(rec.checkpoint_spec().is_none());
+        rec.validate().unwrap();
+    }
+
+    #[test]
+    fn none_disables_everything() {
+        let rec = RecoverySpec::none();
+        assert_eq!(rec.kernel_retry_cap(), 0);
+        assert!(!rec.failover_enabled());
+        assert_eq!(rec.requeue_budget(), 0);
+        assert!(rec.checkpoint_spec().is_none());
+    }
+
+    #[test]
+    fn backoff_doubles_deterministically() {
+        let rec = RecoverySpec::new().retry_backoff_secs(3.0);
+        assert_eq!(rec.backoff(1), SimDuration::from_secs(3));
+        assert_eq!(rec.backoff(2), SimDuration::from_secs(6));
+        assert_eq!(rec.backoff(3), SimDuration::from_secs(12));
+        // Same inputs, same waits — no RNG involved.
+        assert_eq!(rec.backoff(3), rec.backoff(3));
+        // Attempt 0 behaves like attempt 1 (saturating).
+        assert_eq!(rec.backoff(0), rec.backoff(1));
+    }
+
+    #[test]
+    fn backoff_exponent_is_capped() {
+        let rec = RecoverySpec::new().retry_backoff_secs(1.0);
+        assert_eq!(rec.backoff(100), rec.backoff(31));
+    }
+
+    #[test]
+    fn negative_backoff_rejected() {
+        let rec = RecoverySpec::new().retry_backoff_secs(-1.0);
+        assert!(rec.validate().unwrap_err().contains("backoff"));
+    }
+
+    #[test]
+    fn checkpoint_validation() {
+        CheckpointSpec::new(600.0, 15.0).validate().unwrap();
+        assert!(CheckpointSpec::new(0.0, 15.0).validate().is_err());
+        assert!(CheckpointSpec::new(600.0, -1.0).validate().is_err());
+        assert!(CheckpointSpec::new(f64::NAN, 0.0).validate().is_err());
+    }
+
+    #[test]
+    fn checkpoint_durations() {
+        let cp = CheckpointSpec::new(600.0, 15.0);
+        assert_eq!(cp.interval(), SimDuration::from_secs(600));
+        assert_eq!(cp.cost(), SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn serde_roundtrip_and_sparse() {
+        let rec = RecoverySpec::new()
+            .max_kernel_retries(1)
+            .checkpoint(CheckpointSpec::new(300.0, 5.0));
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: RecoverySpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(rec, back);
+
+        let sparse: RecoverySpec = serde_json::from_str(r#"{"failover": false}"#).unwrap();
+        assert!(!sparse.failover_enabled());
+        assert_eq!(sparse.kernel_retry_cap(), DEFAULT_KERNEL_RETRIES);
+    }
+}

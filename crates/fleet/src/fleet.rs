@@ -88,6 +88,15 @@ impl QpuFleet {
         self.down.get(index).copied().unwrap_or(true)
     }
 
+    /// Marks device `index` in or out of service at runtime — how fault
+    /// injection steers routing around outages and drift recalibrations.
+    /// Out-of-range indices are ignored.
+    pub fn set_down(&mut self, index: usize, down: bool) {
+        if let Some(d) = self.down.get_mut(index) {
+            *d = down;
+        }
+    }
+
     /// Device `index`'s per-kernel shot cap, if any.
     pub fn shot_capacity(&self, index: usize) -> Option<u32> {
         self.shot_capacity.get(index).copied().flatten()
@@ -165,5 +174,17 @@ mod tests {
         // 500 shots exceeds device 0's cap; device 1 is down → device 2.
         let pick = fleet.route(&Kernel::sampling(500), SimTime::ZERO, &devices, None);
         assert_eq!(pick.index(), 2);
+    }
+
+    #[test]
+    fn set_down_toggles_service_state() {
+        let mut fleet = QpuFleet::new(spec());
+        assert!(!fleet.is_down(0));
+        fleet.set_down(0, true);
+        assert!(fleet.is_down(0));
+        fleet.set_down(1, false);
+        assert!(!fleet.is_down(1), "spec'd-down device can be repaired");
+        fleet.set_down(99, true); // out of range: ignored
+        assert!(fleet.is_down(99), "out of range still counts as down");
     }
 }

@@ -44,13 +44,14 @@ pub const ALL_RULES: [Rule; 5] = [Rule::D001, Rule::D002, Rule::D003, Rule::D004
 
 /// Crates whose sources feed the discrete-event simulation state
 /// (everything but the bench harness and the CLI facade).
-const SIM_CRATES: [&str; 11] = [
+const SIM_CRATES: [&str; 12] = [
     "hpcqc-core",
     "hpcqc-sched",
     "hpcqc-simcore",
     "hpcqc-cluster",
     "hpcqc-qpu",
     "hpcqc-fleet",
+    "hpcqc-faults",
     "hpcqc-workload",
     "hpcqc-metrics",
     "hpcqc-trace",
@@ -62,23 +63,25 @@ const SIM_CRATES: [&str; 11] = [
 /// simulation state (the D002 scope). `hpcqc-trace` is in scope because
 /// the attribution ledgers fold the event stream into byte-identical
 /// output — hash iteration order there would leak into artifacts.
-const EVENT_PATH_CRATES: [&str; 6] = [
+const EVENT_PATH_CRATES: [&str; 7] = [
     "hpcqc-core",
     "hpcqc-sched",
     "hpcqc-simcore",
     "hpcqc-cluster",
     "hpcqc-fleet",
+    "hpcqc-faults",
     "hpcqc-trace",
 ];
 
 /// Crates whose library code must be panic-free (the D004 scope).
-const PANIC_FREE_CRATES: [&str; 8] = [
+const PANIC_FREE_CRATES: [&str; 9] = [
     "hpcqc-core",
     "hpcqc-sched",
     "hpcqc-simcore",
     "hpcqc-cluster",
     "hpcqc-qpu",
     "hpcqc-fleet",
+    "hpcqc-faults",
     "hpcqc-workload",
     "hpcqc-trace",
 ];
@@ -156,12 +159,15 @@ mod tests {
         assert!(Rule::D001.applies_to("hpcqc-trace"));
         assert!(!Rule::D001.applies_to("hpcqc-bench"));
         assert!(!Rule::D001.applies_to("hpcqc"));
+        assert!(Rule::D001.applies_to("hpcqc-faults"));
         assert!(Rule::D002.applies_to("hpcqc-sched"));
         assert!(Rule::D002.applies_to("hpcqc-fleet"));
+        assert!(Rule::D002.applies_to("hpcqc-faults"));
         assert!(Rule::D002.applies_to("hpcqc-trace"));
         assert!(!Rule::D002.applies_to("hpcqc-metrics"));
         assert!(Rule::D003.applies_to("hpcqc-bench"));
         assert!(Rule::D004.applies_to("hpcqc-fleet"));
+        assert!(Rule::D004.applies_to("hpcqc-faults"));
         assert!(Rule::D004.applies_to("hpcqc-workload"));
         assert!(Rule::D004.applies_to("hpcqc-trace"));
         assert!(!Rule::D004.applies_to("hpcqc-sweep"));

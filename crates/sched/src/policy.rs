@@ -122,10 +122,13 @@ pub enum HoldReason {
     DeviceRecalibrating,
     /// Kernel blocked on a device that is out of service.
     DeviceDown,
+    /// Job (or kernel) waiting out fault recovery: retry backoff after a
+    /// failed kernel, or re-queueing after a fault-driven restart.
+    FaultRecovery,
 }
 
 /// Every [`HoldReason`] variant, for blame-table iteration.
-pub const ALL_HOLD_REASONS: [HoldReason; 7] = [
+pub const ALL_HOLD_REASONS: [HoldReason; 8] = [
     HoldReason::InsufficientNodes,
     HoldReason::InsufficientGres,
     HoldReason::HeadShadow,
@@ -133,6 +136,7 @@ pub const ALL_HOLD_REASONS: [HoldReason; 7] = [
     HoldReason::DeviceBusy,
     HoldReason::DeviceRecalibrating,
     HoldReason::DeviceDown,
+    HoldReason::FaultRecovery,
 ];
 
 impl HoldReason {
@@ -149,6 +153,7 @@ impl HoldReason {
             HoldReason::DeviceBusy => "device-busy",
             HoldReason::DeviceRecalibrating => "device-recalibrating",
             HoldReason::DeviceDown => "device-down",
+            HoldReason::FaultRecovery => "fault-recovery",
         }
     }
 }

@@ -209,6 +209,7 @@ impl Executor {
                         let shares = WaitShares {
                             qpu_frac: attribution.qpu_contention_frac(),
                             shadow_frac: attribution.shadow_frac(),
+                            fault_frac: attribution.fault_recovery_frac(),
                         };
                         (outcome, Some(shares))
                     })
@@ -334,19 +335,22 @@ mod tests {
         let plain_csv = plain.to_csv();
         let attributed_csv = attributed.to_csv();
         assert!(!plain_csv.contains("wait_qpu_frac"));
-        assert!(attributed_csv.contains("wait_qpu_frac,wait_shadow_frac"));
+        assert!(attributed_csv.contains("wait_qpu_frac,wait_shadow_frac,wait_fault_frac"));
         // Shares are in [0, 1] and the observer never perturbs metrics:
-        // stripping the two extra columns recovers the plain table.
+        // stripping the three extra columns recovers the plain table.
         for result in attributed.results() {
             let shares = result.shares.expect("attributed cell has shares");
             assert!((0.0..=1.0).contains(&shares.qpu_frac));
             assert!((0.0..=1.0).contains(&shares.shadow_frac));
+            assert!((0.0..=1.0).contains(&shares.fault_frac));
+            // A fault-free grid books no fault-recovery wait.
+            assert_eq!(shares.fault_frac, 0.0);
         }
         let stripped: Vec<String> = attributed_csv
             .lines()
             .map(|line| {
-                line.rsplitn(3, ',')
-                    .nth(2)
+                line.rsplitn(4, ',')
+                    .nth(3)
                     .expect("row has share columns")
                     .to_string()
             })
@@ -357,6 +361,42 @@ mod tests {
             .run_sim_attributed(&grid)
             .expect("sweep runs");
         assert_eq!(attributed_csv, attributed4.to_csv());
+    }
+
+    #[test]
+    fn faulted_cells_book_fault_recovery_share() {
+        use hpcqc_faults::{DeviceFaults, FaultPlan, RecoverySpec};
+        let grid = Grid::builder()
+            .strategies(vec![Strategy::CoSchedule])
+            .faults(vec![
+                FaultPlan::none(),
+                FaultPlan::named("flaky")
+                    .device(DeviceFaults::new().kernel_error_rate(0.5))
+                    .recovery(
+                        RecoverySpec::new()
+                            .max_kernel_retries(50)
+                            .retry_backoff_secs(5.0),
+                    ),
+            ])
+            .base_seed(42)
+            .build();
+        let result = Executor::new(2)
+            .run_sim_attributed(&grid)
+            .expect("sweep runs");
+        let csv = result.to_csv();
+        assert!(csv.contains(",faults,"), "faults column appears: {csv}");
+        let shares: Vec<f64> = result
+            .results()
+            .iter()
+            .map(|r| r.shares.expect("attributed").fault_frac)
+            .collect();
+        assert_eq!(shares[0], 0.0, "inert plan books no fault-recovery wait");
+        assert!(shares[1] > 0.0, "flaky plan books fault-recovery wait");
+        // Fault injection stays thread-invariant.
+        let again = Executor::new(1)
+            .run_sim_attributed(&grid)
+            .expect("sweep runs");
+        assert_eq!(csv, again.to_csv());
     }
 
     #[test]

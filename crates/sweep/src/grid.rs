@@ -12,12 +12,13 @@
 //! (strategies slowest, replicas fastest):
 //!
 //! ```text
-//! index = (((((((strategy · P + policy) · N + nodes) · T + tech) · F + fleet)
-//!           · A + access) · W + walltime) · L + load) · R + replica
+//! index = ((((((((strategy · P + policy) · N + nodes) · T + tech) · F + fleet)
+//!           · X + faults) · A + access) · W + walltime) · L + load) · R + replica
 //! ```
 //!
-//! The fleet axis has length 1 when [`Grid::fleets`] is `None`, so grids
-//! without one keep their historical cell indices (and golden CSVs).
+//! The fleet and faults axes have length 1 when [`Grid::fleets`] /
+//! [`Grid::faults`] are `None`, so grids without them keep their
+//! historical cell indices (and golden CSVs).
 //!
 //! Two seeds are derived per cell, both purely from `(base_seed, indices)`
 //! so they are identical at any thread count:
@@ -33,6 +34,7 @@
 use crate::spec::WorkloadSpec;
 use hpcqc_core::scenario::{Scenario, WalltimePolicy};
 use hpcqc_core::strategy::Strategy;
+use hpcqc_faults::FaultPlan;
 use hpcqc_fleet::FleetSpec;
 use hpcqc_qpu::remote::AccessMode;
 use hpcqc_qpu::technology::Technology;
@@ -129,6 +131,12 @@ pub struct Grid {
     /// length 1). When set, each cell carries one composition, which
     /// supersedes the cell's single `technology` device.
     pub fleets: Option<Vec<FleetSpec>>,
+    /// Optional dependability axis. `None` keeps fault-free simulation
+    /// and historical cell indices (the axis has length 1). When set,
+    /// each cell carries one fault plan; an inert plan (e.g.
+    /// [`FaultPlan::none`]) in the list gives the fault-free baseline
+    /// within the same sweep.
+    pub faults: Option<Vec<FaultPlan>>,
     /// Access-model axis.
     pub access: Vec<AccessSpec>,
     /// Walltime-enforcement axis.
@@ -155,13 +163,14 @@ impl Grid {
         self.axis_lengths().iter().product()
     }
 
-    fn axis_lengths(&self) -> [usize; 9] {
+    fn axis_lengths(&self) -> [usize; 10] {
         [
             self.strategies.len(),
             self.policies.len(),
             self.node_counts.len(),
             self.technologies.len(),
             self.fleets.as_ref().map_or(1, Vec::len),
+            self.faults.as_ref().map_or(1, Vec::len),
             self.access.len(),
             self.walltime.len(),
             self.loads_per_hour.len(),
@@ -178,6 +187,7 @@ impl Grid {
             "node_counts",
             "technologies",
             "fleets",
+            "faults",
             "access",
             "walltime",
             "loads_per_hour",
@@ -202,6 +212,15 @@ impl Grid {
                 fleet
                     .validate()
                     .map_err(|e| format!("grid axis `fleets`: {e}"))?;
+            }
+        }
+        // A deserialized grid can carry a broken fault plan (negative
+        // rates, mtbf without repair, …) that would panic inside
+        // `ScenarioBuilder::faults` on a worker thread.
+        if let Some(faults) = &self.faults {
+            for plan in faults {
+                plan.validate()
+                    .map_err(|e| format!("grid axis `faults`: {e}"))?;
             }
         }
         // A deserialized grid can carry broken policy knobs (zero aging,
@@ -242,7 +261,7 @@ impl Grid {
     pub fn cell(&self, index: usize) -> Cell {
         assert!(index < self.len(), "cell index {index} out of range");
         let mut rest = index;
-        let [_, p, n, t, fl, a, w, l, r] = self.axis_lengths();
+        let [_, p, n, t, fl, fa, a, w, l, r] = self.axis_lengths();
         let replica = (rest % r) as u32;
         rest /= r;
         let load = rest % l;
@@ -251,6 +270,8 @@ impl Grid {
         rest /= w;
         let ac = rest % a;
         rest /= a;
+        let faults = rest % fa;
+        rest /= fa;
         let fleet = rest % fl;
         rest /= fl;
         let tech = rest % t;
@@ -267,6 +288,7 @@ impl Grid {
             nodes: self.node_counts[nodes],
             technology: self.technologies[tech],
             fleet: self.fleets.as_ref().map(|f| f[fleet].clone()),
+            faults: self.faults.as_ref().map(|f| f[faults].clone()),
             access: self.access[ac],
             walltime: self.walltime[wt],
             load_per_hour: self.loads_per_hour[load],
@@ -292,6 +314,7 @@ impl Default for Grid {
             node_counts: vec![16],
             technologies: vec![Technology::Superconducting],
             fleets: None,
+            faults: None,
             access: vec![AccessSpec::OnPrem],
             walltime: vec![WalltimePolicy::Advisory],
             loads_per_hour: vec![0.0],
@@ -330,6 +353,8 @@ pub struct Cell {
     /// Fleet composition, when the grid has a fleet axis (supersedes
     /// `technology`).
     pub fleet: Option<FleetSpec>,
+    /// Dependability plan, when the grid has a faults axis.
+    pub faults: Option<FaultPlan>,
     /// Access-model axis value.
     pub access: AccessSpec,
     /// Walltime-enforcement axis value.
@@ -360,6 +385,9 @@ impl Cell {
         }
         if let Some(fleet) = &self.fleet {
             builder = builder.fleet(fleet.clone());
+        }
+        if let Some(faults) = &self.faults {
+            builder = builder.faults(faults.clone());
         }
         builder.build()
     }
@@ -412,6 +440,13 @@ impl GridBuilder {
     /// cell's single-technology device).
     pub fn fleets(mut self, fleets: Vec<FleetSpec>) -> Self {
         self.inner.fleets = Some(fleets);
+        self
+    }
+
+    /// Sets the dependability axis (each cell simulates under one fault
+    /// plan; include [`FaultPlan::none`] for a fault-free baseline).
+    pub fn faults(mut self, faults: Vec<FaultPlan>) -> Self {
+        self.inner.faults = Some(faults);
         self
     }
 
@@ -642,6 +677,74 @@ mod tests {
         assert_eq!(c.access, AccessSpec::OnPrem);
         assert_eq!(c.replica, 1);
         assert!(c.fleet.is_none());
+    }
+
+    #[test]
+    fn faults_axis_multiplies_cells_and_reaches_scenarios() {
+        use hpcqc_faults::{DeviceFaults, RecoverySpec};
+        let plans = vec![
+            FaultPlan::none(),
+            FaultPlan::named("flaky")
+                .device(DeviceFaults::new().kernel_error_rate(0.05))
+                .recovery(RecoverySpec::new().max_kernel_retries(4)),
+        ];
+        let g = Grid::builder()
+            .strategies(vec![Strategy::CoSchedule, Strategy::Workflow])
+            .faults(plans)
+            .build();
+        assert_eq!(g.len(), 2 * 2);
+        // Faults is the faster axis: indices 0/1 are CoSchedule.
+        assert_eq!(
+            g.cell(0).faults.as_ref().map(|p| p.label().to_string()),
+            Some(String::from("none"))
+        );
+        assert_eq!(
+            g.cell(1).faults.as_ref().map(|p| p.label().to_string()),
+            Some(String::from("flaky"))
+        );
+        assert_eq!(g.cell(1).strategy, Strategy::CoSchedule);
+        assert_eq!(g.cell(2).strategy, Strategy::Workflow);
+        let s = g.cell(1).scenario();
+        let plan = s.faults.expect("scenario carries the cell's plan");
+        assert_eq!(plan.label(), "flaky");
+        assert!(!plan.is_inert());
+        // The inert cell builds a scenario whose plan injects nothing.
+        assert!(g.cell(0).scenario().faults.expect("plan set").is_inert());
+    }
+
+    #[test]
+    fn faultless_grid_keeps_legacy_cell_indices() {
+        let g = Grid::builder()
+            .strategies(vec![Strategy::CoSchedule, Strategy::Workflow])
+            .access(vec![AccessSpec::OnPrem, AccessSpec::Cloud])
+            .replicas(2)
+            .build();
+        // Same unwind as before the faults axis existed.
+        let c = g.cell(5);
+        assert_eq!(c.strategy, Strategy::Workflow);
+        assert_eq!(c.access, AccessSpec::OnPrem);
+        assert_eq!(c.replica, 1);
+        assert!(c.faults.is_none());
+        assert!(c.scenario().faults.is_none());
+    }
+
+    #[test]
+    fn validate_rejects_broken_fault_plan() {
+        use hpcqc_faults::DeviceFaults;
+        use hpcqc_simcore::Dist;
+        // An outage process without a repair distribution is rejected.
+        let broken =
+            FaultPlan::named("broken").device(DeviceFaults::new().mtbf(Dist::exponential(3600.0)));
+        let g = Grid {
+            faults: Some(vec![broken]),
+            ..Grid::default()
+        };
+        assert!(g.validate().unwrap_err().contains("faults"));
+        let g = Grid {
+            faults: Some(vec![]),
+            ..Grid::default()
+        };
+        assert!(g.validate().unwrap_err().contains("faults"));
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub struct WaitShares {
     /// Share of all attributed wait paid to the head job's backfill
     /// shadow (`head-shadow`).
     pub shadow_frac: f64,
+    /// Share of all attributed wait paid to fault recovery
+    /// (`fault-recovery`: retry backoff and parked fault-injected
+    /// downtime). Zero on fault-free cells.
+    pub fault_frac: f64,
 }
 
 /// Harness-layer cost of simulating one cell.
@@ -67,6 +71,8 @@ pub struct CellRow {
     /// Fleet-composition label (`<name>/<route>`), when the grid has a
     /// fleet axis.
     pub fleet: Option<String>,
+    /// Dependability-plan label, when the grid has a faults axis.
+    pub faults: Option<String>,
     /// Access-model label.
     pub access: String,
     /// Walltime-policy label.
@@ -99,6 +105,10 @@ pub struct CellRow {
     /// (attributed sweeps only; absent on the plain path).
     #[serde(skip_serializing_if = "Option::is_none", default)]
     pub wait_shadow_frac: Option<f64>,
+    /// Share of attributed wait paid to fault recovery (attributed
+    /// sweeps only; absent on the plain path).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub wait_fault_frac: Option<f64>,
 }
 
 impl CellRow {
@@ -115,6 +125,7 @@ impl CellRow {
                 .fleet
                 .as_ref()
                 .map(|f| format!("{}/{}", f.name, f.route.name())),
+            faults: cell.faults.as_ref().map(|p| p.label().to_string()),
             access: cell.access.name().to_string(),
             walltime: fmt_walltime(cell.walltime),
             load_per_hour: cell.load_per_hour,
@@ -129,18 +140,32 @@ impl CellRow {
             failed: outcome.stats.failed_count() as u64,
             wait_qpu_frac: result.shares.map(|s| s.qpu_frac),
             wait_shadow_frac: result.shares.map(|s| s.shadow_frac),
+            wait_fault_frac: result.shares.map(|s| s.fault_frac),
         }
     }
 
     /// The group-by key: every axis except the replica.
     #[allow(clippy::type_complexity)]
-    fn group_key(&self) -> (String, String, u32, String, String, String, String, String) {
+    fn group_key(
+        &self,
+    ) -> (
+        String,
+        String,
+        u32,
+        String,
+        String,
+        String,
+        String,
+        String,
+        String,
+    ) {
         (
             self.strategy.clone(),
             self.policy.clone(),
             self.nodes,
             self.technology.clone(),
             self.fleet.clone().unwrap_or_default(),
+            self.faults.clone().unwrap_or_default(),
             self.access.clone(),
             self.walltime.clone(),
             // f64 is not Ord/Hash; the label form is exact enough for a key.
@@ -263,18 +288,23 @@ impl SweepResult {
         self.results.iter().map(CellRow::from_result).collect()
     }
 
-    /// The per-cell metric table. The `fleet` column only appears when
-    /// the grid had a fleet axis, keeping fleetless CSVs (and their
-    /// golden fixtures) byte-identical.
-    /// Wait-decomposition columns (`wait_qpu_frac`, `wait_shadow_frac`)
-    /// likewise only appear when the sweep ran attributed.
+    /// The per-cell metric table. The `fleet` and `faults` columns only
+    /// appear when the grid had those axes, keeping legacy CSVs (and
+    /// their golden fixtures) byte-identical.
+    /// Wait-decomposition columns (`wait_qpu_frac`, `wait_shadow_frac`,
+    /// `wait_fault_frac`) likewise only appear when the sweep ran
+    /// attributed.
     pub fn table(&self) -> Table {
         let rows = self.rows();
         let has_fleet = rows.iter().any(|r| r.fleet.is_some());
+        let has_faults = rows.iter().any(|r| r.faults.is_some());
         let has_shares = rows.iter().any(|r| r.wait_qpu_frac.is_some());
         let mut headers = vec!["index", "strategy", "policy", "nodes", "technology"];
         if has_fleet {
             headers.push("fleet");
+        }
+        if has_faults {
+            headers.push("faults");
         }
         headers.extend([
             "access",
@@ -291,7 +321,7 @@ impl SweepResult {
             "failed",
         ]);
         if has_shares {
-            headers.extend(["wait_qpu_frac", "wait_shadow_frac"]);
+            headers.extend(["wait_qpu_frac", "wait_shadow_frac", "wait_fault_frac"]);
         }
         let mut table = Table::new(headers);
         for row in rows {
@@ -304,6 +334,9 @@ impl SweepResult {
             ];
             if has_fleet {
                 cells.push(row.fleet.unwrap_or_else(|| String::from("-")));
+            }
+            if has_faults {
+                cells.push(row.faults.unwrap_or_else(|| String::from("-")));
             }
             cells.extend([
                 row.access,
@@ -324,6 +357,7 @@ impl SweepResult {
                     |v: Option<f64>| v.map_or_else(|| String::from("-"), |f| format!("{f:.6}"));
                 cells.push(share(row.wait_qpu_frac));
                 cells.push(share(row.wait_shadow_frac));
+                cells.push(share(row.wait_fault_frac));
             }
             table.row(cells);
         }
@@ -351,9 +385,19 @@ impl SweepResult {
     pub fn summary(&self) -> Table {
         let rows = self.rows();
         let has_fleet = rows.iter().any(|r| r.fleet.is_some());
+        let has_faults = rows.iter().any(|r| r.faults.is_some());
         #[allow(clippy::type_complexity)]
-        let mut order: Vec<(String, String, u32, String, String, String, String, String)> =
-            Vec::new();
+        let mut order: Vec<(
+            String,
+            String,
+            u32,
+            String,
+            String,
+            String,
+            String,
+            String,
+            String,
+        )> = Vec::new();
         let mut groups: std::collections::HashMap<_, Vec<&CellRow>> =
             std::collections::HashMap::new();
         for row in &rows {
@@ -367,6 +411,9 @@ impl SweepResult {
         let mut headers = vec!["strategy", "policy", "nodes", "technology"];
         if has_fleet {
             headers.push("fleet");
+        }
+        if has_faults {
+            headers.push("faults");
         }
         headers.extend([
             "access",
@@ -391,13 +438,20 @@ impl SweepResult {
             let wait = metric(|r| r.mean_wait_secs);
             let turnaround = metric(|r| r.hybrid_turnaround_secs);
             let util = metric(|r| r.combined_utilization);
-            let (strategy, policy, nodes, technology, fleet, access, walltime, load) = key;
+            let (strategy, policy, nodes, technology, fleet, faults, access, walltime, load) = key;
             let mut cells = vec![strategy, policy, nodes.to_string(), technology];
             if has_fleet {
                 cells.push(if fleet.is_empty() {
                     String::from("-")
                 } else {
                     fleet
+                });
+            }
+            if has_faults {
+                cells.push(if faults.is_empty() {
+                    String::from("-")
+                } else {
+                    faults
                 });
             }
             cells.extend([

@@ -37,6 +37,7 @@
 //! | `device-busy` | kernel queued behind earlier kernels on its device |
 //! | `device-recalibrating` | kernel waiting out a recalibration window |
 //! | `device-down` | kernel blocked on an out-of-service device |
+//! | `fault-recovery` | retry backoff after a kernel failure, or parked waiting out fault-injected downtime |
 //!
 //! [`SimEvent::JobHeld`]: hpcqc_core::observer::SimEvent::JobHeld
 //! [`SimEvent::KernelEnqueued`]: hpcqc_core::observer::SimEvent::KernelEnqueued
@@ -116,6 +117,11 @@ pub struct JobLedger {
     /// Per-kernel wait windows, in enqueue order (feeds the Chrome
     /// trace's chronological wait chain).
     pub windows: Vec<KernelWindow>,
+    /// Fault-recovery intervals (`fault-recovery`): from a kernel failure
+    /// or fault-parking until the job's next kernel dispatch,
+    /// resubmission, or finalization. Disjoint from
+    /// [`intervals`](JobLedger::intervals), which covers queue waits only.
+    pub fault_intervals: Vec<WaitInterval>,
 }
 
 impl JobLedger {
@@ -129,10 +135,12 @@ impl JobLedger {
         }
     }
 
-    /// Queue wait attributed to `cause`.
+    /// Queue wait attributed to `cause` (fault-recovery intervals are
+    /// included when asked for [`HoldReason::FaultRecovery`]).
     pub fn wait_for(&self, cause: HoldReason) -> SimDuration {
         self.intervals
             .iter()
+            .chain(&self.fault_intervals)
             .filter(|iv| iv.cause == cause)
             .fold(SimDuration::ZERO, |acc, iv| acc + iv.len())
     }
@@ -144,12 +152,20 @@ impl JobLedger {
             .fold(SimDuration::ZERO, |acc, d| acc + d.busy + d.recal)
     }
 
+    /// Total time this job spent in fault recovery (retry backoff and
+    /// parked waits).
+    pub fn fault_wait(&self) -> SimDuration {
+        self.fault_intervals
+            .iter()
+            .fold(SimDuration::ZERO, |acc, iv| acc + iv.len())
+    }
+
     /// Per-cause totals: queue-wait intervals bucketed by their
     /// [`HoldReason`], plus device-side waits under
     /// [`HoldReason::DeviceBusy`] / [`HoldReason::DeviceRecalibrating`].
     pub fn cause_totals(&self) -> BTreeMap<HoldReason, SimDuration> {
         let mut totals: BTreeMap<HoldReason, SimDuration> = BTreeMap::new();
-        for iv in &self.intervals {
+        for iv in self.intervals.iter().chain(&self.fault_intervals) {
             *totals.entry(iv.cause).or_default() += iv.len();
         }
         for dev in self.devices.values() {
@@ -211,6 +227,10 @@ pub struct AttributionObserver {
     ///
     /// [`SimEvent::JobFinalized`]: hpcqc_core::observer::SimEvent::JobFinalized
     by_name: BTreeMap<String, u64>,
+    /// Open fault-recovery waits, keyed by raw job id: when the job's
+    /// kernel last failed (or the job was parked for fault recovery),
+    /// pending the next dispatch/resubmission/finalization.
+    fault_open: BTreeMap<u64, SimTime>,
 }
 
 impl AttributionObserver {
@@ -253,11 +273,25 @@ impl AttributionObserver {
         totals
     }
 
-    /// Total attributed wait: every queue wait plus every device wait.
+    /// Total attributed wait: every queue wait plus every device-side
+    /// and fault-recovery wait.
     pub fn total_wait(&self) -> SimDuration {
         self.ledgers.values().fold(SimDuration::ZERO, |acc, l| {
-            acc + l.queue_wait + l.device_wait()
+            acc + l.queue_wait + l.device_wait() + l.fault_wait()
         })
+    }
+
+    /// Share of the total attributed wait paid to fault recovery: retry
+    /// backoff after kernel failures plus time parked waiting out
+    /// fault-injected downtime. Zero when nothing waited (or no fault
+    /// plan was active).
+    pub fn fault_recovery_frac(&self) -> f64 {
+        let totals = self.cause_totals();
+        let fault = totals
+            .get(&HoldReason::FaultRecovery)
+            .copied()
+            .unwrap_or(SimDuration::ZERO);
+        frac(fault, self.total_wait())
     }
 
     /// Share of the total attributed wait paid to QPU contention: the
@@ -379,7 +413,7 @@ impl AttributionObserver {
             "dominant_share",
         ]);
         for ledger in self.ledgers.values() {
-            let total = ledger.queue_wait + ledger.device_wait();
+            let total = ledger.queue_wait + ledger.device_wait() + ledger.fault_wait();
             let (label, share) = match ledger.dominant_cause() {
                 Some((cause, d)) => (cause.label().to_string(), fmt_pct(frac(d, total))),
                 None => ("-".to_string(), "-".to_string()),
@@ -414,6 +448,7 @@ impl AttributionObserver {
             let mut spans: Vec<(SimTime, SimDuration, HoldReason)> = ledger
                 .intervals
                 .iter()
+                .chain(&ledger.fault_intervals)
                 .map(|iv| (iv.from, iv.len(), iv.cause))
                 .collect();
             for window in &ledger.windows {
@@ -470,6 +505,24 @@ fn dominant_label(ledger: &JobLedger) -> String {
 }
 
 impl AttributionObserver {
+    /// Closes an open fault-recovery wait for `raw` at `now`, booking the
+    /// interval on the job's ledger (zero-length waits are dropped).
+    fn close_fault_wait(&mut self, raw: u64, now: SimTime) {
+        let Some(from) = self.fault_open.remove(&raw) else {
+            return;
+        };
+        if now <= from {
+            return;
+        }
+        if let Some(ledger) = self.ledgers.get_mut(&raw) {
+            ledger.fault_intervals.push(WaitInterval {
+                from,
+                to: now,
+                cause: HoldReason::FaultRecovery,
+            });
+        }
+    }
+
     fn grouped(&self, key_name: &'static str, key: impl Fn(&JobLedger) -> String) -> Table {
         #[derive(Default)]
         struct Group {
@@ -519,6 +572,7 @@ impl SimObserver for AttributionObserver {
         match event {
             SimEvent::JobSubmitted { job, name, .. } => {
                 let raw = job.raw();
+                self.close_fault_wait(raw, now);
                 let ledger = self.ledgers.entry(raw).or_default();
                 if ledger.name.is_empty() {
                     ledger.name = (*name).to_string();
@@ -541,6 +595,13 @@ impl SimObserver for AttributionObserver {
             SimEvent::JobHeld { job, reason, .. } => {
                 let raw = job.raw();
                 let Some(open) = self.open.get_mut(&raw) else {
+                    // Fault-recovery holds fire while the job is *running*
+                    // (retry backoff, parked on device downtime), not
+                    // queued: open a fault wait, keeping the earliest
+                    // start (a kernel failure may have opened it already).
+                    if *reason == HoldReason::FaultRecovery {
+                        self.fault_open.entry(raw).or_insert(now);
+                    }
                     return;
                 };
                 if open.cause == Some(*reason) {
@@ -584,6 +645,12 @@ impl SimObserver for AttributionObserver {
                 }
                 ledger.queue_wait += now.saturating_since(open.submitted);
             }
+            SimEvent::KernelFailed { job, .. } => {
+                // The failure itself starts the recovery clock; the
+                // matching `JobHeld(fault-recovery)` arrives in the same
+                // instant on the retry path.
+                self.fault_open.entry(job.raw()).or_insert(now);
+            }
             SimEvent::KernelEnqueued {
                 job,
                 device,
@@ -591,6 +658,8 @@ impl SimObserver for AttributionObserver {
                 recalibration,
                 ..
             } => {
+                // A dispatch ends any open fault-recovery wait.
+                self.close_fault_wait(job.raw(), now);
                 let Some(ledger) = self.ledgers.get_mut(&job.raw()) else {
                     return;
                 };
@@ -610,10 +679,12 @@ impl SimObserver for AttributionObserver {
                 });
             }
             SimEvent::JobFinalized { record } => {
-                let Some(raw) = self.by_name.get(record.name.as_str()) else {
+                let Some(raw) = self.by_name.get(record.name.as_str()).copied() else {
                     return;
                 };
-                if let Some(ledger) = self.ledgers.get_mut(raw) {
+                // A job can finalize (fail) while parked in recovery.
+                self.close_fault_wait(raw, now);
+                if let Some(ledger) = self.ledgers.get_mut(&raw) {
                     ledger.user = record.user.clone();
                     ledger.hybrid = record.hybrid;
                 }
@@ -841,6 +912,85 @@ mod tests {
             .collect();
         assert_eq!(flows.len(), 4, "two arrows chain three waits");
         assert!(flows.iter().all(|e| e.id.is_some()));
+    }
+
+    #[test]
+    fn fault_recovery_wait_spans_failure_to_redispatch() {
+        let mut obs = AttributionObserver::new();
+        submit(&mut obs, 0, 0, "vqe-0");
+        started(&mut obs, 0, 0);
+        // Kernel fails at t=100; the retry hold fires in the same
+        // instant; the retry dispatches at t=130.
+        obs.on_event(
+            SimTime::from_secs(100),
+            &SimEvent::KernelFailed {
+                job: JobId::new(0),
+                name: "vqe-0",
+                device: 0,
+            },
+        );
+        held(&mut obs, 100, 0, HoldReason::FaultRecovery);
+        obs.on_event(
+            SimTime::from_secs(130),
+            &SimEvent::KernelEnqueued {
+                job: JobId::new(0),
+                name: "vqe-0",
+                device: 1,
+                start: SimTime::from_secs(130),
+                end: SimTime::from_secs(140),
+                recalibration: SimDuration::ZERO,
+            },
+        );
+        let ledger = obs.ledger(JobId::new(0)).expect("ledger");
+        assert_eq!(ledger.fault_wait(), SimDuration::from_secs(30));
+        assert_eq!(
+            ledger.wait_for(HoldReason::FaultRecovery),
+            SimDuration::from_secs(30)
+        );
+        // Queue-wait bookkeeping is untouched.
+        assert_eq!(ledger.queue_wait, SimDuration::ZERO);
+        assert!(ledger.intervals.is_empty());
+        assert!(obs.fault_recovery_frac() > 0.99);
+        let by_cause = obs.by_cause();
+        assert!(by_cause.rows().iter().any(|r| r[0] == "fault-recovery"));
+    }
+
+    #[test]
+    fn parked_job_books_fault_wait_until_finalization() {
+        use hpcqc_metrics::jobstats::JobRecord;
+        let mut obs = AttributionObserver::new();
+        submit(&mut obs, 0, 0, "vqe-0");
+        started(&mut obs, 0, 0);
+        // Parked at t=50 (no kernel failure — every device is down) and
+        // the job finally fails at t=200 with the wait still open.
+        held(&mut obs, 50, 0, HoldReason::FaultRecovery);
+        held(&mut obs, 60, 0, HoldReason::FaultRecovery);
+        let record = JobRecord {
+            name: "vqe-0".to_string(),
+            user: "u".to_string(),
+            submit: SimTime::ZERO,
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(200),
+            nodes: 4,
+            hybrid: true,
+            completed: false,
+            node_seconds_allocated: 0.0,
+            node_seconds_used: 0.0,
+            qpu_seconds_allocated: 0.0,
+            qpu_seconds_used: 0.0,
+            phase_wait: SimDuration::ZERO,
+        };
+        obs.on_event(
+            SimTime::from_secs(200),
+            &SimEvent::JobFinalized { record: &record },
+        );
+        let ledger = obs.ledger(JobId::new(0)).expect("ledger");
+        // Earliest hold wins: 50 → 200, not 60 → 200.
+        assert_eq!(ledger.fault_wait(), SimDuration::from_secs(150));
+        assert_eq!(
+            ledger.dominant_cause(),
+            Some((HoldReason::FaultRecovery, SimDuration::from_secs(150)))
+        );
     }
 
     #[test]

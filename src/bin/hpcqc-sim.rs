@@ -25,6 +25,13 @@
 //! # Explain who pays the queue wait: a per-cause wait-attribution table
 //! hpcqc-sim explain --workload campaign.hqwf --by cause --format markdown
 //!
+//! # Inject faults (device outages, calibration drift, transient kernel
+//! # errors) and recover from them per the plan's recovery policy
+//! hpcqc-sim run --workload campaign.hqwf --faults plan.json
+//!
+//! # Inspect a dependability plan without running anything
+//! hpcqc-sim faults --plan plan.json
+//!
 //! # Compare all four strategies on the same workload
 //! hpcqc-sim run --workload campaign.hqwf --compare --device neutral-atom
 //!
@@ -55,19 +62,20 @@ const USAGE: &str =
      [--out FILE] [--demand]\n  \
      hpcqc-sim run (--workload FILE | --source gen:FILE.json) [--scenario FILE.json]\n            \
      [--strategy S] [--nodes N] [--device TECH] [--policy P] [--seed S]\n            \
-     [--fleet FILE.json] [--route R]\n            \
+     [--fleet FILE.json] [--route R] [--faults FILE.json]\n            \
      [--age-weight F] [--size-weight F] [--fairshare-weight F]\n            \
      [--fairshare-half-life SECS] [--compare] [--gantt]\n            \
      [--trace OUT.json] [--metrics OUT.csv|OUT.json]\n            \
      [--metrics-interval SECS] [--profile] [--attribution OUT]\n  \
      hpcqc-sim explain (--workload FILE | --source gen:FILE.json) [--scenario FILE.json]\n                \
      [--strategy S] [--nodes N] [--device TECH] [--policy P] [--seed S]\n                \
-     [--fleet FILE.json] [--route R]\n                \
+     [--fleet FILE.json] [--route R] [--faults FILE.json]\n                \
      [--by job|tenant|device|cause|class|critical-path]\n                \
      [--format csv|json|markdown|chrome] [--out FILE]\n  \
      hpcqc-sim devices (--fleet FILE.json | --scenario FILE.json)\n  \
+     hpcqc-sim faults (--plan FILE.json | --scenario FILE.json)\n  \
      hpcqc-sim sweep --grid FILE.json [--threads N] [--format csv|json|markdown]\n              \
-     [--summary] [--timing] [--attribution] [--out FILE]\n  \
+     [--summary] [--timing] [--attribution] [--faults FILE.json] [--out FILE]\n  \
      hpcqc-sim advise --quantum-secs X --classical-secs Y --queue-wait-secs Z\n               \
      [--tenants N]\n\n\
      strategies: co-schedule | workflow | vqpu:N | malleable:N | adaptive[:N]\n\
@@ -197,6 +205,37 @@ fn load_fleet(path: &str) -> Result<FleetSpec, String> {
         .validate()
         .map_err(|e| format!("invalid fleet {path}: {e}"))?;
     Ok(fleet)
+}
+
+/// Loads and validates a [`FaultPlan`] JSON file. serde_json's parse
+/// errors already carry `line N column M`, which is the detail a user
+/// fixing a hand-written plan needs most.
+fn load_faults(path: &str) -> Result<FaultPlan, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let plan: FaultPlan = serde_json::from_str(&text).map_err(|e| {
+        format!(
+            "cannot parse fault plan {path}: {}",
+            with_line_info(&e.to_string(), &text)
+        )
+    })?;
+    plan.validate()
+        .map_err(|e| format!("invalid fault plan {path}: {e}"))?;
+    Ok(plan)
+}
+
+/// The JSON parser reports byte offsets; translate a trailing
+/// `at byte N` into the line/column a user can actually jump to.
+fn with_line_info(msg: &str, text: &str) -> String {
+    let Some((_, offset)) = msg.rsplit_once(" at byte ") else {
+        return msg.to_string();
+    };
+    let Ok(pos) = offset.trim().parse::<usize>() else {
+        return msg.to_string();
+    };
+    let pos = pos.min(text.len());
+    let line = 1 + text[..pos].matches('\n').count();
+    let column = 1 + pos - text[..pos].rfind('\n').map_or(0, |n| n + 1);
+    format!("{msg} (line {line} column {column})")
 }
 
 /// Bare policy names, for "did you mean" hints against the typed word.
@@ -570,6 +609,7 @@ fn run(args: &[String]) -> ExitCode {
     let mut policy: Option<PolicySpec> = None;
     let mut fleet_path: Option<String> = None;
     let mut route: Option<RouteSpec> = None;
+    let mut faults_path: Option<String> = None;
     let mut age_weight: Option<f64> = None;
     let mut size_weight: Option<f64> = None;
     let mut fairshare_weight: Option<f64> = None;
@@ -629,6 +669,7 @@ fn run(args: &[String]) -> ExitCode {
                 None => usage(),
             },
             "--fleet" => fleet_path = it.next().cloned(),
+            "--faults" => faults_path = it.next().cloned(),
             "--route" => match it.next().map(|s| parse_route(s)) {
                 Some(Ok(r)) => route = Some(r),
                 Some(Err(message)) => {
@@ -676,7 +717,37 @@ fn run(args: &[String]) -> ExitCode {
             },
             "--compare" => compare = true,
             "--gantt" => gantt = true,
-            _ => usage(),
+            other => {
+                let known = [
+                    "--workload",
+                    "--source",
+                    "--scenario",
+                    "--strategy",
+                    "--nodes",
+                    "--device",
+                    "--policy",
+                    "--fleet",
+                    "--route",
+                    "--faults",
+                    "--seed",
+                    "--age-weight",
+                    "--size-weight",
+                    "--fairshare-weight",
+                    "--fairshare-half-life",
+                    "--compare",
+                    "--gantt",
+                    "--trace",
+                    "--metrics",
+                    "--metrics-interval",
+                    "--profile",
+                    "--attribution",
+                ];
+                match hpcqc::cli::did_you_mean(other, known) {
+                    Some(hint) => eprintln!("unknown argument `{other}` — did you mean `{hint}`?"),
+                    None => eprintln!("unknown argument `{other}`"),
+                }
+                return ExitCode::from(2);
+            }
         }
     }
     // `--trace` used to name the *input* workload; it is now the
@@ -768,6 +839,23 @@ fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if let Some(path) = faults_path {
+        match load_faults(&path) {
+            Ok(plan) => scenario.faults = Some(plan),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // A scenario file can carry a fault plan serde cannot vet (NaN rates,
+    // mtbf without repair); catch it before the simulator panics.
+    if let Some(plan) = &scenario.faults {
+        if let Err(e) = plan.validate() {
+            eprintln!("invalid scenario fault plan: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(p) = policy {
         scenario.policy = p;
     }
@@ -826,6 +914,13 @@ fn run(args: &[String]) -> ExitCode {
             fleet.name,
             fleet.devices.len(),
             fleet.route
+        );
+    }
+    if let Some(plan) = &scenario.faults {
+        eprintln!(
+            "fault plan `{}`{}",
+            plan.label(),
+            if plan.is_inert() { " (inert)" } else { "" }
         );
     }
 
@@ -934,6 +1029,7 @@ fn explain(args: &[String]) -> ExitCode {
     let mut policy: Option<PolicySpec> = None;
     let mut fleet_path: Option<String> = None;
     let mut route: Option<RouteSpec> = None;
+    let mut faults_path: Option<String> = None;
     let mut seed: Option<u64> = None;
     let mut by = String::from("cause");
     let mut format: Option<String> = None;
@@ -976,6 +1072,7 @@ fn explain(args: &[String]) -> ExitCode {
                 None => usage(),
             },
             "--fleet" => fleet_path = it.next().cloned(),
+            "--faults" => faults_path = it.next().cloned(),
             "--route" => match it.next().map(|s| parse_route(s)) {
                 Some(Ok(r)) => route = Some(r),
                 Some(Err(message)) => {
@@ -1005,6 +1102,7 @@ fn explain(args: &[String]) -> ExitCode {
                     "--policy",
                     "--fleet",
                     "--route",
+                    "--faults",
                     "--seed",
                     "--by",
                     "--format",
@@ -1110,6 +1208,21 @@ fn explain(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if let Some(path) = faults_path {
+        match load_faults(&path) {
+            Ok(plan) => scenario.faults = Some(plan),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(plan) = &scenario.faults {
+        if let Err(e) = plan.validate() {
+            eprintln!("invalid scenario fault plan: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(p) = policy {
         scenario.policy = p;
     }
@@ -1141,11 +1254,12 @@ fn explain(args: &[String]) -> ExitCode {
 
     eprintln!(
         "attributed {} of queue wait across {} jobs \
-         (QPU-contention share {}, head-shadow share {})",
+         (QPU-contention share {}, head-shadow share {}, fault-recovery share {})",
         fmt_secs(attribution.total_wait().as_secs_f64()),
         attribution.len(),
         fmt_pct(attribution.qpu_contention_frac()),
         fmt_pct(attribution.shadow_frac()),
+        fmt_pct(attribution.fault_recovery_frac()),
     );
     let rendered = if format == "chrome" {
         attribution.to_chrome_trace().to_json_string()
@@ -1274,6 +1388,189 @@ fn devices(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `hpcqc-sim faults`: inspect a dependability plan (or a scenario's
+/// embedded one) without running anything — each fault process, its
+/// parameters, and the recovery policy in force.
+fn faults(args: &[String]) -> ExitCode {
+    let mut plan_path: Option<String> = None;
+    let mut scenario_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--plan" => plan_path = it.next().cloned(),
+            "--scenario" => scenario_path = it.next().cloned(),
+            other => {
+                let known = ["--plan", "--scenario"];
+                match hpcqc::cli::did_you_mean(other, known) {
+                    Some(hint) => eprintln!("unknown argument `{other}` — did you mean `{hint}`?"),
+                    None => eprintln!("unknown argument `{other}`"),
+                }
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let plan = match (plan_path, scenario_path) {
+        (Some(path), None) => match load_faults(&path) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        },
+        (None, Some(path)) => match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str::<Scenario>(&s).map_err(|e| e.to_string()))
+        {
+            Ok(sc) => match sc.faults {
+                Some(plan) => plan,
+                None => {
+                    eprintln!("scenario {path} carries no fault plan");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot load scenario {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (Some(_), Some(_)) => {
+            eprintln!("--plan and --scenario are mutually exclusive");
+            return ExitCode::from(2);
+        }
+        (None, None) => usage(),
+    };
+    if let Err(e) = plan.validate() {
+        eprintln!("invalid fault plan `{}`: {e}", plan.label());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "fault plan `{}`: {}",
+        plan.label(),
+        if plan.is_inert() {
+            "inert (fault-free baseline)"
+        } else {
+            "active"
+        }
+    );
+    let mut table = Table::new(vec!["process", "parameter", "value"]);
+    match &plan.node {
+        Some(node) => {
+            table.row(vec!["node".into(), "mtbf".into(), node.mtbf.to_string()]);
+            table.row(vec![
+                "node".into(),
+                "repair".into(),
+                node.repair.to_string(),
+            ]);
+            table.row(vec![
+                "node".into(),
+                "requeue budget".into(),
+                node.requeue_budget().to_string(),
+            ]);
+        }
+        None => {
+            table.row(vec![
+                "node".into(),
+                "process".into(),
+                "none (legacy scenario model, if any)".into(),
+            ]);
+        }
+    }
+    match &plan.device {
+        Some(device) => {
+            match device.outage_process() {
+                Some((mtbf, repair)) => {
+                    table.row(vec![
+                        "device".into(),
+                        "outage mtbf".into(),
+                        mtbf.to_string(),
+                    ]);
+                    table.row(vec![
+                        "device".into(),
+                        "outage repair".into(),
+                        repair.to_string(),
+                    ]);
+                }
+                None => {
+                    table.row(vec!["device".into(), "outages".into(), "none".into()]);
+                }
+            }
+            match &device.drift {
+                Some(drift) => {
+                    table.row(vec![
+                        "drift".into(),
+                        "per shot / threshold".into(),
+                        format!("{} / {}", drift.per_shot, drift.threshold),
+                    ]);
+                    table.row(vec![
+                        "drift".into(),
+                        "shots to recalibration".into(),
+                        format!("{:.0}", drift.shots_to_threshold()),
+                    ]);
+                    table.row(vec![
+                        "drift".into(),
+                        "recalibration".into(),
+                        drift.recalibration_dist().to_string(),
+                    ]);
+                }
+                None => {
+                    table.row(vec!["drift".into(), "process".into(), "none".into()]);
+                }
+            }
+            table.row(vec![
+                "device".into(),
+                "kernel error rate".into(),
+                format!("{}", device.error_rate()),
+            ]);
+        }
+        None => {
+            table.row(vec!["device".into(), "process".into(), "none".into()]);
+        }
+    }
+    let recovery = plan.recovery_or_default();
+    table.row(vec![
+        "recovery".into(),
+        "kernel retries".into(),
+        format!(
+            "{} (backoff base {}s, doubling)",
+            recovery.kernel_retry_cap(),
+            recovery.backoff_base_secs()
+        ),
+    ]);
+    table.row(vec![
+        "recovery".into(),
+        "failover".into(),
+        if recovery.failover_enabled() {
+            "on (re-route via fleet)"
+        } else {
+            "off"
+        }
+        .into(),
+    ]);
+    table.row(vec![
+        "recovery".into(),
+        "requeue budget".into(),
+        recovery.requeue_budget().to_string(),
+    ]);
+    match recovery.checkpoint_spec() {
+        Some(cp) => {
+            table.row(vec![
+                "recovery".into(),
+                "checkpoint".into(),
+                format!(
+                    "every {} (+{} cost)",
+                    fmt_secs(cp.interval_secs),
+                    fmt_secs(cp.cost_secs)
+                ),
+            ]);
+        }
+        None => {
+            table.row(vec!["recovery".into(), "checkpoint".into(), "off".into()]);
+        }
+    }
+    print!("{table}");
+    ExitCode::SUCCESS
+}
+
 /// Runs a declarative parameter grid on the sweep engine and emits the
 /// per-cell rows (or the replica-aggregated summary) as CSV, JSON, or
 /// markdown.
@@ -1284,6 +1581,7 @@ fn sweep(args: &[String]) -> ExitCode {
     let mut summary = false;
     let mut timing = false;
     let mut attribution = false;
+    let mut faults_path: Option<String> = None;
     let mut out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -1299,8 +1597,25 @@ fn sweep(args: &[String]) -> ExitCode {
             "--summary" => summary = true,
             "--timing" => timing = true,
             "--attribution" => attribution = true,
+            "--faults" => faults_path = it.next().cloned(),
             "--out" => out = it.next().cloned(),
-            _ => usage(),
+            other => {
+                let known = [
+                    "--grid",
+                    "--threads",
+                    "--format",
+                    "--summary",
+                    "--timing",
+                    "--attribution",
+                    "--faults",
+                    "--out",
+                ];
+                match hpcqc::cli::did_you_mean(other, known) {
+                    Some(hint) => eprintln!("unknown argument `{other}` — did you mean `{hint}`?"),
+                    None => eprintln!("unknown argument `{other}`"),
+                }
+                return ExitCode::from(2);
+            }
         }
     }
     if !matches!(format.as_str(), "csv" | "json" | "markdown" | "md") {
@@ -1308,7 +1623,7 @@ fn sweep(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     }
     let Some(grid_path) = grid_path else { usage() };
-    let grid = match std::fs::read_to_string(&grid_path)
+    let mut grid = match std::fs::read_to_string(&grid_path)
         .map_err(|e| e.to_string())
         .and_then(|s| serde_json::from_str::<Grid>(&s).map_err(|e| e.to_string()))
     {
@@ -1318,6 +1633,23 @@ fn sweep(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // `--faults` pairs the loaded plan with the inert baseline as a
+    // two-cell axis, so every combination gets a with/without comparison.
+    // A grid that already declares its own axis wins — mixing the two
+    // would silently reshuffle the grid's cell indices.
+    if let Some(path) = faults_path {
+        if grid.faults.is_some() {
+            eprintln!("grid {grid_path} already has a `faults` axis; drop --faults");
+            return ExitCode::from(2);
+        }
+        match load_faults(&path) {
+            Ok(plan) => grid.faults = Some(vec![FaultPlan::none(), plan]),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     if let Err(e) = grid.validate() {
         eprintln!("invalid grid {grid_path}: {e}");
         return ExitCode::FAILURE;
@@ -1463,6 +1795,7 @@ fn main() -> ExitCode {
         Some("run") => run(&args[1..]),
         Some("explain") => explain(&args[1..]),
         Some("devices") => devices(&args[1..]),
+        Some("faults") => faults(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
         Some("advise") => advise(&args[1..]),
         Some("--help" | "-h") => {

@@ -36,6 +36,7 @@ pub mod cli;
 
 pub use hpcqc_cluster as cluster;
 pub use hpcqc_core as core;
+pub use hpcqc_faults as faults;
 pub use hpcqc_fleet as fleet;
 pub use hpcqc_gen as gen;
 pub use hpcqc_metrics as metrics;
@@ -53,6 +54,9 @@ pub mod prelude {
         driver_for, recommend, FacilitySim, FailureModel, IterSource, JobSource, Outcome,
         PhaseKind, Scenario, SimCtx, SimError, SimEvent, SimObserver, SliceSource, Strategy,
         StrategyDriver, SubmissionPlan, WalltimePolicy, WorkloadProfile,
+    };
+    pub use hpcqc_faults::{
+        CheckpointSpec, DeviceFaults, DriftModel, FaultPlan, NodeFaults, RecoverySpec,
     };
     pub use hpcqc_fleet::{
         DeviceId, FleetCtx, FleetDevice, FleetSpec, QpuFleet, RoutePolicy, RouteSpec, ALL_ROUTES,

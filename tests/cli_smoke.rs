@@ -552,3 +552,117 @@ fn scenario_file_with_broken_policy_knobs_fails_gracefully() {
     std::fs::remove_file(&trace).ok();
     std::fs::remove_file(&path).ok();
 }
+
+fn degraded_fault_plan() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/faults/degraded.json")
+}
+
+#[test]
+fn run_accepts_a_fault_plan() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["run", "--workload"])
+        .arg(contended_workload())
+        .arg("--faults")
+        .arg(degraded_fault_plan())
+        .output()
+        .expect("run runs");
+    assert!(out.status.success(), "faulted run failed: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("fault plan `degraded`"),
+        "fault plan line missing: {stderr}"
+    );
+}
+
+#[test]
+fn run_rejects_a_malformed_fault_plan_with_line_info() {
+    let dir = std::env::temp_dir().join(format!("hpcqc_cli_badfaults_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.json");
+    std::fs::write(&path, "{\n  \"name\": \"broken\",\n  \"device\": [\n").unwrap();
+    // A real workload, so the run gets past input loading to the plan.
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["run", "--workload"])
+        .arg(contended_workload())
+        .arg("--faults")
+        .arg(&path)
+        .output()
+        .expect("run runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "malformed fault plan must exit 2: {out:?}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot parse fault plan") && stderr.contains("line"),
+        "parse error must point at the line: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "must not panic on a malformed fault plan: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_hints_on_typoed_faults_flag() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["run", "--workload", "x.hqwf", "--fualts", "plan.json"])
+        .output()
+        .expect("run runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("did you mean `--faults`"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn sweep_hints_on_typoed_faults_flag() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .args(["sweep", "--grid", "x.json", "--fault", "plan.json"])
+        .output()
+        .expect("sweep runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("did you mean `--faults`"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn faults_subcommand_describes_the_plan() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .arg("faults")
+        .arg("--plan")
+        .arg(degraded_fault_plan())
+        .output()
+        .expect("faults runs");
+    assert!(out.status.success(), "faults subcommand failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("fault plan `degraded`: active"),
+        "summary line missing: {stdout}"
+    );
+    for needle in [
+        "process",
+        "outage",
+        "drift",
+        "kernel error rate",
+        "recovery",
+    ] {
+        assert!(stdout.contains(needle), "`{needle}` missing: {stdout}");
+    }
+}
+
+#[test]
+fn faults_subcommand_requires_exactly_one_source() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hpcqc-sim"))
+        .arg("faults")
+        .output()
+        .expect("faults runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--plan"), "{stderr}");
+}
